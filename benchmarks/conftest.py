@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact. The expensive shared
+inputs (world, archive crawl, filter-list histories) are built once per
+session; each benchmark times its own analysis stage and asserts the
+paper's qualitative shape before printing the artifact.
+
+Scale is controlled by ``REPRO_SCALE`` (default 0.08 → 400 crawled sites,
+8K live sites). Paper scale is ``REPRO_SCALE=1.0``.
+"""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, default_scale
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext.create(scale=default_scale())
+
+
+@pytest.fixture(scope="session")
+def crawl(ctx):
+    return ctx.crawl
+
+
+@pytest.fixture(scope="session")
+def coverage(ctx):
+    return ctx.coverage
+
+
+def run_once(benchmark, fn):
+    """Run a macro-benchmark exactly once (pipelines, not microseconds)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

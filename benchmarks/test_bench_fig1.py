@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 1 (filter-list evolution) + §3.2 stats."""
+
+from conftest import run_once
+
+from repro.experiments import fig1
+from repro.filterlist.classify import RuleType
+
+
+def test_fig1_evolution(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig1.run(ctx))
+    print()
+    print(fig1.render(result))
+
+    # Shape assertions, per list.
+    aak = result.series["aak"]
+    assert aak.dates[0].year == 2014  # list created 2014
+    assert aak.final_total() > 2 * aak.initial_total()  # strong growth
+
+    awrl = result.series["awrl"]
+    html_share = result.stats["awrl"].html_percent
+    assert html_share > 50.0  # AWRL is HTML-heavy (paper: 67.7%)
+
+    easylist = result.stats["easylist"]
+    assert easylist.http_percent > 90.0  # EasyList is HTTP-heavy (96.3%)
+    # Anchor-only rules dominate EasyList's mix (paper: 64.6%).
+    anchor_pct = easylist.type_percentages[RuleType.HTTP_ANCHOR]
+    assert anchor_pct > 40.0
+
+    # AAK balances HTTP and HTML (paper: 58.5% / 41.5%).
+    aak_stats = result.stats["aak"]
+    assert 40.0 < aak_stats.http_percent < 80.0

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 2 (domain categories in the lists)."""
+
+from conftest import run_once
+
+from repro.experiments import fig2
+from repro.experiments.context import AAK, CE
+
+
+def test_fig2_categories(benchmark, ctx):
+    result = run_once(benchmark, lambda: fig2.run(ctx))
+    print()
+    print(fig2.render(result))
+
+    for name in (AAK, CE):
+        percentages = result.percentages(name)
+        assert abs(sum(percentages.values()) - 100.0) < 1e-6
+        # No single category dominates (paper: top category ≈ 11%).
+        assert max(percentages.values()) < 40.0
+
+    # The categorisation *trend* is similar across both lists (paper §3.3):
+    # the top-5 categories of one list overlap the other's top-8.
+    def top(name, n):
+        ordered = sorted(result.percentages(name).items(), key=lambda kv: -kv[1])
+        return {category for category, _ in ordered[:n]}
+
+    assert len(top(AAK, 5) & top(CE, 8)) >= 3

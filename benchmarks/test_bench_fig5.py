@@ -1,0 +1,30 @@
+"""Benchmark: Figure 5 (websites excluded from analysis per month)."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_missing_snapshots(benchmark, ctx, crawl):
+    result = run_once(benchmark, lambda: fig5.run(ctx))
+    print()
+    print(fig5.render(result))
+
+    months = sorted(result.by_month)
+    outdated = [result.by_month[m]["outdated"] for m in months]
+    not_archived = [result.by_month[m]["not_archived"] for m in months]
+
+    # Outdated URLs dominate the missing mass and decline over the window
+    # (paper: 1,239 → 532).
+    first_year = float(np.mean(outdated[:12]))
+    last_year = float(np.mean(outdated[-12:]))
+    assert first_year > last_year
+    assert first_year >= max(np.mean(not_archived[:12]), 1)
+
+    # Not-archived URLs trend upward (paper: 262 → 374, 3XX redirects).
+    assert np.mean(not_archived[-12:]) >= np.mean(not_archived[:12])
+
+    # Total missing is a minority of the crawl set each month.
+    n_sites = ctx.world.config.n_sites
+    assert all(result.total_missing(m) < 0.6 * n_sites for m in months)

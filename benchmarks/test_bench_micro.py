@@ -1,0 +1,122 @@
+"""Micro-benchmarks: throughput of the hot substrate components.
+
+These use pytest-benchmark's normal repeated timing (they are cheap and
+deterministic): the JS tokenizer/parser, the eval unpacker, the URL
+matcher, element hiding, and feature extraction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.features import features_from_source
+from repro.filterlist.matcher import NetworkMatcher
+from repro.filterlist.parser import parse_filter_list
+from repro.filterlist.rules import NetworkRule
+from repro.jsast.parser import parse
+from repro.jsast.tokenizer import tokenize
+from repro.jsast.unpack import unpack_source
+from repro.synthesis.scripts import generate_anti_adblock, generate_benign
+from repro.web.adblocker import Adblocker
+from repro.web.dom import parse_html
+
+
+@pytest.fixture(scope="module")
+def sample_script():
+    return generate_anti_adblock(
+        np.random.default_rng(1), family="html_bait", pack_probability=0.0
+    )
+
+
+def test_micro_tokenizer(benchmark, sample_script):
+    tokens = benchmark(tokenize, sample_script)
+    assert tokens[-1].kind == "eof"
+
+
+def test_micro_parser(benchmark, sample_script):
+    program = benchmark(parse, sample_script)
+    assert program.body
+
+
+def test_micro_unpacker(benchmark):
+    source = "eval('var bait = document.createElement(\\'div\\'); bait.offsetHeight;');"
+    result = benchmark(unpack_source, source)
+    assert result.was_packed
+
+
+def test_micro_feature_extraction(benchmark, sample_script):
+    features = benchmark(features_from_source, sample_script, "keyword")
+    assert features
+
+
+def test_micro_url_matcher(benchmark):
+    rules = [NetworkRule.parse(f"||site{i}.example^$script") for i in range(2000)]
+    rules.append(NetworkRule.parse("||pagefair.com^$third-party"))
+    matcher = NetworkMatcher(rules)
+    urls = [f"http://host{i}.example/path/app.js" for i in range(50)] + [
+        "http://pagefair.com/static/measure.js"
+    ]
+
+    def match_all():
+        return sum(
+            1
+            for url in urls
+            if matcher.match(url, page_domain="news.com", resource_type="script", third_party=True).blocked
+        )
+
+    hits = benchmark(match_all)
+    assert hits == 1
+
+
+def test_micro_element_hiding(benchmark):
+    list_text = "\n".join(f"##.overlay-{i}" for i in range(200)) + "\n##.adblock-overlay\n"
+    adblocker = Adblocker([parse_filter_list(list_text)])
+    html = "<body>" + "".join(
+        f"<div class='box-{i}'>x</div>" for i in range(50)
+    ) + "<div class='adblock-overlay'>notice</div></body>"
+
+    def hide():
+        document = parse_html(html)
+        return adblocker.hide_elements(document, "http://x.com/")
+
+    triggered = benchmark(hide)
+    assert len(triggered) == 1
+
+
+def test_micro_benign_generation(benchmark):
+    rng = np.random.default_rng(2)
+    source = benchmark(generate_benign, rng)
+    assert source.strip()
+
+
+def test_micro_selector_engine(benchmark):
+    from repro.filterlist.selectors import parse_selector_group, select
+
+    document = parse_html(
+        "<body>" + "".join(f"<div class='c{i}'><span id='s{i}'>x</span></div>" for i in range(100)) + "</body>"
+    )
+
+    def query():
+        return len(select(document.root, "#s50")) + len(select(document.root, ".c99 span"))
+
+    assert benchmark(query) == 2
+
+
+def test_micro_codegen(benchmark, sample_script):
+    from repro.jsast.codegen import to_source
+
+    tree = parse(sample_script)
+    source = benchmark(to_source, tree)
+    assert source.strip()
+
+
+def test_micro_lint(benchmark):
+    from repro.filterlist.lint import lint_rules
+
+    rules = [NetworkRule.parse(f"||site{i}.example^") for i in range(300)]
+    rules.append(NetworkRule.parse("||site0.example/deep/path.js"))
+
+    def run_lint():
+        return lint_rules(rules)
+
+    report = benchmark(run_lint)
+    assert len(report.of_kind("shadowed")) == 1

@@ -1,0 +1,23 @@
+"""Benchmark: §3.3 overlap and exception-ratio accounting."""
+
+from conftest import run_once
+
+from repro.experiments import sec33
+from repro.experiments.context import AAK, CE
+
+
+def test_sec33_comparative_analysis(benchmark, ctx):
+    result = run_once(benchmark, lambda: sec33.run(ctx))
+    print()
+    print(sec33.render(result))
+
+    # The lists share only a modest fraction of their domains (paper: 282
+    # common out of ~1,400 each — roughly a fifth).
+    overlap = result.overlap.overlap_count
+    assert 0 < overlap < 0.6 * min(result.domain_counts.values())
+
+    # The Combined EasyList is the more exception-heavy list (paper: ≈4:1
+    # vs ≈1:1) — assert the ordering, not the exact ratios.
+    assert result.exceptions[CE].ratio > result.exceptions[AAK].ratio
+    assert result.exceptions[CE].ratio > 1.5
+    assert result.exceptions[AAK].ratio < 1.5

@@ -1,0 +1,30 @@
+"""Benchmark: §4.3 live-web coverage (the top-100K crawl, scaled)."""
+
+from conftest import run_once
+
+from repro.analysis.livecrawl import LiveCrawler
+from repro.experiments import sec43
+from repro.experiments.context import AAK, CE
+
+
+def test_sec43_live_crawl(benchmark, ctx):
+    live = run_once(benchmark, lambda: LiveCrawler(ctx.world, ctx.histories).crawl())
+    result = sec43.Sec43Result(live=live)
+    print()
+    print(sec43.render(result))
+
+    # Nearly all sites reachable (paper: 99,396 of 100K).
+    assert live.reachable >= 0.98 * live.crawled
+
+    # AAK's coverage is an order of magnitude above the Combined
+    # EasyList's (paper: 4,931 vs 182 → 5.0% vs 0.2%).
+    assert live.http_matches[AAK] >= 5 * max(live.http_matches[CE], 1)
+    assert 0.02 <= result.http_rate(AAK) <= 0.09
+    assert result.http_rate(CE) <= 0.01
+
+    # HTML matches negligible (paper: 11 and 15 of ~100K).
+    for name in (AAK, CE):
+        assert live.html_matches[name] <= max(0.002 * live.reachable, 3)
+
+    # Third-party share of AAK matches ≥ 90% (paper: 97%).
+    assert live.third_party_share(AAK) >= 0.9

@@ -1,0 +1,76 @@
+"""Extension benchmark: signature baseline vs. the ML detector.
+
+The paper contrasts its classifier with Storey et al.'s regex-based
+active adblocking. Measured head-to-head, the trade-off is precision:
+handcrafted signatures fire on benign ad-adjacent code (double-digit FP —
+exactly the site breakage that makes filter-list authors conservative),
+while the AST-feature classifier keeps FP near zero at higher TP on the
+era it was trained on. Under post-2016 distribution shift both degrade —
+signatures hold on to scripts that still *say* "adblock" in literals, the
+keyword-AST model holds on to scripts that still *probe* like v1.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.crossval import compute_metrics
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.core.signatures import SignatureDetector
+from repro.synthesis.scripts import (
+    generate_anti_adblock,
+    generate_benign,
+    html_bait_v2_script,
+    http_bait_v2_script,
+)
+
+
+def test_signatures_vs_ml(benchmark, ctx):
+    corpus = ctx.corpus
+    ml = AntiAdblockDetector(
+        DetectorConfig(feature_set="keyword", top_k=1000, seed=ctx.world.seed)
+    )
+    ml.fit(corpus.sources(), corpus.labels())
+    signatures = SignatureDetector()
+
+    rng = np.random.default_rng(ctx.world.seed + 1)
+    v1_positives = [generate_anti_adblock(rng, pack_probability=0.0) for _ in range(40)]
+    v2_positives = [html_bait_v2_script(rng) for _ in range(20)] + [
+        http_bait_v2_script(rng) for _ in range(20)
+    ]
+    negatives = [generate_benign(rng) for _ in range(160)]
+
+    def evaluate():
+        out = {}
+        for name, detector in (("signatures", signatures), ("ml", ml)):
+            v1 = compute_metrics(
+                [1] * len(v1_positives) + [0] * len(negatives),
+                detector.predict(v1_positives + negatives),
+            )
+            v2 = compute_metrics(
+                [1] * len(v2_positives) + [0] * len(negatives),
+                detector.predict(v2_positives + negatives),
+            )
+            out[name] = (v1, v2)
+        return out
+
+    results = run_once(benchmark, evaluate)
+    print()
+    for name, (v1, v2) in results.items():
+        print(
+            f"{name:>10}: v1-era tp={v1.tp_rate:.2f} fp={v1.fp_rate:.2f} | "
+            f"v2-era tp={v2.tp_rate:.2f} fp={v2.fp_rate:.2f}"
+        )
+
+    sig_v1, sig_v2 = results["signatures"]
+    ml_v1, ml_v2 = results["ml"]
+
+    # Both approaches work on the idioms they were built for.
+    assert sig_v1.tp_rate >= 0.7
+    assert ml_v1.tp_rate >= 0.8
+    # The classifier's advantage is precision: far fewer benign scripts
+    # misflagged than the handcrafted regexes.
+    assert ml_v1.fp_rate < sig_v1.fp_rate
+    assert ml_v1.tp_rate >= sig_v1.tp_rate
+    # Both degrade under the post-2016 shift.
+    assert sig_v2.tp_rate <= sig_v1.tp_rate
+    assert ml_v2.tp_rate <= ml_v1.tp_rate

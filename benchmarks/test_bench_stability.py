@@ -1,0 +1,39 @@
+"""Extension benchmark: seed stability of the headline findings.
+
+Regenerates small worlds under three seeds and asserts that the paper's
+qualitative conclusions hold in every one — i.e. nothing below depends on
+the default world seed.
+"""
+
+from conftest import run_once
+
+from repro.experiments import stability
+
+
+def test_findings_stable_across_seeds(benchmark, ctx):
+    result = run_once(benchmark, lambda: stability.run(ctx, n_sites=200))
+    print()
+    print(stability.render(result))
+
+    # 1. AAK coverage dominates the Combined EasyList's everywhere.
+    assert result.holds_everywhere(
+        lambda o: o.aak_final_http > o.ce_final_http
+    )
+    assert result.holds_everywhere(lambda o: o.coverage_factor >= 3.0)
+
+    # 2. The Combined EasyList is the exception-heavy list everywhere.
+    assert result.holds_everywhere(
+        lambda o: o.ce_exception_ratio > o.aak_exception_ratio
+    )
+
+    # 3. The Combined EasyList lists overlapping domains first more often
+    #    (aggregated: per-seed overlaps are ~15 domains, coin-flip noisy).
+    total_ce_first = sum(o.ce_first for o in result.outcomes)
+    total_aak_first = sum(o.aak_first for o in result.outcomes)
+    assert total_ce_first >= total_aak_first
+
+    # 4. The detector's operating band holds: high TP, single-digit FP.
+    assert result.holds_everywhere(lambda o: o.detector_tp >= 0.80)
+    assert result.holds_everywhere(lambda o: o.detector_fp <= 0.12)
+    mean_tp = sum(o.detector_tp for o in result.outcomes) / len(result.outcomes)
+    assert mean_tp >= 0.85

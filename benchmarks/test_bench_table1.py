@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 1 (filter-list domains by Alexa rank)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+from repro.experiments.context import AAK, CE
+
+
+def test_table1_rank_distribution(benchmark, ctx):
+    result = run_once(benchmark, lambda: table1.run(ctx))
+    print()
+    print(table1.render(result))
+
+    for name in (AAK, CE):
+        distribution = result.distributions[name]
+        # Every bucket populated; tail (>100K ranks) holds the majority,
+        # as in the paper's Table 1.
+        assert all(count > 0 for count in distribution.counts.values())
+        tail = distribution.counts["100K-1M"] + distribution.counts[">1M"]
+        assert tail > distribution.total / 3
+
+    # The two lists have comparable inventory sizes (1,415 vs 1,394).
+    totals = {name: d.total for name, d in result.distributions.items()}
+    assert 0.7 < totals[AAK] / totals[CE] < 1.5

@@ -1,0 +1,31 @@
+"""Benchmark: Table 2 (features extracted from BlockAdBlock JavaScript)."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_feature_extraction(benchmark, ctx):
+    result = run_once(benchmark, lambda: table2.run(ctx))
+    print()
+    print(table2.render(result))
+
+    memberships = result.memberships
+
+    # The canonical Table 2 rows exist with the right set memberships.
+    assert memberships["MemberExpression:BlockAdBlock"] == {"all"}
+    assert memberships["MemberExpression:_creatBait"] == {"all"}
+    assert "keyword" in memberships["Identifier:clientHeight"]
+    assert "keyword" in memberships["Identifier:offsetWidth"]
+    assert "literal" in memberships["Literal:abp"]
+    assert "literal" in memberships["Literal:0"]
+
+    # Author identifiers are never keyword features (and identifier
+    # occurrences are "all"-only; the same text can separately occur as a
+    # string literal, e.g. the '_creatBait' debug-log argument).
+    for feature, sets in memberships.items():
+        context, text = feature.split(":", 1)
+        if text in ("_creatBait", "_checkBait", "BlockAdBlock"):
+            assert "keyword" not in sets
+            if context in ("Identifier", "MemberExpression", "FunctionDeclaration"):
+                assert "all" in sets

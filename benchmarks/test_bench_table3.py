@@ -1,0 +1,37 @@
+"""Benchmark: Table 3 (classifier accuracy across feature sets/classifiers).
+
+The heaviest benchmark: 18 configurations × 10-fold cross-validation over
+the list-labeled corpus.
+"""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_classifier_accuracy(benchmark, ctx):
+    result = run_once(benchmark, lambda: table3.run(ctx))
+    print()
+    print(table3.render(result))
+
+    # Corpus shape: ~10:1 imbalance (paper: 372 positives, 10:1).
+    assert result.n_positives > 0
+    assert 5 <= result.n_negatives / result.n_positives <= 12
+
+    tp_rates = [m.tp_rate for m in result.metrics.values()]
+    fp_rates = [m.fp_rate for m in result.metrics.values()]
+
+    # TP rate high across all configurations (paper: ≥ 99.2%). At the
+    # default small scale each missed positive costs ~2.6% of TP, so the
+    # worst-config floor is loose; the median must stay high, and at
+    # REPRO_SCALE=0.2 every config clears 96% (see EXPERIMENTS.md).
+    tp_sorted = sorted(tp_rates)
+    assert tp_sorted[0] >= 0.80
+    assert tp_sorted[len(tp_sorted) // 2] >= 0.90
+    # FP rate in the single-digit band (paper: 3.2%–9.1%).
+    assert max(fp_rates) <= 0.12
+
+    # The best configuration reaches the paper's headline operating point.
+    (_, best_metrics) = result.best()
+    assert best_metrics.tp_rate >= 0.95
+    assert best_metrics.fp_rate <= 0.08

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Filter-list playground: the paper's §2.1 code listings, executable.
+
+Walks through the Adblock Plus rule grammar the paper explains — HTTP
+request rules, HTML element rules, exception rules — and shows how the
+matching engine applies them, including the numerama.com bait pattern
+(paper Codes 7–8) and the pagefair.com vendor rules (Codes 6 and 10).
+
+Run:  python examples/filter_list_playground.py
+"""
+
+from repro.filterlist.matcher import NetworkMatcher
+from repro.filterlist.parser import parse_filter_list
+from repro.web.adblocker import Adblocker
+from repro.web.dom import parse_html
+
+PAPER_RULES = """[Adblock Plus 2.0]
+! --- HTTP request filter rules (paper Code 1) ---
+||example1.com
+||example1.com$script
+||example1.com$script,domain=example2.com
+/example.js$script,domain=example2.com
+! --- HTML element filter rules (paper Code 2) ---
+example.com###examplebanner
+example.com##.examplebanner
+###examplebanner
+! --- Anti-adblock rules (paper Code 6) ---
+||pagefair.com^$third-party
+smashboards.com###noticeMain
+! --- The numerama bait pattern (paper Codes 7-8) ---
+/ads.js?
+@@||numerama.com/ads.js
+"""
+
+
+def check(matcher, url, **kwargs):
+    result = matcher.match(url, **kwargs)
+    state = "BLOCKED " if result.blocked else "allowed "
+    via = ""
+    if result.blocked:
+        via = f"(rule: {result.rule.raw})"
+    elif result.exception is not None:
+        via = f"(exception: {result.exception.raw})"
+    print(f"  {state} {url} {via}")
+
+
+def main() -> None:
+    parsed = parse_filter_list(PAPER_RULES, name="paper-rules")
+    print(f"parsed {len(parsed.network_rules)} HTTP rules, "
+          f"{len(parsed.element_rules)} HTML rules, "
+          f"{len(parsed.errors)} errors")
+
+    matcher = NetworkMatcher(parsed.network_rules)
+
+    print("\nHTTP request matching:")
+    check(matcher, "http://example1.com/banner.png")
+    check(matcher, "http://cdn.example1.com/lib.js")
+    check(
+        matcher,
+        "http://example2.com/example.js",
+        page_domain="example2.com",
+        resource_type="script",
+    )
+    check(
+        matcher,
+        "http://pagefair.com/measure.js",
+        page_domain="news.com",
+        third_party=True,
+    )
+    check(
+        matcher,
+        "http://pagefair.com/measure.js",
+        page_domain="pagefair.com",
+        third_party=False,
+    )
+
+    print("\nThe numerama bait pattern — /ads.js? is blocked everywhere")
+    print("except on numerama.com, where blocking it would *trigger* the")
+    print("site's anti-adblock check (canRunAds stays undefined):")
+    check(matcher, "http://random-site.com/static/ads.js?v=1")
+    check(matcher, "http://numerama.com/ads.js?v=1")
+
+    print("\nHTML element hiding:")
+    adblocker = Adblocker([parsed])
+    page = parse_html(
+        """
+        <body>
+          <div id="examplebanner">generic banner</div>
+          <div id="noticeMain">Please disable your adblocker!</div>
+          <div id="content">the article</div>
+        </body>
+        """
+    )
+    triggered = adblocker.hide_elements(page, "http://smashboards.com/")
+    for rule in triggered:
+        print(f"  triggered: {rule.raw}")
+    visible = [e.attrs.get("id") for e in page.visible_elements() if e.attrs.get("id")]
+    print(f"  elements still visible: {visible}")
+
+
+if __name__ == "__main__":
+    main()

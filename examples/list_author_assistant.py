@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""The filter-list author's assistant — the paper's proposed §5 workflows.
+
+Offline scenario: periodically crawl popular sites, run the trained model
+over every script, and aggregate detections into *candidate* filter rules
+for human review (with the supporting evidence that review needs).
+
+Online scenario: ship the model inside an adblocker that scans scripts on
+the fly, neutralising anti-adblockers no rule knows yet.
+
+Run:  python examples/list_author_assistant.py
+"""
+
+from repro.core.corpus import build_corpus
+from repro.core.online import OnlineAdblocker
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.core.rulegen import detect_and_generate
+from repro.filterlist.matcher import NetworkMatcher
+from repro.synthesis.listgen import generate_all_lists
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+def main() -> None:
+    world = SyntheticWorld(WorldConfig(n_sites=350, live_top=700))
+    lists = generate_all_lists(world)
+    aak = lists["aak"].latest().filter_list
+
+    # Train on the list-labeled corpus (the paper's protocol).
+    pages = [world.snapshot(site, world.config.end) for site in world.sites]
+    corpus = build_corpus(pages, NetworkMatcher(aak.network_rules), seed=world.seed)
+    detector = AntiAdblockDetector(DetectorConfig(feature_set="keyword", top_k=1000))
+    detector.fit(corpus.sources(), corpus.labels())
+    print(
+        f"trained on {len(corpus.positives)} anti-adblock / "
+        f"{len(corpus.negatives)} benign scripts"
+    )
+
+    # ---- Offline: candidate rules for the next list revision ----------------
+    generated, detections = detect_and_generate(detector, pages, vendor_threshold=3)
+    print(f"\nscan: {len(detections)} scripts flagged -> {len(generated)} candidate rules")
+
+    # Semantic dedup: drop candidates AAK already covers (textually or via
+    # a broader rule that shadows them).
+    from repro.filterlist.lint import deduplicate_against
+
+    kept, dropped = deduplicate_against(generated.rules, aak.network_rules)
+    print(
+        f"after lint against AAK: {len(kept)} genuinely new, "
+        f"{len(dropped)} already covered"
+    )
+    for finding in dropped[:3]:
+        print(f"  covered: {finding.describe()}")
+
+    print("\nNEW candidate rules for review (top 10 by supporting evidence):")
+    kept_raws = {rule.raw for rule in kept}
+    ranked = sorted(
+        ((raw, sites) for raw, sites in generated.evidence.items() if raw in kept_raws),
+        key=lambda kv: -len(kv[1]),
+    )
+    for raw, sites in ranked[:10]:
+        print(f"  {raw}   (seen on {len(sites)} site(s))")
+
+    # ---- Online: the model inside an adblocker -------------------------------
+    online = OnlineAdblocker(detector, filter_lists=[aak])
+    neutralised = 0
+    model_only = 0
+    adopters = [s for s in world.sites if s.deployed_by(world.config.end)]
+    for site in adopters:
+        snapshot = world.snapshot(site, world.config.end)
+        result = online.visit(snapshot)
+        if online.blocks_anti_adblocker(snapshot):
+            neutralised += 1
+            if result.blocked_by_model and not result.blocked_by_rules:
+                model_only += 1
+    print(
+        f"\nonline adblocker: neutralised {neutralised}/{len(adopters)} "
+        f"anti-adblocking sites ({model_only} reachable only through the model)"
+    )
+    print(f"verdict cache after the crawl: {online.cache_size} unique scripts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Collect experiment artifacts for EXPERIMENTS.md.
+
+Usage:  REPRO_SCALE=0.2 python results/collect.py [experiment ...]
+
+With no arguments, runs every experiment. Writes to stdout; redirect into
+``results/artifacts-scale-<scale>.txt``.
+"""
+
+import importlib
+import resource
+import sys
+import time
+
+ALL = (
+    "fig1",
+    "table1",
+    "fig2",
+    "sec33",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "sec43",
+    "table2",
+    "table3",
+    "sec5live",
+)
+
+
+def main() -> None:
+    """Run the requested experiments and print their artifacts."""
+    from repro.experiments import shared_context
+
+    names = sys.argv[1:] or list(ALL)
+    ctx = shared_context()
+    started = time.time()
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        stage_start = time.time()
+        print("=" * 72)
+        print(f"### {name}")
+        print(module.render(module.run(ctx)))
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1e6
+        print(f"[{name} took {time.time() - stage_start:.1f}s, peak RSS {rss:.1f} GB]")
+        print(flush=True)
+    print(f"TOTAL {time.time() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

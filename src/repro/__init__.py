@@ -1,0 +1,28 @@
+"""repro — reproduction of "The Ad Wars" (IMC 2017).
+
+A full-system reproduction of *The Ad Wars: Retrospective Measurement and
+Analysis of Anti-Adblock Filter Lists* (Iqbal, Shafiq, Qian; IMC '17),
+including every substrate the paper depends on:
+
+- :mod:`repro.jsast` — JavaScript tokenizer/parser/AST/eval-unpacker
+- :mod:`repro.filterlist` — Adblock Plus filter-list engine
+- :mod:`repro.web` — DOM/HTTP/HAR/browser/adblocker web substrate
+- :mod:`repro.wayback` — Wayback Machine simulator
+- :mod:`repro.synthesis` — synthetic web + filter-list history generator
+- :mod:`repro.core` — the paper's ML anti-adblock script detector (§5)
+- :mod:`repro.analysis` — the measurement pipelines (§3–§4)
+- :mod:`repro.experiments` — one driver per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "jsast",
+    "filterlist",
+    "web",
+    "wayback",
+    "synthesis",
+    "core",
+    "analysis",
+    "experiments",
+]

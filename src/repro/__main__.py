@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro [experiment ...]``.
+
+Runs experiment drivers by name and prints their artifacts; with no
+arguments, lists what is available. Scale comes from ``REPRO_SCALE``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+EXPERIMENTS = (
+    "fig1",
+    "table1",
+    "fig2",
+    "sec33",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "sec43",
+    "table2",
+    "table3",
+    "sec5live",
+    "stability",
+)
+
+
+def main(argv: list) -> int:
+    """Dispatch experiment names from the command line."""
+    names = [name for name in argv if not name.startswith("-")]
+    if not names or "--help" in argv:
+        print(__doc__)
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("\nexample: REPRO_SCALE=0.2 python -m repro fig6 sec43")
+        return 0
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    from repro.experiments.context import shared_context
+
+    ctx = shared_context()
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        print("=" * 72)
+        print(module.render(module.run(ctx)))
+    return 0
+
+
+def console_main() -> None:
+    """Console-script entry point (`repro-experiments`)."""
+    raise SystemExit(main(sys.argv[1:]))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

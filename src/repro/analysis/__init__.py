@@ -1,0 +1,57 @@
+"""Measurement pipelines reproducing §3 and §4 of the paper."""
+
+from .comparison import (
+    ExceptionStats,
+    OverlapAnalysis,
+    RankDistribution,
+    category_distribution,
+    cdf,
+    exception_stats,
+    overlap_analysis,
+    rank_distribution,
+)
+from .coverage import CoverageAnalyzer, CoverageResult, missing_snapshot_series
+from .evolution import (
+    CompositionStats,
+    EvolutionSeries,
+    composition_stats,
+    evolution_series,
+    update_cadence,
+)
+from .livecrawl import LiveCrawler, LiveCrawlResult
+from .robustness import Interval, bootstrap_mean, bootstrap_proportion, bootstrap_statistic, seed_sensitivity
+from .charts import cdf_chart, line_chart
+from .report import percent, render_cdf, render_multi_series, render_series, render_table
+
+__all__ = [
+    "ExceptionStats",
+    "OverlapAnalysis",
+    "RankDistribution",
+    "category_distribution",
+    "cdf",
+    "exception_stats",
+    "overlap_analysis",
+    "rank_distribution",
+    "CoverageAnalyzer",
+    "CoverageResult",
+    "missing_snapshot_series",
+    "CompositionStats",
+    "EvolutionSeries",
+    "composition_stats",
+    "evolution_series",
+    "update_cadence",
+    "LiveCrawler",
+    "LiveCrawlResult",
+    "Interval",
+    "bootstrap_mean",
+    "bootstrap_proportion",
+    "bootstrap_statistic",
+    "seed_sensitivity",
+    "cdf_chart",
+    "line_chart",
+    "percent",
+    "render_cdf",
+    "render_multi_series",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,116 @@
+"""ASCII charts for the paper's figures.
+
+No plotting stack is available offline, so the figure experiments can
+render their series as terminal line charts: multiple series with distinct
+markers, a scaled y-axis, and date ticks on the x-axis. Good enough to
+*see* Figure 6's AAK-vs-EasyList divergence or Figure 5's declining
+outdated counts.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List, Sequence, Tuple
+
+#: Series markers, assigned in order.
+MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    all_series: Dict[str, Dict[date, int]],
+    title: str = "",
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """Render aligned month→count series as an ASCII line chart."""
+    months = sorted({m for series in all_series.values() for m in series})
+    if not months:
+        return title or "(no data)"
+    names = list(all_series)
+    columns = _resample_columns(months, width)
+    values = {
+        name: [all_series[name].get(month, 0) for month in columns]
+        for name in names
+    }
+    peak = max((max(vals) for vals in values.values()), default=0)
+    peak = max(peak, 1)
+
+    grid = [[" "] * len(columns) for _ in range(height)]
+    for index, name in enumerate(names):
+        marker = MARKERS[index % len(MARKERS)]
+        for col, value in enumerate(values[name]):
+            row = height - 1 - round((height - 1) * value / peak)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+
+    label_width = len(str(peak))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        level = round(peak * (height - 1 - row) / (height - 1))
+        label = str(level).rjust(label_width) if row % 4 == 0 or row == height - 1 else " " * label_width
+        lines.append(f"{label} |" + "".join(grid[row]))
+    lines.append(" " * label_width + " +" + "-" * len(columns))
+    lines.append(" " * label_width + "  " + _x_axis(columns))
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def _resample_columns(months: Sequence[date], width: int) -> List[date]:
+    """Pick ≤ width evenly spaced months (always including the last)."""
+    if len(months) <= width:
+        return list(months)
+    step = (len(months) - 1) / (width - 1)
+    return [months[round(i * step)] for i in range(width)]
+
+
+def _x_axis(columns: Sequence[date]) -> str:
+    """Year labels positioned under their first column."""
+    axis = [" "] * len(columns)
+    seen_years = set()
+    for index, month in enumerate(columns):
+        if month.year not in seen_years and index + 4 <= len(columns):
+            seen_years.add(month.year)
+            for offset, ch in enumerate(str(month.year)):
+                if axis[index + offset] == " ":
+                    axis[index + offset] = ch
+    return "".join(axis)
+
+
+def cdf_chart(
+    points: Sequence[Tuple[int, float]],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render a CDF ((x, probability) pairs) as an ASCII curve."""
+    if not points:
+        return title or "(no data)"
+    xs = [x for x, _ in points]
+    grid = [[" "] * width for _ in range(height)]
+    x_min, x_max = min(xs), max(xs)
+    span = max(x_max - x_min, 1)
+    for x, probability in points:
+        col = round((width - 1) * (x - x_min) / span)
+        row = height - 1 - round((height - 1) * probability)
+        grid[row][col] = "*"
+    # Connect horizontally for readability.
+    for row_cells in grid:
+        filled = [i for i, c in enumerate(row_cells) if c == "*"]
+        for a, b in zip(filled, filled[1:]):
+            for i in range(a + 1, b):
+                row_cells[i] = "-"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        probability = (height - 1 - row) / (height - 1)
+        label = f"{probability:4.0%}" if row % 3 == 0 or row == height - 1 else "    "
+        lines.append(f"{label} |" + "".join(grid[row]))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {x_min:<{width // 2 - 3}}{x_max:>{width // 2 - 3}} (days)")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""§3.3 — comparative analysis of the two anti-adblock lists.
+
+Covers Table 1 (targeted domains by Alexa rank bucket), Figure 2 (domain
+categories), the exception/non-exception domain ratios, the overlap
+accounting (282 common domains; who listed each first), and Figure 3 (the
+CDF of addition-time differences for overlapping domains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..filterlist.classify import domains_by_exception_status, targeted_domains
+from ..filterlist.history import FilterListHistory
+from ..synthesis.alexa import DomainPopulation, bucket_for_rank, RANK_BUCKETS
+from ..synthesis.categories import CategorizationService
+
+
+@dataclass
+class RankDistribution:
+    """Table 1 row set for one list."""
+
+    name: str
+    counts: Dict[str, int] = field(default_factory=dict)
+    unranked: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total domains across all rank buckets plus unranked ones."""
+        return sum(self.counts.values()) + self.unranked
+
+
+def rank_distribution(
+    history: FilterListHistory,
+    population: DomainPopulation,
+    until: Optional[date] = None,
+) -> RankDistribution:
+    """Bucket a list's targeted domains by Alexa rank (Table 1)."""
+    revision = history.version_at(until) if until is not None else history.latest()
+    domains = targeted_domains(revision.rules) if revision is not None else []
+    result = RankDistribution(
+        name=history.name, counts={bucket: 0 for bucket, _, _ in RANK_BUCKETS}
+    )
+    for domain in domains:
+        rank = population.rank_of(domain)
+        if rank is None:
+            result.unranked += 1
+        else:
+            result.counts[bucket_for_rank(rank)] += 1
+    return result
+
+
+def category_distribution(
+    history: FilterListHistory,
+    service: CategorizationService,
+    until: Optional[date] = None,
+) -> Dict[str, int]:
+    """Figure 2 data: category counts for a list's targeted domains."""
+    revision = history.version_at(until) if until is not None else history.latest()
+    domains = targeted_domains(revision.rules) if revision is not None else []
+    return service.distribution(domains)
+
+
+@dataclass
+class ExceptionStats:
+    """§3.3 exception/non-exception domain accounting for one list."""
+
+    name: str
+    exception_domains: int
+    non_exception_domains: int
+
+    @property
+    def ratio(self) -> float:
+        """Exception : non-exception, as a single float."""
+        if self.non_exception_domains == 0:
+            return float("inf")
+        return self.exception_domains / self.non_exception_domains
+
+
+def exception_stats(
+    history: FilterListHistory, until: Optional[date] = None
+) -> ExceptionStats:
+    """Exception vs non-exception domain counts for a list's latest rules."""
+    revision = history.version_at(until) if until is not None else history.latest()
+    rules = revision.rules if revision is not None else []
+    split = domains_by_exception_status(rules)
+    return ExceptionStats(
+        name=history.name,
+        exception_domains=len(split["exception"]),
+        non_exception_domains=len(split["non_exception"]),
+    )
+
+
+@dataclass
+class OverlapAnalysis:
+    """§3.3 overlap accounting and Figure 3's distribution."""
+
+    common_domains: List[str] = field(default_factory=list)
+    first_in_a: int = 0
+    first_in_b: int = 0
+    same_day: int = 0
+    #: (domain, date_a - date_b in days); negative = A listed it first.
+    differences_days: List[int] = field(default_factory=list)
+
+    @property
+    def overlap_count(self) -> int:
+        """Number of domains common to both lists."""
+        return len(self.common_domains)
+
+
+def overlap_analysis(
+    history_a: FilterListHistory, history_b: FilterListHistory
+) -> OverlapAnalysis:
+    """Compare domain addition dates between two lists.
+
+    The paper's instance: A = Combined EasyList, B = Anti-Adblock Killer;
+    ``first_in_a`` then counts domains the Combined EasyList added first.
+    """
+    first_a = history_a.domain_first_appearance()
+    first_b = history_b.domain_first_appearance()
+    result = OverlapAnalysis()
+    for domain in sorted(set(first_a) & set(first_b)):
+        result.common_domains.append(domain)
+        delta = (first_a[domain] - first_b[domain]).days
+        result.differences_days.append(delta)
+        if delta < 0:
+            result.first_in_a += 1
+        elif delta > 0:
+            result.first_in_b += 1
+        else:
+            result.same_day += 1
+    return result
+
+
+def cdf(values: List[int], points: Optional[List[int]] = None) -> List[Tuple[int, float]]:
+    """Empirical CDF evaluated at ``points`` (Figures 3 and 7).
+
+    Defaults to the paper's x-axis: -1080 to 1080 days in 180-day steps.
+    """
+    if points is None:
+        points = list(range(-1080, 1081, 180))
+    if not values:
+        return [(point, 0.0) for point in points]
+    data = np.sort(np.asarray(values))
+    return [
+        (point, float(np.searchsorted(data, point, side="right")) / len(data))
+        for point in points
+    ]

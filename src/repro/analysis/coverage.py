@@ -1,0 +1,291 @@
+"""§4 — retrospective filter-list coverage over the archived crawl.
+
+Implements the paper's matching pipeline: per crawled month, truncate the
+Wayback prefixes from each site's HAR request URLs and evaluate the
+*contemporaneous* revision of each filter list (HTTP request rules); open
+the stored HTML in the simulated browser with the adblocker subscribed to
+the same revision (HTML element rules). Produces Figure 6(a)/(b) series,
+Figure 5's exclusion accounting, and Figure 7's rule-addition-delay CDF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+from ..filterlist.history import FilterListHistory, Revision
+from ..filterlist.matcher import NetworkMatcher
+from ..filterlist.parser import FilterList
+from ..filterlist.rules import ElementRule
+from ..wayback.crawler import CrawlRecord, CrawlResult
+from ..wayback.rewrite import truncate_wayback
+from ..web.adblocker import Adblocker
+from ..web.dom import parse_html
+from ..web.url import is_third_party, resource_type_from_url
+
+
+@dataclass
+class CoverageResult:
+    """Everything §4.2 reports for one crawl × a set of list histories."""
+
+    #: list name -> month -> number of sites triggering HTTP rules
+    http_series: Dict[str, Dict[date, int]] = field(default_factory=dict)
+    #: list name -> month -> number of sites triggering HTML rules
+    html_series: Dict[str, Dict[date, int]] = field(default_factory=dict)
+    #: list name -> domain -> first month it was detected (HTTP or HTML)
+    first_detected: Dict[str, Dict[str, date]] = field(default_factory=dict)
+    #: domain -> first month anti-adblock requests were observed at all
+    site_first_seen: Dict[str, date] = field(default_factory=dict)
+    #: list name -> domain -> fraction/flag: detected via third-party URL
+    third_party_detection: Dict[str, Dict[str, bool]] = field(default_factory=dict)
+
+    def third_party_share(self, list_name: str) -> float:
+        """Share of a list's detected sites whose match was third-party."""
+        flags = self.third_party_detection.get(list_name, {})
+        if not flags:
+            return 0.0
+        return sum(1 for v in flags.values() if v) / len(flags)
+
+
+class CoverageAnalyzer:
+    """Replays contemporaneous filter-list versions over a crawl."""
+
+    def __init__(self, histories: Dict[str, FilterListHistory]) -> None:
+        self.histories = histories
+        self._matcher_cache: Dict[Tuple[str, date], NetworkMatcher] = {}
+        self._adblocker_cache: Dict[Tuple[str, date], Adblocker] = {}
+
+    # -- caches -------------------------------------------------------------
+
+    def _revision(self, list_name: str, month: date) -> Optional[Revision]:
+        return self.histories[list_name].version_at(month)
+
+    def _matcher(self, list_name: str, revision: Revision) -> NetworkMatcher:
+        key = (list_name, revision.date)
+        if key not in self._matcher_cache:
+            self._matcher_cache[key] = NetworkMatcher(revision.filter_list.network_rules)
+        return self._matcher_cache[key]
+
+    def _adblocker(self, list_name: str, revision: Revision) -> Adblocker:
+        key = (list_name, revision.date)
+        if key not in self._adblocker_cache:
+            element_only = FilterList(name=list_name)
+            element_only.rules = [
+                parsed
+                for parsed in revision.filter_list.rules
+                if isinstance(parsed.rule, ElementRule)
+            ]
+            self._adblocker_cache[key] = Adblocker([element_only])
+        return self._adblocker_cache[key]
+
+    # -- matching one record ----------------------------------------------------
+
+    @staticmethod
+    def record_urls(record: CrawlRecord) -> List[str]:
+        """Original request URLs of a crawl record (archive prefix stripped)."""
+        if record.har is None:
+            return []
+        return [truncate_wayback(url) for url in record.har.request_urls()]
+
+    def http_match(
+        self, list_name: str, record: CrawlRecord
+    ) -> Optional[Tuple[str, bool]]:
+        """First URL of the record blocked by the contemporaneous list.
+
+        Returns ``(matched_url, is_third_party)`` or ``None``. A website is
+        anti-adblocking for a list when any of its request URLs is blocked
+        by the list's HTTP rules (§4.2).
+        """
+        revision = self._revision(list_name, record.month)
+        if revision is None:
+            return None
+        matcher = self._matcher(list_name, revision)
+        page_domain = record.domain
+        for url in self.record_urls(record):
+            third_party = is_third_party(url, page_domain)
+            result = matcher.match(
+                url,
+                page_domain=page_domain,
+                resource_type=resource_type_from_url(url, default="script"),
+                third_party=third_party,
+            )
+            if result.blocked:
+                return url, third_party
+        return None
+
+    def html_match(
+        self, list_name: str, record: CrawlRecord, document=None
+    ) -> bool:
+        """Whether the stored page triggers the list's HTML element rules.
+
+        ``document`` lets callers share one parsed DOM across lists (the
+        hiding flags it accumulates do not affect trigger detection).
+        """
+        revision = self._revision(list_name, record.month)
+        if revision is None or not record.html:
+            return False
+        adblocker = self._adblocker(list_name, revision)
+        if document is None:
+            document = parse_html(record.html)
+        triggered = adblocker.hide_elements(document, f"http://{record.domain}/")
+        return bool(triggered)
+
+    # -- full analysis --------------------------------------------------------------
+
+    def analyze(self, crawl: CrawlResult, html_rules: bool = True) -> CoverageResult:
+        """Run the §4.2 pipeline over every usable crawl record."""
+        result = CoverageResult()
+        final_matchers = {
+            name: NetworkMatcher(history.latest().filter_list.network_rules)
+            for name, history in self.histories.items()
+            if history.latest() is not None
+        }
+        for name in self.histories:
+            result.http_series[name] = {}
+            result.html_series[name] = {}
+            result.first_detected[name] = {}
+            result.third_party_detection[name] = {}
+
+        for record in crawl.records:
+            if not record.usable:
+                continue
+            urls = self.record_urls(record)
+            # Anti-adblock *presence* proxy: any request matching any rule
+            # (either polarity) of any final list version — used for
+            # Figure 7's "anti-adblocker added to the website" dates.
+            if record.domain not in result.site_first_seen:
+                for name, matcher in final_matchers.items():
+                    if self._any_match(matcher, record.domain, urls):
+                        result.site_first_seen.setdefault(record.domain, record.month)
+                        break
+            document = (
+                parse_html(record.html) if html_rules and record.html else None
+            )
+            for name in self.histories:
+                matched = self.http_match(name, record)
+                html_hit = html_rules and self.html_match(name, record, document)
+                if matched is not None:
+                    result.http_series[name][record.month] = (
+                        result.http_series[name].get(record.month, 0) + 1
+                    )
+                if html_hit:
+                    result.html_series[name][record.month] = (
+                        result.html_series[name].get(record.month, 0) + 1
+                    )
+                if matched is not None or html_hit:
+                    result.first_detected[name].setdefault(record.domain, record.month)
+                    if matched is not None:
+                        result.third_party_detection[name].setdefault(
+                            record.domain, matched[1]
+                        )
+        # Months with zero matches still need series entries.
+        months = sorted({record.month for record in crawl.records})
+        for name in self.histories:
+            for month in months:
+                result.http_series[name].setdefault(month, 0)
+                result.html_series[name].setdefault(month, 0)
+        return result
+
+    @staticmethod
+    def _any_blocked(matcher: NetworkMatcher, page_domain: str, urls: List[str]) -> bool:
+        for url in urls:
+            if matcher.match(
+                url,
+                page_domain=page_domain,
+                resource_type=resource_type_from_url(url, default="script"),
+                third_party=is_third_party(url, page_domain),
+            ).blocked:
+                return True
+        return False
+
+    @staticmethod
+    def _any_match(matcher: NetworkMatcher, page_domain: str, urls: List[str]) -> bool:
+        """Any-polarity matching: blocking *or* exception rules count.
+
+        Figure 7 asks when a list first *defined a rule for* an
+        anti-adblocker; an exception rule whitelisting the site's bait (the
+        numerama pattern) is such a rule even though it never blocks.
+        """
+        for url in urls:
+            if matcher.first_match(
+                url,
+                page_domain=page_domain,
+                resource_type=resource_type_from_url(url, default="script"),
+                third_party=is_third_party(url, page_domain),
+            ) is not None:
+                return True
+        return False
+
+    # -- Figure 7 ------------------------------------------------------------------
+
+    def detection_delays(
+        self, crawl: CrawlResult, coverage: Optional[CoverageResult] = None
+    ) -> Dict[str, List[int]]:
+        """Days between a site's anti-adblock appearance and each list's
+        earliest matching revision (negative = rule predated the site).
+        """
+        if coverage is None:
+            coverage = self.analyze(crawl, html_rules=False)
+        # The final request set per domain (union over usable months).
+        urls_by_domain: Dict[str, List[str]] = {}
+        for record in crawl.records:
+            if record.usable:
+                urls = self.record_urls(record)
+                urls_by_domain.setdefault(record.domain, [])
+                known = set(urls_by_domain[record.domain])
+                urls_by_domain[record.domain].extend(
+                    url for url in urls if url not in known
+                )
+        delays: Dict[str, List[int]] = {}
+        for name, history in self.histories.items():
+            delays[name] = []
+            latest = history.latest()
+            if latest is None:
+                continue
+            final_matcher = self._matcher(name, latest)
+            for domain, first_seen in coverage.site_first_seen.items():
+                urls = urls_by_domain.get(domain, [])
+                if not self._any_match(final_matcher, domain, urls):
+                    continue
+                rule_date = self._earliest_matching_revision(
+                    name, history, domain, urls
+                )
+                if rule_date is not None:
+                    delays[name].append((rule_date - first_seen).days)
+        return delays
+
+    def _earliest_matching_revision(
+        self,
+        list_name: str,
+        history: FilterListHistory,
+        domain: str,
+        urls: List[str],
+    ) -> Optional[date]:
+        """Binary-search the revision history for the first matching version."""
+        revisions = history.revisions
+        low, high = 0, len(revisions) - 1
+        if high < 0:
+            return None
+        if not self._revision_matches(list_name, revisions[high], domain, urls):
+            return None
+        earliest: Optional[date] = None
+        while low <= high:
+            mid = (low + high) // 2
+            if self._revision_matches(list_name, revisions[mid], domain, urls):
+                earliest = revisions[mid].date
+                high = mid - 1
+            else:
+                low = mid + 1
+        return earliest
+
+    def _revision_matches(
+        self, list_name: str, revision: Revision, domain: str, urls: List[str]
+    ) -> bool:
+        matcher = self._matcher(list_name, revision)
+        return self._any_match(matcher, domain, urls)
+
+
+def missing_snapshot_series(crawl: CrawlResult) -> Dict[date, Dict[str, int]]:
+    """Figure 5: per-month partial / not-archived / outdated counts."""
+    return crawl.missing_counts_by_month()

@@ -1,0 +1,102 @@
+"""§3.2 — temporal evolution of anti-adblock filter lists (Figure 1).
+
+Produces, for each list history, the per-revision rule counts broken down
+by the six Figure 1 rule types, plus the composition percentages and
+update-rate statistics quoted in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+from ..filterlist.classify import RULE_TYPE_ORDER, RuleType, http_html_split, rule_type_percentages
+from ..filterlist.history import FilterListHistory
+
+
+@dataclass
+class EvolutionSeries:
+    """Figure 1 data for one filter list."""
+
+    name: str
+    dates: List[date] = field(default_factory=list)
+    #: series[rule_type][i] pairs with dates[i]
+    series: Dict[RuleType, List[int]] = field(default_factory=dict)
+    totals: List[int] = field(default_factory=list)
+
+    def final_counts(self) -> Dict[RuleType, int]:
+        """Rule-type counts at the last revision in the window."""
+        return {rule_type: values[-1] if values else 0 for rule_type, values in self.series.items()}
+
+    def initial_total(self) -> int:
+        """Total rules at the first revision."""
+        return self.totals[0] if self.totals else 0
+
+    def final_total(self) -> int:
+        """Total rules at the last revision."""
+        return self.totals[-1] if self.totals else 0
+
+
+def evolution_series(
+    history: FilterListHistory, until: Optional[date] = None
+) -> EvolutionSeries:
+    """Rule-type counts per revision (optionally truncated at ``until``)."""
+    result = EvolutionSeries(name=history.name)
+    result.series = {rule_type: [] for rule_type in RULE_TYPE_ORDER}
+    for revision_date, counts in history.rule_type_series():
+        if until is not None and revision_date > until:
+            continue
+        result.dates.append(revision_date)
+        total = 0
+        for rule_type in RULE_TYPE_ORDER:
+            value = counts.get(rule_type, 0)
+            result.series[rule_type].append(value)
+            total += value
+        result.totals.append(total)
+    return result
+
+
+@dataclass
+class CompositionStats:
+    """The §3.2 composition and update-rate numbers for one list."""
+
+    name: str
+    total_rules: int
+    http_percent: float
+    html_percent: float
+    type_percentages: Dict[RuleType, float]
+    churn_per_revision: float
+    churn_per_day: float
+    first_revision: Optional[date]
+    last_revision: Optional[date]
+    revision_count: int
+
+
+def composition_stats(
+    history: FilterListHistory, until: Optional[date] = None
+) -> CompositionStats:
+    """Final-version composition percentages and update rates."""
+    revision = history.version_at(until) if until is not None else history.latest()
+    rules = revision.rules if revision is not None else []
+    split = http_html_split(rules)
+    return CompositionStats(
+        name=history.name,
+        total_rules=len(rules),
+        http_percent=split["http"],
+        html_percent=split["html"],
+        type_percentages=rule_type_percentages(rules),
+        churn_per_revision=history.average_churn_per_revision(),
+        churn_per_day=history.average_churn_per_day(),
+        first_revision=history.first_date,
+        last_revision=history.last_date,
+        revision_count=len(history),
+    )
+
+
+def update_cadence(history: FilterListHistory) -> List[Tuple[date, int]]:
+    """Days between consecutive revisions (detects AAK's monthly shift)."""
+    dates = [revision.date for revision in history]
+    return [
+        (dates[i], (dates[i] - dates[i - 1]).days) for i in range(1, len(dates))
+    ]

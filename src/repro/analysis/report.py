@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables and series, paper-style.
+
+Every experiment driver and benchmark prints its artifact through these
+helpers so the output reads like the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width text table."""
+    columns = len(headers)
+    normalized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in normalized:
+        for index in range(min(columns, len(row))):
+            widths[index] = max(widths[index], len(row[index]))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(columns)))
+    for row in normalized:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) if i < len(row) else "" for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_series(
+    series: Dict[date, int], title: str = "", every: int = 1
+) -> str:
+    """A month → count series, one line per (sampled) month."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    months = sorted(series)
+    for index, month in enumerate(months):
+        if index % every and index != len(months) - 1:
+            continue
+        lines.append(f"  {month.isoformat()[:7]}  {series[month]}")
+    return "\n".join(lines)
+
+
+def render_multi_series(
+    all_series: Dict[str, Dict[date, int]], title: str = "", every: int = 1
+) -> str:
+    """Several aligned month series as a table (Figure 6 style)."""
+    names = list(all_series)
+    months = sorted({month for series in all_series.values() for month in series})
+    headers = ["month"] + names
+    rows = []
+    for index, month in enumerate(months):
+        if index % every and index != len(months) - 1:
+            continue
+        rows.append(
+            [month.isoformat()[:7]] + [all_series[name].get(month, 0) for name in names]
+        )
+    return render_table(headers, rows, title=title)
+
+
+def render_cdf(
+    points: List[Tuple[int, float]], title: str = "", unit: str = "days"
+) -> str:
+    """A CDF as (x, F(x)) rows (Figures 3 and 7)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for x, fx in points:
+        lines.append(f"  {x:>6} {unit}: {fx:6.1%}")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a 0..1 fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

@@ -1,0 +1,78 @@
+"""The paper's §5 contribution: ML detection of anti-adblock scripts.
+
+Static AST ``context:text`` features in three generalisation levels,
+binary vectorization with variance/duplicate/chi-square filtering, a
+from-scratch kernel SVM (SMO) boosted with AdaBoost, stratified k-fold
+evaluation, and the end-to-end detector pipeline of Figure 8.
+"""
+
+from .adaboost import AdaBoostClassifier, DecisionStump
+from .chi2 import chi_square_scores, top_k_features
+from .corpus import Corpus, LabeledScript, build_corpus, ground_truth_corpus
+from .crossval import (
+    Metrics,
+    compute_metrics,
+    cross_validate,
+    cross_validate_per_fold,
+    stratified_folds,
+)
+from .features import (
+    FEATURE_SETS,
+    WEB_API_KEYWORDS,
+    FeatureExtractionError,
+    extract_features,
+    features_for_corpus,
+    features_from_source,
+)
+from .online import OnlineAdblocker, OnlineVisitResult
+from .pipeline import (
+    AntiAdblockDetector,
+    DetectorConfig,
+    evaluate_detector,
+    make_classifier,
+)
+from .rulegen import DetectedScript, GeneratedRules, RuleGenerator, detect_and_generate
+from .signatures import DEFAULT_SIGNATURES, Signature, SignatureDetector
+from .svm import SVC, linear_kernel, rbf_kernel
+from .vectorize import FeatureSpace, Vectorizer, VectorizerReport
+
+__all__ = [
+    "AdaBoostClassifier",
+    "DecisionStump",
+    "chi_square_scores",
+    "top_k_features",
+    "Corpus",
+    "LabeledScript",
+    "build_corpus",
+    "ground_truth_corpus",
+    "Metrics",
+    "compute_metrics",
+    "cross_validate",
+    "cross_validate_per_fold",
+    "stratified_folds",
+    "FEATURE_SETS",
+    "WEB_API_KEYWORDS",
+    "FeatureExtractionError",
+    "extract_features",
+    "features_for_corpus",
+    "features_from_source",
+    "OnlineAdblocker",
+    "OnlineVisitResult",
+    "DetectedScript",
+    "GeneratedRules",
+    "RuleGenerator",
+    "detect_and_generate",
+    "AntiAdblockDetector",
+    "DetectorConfig",
+    "evaluate_detector",
+    "make_classifier",
+    "DEFAULT_SIGNATURES",
+    "Signature",
+    "SignatureDetector",
+    "SVC",
+    "linear_kernel",
+    "rbf_kernel",
+    "FeatureSpace",
+    "Vectorizer",
+    "VectorizerReport",
+]

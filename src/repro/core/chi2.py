@@ -1,0 +1,50 @@
+"""Chi-square feature scoring (Yang & Pedersen, as used in §5).
+
+For each binary feature the paper computes
+
+    χ² = N (AD − CB)² / ((A+C)(B+D)(A+B)(C+D))
+
+where, over N scripts: A/B count positive/negative scripts containing the
+feature and C/D count positive/negative scripts lacking it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def chi_square_scores(matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """χ² score for every column of a binary sample×feature matrix.
+
+    ``labels`` holds 1 for the positive (anti-adblock) class and 0 for the
+    negative class. Degenerate features (present or absent everywhere, or
+    a degenerate label vector) score 0.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D (samples x features)")
+    if labels.shape[0] != matrix.shape[0]:
+        raise ValueError("labels length must match the number of samples")
+
+    n_samples = matrix.shape[0]
+    positives = labels.sum()
+    negatives = n_samples - positives
+
+    a = labels @ matrix  # positive samples containing the feature
+    b = matrix.sum(axis=0) - a  # negative samples containing the feature
+    c = positives - a  # positive samples lacking the feature
+    d = negatives - b  # negative samples lacking the feature
+
+    numerator = n_samples * (a * d - c * b) ** 2
+    denominator = (a + c) * (b + d) * (a + b) * (c + d)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        scores = np.where(denominator > 0, numerator / denominator, 0.0)
+    return scores
+
+
+def top_k_features(matrix: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:
+    """Column indices of the ``k`` highest-scoring features (descending)."""
+    scores = chi_square_scores(matrix, labels)
+    order = np.argsort(scores)[::-1]
+    return order[:k]

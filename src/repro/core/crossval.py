@@ -1,0 +1,124 @@
+"""Cross-validation and the paper's evaluation metrics.
+
+§5 reports 10-fold cross-validated **TP rate** (fraction of anti-adblock
+scripts correctly classified) and **FP rate** (fraction of benign scripts
+incorrectly classified).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Metrics:
+    """TP/FP rates plus supporting counts."""
+
+    tp_rate: float
+    fp_rate: float
+    true_positives: int = 0
+    false_negatives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Overall fraction of correct predictions."""
+        total = (
+            self.true_positives
+            + self.false_negatives
+            + self.false_positives
+            + self.true_negatives
+        )
+        if total == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / total
+
+
+def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> Metrics:
+    """TP rate (recall on positives) and FP rate (fall-out on negatives)."""
+    y_true = np.asarray(y_true).ravel().astype(bool)
+    y_pred = np.asarray(y_pred).ravel().astype(bool)
+    tp = int(np.sum(y_true & y_pred))
+    fn = int(np.sum(y_true & ~y_pred))
+    fp = int(np.sum(~y_true & y_pred))
+    tn = int(np.sum(~y_true & ~y_pred))
+    tp_rate = tp / (tp + fn) if (tp + fn) else 0.0
+    fp_rate = fp / (fp + tn) if (fp + tn) else 0.0
+    return Metrics(
+        tp_rate=tp_rate,
+        fp_rate=fp_rate,
+        true_positives=tp,
+        false_negatives=fn,
+        false_positives=fp,
+        true_negatives=tn,
+    )
+
+
+def stratified_folds(
+    labels: Sequence[int], n_folds: int = 10, seed: int = 0
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield (train_indices, test_indices) with per-class balance.
+
+    Each class's samples are shuffled and dealt round-robin into folds, so
+    every fold holds roughly ``1/n_folds`` of each class — important given
+    the 10:1 imbalance of the corpus.
+    """
+    labels = np.asarray(labels).ravel()
+    rng = np.random.default_rng(seed)
+    fold_assignment = np.zeros(len(labels), dtype=int)
+    for value in np.unique(labels):
+        indices = np.flatnonzero(labels == value)
+        rng.shuffle(indices)
+        for position, index in enumerate(indices):
+            fold_assignment[index] = position % n_folds
+    for fold in range(n_folds):
+        test = np.flatnonzero(fold_assignment == fold)
+        train = np.flatnonzero(fold_assignment != fold)
+        if len(test) == 0:
+            continue
+        yield train, test
+
+
+def cross_validate(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> Metrics:
+    """Pooled k-fold metrics: train on k-1 folds, score the held-out fold.
+
+    Predictions from all folds are pooled before computing TP/FP rates
+    (equivalent to the paper's "repeat this process 10 times" protocol).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel().astype(np.int8)
+    predictions = np.zeros_like(y)
+    for train, test in stratified_folds(y, n_folds=n_folds, seed=seed):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        predictions[test] = np.asarray(model.predict(X[test])).ravel()
+    return compute_metrics(y, predictions)
+
+
+def cross_validate_per_fold(
+    model_factory: Callable[[], object],
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 10,
+    seed: int = 0,
+) -> List[Metrics]:
+    """Per-fold metrics, for variance inspection."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y).ravel().astype(np.int8)
+    out: List[Metrics] = []
+    for train, test in stratified_folds(y, n_folds=n_folds, seed=seed):
+        model = model_factory()
+        model.fit(X[train], y[train])
+        predicted = np.asarray(model.predict(X[test])).ravel()
+        out.append(compute_metrics(y[test], predicted))
+    return out

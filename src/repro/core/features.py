@@ -1,0 +1,180 @@
+"""Static AST feature extraction for anti-adblock detection (§5).
+
+A feature is a ``context:text`` pair: *text* is a token drawn from the
+script (identifier, literal, or keyword) and *context* is where it appears
+— the AST node type that carries it, its parent node type, and the nearest
+enclosing control structure (loop, if condition, try/catch, switch,
+function). Three feature sets offer increasing generalisation:
+
+- ``all``     — text from keywords, Web-API names, identifiers and literals;
+- ``literal`` — text from literals only (no identifiers or keywords);
+- ``keyword`` — text from native JavaScript keywords and JavaScript Web API
+  names only (robust to identifier/literal randomisation, susceptible to
+  polymorphism).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from ..jsast import nodes as N
+from ..jsast.parser import ParseError, parse
+from ..jsast.tokenizer import KEYWORDS, TokenizeError
+from ..jsast.unpack import unpack_program
+from ..jsast.walker import walk_with_ancestors
+
+FEATURE_SETS = ("all", "literal", "keyword")
+
+#: JavaScript Web API vocabulary. Identifiers on this list are *keyword*
+#: text (they name platform objects/properties, not author-chosen names);
+#: Table 2's ``Identifier:clientHeight`` feature is the canonical example.
+WEB_API_KEYWORDS: FrozenSet[str] = frozenset(
+    """window document navigator location screen history console
+    createElement createTextNode createDocumentFragment getElementById
+    getElementsByTagName getElementsByClassName querySelector
+    querySelectorAll setAttribute getAttribute removeAttribute hasAttribute
+    appendChild removeChild replaceChild insertBefore parentNode parentElement
+    childNodes firstChild lastChild nextSibling previousSibling cloneNode
+    innerHTML outerHTML textContent innerText
+    offsetHeight offsetWidth offsetParent offsetLeft offsetTop
+    clientHeight clientWidth clientLeft clientTop
+    scrollHeight scrollWidth scrollTop scrollLeft
+    getBoundingClientRect getComputedStyle currentStyle
+    style display visibility opacity position zIndex className classList id
+    body head documentElement cookie title referrer domain readyState
+    addEventListener removeEventListener attachEvent detachEvent
+    dispatchEvent onload onerror onclick onreadystatechange
+    setTimeout setInterval clearTimeout clearInterval requestAnimationFrame
+    XMLHttpRequest ActiveXObject fetch open send status responseText
+    Image Audio Date Math JSON RegExp String Number Boolean Array Object
+    Function eval parseInt parseFloat isNaN encodeURIComponent
+    decodeURIComponent escape unescape
+    getTime setTime toUTCString toGMTString getFullYear
+    length push pop shift unshift splice slice concat join reverse sort
+    indexOf lastIndexOf charAt charCodeAt fromCharCode substring substr
+    split replace match search toLowerCase toUpperCase trim
+    hasOwnProperty prototype constructor apply call bind arguments
+    localStorage sessionStorage getItem setItem removeItem
+    alert confirm prompt print focus blur close write writeln
+    play pause load src async defer type value name checked
+    undefined NaN Infinity""".split()
+)
+
+#: Control-structure contexts (the paper's "loop, try statement, catch
+#: statement, if condition, switch condition, etc.").
+_STRUCTURE_CONTEXT = {
+    "ForStatement": "loop",
+    "ForInStatement": "loop",
+    "WhileStatement": "loop",
+    "DoWhileStatement": "loop",
+    "IfStatement": "if",
+    "ConditionalExpression": "if",
+    "TryStatement": "try",
+    "CatchClause": "catch",
+    "SwitchStatement": "switch",
+    "FunctionDeclaration": "function",
+    "FunctionExpression": "function",
+}
+
+
+def _text_kind(node: N.Node) -> Tuple[str, str]:
+    """Classify a node's text: returns ``(kind, text)`` or ``("", "")``.
+
+    ``kind`` is ``keyword`` (JS keywords / Web API names), ``identifier``
+    (author-chosen names) or ``literal``.
+    """
+    if isinstance(node, N.Identifier):
+        name = node.name
+        if name in KEYWORDS or name in WEB_API_KEYWORDS:
+            return "keyword", name
+        return "identifier", name
+    if isinstance(node, N.Literal):
+        if node.regex is not None:
+            return "literal", f"/{node.regex[0]}/"
+        if node.value is None:
+            return "keyword", "null"
+        if isinstance(node.value, bool):
+            return "keyword", "true" if node.value else "false"
+        if isinstance(node.value, float):
+            value = node.value
+            return "literal", str(int(value)) if value == int(value) else str(value)
+        return "literal", str(node.value)
+    if isinstance(node, N.ThisExpression):
+        return "keyword", "this"
+    return "", ""
+
+
+def _contexts(node: N.Node, ancestors: Tuple[N.Node, ...]) -> List[str]:
+    """Contexts a text node appears in: own type, parent type, structure."""
+    contexts = [node.type]
+    if ancestors:
+        contexts.append(ancestors[-1].type)
+    for ancestor in reversed(ancestors):
+        structure = _STRUCTURE_CONTEXT.get(ancestor.type)
+        if structure is not None:
+            contexts.append(structure)
+            break
+    else:
+        contexts.append("toplevel")
+    return contexts
+
+
+_KIND_FILTER = {
+    "all": ("keyword", "identifier", "literal"),
+    "literal": ("literal",),
+    "keyword": ("keyword",),
+}
+
+
+def extract_features(program: N.Program, feature_set: str = "all") -> Set[str]:
+    """The binary feature set of a parsed script.
+
+    Truncates each text token to 64 characters so pathological literals
+    (inline data blobs) do not mint unbounded vocabulary.
+    """
+    if feature_set not in _KIND_FILTER:
+        raise ValueError(f"unknown feature set {feature_set!r}; choose from {FEATURE_SETS}")
+    allowed = _KIND_FILTER[feature_set]
+    features: Set[str] = set()
+    for node, ancestors in walk_with_ancestors(program):
+        kind, text = _text_kind(node)
+        if not kind or kind not in allowed:
+            continue
+        text = text[:64]
+        for context in _contexts(node, ancestors):
+            features.add(f"{context}:{text}")
+    return features
+
+
+class FeatureExtractionError(ValueError):
+    """Raised when a script cannot be parsed for feature extraction."""
+
+
+def features_from_source(
+    source: str, feature_set: str = "all", unpack: bool = True
+) -> Set[str]:
+    """Parse (and optionally unpack) JavaScript source, then extract.
+
+    ``unpack=True`` reproduces the paper's V8-based handling of
+    ``eval()``-packed scripts: features come from the unpacked body.
+    """
+    try:
+        program = parse(source)
+    except (ParseError, TokenizeError) as exc:
+        raise FeatureExtractionError(str(exc)) from exc
+    if unpack:
+        program = unpack_program(program).program
+    return extract_features(program, feature_set)
+
+
+def features_for_corpus(
+    sources: Iterable[str], feature_set: str = "all", unpack: bool = True
+) -> List[Set[str]]:
+    """Feature sets for many scripts; unparseable scripts yield empty sets."""
+    out: List[Set[str]] = []
+    for source in sources:
+        try:
+            out.append(features_from_source(source, feature_set, unpack))
+        except FeatureExtractionError:
+            out.append(set())
+    return out

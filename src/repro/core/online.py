@@ -1,0 +1,136 @@
+"""The §5 *online scenario*: the trained model shipped inside an adblocker.
+
+"In the online scenario, our trained machine learning model can be
+directly shipped in adblockers which would scan all scripts to detect and
+remove anti-adblock scripts on the fly." This module implements that:
+:class:`OnlineAdblocker` combines classic filter lists with the detector —
+every script a page serves is statically scanned, and flagged external
+scripts are blocked even when no filter rule knows them.
+
+Scanning is cached by script digest, since in adblocker deployment the
+same vendor script is encountered on many pages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..filterlist.parser import FilterList
+from ..web.adblocker import Adblocker
+from ..web.dom import Document, parse_html
+from ..web.page import PageSnapshot, Script
+from .pipeline import AntiAdblockDetector
+
+
+@dataclass
+class OnlineVisitResult:
+    """Outcome of one ML-augmented page load."""
+
+    url: str
+    blocked_by_rules: List[str] = field(default_factory=list)
+    blocked_by_model: List[str] = field(default_factory=list)
+    flagged_inline: int = 0
+    document: Optional[Document] = None
+
+    @property
+    def blocked_urls(self) -> List[str]:
+        """All URLs blocked this visit, rule-based first."""
+        return self.blocked_by_rules + self.blocked_by_model
+
+
+class OnlineAdblocker:
+    """Filter lists + the anti-adblock script detector, applied per page.
+
+    ``visit`` mirrors what an instrumented browser extension would do:
+
+    1. request-level filter rules run first (cheap, as in any adblocker);
+    2. every script the page still loads is scanned by the model; flagged
+       *external* scripts are blocked (their URL never fires), flagged
+       *inline* scripts are reported (an extension would neutralise them
+       in the DOM);
+    3. element-hiding rules run over the resulting document.
+    """
+
+    def __init__(
+        self,
+        detector: AntiAdblockDetector,
+        filter_lists: Optional[List[FilterList]] = None,
+    ) -> None:
+        self.detector = detector
+        self.adblocker = Adblocker(filter_lists or [])
+        self._verdict_cache: Dict[str, bool] = {}
+
+    # -- script scanning -----------------------------------------------------
+
+    def _verdict(self, source: str) -> bool:
+        digest = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+        if digest not in self._verdict_cache:
+            prediction = self.detector.predict([source])
+            self._verdict_cache[digest] = bool(prediction[0])
+        return self._verdict_cache[digest]
+
+    def scan_scripts(self, scripts: List[Script]) -> List[Script]:
+        """The scripts the model flags as anti-adblocking."""
+        return [
+            script
+            for script in scripts
+            if script.source and self._verdict(script.source)
+        ]
+
+    @property
+    def cache_size(self) -> int:
+        """Unique scripts scanned so far (verdicts are memoised)."""
+        return len(self._verdict_cache)
+
+    # -- page loads --------------------------------------------------------------
+
+    def visit(self, snapshot: PageSnapshot) -> OnlineVisitResult:
+        """Load a page: rule filtering, model scan, element hiding."""
+        result = OnlineVisitResult(url=snapshot.url)
+
+        # 1. Rule-based request filtering.
+        rule_blocked = set()
+        for resource in snapshot.subresources:
+            if self.adblocker.should_block(
+                resource.url,
+                page_url=snapshot.url,
+                resource_type=resource.resource_type or "script",
+            ):
+                rule_blocked.add(resource.url)
+                result.blocked_by_rules.append(resource.url)
+
+        # 2. Model scan over the scripts that survived rule filtering.
+        survivors = [
+            script
+            for script in snapshot.scripts
+            if not (script.url and script.url in rule_blocked)
+        ]
+        for script in self.scan_scripts(survivors):
+            if script.url:
+                result.blocked_by_model.append(script.url)
+            else:
+                result.flagged_inline += 1
+
+        # 3. Element hiding on the rendered document.
+        if snapshot.html:
+            document = parse_html(snapshot.html)
+            self.adblocker.hide_elements(document, snapshot.url)
+            result.document = document
+        return result
+
+    def blocks_anti_adblocker(self, snapshot: PageSnapshot) -> bool:
+        """Whether the page's anti-adblock machinery is neutralised.
+
+        True when every ground-truth anti-adblock script on the page is
+        either rule-blocked or model-blocked/flagged.
+        """
+        result = self.visit(snapshot)
+        blocked = set(result.blocked_urls)
+        for script in snapshot.anti_adblock_scripts():
+            if script.url and script.url not in blocked:
+                return False
+            if not script.url and result.flagged_inline == 0:
+                return False
+        return True

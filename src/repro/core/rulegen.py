@@ -1,0 +1,135 @@
+"""Automatic filter-rule generation from detector output.
+
+The paper's §5 closing argument: the ML detector can *complement
+crowdsourcing* — filter-list authors periodically crawl popular sites, run
+the trained model over the scripts, and turn detections into candidate
+filter rules (the offline scenario), or adblockers scan scripts on the fly
+(the online scenario). This module implements the offline scenario's
+missing half: turning detected scripts into syntactically valid
+Adblock Plus rules, aggregated across sites so that a third-party vendor
+seen on many sites yields one broad ``$third-party`` rule rather than
+hundreds of per-site rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..filterlist.parser import FilterList, parse_filter_list
+from ..filterlist.rules import NetworkRule
+from ..web.page import PageSnapshot
+from ..web.url import registered_domain, split_url
+from .pipeline import AntiAdblockDetector
+
+
+@dataclass
+class DetectedScript:
+    """One script the detector flagged, with its page context."""
+
+    url: str
+    page_domain: str
+    source: str = ""
+
+
+@dataclass
+class GeneratedRules:
+    """Candidate rules produced from a batch of detections."""
+
+    rules: List[NetworkRule] = field(default_factory=list)
+    #: rule raw text -> site domains supporting it
+    evidence: Dict[str, List[str]] = field(default_factory=dict)
+
+    def to_filter_list(self, name: str = "ml-generated") -> FilterList:
+        """Materialise the candidate rules as a parsed FilterList."""
+        text = "\n".join(rule.raw for rule in self.rules)
+        return parse_filter_list(text, name=name)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+
+class RuleGenerator:
+    """Aggregates detections into candidate Adblock Plus rules.
+
+    - A script host seen as a *third party* on at least
+      ``vendor_threshold`` distinct sites is treated as an anti-adblock
+      vendor and yields one ``||host^$third-party`` rule.
+    - Remaining (first-party or rare) detections yield per-site precision
+      rules pinning the exact script path: ``||domain/path``.
+    """
+
+    def __init__(self, vendor_threshold: int = 3) -> None:
+        self.vendor_threshold = vendor_threshold
+
+    def generate(self, detections: Iterable[DetectedScript]) -> GeneratedRules:
+        """Aggregate detections into vendor and per-site candidate rules."""
+        by_host: Dict[str, List[DetectedScript]] = {}
+        for detection in detections:
+            if not detection.url:
+                continue
+            host_domain = registered_domain(detection.url)
+            by_host.setdefault(host_domain, []).append(detection)
+
+        result = GeneratedRules()
+        for host_domain, host_detections in sorted(by_host.items()):
+            third_party_sites = sorted(
+                {
+                    d.page_domain
+                    for d in host_detections
+                    if d.page_domain and registered_domain(d.page_domain) != host_domain
+                }
+            )
+            if len(third_party_sites) >= self.vendor_threshold:
+                raw = f"||{host_domain}^$third-party"
+                result.rules.append(NetworkRule.parse(raw))
+                result.evidence[raw] = third_party_sites
+                continue
+            for detection in host_detections:
+                raw = self._precision_rule(detection)
+                if raw is None or raw in result.evidence:
+                    continue
+                result.rules.append(NetworkRule.parse(raw))
+                result.evidence[raw] = [detection.page_domain]
+        return result
+
+    @staticmethod
+    def _precision_rule(detection: DetectedScript) -> Optional[str]:
+        parts = split_url(detection.url)
+        if not parts.host:
+            return None
+        path = parts.path if parts.path != "/" else ""
+        return f"||{parts.host}{path}"
+
+
+def detect_and_generate(
+    detector: AntiAdblockDetector,
+    pages: Sequence[PageSnapshot],
+    vendor_threshold: int = 3,
+) -> Tuple[GeneratedRules, List[DetectedScript]]:
+    """The offline scenario end to end: scan pages, emit candidate rules.
+
+    Only external scripts yield rules (inline scripts have no URL for an
+    HTTP rule to match; they are reported as detections without rules).
+    """
+    detections: List[DetectedScript] = []
+    scripts: List[Tuple[PageSnapshot, object]] = []
+    sources: List[str] = []
+    for page in pages:
+        for script in page.scripts:
+            if not script.source:
+                continue
+            scripts.append((page, script))
+            sources.append(script.source)
+    if not sources:
+        return GeneratedRules(), []
+    verdicts = detector.predict(sources)
+    for (page, script), verdict in zip(scripts, verdicts):
+        if verdict:
+            detections.append(
+                DetectedScript(
+                    url=script.url, page_domain=page.domain, source=script.source
+                )
+            )
+    generator = RuleGenerator(vendor_threshold=vendor_threshold)
+    return generator.generate(detections), detections

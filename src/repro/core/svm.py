@@ -1,0 +1,224 @@
+"""Support vector machine trained with (simplified) SMO.
+
+scikit-learn is not available in this environment, so the paper's
+component classifier is implemented from the primary sources: Platt's
+sequential minimal optimisation in its simplified two-heuristic form, with
+RBF (the paper's choice, after Li et al.) and linear kernels, per-sample
+box constraints (used both for class balancing and as AdaBoost sample
+weights), and a bias computed from the KKT conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+
+def rbf_kernel(X: np.ndarray, Y: np.ndarray, gamma: float) -> np.ndarray:
+    """The Gaussian kernel matrix K[i, j] = exp(-gamma ||x_i - y_j||²)."""
+    x_sq = np.sum(X * X, axis=1)[:, None]
+    y_sq = np.sum(Y * Y, axis=1)[None, :]
+    distances = x_sq + y_sq - 2.0 * (X @ Y.T)
+    np.maximum(distances, 0.0, out=distances)
+    return np.exp(-gamma * distances)
+
+
+def linear_kernel(X: np.ndarray, Y: np.ndarray, gamma: float = 0.0) -> np.ndarray:
+    """The plain dot-product kernel matrix X @ Y.T."""
+    return X @ Y.T
+
+
+_KERNELS = {"rbf": rbf_kernel, "linear": linear_kernel}
+
+
+@dataclass
+class SVCConfig:
+    """Hyper-parameters for :class:`SVC`."""
+
+    C: float = 1.0
+    kernel: str = "rbf"
+    gamma: Union[str, float] = "scale"
+    tol: float = 1e-3
+    max_passes: int = 3
+    max_iter: int = 2000
+    class_weight: Optional[str] = "balanced"
+    seed: int = 0
+
+
+class SVC:
+    """Binary kernel SVM.
+
+    Labels may be given as {0, 1} or {-1, +1}; internally {-1, +1} is
+    used. ``sample_weight`` scales each sample's box constraint, which is
+    how AdaBoost reweights the training set between rounds.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self.config = SVCConfig(**kwargs)
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._b: float = 0.0
+        self._gamma: float = 1.0
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _resolve_gamma(self, X: np.ndarray) -> float:
+        gamma = self.config.gamma
+        n_features = max(X.shape[1], 1)  # zero-feature inputs degenerate safely
+        if gamma == "scale":
+            variance = X.var() if X.size else 0.0
+            return 1.0 / (n_features * variance) if variance > 0 else 1.0 / n_features
+        if gamma == "auto":
+            return 1.0 / n_features
+        return float(gamma)
+
+    def _kernel(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        try:
+            kernel_fn = _KERNELS[self.config.kernel]
+        except KeyError:
+            raise ValueError(f"unknown kernel {self.config.kernel!r}") from None
+        return kernel_fn(X, Y, self._gamma)
+
+    @staticmethod
+    def _to_signed(y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=np.float64).ravel()
+        unique = np.unique(y)
+        if set(unique).issubset({0.0, 1.0}):
+            return np.where(y > 0, 1.0, -1.0)
+        if set(unique).issubset({-1.0, 1.0}):
+            return y
+        raise ValueError("labels must be in {0,1} or {-1,+1}")
+
+    # -- training ------------------------------------------------------------------
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        sample_weight: Optional[np.ndarray] = None,
+    ) -> "SVC":
+        """Train with simplified SMO; supports per-sample weights."""
+        X = np.asarray(X, dtype=np.float64)
+        y = self._to_signed(y)
+        n = X.shape[0]
+        if n == 0:
+            raise ValueError("empty training set")
+        config = self.config
+        self._gamma = self._resolve_gamma(X)
+
+        box = np.full(n, config.C, dtype=np.float64)
+        if config.class_weight == "balanced":
+            n_pos = max(int((y > 0).sum()), 1)
+            n_neg = max(int((y < 0).sum()), 1)
+            box[y > 0] *= n / (2.0 * n_pos)
+            box[y < 0] *= n / (2.0 * n_neg)
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=np.float64).ravel()
+            total = weights.sum()
+            if total <= 0:
+                raise ValueError("sample weights must sum to a positive value")
+            box = box * (weights * n / total)
+
+        K = self._kernel(X, X)
+        alpha = np.zeros(n)
+        b = 0.0
+        # Error cache: errors[i] = f(x_i) - y_i, updated incrementally
+        # after every alpha step (the standard SMO optimisation).
+        errors = -y.astype(np.float64).copy()
+        rng = np.random.default_rng(config.seed)
+        passes = 0
+        iterations = 0
+        while passes < config.max_passes and iterations < config.max_iter:
+            iterations += 1
+            changed = 0
+            # Vectorised KKT screen: only samples violating the conditions
+            # at the start of the pass are visited (each is re-checked
+            # against the live error cache before optimisation).
+            margins = y * errors
+            violators = np.flatnonzero(
+                ((margins < -config.tol) & (alpha < box))
+                | ((margins > config.tol) & (alpha > 0))
+            )
+            for i in violators:
+                i = int(i)
+                error_i = errors[i]
+                if not (
+                    (y[i] * error_i < -config.tol and alpha[i] < box[i])
+                    or (y[i] * error_i > config.tol and alpha[i] > 0)
+                ):
+                    continue
+                j = int(rng.integers(0, n - 1))
+                if j >= i:
+                    j += 1
+                error_j = errors[j]
+                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                if y[i] != y[j]:
+                    low = max(0.0, alpha[j] - alpha[i])
+                    high = min(box[j], box[i] + alpha[j] - alpha[i])
+                else:
+                    low = max(0.0, alpha[i] + alpha[j] - box[i])
+                    high = min(box[j], alpha[i] + alpha[j])
+                if low >= high:
+                    continue
+                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                if eta >= 0:
+                    continue
+                alpha[j] = alpha_j_old - y[j] * (error_i - error_j) / eta
+                alpha[j] = min(max(alpha[j], low), high)
+                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                    continue
+                alpha[i] = alpha_i_old + y[i] * y[j] * (alpha_j_old - alpha[j])
+                delta_i = alpha[i] - alpha_i_old
+                delta_j = alpha[j] - alpha_j_old
+                b1 = b - error_i - y[i] * delta_i * K[i, i] - y[j] * delta_j * K[i, j]
+                b2 = b - error_j - y[i] * delta_i * K[i, j] - y[j] * delta_j * K[j, j]
+                if 0 < alpha[i] < box[i]:
+                    new_b = b1
+                elif 0 < alpha[j] < box[j]:
+                    new_b = b2
+                else:
+                    new_b = (b1 + b2) / 2.0
+                errors += (
+                    y[i] * delta_i * K[i, :]
+                    + y[j] * delta_j * K[j, :]
+                    + (new_b - b)
+                )
+                b = new_b
+                changed += 1
+            passes = passes + 1 if changed == 0 else 0
+
+        support = alpha > 1e-8
+        self._X = X[support]
+        self._y = y[support]
+        self._alpha = alpha[support]
+        self._b = b
+        if self._X.shape[0] == 0:
+            # Degenerate fit (e.g. single-class data): predict the majority.
+            majority = 1.0 if (y > 0).sum() >= (y < 0).sum() else -1.0
+            self._X = X[:1]
+            self._y = np.array([majority])
+            self._alpha = np.array([0.0])
+            self._b = majority
+        return self
+
+    # -- inference ---------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed distance to the separating surface."""
+        if self._X is None:
+            raise RuntimeError("SVC.fit must run before inference")
+        X = np.asarray(X, dtype=np.float64)
+        K = self._kernel(self._X, X)
+        return (self._alpha * self._y) @ K + self._b
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted labels in {0, 1}."""
+        return (self.decision_function(X) > 0).astype(np.int8)
+
+    @property
+    def n_support(self) -> int:
+        """Number of support vectors retained after training."""
+        return 0 if self._X is None else int(self._X.shape[0])

@@ -1,0 +1,146 @@
+"""Feature-space construction: binary vectorization and filtering (§5).
+
+Implements the paper's mapping function φ (scripts → binary vectors over
+the feature vocabulary) and its three-stage feature filter: drop features
+with variance below 0.01, drop duplicate features (identical columns),
+then rank the remainder by chi-square and keep the top K.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from .chi2 import chi_square_scores
+
+
+@dataclass
+class FeatureSpace:
+    """A fitted binary feature space.
+
+    ``vocabulary`` maps feature string → column index. ``transform``
+    produces dense uint8 matrices (the post-filter vocabulary is small
+    enough that dense is both simpler and faster than sparse here).
+    """
+
+    vocabulary: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_features(self) -> int:
+        """Size of the fitted vocabulary."""
+        return len(self.vocabulary)
+
+    @property
+    def feature_names(self) -> List[str]:
+        """Feature strings in column order."""
+        names = [""] * len(self.vocabulary)
+        for name, index in self.vocabulary.items():
+            names[index] = name
+        return names
+
+    def transform(self, feature_sets: Sequence[Set[str]]) -> np.ndarray:
+        """Map scripts (as feature sets) into the binary vector space."""
+        matrix = np.zeros((len(feature_sets), len(self.vocabulary)), dtype=np.uint8)
+        for row, features in enumerate(feature_sets):
+            for feature in features:
+                column = self.vocabulary.get(feature)
+                if column is not None:
+                    matrix[row, column] = 1
+        return matrix
+
+
+@dataclass
+class VectorizerReport:
+    """Feature counts after each filtering stage (the §5 numbers)."""
+
+    extracted: int = 0
+    after_variance: int = 0
+    after_duplicates: int = 0
+    selected: int = 0
+
+
+class Vectorizer:
+    """Fits the feature space with the paper's three filters."""
+
+    def __init__(
+        self,
+        variance_threshold: float = 0.01,
+        top_k: Optional[int] = 1000,
+    ) -> None:
+        self.variance_threshold = variance_threshold
+        self.top_k = top_k
+        self.space: Optional[FeatureSpace] = None
+        self.report = VectorizerReport()
+
+    def fit(
+        self, feature_sets: Sequence[Set[str]], labels: Sequence[int]
+    ) -> FeatureSpace:
+        """Fit the vocabulary on a labeled corpus and return the space."""
+        labels = np.asarray(labels, dtype=np.int8)
+        vocabulary: Dict[str, int] = {}
+        for features in feature_sets:
+            for feature in features:
+                if feature not in vocabulary:
+                    vocabulary[feature] = len(vocabulary)
+        self.report.extracted = len(vocabulary)
+
+        full_space = FeatureSpace(vocabulary=vocabulary)
+        matrix = full_space.transform(feature_sets)
+        names = np.array(full_space.feature_names, dtype=object)
+
+        # 1. Variance filter: binary column variance is p(1-p).
+        presence = matrix.mean(axis=0)
+        variance = presence * (1.0 - presence)
+        keep = variance >= self.variance_threshold
+        matrix = matrix[:, keep]
+        names = names[keep]
+        self.report.after_variance = matrix.shape[1]
+
+        # 2. Duplicate columns: identical presence patterns carry the same
+        #    information; keep the first of each group.
+        matrix, names = _drop_duplicate_columns(matrix, names)
+        self.report.after_duplicates = matrix.shape[1]
+
+        # 3. Chi-square ranking, keep the top K.
+        if self.top_k is not None and matrix.shape[1] > self.top_k:
+            scores = chi_square_scores(matrix, labels)
+            order = np.argsort(scores)[::-1][: self.top_k]
+            order = np.sort(order)
+            matrix = matrix[:, order]
+            names = names[order]
+        self.report.selected = matrix.shape[1]
+
+        self.space = FeatureSpace(
+            vocabulary={name: index for index, name in enumerate(names)}
+        )
+        return self.space
+
+    def fit_transform(
+        self, feature_sets: Sequence[Set[str]], labels: Sequence[int]
+    ) -> np.ndarray:
+        """Fit the vocabulary and return the training matrix."""
+        space = self.fit(feature_sets, labels)
+        return space.transform(feature_sets)
+
+    def transform(self, feature_sets: Sequence[Set[str]]) -> np.ndarray:
+        """Map feature sets into the fitted space (unknowns ignored)."""
+        if self.space is None:
+            raise RuntimeError("Vectorizer.fit must run before transform")
+        return self.space.transform(feature_sets)
+
+
+def _drop_duplicate_columns(matrix: np.ndarray, names: np.ndarray):
+    """Remove columns with identical 0/1 patterns (keep first occurrence)."""
+    if matrix.shape[1] == 0:
+        return matrix, names
+    seen: Dict[bytes, int] = {}
+    keep_indices: List[int] = []
+    for column in range(matrix.shape[1]):
+        key = matrix[:, column].tobytes()
+        if key not in seen:
+            seen[key] = column
+            keep_indices.append(column)
+    keep = np.array(keep_indices, dtype=int)
+    return matrix[:, keep], names[keep]

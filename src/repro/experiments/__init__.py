@@ -1,0 +1,25 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each module exposes ``run(ctx) -> result`` and ``render(result) -> str``;
+``python -m repro.experiments.<name>`` prints the artifact at the scale
+given by the ``REPRO_SCALE`` environment variable.
+
+| Module     | Paper artifact                                         |
+|------------|--------------------------------------------------------|
+| fig1       | Figure 1(a,b,c) + §3.2 composition stats               |
+| table1     | Table 1 (domains per Alexa rank bucket)                |
+| fig2       | Figure 2 (domain categories)                           |
+| sec33      | §3.3 overlap / exception-ratio accounting              |
+| fig3       | Figure 3 (addition-time difference CDF)                |
+| fig5       | Figure 5 (missing snapshots per month)                 |
+| fig6       | Figure 6(a,b) (sites triggering HTTP/HTML rules)       |
+| fig7       | Figure 7 (rule-addition delay CDF)                     |
+| sec43      | §4.3 live-web coverage                                 |
+| table2     | Table 2 (example BlockAdBlock features)                |
+| table3     | Table 3 (TP/FP across feature sets & classifiers)      |
+| sec5live   | §5 live test (TP on live-crawl scripts)                |
+"""
+
+from .context import AAK, CE, ExperimentContext, default_scale, shared_context
+
+__all__ = ["AAK", "CE", "ExperimentContext", "default_scale", "shared_context"]

@@ -1,0 +1,153 @@
+"""Shared experiment context: one world, one crawl, reused by every driver.
+
+The paper's artifacts all derive from the same measurement campaign, so
+the drivers share a lazily-built :class:`ExperimentContext`. ``scale``
+controls fidelity: 1.0 is paper scale (top-5K crawled, top-100K live);
+the default 0.08 (400 sites / 8K live) reproduces every shape in seconds.
+Set the ``REPRO_SCALE`` environment variable to override globally.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..analysis.coverage import CoverageAnalyzer, CoverageResult
+from ..analysis.livecrawl import LiveCrawler, LiveCrawlResult
+from ..core.corpus import Corpus, build_corpus
+from ..filterlist.history import FilterListHistory
+from ..filterlist.matcher import NetworkMatcher
+from ..synthesis.listgen import FilterListGenerator, generate_all_lists
+from ..synthesis.seeds import DEFAULT_SEED
+from ..synthesis.world import SyntheticWorld, WorldConfig
+from ..wayback.archive import WaybackArchive
+from ..wayback.crawler import CrawlResult, WaybackCrawler
+
+#: Canonical display names used across all drivers.
+AAK = "Anti-Adblock Killer"
+CE = "Combined EasyList"
+
+
+def default_scale() -> float:
+    """Experiment scale from ``REPRO_SCALE`` (default 0.08)."""
+    return float(os.environ.get("REPRO_SCALE", "0.08"))
+
+
+@dataclass
+class ExperimentContext:
+    """Lazily materialised measurement campaign."""
+
+    world: SyntheticWorld
+    _lists: Optional[Dict[str, FilterListHistory]] = field(default=None, repr=False)
+    _archive: Optional[WaybackArchive] = field(default=None, repr=False)
+    _crawl: Optional[CrawlResult] = field(default=None, repr=False)
+    _coverage: Optional[CoverageResult] = field(default=None, repr=False)
+    _analyzer: Optional[CoverageAnalyzer] = field(default=None, repr=False)
+    _live: Optional[LiveCrawlResult] = field(default=None, repr=False)
+    _corpus: Optional[Corpus] = field(default=None, repr=False)
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        scale: Optional[float] = None,
+        seed: int = DEFAULT_SEED,
+        config: Optional[WorldConfig] = None,
+    ) -> "ExperimentContext":
+        """Build a context for a scale factor (world sizes derive from it)."""
+        if config is None:
+            scale = default_scale() if scale is None else scale
+            config = WorldConfig(
+                n_sites=max(int(round(5000 * scale)), 50),
+                live_top=max(int(round(100_000 * scale)), 500),
+            )
+        return cls(world=SyntheticWorld(config, seed=seed))
+
+    # -- lazily built artifacts ----------------------------------------------------
+
+    @property
+    def lists(self) -> Dict[str, FilterListHistory]:
+        """Histories keyed 'aak', 'easylist', 'awrl', 'combined_easylist'."""
+        if self._lists is None:
+            self._lists = generate_all_lists(self.world)
+        return self._lists
+
+    @property
+    def histories(self) -> Dict[str, FilterListHistory]:
+        """The two lists §4 replays, under their display names."""
+        return {AAK: self.lists["aak"], CE: self.lists["combined_easylist"]}
+
+    @property
+    def generator(self) -> FilterListGenerator:
+        """A FilterListGenerator over this context's world."""
+        return FilterListGenerator(self.world)
+
+    @property
+    def archive(self) -> WaybackArchive:
+        """The populated Wayback archive (built on first access)."""
+        if self._archive is None:
+            self._archive = self.world.build_archive()
+        return self._archive
+
+    @property
+    def crawl(self) -> CrawlResult:
+        """The 60-month top-segment crawl (built on first access)."""
+        if self._crawl is None:
+            crawler = WaybackCrawler(self.archive)
+            self._crawl = crawler.crawl(
+                [site.domain for site in self.world.sites],
+                self.world.config.start,
+                self.world.config.end,
+            )
+        return self._crawl
+
+    @property
+    def analyzer(self) -> CoverageAnalyzer:
+        """The coverage analyzer over the two §4 lists."""
+        if self._analyzer is None:
+            self._analyzer = CoverageAnalyzer(self.histories)
+        return self._analyzer
+
+    @property
+    def coverage(self) -> CoverageResult:
+        """The §4.2 coverage result (computed on first access)."""
+        if self._coverage is None:
+            self._coverage = self.analyzer.analyze(self.crawl)
+        return self._coverage
+
+    @property
+    def live(self) -> LiveCrawlResult:
+        """The §4.3 live-crawl result (computed on first access)."""
+        if self._live is None:
+            self._live = LiveCrawler(self.world, self.histories).crawl()
+        return self._live
+
+    @property
+    def corpus(self) -> Corpus:
+        """The §5 training corpus: top-segment scripts labeled by the lists."""
+        if self._corpus is None:
+            rules = []
+            for key in ("aak", "combined_easylist"):
+                latest = self.lists[key].latest()
+                if latest is not None:
+                    rules.extend(latest.filter_list.network_rules)
+            matcher = NetworkMatcher(rules)
+            pages = [
+                self.world.snapshot(site, self.world.config.end)
+                for site in self.world.sites
+            ]
+            self._corpus = build_corpus(pages, matcher, seed=self.world.seed)
+        return self._corpus
+
+
+_SHARED: Dict[float, ExperimentContext] = {}
+
+
+def shared_context(scale: Optional[float] = None) -> ExperimentContext:
+    """A process-wide context cache so drivers/benchmarks share the crawl."""
+    key = default_scale() if scale is None else scale
+    if key not in _SHARED:
+        _SHARED[key] = ExperimentContext.create(scale=key)
+    return _SHARED[key]

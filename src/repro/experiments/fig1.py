@@ -1,0 +1,93 @@
+"""Figure 1 + §3.2 — temporal evolution of the anti-adblock filter lists.
+
+Regenerates the three panels (Anti-Adblock Killer, Adblock Warning
+Removal List, EasyList anti-adblock sections): rule counts per revision by
+the six rule types, plus the composition percentages and update-rate
+numbers quoted in the text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, List
+
+from ..analysis.evolution import CompositionStats, EvolutionSeries, composition_stats, evolution_series
+from ..analysis.report import render_table
+from ..filterlist.classify import RULE_TYPE_ORDER
+from .context import ExperimentContext
+
+#: The paper's Figure 1 window ends at July 2016.
+FIG1_END = date(2016, 7, 31)
+
+PANELS = (
+    ("a", "aak", "Anti-Adblock Killer"),
+    ("b", "awrl", "Adblock Warning Removal List"),
+    ("c", "easylist", "EasyList (anti-adblock sections)"),
+)
+
+
+@dataclass
+class Fig1Result:
+    """Structured artifact data for this experiment."""
+    series: Dict[str, EvolutionSeries]
+    stats: Dict[str, CompositionStats]
+
+
+def run(ctx: ExperimentContext) -> Fig1Result:
+    """Compute this experiment's artifact from the shared context."""
+    series = {}
+    stats = {}
+    for _, key, _ in PANELS:
+        history = ctx.lists[key]
+        series[key] = evolution_series(history, until=FIG1_END)
+        stats[key] = composition_stats(history, until=FIG1_END)
+    return Fig1Result(series=series, stats=stats)
+
+
+def render(result: Fig1Result, every: int = 6, charts: bool = True) -> str:
+    """Render the artifact as paper-style text."""
+    blocks: List[str] = []
+    if charts:
+        from ..analysis.charts import line_chart
+
+        totals = {}
+        for _, key, title in PANELS:
+            evo = result.series[key]
+            totals[title] = dict(zip(evo.dates, evo.totals))
+        blocks.append(
+            line_chart(totals, title="Figure 1: total rules per list over time")
+        )
+    for panel, key, title in PANELS:
+        evo = result.series[key]
+        headers = ["month", "total"] + [
+            rule_type.value.replace("HTTP rules ", "HTTP ").replace("HTML rules ", "HTML ")
+            for rule_type in RULE_TYPE_ORDER
+        ]
+        rows = []
+        for index, when in enumerate(evo.dates):
+            if index % every and index != len(evo.dates) - 1:
+                continue
+            rows.append(
+                [when.isoformat()[:7], evo.totals[index]]
+                + [evo.series[rule_type][index] for rule_type in RULE_TYPE_ORDER]
+            )
+        blocks.append(render_table(headers, rows, title=f"Figure 1({panel}): {title}"))
+        stat = result.stats[key]
+        blocks.append(
+            f"  final: {stat.total_rules} rules | HTTP {stat.http_percent:.1f}% / "
+            f"HTML {stat.html_percent:.1f}% | {stat.churn_per_revision:.1f} rules/revision, "
+            f"{stat.churn_per_day:.1f} rules/day over {stat.revision_count} revisions"
+        )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

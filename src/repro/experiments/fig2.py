@@ -1,0 +1,60 @@
+"""Figure 2 — categorization of domains in anti-adblock filter lists."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..analysis.comparison import category_distribution
+from ..analysis.report import render_table
+from ..synthesis.categories import CATEGORIES
+from .context import AAK, CE, ExperimentContext
+
+
+@dataclass
+class Fig2Result:
+    """Structured artifact data for this experiment."""
+    distributions: Dict[str, Dict[str, int]]
+
+    def percentages(self, name: str) -> Dict[str, float]:
+        """Category shares (%) for one list."""
+        counts = self.distributions[name]
+        total = sum(counts.values())
+        if total == 0:
+            return {category: 0.0 for category in counts}
+        return {category: 100.0 * count / total for category, count in counts.items()}
+
+
+def run(ctx: ExperimentContext) -> Fig2Result:
+    """Compute this experiment's artifact from the shared context."""
+    service = ctx.world.categories
+    return Fig2Result(
+        distributions={
+            AAK: category_distribution(ctx.lists["aak"], service),
+            CE: category_distribution(ctx.lists["combined_easylist"], service),
+        }
+    )
+
+
+def render(result: Fig2Result) -> str:
+    """Render the artifact as paper-style text."""
+    aak_pct = result.percentages(AAK)
+    ce_pct = result.percentages(CE)
+    headers = ["Category", f"{AAK} (%)", f"{CE} (%)"]
+    rows: List[List[object]] = []
+    for category in CATEGORIES:
+        rows.append([category, aak_pct.get(category, 0.0), ce_pct.get(category, 0.0)])
+    return render_table(
+        headers, rows, title="Figure 2: Categorization of domains in anti-adblock filter lists"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Figure 5 — websites excluded from analysis per month.
+
+The three exclusion classes the paper tracks: partial snapshots,
+not-archived URLs, and outdated URLs. Shapes to reproduce: outdated
+dominates and declines over the window; not-archived grows slowly (3XX
+redirect captures); partial grows slowly (anti-bot error pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict
+
+from ..analysis.coverage import missing_snapshot_series
+from ..analysis.report import render_table
+from .context import ExperimentContext
+
+
+@dataclass
+class Fig5Result:
+    """Structured artifact data for this experiment."""
+    by_month: Dict[date, Dict[str, int]]
+
+    def series(self, kind: str) -> Dict[date, int]:
+        """One exclusion class as a month series."""
+        return {month: counts.get(kind, 0) for month, counts in self.by_month.items()}
+
+    def total_missing(self, month: date) -> int:
+        """Partial + not-archived + outdated for a month."""
+        counts = self.by_month.get(month, {})
+        return counts.get("partial", 0) + counts.get("not_archived", 0) + counts.get("outdated", 0)
+
+
+def run(ctx: ExperimentContext) -> Fig5Result:
+    """Compute this experiment's artifact from the shared context."""
+    return Fig5Result(by_month=missing_snapshot_series(ctx.crawl))
+
+
+def render(result: Fig5Result, every: int = 4, charts: bool = True) -> str:
+    """Render the artifact as paper-style text."""
+    chart = ""
+    if charts:
+        from ..analysis.charts import line_chart
+
+        chart = line_chart(
+            {
+                kind: result.series(key)
+                for kind, key in (
+                    ("partial", "partial"),
+                    ("not archived", "not_archived"),
+                    ("outdated", "outdated"),
+                )
+            },
+            title="Figure 5: websites excluded from analysis",
+        ) + "\n\n"
+    months = sorted(result.by_month)
+    headers = ["month", "partial", "not archived", "outdated", "total missing"]
+    rows = []
+    for index, month in enumerate(months):
+        if index % every and index != len(months) - 1:
+            continue
+        counts = result.by_month[month]
+        rows.append(
+            [
+                month.isoformat()[:7],
+                counts.get("partial", 0),
+                counts.get("not_archived", 0),
+                counts.get("outdated", 0),
+                result.total_missing(month),
+            ]
+        )
+    return chart + render_table(
+        headers, rows, title="Figure 5: Number of websites excluded from analysis over time"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""§3.3 — overlap and implementation-style comparison of the two lists.
+
+Reports the domain overlap (paper: 282 common domains), which list adds
+each overlapping domain first (paper: 185 Combined EasyList, 92 AAK,
+5 same-day), and the exception:non-exception domain ratios (paper: ≈4:1
+for the Combined EasyList vs ≈1:1 for AAK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.comparison import ExceptionStats, OverlapAnalysis, exception_stats, overlap_analysis
+from ..analysis.report import render_table
+from .context import AAK, CE, ExperimentContext
+
+
+@dataclass
+class Sec33Result:
+    """Structured artifact data for this experiment."""
+    overlap: OverlapAnalysis
+    exceptions: Dict[str, ExceptionStats]
+    domain_counts: Dict[str, int]
+
+
+def run(ctx: ExperimentContext) -> Sec33Result:
+    """Compute this experiment's artifact from the shared context."""
+    aak = ctx.lists["aak"]
+    combined = ctx.lists["combined_easylist"]
+    overlap = overlap_analysis(combined, aak)  # A = Combined EasyList
+    return Sec33Result(
+        overlap=overlap,
+        exceptions={
+            AAK: exception_stats(aak),
+            CE: exception_stats(combined),
+        },
+        domain_counts={
+            AAK: len(aak.targeted_domains_latest()),
+            CE: len(combined.targeted_domains_latest()),
+        },
+    )
+
+
+def render(result: Sec33Result) -> str:
+    """Render the artifact as paper-style text."""
+    lines = ["Section 3.3: Comparative analysis of anti-adblock lists", ""]
+    lines.append(
+        f"Targeted domains: {AAK}={result.domain_counts[AAK]}, "
+        f"{CE}={result.domain_counts[CE]}, overlap={result.overlap.overlap_count}"
+    )
+    lines.append(
+        f"First to add an overlapping domain: {CE}={result.overlap.first_in_a}, "
+        f"{AAK}={result.overlap.first_in_b}, same day={result.overlap.same_day}"
+    )
+    rows = []
+    for name, stats in result.exceptions.items():
+        rows.append(
+            [
+                name,
+                stats.exception_domains,
+                stats.non_exception_domains,
+                f"{stats.ratio:.1f}:1" if stats.non_exception_domains else "inf",
+            ]
+        )
+    lines.append("")
+    lines.append(
+        render_table(
+            ["List", "exception domains", "non-exception domains", "ratio"],
+            rows,
+            title="Exception vs non-exception domains",
+        )
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,89 @@
+"""§5 live test — classify anti-adblock scripts from the live top-100K.
+
+Train the detector on the top-segment corpus (the sites used throughout
+the retrospective study), then classify the unique anti-adblock scripts
+extracted from the live crawl's detected sites, excluding the training
+segment. Paper: TP rate 92.5% on 2,701 scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.pipeline import AntiAdblockDetector, DetectorConfig
+from ..web.url import registered_domain
+from .context import AAK, ExperimentContext
+
+
+@dataclass
+class Sec5LiveResult:
+    """Structured artifact data for this experiment."""
+    n_scripts: int
+    n_detected: int
+
+    @property
+    def tp_rate(self) -> float:
+        """Detected fraction of the live anti-adblock scripts."""
+        return self.n_detected / self.n_scripts if self.n_scripts else 0.0
+
+
+def run(ctx: ExperimentContext) -> Sec5LiveResult:
+    """Compute this experiment's artifact from the shared context."""
+    corpus = ctx.corpus
+    detector = AntiAdblockDetector(
+        DetectorConfig(feature_set="keyword", top_k=1000, seed=ctx.world.seed)
+    )
+    detector.fit(corpus.sources(), corpus.labels())
+
+    # Live scripts from detected sites, excluding the training segment.
+    training_domains = {
+        registered_domain(site.domain) for site in ctx.world.sites
+    }
+    live = ctx.live
+    detected_domains = set(live.detected_domains.get(AAK, []))
+    test_scripts: List[str] = []
+    seen = set()
+    for ranked in ctx.world.live_domains():
+        if ranked.rank <= ctx.world.config.n_sites:
+            continue
+        profile = ctx.world.profile_for_rank(ranked.rank)
+        if registered_domain(profile.domain) in training_domains:
+            continue
+        if profile.domain not in detected_domains:
+            continue
+        deployment = profile.deployment
+        if deployment is None or not deployment.script_source:
+            continue
+        if deployment.script_source not in seen:
+            seen.add(deployment.script_source)
+            test_scripts.append(deployment.script_source)
+
+    if not test_scripts:
+        return Sec5LiveResult(n_scripts=0, n_detected=0)
+    predictions = detector.predict(test_scripts)
+    return Sec5LiveResult(
+        n_scripts=len(test_scripts), n_detected=int(np.sum(predictions))
+    )
+
+
+def render(result: Sec5LiveResult) -> str:
+    """Render the artifact as paper-style text."""
+    return (
+        "Section 5 live test: classified "
+        f"{result.n_scripts} anti-adblock scripts from live-crawl detections "
+        f"(training segment excluded); TP rate = {result.tp_rate:.1%}"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,155 @@
+"""Seed stability — do the paper's findings survive world regeneration?
+
+Every other experiment runs against the default world (seed 1702). This
+driver regenerates small worlds under several seeds and re-measures the
+qualitative findings the reproduction rests on:
+
+1. AAK's final HTTP coverage exceeds the Combined EasyList's by a wide
+   factor (Fig 6a);
+2. the Combined EasyList is the more exception-heavy list (§3.3);
+3. the Combined EasyList lists overlapping domains first more often than
+   AAK (Fig 3);
+4. the detector separates the corpus with high TP and single-digit FP
+   (Table 3's operating band).
+
+Bootstrap CIs (:mod:`repro.analysis.robustness`) capture within-world
+sampling noise; this captures *generative* noise across worlds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.comparison import exception_stats, overlap_analysis
+from ..analysis.coverage import CoverageAnalyzer
+from ..analysis.report import render_table
+from ..core.pipeline import DetectorConfig, evaluate_detector
+from ..synthesis.listgen import generate_all_lists
+from ..synthesis.world import SyntheticWorld, WorldConfig
+from ..wayback.crawler import WaybackCrawler
+from .context import AAK, CE, ExperimentContext
+
+DEFAULT_SEEDS = (1702, 7, 42)
+
+
+@dataclass
+class SeedOutcome:
+    """The headline statistics for one regenerated world."""
+
+    seed: int
+    aak_final_http: int = 0
+    ce_final_http: int = 0
+    aak_exception_ratio: float = 0.0
+    ce_exception_ratio: float = 0.0
+    ce_first: int = 0
+    aak_first: int = 0
+    detector_tp: float = 0.0
+    detector_fp: float = 0.0
+
+    @property
+    def coverage_factor(self) -> float:
+        """AAK : CE final coverage ratio."""
+        return self.aak_final_http / max(self.ce_final_http, 1)
+
+
+@dataclass
+class StabilityResult:
+    """Outcomes across seeds."""
+
+    outcomes: List[SeedOutcome] = field(default_factory=list)
+
+    def holds_everywhere(self, predicate) -> bool:
+        """Whether a finding holds for every seed."""
+        return all(predicate(outcome) for outcome in self.outcomes)
+
+
+def run_for_seed(seed: int, n_sites: int = 250) -> SeedOutcome:
+    """Regenerate a small world under ``seed`` and re-measure."""
+    world = SyntheticWorld(WorldConfig(n_sites=n_sites, live_top=n_sites), seed=seed)
+    lists = generate_all_lists(world)
+    aak, combined = lists["aak"], lists["combined_easylist"]
+    outcome = SeedOutcome(seed=seed)
+
+    crawl = WaybackCrawler(world.build_archive()).crawl(
+        [site.domain for site in world.sites], world.config.start, world.config.end
+    )
+    coverage = CoverageAnalyzer({AAK: aak, CE: combined}).analyze(
+        crawl, html_rules=False
+    )
+    last = max(coverage.http_series[AAK])
+    outcome.aak_final_http = coverage.http_series[AAK][last]
+    outcome.ce_final_http = coverage.http_series[CE][last]
+
+    outcome.aak_exception_ratio = exception_stats(aak).ratio
+    outcome.ce_exception_ratio = exception_stats(combined).ratio
+    overlap = overlap_analysis(combined, aak)
+    outcome.ce_first = overlap.first_in_a
+    outcome.aak_first = overlap.first_in_b
+
+    from ..core.corpus import build_corpus
+    from ..filterlist.matcher import NetworkMatcher
+
+    rules = list(aak.latest().filter_list.network_rules)
+    rules.extend(combined.latest().filter_list.network_rules)
+    pages = [world.snapshot(site, world.config.end) for site in world.sites]
+    corpus = build_corpus(pages, NetworkMatcher(rules), seed=seed)
+    metrics = evaluate_detector(
+        corpus.sources(),
+        corpus.labels(),
+        config=DetectorConfig(feature_set="keyword", top_k=500, seed=seed),
+        n_folds=5,
+    )
+    outcome.detector_tp = metrics.tp_rate
+    outcome.detector_fp = metrics.fp_rate
+    return outcome
+
+
+def run(ctx: ExperimentContext, seeds=DEFAULT_SEEDS, n_sites: int = 250) -> StabilityResult:
+    """Re-measure the headline findings across world seeds."""
+    return StabilityResult(
+        outcomes=[run_for_seed(seed, n_sites=n_sites) for seed in seeds]
+    )
+
+
+def render(result: StabilityResult) -> str:
+    """Render the artifact as paper-style text."""
+    rows = []
+    for outcome in result.outcomes:
+        rows.append(
+            [
+                outcome.seed,
+                outcome.aak_final_http,
+                outcome.ce_final_http,
+                f"{outcome.coverage_factor:.1f}x",
+                f"{outcome.aak_exception_ratio:.1f}:1",
+                f"{outcome.ce_exception_ratio:.1f}:1",
+                f"{outcome.ce_first}/{outcome.aak_first}",
+                f"{outcome.detector_tp:.0%}/{outcome.detector_fp:.0%}",
+            ]
+        )
+    return render_table(
+        [
+            "seed",
+            "AAK http",
+            "CE http",
+            "AAK:CE",
+            "AAK exc",
+            "CE exc",
+            "CE-first/AAK-first",
+            "TP/FP",
+        ],
+        rows,
+        title="Seed stability: headline findings across regenerated worlds",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

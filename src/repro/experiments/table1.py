@@ -1,0 +1,60 @@
+"""Table 1 — distribution of filter-list domains across Alexa rankings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..analysis.comparison import RankDistribution, rank_distribution
+from ..analysis.report import render_table
+from ..synthesis.alexa import RANK_BUCKETS
+from .context import AAK, CE, ExperimentContext
+
+
+@dataclass
+class Table1Result:
+    """Structured artifact data for this experiment."""
+    distributions: Dict[str, RankDistribution]
+
+    def row(self, bucket: str) -> Dict[str, int]:
+        """Both lists' domain counts for one rank bucket."""
+        return {
+            name: distribution.counts.get(bucket, 0)
+            for name, distribution in self.distributions.items()
+        }
+
+
+def run(ctx: ExperimentContext) -> Table1Result:
+    """Compute this experiment's artifact from the shared context."""
+    population = ctx.world.population
+    return Table1Result(
+        distributions={
+            AAK: rank_distribution(ctx.lists["aak"], population),
+            CE: rank_distribution(ctx.lists["combined_easylist"], population),
+        }
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Render the artifact as paper-style text."""
+    headers = ["Alexa Rank", f"{AAK} List", CE]
+    rows = []
+    for bucket, _, _ in RANK_BUCKETS:
+        row = result.row(bucket)
+        rows.append([bucket, row[AAK], row[CE]])
+    totals = {name: d.total for name, d in result.distributions.items()}
+    rows.append(["total", totals[AAK], totals[CE]])
+    return render_table(
+        headers, rows, title="Table 1: Distribution of domains in filter lists across Alexa rankings"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    """CLI entry point: run at the REPRO_SCALE context and print."""
+    from .context import shared_context
+
+    print(render(run(shared_context())))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Adblock Plus filter-list engine.
+
+Substitutes for the ``adblockparser`` library plus Adblock Plus itself:
+rule parsing (:mod:`~repro.filterlist.rules`), list documents with sections
+(:mod:`~repro.filterlist.parser`), token-indexed URL matching
+(:mod:`~repro.filterlist.matcher`), element-hiding selectors
+(:mod:`~repro.filterlist.selectors`), the paper's Figure 1 rule taxonomy
+(:mod:`~repro.filterlist.classify`) and revision histories
+(:mod:`~repro.filterlist.history`).
+"""
+
+from .classify import (
+    RULE_TYPE_ORDER,
+    RuleType,
+    classify_rule,
+    count_rule_types,
+    domains_by_exception_status,
+    http_html_split,
+    rule_type_percentages,
+    targeted_domains,
+)
+from .lint import LintFinding, LintReport, deduplicate_against, lint_rules, shadows
+from .history import FilterListHistory, Revision, RevisionDelta, combine_histories
+from .matcher import MatchResult, NetworkMatcher
+from .parser import FilterList, ParsedRule, parse_filter_list, serialize_filter_list
+from .rules import (
+    DomainOption,
+    ElementRule,
+    NetworkRule,
+    RuleParseError,
+    domain_matches,
+    parse_rule,
+)
+from .selectors import Selector, SelectorParseError, parse_selector, parse_selector_group, select
+
+__all__ = [
+    "RULE_TYPE_ORDER",
+    "RuleType",
+    "classify_rule",
+    "count_rule_types",
+    "domains_by_exception_status",
+    "http_html_split",
+    "rule_type_percentages",
+    "targeted_domains",
+    "LintFinding",
+    "LintReport",
+    "deduplicate_against",
+    "lint_rules",
+    "shadows",
+    "FilterListHistory",
+    "Revision",
+    "RevisionDelta",
+    "combine_histories",
+    "MatchResult",
+    "NetworkMatcher",
+    "FilterList",
+    "ParsedRule",
+    "parse_filter_list",
+    "serialize_filter_list",
+    "DomainOption",
+    "ElementRule",
+    "NetworkRule",
+    "RuleParseError",
+    "domain_matches",
+    "parse_rule",
+    "Selector",
+    "SelectorParseError",
+    "parse_selector",
+    "parse_selector_group",
+    "select",
+]

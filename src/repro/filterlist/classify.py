@@ -1,0 +1,120 @@
+"""Rule-type taxonomy used throughout the paper's §3.
+
+Figure 1 breaks every filter list down into six rule types:
+
+- HTML rules without domain
+- HTML rules with domain
+- HTTP rules without domain anchor and tag
+- HTTP rules with domain anchor
+- HTTP rules with domain tag
+- HTTP rules with domain anchor and tag
+
+plus the orthogonal exception / non-exception split used in §3.3.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from enum import Enum
+from typing import Dict, Iterable, List, Union
+
+from .rules import ElementRule, NetworkRule
+
+Rule = Union[NetworkRule, ElementRule]
+
+
+class RuleType(str, Enum):
+    """The six rule types of Figure 1."""
+
+    HTML_NO_DOMAIN = "HTML rules without domain"
+    HTML_WITH_DOMAIN = "HTML rules with domain"
+    HTTP_NO_ANCHOR_NO_TAG = "HTTP rules without domain anchor and tag"
+    HTTP_ANCHOR = "HTTP rules with domain anchor"
+    HTTP_TAG = "HTTP rules with domain tag"
+    HTTP_ANCHOR_AND_TAG = "HTTP rules with domain anchor and tag"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Figure 1 series order.
+RULE_TYPE_ORDER = [
+    RuleType.HTML_NO_DOMAIN,
+    RuleType.HTML_WITH_DOMAIN,
+    RuleType.HTTP_NO_ANCHOR_NO_TAG,
+    RuleType.HTTP_ANCHOR,
+    RuleType.HTTP_TAG,
+    RuleType.HTTP_ANCHOR_AND_TAG,
+]
+
+
+def classify_rule(rule: Rule) -> RuleType:
+    """Assign a rule to its Figure 1 category."""
+    if isinstance(rule, ElementRule):
+        return RuleType.HTML_WITH_DOMAIN if rule.has_domain else RuleType.HTML_NO_DOMAIN
+    anchor = rule.has_domain_anchor
+    tag = rule.has_domain_tag
+    if anchor and tag:
+        return RuleType.HTTP_ANCHOR_AND_TAG
+    if anchor:
+        return RuleType.HTTP_ANCHOR
+    if tag:
+        return RuleType.HTTP_TAG
+    return RuleType.HTTP_NO_ANCHOR_NO_TAG
+
+
+def count_rule_types(rules: Iterable[Rule]) -> Dict[RuleType, int]:
+    """Counts per Figure 1 category, with zero entries for absent types."""
+    counts = Counter(classify_rule(rule) for rule in rules)
+    return {rule_type: counts.get(rule_type, 0) for rule_type in RULE_TYPE_ORDER}
+
+
+def rule_type_percentages(rules: Iterable[Rule]) -> Dict[RuleType, float]:
+    """Percentages per category (the §3.2 composition numbers)."""
+    counts = count_rule_types(list(rules))
+    total = sum(counts.values())
+    if total == 0:
+        return {rule_type: 0.0 for rule_type in RULE_TYPE_ORDER}
+    return {rule_type: 100.0 * count / total for rule_type, count in counts.items()}
+
+
+def http_html_split(rules: Iterable[Rule]) -> Dict[str, float]:
+    """The headline HTTP% / HTML% split quoted in §3.2."""
+    rules = list(rules)
+    total = len(rules)
+    if total == 0:
+        return {"http": 0.0, "html": 0.0}
+    html = sum(1 for rule in rules if isinstance(rule, ElementRule))
+    return {"http": 100.0 * (total - html) / total, "html": 100.0 * html / total}
+
+
+def is_exception_rule(rule: Rule) -> bool:
+    """Whether the rule is an @@ or #@# exception."""
+    return rule.is_exception
+
+
+def targeted_domains(rules: Iterable[Rule]) -> List[str]:
+    """Every domain targeted by any rule, de-duplicated, insertion order."""
+    seen = set()
+    ordered: List[str] = []
+    for rule in rules:
+        for domain in rule.targeted_domains():
+            if domain not in seen:
+                seen.add(domain)
+                ordered.append(domain)
+    return ordered
+
+
+def domains_by_exception_status(rules: Iterable[Rule]) -> Dict[str, set]:
+    """Partition targeted domains into exception / non-exception sets.
+
+    A domain is labelled *exception* when it appears in exception rules and
+    *non-exception* when it appears in blocking rules (§3.3 labels domains
+    by the rules they appear in; a domain can appear in both sets).
+    """
+    exception: set = set()
+    non_exception: set = set()
+    for rule in rules:
+        bucket = exception if rule.is_exception else non_exception
+        bucket.update(rule.targeted_domains())
+    return {"exception": exception, "non_exception": non_exception}

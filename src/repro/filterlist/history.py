@@ -1,0 +1,190 @@
+"""Filter-list revision histories.
+
+§3 of the paper is entirely about how lists evolve: rules added/modified
+per revision, rule-type mix over time, and when each targeted domain first
+appears. §4 needs ``version_at`` to replay the *contemporaneous* list
+against each archived snapshot.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .classify import RuleType, count_rule_types
+from .parser import FilterList, parse_filter_list
+
+
+@dataclass
+class Revision:
+    """One dated version of a filter list."""
+
+    date: date
+    filter_list: FilterList
+
+    @property
+    def rules(self):
+        """The revision's rule objects."""
+        return [parsed.rule for parsed in self.filter_list.rules]
+
+    def rule_lines(self) -> List[str]:
+        """The revision's raw rule lines."""
+        return self.filter_list.rule_lines()
+
+
+@dataclass
+class RevisionDelta:
+    """Line-level difference between two consecutive revisions."""
+
+    added: List[str] = field(default_factory=list)
+    removed: List[str] = field(default_factory=list)
+
+    @property
+    def churn(self) -> int:
+        """Rules added or modified (a modify shows as one add + one remove).
+
+        The paper reports "adds or modifies N rules per revision"; we count
+        additions, which includes the new form of every modified rule.
+        """
+        return len(self.added)
+
+
+class FilterListHistory:
+    """An ordered sequence of :class:`Revision` objects for one list."""
+
+    def __init__(self, name: str, revisions: Optional[List[Revision]] = None) -> None:
+        self.name = name
+        self._revisions: List[Revision] = sorted(revisions or [], key=lambda r: r.date)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._revisions)
+
+    def __iter__(self) -> Iterator[Revision]:
+        return iter(self._revisions)
+
+    def __getitem__(self, index: int) -> Revision:
+        return self._revisions[index]
+
+    @property
+    def revisions(self) -> List[Revision]:
+        """All revisions, oldest first."""
+        return list(self._revisions)
+
+    def add_revision(self, revision_date: date, text_or_list) -> Revision:
+        """Append a revision (text is parsed; revisions stay date-ordered)."""
+        if isinstance(text_or_list, FilterList):
+            filter_list = text_or_list
+        else:
+            filter_list = parse_filter_list(text_or_list, name=self.name)
+        revision = Revision(date=revision_date, filter_list=filter_list)
+        bisect.insort(self._revisions, revision, key=lambda r: r.date)
+        return revision
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def first_date(self) -> Optional[date]:
+        """Date of the oldest revision, if any."""
+        return self._revisions[0].date if self._revisions else None
+
+    @property
+    def last_date(self) -> Optional[date]:
+        """Date of the newest revision, if any."""
+        return self._revisions[-1].date if self._revisions else None
+
+    def version_at(self, when: date) -> Optional[Revision]:
+        """Latest revision dated on or before ``when`` (contemporaneous list)."""
+        dates = [revision.date for revision in self._revisions]
+        index = bisect.bisect_right(dates, when) - 1
+        return self._revisions[index] if index >= 0 else None
+
+    def latest(self) -> Optional[Revision]:
+        """The newest revision, if any."""
+        return self._revisions[-1] if self._revisions else None
+
+    def delta(self, index: int) -> RevisionDelta:
+        """Difference between revision ``index`` and its predecessor."""
+        current = set(self._revisions[index].rule_lines())
+        previous = set(self._revisions[index - 1].rule_lines()) if index > 0 else set()
+        return RevisionDelta(
+            added=sorted(current - previous), removed=sorted(previous - current)
+        )
+
+    def average_churn_per_revision(self) -> float:
+        """Mean rules added/modified per revision (§3.2's headline rates)."""
+        if len(self._revisions) < 2:
+            return 0.0
+        total = sum(self.delta(i).churn for i in range(1, len(self._revisions)))
+        return total / (len(self._revisions) - 1)
+
+    def average_churn_per_day(self) -> float:
+        """Mean rules added/modified per calendar day over the history."""
+        if len(self._revisions) < 2:
+            return 0.0
+        days = (self.last_date - self.first_date).days
+        if days <= 0:
+            return 0.0
+        total = sum(self.delta(i).churn for i in range(1, len(self._revisions)))
+        return total / days
+
+    def rule_type_series(self) -> List[Tuple[date, Dict[RuleType, int]]]:
+        """Per-revision Figure 1 rule-type counts."""
+        return [
+            (revision.date, count_rule_types(revision.rules))
+            for revision in self._revisions
+        ]
+
+    def total_rules_series(self) -> List[Tuple[date, int]]:
+        """(date, rule count) per revision."""
+        return [(revision.date, len(revision.rules)) for revision in self._revisions]
+
+    def domain_first_appearance(self) -> Dict[str, date]:
+        """First revision date at which each targeted domain appears.
+
+        This drives §3.3's promptness comparison (Figure 3) and §4's
+        rule-addition-delay CDF (Figure 7).
+        """
+        first_seen: Dict[str, date] = {}
+        for revision in self._revisions:
+            for rule in revision.rules:
+                for domain in rule.targeted_domains():
+                    first_seen.setdefault(domain, revision.date)
+        return first_seen
+
+    def targeted_domains_latest(self) -> List[str]:
+        """Domains targeted by the most recent revision."""
+        latest = self.latest()
+        if latest is None:
+            return []
+        seen = set()
+        ordered: List[str] = []
+        for rule in latest.rules:
+            for domain in rule.targeted_domains():
+                if domain not in seen:
+                    seen.add(domain)
+                    ordered.append(domain)
+        return ordered
+
+
+def combine_histories(name: str, *histories: FilterListHistory) -> FilterListHistory:
+    """Merge several histories into one (the paper's *Combined EasyList*).
+
+    For every date on which any input history has a revision, the combined
+    revision concatenates each input's contemporaneous rules. Inputs that
+    have no revision yet on a date contribute nothing (the Adblock Warning
+    Removal List starts two years after EasyList's anti-adblock sections).
+    """
+    all_dates = sorted({revision.date for history in histories for revision in history})
+    combined = FilterListHistory(name)
+    for revision_date in all_dates:
+        merged = FilterList(name=name)
+        for history in histories:
+            version = history.version_at(revision_date)
+            if version is not None:
+                merged.rules.extend(version.filter_list.rules)
+        combined.add_revision(revision_date, merged)
+    return combined

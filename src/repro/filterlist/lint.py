@@ -1,0 +1,215 @@
+"""Filter-list linting: redundancy and dead-rule analysis.
+
+Crowdsourced lists accumulate cruft — §3.3's comparison shows both lists
+carrying thousands of rules of very different styles. This linter finds
+the three classes of cruft that matter when merging ML-generated candidate
+rules (:mod:`repro.core.rulegen`) into an existing list:
+
+- **duplicates** — textually identical rules;
+- **shadowed rules** — a specific rule that can never decide a request
+  because a broader rule of the same polarity already matches everything
+  it matches (``||pagefair.com/measure.js`` under ``||pagefair.com^``);
+- **dead exceptions** — ``@@`` rules whose pattern no blocking rule can
+  ever match, so they override nothing.
+
+Shadowing is decided *semantically* by probing: the candidate's pattern is
+materialised into representative URLs and checked against the broader
+rule. That is exact for the anchor/path shapes lists actually use, without
+attempting general regex-containment (undecidable in the ABP dialect's
+full generality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .rules import ElementRule, NetworkRule
+
+Rule = Union[NetworkRule, ElementRule]
+
+
+@dataclass
+class LintFinding:
+    """One linter finding."""
+
+    kind: str  # "duplicate" | "shadowed" | "dead-exception"
+    rule: Rule
+    by: Optional[Rule] = None  # the rule that causes the finding, if any
+
+    def describe(self) -> str:
+        """Human-readable one-liner for review output."""
+        if self.kind == "duplicate":
+            return f"duplicate: {self.rule.raw}"
+        if self.kind == "shadowed":
+            return f"shadowed: {self.rule.raw}  (by {self.by.raw})"
+        return f"dead exception: {self.rule.raw}"
+
+
+@dataclass
+class LintReport:
+    """All findings for one list."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def of_kind(self, kind: str) -> List[LintFinding]:
+        """Findings of one kind."""
+        return [f for f in self.findings if f.kind == kind]
+
+    def flagged_rules(self) -> List[Rule]:
+        """The rules the linter would drop."""
+        return [f.rule for f in self.findings]
+
+
+def probe_urls(rule: NetworkRule) -> List[str]:
+    """Representative URLs the rule's pattern matches.
+
+    Anchored patterns reconstruct naturally; substring patterns are
+    embedded in a neutral URL. Wildcards are filled with a short literal.
+    """
+    pattern = rule.pattern.replace("*", "x").replace("^", "/")
+    if rule.anchor_domain:
+        return [f"http://{pattern}", f"http://{pattern}x"]
+    if rule.anchor_start:
+        return [pattern if "://" in pattern else f"http://{pattern}"]
+    body = pattern.lstrip("/")
+    return [f"http://probe.example/{body}", f"http://probe.example/{body}?x=1"]
+
+
+def _same_constraints(a: NetworkRule, b: NetworkRule) -> bool:
+    """Whether ``b``'s option constraints are at most as strict as ``a``'s.
+
+    ``b`` shadows ``a`` only if every request ``a`` matches also satisfies
+    ``b``'s options: ``b`` must not demand resource types or domains that
+    ``a`` does not already imply.
+    """
+    if b.types and not (a.types and a.types <= b.types):
+        return False
+    if b.negated_types and not b.negated_types <= a.negated_types:
+        return False
+    if b.third_party is not None and b.third_party != a.third_party:
+        return False
+    if b.domains.include:
+        if not a.domains.include:
+            return False
+        if not set(a.domains.include) <= set(b.domains.include):
+            return False
+    if b.domains.exclude and not set(b.domains.exclude) <= set(a.domains.exclude):
+        return False
+    return True
+
+
+def shadows(broader: NetworkRule, specific: NetworkRule) -> bool:
+    """Whether ``broader`` matches everything ``specific`` matches."""
+    if broader is specific or broader.raw == specific.raw:
+        return False
+    if broader.is_exception != specific.is_exception:
+        return False
+    if broader.is_regex or specific.is_regex:
+        return False
+    if not _same_constraints(specific, broader):
+        return False
+    urls = probe_urls(specific)
+    if not urls:
+        return False
+    page_domain = specific.domains.include[0] if specific.domains.include else ""
+    return all(
+        broader.matches(
+            url,
+            page_domain=page_domain,
+            resource_type=next(iter(specific.types), "script"),
+            third_party=specific.third_party,
+        )
+        for url in urls
+    )
+
+
+def lint_rules(rules: Sequence[Rule]) -> LintReport:
+    """Lint a rule set; returns every duplicate/shadowed/dead finding."""
+    report = LintReport()
+    seen_raw: Dict[str, Rule] = {}
+    for rule in rules:
+        if rule.raw in seen_raw:
+            report.findings.append(
+                LintFinding(kind="duplicate", rule=rule, by=seen_raw[rule.raw])
+            )
+        else:
+            seen_raw[rule.raw] = rule
+
+    network = [r for r in rules if isinstance(r, NetworkRule)]
+    blocking = [r for r in network if not r.is_exception]
+    exceptions = [r for r in network if r.is_exception]
+
+    # Shadowing: compare each rule against broader same-polarity rules.
+    # Quadratic, bucketed by anchor host to stay fast on real list sizes.
+    by_host: Dict[str, List[NetworkRule]] = {}
+    generic: List[NetworkRule] = []
+    for rule in network:
+        host = rule.anchor_domain_name()
+        if host:
+            by_host.setdefault(host, []).append(rule)
+        else:
+            generic.append(rule)
+    for rule in network:
+        candidates: Iterable[NetworkRule] = generic
+        host = rule.anchor_domain_name()
+        if host:
+            parts = host.split(".")
+            related: List[NetworkRule] = []
+            for i in range(len(parts) - 1):
+                related.extend(by_host.get(".".join(parts[i:]), []))
+            candidates = list(generic) + related
+        for other in candidates:
+            if shadows(other, rule):
+                report.findings.append(LintFinding(kind="shadowed", rule=rule, by=other))
+                break
+
+    # Dead exceptions: no blocking rule matches the exception's probes.
+    for exception in exceptions:
+        urls = probe_urls(exception)
+        page_domain = (
+            exception.domains.include[0] if exception.domains.include else ""
+        )
+        alive = any(
+            blocker.matches(
+                url,
+                page_domain=page_domain,
+                resource_type=next(iter(exception.types), "script"),
+                third_party=exception.third_party,
+            )
+            for url in urls
+            for blocker in blocking
+        )
+        if not alive:
+            report.findings.append(LintFinding(kind="dead-exception", rule=exception))
+    return report
+
+
+def deduplicate_against(
+    candidates: Sequence[NetworkRule], existing: Sequence[Rule]
+) -> Tuple[List[NetworkRule], List[LintFinding]]:
+    """Drop candidate rules an existing list already covers.
+
+    The merge step of the ML-assisted authoring workflow: a candidate is
+    dropped when it is textually present or semantically shadowed by an
+    existing rule. Returns ``(kept, dropped_findings)``.
+    """
+    existing_raw = {rule.raw for rule in existing}
+    existing_network = [r for r in existing if isinstance(r, NetworkRule)]
+    kept: List[NetworkRule] = []
+    dropped: List[LintFinding] = []
+    for candidate in candidates:
+        if candidate.raw in existing_raw:
+            dropped.append(LintFinding(kind="duplicate", rule=candidate))
+            continue
+        shadow = next(
+            (rule for rule in existing_network if shadows(rule, candidate)), None
+        )
+        if shadow is not None:
+            dropped.append(LintFinding(kind="shadowed", rule=candidate, by=shadow))
+            continue
+        kept.append(candidate)
+    return kept, dropped

@@ -1,0 +1,152 @@
+"""URL matching engine over a set of network rules.
+
+Mirrors how real adblockers evaluate requests: exception (``@@``) rules
+dominate blocking rules, and rules are indexed by a literal token so a
+request only probes a small candidate subset rather than every rule (the
+classic keyword-index trick from Adblock Plus).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .rules import NetworkRule
+
+_TOKEN_RE = re.compile(r"[a-z0-9]{3,}")
+
+#: Tokens too common to discriminate; never used as index keys.
+_STOP_TOKENS = frozenset(
+    {"http", "https", "www", "com", "net", "org", "html", "index", "js", "css"}
+)
+
+
+def _pattern_tokens(rule: NetworkRule) -> List[str]:
+    """Candidate index tokens: literal runs of the pattern, no wildcards."""
+    if rule.is_regex:
+        return []
+    tokens = []
+    for chunk in re.split(r"[*^|]", rule.pattern.lower()):
+        tokens.extend(_TOKEN_RE.findall(chunk))
+    return [t for t in tokens if t not in _STOP_TOKENS]
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching one URL against the engine."""
+
+    blocked: bool
+    rule: Optional[NetworkRule] = None
+    exception: Optional[NetworkRule] = None
+
+    def __bool__(self) -> bool:
+        return self.blocked
+
+
+class NetworkMatcher:
+    """Token-indexed matcher over network rules.
+
+    ``match`` answers the adblocker question — is this request blocked? —
+    while ``first_match`` answers the measurement question used throughout
+    §4 — does *any* rule (blocking or exception) trigger on this URL?
+    """
+
+    def __init__(self, rules: Iterable[NetworkRule]) -> None:
+        self._block_index: Dict[str, List[NetworkRule]] = defaultdict(list)
+        self._allow_index: Dict[str, List[NetworkRule]] = defaultdict(list)
+        self._block_rest: List[NetworkRule] = []
+        self._allow_rest: List[NetworkRule] = []
+        self._count = 0
+        token_frequency: Dict[str, int] = defaultdict(int)
+        rules = list(rules)
+        for rule in rules:
+            for token in _pattern_tokens(rule):
+                token_frequency[token] += 1
+        for rule in rules:
+            self._count += 1
+            tokens = _pattern_tokens(rule)
+            index = self._allow_index if rule.is_exception else self._block_index
+            rest = self._allow_rest if rule.is_exception else self._block_rest
+            if tokens:
+                # Index under the rarest token for the smallest buckets.
+                best = min(tokens, key=lambda t: token_frequency[t])
+                index[best].append(rule)
+            else:
+                rest.append(rule)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _url_tokens(url: str) -> List[str]:
+        return _TOKEN_RE.findall(url.lower())
+
+    def _candidates(
+        self, url: str, index: Dict[str, List[NetworkRule]], rest: List[NetworkRule]
+    ) -> Iterable[NetworkRule]:
+        seen_buckets = set()
+        for token in self._url_tokens(url):
+            if token in index and token not in seen_buckets:
+                seen_buckets.add(token)
+                yield from index[token]
+        yield from rest
+
+    def _first(
+        self,
+        url: str,
+        index: Dict[str, List[NetworkRule]],
+        rest: List[NetworkRule],
+        page_domain: str,
+        resource_type: str,
+        third_party: Optional[bool],
+    ) -> Optional[NetworkRule]:
+        for rule in self._candidates(url, index, rest):
+            if rule.matches(url, page_domain, resource_type, third_party):
+                return rule
+        return None
+
+    def match(
+        self,
+        url: str,
+        page_domain: str = "",
+        resource_type: str = "other",
+        third_party: Optional[bool] = None,
+    ) -> MatchResult:
+        """Adblocker semantics: blocked unless an exception rule applies."""
+        blocking = self._first(
+            url, self._block_index, self._block_rest, page_domain, resource_type, third_party
+        )
+        if blocking is None:
+            return MatchResult(blocked=False)
+        allowing = self._first(
+            url, self._allow_index, self._allow_rest, page_domain, resource_type, third_party
+        )
+        if allowing is not None:
+            return MatchResult(blocked=False, rule=blocking, exception=allowing)
+        return MatchResult(blocked=True, rule=blocking)
+
+    def first_match(
+        self,
+        url: str,
+        page_domain: str = "",
+        resource_type: str = "other",
+        third_party: Optional[bool] = None,
+    ) -> Optional[NetworkRule]:
+        """First rule of either polarity that triggers on the URL.
+
+        This is the *coverage* notion used in §4: a website is labelled
+        anti-adblocking when any of its request URLs matches any HTTP rule
+        of the anti-adblock filter list, exception rules included (an
+        exception rule firing means the list had to special-case that
+        site's anti-adblock bait).
+        """
+        blocking = self._first(
+            url, self._block_index, self._block_rest, page_domain, resource_type, third_party
+        )
+        if blocking is not None:
+            return blocking
+        return self._first(
+            url, self._allow_index, self._allow_rest, page_domain, resource_type, third_party
+        )

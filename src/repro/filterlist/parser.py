@@ -1,0 +1,141 @@
+"""Parsing whole filter-list documents.
+
+A filter list is a text file: a ``[Adblock Plus …]`` header, ``!`` comment
+lines (some of which are section markers), and one rule per line. EasyList
+organises its rules into sections delimited by
+``!---------- section name ----------!`` comments; the paper analyses only
+the anti-adblock sections of EasyList, so the parser keeps track of which
+section every rule came from.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+from .rules import ElementRule, NetworkRule, RuleParseError, parse_rule
+
+Rule = Union[NetworkRule, ElementRule]
+
+_SECTION_RE = re.compile(r"^!\s*-{2,}\s*(?P<name>.*?)\s*-{2,}\s*!?\s*$")
+_METADATA_RE = re.compile(r"^!\s*(?P<key>[A-Za-z][\w ]*?)\s*:\s*(?P<value>.+)$")
+
+
+@dataclass
+class ParsedRule:
+    """A rule plus its position and section inside the source document."""
+
+    rule: Rule
+    line_number: int
+    section: str = ""
+
+
+@dataclass
+class FilterList:
+    """A parsed filter-list document."""
+
+    name: str = ""
+    rules: List[ParsedRule] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[ParsedRule]:
+        return iter(self.rules)
+
+    @property
+    def network_rules(self) -> List[NetworkRule]:
+        """The document's HTTP request rules."""
+        return [pr.rule for pr in self.rules if isinstance(pr.rule, NetworkRule)]
+
+    @property
+    def element_rules(self) -> List[ElementRule]:
+        """The document's element-hiding rules."""
+        return [pr.rule for pr in self.rules if isinstance(pr.rule, ElementRule)]
+
+    def sections(self) -> List[str]:
+        """Distinct section names in document order."""
+        seen = []
+        for parsed in self.rules:
+            if parsed.section not in seen:
+                seen.append(parsed.section)
+        return seen
+
+    def section_rules(self, *section_names: str) -> "FilterList":
+        """A sub-list containing only rules from the named sections.
+
+        Section names are matched case-insensitively as substrings, which is
+        how one selects e.g. every EasyList section whose name mentions
+        "adblock" (the paper's *anti-adblock sections of EasyList*).
+        """
+        wanted = [name.lower() for name in section_names]
+        picked = [
+            parsed
+            for parsed in self.rules
+            if any(w in parsed.section.lower() for w in wanted)
+        ]
+        return FilterList(name=self.name, rules=picked, metadata=dict(self.metadata))
+
+    def rule_lines(self) -> List[str]:
+        """Raw rule text lines in document order."""
+        return [parsed.rule.raw for parsed in self.rules]
+
+
+def parse_filter_list(text: str, name: str = "", strict: bool = False) -> FilterList:
+    """Parse a filter-list document into a :class:`FilterList`.
+
+    Malformed lines are recorded in ``errors`` and skipped unless
+    ``strict`` is true, matching how real adblockers tolerate bad rules.
+    """
+    result = FilterList(name=name)
+    section = ""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            result.metadata.setdefault("header", line.strip("[]"))
+            continue
+        if line.startswith("!"):
+            section_match = _SECTION_RE.match(line)
+            if section_match:
+                section = section_match.group("name")
+                continue
+            metadata_match = _METADATA_RE.match(line)
+            if metadata_match:
+                key = metadata_match.group("key").strip().lower()
+                result.metadata[key] = metadata_match.group("value").strip()
+            continue
+        try:
+            rule = parse_rule(line)
+        except RuleParseError as exc:
+            if strict:
+                raise
+            result.errors.append(f"line {line_number}: {exc}")
+            continue
+        result.rules.append(ParsedRule(rule=rule, line_number=line_number, section=section))
+    return result
+
+
+def serialize_filter_list(
+    filter_list: FilterList, title: Optional[str] = None
+) -> str:
+    """Render a :class:`FilterList` back to filter-list text."""
+    lines = ["[Adblock Plus 2.0]"]
+    if title or filter_list.name:
+        lines.append(f"! Title: {title or filter_list.name}")
+    for key, value in filter_list.metadata.items():
+        if key in ("header", "title"):
+            continue
+        lines.append(f"! {key.capitalize()}: {value}")
+    current_section = None
+    for parsed in filter_list.rules:
+        if parsed.section != current_section:
+            current_section = parsed.section
+            if current_section:
+                lines.append(f"!-------------- {current_section} --------------!")
+        lines.append(parsed.rule.raw)
+    return "\n".join(lines) + "\n"

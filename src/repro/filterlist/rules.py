@@ -1,0 +1,354 @@
+"""Rule model for Adblock Plus style filter lists.
+
+Implements the two rule families the paper analyses (§2.1):
+
+- **HTTP request filter rules** (:class:`NetworkRule`) matching request URLs,
+  with domain anchors (``||``), start/end anchors (``|``), wildcards (``*``),
+  the separator placeholder (``^``), and ``$``-options (resource types,
+  ``third-party``, ``domain=``).
+- **HTML element filter rules** (:class:`ElementRule`) hiding elements by
+  CSS selector, optionally restricted to a set of domains.
+
+Exception rules (``@@`` and ``#@#``) override their blocking counterparts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import FrozenSet, List, Optional, Tuple
+
+#: Resource-type options understood by the matcher. ``document`` and
+#: ``elemhide`` only make sense on exceptions but parse everywhere.
+RESOURCE_TYPE_OPTIONS = frozenset(
+    """script image stylesheet object xmlhttprequest object-subrequest
+    subdocument document elemhide other background xbl ping dtd media
+    websocket webrtc popup font""".split()
+)
+
+#: Options that take no value and are not resource types.
+FLAG_OPTIONS = frozenset({"third-party", "match-case", "collapse", "donottrack", "generichide", "genericblock"})
+
+
+class RuleParseError(ValueError):
+    """Raised when a filter-rule line cannot be parsed."""
+
+
+def domain_matches(candidate: str, rule_domain: str) -> bool:
+    """True when ``candidate`` equals ``rule_domain`` or is a subdomain."""
+    candidate = candidate.lower().rstrip(".")
+    rule_domain = rule_domain.lower().rstrip(".")
+    if candidate == rule_domain:
+        return True
+    return candidate.endswith("." + rule_domain)
+
+
+@dataclass(frozen=True)
+class DomainOption:
+    """Parsed ``domain=`` option: positive and negated (``~``) domains."""
+
+    include: Tuple[str, ...] = ()
+    exclude: Tuple[str, ...] = ()
+
+    @classmethod
+    def parse(cls, value: str) -> "DomainOption":
+        """Parse one rule line into a rule object."""
+        include: List[str] = []
+        exclude: List[str] = []
+        for part in value.replace(",", "|").split("|"):
+            part = part.strip().lower()
+            if not part:
+                continue
+            if part.startswith("~"):
+                exclude.append(part[1:])
+            else:
+                include.append(part)
+        return cls(include=tuple(include), exclude=tuple(exclude))
+
+    def applies_to(self, page_domain: str) -> bool:
+        """Whether a rule with this option is active on ``page_domain``."""
+        if any(domain_matches(page_domain, d) for d in self.exclude):
+            return False
+        if self.include:
+            return any(domain_matches(page_domain, d) for d in self.include)
+        return True
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the option carries no domains at all."""
+        return not self.include and not self.exclude
+
+
+@lru_cache(maxsize=65536)
+def _compile_pattern(pattern: str, anchor_start: bool, anchor_end: bool, anchor_domain: bool) -> re.Pattern:
+    """Translate an ABP URL pattern into a compiled regular expression."""
+    regex = re.escape(pattern)
+    regex = regex.replace(r"\*", ".*")
+    # ``^`` matches a separator: anything that is not a letter, digit, or
+    # one of ``_ - . %``; it also matches the end of the URL.
+    regex = regex.replace(r"\^", r"(?:[^\w\-.%]|$)")
+    if anchor_domain:
+        regex = r"^[a-z][a-z0-9+.\-]*://(?:[^/?#]*\.)?" + regex
+    elif anchor_start:
+        regex = "^" + regex
+    if anchor_end:
+        regex += "$"
+    return re.compile(regex, re.IGNORECASE)
+
+
+@dataclass
+class NetworkRule:
+    """One HTTP request filter rule.
+
+    Attributes mirror the ABP syntax: ``pattern`` is the URL pattern with
+    anchors stripped; the three ``anchor_*`` flags record ``|``/``||``;
+    ``types``/``negated_types`` hold resource-type options; ``third_party``
+    is ``True``/``False``/``None`` for ``$third-party``/``$~third-party``/
+    unspecified; ``domains`` is the parsed ``domain=`` option.
+    """
+
+    raw: str
+    pattern: str
+    is_exception: bool = False
+    anchor_start: bool = False
+    anchor_end: bool = False
+    anchor_domain: bool = False
+    types: FrozenSet[str] = frozenset()
+    negated_types: FrozenSet[str] = frozenset()
+    third_party: Optional[bool] = None
+    domains: DomainOption = field(default_factory=DomainOption)
+    is_regex: bool = False
+    _regex: Optional[re.Pattern] = field(default=None, repr=False, compare=False)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def parse(cls, line: str) -> "NetworkRule":
+        """Parse one network-rule line (without surrounding whitespace)."""
+        raw = line
+        is_exception = line.startswith("@@")
+        if is_exception:
+            line = line[2:]
+
+        options_text = ""
+        if line.startswith("/") and line.rstrip("/").count("/") >= 1 and line.endswith("/") and len(line) > 2:
+            # ``/regex/`` rules — rare; treated as raw regex.
+            return cls(raw=raw, pattern=line[1:-1], is_exception=is_exception, is_regex=True)
+        dollar = cls._find_options_separator(line)
+        if dollar >= 0:
+            options_text = line[dollar + 1 :]
+            line = line[:dollar]
+
+        anchor_domain = line.startswith("||")
+        if anchor_domain:
+            line = line[2:]
+        anchor_start = not anchor_domain and line.startswith("|")
+        if anchor_start:
+            line = line[1:]
+        anchor_end = line.endswith("|")
+        if anchor_end:
+            line = line[:-1]
+
+        if not line:
+            # A bare ``@@``/``||``/``|`` would compile to a match-everything
+            # pattern; real adblockers reject such lines.
+            raise RuleParseError(f"empty pattern in rule {raw!r}")
+
+        rule = cls(
+            raw=raw,
+            pattern=line,
+            is_exception=is_exception,
+            anchor_start=anchor_start,
+            anchor_end=anchor_end,
+            anchor_domain=anchor_domain,
+        )
+        if options_text:
+            rule._apply_options(options_text)
+        return rule
+
+    @staticmethod
+    def _find_options_separator(line: str) -> int:
+        """Index of the ``$`` that starts the options, or -1.
+
+        The separator is the last ``$`` whose suffix looks like a valid
+        option list (guards against ``$`` inside URL patterns).
+        """
+        index = line.rfind("$")
+        if index <= 0 or index == len(line) - 1:
+            return -1
+        suffix = line[index + 1 :]
+        if re.fullmatch(r"[\w\-~,=.|:*%^]+", suffix):
+            return index
+        return -1
+
+    def _apply_options(self, options_text: str) -> None:
+        types = set()
+        negated = set()
+        for option in options_text.split(","):
+            option = option.strip()
+            if not option:
+                continue
+            lowered = option.lower()
+            if lowered.startswith("domain="):
+                self.domains = DomainOption.parse(option[len("domain=") :])
+            elif lowered == "third-party":
+                self.third_party = True
+            elif lowered == "~third-party":
+                self.third_party = False
+            elif lowered in FLAG_OPTIONS:
+                continue
+            elif lowered.startswith("sitekey=") or lowered.startswith("csp=") or lowered.startswith("rewrite="):
+                continue
+            elif lowered.startswith("~") and lowered[1:] in RESOURCE_TYPE_OPTIONS:
+                negated.add(lowered[1:])
+            elif lowered in RESOURCE_TYPE_OPTIONS:
+                types.add(lowered)
+            else:
+                raise RuleParseError(f"unknown option {option!r} in {self.raw!r}")
+        self.types = frozenset(types)
+        self.negated_types = frozenset(negated)
+
+    # -- matching -----------------------------------------------------------
+
+    @property
+    def regex(self) -> re.Pattern:
+        """The compiled URL-matching regular expression (lazy)."""
+        if self._regex is None:
+            if self.is_regex:
+                self._regex = re.compile(self.pattern, re.IGNORECASE)
+            else:
+                self._regex = _compile_pattern(
+                    self.pattern, self.anchor_start, self.anchor_end, self.anchor_domain
+                )
+        return self._regex
+
+    def matches(
+        self,
+        url: str,
+        page_domain: str = "",
+        resource_type: str = "other",
+        third_party: Optional[bool] = None,
+    ) -> bool:
+        """Whether this rule matches ``url`` requested from ``page_domain``."""
+        if self.third_party is not None and third_party is not None:
+            if self.third_party != third_party:
+                return False
+        if self.types and resource_type not in self.types:
+            return False
+        if self.negated_types and resource_type in self.negated_types:
+            return False
+        if not self.domains.is_empty and not self.domains.applies_to(page_domain):
+            return False
+        return self.regex.search(url) is not None
+
+    # -- taxonomy helpers ----------------------------------------------------
+
+    @property
+    def has_domain_anchor(self) -> bool:
+        """Whether the pattern starts with the || anchor."""
+        return self.anchor_domain
+
+    @property
+    def has_domain_tag(self) -> bool:
+        """Whether a $domain= option is present."""
+        return bool(self.domains.include or self.domains.exclude)
+
+    def anchor_domain_name(self) -> Optional[str]:
+        """The registered host targeted by the domain anchor, if any."""
+        if not self.anchor_domain:
+            return None
+        match = re.match(r"^([\w.\-]+)", self.pattern)
+        if not match:
+            return None
+        host = match.group(1).strip(".").lower()
+        return host or None
+
+    def targeted_domains(self) -> List[str]:
+        """Domains this rule is written against (for §3.3's overlap study)."""
+        domains: List[str] = []
+        anchor = self.anchor_domain_name()
+        if anchor:
+            domains.append(anchor)
+        domains.extend(self.domains.include)
+        seen = set()
+        unique = []
+        for domain in domains:
+            if domain not in seen:
+                seen.add(domain)
+                unique.append(domain)
+        return unique
+
+
+@dataclass
+class ElementRule:
+    """One HTML element-hiding rule (``domains##selector``)."""
+
+    raw: str
+    selector: str
+    include_domains: Tuple[str, ...] = ()
+    exclude_domains: Tuple[str, ...] = ()
+    is_exception: bool = False
+
+    SEPARATORS = ("#@#", "##")
+
+    @classmethod
+    def parse(cls, line: str) -> "ElementRule":
+        """Parse one rule line into a rule object."""
+        for separator in cls.SEPARATORS:
+            index = line.find(separator)
+            if index >= 0:
+                domains_text = line[:index]
+                selector = line[index + len(separator) :].strip()
+                if not selector:
+                    raise RuleParseError(f"empty selector in {line!r}")
+                include: List[str] = []
+                exclude: List[str] = []
+                for part in domains_text.split(","):
+                    part = part.strip().lower()
+                    if not part:
+                        continue
+                    if part.startswith("~"):
+                        exclude.append(part[1:])
+                    else:
+                        include.append(part)
+                return cls(
+                    raw=line,
+                    selector=selector,
+                    include_domains=tuple(include),
+                    exclude_domains=tuple(exclude),
+                    is_exception=separator == "#@#",
+                )
+        raise RuleParseError(f"not an element rule: {line!r}")
+
+    def applies_to(self, page_domain: str) -> bool:
+        """Whether the rule is active on ``page_domain``."""
+        if any(domain_matches(page_domain, d) for d in self.exclude_domains):
+            return False
+        if self.include_domains:
+            return any(domain_matches(page_domain, d) for d in self.include_domains)
+        return True
+
+    @property
+    def has_domain(self) -> bool:
+        """Whether the rule is restricted to specific domains."""
+        return bool(self.include_domains)
+
+    def targeted_domains(self) -> List[str]:
+        """Domains this rule is written against."""
+        return list(self.include_domains)
+
+
+def is_element_rule_line(line: str) -> bool:
+    """Quick syntactic test for element-hiding rules."""
+    return "##" in line or "#@#" in line
+
+
+def parse_rule(line: str):
+    """Parse a single rule line into a NetworkRule or ElementRule."""
+    line = line.strip()
+    if not line or line.startswith("!") or line.startswith("["):
+        raise RuleParseError(f"not a rule line: {line!r}")
+    if is_element_rule_line(line):
+        return ElementRule.parse(line)
+    return NetworkRule.parse(line)

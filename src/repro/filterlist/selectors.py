@@ -1,0 +1,175 @@
+"""Minimal CSS selector engine for element-hiding rules.
+
+Element-hiding rules in anti-adblock filter lists overwhelmingly use ID
+(``###notice``) and class (``##.adblock-overlay``) selectors, occasionally
+with attribute tests or descendant/child combinators. This engine covers
+that subset and works against any DOM object exposing ``tag``, ``attrs``,
+``children`` and ``parent`` (satisfied by :class:`repro.web.dom.Element`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+class SelectorParseError(ValueError):
+    """Raised when a selector string cannot be parsed."""
+
+
+@dataclass
+class SimpleSelector:
+    """One compound selector: ``tag#id.class[attr=value]``."""
+
+    tag: Optional[str] = None
+    id: Optional[str] = None
+    classes: List[str] = field(default_factory=list)
+    attributes: List[tuple] = field(default_factory=list)  # (name, op, value)
+
+    def matches(self, element) -> bool:
+        """Whether the element satisfies this compound selector."""
+        if self.tag is not None and element.tag.lower() != self.tag:
+            return False
+        if self.id is not None and element.attrs.get("id") != self.id:
+            return False
+        if self.classes:
+            element_classes = set(element.attrs.get("class", "").split())
+            if not all(cls in element_classes for cls in self.classes):
+                return False
+        for name, op, value in self.attributes:
+            actual = element.attrs.get(name)
+            if actual is None:
+                return False
+            if op == "=" and actual != value:
+                return False
+            if op == "^=" and not actual.startswith(value):
+                return False
+            if op == "$=" and not actual.endswith(value):
+                return False
+            if op == "*=" and value not in actual:
+                return False
+            if op == "~=" and value not in actual.split():
+                return False
+        return True
+
+
+@dataclass
+class Selector:
+    """A selector chain: compound selectors joined by combinators."""
+
+    parts: List[SimpleSelector] = field(default_factory=list)
+    combinators: List[str] = field(default_factory=list)  # between parts: ' ' or '>'
+
+    def matches(self, element) -> bool:
+        """Whether ``element`` matches the full chain (rightmost-first)."""
+        if not self.parts:
+            return False
+        if not self.parts[-1].matches(element):
+            return False
+        return self._match_ancestors(element, len(self.parts) - 2)
+
+    def _match_ancestors(self, element, part_index: int) -> bool:
+        if part_index < 0:
+            return True
+        combinator = self.combinators[part_index]
+        part = self.parts[part_index]
+        parent = element.parent
+        if combinator == ">":
+            if parent is None or not part.matches(parent):
+                return False
+            return self._match_ancestors(parent, part_index - 1)
+        # descendant combinator: try every ancestor
+        while parent is not None:
+            if part.matches(parent) and self._match_ancestors(parent, part_index - 1):
+                return True
+            parent = parent.parent
+        return False
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<combinator>\s*>\s*|\s+)
+    | (?P<id>\#[-\w]+)
+    | (?P<class>\.[-\w]+)
+    | (?P<attr>\[[^\]]+\])
+    | (?P<tag>[-\w]+|\*)
+    """,
+    re.VERBOSE,
+)
+
+_ATTR_RE = re.compile(
+    r"""^\[\s*(?P<name>[-\w]+)\s*(?:(?P<op>[~^$*|]?=)\s*(?P<value>"[^"]*"|'[^']*'|[^\]\s]*)\s*)?\]$""",
+)
+
+
+def parse_selector_group(text: str) -> List[Selector]:
+    """Parse a (possibly comma-separated) selector group."""
+    selectors = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if piece:
+            selectors.append(parse_selector(piece))
+    if not selectors:
+        raise SelectorParseError(f"empty selector: {text!r}")
+    return selectors
+
+
+def parse_selector(text: str) -> Selector:
+    """Parse a single selector chain."""
+    text = text.strip()
+    if not text:
+        raise SelectorParseError("empty selector")
+    parts: List[SimpleSelector] = [SimpleSelector()]
+    combinators: List[str] = []
+    position = 0
+    part_has_content = False
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SelectorParseError(f"cannot parse selector {text!r} at {position}")
+        position = match.end()
+        if match.group("combinator") is not None:
+            if not part_has_content:
+                raise SelectorParseError(f"dangling combinator in {text!r}")
+            combinators.append(">" if ">" in match.group("combinator") else " ")
+            parts.append(SimpleSelector())
+            part_has_content = False
+            continue
+        current = parts[-1]
+        part_has_content = True
+        if match.group("id"):
+            current.id = match.group("id")[1:]
+        elif match.group("class"):
+            current.classes.append(match.group("class")[1:])
+        elif match.group("attr"):
+            attr_match = _ATTR_RE.match(match.group("attr"))
+            if attr_match is None:
+                raise SelectorParseError(f"bad attribute selector in {text!r}")
+            name = attr_match.group("name")
+            op = attr_match.group("op")
+            value = attr_match.group("value")
+            if op is None:
+                current.attributes.append((name, "present", ""))
+            else:
+                if value and value[0] in "\"'" and value[-1] == value[0]:
+                    value = value[1:-1]
+                current.attributes.append((name, op, value))
+        elif match.group("tag"):
+            tag = match.group("tag")
+            current.tag = None if tag == "*" else tag.lower()
+    if not part_has_content:
+        raise SelectorParseError(f"dangling combinator in {text!r}")
+    return Selector(parts=parts, combinators=combinators)
+
+
+def select(root, selector_text: str) -> List:
+    """All elements under ``root`` (inclusive) matching the selector group."""
+    selectors = parse_selector_group(selector_text)
+    matched = []
+    stack = [root]
+    while stack:
+        element = stack.pop()
+        if any(s.matches(element) for s in selectors):
+            matched.append(element)
+        stack.extend(reversed(element.children))
+    return matched

@@ -1,0 +1,341 @@
+"""JavaScript code generation: AST back to source.
+
+Lets callers materialise analysis results — most usefully the *unpacked*
+form of an ``eval()``-packed script — as runnable JavaScript. Output is
+normalised (semicolons everywhere, canonical spacing), so generating twice
+is idempotent: ``gen(parse(gen(tree))) == gen(tree)``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import nodes as N
+
+#: Precedence table for parenthesisation decisions (mirrors the parser's).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "instanceof": 7,
+    "in": 7,
+    "<<": 8,
+    ">>": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_INDENT = "    "
+
+
+class CodeGenerator:
+    """Serialises an AST subtree into JavaScript source text."""
+
+    def generate(self, node: N.Node) -> str:
+        """Serialise a Program (or a single statement) to source text."""
+        return self._statements(node.body, 0) if isinstance(node, N.Program) else self._statement(node, 0)
+
+    # -- statements -----------------------------------------------------------
+
+    def _statements(self, body: List[N.Node], depth: int) -> str:
+        return "\n".join(self._statement(statement, depth) for statement in body)
+
+    def _statement(self, node: N.Node, depth: int) -> str:
+        pad = _INDENT * depth
+        method = getattr(self, f"_stmt_{node.type}", None)
+        if method is None:
+            raise ValueError(f"cannot generate statement {node.type}")
+        return pad + method(node, depth)
+
+    def _stmt_ExpressionStatement(self, node: N.ExpressionStatement, depth: int) -> str:
+        text = self._expression(node.expression, 0)
+        # Guard statements that would parse as declarations/blocks.
+        if text.startswith(("function", "{")):
+            text = f"({text})"
+        return text + ";"
+
+    def _stmt_VariableDeclaration(self, node: N.VariableDeclaration, depth: int) -> str:
+        return self._declaration_text(node) + ";"
+
+    def _declaration_text(self, node: N.VariableDeclaration) -> str:
+        parts = []
+        for declarator in node.declarations:
+            text = declarator.id.name
+            if declarator.init is not None:
+                text += " = " + self._expression(declarator.init, 2)
+            parts.append(text)
+        return f"{node.kind} " + ", ".join(parts)
+
+    def _stmt_FunctionDeclaration(self, node: N.FunctionDeclaration, depth: int) -> str:
+        return self._function_text(node, depth, keyword_name=True)
+
+    def _function_text(self, node, depth: int, keyword_name: bool) -> str:
+        name = f" {node.id.name}" if node.id is not None else ""
+        params = ", ".join(param.name for param in node.params)
+        body = self._block_text(node.body, depth)
+        return f"function{name}({params}) {body}"
+
+    def _block_text(self, block: N.BlockStatement, depth: int) -> str:
+        if not block.body:
+            return "{}"
+        inner = self._statements(block.body, depth + 1)
+        return "{\n" + inner + "\n" + _INDENT * depth + "}"
+
+    def _stmt_BlockStatement(self, node: N.BlockStatement, depth: int) -> str:
+        return self._block_text(node, depth)
+
+    def _stmt_EmptyStatement(self, node: N.EmptyStatement, depth: int) -> str:
+        return ";"
+
+    def _stmt_IfStatement(self, node: N.IfStatement, depth: int) -> str:
+        text = f"if ({self._expression(node.test, 0)}) "
+        text += self._nested(node.consequent, depth)
+        if node.alternate is not None:
+            text += " else "
+            text += self._nested(node.alternate, depth)
+        return text
+
+    def _nested(self, statement: N.Node, depth: int) -> str:
+        """A statement in if/loop position, rendered without leading pad."""
+        if isinstance(statement, N.BlockStatement):
+            return self._block_text(statement, depth)
+        return self._statement(statement, depth).lstrip()
+
+    def _stmt_ForStatement(self, node: N.ForStatement, depth: int) -> str:
+        if node.init is None:
+            init = ""
+        elif isinstance(node.init, N.VariableDeclaration):
+            init = self._declaration_text(node.init)
+        else:
+            init = self._expression(node.init.expression, 0)
+        test = self._expression(node.test, 0) if node.test is not None else ""
+        update = self._expression(node.update, 0) if node.update is not None else ""
+        return f"for ({init}; {test}; {update}) " + self._nested(node.body, depth)
+
+    def _stmt_ForInStatement(self, node: N.ForInStatement, depth: int) -> str:
+        if isinstance(node.left, N.VariableDeclaration):
+            left = self._declaration_text(node.left)
+        else:
+            left = self._expression(node.left, 0)
+        right = self._expression(node.right, 0)
+        return f"for ({left} in {right}) " + self._nested(node.body, depth)
+
+    def _stmt_WhileStatement(self, node: N.WhileStatement, depth: int) -> str:
+        return f"while ({self._expression(node.test, 0)}) " + self._nested(node.body, depth)
+
+    def _stmt_DoWhileStatement(self, node: N.DoWhileStatement, depth: int) -> str:
+        return (
+            "do "
+            + self._nested(node.body, depth)
+            + f" while ({self._expression(node.test, 0)});"
+        )
+
+    def _stmt_ReturnStatement(self, node: N.ReturnStatement, depth: int) -> str:
+        if node.argument is None:
+            return "return;"
+        return f"return {self._expression(node.argument, 0)};"
+
+    def _stmt_BreakStatement(self, node: N.BreakStatement, depth: int) -> str:
+        return f"break {node.label.name};" if node.label else "break;"
+
+    def _stmt_ContinueStatement(self, node: N.ContinueStatement, depth: int) -> str:
+        return f"continue {node.label.name};" if node.label else "continue;"
+
+    def _stmt_ThrowStatement(self, node: N.ThrowStatement, depth: int) -> str:
+        return f"throw {self._expression(node.argument, 0)};"
+
+    def _stmt_TryStatement(self, node: N.TryStatement, depth: int) -> str:
+        text = "try " + self._block_text(node.block, depth)
+        if node.handler is not None:
+            text += f" catch ({node.handler.param.name}) "
+            text += self._block_text(node.handler.body, depth)
+        if node.finalizer is not None:
+            text += " finally " + self._block_text(node.finalizer, depth)
+        return text
+
+    def _stmt_SwitchStatement(self, node: N.SwitchStatement, depth: int) -> str:
+        pad = _INDENT * (depth + 1)
+        lines = [f"switch ({self._expression(node.discriminant, 0)}) {{"]
+        for case in node.cases:
+            if case.test is None:
+                lines.append(pad + "default:")
+            else:
+                lines.append(pad + f"case {self._expression(case.test, 0)}:")
+            for statement in case.consequent:
+                lines.append(self._statement(statement, depth + 2))
+        lines.append(_INDENT * depth + "}")
+        return "\n".join(lines)
+
+    def _stmt_LabeledStatement(self, node: N.LabeledStatement, depth: int) -> str:
+        return f"{node.label.name}: " + self._nested(node.body, depth)
+
+    def _stmt_DebuggerStatement(self, node: N.DebuggerStatement, depth: int) -> str:
+        return "debugger;"
+
+    def _stmt_WithStatement(self, node: N.WithStatement, depth: int) -> str:
+        return f"with ({self._expression(node.object, 0)}) " + self._nested(node.body, depth)
+
+    # -- expressions -------------------------------------------------------------
+
+    def _expression(self, node: N.Node, parent_precedence: int) -> str:
+        method = getattr(self, f"_expr_{node.type}", None)
+        if method is None:
+            raise ValueError(f"cannot generate expression {node.type}")
+        return method(node, parent_precedence)
+
+    def _expr_Identifier(self, node: N.Identifier, _p: int) -> str:
+        return node.name
+
+    def _expr_Literal(self, node: N.Literal, _p: int) -> str:
+        if node.regex is not None:
+            pattern, flags = node.regex
+            return f"/{pattern}/{flags}"
+        value = node.value
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, float):
+            return str(int(value)) if value == int(value) and abs(value) < 1e15 else repr(value)
+        escaped = (
+            str(value)
+            .replace("\\", "\\\\")
+            .replace("'", "\\'")
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
+        return f"'{escaped}'"
+
+    def _expr_ThisExpression(self, node: N.ThisExpression, _p: int) -> str:
+        return "this"
+
+    def _expr_ArrayExpression(self, node: N.ArrayExpression, _p: int) -> str:
+        elements = [
+            "" if element is None else self._expression(element, 2)
+            for element in node.elements
+        ]
+        return "[" + ", ".join(elements) + "]"
+
+    def _expr_ObjectExpression(self, node: N.ObjectExpression, _p: int) -> str:
+        if not node.properties:
+            return "{}"
+        parts = []
+        for prop in node.properties:
+            key = (
+                self._expression(prop.key, 0)
+                if isinstance(prop.key, N.Literal)
+                else prop.key.name
+            )
+            if prop.kind in ("get", "set"):
+                fn = prop.value
+                params = ", ".join(param.name for param in fn.params)
+                parts.append(f"{prop.kind} {key}({params}) {self._block_text(fn.body, 0)}")
+            else:
+                parts.append(f"{key}: {self._expression(prop.value, 2)}")
+        return "{ " + ", ".join(parts) + " }"
+
+    def _expr_FunctionExpression(self, node: N.FunctionExpression, _p: int) -> str:
+        return self._function_text(node, 0, keyword_name=False)
+
+    def _expr_UnaryExpression(self, node: N.UnaryExpression, _p: int) -> str:
+        space = " " if node.operator.isalpha() else ""
+        argument = self._expression(node.argument, 11)
+        if self._needs_parens(node.argument, 11):
+            argument = f"({argument})"
+        return f"{node.operator}{space}{argument}"
+
+    def _expr_UpdateExpression(self, node: N.UpdateExpression, _p: int) -> str:
+        argument = self._expression(node.argument, 15)
+        return (
+            f"{node.operator}{argument}" if node.prefix else f"{argument}{node.operator}"
+        )
+
+    def _binaryish(self, node, _p: int) -> str:
+        precedence = _PRECEDENCE[node.operator]
+        left = self._expression(node.left, precedence)
+        if self._needs_parens(node.left, precedence):
+            left = f"({left})"
+        right = self._expression(node.right, precedence + 1)
+        if self._needs_parens(node.right, precedence + 1):
+            right = f"({right})"
+        return f"{left} {node.operator} {right}"
+
+    _expr_BinaryExpression = _binaryish
+    _expr_LogicalExpression = _binaryish
+
+    def _needs_parens(self, node: N.Node, minimum: int) -> bool:
+        if isinstance(node, (N.BinaryExpression, N.LogicalExpression)):
+            return _PRECEDENCE[node.operator] < minimum
+        if isinstance(node, (N.AssignmentExpression, N.ConditionalExpression, N.SequenceExpression)):
+            return minimum > 0
+        if isinstance(node, (N.UnaryExpression,)):
+            return minimum > 11
+        if isinstance(node, N.FunctionExpression):
+            return True
+        return False
+
+    def _expr_AssignmentExpression(self, node: N.AssignmentExpression, parent: int) -> str:
+        left = self._expression(node.left, 15)
+        right = self._expression(node.right, 1)
+        text = f"{left} {node.operator} {right}"
+        return f"({text})" if parent > 1 else text
+
+    def _expr_ConditionalExpression(self, node: N.ConditionalExpression, parent: int) -> str:
+        test = self._expression(node.test, 2)
+        if self._needs_parens(node.test, 2):
+            test = f"({test})"
+        consequent = self._expression(node.consequent, 1)
+        alternate = self._expression(node.alternate, 1)
+        text = f"{test} ? {consequent} : {alternate}"
+        return f"({text})" if parent > 1 else text
+
+    def _expr_SequenceExpression(self, node: N.SequenceExpression, parent: int) -> str:
+        text = ", ".join(self._expression(e, 1) for e in node.expressions)
+        return f"({text})" if parent > 0 else text
+
+    def _expr_CallExpression(self, node: N.CallExpression, _p: int) -> str:
+        callee = self._expression(node.callee, 17)
+        if isinstance(node.callee, (N.FunctionExpression,)) or self._needs_parens(node.callee, 17):
+            callee = f"({callee})"
+        arguments = ", ".join(self._expression(a, 2) for a in node.arguments)
+        return f"{callee}({arguments})"
+
+    def _expr_NewExpression(self, node: N.NewExpression, _p: int) -> str:
+        callee = self._expression(node.callee, 18)
+        if isinstance(node.callee, (N.CallExpression, N.FunctionExpression)):
+            callee = f"({callee})"
+        arguments = ", ".join(self._expression(a, 2) for a in node.arguments)
+        return f"new {callee}({arguments})"
+
+    def _expr_MemberExpression(self, node: N.MemberExpression, _p: int) -> str:
+        obj = self._expression(node.object, 17)
+        needs = self._needs_parens(node.object, 17) or isinstance(
+            node.object, (N.FunctionExpression, N.ObjectExpression)
+        )
+        if isinstance(node.object, N.Literal) and isinstance(node.object.value, float):
+            needs = True
+        if needs:
+            obj = f"({obj})"
+        if node.computed:
+            return f"{obj}[{self._expression(node.property, 0)}]"
+        return f"{obj}.{node.property.name}"
+
+
+def to_source(node: N.Node) -> str:
+    """Serialise ``node`` (usually a Program) to JavaScript source."""
+    return CodeGenerator().generate(node)

@@ -1,0 +1,85 @@
+"""Structural AST comparison.
+
+``ast_equal`` decides whether two trees denote the same program, ignoring
+surface details that serialisation legitimately changes (the ``raw`` text
+of literals, e.g. ``0x10`` vs ``16``). It is what lets the code generator
+guarantee ``parse(to_source(tree)) ≡ tree`` as a hard property rather than
+a string-level idempotence check.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Optional
+
+from . import nodes as N
+
+
+def ast_equal(a: Optional[N.Node], b: Optional[N.Node]) -> bool:
+    """Whether two AST nodes are structurally identical."""
+    return first_difference(a, b) is None
+
+
+def first_difference(
+    a: Optional[N.Node], b: Optional[N.Node], path: str = "$"
+) -> Optional[str]:
+    """The path of the first structural difference, or ``None`` if equal.
+
+    Useful in test failures: pinpoints *where* two trees diverge instead
+    of a bare boolean.
+    """
+    if a is None or b is None:
+        return None if a is b else f"{path}: {a!r} != {b!r}"
+    if not isinstance(a, N.Node) or not isinstance(b, N.Node):
+        return None if _value_equal(a, b) else f"{path}: {a!r} != {b!r}"
+    if a.type != b.type:
+        return f"{path}: {a.type} != {b.type}"
+    for field in dataclasses.fields(a):
+        if field.name == "raw":
+            continue  # surface text; not structural
+        left = getattr(a, field.name)
+        right = getattr(b, field.name)
+        sub_path = f"{path}.{field.name}"
+        difference = _compare_values(left, right, sub_path)
+        if difference is not None:
+            return difference
+    return None
+
+
+def _compare_values(left: Any, right: Any, path: str) -> Optional[str]:
+    if isinstance(left, N.Node) or isinstance(right, N.Node):
+        if not (isinstance(left, N.Node) and isinstance(right, N.Node)):
+            return f"{path}: node vs non-node"
+        return first_difference(left, right, path)
+    if isinstance(left, list) and isinstance(right, list):
+        if len(left) != len(right):
+            return f"{path}: list length {len(left)} != {len(right)}"
+        for index, (l_item, r_item) in enumerate(zip(left, right)):
+            difference = _compare_values(l_item, r_item, f"{path}[{index}]")
+            if difference is not None:
+                return difference
+        return None
+    return None if _value_equal(left, right) else f"{path}: {left!r} != {right!r}"
+
+
+def _value_equal(left: Any, right: Any) -> bool:
+    # JS number semantics: 1 and 1.0 are the same literal value.
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        if isinstance(left, bool) != isinstance(right, bool):
+            return False
+        return float(left) == float(right)
+    return left == right
+
+
+def count_differences(a: N.Node, b: N.Node) -> int:
+    """Crude distance: number of mismatching subtrees at the top level."""
+    if ast_equal(a, b):
+        return 0
+    a_children: List[N.Node] = list(a.children())
+    b_children: List[N.Node] = list(b.children())
+    if a.type != b.type or len(a_children) != len(b_children):
+        return 1
+    total = sum(
+        count_differences(ac, bc) for ac, bc in zip(a_children, b_children)
+    )
+    return max(total, 1)

@@ -1,0 +1,627 @@
+"""Recursive-descent parser for an ES5 subset of JavaScript.
+
+Covers everything the anti-adblock corpus exercises: functions (declaration
+and expression), prototypes, object/array literals, regex literals, all
+control flow (``if``/``for``/``for-in``/``while``/``do``/``switch``/``try``),
+the full operator set with correct precedence and associativity, ``new``
+with and without arguments, and automatic semicolon insertion.
+
+The produced tree uses the ESTree-flavoured nodes from
+:mod:`repro.jsast.nodes`, which is what the paper's static feature
+extraction is defined over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import nodes as N
+from .tokenizer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised when the token stream cannot be parsed."""
+
+    def __init__(self, message: str, token: Token) -> None:
+        where = f"line {token.line}, column {token.column}"
+        shown = token.raw or "<eof>"
+        super().__init__(f"{message} near {shown!r} ({where})")
+        self.token = token
+
+
+# Binary operator precedence, ESTree operator strings. Higher binds tighter.
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "===": 6,
+    "!==": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "instanceof": 7,
+    "in": 7,
+    "<<": 8,
+    ">>": 8,
+    ">>>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_ASSIGNMENT_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>=", ">>>=", "&=", "|=", "^="}
+
+_UNARY_OPS = {"+", "-", "!", "~"}
+_UNARY_KEYWORDS = {"typeof", "void", "delete"}
+
+
+class Parser:
+    """Parses a token list into a :class:`~repro.jsast.nodes.Program`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        """The token at the cursor."""
+        return self.tokens[self.index]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def _expect_punct(self, value: str) -> Token:
+        if not self.current.is_punct(value):
+            raise ParseError(f"expected {value!r}", self.current)
+        return self._advance()
+
+    def _expect_keyword(self, value: str) -> Token:
+        if not self.current.is_keyword(value):
+            raise ParseError(f"expected keyword {value!r}", self.current)
+        return self._advance()
+
+    def _eat_punct(self, value: str) -> bool:
+        if self.current.is_punct(value):
+            self._advance()
+            return True
+        return False
+
+    def _consume_semicolon(self) -> None:
+        """Consume a statement terminator, honouring ASI."""
+        if self._eat_punct(";"):
+            return
+        token = self.current
+        if token.kind == "eof" or token.is_punct("}") or token.newline_before:
+            return
+        raise ParseError("expected ';'", token)
+
+    # -- entry point ---------------------------------------------------------
+
+    def parse_program(self) -> N.Program:
+        """Parse the whole token stream into a Program."""
+        body: List[N.Node] = []
+        while self.current.kind != "eof":
+            body.append(self.parse_statement())
+        return N.Program(body=body)
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> N.Node:
+        """Parse one statement (dispatching on the leading token)."""
+        token = self.current
+        if token.kind == "punct":
+            if token.raw == "{":
+                return self.parse_block()
+            if token.raw == ";":
+                self._advance()
+                return N.EmptyStatement()
+        if token.kind == "keyword":
+            handler = {
+                "var": self._parse_variable_statement,
+                "function": self._parse_function_declaration,
+                "if": self._parse_if,
+                "for": self._parse_for,
+                "while": self._parse_while,
+                "do": self._parse_do_while,
+                "return": self._parse_return,
+                "break": lambda: self._parse_break_continue(N.BreakStatement),
+                "continue": lambda: self._parse_break_continue(N.ContinueStatement),
+                "throw": self._parse_throw,
+                "try": self._parse_try,
+                "switch": self._parse_switch,
+                "debugger": self._parse_debugger,
+                "with": self._parse_with,
+            }.get(token.raw)
+            if handler is not None:
+                return handler()
+        if token.kind == "identifier" and self._peek().is_punct(":"):
+            label = N.Identifier(name=self._advance().value)
+            self._advance()  # ':'
+            return N.LabeledStatement(label=label, body=self.parse_statement())
+        expression = self.parse_expression()
+        self._consume_semicolon()
+        return N.ExpressionStatement(expression=expression)
+
+    def parse_block(self) -> N.BlockStatement:
+        """Parse a { ... } statement list."""
+        self._expect_punct("{")
+        body: List[N.Node] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind == "eof":
+                raise ParseError("unterminated block", self.current)
+            body.append(self.parse_statement())
+        self._advance()
+        return N.BlockStatement(body=body)
+
+    def _parse_variable_statement(self) -> N.VariableDeclaration:
+        declaration = self._parse_variable_declaration()
+        self._consume_semicolon()
+        return declaration
+
+    def _parse_variable_declaration(self, no_in: bool = False) -> N.VariableDeclaration:
+        self._expect_keyword("var")
+        declarators = [self._parse_variable_declarator(no_in)]
+        while self._eat_punct(","):
+            declarators.append(self._parse_variable_declarator(no_in))
+        return N.VariableDeclaration(declarations=declarators, kind="var")
+
+    def _parse_variable_declarator(self, no_in: bool) -> N.VariableDeclarator:
+        name = self._parse_identifier()
+        init = None
+        if self._eat_punct("="):
+            init = self.parse_assignment(no_in=no_in)
+        return N.VariableDeclarator(id=name, init=init)
+
+    def _parse_identifier(self) -> N.Identifier:
+        token = self.current
+        if token.kind != "identifier":
+            raise ParseError("expected identifier", token)
+        self._advance()
+        return N.Identifier(name=token.value)
+
+    def _parse_function_declaration(self) -> N.FunctionDeclaration:
+        self._expect_keyword("function")
+        name = self._parse_identifier()
+        params, body = self._parse_function_rest()
+        return N.FunctionDeclaration(id=name, params=params, body=body)
+
+    def _parse_function_rest(self) -> tuple:
+        self._expect_punct("(")
+        params: List[N.Identifier] = []
+        if not self.current.is_punct(")"):
+            params.append(self._parse_identifier())
+            while self._eat_punct(","):
+                params.append(self._parse_identifier())
+        self._expect_punct(")")
+        body = self.parse_block()
+        return params, body
+
+    def _parse_if(self) -> N.IfStatement:
+        self._expect_keyword("if")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        consequent = self.parse_statement()
+        alternate = None
+        if self.current.is_keyword("else"):
+            self._advance()
+            alternate = self.parse_statement()
+        return N.IfStatement(test=test, consequent=consequent, alternate=alternate)
+
+    def _parse_for(self) -> N.Node:
+        self._expect_keyword("for")
+        self._expect_punct("(")
+        init: Optional[N.Node] = None
+        if self.current.is_punct(";"):
+            self._advance()
+        elif self.current.is_keyword("var"):
+            init = self._parse_variable_declaration(no_in=True)
+            if self.current.is_keyword("in"):
+                self._advance()
+                right = self.parse_expression()
+                self._expect_punct(")")
+                return N.ForInStatement(left=init, right=right, body=self.parse_statement())
+            self._expect_punct(";")
+        else:
+            init_expr = self.parse_expression(no_in=True)
+            if self.current.is_keyword("in"):
+                self._advance()
+                right = self.parse_expression()
+                self._expect_punct(")")
+                return N.ForInStatement(left=init_expr, right=right, body=self.parse_statement())
+            init = N.ExpressionStatement(expression=init_expr)
+            self._expect_punct(";")
+        test = None if self.current.is_punct(";") else self.parse_expression()
+        self._expect_punct(";")
+        update = None if self.current.is_punct(")") else self.parse_expression()
+        self._expect_punct(")")
+        return N.ForStatement(init=init, test=test, update=update, body=self.parse_statement())
+
+    def _parse_while(self) -> N.WhileStatement:
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        return N.WhileStatement(test=test, body=self.parse_statement())
+
+    def _parse_do_while(self) -> N.DoWhileStatement:
+        self._expect_keyword("do")
+        body = self.parse_statement()
+        self._expect_keyword("while")
+        self._expect_punct("(")
+        test = self.parse_expression()
+        self._expect_punct(")")
+        self._eat_punct(";")
+        return N.DoWhileStatement(body=body, test=test)
+
+    def _parse_return(self) -> N.ReturnStatement:
+        self._expect_keyword("return")
+        argument = None
+        token = self.current
+        if not (
+            token.is_punct(";")
+            or token.is_punct("}")
+            or token.kind == "eof"
+            or token.newline_before
+        ):
+            argument = self.parse_expression()
+        self._consume_semicolon()
+        return N.ReturnStatement(argument=argument)
+
+    def _parse_break_continue(self, cls) -> N.Node:
+        self._advance()  # break / continue
+        label = None
+        token = self.current
+        if token.kind == "identifier" and not token.newline_before:
+            label = self._parse_identifier()
+        self._consume_semicolon()
+        return cls(label=label)
+
+    def _parse_throw(self) -> N.ThrowStatement:
+        self._expect_keyword("throw")
+        argument = self.parse_expression()
+        self._consume_semicolon()
+        return N.ThrowStatement(argument=argument)
+
+    def _parse_try(self) -> N.TryStatement:
+        self._expect_keyword("try")
+        block = self.parse_block()
+        handler = None
+        finalizer = None
+        if self.current.is_keyword("catch"):
+            self._advance()
+            self._expect_punct("(")
+            param = self._parse_identifier()
+            self._expect_punct(")")
+            handler = N.CatchClause(param=param, body=self.parse_block())
+        if self.current.is_keyword("finally"):
+            self._advance()
+            finalizer = self.parse_block()
+        if handler is None and finalizer is None:
+            raise ParseError("try requires catch or finally", self.current)
+        return N.TryStatement(block=block, handler=handler, finalizer=finalizer)
+
+    def _parse_switch(self) -> N.SwitchStatement:
+        self._expect_keyword("switch")
+        self._expect_punct("(")
+        discriminant = self.parse_expression()
+        self._expect_punct(")")
+        self._expect_punct("{")
+        cases: List[N.SwitchCase] = []
+        while not self.current.is_punct("}"):
+            if self.current.is_keyword("case"):
+                self._advance()
+                test = self.parse_expression()
+            elif self.current.is_keyword("default"):
+                self._advance()
+                test = None
+            else:
+                raise ParseError("expected 'case' or 'default'", self.current)
+            self._expect_punct(":")
+            consequent: List[N.Node] = []
+            while not (
+                self.current.is_punct("}")
+                or self.current.is_keyword("case")
+                or self.current.is_keyword("default")
+            ):
+                if self.current.kind == "eof":
+                    raise ParseError("unterminated switch", self.current)
+                consequent.append(self.parse_statement())
+            cases.append(N.SwitchCase(test=test, consequent=consequent))
+        self._advance()
+        return N.SwitchStatement(discriminant=discriminant, cases=cases)
+
+    def _parse_debugger(self) -> N.DebuggerStatement:
+        self._expect_keyword("debugger")
+        self._consume_semicolon()
+        return N.DebuggerStatement()
+
+    def _parse_with(self) -> N.WithStatement:
+        self._expect_keyword("with")
+        self._expect_punct("(")
+        obj = self.parse_expression()
+        self._expect_punct(")")
+        return N.WithStatement(object=obj, body=self.parse_statement())
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expression(self, no_in: bool = False) -> N.Node:
+        """Parse a (possibly comma-sequenced) expression."""
+        expression = self.parse_assignment(no_in=no_in)
+        if not self.current.is_punct(","):
+            return expression
+        expressions = [expression]
+        while self._eat_punct(","):
+            expressions.append(self.parse_assignment(no_in=no_in))
+        return N.SequenceExpression(expressions=expressions)
+
+    def parse_assignment(self, no_in: bool = False) -> N.Node:
+        """Parse an assignment-level expression."""
+        left = self._parse_conditional(no_in)
+        token = self.current
+        if token.kind == "punct" and token.raw in _ASSIGNMENT_OPS:
+            if not isinstance(left, (N.Identifier, N.MemberExpression)):
+                raise ParseError("invalid assignment target", token)
+            self._advance()
+            right = self.parse_assignment(no_in=no_in)
+            return N.AssignmentExpression(operator=token.raw, left=left, right=right)
+        return left
+
+    def _parse_conditional(self, no_in: bool) -> N.Node:
+        test = self._parse_binary(0, no_in)
+        if not self._eat_punct("?"):
+            return test
+        consequent = self.parse_assignment()
+        self._expect_punct(":")
+        alternate = self.parse_assignment(no_in=no_in)
+        return N.ConditionalExpression(test=test, consequent=consequent, alternate=alternate)
+
+    def _binary_operator(self, no_in: bool) -> Optional[str]:
+        token = self.current
+        if token.kind == "punct" and token.raw in _BINARY_PRECEDENCE:
+            return token.raw
+        if token.is_keyword("instanceof"):
+            return "instanceof"
+        if token.is_keyword("in") and not no_in:
+            return "in"
+        return None
+
+    def _parse_binary(self, min_precedence: int, no_in: bool) -> N.Node:
+        left = self._parse_unary(no_in)
+        while True:
+            operator = self._binary_operator(no_in)
+            if operator is None:
+                return left
+            precedence = _BINARY_PRECEDENCE[operator]
+            if precedence < min_precedence:
+                return left
+            self._advance()
+            right = self._parse_binary(precedence + 1, no_in)
+            cls = N.LogicalExpression if operator in ("&&", "||") else N.BinaryExpression
+            left = cls(operator=operator, left=left, right=right)
+
+    def _parse_unary(self, no_in: bool) -> N.Node:
+        token = self.current
+        if token.kind == "punct" and token.raw in _UNARY_OPS:
+            self._advance()
+            return N.UnaryExpression(operator=token.raw, argument=self._parse_unary(no_in))
+        if token.kind == "keyword" and token.raw in _UNARY_KEYWORDS:
+            self._advance()
+            return N.UnaryExpression(operator=token.raw, argument=self._parse_unary(no_in))
+        if token.is_punct("++", "--"):
+            self._advance()
+            argument = self._parse_unary(no_in)
+            return N.UpdateExpression(operator=token.raw, argument=argument, prefix=True)
+        return self._parse_postfix(no_in)
+
+    def _parse_postfix(self, no_in: bool) -> N.Node:
+        expression = self._parse_call(no_in)
+        token = self.current
+        if token.is_punct("++", "--") and not token.newline_before:
+            self._advance()
+            return N.UpdateExpression(operator=token.raw, argument=expression, prefix=False)
+        return expression
+
+    def _parse_call(self, no_in: bool) -> N.Node:
+        if self.current.is_keyword("new"):
+            expression = self._parse_new()
+        else:
+            expression = self._parse_primary()
+        while True:
+            if self._eat_punct("."):
+                token = self.current
+                if token.kind not in ("identifier", "keyword"):
+                    raise ParseError("expected property name", token)
+                self._advance()
+                prop = N.Identifier(name=token.raw)
+                expression = N.MemberExpression(object=expression, property=prop, computed=False)
+            elif self.current.is_punct("["):
+                self._advance()
+                prop = self.parse_expression()
+                self._expect_punct("]")
+                expression = N.MemberExpression(object=expression, property=prop, computed=True)
+            elif self.current.is_punct("("):
+                arguments = self._parse_arguments()
+                expression = N.CallExpression(callee=expression, arguments=arguments)
+            else:
+                return expression
+
+    def _parse_new(self) -> N.Node:
+        self._expect_keyword("new")
+        if self.current.is_keyword("new"):
+            callee: N.Node = self._parse_new()
+        else:
+            callee = self._parse_primary()
+        # Member accesses bind tighter than the new-expression call.
+        while True:
+            if self._eat_punct("."):
+                token = self.current
+                if token.kind not in ("identifier", "keyword"):
+                    raise ParseError("expected property name", token)
+                self._advance()
+                prop = N.Identifier(name=token.raw)
+                callee = N.MemberExpression(object=callee, property=prop, computed=False)
+            elif self.current.is_punct("["):
+                self._advance()
+                prop = self.parse_expression()
+                self._expect_punct("]")
+                callee = N.MemberExpression(object=callee, property=prop, computed=True)
+            else:
+                break
+        arguments = self._parse_arguments() if self.current.is_punct("(") else []
+        return N.NewExpression(callee=callee, arguments=arguments)
+
+    def _parse_arguments(self) -> List[N.Node]:
+        self._expect_punct("(")
+        arguments: List[N.Node] = []
+        if not self.current.is_punct(")"):
+            arguments.append(self.parse_assignment())
+            while self._eat_punct(","):
+                arguments.append(self.parse_assignment())
+        self._expect_punct(")")
+        return arguments
+
+    def _parse_primary(self) -> N.Node:
+        token = self.current
+        if token.kind == "identifier":
+            self._advance()
+            return N.Identifier(name=token.value)
+        if token.kind == "number":
+            self._advance()
+            return N.Literal(value=token.value, raw=token.raw)
+        if token.kind == "string":
+            self._advance()
+            return N.Literal(value=token.value, raw=token.raw)
+        if token.kind == "regex":
+            self._advance()
+            return N.Literal(value=token.raw, raw=token.raw, regex=token.value)
+        if token.kind == "keyword":
+            if token.raw == "this":
+                self._advance()
+                return N.ThisExpression()
+            if token.raw == "true":
+                self._advance()
+                return N.Literal(value=True, raw="true")
+            if token.raw == "false":
+                self._advance()
+                return N.Literal(value=False, raw="false")
+            if token.raw == "null":
+                self._advance()
+                return N.Literal(value=None, raw="null")
+            if token.raw == "undefined":
+                self._advance()
+                return N.Identifier(name="undefined")
+            if token.raw == "function":
+                return self._parse_function_expression()
+            if token.raw == "new":
+                return self._parse_new()
+        if token.is_punct("("):
+            self._advance()
+            expression = self.parse_expression()
+            self._expect_punct(")")
+            return expression
+        if token.is_punct("["):
+            return self._parse_array()
+        if token.is_punct("{"):
+            return self._parse_object()
+        raise ParseError("unexpected token", token)
+
+    def _parse_function_expression(self) -> N.FunctionExpression:
+        self._expect_keyword("function")
+        name = None
+        if self.current.kind == "identifier":
+            name = self._parse_identifier()
+        params, body = self._parse_function_rest()
+        return N.FunctionExpression(id=name, params=params, body=body)
+
+    def _parse_array(self) -> N.ArrayExpression:
+        self._expect_punct("[")
+        elements: List[Optional[N.Node]] = []
+        while not self.current.is_punct("]"):
+            if self.current.is_punct(","):
+                self._advance()
+                elements.append(None)  # elision
+                continue
+            elements.append(self.parse_assignment())
+            if not self.current.is_punct("]"):
+                self._expect_punct(",")
+        self._advance()
+        return N.ArrayExpression(elements=elements)
+
+    def _parse_object(self) -> N.ObjectExpression:
+        self._expect_punct("{")
+        properties: List[N.Property] = []
+        while not self.current.is_punct("}"):
+            properties.append(self._parse_property())
+            if not self.current.is_punct("}"):
+                self._expect_punct(",")
+        self._advance()
+        return N.ObjectExpression(properties=properties)
+
+    def _parse_property(self) -> N.Property:
+        token = self.current
+        # get/set accessors: ``get name() {...}`` — only when not followed
+        # by ``:`` or ``(`` (which would make get/set a plain key).
+        if (
+            token.kind == "identifier"
+            and token.value in ("get", "set")
+            and self._peek().kind in ("identifier", "string", "number", "keyword")
+        ):
+            kind = token.value
+            self._advance()
+            key = self._parse_property_key()
+            params, body = self._parse_function_rest()
+            value = N.FunctionExpression(id=None, params=params, body=body)
+            return N.Property(key=key, value=value, kind=kind)
+        key = self._parse_property_key()
+        self._expect_punct(":")
+        value = self.parse_assignment()
+        return N.Property(key=key, value=value, kind="init")
+
+    def _parse_property_key(self) -> N.Node:
+        token = self.current
+        if token.kind in ("identifier", "keyword"):
+            self._advance()
+            return N.Identifier(name=token.raw)
+        if token.kind == "string":
+            self._advance()
+            return N.Literal(value=token.value, raw=token.raw)
+        if token.kind == "number":
+            self._advance()
+            return N.Literal(value=token.value, raw=token.raw)
+        raise ParseError("expected property key", token)
+
+
+def parse(source: str) -> N.Program:
+    """Parse JavaScript ``source`` into an ESTree-style :class:`Program`.
+
+    Recursive descent needs roughly eight Python frames per nesting level;
+    minified real-world scripts nest deeply, so the recursion limit is
+    raised for the duration of the parse.
+    """
+    import sys
+
+    limit = sys.getrecursionlimit()
+    wanted = 50_000
+    try:
+        if limit < wanted:
+            sys.setrecursionlimit(wanted)
+        return Parser(tokenize(source)).parse_program()
+    finally:
+        sys.setrecursionlimit(limit)

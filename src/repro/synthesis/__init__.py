@@ -1,0 +1,48 @@
+"""Synthetic world: domains, categories, vendors, scripts, sites, lists.
+
+Substitutes for the live Web, the Alexa rankings, McAfee's categorization
+service, the anti-adblock vendor ecosystem, and the crowdsourced filter
+lists' revision histories. Deterministic given a seed.
+"""
+
+from .alexa import RANK_BUCKETS, DomainPopulation, RankedDomain, bucket_for_rank
+from .categories import CATEGORIES, CategorizationService, top_categories_with_others
+from .listgen import FilterListGenerator, extract_sections, generate_all_lists
+from .scripts import (
+    ANTI_ADBLOCK_FAMILIES,
+    BENIGN_FAMILIES,
+    generate_anti_adblock,
+    generate_benign,
+)
+from .seeds import DEFAULT_SEED, derive_seed, rng_for
+from .vendors import VENDORS, Vendor, choose_vendor, vendor_by_name, vendors_available
+from .world import Deployment, SiteProfile, SyntheticWorld, WorldConfig
+
+__all__ = [
+    "RANK_BUCKETS",
+    "DomainPopulation",
+    "RankedDomain",
+    "bucket_for_rank",
+    "CATEGORIES",
+    "CategorizationService",
+    "top_categories_with_others",
+    "FilterListGenerator",
+    "extract_sections",
+    "generate_all_lists",
+    "ANTI_ADBLOCK_FAMILIES",
+    "BENIGN_FAMILIES",
+    "generate_anti_adblock",
+    "generate_benign",
+    "DEFAULT_SEED",
+    "derive_seed",
+    "rng_for",
+    "VENDORS",
+    "Vendor",
+    "choose_vendor",
+    "vendor_by_name",
+    "vendors_available",
+    "Deployment",
+    "SiteProfile",
+    "SyntheticWorld",
+    "WorldConfig",
+]

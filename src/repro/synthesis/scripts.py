@@ -1,0 +1,902 @@
+"""JavaScript generators: anti-adblock and benign script corpora.
+
+Produces syntactically real ES5 that our parser (:mod:`repro.jsast`)
+consumes, with per-script polymorphism (randomised identifiers, literals,
+bait names, thresholds) so the ML corpus is varied the way real deployments
+are. Anti-adblock families mirror the paper's observations:
+
+- **HTTP bait** (businessinsider.com, Code 4): request a bait ad URL,
+  flip a cookie/flag in ``onerror``/``onload``.
+- **HTML bait** (BlockAdBlock, Code 5): insert a decoy ``div`` with an
+  ad-like class and test ``offsetHeight``/``offsetParent``/… after load.
+- **canRunAds check** (numerama.com, Code 8): a bait script sets a global;
+  its absence means the request was blocked.
+- Vendor wrappers (PageFair-like reporting, Histats-like analytics with a
+  detection module, Optimizely-like A/B harness) and ``eval``-packed
+  variants.
+
+Benign families (analytics, sliders, consent banners, social widgets, …)
+intentionally share *some* vocabulary with anti-adblockers (``offsetWidth``
+for layout, overlay ``div`` creation, script-tag injection) — that overlap
+is what keeps the classifier's false-positive rate non-zero, as in the
+paper's 3–9% FP band.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+_VAR_POOL = (
+    "a b c d e f g h i j k m n p q r s t u v w x y z el node item obj opt "
+    "cfg ctx tmp val ref box cnt idx flag stat chk res req resp fn cb"
+).split()
+
+_BAIT_CLASSES = (
+    "pub_300x250 pub_728x90 text-ad textAd text_ad text_ads banner_ad "
+    "ad-banner adbanner ad_box adsbox ad-placement ad-zone sponsor-box"
+).split()
+
+_BAIT_URLS = (
+    "/ads.js /advertising.js /advert.js /show_ads.js /adsbygoogle.js "
+    "/ad/banner.js /js/ads-loader.js /adframe.js /squelch-ads.js"
+).split()
+
+_COOKIE_NAMES = (
+    "__adblocker abp_detected _abd adblock_state blocker_status "
+    "adblockDetected __adb ab_status"
+).split()
+
+_NOTICE_IDS = (
+    "adblock-notice adblock_msg ab-overlay adb-warning adblock-modal "
+    "noticeMain blockerNotice adbNotice pleaseDisable"
+).split()
+
+#: Paths filter-list *filler* rules reference. Deliberately disjoint from
+#: the bait paths sites actually serve (``_BAIT_URLS``): a rule for a tail
+#: domain describes an anti-adblock asset we never crawl, so filler rules
+#: never spuriously trigger on the measured top segment.
+_FILLER_RULE_PATHS = (
+    "/anti-adblock/nag.js /abd/notice.js /js/adblock-wall.js "
+    "/wp-content/plugins/adblock-notify/ab.js /static/abp-message.js "
+    "/assets/blocker-overlay.js /adblock/killer.js"
+).split()
+
+
+def _pick(rng: np.random.Generator, pool: Sequence[str]) -> str:
+    return str(pool[int(rng.integers(0, len(pool)))])
+
+
+def _ident(rng: np.random.Generator, prefix: str = "") -> str:
+    base = _pick(rng, _VAR_POOL)
+    suffix = int(rng.integers(0, 1000))
+    name = f"{prefix}{base}{suffix}" if rng.random() < 0.6 else f"{prefix}{base}"
+    return name
+
+
+def _delay(rng: np.random.Generator) -> int:
+    return int(rng.choice([50, 100, 150, 200, 250, 300, 500, 1000]))
+
+
+# ---------------------------------------------------------------------------
+# Anti-adblock generators
+# ---------------------------------------------------------------------------
+
+
+def http_bait_script(rng: np.random.Generator, site_domain: str = "example.com") -> str:
+    """Businessinsider-style HTTP bait (paper Code 4)."""
+    fn = _ident(rng, "set")
+    cookie = _pick(rng, _COOKIE_NAMES)
+    bait = _pick(rng, _BAIT_URLS)
+    script_var = _ident(rng)
+    days = int(rng.integers(7, 60))
+    return f"""
+var {script_var} = document.createElement("script");
+{script_var}.setAttribute("async", true);
+{script_var}.setAttribute("src", "//{site_domain}{bait}");
+{script_var}.setAttribute("onerror", "{fn}(true);");
+{script_var}.setAttribute("onload", "{fn}(false);");
+document.getElementsByTagName("head")[0].appendChild({script_var});
+var {fn} = function(adblocker) {{
+    var d = new Date();
+    d.setTime(d.getTime() + 60 * 60 * 24 * {days} * 1000);
+    document.cookie = "{cookie}=" + (adblocker ? "true" : "false") +
+        "; expires=" + d.toUTCString() + "; path=/";
+}};
+"""
+
+
+def html_bait_script(rng: np.random.Generator, constructor: str = "BlockAdBlock") -> str:
+    """BlockAdBlock-style HTML bait (paper Code 5)."""
+    bait_class = _pick(rng, _BAIT_CLASSES)
+    bait_var = _ident(rng, "bait")
+    loop_delay = _delay(rng)
+    max_loops = int(rng.integers(3, 10))
+    checks = [
+        f"this._var.{bait_var}.offsetParent === null",
+        f"this._var.{bait_var}.offsetHeight == 0",
+        f"this._var.{bait_var}.offsetLeft == 0",
+        f"this._var.{bait_var}.offsetTop == 0",
+        f"this._var.{bait_var}.offsetWidth == 0",
+        f"this._var.{bait_var}.clientHeight == 0",
+        f"this._var.{bait_var}.clientWidth == 0",
+    ]
+    n_checks = int(rng.integers(4, len(checks) + 1))
+    selected = checks[:n_checks]
+    condition = "\n        || ".join(
+        ["window.document.body.getAttribute('abp') !== null"] + selected
+    )
+    return f"""
+function {constructor}(options) {{
+    this._options = {{
+        checkOnLoad: true,
+        resetOnEnd: false,
+        loopCheckTime: {loop_delay},
+        loopMaxNumber: {max_loops},
+        baitClass: '{bait_class}',
+        baitStyle: 'width: 1px !important; height: 1px !important; ' +
+            'position: absolute !important; left: -10000px !important; top: -1000px !important;',
+        debug: false
+    }};
+    this._var = {{ version: '3.2.0', {bait_var}: null, checking: false, loop: null, loopNumber: 0, event: {{ detected: [], notDetected: [] }} }};
+    for (var option in options) {{
+        this._options[option] = options[option];
+    }}
+}}
+{constructor}.prototype._creatBait = function() {{
+    var {bait_var} = document.createElement('div');
+    {bait_var}.setAttribute('class', this._options.baitClass);
+    {bait_var}.setAttribute('style', this._options.baitStyle);
+    this._var.{bait_var} = window.document.body.appendChild({bait_var});
+    this._var.{bait_var}.offsetParent;
+    this._var.{bait_var}.offsetHeight;
+    this._var.{bait_var}.offsetLeft;
+    this._var.{bait_var}.offsetTop;
+    this._var.{bait_var}.offsetWidth;
+    this._var.{bait_var}.clientHeight;
+    this._var.{bait_var}.clientWidth;
+    if (this._options.debug === true) {{
+        this._log('_creatBait', 'Bait has been created');
+    }}
+}};
+{constructor}.prototype._checkBait = function(loop) {{
+    var detected = false;
+    if (this._var.{bait_var} === null) {{
+        this._creatBait();
+    }}
+    if ({condition}) {{
+        detected = true;
+    }}
+    if (detected === true) {{
+        this._stopLoop();
+        this.emitEvent(true);
+    }} else if (this._var.loop === null && loop === true) {{
+        this.emitEvent(false);
+    }}
+}};
+{constructor}.prototype.emitEvent = function(detected) {{
+    var fns = detected ? this._var.event.detected : this._var.event.notDetected;
+    for (var i = 0; i < fns.length; i++) {{
+        fns[i]();
+    }}
+}};
+{constructor}.prototype._stopLoop = function() {{
+    clearInterval(this._var.loop);
+    this._var.loop = null;
+    this._var.loopNumber = 0;
+}};
+"""
+
+
+def can_run_ads_script(rng: np.random.Generator) -> str:
+    """numerama-style canRunAds check (paper Code 8)."""
+    flag = str(rng.choice(["canRunAds", "adsAllowed", "adsOk", "canShowAds"]))
+    status_var = _ident(rng, "adblock")
+    notice_id = _pick(rng, _NOTICE_IDS)
+    return f"""
+var {status_var} = 'inactive';
+if (window.{flag} === undefined) {{
+    {status_var} = 'active';
+    var warn = document.getElementById('{notice_id}');
+    if (warn !== null) {{
+        warn.style.display = 'block';
+    }}
+    document.cookie = "{_pick(rng, _COOKIE_NAMES)}=true; path=/";
+}}
+"""
+
+
+def pagefair_like_script(rng: np.random.Generator, vendor_domain: str = "pagefair.com") -> str:
+    """Vendor measurement script: HTTP bait plus beacon reporting."""
+    ns = _ident(rng, "pf")
+    bait = _pick(rng, _BAIT_URLS)
+    beacon = f"//asset.{vendor_domain}/measure.gif"
+    return f"""
+(function(window, document) {{
+    var {ns} = {{ detected: false, done: false }};
+    function probe(cb) {{
+        var s = document.createElement('script');
+        s.async = true;
+        s.src = '{bait}';
+        s.onerror = function() {{ cb(true); }};
+        s.onload = function() {{ cb(false); }};
+        document.getElementsByTagName('head')[0].appendChild(s);
+    }}
+    function report(blocked) {{
+        var img = new Image();
+        img.src = '{beacon}?ab=' + (blocked ? '1' : '0') + '&d=' + encodeURIComponent(document.domain);
+    }}
+    probe(function(blocked) {{
+        {ns}.detected = blocked;
+        {ns}.done = true;
+        report(blocked);
+        if (blocked) {{
+            window.dispatchEvent && report(blocked);
+        }}
+    }});
+    window._pfObject = {ns};
+}})(window, document);
+"""
+
+
+def analytics_detect_script(rng: np.random.Generator, vendor_domain: str = "histats.com") -> str:
+    """Histats-like analytics with an embedded adblock-detection module."""
+    counter = int(rng.integers(100000, 9999999))
+    bait_class = _pick(rng, _BAIT_CLASSES)
+    return f"""
+var _Hasync = _Hasync || [];
+_Hasync.push(['Histats.start', '1,{counter},4,0,0,0,00010000']);
+_Hasync.push(['Histats.fasi', '1']);
+_Hasync.push(['Histats.track_hits', '']);
+(function() {{
+    var hs = document.createElement('script');
+    hs.type = 'text/javascript';
+    hs.async = true;
+    hs.src = '//s10.{vendor_domain}/js15_as.js';
+    (document.getElementsByTagName('head')[0] || document.getElementsByTagName('body')[0]).appendChild(hs);
+}})();
+(function() {{
+    var probe = document.createElement('div');
+    probe.className = '{bait_class}';
+    probe.style.position = 'absolute';
+    probe.style.left = '-9999px';
+    document.body.appendChild(probe);
+    setTimeout(function() {{
+        var blocked = probe.offsetHeight === 0 || probe.clientHeight === 0;
+        if (blocked) {{
+            _Hasync.push(['Histats.adblock', '1']);
+        }}
+        document.body.removeChild(probe);
+    }}, {_delay(rng)});
+}})();
+"""
+
+
+def ab_test_detect_script(rng: np.random.Generator, vendor_domain: str = "optimizely.com") -> str:
+    """Optimizely-like experiment harness with an adblock audience check."""
+    project = int(rng.integers(10**8, 10**9))
+    return f"""
+window.optimizely = window.optimizely || [];
+(function() {{
+    var audiences = {{}};
+    function detectAdblock(done) {{
+        var decoy = document.createElement('div');
+        decoy.innerHTML = '&nbsp;';
+        decoy.className = '{_pick(rng, _BAIT_CLASSES)}';
+        document.body.appendChild(decoy);
+        window.setTimeout(function() {{
+            var blocked = decoy.offsetHeight === 0
+                || decoy.offsetParent === null
+                || decoy.clientWidth === 0;
+            document.body.removeChild(decoy);
+            done(blocked);
+        }}, {_delay(rng)});
+    }}
+    detectAdblock(function(blocked) {{
+        audiences.adblock = blocked;
+        window.optimizely.push(['setAudience', 'adblock_user', blocked]);
+        var px = new Image();
+        px.src = '//log.{vendor_domain}/event?pid={project}&ab=' + (blocked ? 1 : 0);
+    }});
+}})();
+"""
+
+
+def community_iab_script(rng: np.random.Generator) -> str:
+    """IAB-style self-hosted detection snippet with a fake-ad file probe."""
+    fake = str(rng.choice(["fakeads.js", "ads-check.js", "adsense-probe.js"]))
+    callback = _ident(rng, "on")
+    notice_id = _pick(rng, _NOTICE_IDS)
+    return f"""
+function {callback}(usingAdblock) {{
+    if (usingAdblock === true) {{
+        var overlay = document.createElement('div');
+        overlay.id = '{notice_id}';
+        overlay.innerHTML = 'We noticed you are using an ad blocker. Please disable it to support us.';
+        overlay.style.position = 'fixed';
+        overlay.style.top = '0';
+        overlay.style.width = '100%';
+        overlay.style.zIndex = '100000';
+        document.body.appendChild(overlay);
+    }}
+}}
+(function() {{
+    var detected = false;
+    var probe = document.createElement('script');
+    probe.onload = function() {{
+        if (typeof window.adsShown === 'undefined') {{
+            detected = true;
+        }}
+        {callback}(detected);
+    }};
+    probe.onerror = function() {{
+        detected = true;
+        {callback}(detected);
+    }};
+    probe.src = '/{fake}';
+    document.getElementsByTagName('head')[0].appendChild(probe);
+}})();
+"""
+
+
+def html_bait_v2_script(rng: np.random.Generator) -> str:
+    """Second-generation HTML bait (late 2016+): computed-style and
+    bounding-rect checks plus a MutationObserver on the bait, instead of
+    the classic ``offset*`` reads. Detectors trained on v1 deployments
+    see little shared vocabulary — the source of the paper's live-test
+    TP drop (92.5% vs ≥99% in-distribution)."""
+    bait_class = _pick(rng, _BAIT_CLASSES)
+    flag = _ident(rng, "blocked")
+    return f"""
+(function() {{
+    var {flag} = false;
+    var probe = document.createElement('ins');
+    probe.className = '{bait_class}';
+    probe.innerHTML = '&nbsp;';
+    document.body.appendChild(probe);
+    var observer = new MutationObserver(function(mutations) {{
+        for (var i = 0; i < mutations.length; i++) {{
+            if (mutations[i].removedNodes.length > 0) {{
+                {flag} = true;
+            }}
+        }}
+    }});
+    observer.observe(document.body, {{ childList: true, subtree: false }});
+    setTimeout(function() {{
+        var style = window.getComputedStyle(probe);
+        var rect = probe.getBoundingClientRect();
+        if (style.display === 'none'
+            || style.visibility === 'hidden'
+            || rect.height === 0
+            || rect.width === 0) {{
+            {flag} = true;
+        }}
+        observer.disconnect();
+        if ({flag}) {{
+            document.documentElement.setAttribute('data-adblock', '1');
+            var px = new Image();
+            px.src = '/pixel?adblock=1&t=' + Date.now();
+        }}
+        if (probe.parentNode !== null) {{
+            probe.parentNode.removeChild(probe);
+        }}
+    }}, {_delay(rng)});
+}})();
+"""
+
+
+def http_bait_v2_script(rng: np.random.Generator, site_domain: str = "example.com") -> str:
+    """Second-generation HTTP bait (late 2016+): XMLHttpRequest status
+    probing with retry/backoff instead of script-tag onerror handlers."""
+    bait = _pick(rng, _BAIT_URLS)
+    handler = _ident(rng, "onProbe")
+    retries = int(rng.integers(1, 4))
+    return f"""
+(function() {{
+    var attempts = 0;
+    function {handler}(ok) {{
+        if (ok) {{
+            window.__adsReachable = true;
+            return;
+        }}
+        attempts = attempts + 1;
+        if (attempts <= {retries}) {{
+            setTimeout(probe, 200 * attempts);
+        }} else {{
+            window.__adsReachable = false;
+            document.cookie = '{_pick(rng, _COOKIE_NAMES)}=true; path=/';
+        }}
+    }}
+    function probe() {{
+        var xhr = new XMLHttpRequest();
+        xhr.open('HEAD', '{bait}?cb=' + Math.random(), true);
+        xhr.onreadystatechange = function() {{
+            if (xhr.readyState === 4) {{
+                {handler}(xhr.status >= 200 && xhr.status < 400);
+            }}
+        }};
+        xhr.onerror = function() {{
+            {handler}(false);
+        }};
+        xhr.send(null);
+    }}
+    probe();
+}})();
+"""
+
+
+#: Late-generation variants deployed from August 2016 onward. Keys map a
+#: first-generation family to its successor.
+V2_FAMILIES: Dict[str, str] = {
+    "html_bait": "html_bait_v2",
+    "http_bait": "http_bait_v2",
+    "pagefair_like": "html_bait_v2",
+}
+
+
+def packed(rng: np.random.Generator, inner: Callable[[np.random.Generator], str]) -> str:
+    """Wrap a generator's output in an ``eval('...')`` pack."""
+    body = inner(rng)
+    escaped = body.replace("\\", "\\\\").replace("'", "\\'").replace("\n", "\\n")
+    return f"eval('{escaped}');\n"
+
+
+# ---------------------------------------------------------------------------
+# Benign generators
+# ---------------------------------------------------------------------------
+
+
+def ga_analytics_script(rng: np.random.Generator) -> str:
+    """Benign family: Google-Analytics-style loader."""
+    tracking = f"UA-{int(rng.integers(1000, 99999))}-{int(rng.integers(1, 9))}"
+    return f"""
+(function(i, s, o, g, r, a, m) {{
+    i['GoogleAnalyticsObject'] = r;
+    i[r] = i[r] || function() {{
+        (i[r].q = i[r].q || []).push(arguments);
+    }};
+    i[r].l = 1 * new Date();
+    a = s.createElement(o);
+    m = s.getElementsByTagName(o)[0];
+    a.async = 1;
+    a.src = g;
+    m.parentNode.insertBefore(a, m);
+}})(window, document, 'script', '//www.google-analytics.com/analytics.js', 'ga');
+ga('create', '{tracking}', 'auto');
+ga('send', 'pageview');
+"""
+
+
+def slider_script(rng: np.random.Generator) -> str:
+    """Benign family: image carousel (layout reads)."""
+    widget = _ident(rng, "slider")
+    interval = _delay(rng) * 10
+    return f"""
+function {widget}(containerId) {{
+    var container = document.getElementById(containerId);
+    var slides = container.getElementsByTagName('li');
+    var index = 0;
+    var width = container.offsetWidth;
+    function show(n) {{
+        for (var i = 0; i < slides.length; i++) {{
+            slides[i].style.display = i === n ? 'block' : 'none';
+            slides[i].style.width = width + 'px';
+        }}
+    }}
+    function next() {{
+        index = (index + 1) % slides.length;
+        show(index);
+    }}
+    window.addEventListener('resize', function() {{
+        width = container.offsetWidth;
+        show(index);
+    }});
+    show(0);
+    return setInterval(next, {interval});
+}}
+"""
+
+
+def consent_banner_script(rng: np.random.Generator) -> str:
+    """Benign family: cookie-consent bar."""
+    banner_id = str(rng.choice(["cookie-banner", "gdpr-notice", "consent-bar", "cc-window"]))
+    return f"""
+(function() {{
+    if (document.cookie.indexOf('cookie_consent=1') !== -1) {{
+        return;
+    }}
+    var bar = document.createElement('div');
+    bar.id = '{banner_id}';
+    bar.style.position = 'fixed';
+    bar.style.bottom = '0';
+    bar.style.width = '100%';
+    bar.style.background = '#222';
+    bar.innerHTML = 'This site uses cookies. <a href="/privacy">Learn more</a> <button id="cc-ok">OK</button>';
+    document.body.appendChild(bar);
+    document.getElementById('cc-ok').onclick = function() {{
+        var d = new Date();
+        d.setTime(d.getTime() + 365 * 24 * 60 * 60 * 1000);
+        document.cookie = 'cookie_consent=1; expires=' + d.toUTCString() + '; path=/';
+        bar.style.display = 'none';
+    }};
+}})();
+"""
+
+
+def social_widget_script(rng: np.random.Generator) -> str:
+    """Benign family: social SDK loader."""
+    network = str(rng.choice(["facebook", "twitter", "plusone", "linkedin"]))
+    return f"""
+(function(d, s, id) {{
+    var js, fjs = d.getElementsByTagName(s)[0];
+    if (d.getElementById(id)) {{
+        return;
+    }}
+    js = d.createElement(s);
+    js.id = id;
+    js.src = '//connect.{network}.net/sdk.js';
+    fjs.parentNode.insertBefore(js, fjs);
+}}(document, 'script', '{network}-jssdk'));
+"""
+
+
+def form_validation_script(rng: np.random.Generator) -> str:
+    """Benign family: form validation."""
+    form = _ident(rng, "form")
+    min_length = int(rng.integers(4, 12))
+    return f"""
+function validate{form}(formId) {{
+    var form = document.getElementById(formId);
+    var fields = form.getElementsByTagName('input');
+    var errors = [];
+    for (var i = 0; i < fields.length; i++) {{
+        var field = fields[i];
+        var value = field.value.replace(/^\\s+|\\s+$/g, '');
+        if (field.getAttribute('required') !== null && value.length === 0) {{
+            errors.push(field.name + ' is required');
+        }}
+        if (field.type === 'password' && value.length < {min_length}) {{
+            errors.push('password too short');
+        }}
+        if (field.type === 'email' && value.indexOf('@') === -1) {{
+            errors.push('invalid email');
+        }}
+    }}
+    return errors;
+}}
+"""
+
+
+def video_player_script(rng: np.random.Generator) -> str:
+    """Benign family: video player bootstrap."""
+    player = _ident(rng, "player")
+    return f"""
+function {player}(elementId, sources) {{
+    var video = document.getElementById(elementId);
+    var current = 0;
+    function load(n) {{
+        video.src = sources[n];
+        video.load();
+    }}
+    video.addEventListener('ended', function() {{
+        if (current + 1 < sources.length) {{
+            current = current + 1;
+            load(current);
+            video.play();
+        }}
+    }});
+    video.addEventListener('error', function() {{
+        var fallback = document.createElement('p');
+        fallback.innerHTML = 'Video failed to load.';
+        video.parentNode.appendChild(fallback);
+    }});
+    load(0);
+}}
+"""
+
+
+def ad_serving_script(rng: np.random.Generator) -> str:
+    """A plain ad loader — gets *blocked* by adblockers but detects nothing."""
+    slot = f"div-gpt-ad-{int(rng.integers(10**9, 10**10))}-0"
+    size = str(rng.choice(["[728, 90]", "[300, 250]", "[160, 600]"]))
+    return f"""
+var googletag = window.googletag || {{ cmd: [] }};
+googletag.cmd.push(function() {{
+    googletag.defineSlot('/network/travel', {size}, '{slot}').addService(googletag.pubads());
+    googletag.pubads().enableSingleRequest();
+    googletag.enableServices();
+    googletag.display('{slot}');
+}});
+"""
+
+
+def lazyload_script(rng: np.random.Generator) -> str:
+    """Scroll-driven image lazy-loader — reads the same layout properties
+    (``offsetTop``/``offsetHeight``/``clientHeight``) as HTML-bait checks."""
+    fn = _ident(rng, "lazy")
+    margin = int(rng.integers(50, 400))
+    return f"""
+function {fn}() {{
+    var images = document.getElementsByTagName('img');
+    var viewport = window.innerHeight || document.documentElement.clientHeight;
+    for (var i = 0; i < images.length; i++) {{
+        var img = images[i];
+        if (img.getAttribute('data-src') === null) {{
+            continue;
+        }}
+        var top = img.offsetTop;
+        var parent = img.offsetParent;
+        while (parent !== null) {{
+            top = top + parent.offsetTop;
+            parent = parent.offsetParent;
+        }}
+        var scrolled = window.pageYOffset || document.documentElement.scrollTop;
+        if (top < scrolled + viewport + {margin} && img.offsetHeight == 0) {{
+            img.src = img.getAttribute('data-src');
+            img.removeAttribute('data-src');
+        }}
+    }}
+}}
+window.addEventListener('scroll', {fn});
+window.addEventListener('load', {fn});
+"""
+
+
+def viewport_metrics_script(rng: np.random.Generator) -> str:
+    """RUM beacon — measures layout and reports via ``new Image()``,
+    structurally close to a vendor detection/report script."""
+    endpoint = str(rng.choice(["stats.gif", "collect", "beacon", "t.gif"]))
+    sample = int(rng.integers(5, 50))
+    return f"""
+(function(window, document) {{
+    if (Math.floor(Math.random() * 100) >= {sample}) {{
+        return;
+    }}
+    function measure() {{
+        var body = document.body;
+        var metrics = {{
+            w: body.clientWidth,
+            h: body.clientHeight,
+            sw: screen.width,
+            sh: screen.height,
+            ow: body.offsetWidth
+        }};
+        var pairs = [];
+        for (var key in metrics) {{
+            pairs.push(key + '=' + metrics[key]);
+        }}
+        var beacon = new Image();
+        beacon.src = '/{endpoint}?' + pairs.join('&') + '&r=' + encodeURIComponent(document.referrer);
+    }}
+    if (document.readyState === 'complete') {{
+        measure();
+    }} else {{
+        window.addEventListener('load', measure);
+    }}
+}})(window, document);
+"""
+
+
+def ad_refresh_script(rng: np.random.Generator) -> str:
+    """Ad-tag loader with CDN fallback — same ``createElement('script')``
+    plus ``onerror``/``onload`` skeleton as an HTTP bait."""
+    primary = str(rng.choice(["cdn1", "cdn2", "static", "assets"]))
+    fallback = str(rng.choice(["backup", "mirror", "alt"]))
+    return f"""
+(function() {{
+    function loadTag(host, done, fail) {{
+        var tag = document.createElement('script');
+        tag.async = true;
+        tag.src = '//' + host + '.adserver.example/tag.js';
+        tag.onload = function() {{ done(); }};
+        tag.onerror = function() {{ fail(); }};
+        document.getElementsByTagName('head')[0].appendChild(tag);
+    }}
+    loadTag('{primary}', function() {{
+        window.__tagLoaded = true;
+    }}, function() {{
+        loadTag('{fallback}', function() {{
+            window.__tagLoaded = true;
+        }}, function() {{
+            window.__tagLoaded = false;
+        }});
+    }});
+}})();
+"""
+
+
+def modal_popup_script(rng: np.random.Generator) -> str:
+    """Newsletter modal — fixed-position overlay plus a frequency-capping
+    cookie, the same moves an anti-adblock notice makes."""
+    modal_id = str(rng.choice(["newsletter-modal", "signup-popup", "promo-overlay", "subscribe-box"]))
+    days = int(rng.integers(3, 30))
+    return f"""
+(function() {{
+    if (document.cookie.indexOf('seen_popup=1') !== -1) {{
+        return;
+    }}
+    setTimeout(function() {{
+        var modal = document.createElement('div');
+        modal.id = '{modal_id}';
+        modal.style.position = 'fixed';
+        modal.style.top = '20%';
+        modal.style.left = '30%';
+        modal.style.zIndex = '99999';
+        modal.style.display = 'block';
+        modal.innerHTML = '<h2>Subscribe to our newsletter</h2><button id="popup-close">Close</button>';
+        document.body.appendChild(modal);
+        document.getElementById('popup-close').onclick = function() {{
+            modal.style.display = 'none';
+            var d = new Date();
+            d.setTime(d.getTime() + 60 * 60 * 24 * {days} * 1000);
+            document.cookie = 'seen_popup=1; expires=' + d.toUTCString() + '; path=/';
+        }};
+    }}, {_delay(rng) * 10});
+}})();
+"""
+
+
+def ad_fallback_script(rng: np.random.Generator) -> str:
+    """House-ad fallback: checks whether the ad slot actually rendered
+    (``offsetHeight``/``offsetParent`` reads on an ad-classed container)
+    and loads a fallback creative if not. Functionally benign — it never
+    nags the user — but keyword-indistinguishable from an HTML bait check.
+    """
+    slot_class = _pick(rng, _BAIT_CLASSES)
+    house = _ident(rng, "house")
+    return f"""
+(function() {{
+    function {house}(slot) {{
+        var creative = document.createElement('script');
+        creative.async = true;
+        creative.src = '/house-ads/fill.js';
+        creative.onerror = function() {{
+            slot.style.display = 'none';
+        }};
+        creative.onload = function() {{
+            slot.setAttribute('data-filled', 'house');
+        }};
+        document.getElementsByTagName('head')[0].appendChild(creative);
+    }}
+    setTimeout(function() {{
+        var slots = document.getElementsByClassName('{slot_class}');
+        for (var i = 0; i < slots.length; i++) {{
+            var slot = slots[i];
+            if (slot.offsetHeight == 0
+                || slot.offsetParent === null
+                || slot.clientHeight == 0
+                || slot.clientWidth == 0) {{
+                {house}(slot);
+            }}
+        }}
+    }}, {_delay(rng)});
+}})();
+"""
+
+
+def viewability_script(rng: np.random.Generator) -> str:
+    """IAB ad-viewability measurement: polls the layout of ad containers
+    (the same ad-classed divs, the same ``offset*`` reads) and beacons the
+    measured exposure. Benign, and a natural false-positive source."""
+    slot_class = _pick(rng, _BAIT_CLASSES)
+    threshold = int(rng.integers(30, 70))
+    return f"""
+(function() {{
+    var exposures = [];
+    function measure() {{
+        var ads = document.getElementsByClassName('{slot_class}');
+        var viewport = window.innerHeight || document.documentElement.clientHeight;
+        for (var i = 0; i < ads.length; i++) {{
+            var ad = ads[i];
+            var height = ad.offsetHeight;
+            var top = ad.offsetTop;
+            var visible = 0;
+            if (ad.offsetParent !== null && height > 0) {{
+                var scrolled = window.pageYOffset || document.documentElement.scrollTop;
+                var shown = Math.min(top + height, scrolled + viewport) - Math.max(top, scrolled);
+                visible = shown > 0 ? Math.round(100 * shown / height) : 0;
+            }}
+            exposures.push(visible);
+        }}
+    }}
+    var timer = setInterval(measure, {_delay(rng)});
+    setTimeout(function() {{
+        clearInterval(timer);
+        var viewable = 0;
+        for (var i = 0; i < exposures.length; i++) {{
+            if (exposures[i] >= {threshold}) {{
+                viewable = viewable + 1;
+            }}
+        }}
+        var beacon = new Image();
+        beacon.src = '/viewability?v=' + viewable + '&n=' + exposures.length;
+    }}, {_delay(rng) * 20});
+}})();
+"""
+
+
+def utility_script(rng: np.random.Generator) -> str:
+    """Benign family: formatting/debounce helpers."""
+    fn = _ident(rng, "fmt")
+    sep = str(rng.choice([",", ".", " "]))
+    return f"""
+function {fn}(value) {{
+    var parts = String(value).split('.');
+    var whole = parts[0];
+    var out = '';
+    while (whole.length > 3) {{
+        out = '{sep}' + whole.substring(whole.length - 3) + out;
+        whole = whole.substring(0, whole.length - 3);
+    }}
+    out = whole + out;
+    if (parts.length > 1) {{
+        out = out + '.' + parts[1];
+    }}
+    return out;
+}}
+function debounce(fn, wait) {{
+    var timer = null;
+    return function() {{
+        var args = arguments;
+        if (timer !== null) {{
+            clearTimeout(timer);
+        }}
+        timer = setTimeout(function() {{
+            fn.apply(null, args);
+        }}, wait);
+    }};
+}}
+"""
+
+
+#: Anti-adblock family registry (name -> generator taking rng).
+ANTI_ADBLOCK_FAMILIES: Dict[str, Callable[[np.random.Generator], str]] = {
+    "http_bait": http_bait_script,
+    "html_bait": html_bait_script,
+    "can_run_ads": can_run_ads_script,
+    "pagefair_like": pagefair_like_script,
+    "analytics_detect": analytics_detect_script,
+    "ab_test_detect": ab_test_detect_script,
+    "community_iab": community_iab_script,
+    "html_bait_v2": html_bait_v2_script,
+    "http_bait_v2": http_bait_v2_script,
+}
+
+#: Benign family registry. The last four families deliberately share
+#: vocabulary with anti-adblock scripts (layout reads, beacon reporting,
+#: script-tag fallbacks, overlay modals) — they are the classifier's
+#: false-positive surface.
+BENIGN_FAMILIES: Dict[str, Callable[[np.random.Generator], str]] = {
+    "ga_analytics": ga_analytics_script,
+    "slider": slider_script,
+    "consent_banner": consent_banner_script,
+    "social_widget": social_widget_script,
+    "form_validation": form_validation_script,
+    "video_player": video_player_script,
+    "ad_serving": ad_serving_script,
+    "utility": utility_script,
+    "lazyload": lazyload_script,
+    "viewport_metrics": viewport_metrics_script,
+    "ad_refresh": ad_refresh_script,
+    "modal_popup": modal_popup_script,
+    "ad_fallback": ad_fallback_script,
+    "viewability": viewability_script,
+}
+
+
+def generate_anti_adblock(rng: np.random.Generator, family: str = "", pack_probability: float = 0.1) -> str:
+    """One anti-adblock script; random family unless specified."""
+    if not family:
+        family = _pick(rng, list(ANTI_ADBLOCK_FAMILIES))
+    generator = ANTI_ADBLOCK_FAMILIES[family]
+    if rng.random() < pack_probability:
+        return packed(rng, generator)
+    return generator(rng)
+
+
+def generate_benign(rng: np.random.Generator, family: str = "") -> str:
+    """One benign script; random family unless specified."""
+    if not family:
+        family = _pick(rng, list(BENIGN_FAMILIES))
+    return BENIGN_FAMILIES[family](rng)

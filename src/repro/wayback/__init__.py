@@ -1,0 +1,51 @@
+"""Wayback Machine simulator: archive, availability API, rewriting, crawler.
+
+Substitutes for the Internet Archive's Wayback Machine and the paper's
+Selenium crawl pipeline (§4.1, Figure 4).
+"""
+
+from .archive import Capture, ExclusionReason, WaybackArchive
+from .availability import AvailabilityAPI, AvailabilityResult
+from .crawler import (
+    OUTDATED_THRESHOLD_DAYS,
+    PARTIAL_SIZE_FRACTION,
+    CrawlRecord,
+    CrawlResult,
+    CrawlStatus,
+    WaybackCrawler,
+    month_range,
+)
+from .cdx import CdxRow, CdxServer
+from .store import DataRepository
+from .rewrite import (
+    format_timestamp,
+    is_wayback_url,
+    parse_timestamp,
+    truncate_wayback,
+    wayback_timestamp_of,
+    wayback_url,
+)
+
+__all__ = [
+    "CdxRow",
+    "CdxServer",
+    "DataRepository",
+    "Capture",
+    "ExclusionReason",
+    "WaybackArchive",
+    "AvailabilityAPI",
+    "AvailabilityResult",
+    "OUTDATED_THRESHOLD_DAYS",
+    "PARTIAL_SIZE_FRACTION",
+    "CrawlRecord",
+    "CrawlResult",
+    "CrawlStatus",
+    "WaybackCrawler",
+    "month_range",
+    "format_timestamp",
+    "is_wayback_url",
+    "parse_timestamp",
+    "truncate_wayback",
+    "wayback_timestamp_of",
+    "wayback_url",
+]

@@ -1,0 +1,119 @@
+"""The simulated Wayback Machine snapshot store.
+
+Holds dated :class:`~repro.web.page.PageSnapshot` captures per domain and
+reproduces the archive's quirks the paper had to engineer around (§4.1):
+
+- domains excluded by robots.txt policy, administrator request, or for
+  undefined reasons;
+- irregular capture cadence, so the closest snapshot to a requested date
+  may be months off (*outdated* URLs);
+- pages whose capture was an anti-bot error page (*partial* snapshots);
+- HTTP 3XX redirect captures, for which the availability API returns an
+  empty JSON object (*not archived* URLs).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from datetime import date
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from ..web.page import PageSnapshot
+from .rewrite import wayback_url
+
+
+class ExclusionReason(str, Enum):
+    """Why the archive refuses to serve a domain at all."""
+
+    ROBOTS_TXT = "robots.txt exclusion policy"
+    ADMIN_REQUEST = "domain administrator request"
+    UNDEFINED = "undefined reasons"
+
+
+@dataclass
+class Capture:
+    """One archived snapshot of a domain's homepage."""
+
+    captured_on: date
+    snapshot: PageSnapshot
+    #: True when the site served the crawler an anti-bot error page,
+    #: producing a tiny, useless capture.
+    partial: bool = False
+
+    @property
+    def archive_url(self) -> str:
+        """The web.archive.org URL serving this capture."""
+        return wayback_url(self.snapshot.url, self.captured_on)
+
+
+class WaybackArchive:
+    """Snapshot store indexed by domain and capture date."""
+
+    def __init__(self) -> None:
+        self._captures: Dict[str, List[Capture]] = {}
+        self._exclusions: Dict[str, ExclusionReason] = {}
+
+    # -- ingest ---------------------------------------------------------------
+
+    def store(
+        self, domain: str, captured_on: date, snapshot: PageSnapshot, partial: bool = False
+    ) -> Capture:
+        """Archive one capture (keeps captures date-sorted per domain)."""
+        capture = Capture(captured_on=captured_on, snapshot=snapshot, partial=partial)
+        captures = self._captures.setdefault(domain, [])
+        bisect.insort(captures, capture, key=lambda c: c.captured_on)
+        return capture
+
+    def exclude(self, domain: str, reason: ExclusionReason) -> None:
+        """Mark a domain as never archived (robots.txt / admin / undefined)."""
+        self._exclusions[domain] = reason
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_excluded(self, domain: str) -> Optional[ExclusionReason]:
+        """The exclusion reason for a domain, if any."""
+        return self._exclusions.get(domain)
+
+    def excluded_domains(self) -> Dict[str, ExclusionReason]:
+        """All excluded domains with their reasons."""
+        return dict(self._exclusions)
+
+    def domains(self) -> List[str]:
+        """Every archived domain, sorted."""
+        return sorted(self._captures)
+
+    def captures_for(self, domain: str) -> List[Capture]:
+        """All captures of a domain, oldest first."""
+        return list(self._captures.get(domain, []))
+
+    def closest(self, domain: str, requested: date) -> Optional[Capture]:
+        """The capture closest in time to ``requested`` (either direction).
+
+        Returns ``None`` for excluded or never-captured domains, and for
+        captures that are HTTP 3XX redirects — the real availability API
+        returns an empty JSON object for those.
+        """
+        if domain in self._exclusions:
+            return None
+        captures = self._captures.get(domain)
+        if not captures:
+            return None
+        dates = [capture.captured_on for capture in captures]
+        index = bisect.bisect_left(dates, requested)
+        candidates: List[Tuple[int, Capture]] = []
+        if index < len(captures):
+            candidates.append((abs((captures[index].captured_on - requested).days), captures[index]))
+        if index > 0:
+            candidates.append((abs((captures[index - 1].captured_on - requested).days), captures[index - 1]))
+        if not candidates:
+            return None
+        _, capture = min(candidates, key=lambda pair: pair[0])
+        if capture.snapshot.status >= 300 and capture.snapshot.status < 400:
+            return None
+        return capture
+
+    def total_captures(self) -> int:
+        """Number of captures across all domains."""
+        return sum(len(captures) for captures in self._captures.values())

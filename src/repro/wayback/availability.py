@@ -1,0 +1,79 @@
+"""The Wayback Availability JSON API.
+
+Mirrors the shape of ``https://archive.org/wayback/available``: given a URL
+and a timestamp, return the closest snapshot — or an empty
+``archived_snapshots`` object when nothing is served (never archived,
+excluded, or a 3XX redirect capture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import Dict, Optional
+
+from ..web.url import registered_domain
+from .archive import WaybackArchive
+from .rewrite import format_timestamp
+
+
+@dataclass
+class AvailabilityResult:
+    """Parsed availability response."""
+
+    available: bool
+    archive_url: str = ""
+    capture_date: Optional[date] = None
+    status: str = ""
+
+    @property
+    def empty(self) -> bool:
+        """Whether the API returned no snapshot."""
+        return not self.available
+
+
+class AvailabilityAPI:
+    """Query interface over a :class:`WaybackArchive`."""
+
+    def __init__(self, archive: WaybackArchive) -> None:
+        self.archive = archive
+
+    def lookup_json(self, url: str, timestamp: str) -> Dict:
+        """The raw JSON-shaped response, exactly like the real API."""
+        domain = registered_domain(url)
+        requested = _parse_requested(timestamp)
+        capture = self.archive.closest(domain, requested)
+        if capture is None:
+            return {"url": url, "archived_snapshots": {}}
+        return {
+            "url": url,
+            "archived_snapshots": {
+                "closest": {
+                    "available": True,
+                    "url": capture.archive_url,
+                    "timestamp": format_timestamp(capture.captured_on),
+                    "status": str(capture.snapshot.status),
+                }
+            },
+        }
+
+    def lookup(self, url: str, when: date) -> AvailabilityResult:
+        """Typed wrapper over :meth:`lookup_json`."""
+        response = self.lookup_json(url, format_timestamp(when))
+        closest = response["archived_snapshots"].get("closest")
+        if not closest:
+            return AvailabilityResult(available=False)
+        from .rewrite import parse_timestamp
+
+        return AvailabilityResult(
+            available=True,
+            archive_url=closest["url"],
+            capture_date=parse_timestamp(closest["timestamp"]),
+            status=closest["status"],
+        )
+
+
+def _parse_requested(timestamp: str) -> date:
+    from .rewrite import parse_timestamp
+
+    return parse_timestamp(timestamp)

@@ -1,0 +1,108 @@
+"""The Wayback CDX server API.
+
+The availability API (:mod:`~repro.wayback.availability`) answers "what is
+the closest capture to this date"; the CDX server answers "list every
+capture of this URL", with date filtering, ordering and limits — the
+interface retrospective studies use to enumerate snapshots before
+crawling. This simulator exposes the same query surface over a
+:class:`~repro.wayback.archive.WaybackArchive`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+from typing import List, Optional
+
+from ..web.url import registered_domain
+from .archive import WaybackArchive
+from .rewrite import format_timestamp, parse_timestamp, wayback_url
+
+
+@dataclass(frozen=True)
+class CdxRow:
+    """One CDX result row (the fields the text API returns)."""
+
+    urlkey: str
+    timestamp: str
+    original: str
+    mimetype: str
+    statuscode: int
+    length: int
+
+    @property
+    def capture_date(self) -> date:
+        """The capture date parsed from the row's timestamp."""
+        return parse_timestamp(self.timestamp)
+
+    @property
+    def archive_url(self) -> str:
+        """The web.archive.org URL replaying this capture."""
+        return wayback_url(self.original, self.capture_date)
+
+
+def _url_key(url_or_domain: str) -> str:
+    """The SURT-ish collapse the CDX server keys captures by."""
+    domain = registered_domain(url_or_domain)
+    return ",".join(reversed(domain.split("."))) + ")/"
+
+
+class CdxServer:
+    """CDX queries over a simulated archive."""
+
+    def __init__(self, archive: WaybackArchive) -> None:
+        self.archive = archive
+
+    def query(
+        self,
+        url: str,
+        from_date: Optional[date] = None,
+        to_date: Optional[date] = None,
+        limit: Optional[int] = None,
+        reverse: bool = False,
+    ) -> List[CdxRow]:
+        """All captures of ``url``'s domain, oldest first by default.
+
+        ``from_date``/``to_date`` bound the capture dates inclusively;
+        ``limit`` truncates after ordering; ``reverse`` returns newest
+        first (the CDX ``sort=reverse`` flag). Excluded domains return no
+        rows, exactly like the real server.
+        """
+        domain = registered_domain(url)
+        if self.archive.is_excluded(domain) is not None:
+            return []
+        rows: List[CdxRow] = []
+        for capture in self.archive.captures_for(domain):
+            when = capture.captured_on
+            if from_date is not None and when < from_date:
+                continue
+            if to_date is not None and when > to_date:
+                continue
+            snapshot = capture.snapshot
+            rows.append(
+                CdxRow(
+                    urlkey=_url_key(snapshot.url),
+                    timestamp=format_timestamp(when),
+                    original=snapshot.url,
+                    mimetype="text/html",
+                    statuscode=snapshot.status,
+                    length=len(snapshot.html),
+                )
+            )
+        if reverse:
+            rows.reverse()
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    def text(self, url: str, **kwargs) -> str:
+        """The space-separated text format the real CDX endpoint serves."""
+        return "\n".join(
+            f"{row.urlkey} {row.timestamp} {row.original} {row.mimetype} "
+            f"{row.statuscode} {row.length}"
+            for row in self.query(url, **kwargs)
+        )
+
+    def capture_count(self, url: str) -> int:
+        """Number of captures of the URL's domain."""
+        return len(self.query(url))

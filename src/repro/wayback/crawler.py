@@ -1,0 +1,184 @@
+"""The monthly Wayback crawl (paper §4.1, Figure 4).
+
+For each domain and month the crawler: checks archive exclusions, asks the
+availability API for the closest capture, discards captures more than six
+months from the requested date (*outdated*), loads the remaining archive
+URLs in the simulated browser (storing requests/responses HAR-style plus
+the page HTML), and finally discards *partial* captures whose HAR size is
+below 10% of that domain-year's average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from ..web.browser import Browser, VisitResult
+from ..web.har import HarFile
+from .archive import WaybackArchive
+from .availability import AvailabilityAPI
+from .rewrite import wayback_url
+
+#: The paper discards availability hits more than six months away.
+OUTDATED_THRESHOLD_DAYS = 183
+
+#: HAR-size fraction of the yearly average below which a capture is partial.
+PARTIAL_SIZE_FRACTION = 0.10
+
+
+class CrawlStatus(str, Enum):
+    """Outcome of one (domain, month) crawl slot."""
+
+    OK = "ok"
+    EXCLUDED = "excluded"
+    NOT_ARCHIVED = "not archived"
+    OUTDATED = "outdated"
+    PARTIAL = "partial"
+
+
+@dataclass
+class CrawlRecord:
+    """One crawled (domain, month) slot."""
+
+    domain: str
+    month: date
+    status: CrawlStatus
+    har: Optional[HarFile] = None
+    html: str = ""
+    capture_date: Optional[date] = None
+
+    @property
+    def usable(self) -> bool:
+        """Whether this slot produced analysable data (status OK)."""
+        return self.status is CrawlStatus.OK
+
+
+def month_range(start: date, end: date) -> List[date]:
+    """First-of-month dates from ``start`` to ``end`` inclusive."""
+    months = []
+    year, month = start.year, start.month
+    while (year, month) <= (end.year, end.month):
+        months.append(date(year, month, 1))
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return months
+
+
+@dataclass
+class CrawlResult:
+    """All records of a crawl, with the paper's accounting queries."""
+
+    records: List[CrawlRecord] = field(default_factory=list)
+
+    def usable(self) -> List[CrawlRecord]:
+        """Whether this slot produced analysable data (status OK)."""
+        return [record for record in self.records if record.usable]
+
+    def by_month(self) -> Dict[date, List[CrawlRecord]]:
+        """Records grouped by requested month."""
+        grouped: Dict[date, List[CrawlRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.month, []).append(record)
+        return grouped
+
+    def missing_counts_by_month(self) -> Dict[date, Dict[str, int]]:
+        """Figure 5's accounting: partial / not archived / outdated per month."""
+        counts: Dict[date, Dict[str, int]] = {}
+        for record in self.records:
+            bucket = counts.setdefault(
+                record.month,
+                {"partial": 0, "not_archived": 0, "outdated": 0, "excluded": 0},
+            )
+            if record.status is CrawlStatus.PARTIAL:
+                bucket["partial"] += 1
+            elif record.status is CrawlStatus.NOT_ARCHIVED:
+                bucket["not_archived"] += 1
+            elif record.status is CrawlStatus.OUTDATED:
+                bucket["outdated"] += 1
+            elif record.status is CrawlStatus.EXCLUDED:
+                bucket["excluded"] += 1
+        return counts
+
+
+class WaybackCrawler:
+    """Crawls monthly snapshots of a domain list from a simulated archive.
+
+    The paper parallelised across 10 browser instances purely for speed;
+    results are order-independent, so this implementation crawls
+    sequentially and deterministically.
+    """
+
+    def __init__(self, archive: WaybackArchive, browser: Optional[Browser] = None) -> None:
+        self.archive = archive
+        self.api = AvailabilityAPI(archive)
+        self.browser = browser or Browser()
+
+    def crawl(
+        self, domains: Iterable[str], start: date, end: date
+    ) -> CrawlResult:
+        """Crawl every domain for every month in ``[start, end]``."""
+        result = CrawlResult()
+        months = month_range(start, end)
+        for domain in domains:
+            result.records.extend(self._crawl_domain(domain, months))
+        return result
+
+    def _crawl_domain(self, domain: str, months: List[date]) -> List[CrawlRecord]:
+        exclusion = self.archive.is_excluded(domain)
+        if exclusion is not None:
+            return [
+                CrawlRecord(domain=domain, month=month, status=CrawlStatus.EXCLUDED)
+                for month in months
+            ]
+        records: List[CrawlRecord] = []
+        for month in months:
+            records.append(self._crawl_slot(domain, month))
+        self._flag_partials(records)
+        return records
+
+    def _crawl_slot(self, domain: str, month: date) -> CrawlRecord:
+        availability = self.api.lookup(f"http://{domain}/", month)
+        if availability.empty:
+            return CrawlRecord(domain=domain, month=month, status=CrawlStatus.NOT_ARCHIVED)
+        drift = abs((availability.capture_date - month).days)
+        if drift > OUTDATED_THRESHOLD_DAYS:
+            return CrawlRecord(domain=domain, month=month, status=CrawlStatus.OUTDATED)
+        capture = self.archive.closest(domain, month)
+        visit = self._visit_capture(capture)
+        return CrawlRecord(
+            domain=domain,
+            month=month,
+            status=CrawlStatus.OK,
+            har=visit.har,
+            html=capture.snapshot.html,
+            capture_date=capture.captured_on,
+        )
+
+    def _visit_capture(self, capture) -> VisitResult:
+        browser = Browser(
+            adblocker=self.browser.adblocker,
+            url_rewriter=lambda url: wayback_url(url, capture.captured_on),
+            # The crawl stores raw HTML; the DOM is parsed lazily by the
+            # element-rule analysis, so skip it here.
+            parse_dom=self.browser.parse_dom if self.browser.adblocker else False,
+        )
+        return browser.visit(capture.snapshot)
+
+    @staticmethod
+    def _flag_partials(records: List[CrawlRecord]) -> None:
+        """Apply the 10%-of-yearly-average HAR size rule in place."""
+        by_year: Dict[int, List[CrawlRecord]] = {}
+        for record in records:
+            if record.status is CrawlStatus.OK and record.har is not None:
+                by_year.setdefault(record.month.year, []).append(record)
+        for year_records in by_year.values():
+            average = sum(r.har.total_size for r in year_records) / len(year_records)
+            for record in year_records:
+                if record.har.total_size < PARTIAL_SIZE_FRACTION * average:
+                    record.status = CrawlStatus.PARTIAL
+                    record.har = None
+                    record.html = ""

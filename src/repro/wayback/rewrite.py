@@ -1,0 +1,74 @@
+"""Wayback Machine URL rewriting.
+
+To archive a page the Wayback Machine rewrites every live URL by
+prepending ``http://web.archive.org/web/<timestamp>/``. The measurement
+pipeline (§4.2) must truncate that reference before matching filter rules
+— except for *Wayback escape* URLs, which leaked out of the archive
+unrewritten and must be left alone.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import date
+from typing import Optional
+
+ARCHIVE_HOST = "web.archive.org"
+_PREFIX_RE = re.compile(
+    r"^https?://web\.archive\.org/web/(?P<timestamp>\d{4,14})(?:[a-z_]{2,3})?/(?P<original>.*)$"
+)
+
+
+def format_timestamp(when: date) -> str:
+    """The 14-digit Wayback timestamp for a date (midnight)."""
+    return f"{when.year:04d}{when.month:02d}{when.day:02d}000000"
+
+
+def parse_timestamp(timestamp: str) -> date:
+    """Parse a 4-to-14 digit Wayback timestamp into a date.
+
+    Partial timestamps (just a year, or year+month) default the missing
+    month/day to 01, like the Wayback Machine does.
+    """
+    year = int(timestamp[0:4])
+    month = int(timestamp[4:6]) if len(timestamp) >= 6 else 1
+    day = int(timestamp[6:8]) if len(timestamp) >= 8 else 1
+    return date(year, max(month, 1), max(day, 1))
+
+
+def wayback_url(original_url: str, when: date) -> str:
+    """The archive URL serving ``original_url`` as captured on ``when``."""
+    return f"http://{ARCHIVE_HOST}/web/{format_timestamp(when)}/{original_url}"
+
+
+def is_wayback_url(url: str) -> bool:
+    """Whether the URL carries the archive prefix."""
+    return _PREFIX_RE.match(url) is not None
+
+
+def truncate_wayback(url: str) -> str:
+    """Strip the archive prefix, recovering the original URL.
+
+    Non-archive URLs — including Wayback escapes that were requested
+    directly against the live web — are returned unchanged, mirroring the
+    paper's "we do not truncate Wayback escape URLs".
+    """
+    match = _PREFIX_RE.match(url)
+    if match is None:
+        return url
+    original = match.group("original")
+    # Nested rewriting can occur when an archived page itself references
+    # archive URLs; truncate repeatedly.
+    while True:
+        inner = _PREFIX_RE.match(original)
+        if inner is None:
+            return original
+        original = inner.group("original")
+
+
+def wayback_timestamp_of(url: str) -> Optional[date]:
+    """The capture date embedded in an archive URL, if it is one."""
+    match = _PREFIX_RE.match(url)
+    if match is None:
+        return None
+    return parse_timestamp(match.group("timestamp"))

@@ -1,0 +1,124 @@
+"""On-disk data repository for crawl artifacts (Figure 4's last box).
+
+The paper's crawler "stores all HTTP requests/responses in a HAR file and
+the page content in an HTML file". This module persists a
+:class:`~repro.wayback.crawler.CrawlResult` the same way —
+``<root>/<domain>/<YYYY-MM>.har`` + ``.html`` plus an index of slot
+statuses — and loads it back, so expensive crawls can be archived,
+shipped, and re-analysed without re-crawling.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import Dict, Iterator, Union
+
+from ..web.har import HarFile
+from .crawler import CrawlRecord, CrawlResult, CrawlStatus
+
+INDEX_NAME = "crawl-index.json"
+
+
+class DataRepository:
+    """A directory tree of HAR/HTML crawl artifacts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- paths -----------------------------------------------------------------
+
+    def _slot_base(self, domain: str, month: date) -> Path:
+        return self.root / domain / f"{month.year:04d}-{month.month:02d}"
+
+    def har_path(self, domain: str, month: date) -> Path:
+        """On-disk path of a slot's HAR file."""
+        return self._slot_base(domain, month).with_suffix(".har")
+
+    def html_path(self, domain: str, month: date) -> Path:
+        """On-disk path of a slot's HTML file."""
+        return self._slot_base(domain, month).with_suffix(".html")
+
+    @property
+    def index_path(self) -> Path:
+        """Path of the crawl index JSON."""
+        return self.root / INDEX_NAME
+
+    # -- saving ---------------------------------------------------------------
+
+    def save(self, result: CrawlResult) -> int:
+        """Persist a crawl; returns the number of usable slots written."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        index = []
+        written = 0
+        for record in result.records:
+            entry = {
+                "domain": record.domain,
+                "month": record.month.isoformat(),
+                "status": record.status.value,
+                "capture_date": (
+                    record.capture_date.isoformat() if record.capture_date else None
+                ),
+            }
+            index.append(entry)
+            if not record.usable or record.har is None:
+                continue
+            base = self._slot_base(record.domain, record.month)
+            base.parent.mkdir(parents=True, exist_ok=True)
+            self.har_path(record.domain, record.month).write_text(
+                record.har.to_json(), encoding="utf-8"
+            )
+            if record.html:
+                self.html_path(record.domain, record.month).write_text(
+                    record.html, encoding="utf-8"
+                )
+            written += 1
+        self.index_path.write_text(
+            json.dumps({"records": index}, indent=1), encoding="utf-8"
+        )
+        return written
+
+    # -- loading ---------------------------------------------------------------
+
+    def load(self) -> CrawlResult:
+        """Rebuild the :class:`CrawlResult` from disk."""
+        if not self.index_path.exists():
+            raise FileNotFoundError(f"no crawl index at {self.index_path}")
+        raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+        result = CrawlResult()
+        for entry in raw["records"]:
+            domain = entry["domain"]
+            month = date.fromisoformat(entry["month"])
+            status = CrawlStatus(entry["status"])
+            record = CrawlRecord(
+                domain=domain,
+                month=month,
+                status=status,
+                capture_date=(
+                    date.fromisoformat(entry["capture_date"])
+                    if entry.get("capture_date")
+                    else None
+                ),
+            )
+            if status is CrawlStatus.OK:
+                har_file = self.har_path(domain, month)
+                if har_file.exists():
+                    record.har = HarFile.from_json(har_file.read_text(encoding="utf-8"))
+                html_file = self.html_path(domain, month)
+                if html_file.exists():
+                    record.html = html_file.read_text(encoding="utf-8")
+            result.records.append(record)
+        return result
+
+    def iter_hars(self) -> Iterator[HarFile]:
+        """Stream every stored HAR (for corpus building over a saved crawl)."""
+        for har_file in sorted(self.root.glob("*/*.har")):
+            yield HarFile.from_json(har_file.read_text(encoding="utf-8"))
+
+    def stats(self) -> Dict[str, int]:
+        """Quick inventory of the repository."""
+        hars = sum(1 for _ in self.root.glob("*/*.har"))
+        htmls = sum(1 for _ in self.root.glob("*/*.html"))
+        domains = sum(1 for p in self.root.iterdir() if p.is_dir()) if self.root.exists() else 0
+        return {"domains": domains, "har_files": hars, "html_files": htmls}

@@ -1,0 +1,48 @@
+"""Web substrate: URLs, DOM, HTTP, HAR capture, browser, adblocker.
+
+Substitutes for the paper's Selenium + Firefox (Firebug/NetExport) +
+Adblock Plus stack.
+"""
+
+from .adblocker import Adblocker, AdblockLog, LogEntry
+from .browser import Browser, VisitResult
+from .dom import Document, Element, parse_html
+from .har import HarFile, is_partial, merge_hars
+from .http import Exchange, Request, Response
+from .page import PageSnapshot, Script, Subresource
+from .url import (
+    SplitURL,
+    hostname,
+    is_third_party,
+    normalize_url,
+    registered_domain,
+    resource_type_from_url,
+    split_url,
+)
+
+__all__ = [
+    "Adblocker",
+    "AdblockLog",
+    "LogEntry",
+    "Browser",
+    "VisitResult",
+    "Document",
+    "Element",
+    "parse_html",
+    "HarFile",
+    "is_partial",
+    "merge_hars",
+    "Exchange",
+    "Request",
+    "Response",
+    "PageSnapshot",
+    "Script",
+    "Subresource",
+    "SplitURL",
+    "hostname",
+    "is_third_party",
+    "normalize_url",
+    "registered_domain",
+    "resource_type_from_url",
+    "split_url",
+]

@@ -1,0 +1,153 @@
+"""An Adblock-Plus-like adblocker over our filter-list engine.
+
+The paper runs Firefox with Adblock Plus subscribed to the anti-adblock
+lists and reads ABP's logs to learn which element-hiding rules triggered.
+This class reproduces that: subscribe to filter lists, process page loads,
+and keep a structured log of every rule that fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..filterlist.matcher import NetworkMatcher
+from ..filterlist.parser import FilterList
+from ..filterlist.rules import ElementRule, NetworkRule
+from ..filterlist.selectors import SelectorParseError, parse_selector_group
+from .dom import Document
+from .url import is_third_party, registered_domain
+
+
+@dataclass
+class LogEntry:
+    """One triggered rule, ABP-log style."""
+
+    kind: str  # "request-blocked" | "request-allowed" | "element-hidden"
+    rule: Union[NetworkRule, ElementRule]
+    target: str  # URL or selector target description
+    page_domain: str = ""
+
+
+@dataclass
+class AdblockLog:
+    """Structured log of rule firings for one or more page loads."""
+
+    entries: List[LogEntry] = field(default_factory=list)
+
+    def add(self, entry: LogEntry) -> None:
+        """Append one log entry."""
+        self.entries.append(entry)
+
+    def triggered_element_rules(self) -> List[ElementRule]:
+        """Element rules that fired, in order."""
+        return [e.rule for e in self.entries if e.kind == "element-hidden"]
+
+    def triggered_network_rules(self) -> List[NetworkRule]:
+        """Network rules that fired (blocked or allowed)."""
+        return [
+            e.rule
+            for e in self.entries
+            if e.kind in ("request-blocked", "request-allowed")
+        ]
+
+    def clear(self) -> None:
+        """Drop all log entries."""
+        self.entries.clear()
+
+
+class Adblocker:
+    """Filter lists applied to page loads, with a trigger log."""
+
+    def __init__(self, filter_lists: Optional[List[FilterList]] = None) -> None:
+        self._network_rules: List[NetworkRule] = []
+        self._element_rules: List[ElementRule] = []
+        self._matcher: Optional[NetworkMatcher] = None
+        #: Parsed selector cache: selectors are re-applied on every page
+        #: load, so parse each rule's selector once.
+        self._selector_cache: dict = {}
+        self.log = AdblockLog()
+        for filter_list in filter_lists or []:
+            self.subscribe(filter_list)
+
+    def subscribe(self, filter_list: FilterList) -> None:
+        """Add a filter list's rules (rebuilds the URL index lazily)."""
+        self._network_rules.extend(filter_list.network_rules)
+        self._element_rules.extend(filter_list.element_rules)
+        self._matcher = None
+
+    @property
+    def matcher(self) -> NetworkMatcher:
+        """The token-indexed URL matcher (rebuilt after subscribe)."""
+        if self._matcher is None:
+            self._matcher = NetworkMatcher(self._network_rules)
+        return self._matcher
+
+    @property
+    def rule_count(self) -> int:
+        """Total subscribed rules, both kinds."""
+        return len(self._network_rules) + len(self._element_rules)
+
+    # -- request filtering -----------------------------------------------------
+
+    def should_block(
+        self, url: str, page_url: str = "", resource_type: str = "other"
+    ) -> bool:
+        """Adblocker decision for one request; logs the outcome."""
+        page_domain = registered_domain(page_url) if page_url else ""
+        third_party = is_third_party(url, page_domain) if page_domain else None
+        result = self.matcher.match(url, page_domain, resource_type, third_party)
+        if result.blocked:
+            self.log.add(
+                LogEntry("request-blocked", result.rule, url, page_domain)
+            )
+            return True
+        if result.exception is not None:
+            self.log.add(
+                LogEntry("request-allowed", result.exception, url, page_domain)
+            )
+        return False
+
+    # -- element hiding ----------------------------------------------------------
+
+    def hide_elements(self, document: Document, page_url: str) -> List[ElementRule]:
+        """Apply element-hiding rules to a document; return triggered rules.
+
+        Exception (``#@#``) rules disable matching blocking rules with the
+        same selector on that domain, as in Adblock Plus.
+        """
+        page_domain = registered_domain(page_url)
+        disabled_selectors = {
+            rule.selector
+            for rule in self._element_rules
+            if rule.is_exception and rule.applies_to(page_domain)
+        }
+        triggered: List[ElementRule] = []
+        for rule in self._element_rules:
+            if rule.is_exception:
+                continue
+            if not rule.applies_to(page_domain):
+                continue
+            if rule.selector in disabled_selectors:
+                continue
+            if rule.selector not in self._selector_cache:
+                try:
+                    self._selector_cache[rule.selector] = parse_selector_group(
+                        rule.selector
+                    )
+                except SelectorParseError:
+                    self._selector_cache[rule.selector] = None
+            selectors = self._selector_cache[rule.selector]
+            if selectors is None:
+                continue
+            hit = False
+            for element in document.iter():
+                if any(selector.matches(element) for selector in selectors):
+                    element.hidden = True
+                    hit = True
+            if hit:
+                triggered.append(rule)
+                self.log.add(
+                    LogEntry("element-hidden", rule, rule.selector, page_domain)
+                )
+        return triggered

@@ -1,0 +1,132 @@
+"""A simulated browser: loads page snapshots, records HARs, runs adblockers.
+
+Stands in for the paper's Selenium-driven Firefox (+Firebug/NetExport for
+HAR capture, +Adblock Plus for element-hiding detection). ``visit``
+resolves a :class:`~repro.web.page.PageSnapshot` into a parsed DOM and a
+HAR of every request the page load performs; an optional adblocker filters
+requests and hides elements, logging each triggered rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .adblocker import Adblocker
+from .dom import Document, parse_html
+from .har import HarFile
+from .http import Exchange, Request, Response
+from .page import PageSnapshot, Subresource
+from .url import normalize_url, resource_type_from_url
+
+
+@dataclass
+class VisitResult:
+    """Everything a page visit produced."""
+
+    url: str
+    har: HarFile
+    document: Document
+    blocked_urls: List[str] = field(default_factory=list)
+    hidden_rules: List = field(default_factory=list)
+
+    @property
+    def request_urls(self) -> List[str]:
+        """Every requested URL, duplicates removed."""
+        return self.har.request_urls()
+
+
+class Browser:
+    """Loads :class:`PageSnapshot` objects and records the traffic.
+
+    ``url_rewriter`` lets the Wayback simulator wrap every subresource URL
+    with the archive prefix, exactly like the real Wayback Machine rewrites
+    archived pages.
+    """
+
+    def __init__(
+        self,
+        adblocker: Optional[Adblocker] = None,
+        url_rewriter: Optional[Callable[[str], str]] = None,
+        parse_dom: bool = True,
+    ) -> None:
+        self.adblocker = adblocker
+        self.url_rewriter = url_rewriter
+        #: Skip DOM construction when the caller only needs the HAR (the
+        #: Wayback crawler stores raw HTML and parses lazily downstream).
+        self.parse_dom = parse_dom
+
+    def _rewrite(self, url: str) -> str:
+        url = normalize_url(url)
+        if self.url_rewriter is not None:
+            return self.url_rewriter(url)
+        return url
+
+    def visit(self, snapshot: PageSnapshot) -> VisitResult:
+        """Load a page snapshot; returns the HAR, DOM and adblock effects."""
+        page_url = self._rewrite(snapshot.url)
+        har = HarFile(page_url=page_url, page_html=snapshot.html)
+        blocked: List[str] = []
+
+        # The main document request.
+        main_request = Request(url=page_url, resource_type="document", page_url=page_url)
+        main_response = Response(
+            status=snapshot.status,
+            mime_type="text/html",
+            body=snapshot.html,
+            headers={"Location": snapshot.redirect_to} if snapshot.redirect_to else {},
+        )
+        har.add(Exchange(request=main_request, response=main_response))
+
+        if self.parse_dom and snapshot.html:
+            document = parse_html(snapshot.html)
+        else:
+            document = Document.new_page()
+
+        # Subresource requests, optionally filtered by the adblocker.
+        for resource in snapshot.subresources:
+            url = self._rewrite(resource.url)
+            resource_type = resource.resource_type or resource_type_from_url(resource.url)
+            if self.adblocker is not None and self.adblocker.should_block(
+                # Filter rules match against the original (truncated) URL,
+                # not the archive-prefixed one.
+                normalize_url(resource.url),
+                page_url=snapshot.url,
+                resource_type=resource_type,
+            ):
+                blocked.append(url)
+                continue
+            request = Request(
+                url=url, resource_type=resource_type, page_url=page_url
+            )
+            response = Response(
+                status=200,
+                mime_type=_mime_for(resource_type),
+                body=resource.content,
+                size=None if resource.content else max(resource.size, 0),
+            )
+            har.add(Exchange(request=request, response=response))
+
+        hidden_rules: List = []
+        if self.adblocker is not None and self.parse_dom:
+            hidden_rules = self.adblocker.hide_elements(document, snapshot.url)
+
+        return VisitResult(
+            url=page_url,
+            har=har,
+            document=document,
+            blocked_urls=blocked,
+            hidden_rules=hidden_rules,
+        )
+
+
+def _mime_for(resource_type: str) -> str:
+    return {
+        "script": "application/javascript",
+        "stylesheet": "text/css",
+        "image": "image/png",
+        "xmlhttprequest": "application/json",
+        "subdocument": "text/html",
+        "font": "font/woff2",
+        "media": "video/mp4",
+    }.get(resource_type, "application/octet-stream")

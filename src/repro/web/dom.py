@@ -1,0 +1,214 @@
+"""A small DOM: element tree, HTML parsing, and serialization.
+
+Substitutes for the browser DOM the paper drives through Selenium: enough
+structure for element-hiding rules to match (tags, ids, classes,
+attributes, ancestry) and for anti-adblock HTML baits (hidden ``div``
+elements, overlay notices) to be represented and hidden.
+"""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+from typing import Dict, Iterator, List, Optional
+
+VOID_TAGS = frozenset(
+    "area base br col embed hr img input link meta param source track wbr".split()
+)
+
+
+class Element:
+    """One DOM element with attributes, children and a parent pointer."""
+
+    __slots__ = ("tag", "attrs", "children", "parent", "text", "hidden")
+
+    def __init__(
+        self,
+        tag: str,
+        attrs: Optional[Dict[str, str]] = None,
+        text: str = "",
+    ) -> None:
+        self.tag = tag.lower()
+        self.attrs: Dict[str, str] = dict(attrs or {})
+        self.children: List[Element] = []
+        self.parent: Optional[Element] = None
+        self.text = text
+        #: Set by the adblocker when an element-hiding rule fires.
+        self.hidden = False
+
+    # -- tree construction ---------------------------------------------------
+
+    def append(self, child: "Element") -> "Element":
+        """Attach a child element and set its parent pointer."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def make_child(self, tag: str, attrs: Optional[Dict[str, str]] = None, text: str = "") -> "Element":
+        """Create, attach, and return a new child element."""
+        return self.append(Element(tag, attrs, text))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def id(self) -> Optional[str]:
+        """The element's id attribute, if any."""
+        return self.attrs.get("id")
+
+    @property
+    def classes(self) -> List[str]:
+        """The element's class list."""
+        return self.attrs.get("class", "").split()
+
+    def iter(self) -> Iterator["Element"]:
+        """This element and all descendants, pre-order."""
+        stack = [self]
+        while stack:
+            element = stack.pop()
+            yield element
+            stack.extend(reversed(element.children))
+
+    def get_element_by_id(self, element_id: str) -> Optional["Element"]:
+        """First element with the given id, if any."""
+        for element in self.iter():
+            if element.attrs.get("id") == element_id:
+                return element
+        return None
+
+    def get_elements_by_tag(self, tag: str) -> List["Element"]:
+        """All descendants (inclusive) with the tag."""
+        tag = tag.lower()
+        return [element for element in self.iter() if element.tag == tag]
+
+    def get_elements_by_class(self, class_name: str) -> List["Element"]:
+        """All descendants (inclusive) carrying the class."""
+        return [element for element in self.iter() if class_name in element.classes]
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_html(self, indent: int = 0) -> str:
+        """Serialise the subtree as indented HTML."""
+        pad = "  " * indent
+        attrs = "".join(
+            f' {name}="{value}"' if value != "" else f" {name}"
+            for name, value in self.attrs.items()
+        )
+        if self.tag in VOID_TAGS:
+            return f"{pad}<{self.tag}{attrs}>"
+        inner: List[str] = []
+        if self.text:
+            inner.append("  " * (indent + 1) + self.text)
+        inner.extend(child.to_html(indent + 1) for child in self.children)
+        if inner:
+            body = "\n".join(inner)
+            return f"{pad}<{self.tag}{attrs}>\n{body}\n{pad}</{self.tag}>"
+        return f"{pad}<{self.tag}{attrs}></{self.tag}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        suffix = f"#{self.id}" if self.id else ""
+        return f"<Element {self.tag}{suffix} children={len(self.children)}>"
+
+
+class Document:
+    """A parsed HTML document."""
+
+    def __init__(self, root: Optional[Element] = None) -> None:
+        self.root = root or Element("html")
+
+    @property
+    def head(self) -> Optional[Element]:
+        """The document's <head> element, if present."""
+        return next((c for c in self.root.children if c.tag == "head"), None)
+
+    @property
+    def body(self) -> Optional[Element]:
+        """The document's <body> element, if present."""
+        return next((c for c in self.root.children if c.tag == "body"), None)
+
+    def iter(self) -> Iterator[Element]:
+        """All elements in pre-order."""
+        return self.root.iter()
+
+    def get_element_by_id(self, element_id: str) -> Optional[Element]:
+        """First element with the given id, if any."""
+        return self.root.get_element_by_id(element_id)
+
+    def visible_elements(self) -> List[Element]:
+        """Elements not hidden by the adblocker (hiding is inherited)."""
+        visible = []
+        stack = [(self.root, False)]
+        while stack:
+            element, inherited = stack.pop()
+            hidden = inherited or element.hidden
+            if not hidden:
+                visible.append(element)
+            for child in reversed(element.children):
+                stack.append((child, hidden))
+        return visible
+
+    def to_html(self) -> str:
+        """Serialise the subtree as indented HTML."""
+        return "<!DOCTYPE html>\n" + self.root.to_html()
+
+    @classmethod
+    def new_page(cls, title: str = "") -> "Document":
+        """A blank document with head/body scaffolding."""
+        document = cls()
+        head = document.root.make_child("head")
+        if title:
+            head.make_child("title", text=title)
+        document.root.make_child("body")
+        return document
+
+
+class _TreeBuilder(HTMLParser):
+
+    def __init__(self) -> None:
+        """html.parser-based builder producing our Element tree."""
+        super().__init__(convert_charrefs=True)
+        self.root = Element("html")
+        self._stack = [self.root]
+        self._saw_html = False
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        """html.parser hook: open an element."""
+        tag = tag.lower()
+        if tag == "html" and not self._saw_html:
+            self._saw_html = True
+            for name, value in attrs:
+                self.root.attrs[name] = value or ""
+            return
+        element = Element(tag, {name: (value or "") for name, value in attrs})
+        self._stack[-1].append(element)
+        if tag not in VOID_TAGS:
+            self._stack.append(element)
+
+    def handle_startendtag(self, tag: str, attrs) -> None:
+        """html.parser hook: self-closing element."""
+        element = Element(tag, {name: (value or "") for name, value in attrs})
+        self._stack[-1].append(element)
+
+    def handle_endtag(self, tag: str) -> None:
+        """html.parser hook: close the matching element."""
+        tag = tag.lower()
+        if tag == "html":
+            return
+        for index in range(len(self._stack) - 1, 0, -1):
+            if self._stack[index].tag == tag:
+                del self._stack[index:]
+                return
+        # Unmatched close tag: ignore, as browsers do.
+
+    def handle_data(self, data: str) -> None:
+        """html.parser hook: accumulate text content."""
+        text = data.strip()
+        if text:
+            current = self._stack[-1]
+            current.text = (current.text + " " + text).strip() if current.text else text
+
+
+def parse_html(html: str) -> Document:
+    """Parse an HTML string into a :class:`Document` (lenient, browser-like)."""
+    builder = _TreeBuilder()
+    builder.feed(html)
+    builder.close()
+    return Document(root=builder.root)

@@ -1,0 +1,179 @@
+"""HTTP Archive (HAR) 1.2 files.
+
+The paper's crawler stores every page visit as a HAR file (via Firebug +
+NetExport) and later extracts request URLs from the archived HARs to match
+against HTTP filter rules. This module reads/writes the HAR JSON shape,
+supports the union-merge the paper applies to pages that kept refreshing,
+and implements the partial-snapshot heuristic (discard HARs smaller than
+10% of the year's average).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .http import Exchange, Request, Response
+
+HAR_VERSION = "1.2"
+CREATOR = {"name": "repro-adwars-crawler", "version": "1.0"}
+
+
+@dataclass
+class HarFile:
+    """An in-memory HAR document for one page visit."""
+
+    page_url: str
+    started: str = ""  # ISO timestamp string; informational only
+    entries: List[Exchange] = field(default_factory=list)
+    page_html: str = ""
+
+    # -- core operations ---------------------------------------------------
+
+    def add(self, exchange: Exchange) -> None:
+        """Append one request/response entry."""
+        self.entries.append(exchange)
+
+    def request_urls(self) -> List[str]:
+        """Every request URL, in order, duplicates removed."""
+        seen = set()
+        urls = []
+        for entry in self.entries:
+            if entry.url not in seen:
+                seen.add(entry.url)
+                urls.append(entry.url)
+        return urls
+
+    def requests(self) -> List[Request]:
+        """The request objects of every entry."""
+        return [entry.request for entry in self.entries]
+
+    @property
+    def total_size(self) -> int:
+        """Total response body bytes — the HAR 'size' used for the 10% rule."""
+        return sum(entry.response.body_size for entry in self.entries)
+
+    def merge(self, other: "HarFile") -> "HarFile":
+        """Union of requests across two HARs for the same page.
+
+        Pages that keep refreshing produce multiple HARs; the paper takes
+        the union of all HTTP requests.
+        """
+        merged = HarFile(
+            page_url=self.page_url, started=self.started, page_html=self.page_html
+        )
+        seen = set()
+        for entry in list(self.entries) + list(other.entries):
+            if entry.url not in seen:
+                seen.add(entry.url)
+                merged.add(entry)
+        return merged
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """The HAR 1.2 JSON structure as a dict."""
+        return {
+            "log": {
+                "version": HAR_VERSION,
+                "creator": dict(CREATOR),
+                "pages": [
+                    {
+                        "startedDateTime": self.started,
+                        "id": "page_1",
+                        "title": self.page_url,
+                    }
+                ],
+                "entries": [
+                    {
+                        "pageref": "page_1",
+                        "startedDateTime": self.started,
+                        "request": {
+                            "method": entry.request.method,
+                            "url": entry.request.url,
+                            "headers": [
+                                {"name": name, "value": value}
+                                for name, value in entry.request.headers.items()
+                            ],
+                            "_resourceType": entry.request.resource_type,
+                        },
+                        "response": {
+                            "status": entry.response.status,
+                            "statusText": entry.response.status_text,
+                            "content": {
+                                "size": entry.response.body_size,
+                                "mimeType": entry.response.mime_type,
+                                "text": entry.response.body,
+                            },
+                            "headers": [
+                                {"name": name, "value": value}
+                                for name, value in entry.response.headers.items()
+                            ],
+                        },
+                    }
+                    for entry in self.entries
+                ],
+            }
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The HAR 1.2 document as JSON text."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "HarFile":
+        """Parse a HAR 1.2 dict into a HarFile."""
+        log = data.get("log", {})
+        pages = log.get("pages", [])
+        page_url = pages[0]["title"] if pages else ""
+        started = pages[0].get("startedDateTime", "") if pages else ""
+        har = cls(page_url=page_url, started=started)
+        for raw_entry in log.get("entries", []):
+            raw_request = raw_entry.get("request", {})
+            raw_response = raw_entry.get("response", {})
+            content = raw_response.get("content", {})
+            request = Request(
+                url=raw_request.get("url", ""),
+                method=raw_request.get("method", "GET"),
+                resource_type=raw_request.get("_resourceType", ""),
+                page_url=page_url,
+                headers={
+                    header["name"]: header["value"]
+                    for header in raw_request.get("headers", [])
+                },
+            )
+            body_text = content.get("text", "")
+            response = Response(
+                status=raw_response.get("status", 200),
+                status_text=raw_response.get("statusText", ""),
+                mime_type=content.get("mimeType", ""),
+                body=body_text,
+                size=content.get("size") if not body_text else None,
+                headers={
+                    header["name"]: header["value"]
+                    for header in raw_response.get("headers", [])
+                },
+            )
+            har.add(Exchange(request=request, response=response))
+        return har
+
+    @classmethod
+    def from_json(cls, text: str) -> "HarFile":
+        """Parse HAR 1.2 JSON text into a HarFile."""
+        return cls.from_dict(json.loads(text))
+
+
+def merge_hars(hars: Iterable[HarFile]) -> Optional[HarFile]:
+    """Union-merge any number of HARs for the same page."""
+    merged: Optional[HarFile] = None
+    for har in hars:
+        merged = har if merged is None else merged.merge(har)
+    return merged
+
+
+def is_partial(har: HarFile, yearly_average_size: float, threshold: float = 0.10) -> bool:
+    """The paper's partial-snapshot rule: size < 10% of the year's average."""
+    if yearly_average_size <= 0:
+        return False
+    return har.total_size < threshold * yearly_average_size

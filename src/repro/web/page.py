@@ -1,0 +1,80 @@
+"""Page snapshot model: what a website serves at a point in time.
+
+A :class:`PageSnapshot` is the unit the synthetic world produces, the
+Wayback simulator archives, and the browser visits. It carries the page
+HTML, the set of subresource requests loading the page makes, and the
+JavaScript the page ships (both external files and inline blocks) — the
+scripts are what §5's ML corpus is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .url import registered_domain
+
+
+@dataclass
+class Script:
+    """One JavaScript asset on a page."""
+
+    source: str
+    url: str = ""  # empty for inline scripts
+    vendor: str = ""  # anti-adblock vendor label, "" for none
+    is_anti_adblock: bool = False
+
+    @property
+    def inline(self) -> bool:
+        """Whether the script has no URL (inline in the page)."""
+        return not self.url
+
+
+@dataclass
+class Subresource:
+    """One subresource request the page makes when loading."""
+
+    url: str
+    resource_type: str = ""
+    size: int = 2048
+    content: str = ""
+
+
+@dataclass
+class PageSnapshot:
+    """A website's homepage as served on a particular visit."""
+
+    url: str
+    html: str = ""
+    subresources: List[Subresource] = field(default_factory=list)
+    scripts: List[Script] = field(default_factory=list)
+    #: Extra response headers for the main document (e.g. redirects).
+    status: int = 200
+    redirect_to: Optional[str] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def domain(self) -> str:
+        """The page's registered domain."""
+        return registered_domain(self.url)
+
+    def request_urls(self) -> List[str]:
+        """URLs of all subresources."""
+        return [resource.url for resource in self.subresources]
+
+    def external_scripts(self) -> List[Script]:
+        """Scripts loaded from a URL."""
+        return [script for script in self.scripts if not script.inline]
+
+    def inline_scripts(self) -> List[Script]:
+        """Scripts embedded in the page."""
+        return [script for script in self.scripts if script.inline]
+
+    def anti_adblock_scripts(self) -> List[Script]:
+        """Scripts flagged as anti-adblocking (ground truth)."""
+        return [script for script in self.scripts if script.is_anti_adblock]
+
+    @property
+    def uses_anti_adblock(self) -> bool:
+        """Whether any script on the page is anti-adblocking."""
+        return any(script.is_anti_adblock for script in self.scripts)

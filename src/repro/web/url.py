@@ -1,0 +1,156 @@
+"""URL parsing and domain utilities for the web substrate.
+
+Implements just enough URL machinery for filter-list matching and the
+Wayback pipeline: host extraction, registered-domain computation against an
+embedded public-suffix snapshot, third-party tests, and resource-type
+inference from URL shape (used when a HAR entry lacks an explicit type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+#: Multi-label public suffixes that matter for registered-domain grouping.
+#: A snapshot, not the full PSL — the synthetic world only mints domains
+#: under these and single-label TLDs.
+MULTI_LABEL_SUFFIXES = frozenset(
+    """co.uk org.uk ac.uk gov.uk com.au net.au org.au co.jp ne.jp or.jp
+    com.br net.br org.br com.cn net.cn org.cn co.in net.in org.in com.mx
+    com.tr com.tw co.kr co.za com.ar com.sg com.hk com.my co.nz""".split()
+)
+
+
+@dataclass(frozen=True)
+class SplitURL:
+    """Parsed URL components."""
+
+    scheme: str
+    host: str
+    port: Optional[int]
+    path: str
+    query: str
+    fragment: str
+
+    @property
+    def origin(self) -> str:
+        """scheme://host[:port] of the URL."""
+        port = f":{self.port}" if self.port else ""
+        return f"{self.scheme}://{self.host}{port}"
+
+    def geturl(self) -> str:
+        """Reassemble the full URL string."""
+        url = self.origin + self.path
+        if self.query:
+            url += "?" + self.query
+        if self.fragment:
+            url += "#" + self.fragment
+        return url
+
+
+@lru_cache(maxsize=65536)
+def split_url(url: str) -> SplitURL:
+    """Split ``url`` into components; tolerant of scheme-relative URLs."""
+    fragment = ""
+    if "#" in url:
+        url, fragment = url.split("#", 1)
+    query = ""
+    if "?" in url:
+        url, query = url.split("?", 1)
+    scheme = ""
+    rest = url
+    if "://" in url:
+        scheme, rest = url.split("://", 1)
+    elif url.startswith("//"):
+        rest = url[2:]
+    hostport, _, path = rest.partition("/")
+    path = "/" + path if path or rest.endswith("/") else "/"
+    host, _, port_text = hostport.partition(":")
+    port = int(port_text) if port_text.isdigit() else None
+    return SplitURL(
+        scheme=scheme.lower() or "http",
+        host=host.lower(),
+        port=port,
+        path=path,
+        query=query,
+        fragment=fragment,
+    )
+
+
+def hostname(url: str) -> str:
+    """The lowercased host of ``url`` (empty for relative URLs)."""
+    return split_url(url).host
+
+
+def registered_domain(host_or_url: str) -> str:
+    """Collapse a host to its registrable domain (eTLD+1).
+
+    ``ads.cdn.example.co.uk`` → ``example.co.uk``;
+    ``www.example.com`` → ``example.com``. Hosts that are already bare, or
+    IP addresses, come back unchanged.
+    """
+    host = hostname(host_or_url) if "/" in host_or_url or "://" in host_or_url else host_or_url.lower()
+    host = host.strip(".")
+    if not host or host.replace(".", "").isdigit():
+        return host
+    labels = host.split(".")
+    if len(labels) <= 2:
+        return host
+    last_two = ".".join(labels[-2:])
+    if last_two in MULTI_LABEL_SUFFIXES:
+        return ".".join(labels[-3:])
+    return last_two
+
+
+def is_third_party(request_url: str, page_domain: str) -> bool:
+    """Whether a request crosses registrable-domain boundaries.
+
+    This is the ``$third-party`` notion in filter rules: a request is
+    first-party only when its registered domain equals the page's.
+    """
+    request_domain = registered_domain(request_url)
+    page_registered = registered_domain(page_domain)
+    if not request_domain or not page_registered:
+        return False
+    return request_domain != page_registered
+
+
+_EXTENSION_TYPES = {
+    ".js": "script",
+    ".mjs": "script",
+    ".css": "stylesheet",
+    ".png": "image",
+    ".jpg": "image",
+    ".jpeg": "image",
+    ".gif": "image",
+    ".webp": "image",
+    ".svg": "image",
+    ".ico": "image",
+    ".woff": "font",
+    ".woff2": "font",
+    ".ttf": "font",
+    ".mp4": "media",
+    ".webm": "media",
+    ".mp3": "media",
+    ".swf": "object",
+    ".json": "xmlhttprequest",
+    ".html": "subdocument",
+    ".htm": "subdocument",
+}
+
+
+def resource_type_from_url(url: str, default: str = "other") -> str:
+    """Guess the filter-rule resource type from the URL's extension."""
+    path = split_url(url).path.lower()
+    for extension, resource_type in _EXTENSION_TYPES.items():
+        if path.endswith(extension):
+            return resource_type
+    return default
+
+
+def normalize_url(url: str, base_scheme: str = "http") -> str:
+    """Give scheme-relative URLs a scheme so matching sees full URLs."""
+    if url.startswith("//"):
+        return f"{base_scheme}:{url}"
+    return url

@@ -1,0 +1,61 @@
+"""Tests for the ASCII chart renderer."""
+
+from datetime import date
+
+from repro.analysis.charts import cdf_chart, line_chart
+
+
+def series(*counts, start_year=2014):
+    return {
+        date(start_year + i // 12, 1 + i % 12, 1): value
+        for i, value in enumerate(counts)
+    }
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"A": series(0, 1, 2, 3), "B": series(3, 2, 1, 0)})
+        assert "* A" in chart
+        assert "o B" in chart
+        assert "*" in chart.splitlines()[0] or any("*" in line for line in chart.splitlines())
+
+    def test_title_first_line(self):
+        chart = line_chart({"A": series(1, 2)}, title="Figure X")
+        assert chart.splitlines()[0] == "Figure X"
+
+    def test_peak_on_axis(self):
+        chart = line_chart({"A": series(0, 5, 10)})
+        assert "10 |" in chart
+
+    def test_year_labels(self):
+        chart = line_chart({"A": series(*range(30))})
+        assert "2014" in chart
+        assert "2015" in chart
+
+    def test_empty(self):
+        assert line_chart({}, title="t") == "t"
+
+    def test_resampling_bounds_width(self):
+        chart = line_chart({"A": series(*range(200))}, width=40)
+        plot_lines = [l for l in chart.splitlines() if "|" in l]
+        assert all(len(line) <= 40 + 8 for line in plot_lines)
+
+    def test_zero_series(self):
+        chart = line_chart({"A": series(0, 0, 0)})
+        assert "|" in chart  # renders without dividing by zero
+
+
+class TestCdfChart:
+    def test_monotone_curve_renders(self):
+        points = [(x, min(1.0, max(0.0, (x + 1080) / 2160))) for x in range(-1080, 1081, 180)]
+        chart = cdf_chart(points, title="CDF")
+        assert chart.splitlines()[0] == "CDF"
+        assert "100%" in chart
+        assert "0%" in chart
+
+    def test_x_labels(self):
+        chart = cdf_chart([(-100, 0.2), (400, 0.9)])
+        assert "-100" in chart and "400" in chart
+
+    def test_empty(self):
+        assert cdf_chart([], title="t") == "t"

@@ -1,0 +1,92 @@
+"""Tests for bootstrap confidence intervals and seed sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.robustness import (
+    Interval,
+    bootstrap_mean,
+    bootstrap_proportion,
+    bootstrap_statistic,
+    seed_sensitivity,
+)
+
+
+class TestBootstrapProportion:
+    def test_estimate_is_the_proportion(self):
+        interval = bootstrap_proportion(33, 100)
+        assert interval.estimate == pytest.approx(0.33)
+
+    def test_interval_contains_estimate(self):
+        interval = bootstrap_proportion(50, 400)
+        assert interval.contains(interval.estimate)
+
+    def test_more_data_narrows_interval(self):
+        small = bootstrap_proportion(10, 100, seed=1)
+        large = bootstrap_proportion(1000, 10_000, seed=1)
+        assert large.width < small.width
+
+    def test_extremes(self):
+        assert bootstrap_proportion(0, 50).estimate == 0.0
+        assert bootstrap_proportion(50, 50).estimate == 1.0
+        zero = bootstrap_proportion(0, 0)
+        assert zero.width == 0.0
+
+    def test_roughly_matches_binomial_theory(self):
+        # p=0.1, n=1000 → se ≈ sqrt(p(1-p)/n) ≈ 0.0095; 95% CI width ≈ 0.037.
+        interval = bootstrap_proportion(100, 1000, n_resamples=4000, seed=2)
+        assert 0.02 < interval.width < 0.06
+
+
+class TestBootstrapMean:
+    def test_constant_data_zero_width(self):
+        interval = bootstrap_mean([5.0] * 30)
+        assert interval.width == 0.0
+        assert interval.estimate == 5.0
+
+    def test_empty(self):
+        assert bootstrap_mean([]).estimate == 0.0
+
+    def test_seeded_reproducible(self):
+        data = list(range(50))
+        a = bootstrap_mean(data, seed=7)
+        b = bootstrap_mean(data, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+
+class TestBootstrapStatistic:
+    def test_median(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(10, 2, size=200)
+        interval = bootstrap_statistic(data, np.median, seed=3)
+        assert interval.contains(interval.estimate)
+        assert 9 < interval.estimate < 11
+
+    def test_cdf_at_point(self):
+        data = np.array([-50, -10, 0, 30, 90, 200], dtype=float)
+        frac_within_100 = lambda xs: float(np.mean(xs <= 100))
+        interval = bootstrap_statistic(data, frac_within_100, seed=4)
+        assert interval.estimate == pytest.approx(5 / 6)
+
+
+class TestSeedSensitivity:
+    def test_runs_across_seeds(self):
+        values = seed_sensitivity(lambda seed: float(seed % 3), seeds=[1, 2, 3, 4])
+        assert values == [1.0, 2.0, 0.0, 1.0]
+
+    def test_world_adoption_rate_stability(self):
+        """The headline adoption rate should be stable across seeds."""
+        from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+        def adoption(seed):
+            world = SyntheticWorld(WorldConfig(n_sites=150, live_top=150), seed=seed)
+            return sum(s.uses_anti_adblock for s in world.sites) / len(world.sites)
+
+        rates = seed_sensitivity(adoption, seeds=[1, 2, 3])
+        assert all(0.04 <= rate <= 0.20 for rate in rates)
+
+
+class TestIntervalApi:
+    def test_str(self):
+        text = str(Interval(estimate=0.5, low=0.4, high=0.6))
+        assert "0.5000" in text and "[0.4000, 0.6000]" in text

@@ -1,0 +1,136 @@
+"""Tests for corpus building and the end-to-end detector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.corpus import Corpus, LabeledScript, build_corpus, ground_truth_corpus
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig, evaluate_detector, make_classifier
+from repro.filterlist.matcher import NetworkMatcher
+from repro.filterlist.rules import NetworkRule
+from repro.web.page import PageSnapshot, Script
+
+
+def page(domain, scripts):
+    return PageSnapshot(url=f"http://{domain}/", scripts=scripts)
+
+
+ANTI = Script(
+    source="var d = document.createElement('div'); if (d.offsetHeight == 0) { blocked = true; }",
+    url="http://pagefair.com/measure.js",
+    is_anti_adblock=True,
+)
+BENIGN_A = Script(source="function add(a, b) { return a + b; }", url="http://static.a.com/u.js")
+BENIGN_B = Script(source="var total = 0; total = total + 1;", url="http://static.b.com/v.js")
+
+
+class TestBuildCorpus:
+    def matcher(self):
+        return NetworkMatcher([NetworkRule.parse("||pagefair.com^$third-party")])
+
+    def test_vendor_script_positive(self):
+        corpus = build_corpus([page("a.com", [ANTI, BENIGN_A])], self.matcher())
+        assert len(corpus.positives) == 1
+        assert corpus.positives[0].url == ANTI.url
+
+    def test_first_party_vendor_page_not_positive(self):
+        corpus = build_corpus([page("pagefair.com", [ANTI])], self.matcher())
+        # On pagefair.com itself the script is first-party: $third-party fails.
+        assert len(corpus.positives) == 0
+
+    def test_deduplication(self):
+        pages = [page("a.com", [ANTI, BENIGN_A]), page("b.com", [ANTI, BENIGN_A])]
+        corpus = build_corpus(pages, self.matcher())
+        assert len(corpus.positives) == 1
+
+    def test_positive_wins_over_negative(self):
+        # Same source seen unmatched on one page and matched on another.
+        inline = Script(source=ANTI.source, url="")
+        pages = [page("a.com", [inline]), page("b.com", [ANTI])]
+        corpus = build_corpus(pages, self.matcher())
+        digests = {s.digest for s in corpus.positives}
+        assert all(s.digest not in digests for s in corpus.negatives)
+
+    def test_imbalance_cap(self):
+        negatives = [
+            Script(source=f"var x{i} = {i};", url=f"http://static.a.com/{i}.js")
+            for i in range(100)
+        ]
+        corpus = build_corpus(
+            [page("a.com", [ANTI] + negatives)], self.matcher(), imbalance=10.0
+        )
+        assert len(corpus.negatives) == 10
+
+    def test_exclude_domains(self):
+        corpus = build_corpus(
+            [page("a.com", [ANTI]), page("b.com", [BENIGN_B])],
+            self.matcher(),
+            exclude_domains=["a.com"],
+        )
+        assert len(corpus.positives) == 0
+
+    def test_labels_array(self):
+        corpus = Corpus(
+            scripts=[
+                LabeledScript(source="a", label=1),
+                LabeledScript(source="b", label=0),
+            ]
+        )
+        assert list(corpus.labels()) == [1, 0]
+        assert corpus.imbalance == 1.0
+
+
+class TestGroundTruthCorpus:
+    def test_uses_flags(self):
+        corpus = ground_truth_corpus([page("a.com", [ANTI, BENIGN_A, BENIGN_B])])
+        assert len(corpus.positives) == 1
+        assert len(corpus.negatives) == 2
+
+
+class TestDetectorPipeline:
+    def toy_corpus(self, n=30):
+        rng = np.random.default_rng(0)
+        from repro.synthesis.scripts import generate_anti_adblock, generate_benign
+
+        sources = [generate_anti_adblock(rng, pack_probability=0.0) for _ in range(n)]
+        sources += [generate_benign(rng) for _ in range(3 * n)]
+        labels = [1] * n + [0] * (3 * n)
+        return sources, labels
+
+    def test_fit_predict_roundtrip(self):
+        sources, labels = self.toy_corpus(20)
+        detector = AntiAdblockDetector(feature_set="keyword", top_k=200)
+        detector.fit(sources, labels)
+        predictions = detector.predict(sources)
+        metrics = detector.score(sources, labels)
+        assert len(predictions) == len(sources)
+        assert metrics.tp_rate > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AntiAdblockDetector().predict(["var x = 1;"])
+
+    def test_config_or_kwargs_not_both(self):
+        with pytest.raises(TypeError):
+            AntiAdblockDetector(DetectorConfig(), feature_set="all")
+
+    def test_evaluate_detector_runs_folds(self):
+        # Enough positives that every one of the nine anti-adblock
+        # families is represented in each training fold.
+        sources, labels = self.toy_corpus(45)
+        metrics = evaluate_detector(
+            sources, labels, feature_set="keyword", top_k=100, n_folds=3
+        )
+        assert 0.0 <= metrics.fp_rate <= 1.0
+        assert metrics.tp_rate > 0.8
+
+    def test_make_classifier_kinds(self):
+        assert make_classifier("svm").__class__.__name__ == "SVC"
+        assert make_classifier("adaboost_svm").__class__.__name__ == "AdaBoostClassifier"
+        with pytest.raises(ValueError):
+            make_classifier("random_forest")
+
+    def test_vectorizer_report_exposed(self):
+        sources, labels = self.toy_corpus(10)
+        detector = AntiAdblockDetector(feature_set="keyword", top_k=50)
+        detector.fit(sources, labels)
+        assert detector.report.selected <= 50

@@ -1,0 +1,113 @@
+"""Tests for AST feature extraction (§5)."""
+
+import pytest
+
+from repro.core.features import (
+    FEATURE_SETS,
+    FeatureExtractionError,
+    extract_features,
+    features_for_corpus,
+    features_from_source,
+)
+from repro.jsast.parser import parse
+
+BLOCKADBLOCK_SNIPPET = """
+BlockAdBlock.prototype._checkBait = function(loop) {
+    var detected = false;
+    if (window.document.body.getAttribute('abp') !== null
+        || this._var.bait.offsetHeight == 0
+        || this._var.bait.clientWidth == 0) {
+        detected = true;
+    }
+};
+"""
+
+
+class TestFeatureShapes:
+    def test_features_are_context_text_pairs(self):
+        features = features_from_source("var x = 1;")
+        assert all(":" in feature for feature in features)
+
+    def test_keyword_set_excludes_identifiers(self):
+        features = features_from_source(BLOCKADBLOCK_SNIPPET, feature_set="keyword")
+        texts = {feature.split(":", 1)[1] for feature in features}
+        assert "clientWidth" in texts
+        assert "offsetHeight" in texts
+        assert "_checkBait" not in texts
+        assert "abp" not in texts  # literal
+
+    def test_literal_set_is_literals_only(self):
+        features = features_from_source(BLOCKADBLOCK_SNIPPET, feature_set="literal")
+        texts = {feature.split(":", 1)[1] for feature in features}
+        assert "abp" in texts
+        assert "0" in texts
+        assert "offsetHeight" not in texts
+
+    def test_all_set_is_superset(self):
+        all_features = features_from_source(BLOCKADBLOCK_SNIPPET, feature_set="all")
+        for feature_set in ("literal", "keyword"):
+            subset = features_from_source(BLOCKADBLOCK_SNIPPET, feature_set=feature_set)
+            assert subset <= all_features
+
+    def test_table2_canonical_features_present(self):
+        features = features_from_source(BLOCKADBLOCK_SNIPPET, feature_set="all")
+        assert "MemberExpression:_checkBait" in features
+        assert "Identifier:clientWidth" in features
+        assert "Literal:abp" in features
+
+    def test_structure_context(self):
+        features = features_from_source("if (x.offsetHeight == 0) { y(); }")
+        assert "if:offsetHeight" in features
+
+    def test_loop_context(self):
+        features = features_from_source("for (var i = 0; i < n; i++) { probe(); }")
+        assert any(f.startswith("loop:") for f in features)
+
+    def test_try_catch_context(self):
+        features = features_from_source("try { risky(); } catch (e) { log(e); }")
+        assert any(f.startswith("catch:") for f in features)
+
+    def test_toplevel_context(self):
+        features = features_from_source("var top = 1;")
+        assert "toplevel:top" in features
+
+    def test_long_literal_truncated(self):
+        blob = "x" * 500
+        features = features_from_source(f"var a = '{blob}';", feature_set="literal")
+        assert all(len(f.split(":", 1)[1]) <= 64 for f in features)
+
+    def test_unknown_feature_set_raises(self):
+        with pytest.raises(ValueError):
+            extract_features(parse("1;"), feature_set="bogus")
+
+    def test_feature_sets_constant(self):
+        assert set(FEATURE_SETS) == {"all", "literal", "keyword"}
+
+
+class TestUnpackIntegration:
+    def test_packed_script_features_from_payload(self):
+        payload = "var bait = document.createElement('div'); bait.offsetHeight;"
+        packed = f"eval({payload!r});"
+        features = features_from_source(packed, feature_set="keyword", unpack=True)
+        texts = {f.split(":", 1)[1] for f in features}
+        assert "offsetHeight" in texts
+
+    def test_unpack_disabled_keeps_shell_only(self):
+        payload = "var bait = document.createElement('div'); bait.offsetHeight;"
+        packed = f"eval({payload!r});"
+        features = features_from_source(packed, feature_set="keyword", unpack=False)
+        texts = {f.split(":", 1)[1] for f in features}
+        assert "offsetHeight" not in texts
+        assert "eval" in texts
+
+
+class TestCorpusHelpers:
+    def test_unparseable_source_raises(self):
+        with pytest.raises(FeatureExtractionError):
+            features_from_source("this is } not javascript {{")
+
+    def test_features_for_corpus_tolerates_bad_scripts(self):
+        sets = features_for_corpus(["var a = 1;", "}{ bad", "f();"])
+        assert len(sets) == 3
+        assert sets[1] == set()
+        assert sets[0] and sets[2]

@@ -1,0 +1,248 @@
+"""Tests for chi-square, vectorizer, SVM, AdaBoost, and cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaboost import AdaBoostClassifier
+from repro.core.chi2 import chi_square_scores, top_k_features
+from repro.core.crossval import compute_metrics, cross_validate, stratified_folds
+from repro.core.svm import SVC, linear_kernel, rbf_kernel
+from repro.core.vectorize import FeatureSpace, Vectorizer
+
+
+class TestChiSquare:
+    def test_perfect_predictor_scores_n(self):
+        X = np.array([[1], [1], [0], [0]])
+        y = np.array([1, 1, 0, 0])
+        scores = chi_square_scores(X, y)
+        assert scores[0] == pytest.approx(4.0)  # chi2 == N for perfect split
+
+    def test_independent_feature_scores_zero(self):
+        X = np.array([[1], [0], [1], [0]])
+        y = np.array([1, 1, 0, 0])
+        assert chi_square_scores(X, y)[0] == pytest.approx(0.0)
+
+    def test_constant_feature_scores_zero(self):
+        X = np.ones((6, 1))
+        y = np.array([1, 0, 1, 0, 1, 0])
+        assert chi_square_scores(X, y)[0] == 0.0
+
+    def test_matches_paper_formula(self):
+        # A=3, B=1, C=1, D=5, N=10
+        X = np.array([[1]] * 4 + [[0]] * 6)
+        y = np.array([1, 1, 1, 0, 1, 0, 0, 0, 0, 0])
+        a, b, c, d, n = 3, 1, 1, 5, 10
+        expected = n * (a * d - c * b) ** 2 / ((a + c) * (b + d) * (a + b) * (c + d))
+        assert chi_square_scores(X, y)[0] == pytest.approx(expected)
+
+    def test_top_k_ordering(self):
+        rng = np.random.default_rng(0)
+        y = np.array([1] * 20 + [0] * 20)
+        perfect = y.reshape(-1, 1)
+        noise = rng.integers(0, 2, size=(40, 3))
+        X = np.hstack([noise[:, :1], perfect, noise[:, 1:]])
+        order = top_k_features(X, y, k=2)
+        assert order[0] == 1
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_scores(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            chi_square_scores(np.zeros((3, 2)), np.zeros(4))
+
+
+class TestVectorizer:
+    def corpus(self):
+        positives = [{"a", "b", "pos"}, {"a", "pos", "c"}, {"pos", "b"}] * 5
+        negatives = [{"a", "b"}, {"a", "c"}, {"b", "c"}, {"d"}] * 10
+        feature_sets = positives + negatives
+        labels = [1] * len(positives) + [0] * len(negatives)
+        return feature_sets, labels
+
+    def test_fit_transform_binary(self):
+        feature_sets, labels = self.corpus()
+        X = Vectorizer(top_k=None).fit_transform(feature_sets, labels)
+        assert set(np.unique(X)) <= {0, 1}
+        assert X.shape[0] == len(feature_sets)
+
+    def test_discriminative_feature_survives(self):
+        feature_sets, labels = self.corpus()
+        vectorizer = Vectorizer(top_k=2)
+        space = vectorizer.fit(feature_sets, labels)
+        assert "pos" in space.vocabulary
+
+    def test_variance_filter_drops_rare(self):
+        feature_sets, labels = self.corpus()
+        # A feature present once in 126 samples has variance ≈ 0.0079 < 0.01.
+        feature_sets = feature_sets + [{"once"}] + [set()] * 50
+        labels = list(labels) + [0] * 51
+        vectorizer = Vectorizer(top_k=None)
+        space = vectorizer.fit(feature_sets, labels)
+        assert "once" not in space.vocabulary
+
+    def test_report_counts_monotonic(self):
+        feature_sets, labels = self.corpus()
+        vectorizer = Vectorizer(top_k=1)
+        vectorizer.fit(feature_sets, labels)
+        report = vectorizer.report
+        assert report.extracted >= report.after_variance >= report.after_duplicates
+        assert report.selected <= report.after_duplicates
+
+    def test_duplicate_columns_removed(self):
+        # 'x' and 'y' always co-occur -> identical columns -> one kept.
+        feature_sets = [{"x", "y"}, {"x", "y"}, set(), set(), {"x", "y"}, set()]
+        labels = [1, 1, 0, 0, 1, 0]
+        space = Vectorizer(top_k=None).fit(feature_sets, labels)
+        assert len({"x", "y"} & set(space.vocabulary)) == 1
+
+    def test_transform_unseen_features_ignored(self):
+        feature_sets, labels = self.corpus()
+        vectorizer = Vectorizer(top_k=None)
+        vectorizer.fit(feature_sets, labels)
+        X = vectorizer.transform([{"never-seen-feature"}])
+        assert X.sum() == 0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Vectorizer().transform([{"a"}])
+
+
+class TestKernels:
+    def test_rbf_diagonal_ones(self):
+        X = np.random.default_rng(1).normal(size=(5, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_symmetry(self):
+        X = np.random.default_rng(2).normal(size=(6, 4))
+        K = rbf_kernel(X, X, gamma=0.1)
+        assert np.allclose(K, K.T)
+
+    def test_rbf_range(self):
+        X = np.random.default_rng(3).normal(size=(5, 3))
+        K = rbf_kernel(X, X, gamma=1.0)
+        assert (K >= 0).all() and (K <= 1.0 + 1e-12).all()
+
+    def test_linear_kernel(self):
+        X = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert np.allclose(linear_kernel(X, X), X @ X.T)
+
+
+class TestSVC:
+    def blobs(self, n=60, gap=4.0, seed=0):
+        rng = np.random.default_rng(seed)
+        X = np.vstack(
+            [rng.normal(0, 1, (n, 4)), rng.normal(gap, 1, (n, 4))]
+        )
+        y = np.array([0] * n + [1] * n)
+        return X, y
+
+    def test_separable_blobs_perfect(self):
+        X, y = self.blobs()
+        model = SVC(max_iter=100).fit(X, y)
+        assert (model.predict(X) == y).mean() == 1.0
+
+    def test_signed_labels_accepted(self):
+        X, y = self.blobs(n=30)
+        model = SVC(max_iter=60).fit(X, np.where(y > 0, 1, -1))
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_bad_labels_rejected(self):
+        X, _ = self.blobs(n=5)
+        with pytest.raises(ValueError):
+            SVC().fit(X, np.array([0, 1, 2] * 3 + [0]))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            SVC().predict(np.zeros((2, 2)))
+
+    def test_sample_weight_shifts_boundary(self):
+        """Up-weighting one class must not hurt its recall."""
+        rng = np.random.default_rng(5)
+        X = np.vstack([rng.normal(0, 1, (50, 2)), rng.normal(1.2, 1, (10, 2))])
+        y = np.array([0] * 50 + [1] * 10)
+        weights = np.where(y == 1, 10.0, 1.0)
+        weighted = SVC(max_iter=80, class_weight=None).fit(X, y, sample_weight=weights)
+        plain = SVC(max_iter=80, class_weight=None).fit(X, y)
+        recall_weighted = (weighted.predict(X)[y == 1] == 1).mean()
+        recall_plain = (plain.predict(X)[y == 1] == 1).mean()
+        assert recall_weighted >= recall_plain
+
+    def test_single_class_degenerate(self):
+        X = np.random.default_rng(6).normal(size=(10, 2))
+        y = np.ones(10)
+        model = SVC(max_iter=20).fit(X, y)
+        assert (model.predict(X) == 1).all()
+
+    def test_linear_kernel_fit(self):
+        X, y = self.blobs(n=40)
+        model = SVC(kernel="linear", max_iter=80).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_unknown_kernel(self):
+        X, y = self.blobs(n=5)
+        with pytest.raises(ValueError):
+            SVC(kernel="poly").fit(X, y)
+
+    def test_explicit_gamma(self):
+        X, y = self.blobs(n=30)
+        model = SVC(gamma=0.25, max_iter=60).fit(X, y)
+        assert model._gamma == 0.25
+
+
+class TestAdaBoost:
+    def test_boost_improves_or_matches_noisy_data(self):
+        rng = np.random.default_rng(7)
+        X = np.vstack([rng.normal(0, 1, (80, 3)), rng.normal(1.5, 1, (30, 3))])
+        y = np.array([0] * 80 + [1] * 30)
+        boosted = AdaBoostClassifier(n_estimators=6).fit(X, y)
+        accuracy = (boosted.predict(X) == y).mean()
+        assert accuracy > 0.9
+
+    def test_perfect_component_short_circuits(self):
+        X = np.vstack([np.zeros((20, 2)), np.ones((20, 2)) * 5])
+        y = np.array([0] * 20 + [1] * 20)
+        boosted = AdaBoostClassifier(n_estimators=10).fit(X, y)
+        assert boosted.n_rounds == 1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier().predict(np.zeros((2, 2)))
+
+    def test_alphas_positive(self):
+        rng = np.random.default_rng(8)
+        X = np.vstack([rng.normal(0, 1, (40, 2)), rng.normal(2, 1, (40, 2))])
+        y = np.array([0] * 40 + [1] * 40)
+        boosted = AdaBoostClassifier(n_estimators=4).fit(X, y)
+        assert all(alpha > 0 for alpha in boosted.alphas_)
+
+
+class TestCrossValidation:
+    def test_metrics_definitions(self):
+        y_true = np.array([1, 1, 1, 0, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+        metrics = compute_metrics(y_true, y_pred)
+        assert metrics.tp_rate == pytest.approx(2 / 3)
+        assert metrics.fp_rate == pytest.approx(1 / 5)
+        assert metrics.accuracy == pytest.approx(6 / 8)
+
+    def test_stratified_folds_cover_everything(self):
+        labels = np.array([1] * 10 + [0] * 50)
+        seen = np.zeros(60, dtype=int)
+        for train, test in stratified_folds(labels, n_folds=5, seed=1):
+            seen[test] += 1
+            assert set(train) & set(test) == set()
+        assert (seen == 1).all()
+
+    def test_stratified_folds_balance(self):
+        labels = np.array([1] * 10 + [0] * 50)
+        for train, test in stratified_folds(labels, n_folds=5, seed=2):
+            assert labels[test].sum() == 2  # 10 positives over 5 folds
+
+    def test_cross_validate_on_separable_data(self):
+        rng = np.random.default_rng(9)
+        X = np.vstack([rng.normal(0, 1, (40, 3)), rng.normal(5, 1, (40, 3))])
+        y = np.array([0] * 40 + [1] * 40)
+        metrics = cross_validate(lambda: SVC(max_iter=60), X, y, n_folds=5)
+        assert metrics.tp_rate > 0.95
+        assert metrics.fp_rate < 0.05

@@ -1,0 +1,105 @@
+"""Tests for the online (in-adblocker) detection scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineAdblocker
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.filterlist.parser import parse_filter_list
+from repro.synthesis.scripts import generate_anti_adblock, generate_benign
+from repro.web.page import PageSnapshot, Script, Subresource
+
+
+@pytest.fixture(scope="module")
+def detector():
+    rng = np.random.default_rng(51)
+    positives = [generate_anti_adblock(rng, pack_probability=0.0) for _ in range(40)]
+    negatives = [generate_benign(rng) for _ in range(160)]
+    detector = AntiAdblockDetector(DetectorConfig(feature_set="keyword", top_k=400))
+    detector.fit(positives + negatives, [1] * 40 + [0] * 160)
+    return detector
+
+
+def anti_page(rng, inline=False):
+    source = generate_anti_adblock(rng, family="html_bait", pack_probability=0.0)
+    script = Script(
+        source=source,
+        url="" if inline else "http://unknownvendor.net/detect.js",
+        is_anti_adblock=True,
+    )
+    benign = Script(
+        source=generate_benign(rng, family="utility"),
+        url="http://static.pub.com/js/u.js",
+    )
+    subresources = [Subresource(url=s.url, resource_type="script") for s in (script, benign) if s.url]
+    return PageSnapshot(
+        url="http://pub.com/",
+        html="<body><div id='c'>x</div></body>",
+        scripts=[script, benign],
+        subresources=subresources,
+    )
+
+
+class TestOnlineAdblocker:
+    def test_model_blocks_unlisted_vendor(self, detector):
+        """The point of the online mode: no rule knows unknownvendor.net."""
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(52)
+        result = online.visit(anti_page(rng))
+        assert result.blocked_by_rules == []
+        assert "http://unknownvendor.net/detect.js" in result.blocked_by_model
+
+    def test_benign_scripts_survive(self, detector):
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(53)
+        result = online.visit(anti_page(rng))
+        assert "http://static.pub.com/js/u.js" not in result.blocked_urls
+
+    def test_inline_scripts_flagged(self, detector):
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(54)
+        result = online.visit(anti_page(rng, inline=True))
+        assert result.flagged_inline == 1
+
+    def test_rules_run_before_model(self, detector):
+        lists = [parse_filter_list("||unknownvendor.net^\n")]
+        online = OnlineAdblocker(detector, filter_lists=lists)
+        rng = np.random.default_rng(55)
+        result = online.visit(anti_page(rng))
+        assert "http://unknownvendor.net/detect.js" in result.blocked_by_rules
+        assert result.blocked_by_model == []
+
+    def test_verdict_cache_grows_once_per_script(self, detector):
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(56)
+        page = anti_page(rng)
+        online.visit(page)
+        size_after_first = online.cache_size
+        online.visit(page)
+        assert online.cache_size == size_after_first
+
+    def test_blocks_anti_adblocker_end_to_end(self, detector):
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(57)
+        page = anti_page(rng)
+        assert online.blocks_anti_adblocker(page)
+
+    def test_clean_page_untouched(self, detector):
+        online = OnlineAdblocker(detector)
+        rng = np.random.default_rng(58)
+        page = PageSnapshot(
+            url="http://clean.com/",
+            html="<body></body>",
+            scripts=[Script(source=generate_benign(rng), url="http://static.clean.com/a.js")],
+            subresources=[Subresource(url="http://static.clean.com/a.js")],
+        )
+        result = online.visit(page)
+        assert result.blocked_urls == []
+        assert result.flagged_inline == 0
+
+    def test_element_hiding_still_applies(self, detector):
+        lists = [parse_filter_list("pub.com###c\n")]
+        online = OnlineAdblocker(detector, filter_lists=lists)
+        rng = np.random.default_rng(59)
+        result = online.visit(anti_page(rng))
+        assert result.document.get_element_by_id("c").hidden

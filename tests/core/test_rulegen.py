@@ -1,0 +1,111 @@
+"""Tests for ML-driven filter-rule generation (the §5 offline scenario)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.core.rulegen import DetectedScript, RuleGenerator, detect_and_generate
+from repro.filterlist.matcher import NetworkMatcher
+from repro.synthesis.scripts import generate_anti_adblock, generate_benign
+from repro.web.page import PageSnapshot, Script
+
+
+class TestRuleGenerator:
+    def test_vendor_aggregation(self):
+        detections = [
+            DetectedScript(url="http://vendor.com/detect.js", page_domain=f"site{i}.com")
+            for i in range(5)
+        ]
+        rules = RuleGenerator(vendor_threshold=3).generate(detections)
+        assert len(rules) == 1
+        assert rules.rules[0].raw == "||vendor.com^$third-party"
+        assert len(rules.evidence["||vendor.com^$third-party"]) == 5
+
+    def test_rare_host_gets_precision_rule(self):
+        detections = [
+            DetectedScript(url="http://site.com/js/detector.js", page_domain="site.com")
+        ]
+        rules = RuleGenerator(vendor_threshold=3).generate(detections)
+        assert len(rules) == 1
+        assert rules.rules[0].raw == "||site.com/js/detector.js"
+
+    def test_first_party_never_counts_toward_vendor(self):
+        detections = [
+            DetectedScript(url="http://cdn.site.com/d.js", page_domain="site.com")
+            for _ in range(10)
+        ]
+        rules = RuleGenerator(vendor_threshold=3).generate(detections)
+        # cdn.site.com is first-party to site.com: precision rule, not vendor.
+        assert all("third-party" not in rule.raw for rule in rules.rules)
+
+    def test_generated_rules_actually_match(self):
+        detections = [
+            DetectedScript(url="http://vendor.com/detect.js", page_domain=f"s{i}.com")
+            for i in range(4)
+        ] + [DetectedScript(url="http://solo.com/js/ab.js", page_domain="solo.com")]
+        generated = RuleGenerator(vendor_threshold=3).generate(detections)
+        matcher = NetworkMatcher(generated.rules)
+        assert matcher.match(
+            "http://vendor.com/detect.js", page_domain="new-site.com", third_party=True
+        ).blocked
+        assert matcher.match("http://solo.com/js/ab.js").blocked
+        assert not matcher.match("http://unrelated.com/app.js").blocked
+
+    def test_empty_and_inline_detections(self):
+        rules = RuleGenerator().generate([DetectedScript(url="", page_domain="x.com")])
+        assert len(rules) == 0
+
+    def test_duplicate_rules_deduplicated(self):
+        detections = [
+            DetectedScript(url="http://solo.com/a.js", page_domain="solo.com"),
+            DetectedScript(url="http://solo.com/a.js", page_domain="solo.com"),
+        ]
+        assert len(RuleGenerator().generate(detections)) == 1
+
+    def test_to_filter_list_parses(self):
+        detections = [
+            DetectedScript(url="http://v.com/d.js", page_domain=f"s{i}.net")
+            for i in range(3)
+        ]
+        filter_list = RuleGenerator().generate(detections).to_filter_list()
+        assert len(filter_list.network_rules) == 1
+        assert not filter_list.errors
+
+
+class TestDetectAndGenerate:
+    @pytest.fixture(scope="class")
+    def detector(self):
+        rng = np.random.default_rng(31)
+        positives = [generate_anti_adblock(rng, pack_probability=0.0) for _ in range(25)]
+        negatives = [generate_benign(rng) for _ in range(100)]
+        detector = AntiAdblockDetector(DetectorConfig(feature_set="keyword", top_k=300))
+        detector.fit(positives + negatives, [1] * 25 + [0] * 100)
+        return detector
+
+    def test_offline_scenario(self, detector):
+        rng = np.random.default_rng(32)
+        pages = []
+        for i in range(4):
+            pages.append(
+                PageSnapshot(
+                    url=f"http://pub{i}.com/",
+                    scripts=[
+                        Script(
+                            source=generate_anti_adblock(rng, family="html_bait", pack_probability=0.0),
+                            url="http://newvendor.com/bab.js",
+                        ),
+                        Script(
+                            source=generate_benign(rng, family="utility"),
+                            url=f"http://static.pub{i}.com/js/u.js",
+                        ),
+                    ],
+                )
+            )
+        generated, detections = detect_and_generate(detector, pages, vendor_threshold=3)
+        assert detections, "the detector must flag the vendor scripts"
+        raws = [rule.raw for rule in generated.rules]
+        assert "||newvendor.com^$third-party" in raws
+
+    def test_no_pages(self, detector):
+        generated, detections = detect_and_generate(detector, [])
+        assert len(generated) == 0 and detections == []

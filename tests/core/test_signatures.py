@@ -1,0 +1,85 @@
+"""Tests for the signature-based baseline detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.crossval import compute_metrics
+from repro.core.signatures import DEFAULT_SIGNATURES, SignatureDetector
+from repro.synthesis.scripts import (
+    ANTI_ADBLOCK_FAMILIES,
+    generate_anti_adblock,
+    generate_benign,
+    html_bait_v2_script,
+)
+
+
+class TestSignatures:
+    def test_blockadblock_flagged(self):
+        detector = SignatureDetector()
+        source = ANTI_ADBLOCK_FAMILIES["html_bait"](np.random.default_rng(61))
+        assert detector.predict([source])[0] == 1
+
+    def test_http_bait_flagged(self):
+        detector = SignatureDetector()
+        source = ANTI_ADBLOCK_FAMILIES["http_bait"](np.random.default_rng(62))
+        assert detector.predict([source])[0] == 1
+
+    def test_can_run_ads_flagged(self):
+        detector = SignatureDetector()
+        source = ANTI_ADBLOCK_FAMILIES["can_run_ads"](np.random.default_rng(63))
+        assert detector.predict([source])[0] == 1
+
+    def test_plain_utility_clean(self):
+        detector = SignatureDetector()
+        source = generate_benign(np.random.default_rng(64), family="utility")
+        assert detector.predict([source])[0] == 0
+
+    def test_matched_signatures_named(self):
+        detector = SignatureDetector()
+        names = detector.matched_signatures("if (x.offsetHeight === 0) {}")
+        assert "offset-zero-check" in names
+
+    def test_score_sums_weights(self):
+        detector = SignatureDetector()
+        source = "var canRunAds = true; document.cookie = '__adblocker=1';"
+        assert detector.score(source) >= 6
+
+    def test_fit_is_noop(self):
+        detector = SignatureDetector()
+        assert detector.fit(["x"], [1]) is detector
+
+    def test_signature_set_nonempty_and_compiled(self):
+        assert len(DEFAULT_SIGNATURES) >= 8
+        for signature in DEFAULT_SIGNATURES:
+            assert signature.pattern.search is not None
+
+
+class TestBaselineComparison:
+    """The story the baseline exists to tell: brittle under drift."""
+
+    def corpus(self, n_pos=30, n_neg=120, seed=65):
+        rng = np.random.default_rng(seed)
+        positives = [generate_anti_adblock(rng, pack_probability=0.0) for _ in range(n_pos)]
+        negatives = [generate_benign(rng) for _ in range(n_neg)]
+        return positives, negatives
+
+    def test_reasonable_on_v1_corpus(self):
+        positives, negatives = self.corpus()
+        detector = SignatureDetector()
+        metrics = compute_metrics(
+            [1] * len(positives) + [0] * len(negatives),
+            detector.predict(positives + negatives),
+        )
+        assert metrics.tp_rate > 0.7
+        assert metrics.fp_rate < 0.25
+
+    def test_misses_packed_scripts(self):
+        """Signatures read raw text: eval()-packed scripts slip through
+        unless the packer keeps the idioms verbatim — which ours does not
+        escape, so check the *unpacker-less* weakness on v2 instead."""
+        rng = np.random.default_rng(66)
+        v2 = [html_bait_v2_script(rng) for _ in range(20)]
+        detector = SignatureDetector()
+        flagged = int(detector.predict(v2).sum())
+        # v2 scripts avoid every classic idiom the signatures encode.
+        assert flagged <= len(v2) * 0.4

@@ -1,0 +1,71 @@
+"""Tests for the decision stump and the experiment context plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaboost import AdaBoostClassifier, DecisionStump
+from repro.experiments.context import AAK, CE, ExperimentContext, default_scale
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+class TestDecisionStump:
+    def test_picks_perfect_feature(self):
+        y = np.array([1, 1, 1, 0, 0, 0])
+        X = np.column_stack([y, np.array([0, 1, 0, 1, 0, 1])])
+        stump = DecisionStump().fit(X, y)
+        assert stump.feature_ == 0
+        assert (stump.predict(X) == y).all()
+
+    def test_inverted_feature(self):
+        y = np.array([1, 1, 0, 0])
+        X = (1 - y).reshape(-1, 1)
+        stump = DecisionStump().fit(X, y)
+        assert stump.polarity_ == -1
+        assert (stump.predict(X) == y).all()
+
+    def test_respects_sample_weights(self):
+        # Feature 0 is right on the heavy samples, feature 1 on the light.
+        y = np.array([1, 0, 1, 0])
+        X = np.column_stack([[1, 0, 0, 1], [0, 1, 1, 0]])
+        heavy_on_0 = np.array([10.0, 10.0, 0.1, 0.1])
+        stump = DecisionStump().fit(X, y, sample_weight=heavy_on_0)
+        assert stump.feature_ == 0
+
+    def test_boosting_with_stumps(self):
+        rng = np.random.default_rng(3)
+        n = 120
+        X = rng.integers(0, 2, size=(n, 8)).astype(float)
+        # Label = XOR of two features: one stump cannot solve it; boosting
+        # an ensemble gets further.
+        y = (X[:, 0].astype(int) ^ X[:, 1].astype(int)).astype(np.int8)
+        single = DecisionStump().fit(X, y)
+        single_accuracy = (single.predict(X) == y).mean()
+        boosted = AdaBoostClassifier(base_factory=DecisionStump, n_estimators=30).fit(X, y)
+        boosted_accuracy = (boosted.predict(X) == y).mean()
+        assert boosted_accuracy >= single_accuracy
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(world=SyntheticWorld(WorldConfig(n_sites=80, live_top=200)))
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+
+    def test_create_scales_sizes(self):
+        ctx = ExperimentContext.create(scale=0.01)
+        assert ctx.world.config.n_sites == 50
+        assert ctx.world.config.live_top == 1000
+
+    def test_histories_keys(self, ctx):
+        assert set(ctx.histories) == {AAK, CE}
+
+    def test_lazy_artifacts_cached(self, ctx):
+        assert ctx.lists is ctx.lists
+        assert ctx.archive is ctx.archive
+
+    def test_corpus_labels_align(self, ctx):
+        corpus = ctx.corpus
+        assert len(corpus.sources()) == len(corpus.labels())

@@ -1,0 +1,166 @@
+"""Tests for the Figure 1 rule taxonomy and revision histories."""
+
+from datetime import date
+
+import pytest
+
+from repro.filterlist.classify import (
+    RuleType,
+    classify_rule,
+    count_rule_types,
+    domains_by_exception_status,
+    http_html_split,
+    rule_type_percentages,
+    targeted_domains,
+)
+from repro.filterlist.history import FilterListHistory, combine_histories
+from repro.filterlist.rules import parse_rule
+
+
+def rules(*lines):
+    return [parse_rule(line) for line in lines]
+
+
+class TestClassifyRule:
+    def test_html_with_domain(self):
+        assert classify_rule(parse_rule("a.com###x")) is RuleType.HTML_WITH_DOMAIN
+
+    def test_html_without_domain(self):
+        assert classify_rule(parse_rule("###x")) is RuleType.HTML_NO_DOMAIN
+
+    def test_http_anchor(self):
+        assert classify_rule(parse_rule("||a.com^")) is RuleType.HTTP_ANCHOR
+
+    def test_http_tag(self):
+        assert classify_rule(parse_rule("/x.js$domain=a.com")) is RuleType.HTTP_TAG
+
+    def test_http_anchor_and_tag(self):
+        rule = parse_rule("||a.com/x.js$domain=b.com")
+        assert classify_rule(rule) is RuleType.HTTP_ANCHOR_AND_TAG
+
+    def test_http_plain(self):
+        assert classify_rule(parse_rule("/ads.js?")) is RuleType.HTTP_NO_ANCHOR_NO_TAG
+
+    def test_exception_does_not_change_type(self):
+        assert classify_rule(parse_rule("@@||a.com^")) is RuleType.HTTP_ANCHOR
+
+
+class TestCounts:
+    SAMPLE = rules(
+        "||a.com^",
+        "||b.com^$domain=c.com",
+        "/x.$domain=d.com",
+        "/generic.js",
+        "e.com###id",
+        "###generic",
+    )
+
+    def test_count_rule_types_covers_all_categories(self):
+        counts = count_rule_types(self.SAMPLE)
+        assert sum(counts.values()) == 6
+        assert all(count == 1 for count in counts.values())
+
+    def test_percentages_sum_to_100(self):
+        percentages = rule_type_percentages(self.SAMPLE)
+        assert abs(sum(percentages.values()) - 100.0) < 1e-9
+
+    def test_percentages_empty(self):
+        assert all(v == 0.0 for v in rule_type_percentages([]).values())
+
+    def test_http_html_split(self):
+        split = http_html_split(self.SAMPLE)
+        assert split["http"] == pytest.approx(4 / 6 * 100)
+        assert split["html"] == pytest.approx(2 / 6 * 100)
+
+    def test_targeted_domains_order_and_dedup(self):
+        domains = targeted_domains(
+            rules("||a.com^", "||b.com^$domain=a.com", "c.com###x")
+        )
+        assert domains == ["a.com", "b.com", "c.com"]
+
+    def test_exception_status_partition(self):
+        split = domains_by_exception_status(
+            rules("||a.com^", "@@||b.com^", "@@||a.com/x.js")
+        )
+        assert split["non_exception"] == {"a.com"}
+        assert split["exception"] == {"b.com", "a.com"}
+
+
+class TestHistory:
+    def make_history(self):
+        history = FilterListHistory("test")
+        history.add_revision(date(2014, 1, 1), "||a.com^\n")
+        history.add_revision(date(2014, 2, 1), "||a.com^\n||b.com^\nc.com###x\n")
+        history.add_revision(date(2014, 3, 1), "||a.com^\n||b.com^\nc.com###x\n||d.com^\n")
+        return history
+
+    def test_version_at(self):
+        history = self.make_history()
+        assert len(history.version_at(date(2014, 2, 15)).rules) == 3
+        assert history.version_at(date(2013, 12, 1)) is None
+        assert history.version_at(date(2020, 1, 1)).date == date(2014, 3, 1)
+
+    def test_revisions_sorted_regardless_of_insert_order(self):
+        history = FilterListHistory("t")
+        history.add_revision(date(2015, 1, 1), "||b.com^\n")
+        history.add_revision(date(2014, 1, 1), "||a.com^\n")
+        assert [revision.date for revision in history] == [
+            date(2014, 1, 1),
+            date(2015, 1, 1),
+        ]
+
+    def test_delta(self):
+        history = self.make_history()
+        delta = history.delta(1)
+        assert set(delta.added) == {"||b.com^", "c.com###x"}
+        assert delta.removed == []
+
+    def test_churn_rates(self):
+        history = self.make_history()
+        assert history.average_churn_per_revision() == 1.5  # (2 + 1) / 2
+        days = (date(2014, 3, 1) - date(2014, 1, 1)).days
+        assert history.average_churn_per_day() == 3 / days
+
+    def test_domain_first_appearance(self):
+        history = self.make_history()
+        first = history.domain_first_appearance()
+        assert first["a.com"] == date(2014, 1, 1)
+        assert first["b.com"] == date(2014, 2, 1)
+        assert first["c.com"] == date(2014, 2, 1)
+        assert first["d.com"] == date(2014, 3, 1)
+
+    def test_rule_type_series(self):
+        history = self.make_history()
+        series = history.rule_type_series()
+        assert len(series) == 3
+        final_date, final_counts = series[-1]
+        assert final_date == date(2014, 3, 1)
+        assert sum(final_counts.values()) == 4
+
+    def test_targeted_domains_latest(self):
+        assert self.make_history().targeted_domains_latest() == [
+            "a.com",
+            "b.com",
+            "c.com",
+            "d.com",
+        ]
+
+
+class TestCombineHistories:
+    def test_combined_easylist_semantics(self):
+        easylist = FilterListHistory("easylist")
+        easylist.add_revision(date(2011, 5, 1), "||a.com^\n")
+        easylist.add_revision(date(2014, 1, 1), "||a.com^\n||b.com^\n")
+        awrl = FilterListHistory("awrl")
+        awrl.add_revision(date(2013, 12, 1), "w.com###warning\n")
+        combined = combine_histories("combined", easylist, awrl)
+        # Dates: union of both histories' revision dates.
+        assert [revision.date for revision in combined] == [
+            date(2011, 5, 1),
+            date(2013, 12, 1),
+            date(2014, 1, 1),
+        ]
+        # Before AWRL exists, the combined list is EasyList alone.
+        assert len(combined.version_at(date(2012, 1, 1)).rules) == 1
+        # Afterwards both contribute.
+        assert len(combined.version_at(date(2014, 6, 1)).rules) == 3

@@ -1,0 +1,154 @@
+"""Tests for the filter-list linter."""
+
+import pytest
+
+from repro.filterlist.lint import (
+    deduplicate_against,
+    lint_rules,
+    probe_urls,
+    shadows,
+)
+from repro.filterlist.rules import NetworkRule, parse_rule
+
+
+def rule(text):
+    return NetworkRule.parse(text)
+
+
+class TestProbeUrls:
+    def test_anchor_rule_probe_matches_itself(self):
+        r = rule("||pagefair.com/measure.js")
+        assert all(r.matches(url) for url in probe_urls(r))
+
+    def test_substring_rule_probe_matches_itself(self):
+        r = rule("/adblock-detect.")
+        probes = probe_urls(r)
+        assert any(r.matches(url) for url in probes)
+
+    def test_wildcard_filled(self):
+        r = rule("||cdn.com/*/ads.js")
+        assert all("x" in url for url in probe_urls(r))
+
+
+class TestShadows:
+    def test_broad_anchor_shadows_path(self):
+        broad = rule("||pagefair.com^")
+        narrow = rule("||pagefair.com/measure.js")
+        assert shadows(broad, narrow)
+        assert not shadows(narrow, broad)
+
+    def test_subdomain_shadowed_by_parent(self):
+        broad = rule("||example.com^")
+        narrow = rule("||cdn.example.com/x.js")
+        assert shadows(broad, narrow)
+
+    def test_unrelated_not_shadowed(self):
+        assert not shadows(rule("||a.com^"), rule("||b.com^"))
+
+    def test_polarity_mismatch_never_shadows(self):
+        assert not shadows(rule("||a.com^"), rule("@@||a.com/x.js"))
+
+    def test_exception_shadowing_exception(self):
+        assert shadows(rule("@@||a.com^"), rule("@@||a.com/ads.js"))
+
+    def test_type_constrained_broad_does_not_shadow_untyped(self):
+        broad = rule("||a.com^$script")
+        narrow = rule("||a.com/x.png")
+        assert not shadows(broad, narrow)
+
+    def test_type_constrained_narrow_is_shadowed_by_same_type(self):
+        broad = rule("||a.com^$script")
+        narrow = rule("||a.com/x.js$script")
+        assert shadows(broad, narrow)
+
+    def test_domain_tagged_broad_does_not_shadow_global(self):
+        broad = rule("||a.com^$domain=one.com")
+        narrow = rule("||a.com/x.js")
+        assert not shadows(broad, narrow)
+
+    def test_third_party_mismatch(self):
+        broad = rule("||a.com^$third-party")
+        narrow = rule("||a.com/x.js")
+        assert not shadows(broad, narrow)
+
+    def test_identical_raw_not_self_shadowing(self):
+        assert not shadows(rule("||a.com^"), rule("||a.com^"))
+
+
+class TestLintRules:
+    def test_duplicates_found(self):
+        report = lint_rules([rule("||a.com^"), rule("||a.com^")])
+        assert len(report.of_kind("duplicate")) == 1
+
+    def test_shadowed_found(self):
+        report = lint_rules([rule("||v.com^"), rule("||v.com/detect.js")])
+        shadowed = report.of_kind("shadowed")
+        assert len(shadowed) == 1
+        assert shadowed[0].rule.raw == "||v.com/detect.js"
+
+    def test_dead_exception_found(self):
+        report = lint_rules([rule("@@||site.com/never-blocked.js")])
+        assert len(report.of_kind("dead-exception")) == 1
+
+    def test_live_exception_not_flagged(self):
+        report = lint_rules(
+            [rule("/ads.js?"), rule("@@||site.com/ads.js?v=1")]
+        )
+        assert report.of_kind("dead-exception") == []
+
+    def test_clean_list(self):
+        report = lint_rules(
+            [rule("||a.com^"), rule("||b.com^$third-party"), parse_rule("c.com###x")]
+        )
+        assert len(report) == 0
+
+    def test_describe(self):
+        report = lint_rules([rule("||v.com^"), rule("||v.com/x.js")])
+        text = report.findings[0].describe()
+        assert "shadowed" in text and "||v.com^" in text
+
+    def test_element_rules_pass_through(self):
+        report = lint_rules([parse_rule("a.com###x"), parse_rule("a.com###x")])
+        assert len(report.of_kind("duplicate")) == 1
+
+
+class TestDeduplicateAgainst:
+    def test_exact_duplicate_dropped(self):
+        kept, dropped = deduplicate_against(
+            [rule("||v.com^$third-party")], [rule("||v.com^$third-party")]
+        )
+        assert kept == []
+        assert dropped[0].kind == "duplicate"
+
+    def test_shadowed_candidate_dropped(self):
+        kept, dropped = deduplicate_against(
+            [rule("||pagefair.com/static/measure.js")],
+            [rule("||pagefair.com^")],
+        )
+        assert kept == []
+        assert dropped[0].kind == "shadowed"
+        assert dropped[0].by.raw == "||pagefair.com^"
+
+    def test_novel_candidate_kept(self):
+        kept, dropped = deduplicate_against(
+            [rule("||newvendor.net^$third-party")], [rule("||old.com^")]
+        )
+        assert len(kept) == 1
+        assert dropped == []
+
+    def test_ml_workflow_integration(self):
+        """Candidates from rulegen deduplicate against an existing list."""
+        from repro.core.rulegen import DetectedScript, RuleGenerator
+
+        detections = [
+            DetectedScript(url="http://pagefair.com/measure.js", page_domain=f"s{i}.com")
+            for i in range(4)
+        ] + [DetectedScript(url="http://fresh.net/d.js", page_domain=f"s{i}.com") for i in range(4)]
+        generated = RuleGenerator(vendor_threshold=3).generate(detections)
+        kept, dropped = deduplicate_against(
+            generated.rules, [rule("||pagefair.com^$third-party")]
+        )
+        raws = {r.raw for r in kept}
+        assert "||fresh.net^$third-party" in raws
+        assert all("pagefair" not in r for r in raws)
+        assert any("pagefair" in f.rule.raw for f in dropped)

@@ -1,0 +1,50 @@
+"""Characterisation: linting the *generated* filter lists.
+
+Real crowdsourced lists carry dead weight, and whether a rule is dead
+depends on context: the Combined EasyList's bait-whitelisting ``@@`` rules
+override *full* EasyList ad-blocking rules, so they look dead when the
+anti-adblock sections are analysed in isolation (which is precisely the
+§3.3 caveat — "the behavior of individual filter rules is dependent on
+other rules in the filter list").
+"""
+
+import pytest
+
+from repro.filterlist.lint import lint_rules
+from repro.synthesis.listgen import FilterListGenerator
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FilterListGenerator(SyntheticWorld(WorldConfig(n_sites=200, live_top=400)))
+
+
+class TestGeneratedListHygiene:
+    def test_no_duplicates_in_generated_lists(self, generator):
+        for history in (generator.generate_aak(), generator.generate_full_easylist()):
+            report = lint_rules(history.latest().rules)
+            assert report.of_kind("duplicate") == []
+
+    def test_exceptions_gain_life_with_full_context(self, generator):
+        """Some anti-adblock exceptions are only alive against the full
+        EasyList (its generic ad rules are what they override)."""
+        anti = generator.generate_easylist_antiadblock().latest().rules
+        full = generator.generate_full_easylist().latest().rules
+        dead_isolated = len(lint_rules(anti).of_kind("dead-exception"))
+        dead_full = len(lint_rules(full).of_kind("dead-exception"))
+        assert dead_full <= dead_isolated
+
+    def test_bait_exceptions_alive_in_full_list(self, generator):
+        """The numerama-pattern generic bait exceptions specifically."""
+        full = generator.generate_full_easylist().latest().rules
+        report = lint_rules(full)
+        dead_raws = {finding.rule.raw for finding in report.of_kind("dead-exception")}
+        assert "@@/ads.js|$script" not in dead_raws
+        assert "@@/advertising.js|$script" not in dead_raws
+
+    def test_broad_vendor_rules_not_shadowed(self, generator):
+        aak = generator.generate_aak().latest().rules
+        report = lint_rules(aak)
+        shadowed_raws = {finding.rule.raw for finding in report.of_kind("shadowed")}
+        assert "||pagefair.com^$third-party" not in shadowed_raws

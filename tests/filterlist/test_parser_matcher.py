@@ -1,0 +1,116 @@
+"""Tests for filter-list document parsing and the URL matching engine."""
+
+from repro.filterlist.matcher import NetworkMatcher
+from repro.filterlist.parser import parse_filter_list, serialize_filter_list
+from repro.filterlist.rules import NetworkRule
+
+SAMPLE_LIST = """[Adblock Plus 2.0]
+! Title: Sample Anti-Adblock List
+! Version: 201607010830
+! comment line
+||pagefair.com^$third-party
+||blockadblock.com^
+!-------------- General anti-adblock --------------!
+/adblock-detect.
+/ads.js?
+@@||numerama.com/ads.js
+!-------------- Anti-adblock warnings --------------!
+smashboards.com###noticeMain
+yocast.tv###notice
+###adblock-overlay
+example.com#@##whitelisted
+"""
+
+
+class TestListParsing:
+    def test_counts(self):
+        parsed = parse_filter_list(SAMPLE_LIST, name="sample")
+        assert len(parsed.network_rules) == 5
+        assert len(parsed.element_rules) == 4
+
+    def test_metadata(self):
+        parsed = parse_filter_list(SAMPLE_LIST)
+        assert parsed.metadata["title"] == "Sample Anti-Adblock List"
+        assert parsed.metadata["version"] == "201607010830"
+        assert parsed.metadata["header"] == "Adblock Plus 2.0"
+
+    def test_sections_tracked(self):
+        parsed = parse_filter_list(SAMPLE_LIST)
+        assert parsed.sections() == [
+            "",
+            "General anti-adblock",
+            "Anti-adblock warnings",
+        ]
+
+    def test_section_filtering(self):
+        parsed = parse_filter_list(SAMPLE_LIST)
+        warnings = parsed.section_rules("warnings")
+        assert len(warnings) == 4
+        assert all("#" in parsed_rule.rule.raw for parsed_rule in warnings)
+
+    def test_section_substring_match_is_case_insensitive(self):
+        parsed = parse_filter_list(SAMPLE_LIST)
+        assert len(parsed.section_rules("ANTI-ADBLOCK")) == 7
+
+    def test_bad_lines_collected_not_raised(self):
+        parsed = parse_filter_list("||ok.com^\n||bad.com$nonsenseopt\n")
+        assert len(parsed) == 1
+        assert len(parsed.errors) == 1
+
+    def test_roundtrip_serialization(self):
+        parsed = parse_filter_list(SAMPLE_LIST, name="sample")
+        text = serialize_filter_list(parsed)
+        reparsed = parse_filter_list(text)
+        assert reparsed.rule_lines() == parsed.rule_lines()
+        assert reparsed.sections() == parsed.sections()
+
+
+class TestNetworkMatcher:
+    def make_matcher(self):
+        parsed = parse_filter_list(SAMPLE_LIST)
+        return NetworkMatcher(parsed.network_rules)
+
+    def test_blocks_anchor_rule(self):
+        matcher = self.make_matcher()
+        result = matcher.match("http://blockadblock.com/check.js")
+        assert result.blocked
+        assert result.rule.raw == "||blockadblock.com^"
+
+    def test_third_party_rule_needs_flag(self):
+        matcher = self.make_matcher()
+        assert matcher.match("http://pagefair.com/a.js", third_party=True).blocked
+        assert not matcher.match("http://pagefair.com/a.js", third_party=False).blocked
+
+    def test_exception_overrides_block(self):
+        matcher = self.make_matcher()
+        result = matcher.match("http://numerama.com/ads.js?v=2")
+        assert not result.blocked
+        assert result.exception is not None
+
+    def test_exception_only_on_listed_site(self):
+        matcher = self.make_matcher()
+        assert matcher.match("http://other.com/ads.js?x").blocked
+
+    def test_first_match_includes_exceptions(self):
+        matcher = self.make_matcher()
+        rule = matcher.first_match("http://numerama.com/ads.js?v=2")
+        assert rule is not None
+
+    def test_no_match(self):
+        matcher = self.make_matcher()
+        assert matcher.first_match("http://plain-site.org/app.js") is None
+        assert not matcher.match("http://plain-site.org/app.js").blocked
+
+    def test_tokenless_rules_still_match(self):
+        # A rule whose pattern has no 3+ char literal token.
+        matcher = NetworkMatcher([NetworkRule.parse("/a?*")])
+        assert matcher.match("http://x.com/a?b=1").blocked
+
+    def test_len(self):
+        assert len(self.make_matcher()) == 5
+
+    def test_many_rules_index_correctness(self):
+        rules = [NetworkRule.parse(f"||site{i}.com^") for i in range(500)]
+        matcher = NetworkMatcher(rules)
+        assert matcher.match("http://site250.com/x").blocked
+        assert not matcher.match("http://site999.com/x").blocked

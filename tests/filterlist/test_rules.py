@@ -1,0 +1,227 @@
+"""Unit tests for filter-rule parsing and matching."""
+
+import pytest
+
+from repro.filterlist.rules import (
+    DomainOption,
+    ElementRule,
+    NetworkRule,
+    RuleParseError,
+    domain_matches,
+    parse_rule,
+)
+
+
+class TestDomainMatches:
+    def test_exact(self):
+        assert domain_matches("example.com", "example.com")
+
+    def test_subdomain(self):
+        assert domain_matches("ads.example.com", "example.com")
+
+    def test_not_suffix_trick(self):
+        assert not domain_matches("evilexample.com", "example.com")
+
+    def test_case_insensitive(self):
+        assert domain_matches("Example.COM", "example.com")
+
+    def test_parent_does_not_match_child(self):
+        assert not domain_matches("example.com", "ads.example.com")
+
+
+class TestDomainOption:
+    def test_parse_includes_and_excludes(self):
+        option = DomainOption.parse("a.com|~b.com|c.org")
+        assert option.include == ("a.com", "c.org")
+        assert option.exclude == ("b.com",)
+
+    def test_applies_to_included(self):
+        option = DomainOption.parse("a.com")
+        assert option.applies_to("a.com")
+        assert option.applies_to("sub.a.com")
+        assert not option.applies_to("b.com")
+
+    def test_exclude_wins(self):
+        option = DomainOption.parse("a.com|~special.a.com")
+        assert option.applies_to("a.com")
+        assert not option.applies_to("special.a.com")
+
+    def test_only_excludes_matches_rest(self):
+        option = DomainOption.parse("~a.com")
+        assert option.applies_to("b.com")
+        assert not option.applies_to("a.com")
+
+
+class TestNetworkRuleParsing:
+    def test_domain_anchor(self):
+        rule = NetworkRule.parse("||example1.com")
+        assert rule.anchor_domain
+        assert rule.pattern == "example1.com"
+
+    def test_paper_rule2_script_option(self):
+        rule = NetworkRule.parse("||example1.com$script")
+        assert rule.types == {"script"}
+
+    def test_paper_rule3_script_and_domain(self):
+        rule = NetworkRule.parse("||example1.com$script,domain=example2.com")
+        assert rule.types == {"script"}
+        assert rule.domains.include == ("example2.com",)
+
+    def test_paper_rule4_path_rule(self):
+        rule = NetworkRule.parse("/example.js$script,domain=example2.com")
+        assert not rule.anchor_domain
+        assert rule.pattern == "/example.js"
+
+    def test_exception_rule(self):
+        rule = NetworkRule.parse("@@||example.com$script")
+        assert rule.is_exception
+
+    def test_start_and_end_anchor(self):
+        rule = NetworkRule.parse("|http://exact.example.com/|")
+        assert rule.anchor_start and rule.anchor_end
+
+    def test_third_party_options(self):
+        assert NetworkRule.parse("||pagefair.com^$third-party").third_party is True
+        assert NetworkRule.parse("||x.com^$~third-party").third_party is False
+
+    def test_negated_type(self):
+        rule = NetworkRule.parse("||x.com^$~image")
+        assert rule.negated_types == {"image"}
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(RuleParseError):
+            NetworkRule.parse("||x.com$bogusoption")
+
+    def test_dollar_in_pattern_not_options(self):
+        rule = NetworkRule.parse("/path/page$")
+        assert rule.pattern == "/path/page$"
+        assert not rule.types
+
+
+class TestNetworkRuleMatching:
+    def test_domain_anchor_matches_host_and_subdomain(self):
+        rule = NetworkRule.parse("||example.com^")
+        assert rule.matches("http://example.com/ads.js")
+        assert rule.matches("https://cdn.example.com/x")
+        assert not rule.matches("http://notexample.com/")
+        assert not rule.matches("http://example.com.evil.net/x")
+
+    def test_domain_anchor_no_mid_host_match(self):
+        rule = NetworkRule.parse("||ample.com^")
+        assert not rule.matches("http://example.com/")
+
+    def test_substring_rule(self):
+        rule = NetworkRule.parse("/ads.js?")
+        assert rule.matches("http://site.com/static/ads.js?v=1")
+        assert not rule.matches("http://site.com/static/ads.json")
+
+    def test_wildcard(self):
+        rule = NetworkRule.parse("||cdn.com/*/advert-")
+        assert rule.matches("http://cdn.com/v2/advert-banner.js")
+        assert not rule.matches("http://cdn.com/advert.js")
+
+    def test_separator_caret(self):
+        rule = NetworkRule.parse("||example.com^")
+        assert rule.matches("http://example.com/")
+        assert rule.matches("http://example.com:8000/")
+        assert rule.matches("http://example.com")  # ^ matches end of URL
+
+    def test_end_anchor(self):
+        rule = NetworkRule.parse("/advertising.js|")
+        assert rule.matches("http://www.npttech.com/advertising.js")
+        assert not rule.matches("http://www.npttech.com/advertising.js?x=1")
+
+    def test_resource_type_filtering(self):
+        rule = NetworkRule.parse("||example.com^$script")
+        assert rule.matches("http://example.com/a.js", resource_type="script")
+        assert not rule.matches("http://example.com/a.js", resource_type="image")
+
+    def test_domain_tag_filtering(self):
+        rule = NetworkRule.parse("||bait.com^$domain=news.com")
+        assert rule.matches("http://bait.com/x", page_domain="news.com")
+        assert rule.matches("http://bait.com/x", page_domain="www.news.com")
+        assert not rule.matches("http://bait.com/x", page_domain="other.com")
+
+    def test_third_party_filtering(self):
+        rule = NetworkRule.parse("||pagefair.com^$third-party")
+        assert rule.matches("http://pagefair.com/js", third_party=True)
+        assert not rule.matches("http://pagefair.com/js", third_party=False)
+
+    def test_case_insensitive_matching(self):
+        rule = NetworkRule.parse("/AdBlock-Detect.js")
+        assert rule.matches("http://x.com/adblock-detect.js")
+
+    def test_regex_rule(self):
+        rule = NetworkRule.parse(r"/banner[0-9]+\.gif/")
+        assert rule.is_regex
+        assert rule.matches("http://x.com/banner42.gif")
+        assert not rule.matches("http://x.com/banner.gif")
+
+
+class TestTaxonomyHelpers:
+    def test_anchor_domain_name(self):
+        assert NetworkRule.parse("||pagefair.com^$third-party").anchor_domain_name() == "pagefair.com"
+        assert NetworkRule.parse("/ads.js?").anchor_domain_name() is None
+
+    def test_targeted_domains_anchor_plus_tag(self):
+        rule = NetworkRule.parse("||pagefair.com/js$domain=mlg.com")
+        assert rule.targeted_domains() == ["pagefair.com", "mlg.com"]
+
+    def test_targeted_domains_dedup(self):
+        rule = NetworkRule.parse("||a.com^$domain=a.com")
+        assert rule.targeted_domains() == ["a.com"]
+
+
+class TestElementRule:
+    def test_paper_rule1_id_on_domain(self):
+        rule = ElementRule.parse("example.com###examplebanner")
+        assert rule.include_domains == ("example.com",)
+        assert rule.selector == "#examplebanner"
+
+    def test_paper_rule2_class(self):
+        rule = ElementRule.parse("example.com##.examplebanner")
+        assert rule.selector == ".examplebanner"
+
+    def test_paper_rule3_generic(self):
+        rule = ElementRule.parse("###examplebanner")
+        assert rule.include_domains == ()
+        assert not rule.has_domain
+
+    def test_exception_element_rule(self):
+        rule = ElementRule.parse("example.com#@##elementbanner")
+        assert rule.is_exception
+
+    def test_multiple_domains(self):
+        rule = ElementRule.parse("a.com,b.com,~c.a.com##.overlay")
+        assert rule.include_domains == ("a.com", "b.com")
+        assert rule.exclude_domains == ("c.a.com",)
+
+    def test_applies_to(self):
+        rule = ElementRule.parse("a.com,~sub.a.com##.x")
+        assert rule.applies_to("a.com")
+        assert not rule.applies_to("sub.a.com")
+        assert not rule.applies_to("b.com")
+
+    def test_generic_applies_everywhere(self):
+        rule = ElementRule.parse("###notice")
+        assert rule.applies_to("anything.com")
+
+    def test_empty_selector_raises(self):
+        with pytest.raises(RuleParseError):
+            ElementRule.parse("example.com##")
+
+
+class TestParseRuleDispatch:
+    def test_dispatch_element(self):
+        assert isinstance(parse_rule("smashboards.com###noticeMain"), ElementRule)
+
+    def test_dispatch_network(self):
+        assert isinstance(parse_rule("||pagefair.com^$third-party"), NetworkRule)
+
+    def test_comment_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("! comment line")
+
+    def test_blank_rejected(self):
+        with pytest.raises(RuleParseError):
+            parse_rule("   ")

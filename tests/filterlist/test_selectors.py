@@ -1,0 +1,123 @@
+"""Tests for the CSS selector engine used by element-hiding rules."""
+
+import pytest
+
+from repro.filterlist.selectors import (
+    SelectorParseError,
+    parse_selector,
+    parse_selector_group,
+    select,
+)
+from repro.web.dom import parse_html
+
+DOC = parse_html(
+    """
+<body>
+  <div id="wrap" class="outer page">
+    <div id="notice" class="adblock-overlay modal" data-kind="warning">
+      <p class="msg">disable your adblocker</p>
+    </div>
+    <span class="msg standalone">hi</span>
+  </div>
+  <div class="adblock-overlay secondary"></div>
+</body>
+"""
+)
+
+
+def ids(elements):
+    return sorted(e.attrs.get("id", e.attrs.get("class", "")) for e in elements)
+
+
+class TestParsing:
+    def test_id_selector(self):
+        selector = parse_selector("#notice")
+        assert selector.parts[0].id == "notice"
+
+    def test_class_selector(self):
+        selector = parse_selector(".adblock-overlay")
+        assert selector.parts[0].classes == ["adblock-overlay"]
+
+    def test_compound(self):
+        selector = parse_selector("div#notice.modal")
+        part = selector.parts[0]
+        assert part.tag == "div" and part.id == "notice" and part.classes == ["modal"]
+
+    def test_attribute_with_value(self):
+        selector = parse_selector('[data-kind="warning"]')
+        assert selector.parts[0].attributes == [("data-kind", "=", "warning")]
+
+    def test_attribute_presence(self):
+        selector = parse_selector("[data-kind]")
+        assert selector.parts[0].attributes == [("data-kind", "present", "")]
+
+    def test_descendant_chain(self):
+        selector = parse_selector("#wrap .msg")
+        assert len(selector.parts) == 2
+        assert selector.combinators == [" "]
+
+    def test_child_combinator(self):
+        selector = parse_selector("#notice > .msg")
+        assert selector.combinators == [">"]
+
+    def test_group(self):
+        group = parse_selector_group("#a, .b")
+        assert len(group) == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(SelectorParseError):
+            parse_selector("  ")
+
+    def test_dangling_combinator_raises(self):
+        with pytest.raises(SelectorParseError):
+            parse_selector("#a >")
+
+
+class TestMatching:
+    def test_select_by_id(self):
+        found = select(DOC.root, "#notice")
+        assert len(found) == 1
+        assert found[0].attrs["id"] == "notice"
+
+    def test_select_by_class_multiple(self):
+        found = select(DOC.root, ".adblock-overlay")
+        assert len(found) == 2
+
+    def test_compound_narrows(self):
+        found = select(DOC.root, "div.adblock-overlay.modal")
+        assert len(found) == 1
+
+    def test_tag_selector(self):
+        assert len(select(DOC.root, "p")) == 1
+
+    def test_universal(self):
+        assert len(select(DOC.root, "*")) >= 6
+
+    def test_attribute_match(self):
+        found = select(DOC.root, '[data-kind="warning"]')
+        assert ids(found) == ["notice"]
+
+    def test_attribute_substring_ops(self):
+        assert select(DOC.root, '[data-kind^="warn"]')
+        assert select(DOC.root, '[data-kind$="ing"]')
+        assert select(DOC.root, '[data-kind*="arni"]')
+        assert not select(DOC.root, '[data-kind^="x"]')
+
+    def test_descendant(self):
+        found = select(DOC.root, "#wrap .msg")
+        assert len(found) == 2
+
+    def test_deep_descendant(self):
+        found = select(DOC.root, "body .msg")
+        assert len(found) == 2
+
+    def test_child_only_direct(self):
+        assert len(select(DOC.root, "#notice > .msg")) == 1
+        assert len(select(DOC.root, "#wrap > p")) == 0
+
+    def test_chain_of_three(self):
+        found = select(DOC.root, "body #wrap #notice")
+        assert len(found) == 1
+
+    def test_no_match(self):
+        assert select(DOC.root, "#absent") == []

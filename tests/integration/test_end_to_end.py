@@ -1,0 +1,141 @@
+"""Integration tests: the full measurement pipeline on a tiny world.
+
+These run the real code paths end-to-end (world → archive → crawl →
+coverage → corpus → detector → live crawl) and assert the paper's
+qualitative findings, not absolute numbers.
+"""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import CoverageAnalyzer
+from repro.analysis.livecrawl import LiveCrawler
+from repro.core.corpus import build_corpus
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.filterlist.matcher import NetworkMatcher
+from repro.synthesis.listgen import generate_all_lists
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+from repro.wayback.crawler import WaybackCrawler
+
+AAK = "Anti-Adblock Killer"
+CE = "Combined EasyList"
+
+
+@pytest.fixture(scope="module")
+def world():
+    return SyntheticWorld(WorldConfig(n_sites=150, live_top=600))
+
+
+@pytest.fixture(scope="module")
+def lists(world):
+    return generate_all_lists(world)
+
+
+@pytest.fixture(scope="module")
+def histories(lists):
+    return {AAK: lists["aak"], CE: lists["combined_easylist"]}
+
+
+@pytest.fixture(scope="module")
+def crawl(world):
+    crawler = WaybackCrawler(world.build_archive())
+    return crawler.crawl(
+        [site.domain for site in world.sites], world.config.start, world.config.end
+    )
+
+
+@pytest.fixture(scope="module")
+def coverage(histories, crawl):
+    return CoverageAnalyzer(histories).analyze(crawl)
+
+
+class TestCrawlIntegration:
+    def test_every_domain_every_month(self, world, crawl):
+        months = len(world.config.months())
+        assert len(crawl.records) == 150 * months
+
+    def test_har_urls_carry_archive_prefix(self, crawl):
+        usable = crawl.usable()
+        assert usable
+        assert any(
+            url.startswith("http://web.archive.org/")
+            for url in usable[0].har.request_urls()
+        )
+
+    def test_missing_accounting_covers_all_records(self, crawl):
+        counts = crawl.missing_counts_by_month()
+        total_missing = sum(
+            sum(v for k, v in bucket.items()) for bucket in counts.values()
+        )
+        assert total_missing == len(crawl.records) - len(crawl.usable())
+
+    def test_outdated_declines_over_time(self, crawl):
+        counts = crawl.missing_counts_by_month()
+        months = sorted(counts)
+        first_year = np.mean([counts[m]["outdated"] for m in months[:12]])
+        last_year = np.mean([counts[m]["outdated"] for m in months[-12:]])
+        assert last_year < first_year
+
+
+class TestCoverageIntegration:
+    def test_aak_beats_combined_easylist(self, coverage):
+        last_month = max(coverage.http_series[AAK])
+        assert (
+            coverage.http_series[AAK][last_month]
+            > coverage.http_series[CE][last_month]
+        )
+
+    def test_aak_zero_before_creation(self, coverage):
+        for month, count in coverage.http_series[AAK].items():
+            if month < date(2014, 2, 1):
+                assert count == 0
+
+    def test_coverage_grows(self, coverage):
+        series = coverage.http_series[AAK]
+        months = sorted(series)
+        assert series[months[-1]] >= series[months[len(months) // 2]]
+
+    def test_html_triggers_rare(self, coverage):
+        for name in (AAK, CE):
+            assert all(count <= 3 for count in coverage.html_series[name].values())
+
+    def test_third_party_dominates_aak_matches(self, coverage):
+        assert coverage.third_party_share(AAK) >= 0.8
+
+    def test_delays_both_lists_nonempty(self, histories, crawl, coverage):
+        delays = CoverageAnalyzer(histories).detection_delays(crawl, coverage)
+        assert delays[AAK]
+        assert delays[CE]
+
+
+class TestCorpusAndDetector:
+    def test_corpus_and_detector_end_to_end(self, world, lists):
+        rules = []
+        for key in ("aak", "combined_easylist"):
+            rules.extend(lists[key].latest().filter_list.network_rules)
+        matcher = NetworkMatcher(rules)
+        pages = [world.snapshot(site, world.config.end) for site in world.sites]
+        corpus = build_corpus(pages, matcher, seed=world.seed)
+        assert corpus.positives, "lists must label some anti-adblock scripts"
+        assert 5.0 <= corpus.imbalance <= 12.0
+
+        detector = AntiAdblockDetector(
+            DetectorConfig(feature_set="keyword", top_k=500)
+        )
+        detector.fit(corpus.sources(), corpus.labels())
+        metrics = detector.score(corpus.sources(), corpus.labels())
+        assert metrics.tp_rate > 0.9
+        assert metrics.fp_rate < 0.15
+
+
+class TestLiveCrawlIntegration:
+    def test_live_crawl_shape(self, world, histories):
+        result = LiveCrawler(world, histories).crawl(check_html=False)
+        assert result.crawled == world.config.live_top
+        assert result.reachable >= 0.98 * result.crawled
+        assert result.http_matches[AAK] > result.http_matches[CE]
+        if result.http_matches[AAK]:
+            assert result.third_party_share(AAK) >= 0.8
+        assert result.matched_scripts

@@ -1,0 +1,110 @@
+"""Smoke/shape tests for every experiment driver at tiny scale."""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig3, fig5, fig6, fig7, sec33, sec43, table1, table2
+from repro.experiments.context import AAK, CE, ExperimentContext
+from repro.synthesis.world import WorldConfig
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        world=__import__("repro.synthesis.world", fromlist=["SyntheticWorld"]).SyntheticWorld(
+            WorldConfig(n_sites=120, live_top=400)
+        )
+    )
+
+
+class TestFig1:
+    def test_run_and_render(self, ctx):
+        result = fig1.run(ctx)
+        text = fig1.render(result)
+        assert "Figure 1(a): Anti-Adblock Killer" in text
+        assert "Figure 1(b): Adblock Warning Removal List" in text
+        assert "Figure 1(c): EasyList" in text
+
+    def test_totals_never_decrease(self, ctx):
+        result = fig1.run(ctx)
+        for series in result.series.values():
+            assert series.totals == sorted(series.totals)
+
+    def test_awrl_html_heavy_easylist_http_heavy(self, ctx):
+        result = fig1.run(ctx)
+        assert result.stats["awrl"].html_percent > result.stats["easylist"].html_percent
+
+
+class TestTable1:
+    def test_buckets_complete(self, ctx):
+        result = table1.run(ctx)
+        for distribution in result.distributions.values():
+            assert set(distribution.counts) == {"1-5K", "5K-10K", "10K-100K", "100K-1M", ">1M"}
+
+    def test_render_has_total_row(self, ctx):
+        assert "total" in table1.render(table1.run(ctx))
+
+
+class TestFig2:
+    def test_percentages_sum(self, ctx):
+        result = fig2.run(ctx)
+        for name in (AAK, CE):
+            assert sum(result.percentages(name).values()) == pytest.approx(100.0)
+
+
+class TestSec33:
+    def test_overlap_counts_consistent(self, ctx):
+        result = sec33.run(ctx)
+        overlap = result.overlap
+        assert overlap.first_in_a + overlap.first_in_b + overlap.same_day == overlap.overlap_count
+        assert overlap.overlap_count <= min(result.domain_counts.values())
+
+
+class TestFig3:
+    def test_cdf_end_at_most_one(self, ctx):
+        result = fig3.run(ctx)
+        assert all(0 <= p <= 1 for _, p in result.cdf_points)
+
+
+class TestFig5:
+    def test_accounting_matches_crawl(self, ctx):
+        result = fig5.run(ctx)
+        crawl = ctx.crawl
+        total_missing = sum(result.total_missing(m) for m in result.by_month)
+        non_usable = sum(
+            1
+            for record in crawl.records
+            if not record.usable and record.status.value != "excluded"
+        )
+        assert total_missing == non_usable
+
+
+class TestFig6:
+    def test_series_aligned(self, ctx):
+        result = fig6.run(ctx)
+        assert set(result.http_series[AAK]) == set(result.http_series[CE])
+
+    def test_aak_geq_ce_at_end(self, ctx):
+        result = fig6.run(ctx)
+        assert result.final_http(AAK) >= result.final_http(CE)
+
+
+class TestFig7:
+    def test_fractions_bounded(self, ctx):
+        result = fig7.run(ctx)
+        for name in (AAK, CE):
+            assert 0.0 <= result.fraction_before(name) <= result.fraction_within(name, 10**6)
+
+
+class TestSec43:
+    def test_rates(self, ctx):
+        result = sec43.run(ctx)
+        assert 0 <= result.http_rate(AAK) <= 1
+        assert result.live.reachable <= result.live.crawled
+
+
+class TestTable2:
+    def test_rows_nonempty(self, ctx):
+        result = table2.run(ctx)
+        rows = result.rows()
+        assert rows
+        assert any("clientHeight" in feature for feature, _ in rows)

@@ -1,0 +1,114 @@
+"""Tests for the JavaScript code generator."""
+
+import numpy as np
+import pytest
+
+from repro.jsast.codegen import to_source
+from repro.jsast.parser import parse
+from repro.jsast.unpack import unpack_source
+from repro.synthesis.scripts import ANTI_ADBLOCK_FAMILIES, BENIGN_FAMILIES
+
+
+def regen(source):
+    """Generate, reparse, regenerate — the idempotence round trip."""
+    first = to_source(parse(source))
+    second = to_source(parse(first))
+    return first, second
+
+
+class TestIdempotence:
+    SNIPPETS = [
+        "var a = 1, b;",
+        "function f(a, b) { return a + b; }",
+        "if (a) { b(); } else if (c) { d(); } else { e(); }",
+        "for (var i = 0; i < 10; i++) { work(i); }",
+        "for (key in obj) { use(key); }",
+        "for (;;) break;",
+        "while (x) { x--; }",
+        "do { tick(); } while (alive);",
+        "try { risky(); } catch (e) { log(e); } finally { done(); }",
+        "switch (x) { case 1: a(); break; default: b(); }",
+        "throw new Error('boom');",
+        "outer: for (;;) { continue outer; }",
+        "var o = { a: 1, 'b c': 2, 3: x, get size() { return 1; } };",
+        "var arr = [1, , 'two', [3]];",
+        "x = a ? b : c;",
+        "a = b = c + d * e - f / g % h;",
+        "(function() { var hidden = 1; })();",
+        "r = /ab+c/gi.test(s);",
+        "obj.method(1)(2)[key].prop;",
+        "new Foo(new Bar(), 2).init();",
+        "x = typeof y === 'undefined' ? void 0 : -y;",
+        "i++; --j; !done; ~bits;",
+        "a, b, c;",
+        "x = (a, b);",
+        "var n = 1.5e3 + 0xff;",
+        "s = 'it\\'s\\n';",
+        "if (a && b || !c) d();",
+        "var neg = -(a + b);",
+        "debugger;",
+        "with (obj) { use(prop); }",
+    ]
+
+    @pytest.mark.parametrize("source", SNIPPETS)
+    def test_roundtrip_idempotent(self, source):
+        first, second = regen(source)
+        assert first == second
+
+    @pytest.mark.parametrize("source", SNIPPETS)
+    def test_regenerated_source_parses(self, source):
+        first, _ = regen(source)
+        parse(first)  # must not raise
+
+
+class TestGeneratedScripts:
+    @pytest.mark.parametrize("family", sorted(ANTI_ADBLOCK_FAMILIES))
+    def test_anti_adblock_families_roundtrip(self, family):
+        source = ANTI_ADBLOCK_FAMILIES[family](np.random.default_rng(5))
+        first, second = regen(source)
+        assert first == second
+
+    @pytest.mark.parametrize("family", sorted(BENIGN_FAMILIES))
+    def test_benign_families_roundtrip(self, family):
+        source = BENIGN_FAMILIES[family](np.random.default_rng(6))
+        first, second = regen(source)
+        assert first == second
+
+
+class TestUnpackedMaterialisation:
+    def test_unpacked_program_serialises(self):
+        packed = "eval('var adblockDetected = true; notify(adblockDetected);');"
+        result = unpack_source(packed)
+        source = to_source(result.program)
+        assert "adblockDetected" in source
+        assert "eval" not in source
+        parse(source)
+
+    def test_statement_guard_for_function_expression(self):
+        program = parse("(function() { go(); })();")
+        source = to_source(program)
+        parse(source)
+
+
+class TestSemanticsPreserved:
+    def test_operator_precedence_preserved(self):
+        source = "x = (a + b) * c;"
+        program = parse(source)
+        regenerated = to_source(program)
+        reparsed = parse(regenerated)
+        # The tree shape must survive: multiplication at the top.
+        expr = reparsed.body[0].expression.right
+        assert expr.operator == "*"
+        assert expr.left.operator == "+"
+
+    def test_else_if_chain_preserved(self):
+        source = "if (a) b(); else if (c) d(); else e();"
+        reparsed = parse(to_source(parse(source)))
+        statement = reparsed.body[0]
+        assert statement.alternate is not None
+        assert statement.alternate.alternate is not None
+
+    def test_string_escapes(self):
+        program = parse("var s = 'line\\nbreak\\t\\'quote\\'';")
+        reparsed = parse(to_source(program))
+        assert reparsed.body[0].declarations[0].init.value == "line\nbreak\t'quote'"

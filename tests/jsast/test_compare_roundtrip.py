@@ -1,0 +1,88 @@
+"""Structural round-trip guarantee: parse(to_source(tree)) ≡ tree."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jsast.codegen import to_source
+from repro.jsast.compare import ast_equal, count_differences, first_difference
+from repro.jsast.parser import parse
+from repro.synthesis.scripts import ANTI_ADBLOCK_FAMILIES, BENIGN_FAMILIES
+
+
+class TestAstEqual:
+    def test_identical_sources(self):
+        assert ast_equal(parse("var a = 1;"), parse("var a = 1;"))
+
+    def test_raw_differences_ignored(self):
+        assert ast_equal(parse("x = 0x10;"), parse("x = 16;"))
+        assert ast_equal(parse("s = 'a';"), parse('s = "a";'))
+
+    def test_structural_difference_detected(self):
+        assert not ast_equal(parse("x = a + b;"), parse("x = a - b;"))
+
+    def test_first_difference_path(self):
+        difference = first_difference(parse("x = a + b;"), parse("x = a - b;"))
+        assert "operator" in difference
+
+    def test_none_vs_node(self):
+        program = parse("if (a) b();")
+        other = parse("if (a) b(); else c();")
+        assert not ast_equal(program, other)
+
+    def test_count_differences_zero_for_equal(self):
+        assert count_differences(parse("f();"), parse("f();")) == 0
+
+    def test_count_differences_positive(self):
+        assert count_differences(parse("f();"), parse("g();")) >= 1
+
+
+class TestStructuralRoundtrip:
+    SNIPPETS = [
+        "var a = 0x1F;",
+        "x = 'sin\\'gle';",
+        "for (var i = 0, n = xs.length; i < n; i++) sum += xs[i];",
+        "try { a(); } catch (e) {} finally { b(); }",
+        "var o = { a: [1, 2, { b: c ? d : e }] };",
+        "while (i--) queue.push(make(i));",
+        "switch (k) { case 'x': case 'y': both(); break; default: other(); }",
+        "fn.apply(null, [].slice.call(arguments, 1));",
+        "var re = /a[/]b\\//g;",
+        "delete obj[key], void expire(obj);",
+    ]
+
+    @pytest.mark.parametrize("source", SNIPPETS)
+    def test_roundtrip_preserves_structure(self, source):
+        tree = parse(source)
+        regenerated = parse(to_source(tree))
+        difference = first_difference(tree, regenerated)
+        assert difference is None, difference
+
+    @pytest.mark.parametrize("family", sorted(ANTI_ADBLOCK_FAMILIES))
+    def test_generated_anti_adblock_roundtrip(self, family):
+        source = ANTI_ADBLOCK_FAMILIES[family](np.random.default_rng(71))
+        tree = parse(source)
+        regenerated = parse(to_source(tree))
+        difference = first_difference(tree, regenerated)
+        assert difference is None, f"{family}: {difference}"
+
+    @pytest.mark.parametrize("family", sorted(BENIGN_FAMILIES))
+    def test_generated_benign_roundtrip(self, family):
+        source = BENIGN_FAMILIES[family](np.random.default_rng(72))
+        tree = parse(source)
+        regenerated = parse(to_source(tree))
+        difference = first_difference(tree, regenerated)
+        assert difference is None, f"{family}: {difference}"
+
+    @given(st.integers(min_value=0, max_value=10_000), st.booleans())
+    @settings(max_examples=60)
+    def test_random_scripts_roundtrip(self, seed, anti):
+        rng = np.random.default_rng(seed)
+        families = ANTI_ADBLOCK_FAMILIES if anti else BENIGN_FAMILIES
+        names = sorted(families)
+        family = names[seed % len(names)]
+        source = families[family](rng)
+        tree = parse(source)
+        regenerated = parse(to_source(tree))
+        assert ast_equal(tree, regenerated)

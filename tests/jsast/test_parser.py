@@ -1,0 +1,393 @@
+"""Unit tests for the JavaScript parser."""
+
+import pytest
+
+from repro.jsast import nodes as N
+from repro.jsast.parser import ParseError, parse
+from repro.jsast.walker import find_all, find_first
+
+
+def expr(source):
+    """Parse a single expression statement and return its expression."""
+    program = parse(source)
+    assert len(program.body) == 1
+    statement = program.body[0]
+    assert isinstance(statement, N.ExpressionStatement)
+    return statement.expression
+
+
+class TestPrimaries:
+    def test_number_literal(self):
+        node = expr("42;")
+        assert isinstance(node, N.Literal)
+        assert node.value == 42.0
+
+    def test_string_literal(self):
+        assert expr("'hi';").value == "hi"
+
+    def test_boolean_and_null(self):
+        assert expr("true;").value is True
+        assert expr("false;").value is False
+        assert expr("null;").value is None
+
+    def test_this_expression(self):
+        assert isinstance(expr("this;"), N.ThisExpression)
+
+    def test_regex_literal(self):
+        node = expr("/ab/g;")
+        assert node.regex == ("ab", "g")
+
+    def test_array_literal(self):
+        node = expr("[1, 2, 3];")
+        assert isinstance(node, N.ArrayExpression)
+        assert len(node.elements) == 3
+
+    def test_array_elision(self):
+        node = expr("[1, , 3];")
+        assert node.elements[1] is None
+
+    def test_object_literal(self):
+        node = expr("({a: 1, 'b': 2, 3: 4});")
+        assert isinstance(node, N.ObjectExpression)
+        assert len(node.properties) == 3
+
+    def test_object_keyword_key(self):
+        node = expr("({new: 1, if: 2});")
+        assert [p.key.name for p in node.properties] == ["new", "if"]
+
+    def test_object_getter(self):
+        node = expr("({get x() { return 1; }});")
+        assert node.properties[0].kind == "get"
+
+    def test_nested_object(self):
+        node = expr("({a: {b: {c: 1}}});")
+        inner = node.properties[0].value.properties[0].value
+        assert isinstance(inner, N.ObjectExpression)
+
+
+class TestOperators:
+    def test_precedence_multiplication_over_addition(self):
+        node = expr("1 + 2 * 3;")
+        assert node.operator == "+"
+        assert node.right.operator == "*"
+
+    def test_left_associativity(self):
+        node = expr("1 - 2 - 3;")
+        assert node.operator == "-"
+        assert node.left.operator == "-"
+
+    def test_logical_nodes(self):
+        node = expr("a && b || c;")
+        assert isinstance(node, N.LogicalExpression)
+        assert node.operator == "||"
+        assert node.left.operator == "&&"
+
+    def test_equality_levels(self):
+        node = expr("a === b !== c;")
+        assert node.operator == "!=="
+
+    def test_instanceof_and_in(self):
+        assert expr("a instanceof B;").operator == "instanceof"
+        assert expr("'x' in obj;").operator == "in"
+
+    def test_unary(self):
+        node = expr("typeof x;")
+        assert isinstance(node, N.UnaryExpression)
+        assert node.operator == "typeof"
+
+    def test_nested_unary(self):
+        node = expr("!!x;")
+        assert node.argument.operator == "!"
+
+    def test_prefix_and_postfix_update(self):
+        pre = expr("++x;")
+        post = expr("x++;")
+        assert pre.prefix is True
+        assert post.prefix is False
+
+    def test_conditional(self):
+        node = expr("a ? b : c;")
+        assert isinstance(node, N.ConditionalExpression)
+
+    def test_assignment_right_associative(self):
+        node = expr("a = b = c;")
+        assert isinstance(node.right, N.AssignmentExpression)
+
+    def test_compound_assignment(self):
+        assert expr("a += 1;").operator == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("1 = 2;")
+
+    def test_sequence_expression(self):
+        node = expr("a, b, c;")
+        assert isinstance(node, N.SequenceExpression)
+        assert len(node.expressions) == 3
+
+
+class TestCallsAndMembers:
+    def test_member_dot(self):
+        node = expr("a.b.c;")
+        assert isinstance(node, N.MemberExpression)
+        assert node.property.name == "c"
+        assert node.object.property.name == "b"
+
+    def test_member_keyword_property(self):
+        node = expr("promise.catch;")
+        assert node.property.name == "catch"
+
+    def test_computed_member(self):
+        node = expr("a['b'];")
+        assert node.computed is True
+
+    def test_call_no_args(self):
+        node = expr("f();")
+        assert isinstance(node, N.CallExpression)
+        assert node.arguments == []
+
+    def test_call_with_args(self):
+        node = expr("f(1, 'two', x);")
+        assert len(node.arguments) == 3
+
+    def test_chained_call(self):
+        node = expr("f()();")
+        assert isinstance(node.callee, N.CallExpression)
+
+    def test_method_call_chain(self):
+        node = expr("document.getElementsByTagName('head')[0].appendChild(s);")
+        assert isinstance(node, N.CallExpression)
+        assert node.callee.property.name == "appendChild"
+
+    def test_new_with_arguments(self):
+        node = expr("new Date(2016, 1);")
+        assert isinstance(node, N.NewExpression)
+        assert len(node.arguments) == 2
+
+    def test_new_without_arguments(self):
+        node = expr("new Date;")
+        assert isinstance(node, N.NewExpression)
+        assert node.arguments == []
+
+    def test_new_member_callee(self):
+        node = expr("new foo.Bar();")
+        assert isinstance(node.callee, N.MemberExpression)
+
+    def test_new_then_call_on_result(self):
+        node = expr("new X().go();")
+        assert isinstance(node, N.CallExpression)
+        assert isinstance(node.callee.object, N.NewExpression)
+
+
+class TestStatements:
+    def test_var_declaration(self):
+        program = parse("var a = 1, b;")
+        declaration = program.body[0]
+        assert isinstance(declaration, N.VariableDeclaration)
+        assert len(declaration.declarations) == 2
+        assert declaration.declarations[1].init is None
+
+    def test_function_declaration(self):
+        program = parse("function f(a, b) { return a + b; }")
+        fn = program.body[0]
+        assert isinstance(fn, N.FunctionDeclaration)
+        assert fn.id.name == "f"
+        assert [p.name for p in fn.params] == ["a", "b"]
+
+    def test_function_expression(self):
+        node = expr("(function named() {});")
+        assert isinstance(node, N.FunctionExpression)
+        assert node.id.name == "named"
+
+    def test_iife(self):
+        node = expr("(function() { var x = 1; })();")
+        assert isinstance(node, N.CallExpression)
+
+    def test_if_else(self):
+        program = parse("if (a) b(); else c();")
+        statement = program.body[0]
+        assert statement.alternate is not None
+
+    def test_dangling_else(self):
+        program = parse("if (a) if (b) c(); else d();")
+        outer = program.body[0]
+        assert outer.alternate is None
+        assert outer.consequent.alternate is not None
+
+    def test_for_classic(self):
+        program = parse("for (var i = 0; i < 10; i++) { work(i); }")
+        loop = program.body[0]
+        assert isinstance(loop, N.ForStatement)
+        assert isinstance(loop.init, N.VariableDeclaration)
+
+    def test_for_empty_clauses(self):
+        loop = parse("for (;;) break;").body[0]
+        assert loop.init is None and loop.test is None and loop.update is None
+
+    def test_for_in_var(self):
+        loop = parse("for (var key in obj) {}").body[0]
+        assert isinstance(loop, N.ForInStatement)
+
+    def test_for_in_bare(self):
+        loop = parse("for (key in obj) {}").body[0]
+        assert isinstance(loop, N.ForInStatement)
+        assert isinstance(loop.left, N.Identifier)
+
+    def test_while(self):
+        assert isinstance(parse("while (x) x--;").body[0], N.WhileStatement)
+
+    def test_do_while(self):
+        assert isinstance(parse("do { x(); } while (y);").body[0], N.DoWhileStatement)
+
+    def test_switch(self):
+        program = parse(
+            "switch (x) { case 1: a(); break; case 2: b(); break; default: c(); }"
+        )
+        statement = program.body[0]
+        assert isinstance(statement, N.SwitchStatement)
+        assert len(statement.cases) == 3
+        assert statement.cases[2].test is None
+
+    def test_try_catch_finally(self):
+        statement = parse("try { a(); } catch (e) { b(e); } finally { c(); }").body[0]
+        assert statement.handler.param.name == "e"
+        assert statement.finalizer is not None
+
+    def test_try_requires_handler(self):
+        with pytest.raises(ParseError):
+            parse("try { a(); }")
+
+    def test_throw(self):
+        assert isinstance(parse("throw new Error('x');").body[0], N.ThrowStatement)
+
+    def test_labeled_statement(self):
+        statement = parse("outer: for (;;) { break outer; }").body[0]
+        assert isinstance(statement, N.LabeledStatement)
+        breaks = find_all(statement, lambda n: isinstance(n, N.BreakStatement))
+        assert breaks[0].label.name == "outer"
+
+    def test_with_statement(self):
+        assert isinstance(parse("with (obj) { a(); }").body[0], N.WithStatement)
+
+    def test_empty_statement(self):
+        assert isinstance(parse(";").body[0], N.EmptyStatement)
+
+
+class TestASI:
+    def test_missing_semicolon_at_newline(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+    def test_missing_semicolon_before_close_brace(self):
+        program = parse("function f() { return 1 }")
+        assert isinstance(program.body[0].body.body[0], N.ReturnStatement)
+
+    def test_missing_semicolon_at_eof(self):
+        assert len(parse("x = 1").body) == 1
+
+    def test_return_asi(self):
+        program = parse("function f() { return\n1; }")
+        ret = program.body[0].body.body[0]
+        assert ret.argument is None
+
+    def test_no_asi_without_newline(self):
+        with pytest.raises(ParseError):
+            parse("var a = 1 var b = 2")
+
+    def test_postfix_not_across_newline(self):
+        program = parse("a\n++b")
+        assert len(program.body) == 2
+
+
+class TestRealWorldSnippets:
+    """The paper's own code listings must parse."""
+
+    BUSINESSINSIDER_BAIT = """
+    var script = document.createElement("script");
+    script.setAttribute("async", true);
+    script.setAttribute("src", "//www.npttech.com/advertising.js");
+    script.setAttribute("onerror", "setAdblockerCookie(true);");
+    script.setAttribute("onload", "setAdblockerCookie(false);");
+    document.getElementsByTagName("head")[0].appendChild(script);
+    var setAdblockerCookie = function(adblocker) {
+        var d = new Date();
+        d.setTime(d.getTime() + 60 * 60 * 24 * 30 * 1000);
+        document.cookie = "__adblocker=" + (adblocker ? "true" : "false")
+            + "; expires=" + d.toUTCString() + "; path=/";
+    };
+    """
+
+    BLOCKADBLOCK_BAIT = """
+    BlockAdBlock.prototype._creatBait = function() {
+        var bait = document.createElement('div');
+        bait.setAttribute('class', this._options.baitClass);
+        bait.setAttribute('style', this._options.baitStyle);
+        this._var.bait = window.document.body.appendChild(bait);
+        this._var.bait.offsetParent;
+        this._var.bait.offsetHeight;
+        if (this._options.debug === true) {
+            this._log('_creatBait', 'Bait has been created');
+        }
+    };
+    BlockAdBlock.prototype._checkBait = function(loop) {
+        var detected = false;
+        if (window.document.body.getAttribute('abp') !== null
+            || this._var.bait.offsetParent === null
+            || this._var.bait.offsetHeight == 0
+            || this._var.bait.clientWidth == 0) {
+            detected = true;
+        }
+    };
+    """
+
+    NUMERAMA_CHECK = """
+    canRunAds = true;
+    var adblockStatus = 'inactive';
+    if (window.canRunAds === undefined) {
+        adblockStatus = 'active';
+    }
+    """
+
+    def test_businessinsider_snippet(self):
+        program = parse(self.BUSINESSINSIDER_BAIT)
+        calls = find_all(program, lambda n: isinstance(n, N.CallExpression))
+        assert len(calls) >= 6
+
+    def test_blockadblock_snippet(self):
+        program = parse(self.BLOCKADBLOCK_BAIT)
+        member = find_first(
+            program,
+            lambda n: isinstance(n, N.MemberExpression)
+            and isinstance(n.property, N.Identifier)
+            and n.property.name == "offsetHeight",
+        )
+        assert member is not None
+
+    def test_numerama_snippet(self):
+        program = parse(self.NUMERAMA_CHECK)
+        assert len(program.body) == 3
+
+
+class TestWalker:
+    def test_walk_counts(self):
+        from repro.jsast.walker import count_nodes
+
+        # Program, ExpressionStatement, BinaryExpression, two Identifiers
+        assert count_nodes(parse("a + b;")) == 5
+
+    def test_walk_with_ancestors_parent(self):
+        from repro.jsast.walker import walk_with_ancestors
+
+        program = parse("f(x);")
+        for node, ancestors in walk_with_ancestors(program):
+            if isinstance(node, N.Identifier) and node.name == "x":
+                assert isinstance(ancestors[-1], N.CallExpression)
+                return
+        pytest.fail("identifier x not found")
+
+    def test_replace_child(self):
+        program = parse("a;")
+        statement = program.body[0]
+        new = N.Identifier(name="b")
+        assert statement.replace_child(statement.expression, new)
+        assert statement.expression is new

@@ -1,0 +1,179 @@
+"""Unit tests for the static eval() unpacker."""
+
+from repro.jsast import nodes as N
+from repro.jsast.parser import parse
+from repro.jsast.unpack import fold_constant_string, unpack_source
+from repro.jsast.walker import find_all, find_first
+
+
+def fold(source):
+    program = parse(source + ";")
+    return fold_constant_string(program.body[0].expression)
+
+
+class TestConstantFolding:
+    def test_string_literal(self):
+        assert fold("'abc'") == "abc"
+
+    def test_number_literal(self):
+        assert fold("42") == "42"
+
+    def test_concatenation(self):
+        assert fold("'a' + 'b' + 'c'") == "abc"
+
+    def test_concat_with_number(self):
+        assert fold("'v' + 1") == "v1"
+
+    def test_from_char_code(self):
+        assert fold("String.fromCharCode(104, 105)") == "hi"
+
+    def test_from_char_code_non_literal_fails(self):
+        assert fold("String.fromCharCode(x)") is None
+
+    def test_array_join(self):
+        assert fold("['a', 'b'].join('')") == "ab"
+
+    def test_array_join_default_separator(self):
+        assert fold("['a', 'b'].join()") == "a,b"
+
+    def test_split_join_reverse(self):
+        assert fold("'cba'.split('').reverse().join('')") == "abc"
+
+    def test_replace(self):
+        assert fold("'a_b'.replace('_', '.')") == "a.b"
+
+    def test_non_constant_returns_none(self):
+        assert fold("x + 'b'") is None
+
+    def test_sequence_takes_last(self):
+        assert fold("(1, 'last')") == "last"
+
+
+class TestEvalUnpacking:
+    def test_simple_eval(self):
+        result = unpack_source("eval('var adblock = true;');")
+        assert result.was_packed
+        declaration = find_first(
+            result.program, lambda n: isinstance(n, N.VariableDeclarator)
+        )
+        assert declaration.id.name == "adblock"
+
+    def test_eval_concat(self):
+        result = unpack_source("eval('var a' + 'dblock = 1;');")
+        assert result.was_packed
+        assert "adblock = 1" in result.unpacked_sources[0]
+
+    def test_nested_eval(self):
+        inner = "var detected = true;"
+        middle = f"eval({inner!r});"
+        outer = f"eval({middle!r});"
+        result = unpack_source(outer)
+        assert result.rounds == 2
+        assert find_first(
+            result.program,
+            lambda n: isinstance(n, N.VariableDeclarator) and n.id.name == "detected",
+        )
+
+    def test_window_eval(self):
+        result = unpack_source("window.eval('var x = 1;');")
+        assert result.was_packed
+
+    def test_settimeout_string(self):
+        result = unpack_source("setTimeout('checkAds();', 100);")
+        assert result.was_packed
+        call = find_first(
+            result.program,
+            lambda n: isinstance(n, N.CallExpression)
+            and isinstance(n.callee, N.Identifier)
+            and n.callee.name == "checkAds",
+        )
+        assert call is not None
+
+    def test_document_write_script(self):
+        source = "document.write('<script>var baited = 1;</scr' + 'ipt>');"
+        result = unpack_source(source)
+        assert result.was_packed
+        assert find_first(
+            result.program,
+            lambda n: isinstance(n, N.VariableDeclarator) and n.id.name == "baited",
+        )
+
+    def test_eval_of_dynamic_value_untouched(self):
+        result = unpack_source("eval(userInput);")
+        assert not result.was_packed
+
+    def test_eval_of_garbage_string_untouched(self):
+        result = unpack_source("eval('}{not js');")
+        assert not result.was_packed
+
+    def test_unpack_plain_program_noop(self):
+        source = "var a = 1; function f() { return a; }"
+        result = unpack_source(source)
+        assert result.rounds == 0
+        assert len(result.program.body) == 2
+
+    def test_eval_in_expression_context(self):
+        result = unpack_source("var r = eval('var inner = 2;') || 0;")
+        assert result.was_packed
+        assert find_first(
+            result.program,
+            lambda n: isinstance(n, N.VariableDeclarator) and n.id.name == "inner",
+        )
+
+    def test_eval_inside_function_body(self):
+        source = "function go() { eval('var hidden = 3;'); }"
+        result = unpack_source(source)
+        assert result.was_packed
+        assert find_first(
+            result.program,
+            lambda n: isinstance(n, N.VariableDeclarator) and n.id.name == "hidden",
+        )
+
+
+class TestPackedPacker:
+    def test_dean_edwards_packer(self):
+        # eval(function(p,a,c,k,e,d){...}('0 1=2',3,3,'var|x|5'.split('|'),0,{}))
+        packed = (
+            "eval(function(p,a,c,k,e,d){e=function(c){return c};"
+            "if(!''.replace(/^/,String)){while(c--){d[c]=k[c]||c}"
+            "k=[function(e){return d[e]}];e=function(){return'\\\\w+'};c=1};"
+            "return p}('0 1=2;',3,3,'var|x|5'.split('|'),0,{}))"
+        )
+        result = unpack_source(packed)
+        assert result.was_packed
+        declaration = find_first(
+            result.program, lambda n: isinstance(n, N.VariableDeclarator)
+        )
+        assert declaration is not None
+        assert declaration.id.name == "x"
+
+    def test_packer_payload_substitution_counts(self):
+        from repro.jsast.unpack import _packed_substitute
+
+        out = _packed_substitute("0 1=2;", 10, ["var", "abd", "5"])
+        assert out == "var abd=5;"
+
+    def test_base62_encoding(self):
+        from repro.jsast.unpack import _encode_base
+
+        assert _encode_base(0, 62) == "0"
+        assert _encode_base(10, 62) == "a"
+        assert _encode_base(61, 62) == "Z"
+        assert _encode_base(62, 62) == "10"
+
+
+class TestUnpackedTreeIsAnalysable:
+    def test_features_visible_after_unpack(self):
+        """The point of unpacking: bait logic becomes statically visible."""
+        payload = (
+            "var bait = document.createElement('div');"
+            "if (bait.offsetHeight == 0) { detected = true; }"
+        )
+        result = unpack_source(f"eval({payload!r});")
+        members = find_all(
+            result.program,
+            lambda n: isinstance(n, N.MemberExpression)
+            and isinstance(n.property, N.Identifier)
+            and n.property.name == "offsetHeight",
+        )
+        assert members

@@ -1,0 +1,107 @@
+"""Tests for the domain population and categorization service."""
+
+from repro.synthesis.alexa import DomainPopulation, RANK_BUCKETS, bucket_for_rank
+from repro.synthesis.categories import (
+    CATEGORIES,
+    CategorizationService,
+    top_categories_with_others,
+)
+
+
+class TestDomainPopulation:
+    def test_deterministic(self):
+        a = DomainPopulation(seed=1)
+        b = DomainPopulation(seed=1)
+        assert [a.domain_at(r) for r in range(1, 50)] == [
+            b.domain_at(r) for r in range(1, 50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DomainPopulation(seed=1)
+        b = DomainPopulation(seed=2)
+        assert [a.domain_at(r) for r in range(1, 50)] != [
+            b.domain_at(r) for r in range(1, 50)
+        ]
+
+    def test_names_unique(self):
+        population = DomainPopulation(seed=3)
+        names = [population.domain_at(r) for r in range(1, 500)]
+        assert len(set(names)) == len(names)
+
+    def test_names_look_like_domains(self):
+        population = DomainPopulation(seed=3)
+        for rank in range(1, 100):
+            name = population.domain_at(rank)
+            assert "." in name
+            assert name == name.lower()
+            assert " " not in name
+
+    def test_rank_of_minted_domain(self):
+        population = DomainPopulation(seed=4)
+        name = population.domain_at(42)
+        assert population.rank_of(name) == 42
+        assert population.rank_of("never-minted.example") is None
+
+    def test_top(self):
+        population = DomainPopulation(seed=5)
+        top = population.top(10)
+        assert [d.rank for d in top] == list(range(1, 11))
+
+    def test_bucket_for_rank(self):
+        assert bucket_for_rank(1) == "1-5K"
+        assert bucket_for_rank(5000) == "1-5K"
+        assert bucket_for_rank(5001) == "5K-10K"
+        assert bucket_for_rank(50_000) == "10K-100K"
+        assert bucket_for_rank(500_000) == "100K-1M"
+        assert bucket_for_rank(2_000_000) == ">1M"
+
+    def test_sample_in_bucket_respects_range(self):
+        population = DomainPopulation(seed=6)
+        sampled = population.sample_in_bucket("5K-10K", 20)
+        assert len(sampled) == 20
+        assert all(5001 <= d.rank <= 10_000 for d in sampled)
+        assert len({d.domain for d in sampled}) == 20
+
+    def test_sample_in_bucket_label_decorrelates(self):
+        population = DomainPopulation(seed=6)
+        a = population.sample_in_bucket("1-5K", 10, label="x")
+        b = population.sample_in_bucket("1-5K", 10, label="y")
+        assert {d.rank for d in a} != {d.rank for d in b}
+
+    def test_rank_zero_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            DomainPopulation(seed=1).domain_at(0)
+
+
+class TestCategorization:
+    def test_stable(self):
+        service = CategorizationService(seed=7)
+        assert service.categorize("example.com") == service.categorize("example.com")
+
+    def test_known_vocabulary(self):
+        service = CategorizationService(seed=7)
+        population = DomainPopulation(seed=7)
+        for rank in range(1, 200):
+            assert service.categorize(population.domain_at(rank)) in CATEGORIES
+
+    def test_keyword_hint(self):
+        service = CategorizationService(seed=7)
+        assert service.categorize("megastreamhub.com") == "Streaming/Sharing"
+        assert service.categorize("dailysportscore.net") in ("Sports", "General News")
+
+    def test_distribution_covers_all_categories_keys(self):
+        service = CategorizationService(seed=8)
+        population = DomainPopulation(seed=8)
+        domains = [population.domain_at(r) for r in range(1, 300)]
+        distribution = service.distribution(domains)
+        assert set(distribution) == set(CATEGORIES)
+        assert sum(distribution.values()) == 299
+
+    def test_top_categories_with_others(self):
+        counts = {category: index for index, category in enumerate(CATEGORIES)}
+        collapsed = top_categories_with_others(counts, top_n=5)
+        assert len(collapsed) == 6
+        assert collapsed[-1][0] == "Others"
+        assert sum(value for _, value in collapsed) == sum(counts.values())

@@ -1,0 +1,102 @@
+"""Unit tests for the filter-list generator's internal machinery."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.synthesis.listgen import (
+    AAK_MONTHLY_FROM,
+    AAK_START,
+    DatedRule,
+    FilterListGenerator,
+    _scale,
+)
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FilterListGenerator(SyntheticWorld(WorldConfig(n_sites=150, live_top=300)))
+
+
+class TestScale:
+    def test_rounds(self):
+        assert _scale(100, 0.5) == 50
+        assert _scale(3, 0.5) == 2
+
+    def test_floor_of_one(self):
+        assert _scale(1, 0.001) == 1
+
+
+class TestDatesForGrowth:
+    def test_sorted_and_bounded(self, generator):
+        rng = np.random.default_rng(0)
+        waypoints = (
+            (date(2014, 1, 1), 0.2),
+            (date(2015, 1, 1), 0.7),
+            (date(2016, 1, 1), 1.0),
+        )
+        dates = generator._dates_for_growth(rng, 200, waypoints)
+        assert dates == sorted(dates)
+        assert dates[0] >= date(2014, 1, 1)
+        assert dates[-1] <= date(2016, 1, 1)
+
+    def test_respects_waypoint_mass(self, generator):
+        rng = np.random.default_rng(1)
+        waypoints = (
+            (date(2014, 1, 1), 0.5),
+            (date(2016, 1, 1), 1.0),
+        )
+        dates = generator._dates_for_growth(rng, 1000, waypoints)
+        early = sum(1 for d in dates if d <= date(2014, 1, 1))
+        assert 0.4 < early / len(dates) < 0.6
+
+
+class TestRevisionCadence:
+    def test_aak_weekly_then_monthly(self, generator):
+        dates = generator._aak_revision_dates()
+        gaps = [(b - a).days for a, b in zip(dates, dates[1:])]
+        cut = next(i for i, d in enumerate(dates) if d >= AAK_MONTHLY_FROM)
+        weekly = gaps[: cut - 1]
+        monthly = gaps[cut:]
+        assert all(gap == 7 for gap in weekly)
+        assert all(27 <= gap <= 32 for gap in monthly)
+        assert dates[0] == AAK_START
+
+
+class TestEmitHistory:
+    def test_dedup_and_cumulative(self, generator):
+        rules = [
+            DatedRule("||a.com^", date(2014, 3, 1)),
+            DatedRule("||a.com^", date(2014, 6, 1)),  # duplicate text
+            DatedRule("||b.com^", date(2014, 6, 1)),
+        ]
+        history = generator._emit_history(
+            "t", rules, [date(2014, 3, 1), date(2014, 6, 1), date(2014, 9, 1)]
+        )
+        assert len(history[0].rules) == 1
+        assert len(history.latest().rules) == 2
+
+    def test_empty_revisions_skipped(self, generator):
+        rules = [DatedRule("||a.com^", date(2014, 6, 1))]
+        history = generator._emit_history(
+            "t", rules, [date(2014, 1, 1), date(2014, 6, 1)]
+        )
+        # The pre-first-rule revision is dropped entirely.
+        assert history.first_date == date(2014, 6, 1)
+
+
+class TestDomainInventories:
+    def test_overlap_is_subset_of_both(self, generator):
+        overlap = set(generator.overlap_domains)
+        assert overlap <= set(generator._aak_domains)
+        assert overlap <= set(generator._ce_domains)
+
+    def test_inventories_unique(self, generator):
+        assert len(generator._aak_domains) == len(set(generator._aak_domains))
+        assert len(generator._ce_domains) == len(set(generator._ce_domains))
+
+    def test_bucket_scaling(self, generator):
+        # 150/5000 = 0.03 scale; AAK 1-5K bucket = round(112 * 0.03) ≈ 3.
+        assert generator._aak_buckets["1-5K"] == pytest.approx(112 * 0.03, abs=1)

@@ -1,0 +1,135 @@
+"""Tests for the script generators and vendor ecosystem."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.jsast import parse, unpack_source
+from repro.jsast.walker import find_first
+from repro.jsast import nodes as N
+from repro.synthesis.scripts import (
+    ANTI_ADBLOCK_FAMILIES,
+    BENIGN_FAMILIES,
+    generate_anti_adblock,
+    generate_benign,
+    packed,
+)
+from repro.synthesis.vendors import (
+    VENDORS,
+    choose_first_party_family,
+    choose_vendor,
+    vendor_by_name,
+    vendors_available,
+)
+
+
+@pytest.mark.parametrize("family", sorted(ANTI_ADBLOCK_FAMILIES))
+def test_anti_adblock_families_parse(family):
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        source = ANTI_ADBLOCK_FAMILIES[family](rng)
+        parse(source)  # must not raise
+
+
+@pytest.mark.parametrize("family", sorted(BENIGN_FAMILIES))
+def test_benign_families_parse(family):
+    rng = np.random.default_rng(12)
+    for _ in range(3):
+        source = BENIGN_FAMILIES[family](rng)
+        parse(source)  # must not raise
+
+
+class TestPolymorphism:
+    def test_variants_differ(self):
+        rng = np.random.default_rng(13)
+        a = ANTI_ADBLOCK_FAMILIES["html_bait"](rng)
+        b = ANTI_ADBLOCK_FAMILIES["html_bait"](rng)
+        assert a != b
+
+    def test_seeded_reproducibility(self):
+        a = ANTI_ADBLOCK_FAMILIES["http_bait"](np.random.default_rng(42))
+        b = ANTI_ADBLOCK_FAMILIES["http_bait"](np.random.default_rng(42))
+        assert a == b
+
+
+class TestPacked:
+    def test_packed_unpacks_to_same_logic(self):
+        rng = np.random.default_rng(14)
+        source = packed(rng, ANTI_ADBLOCK_FAMILIES["can_run_ads"])
+        assert source.startswith("eval(")
+        result = unpack_source(source)
+        assert result.was_packed
+
+    def test_generate_with_pack_probability(self):
+        rng = np.random.default_rng(15)
+        source = generate_anti_adblock(rng, pack_probability=1.0)
+        assert unpack_source(source).was_packed
+
+
+class TestGeneratorDispatch:
+    def test_generate_anti_adblock_named_family(self):
+        rng = np.random.default_rng(16)
+        source = generate_anti_adblock(rng, family="html_bait", pack_probability=0.0)
+        assert "_creatBait" in source
+
+    def test_generate_benign_named_family(self):
+        rng = np.random.default_rng(17)
+        source = generate_benign(rng, family="ga_analytics")
+        assert "GoogleAnalyticsObject" in source
+
+    def test_unknown_family_raises(self):
+        rng = np.random.default_rng(18)
+        with pytest.raises(KeyError):
+            generate_anti_adblock(rng, family="nope", pack_probability=0.0)
+
+
+class TestDetectionSemantics:
+    def test_html_bait_reads_layout_properties(self):
+        source = ANTI_ADBLOCK_FAMILIES["html_bait"](np.random.default_rng(19))
+        program = parse(source)
+        member = find_first(
+            program,
+            lambda n: isinstance(n, N.MemberExpression)
+            and isinstance(n.property, N.Identifier)
+            and n.property.name == "offsetHeight",
+        )
+        assert member is not None
+
+    def test_http_bait_registers_error_handler(self):
+        source = ANTI_ADBLOCK_FAMILIES["http_bait"](np.random.default_rng(20))
+        assert "onerror" in source
+        assert "onload" in source
+
+
+class TestVendors:
+    def test_shares_sum_to_one(self):
+        assert abs(sum(v.share for v in VENDORS) - 1.0) < 1e-9
+
+    def test_vendor_by_name(self):
+        assert vendor_by_name("PageFair").domain == "pagefair.com"
+        with pytest.raises(KeyError):
+            vendor_by_name("Nobody")
+
+    def test_vendors_available_respects_launch(self):
+        early = vendors_available(date(2012, 6, 15))
+        assert {v.name for v in early} == {"Optimizely", "Histats"}
+        assert len(vendors_available(date(2016, 1, 1))) == len(VENDORS)
+
+    def test_choose_vendor_none_before_any_launch(self):
+        rng = np.random.default_rng(21)
+        assert choose_vendor(rng, date(2011, 1, 1)) is None
+
+    def test_choose_vendor_weighted(self):
+        rng = np.random.default_rng(22)
+        picks = [choose_vendor(rng, date(2016, 1, 1)).name for _ in range(300)]
+        # Every vendor should appear; the largest-share vendor most often.
+        assert set(picks) == {v.name for v in VENDORS}
+
+    def test_choose_first_party_family(self):
+        rng = np.random.default_rng(23)
+        families = {choose_first_party_family(rng) for _ in range(100)}
+        assert families == {"community_iab", "http_bait", "can_run_ads"}
+
+    def test_script_url(self):
+        assert vendor_by_name("Histats").script_url == "http://histats.com/js15_as.js"

@@ -1,0 +1,75 @@
+"""Tests for EasyList section extraction and rule-removal churn."""
+
+import pytest
+
+from repro.synthesis.listgen import FilterListGenerator, extract_sections
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return FilterListGenerator(SyntheticWorld(WorldConfig(n_sites=200, live_top=400)))
+
+
+class TestFullEasyList:
+    def test_has_general_and_anti_adblock_sections(self, generator):
+        full = generator.generate_full_easylist()
+        sections = full.latest().filter_list.sections()
+        assert "General ad servers" in sections
+        assert "Anti-Adblock" in sections
+
+    def test_general_rules_present(self, generator):
+        full = generator.generate_full_easylist()
+        raws = {r.raw for r in full.latest().rules}
+        assert "||doubleclick.net^$third-party" in raws
+        assert "/ads.js?" in raws
+
+    def test_extraction_strips_general_sections(self, generator):
+        anti = generator.generate_easylist_antiadblock()
+        raws = {r.raw for r in anti.latest().rules}
+        assert "||doubleclick.net^$third-party" not in raws
+        assert "/ads.js?" not in raws
+
+    def test_extraction_keeps_anti_adblock_rules(self, generator):
+        full = generator.generate_full_easylist()
+        anti = generator.generate_easylist_antiadblock()
+        full_anti_rules = {
+            parsed.rule.raw
+            for parsed in full.latest().filter_list
+            if "adblock" in parsed.section.lower()
+        }
+        anti_rules = {r.raw for r in anti.latest().rules}
+        assert anti_rules == full_anti_rules
+
+    def test_extraction_preserves_revision_dates(self, generator):
+        full = generator.generate_full_easylist()
+        anti = generator.generate_easylist_antiadblock()
+        full_dates = {revision.date for revision in full}
+        assert all(revision.date in full_dates for revision in anti)
+
+
+class TestExtractSections:
+    def test_empty_history(self):
+        from repro.filterlist.history import FilterListHistory
+
+        extracted = extract_sections(FilterListHistory("x"), "adblock")
+        assert len(extracted) == 0
+
+    def test_name_override(self, generator):
+        extracted = extract_sections(
+            generator.generate_full_easylist(), "adblock", name="renamed"
+        )
+        assert extracted.name == "renamed"
+
+
+class TestRemovals:
+    def test_some_rules_removed_over_history(self, generator):
+        aak = generator.generate_aak()
+        removed = sum(len(aak.delta(i).removed) for i in range(1, len(aak)))
+        easylist = generator.generate_full_easylist()
+        removed += sum(len(easylist.delta(i).removed) for i in range(1, len(easylist)))
+        assert removed >= 1
+
+    def test_growth_still_dominates(self, generator):
+        aak = generator.generate_aak()
+        assert len(aak.latest().rules) > len(aak[0].rules)

@@ -1,0 +1,81 @@
+"""Tests for the second-generation (v2) script shift."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.jsast import parse
+from repro.core.features import features_from_source
+from repro.synthesis.scripts import (
+    ANTI_ADBLOCK_FAMILIES,
+    V2_FAMILIES,
+    html_bait_script,
+    html_bait_v2_script,
+)
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+
+class TestV2Generators:
+    def test_registered(self):
+        for v2 in V2_FAMILIES.values():
+            assert v2 in ANTI_ADBLOCK_FAMILIES
+
+    @pytest.mark.parametrize("family", sorted(set(V2_FAMILIES.values())))
+    def test_parse(self, family):
+        rng = np.random.default_rng(41)
+        for _ in range(3):
+            parse(ANTI_ADBLOCK_FAMILIES[family](rng))
+
+    def test_v2_vocabulary_shift(self):
+        """v1 and v2 HTML baits share little keyword vocabulary."""
+        rng = np.random.default_rng(42)
+        v1 = features_from_source(html_bait_script(rng), feature_set="keyword")
+        v2 = features_from_source(html_bait_v2_script(rng), feature_set="keyword")
+        jaccard = len(v1 & v2) / len(v1 | v2)
+        assert jaccard < 0.5
+
+    def test_v2_avoids_classic_offsets(self):
+        rng = np.random.default_rng(43)
+        source = html_bait_v2_script(rng)
+        assert "offsetHeight" not in source
+        assert "MutationObserver" in source
+
+
+class TestWorldV2Assignment:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return SyntheticWorld(WorldConfig(n_sites=600, live_top=1200))
+
+    def adopters(self, world, start_rank, end_rank):
+        out = []
+        for rank in range(start_rank, end_rank + 1):
+            profile = world.profile_for_rank(rank)
+            if profile.deployment is not None:
+                out.append(profile)
+        return out
+
+    def test_no_v2_before_cutover(self, world):
+        for profile in self.adopters(world, 1, world.config.live_top):
+            deployment = profile.deployment
+            if deployment.deployed_on < date(2016, 8, 1):
+                assert not deployment.family.endswith("_v2")
+
+    def test_some_v2_after_cutover(self, world):
+        late = [
+            p
+            for p in self.adopters(world, 1, world.config.live_top)
+            if p.deployment.deployed_on >= date(2016, 8, 1)
+        ]
+        if len(late) < 5:
+            pytest.skip("too few late adopters at this scale")
+        v2 = [p for p in late if p.deployment.family.endswith("_v2")]
+        assert v2, "late deployments must include v2 scripts"
+
+    def test_adoption_continues_past_crawl_window(self, world):
+        late = [
+            p
+            for p in self.adopters(world, 1, world.config.live_top)
+            if p.deployment.deployed_on > world.config.end
+        ]
+        assert late, "some sites deploy between the crawl end and the live date"

@@ -1,0 +1,32 @@
+"""Tests for the ``python -m repro`` entry point."""
+
+import subprocess
+import sys
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestMain:
+    def test_no_args_lists_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_help_flag(self, capsys):
+        assert main(["--help"]) == 0
+
+    def test_runs_a_cheap_experiment(self):
+        """table2 has no crawl dependency — run it through the real CLI."""
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "table2"],
+            capture_output=True,
+            text=True,
+            env={"REPRO_SCALE": "0.01", "PATH": "/usr/bin:/bin"},
+        )
+        assert completed.returncode == 0
+        assert "Table 2" in completed.stdout

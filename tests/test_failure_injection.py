@@ -1,0 +1,129 @@
+"""Failure-injection and degenerate-input tests across the stack."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import CoverageAnalyzer
+from repro.core.pipeline import AntiAdblockDetector, DetectorConfig
+from repro.core.vectorize import Vectorizer
+from repro.filterlist.history import FilterListHistory
+from repro.filterlist.matcher import NetworkMatcher
+from repro.filterlist.parser import parse_filter_list
+from repro.jsast.unpack import MAX_UNPACK_ROUNDS, unpack_source
+from repro.wayback.archive import WaybackArchive
+from repro.wayback.crawler import CrawlResult, WaybackCrawler
+from repro.web.adblocker import Adblocker
+from repro.web.browser import Browser
+from repro.web.dom import parse_html
+from repro.web.har import HarFile
+from repro.web.page import PageSnapshot
+
+
+class TestMalformedFilterLists:
+    BROKEN = "\n".join(
+        [
+            "||ok.com^",
+            "||bad.com$unknownopt",
+            "x.com##",  # empty selector
+            "@@",  # bare exception marker... parses as pattern "@@"? guard below
+            "||another-ok.com^",
+        ]
+    )
+
+    def test_errors_collected_good_rules_kept(self):
+        parsed = parse_filter_list(self.BROKEN)
+        assert len(parsed.errors) >= 2
+        raws = [r.raw for r in parsed.network_rules]
+        assert "||ok.com^" in raws and "||another-ok.com^" in raws
+
+    def test_matcher_over_partially_broken_list(self):
+        parsed = parse_filter_list(self.BROKEN)
+        matcher = NetworkMatcher(parsed.network_rules)
+        assert matcher.match("http://ok.com/a.js").blocked
+
+    def test_adblocker_with_unparseable_selectors(self):
+        # A selector our engine cannot parse (pseudo-class) is skipped
+        # silently, like real adblockers skipping unsupported syntax.
+        parsed = parse_filter_list("x.com##div:has(.y)\nx.com###fine\n")
+        adblocker = Adblocker([parsed])
+        document = parse_html("<body><div id='fine'></div></body>")
+        triggered = adblocker.hide_elements(document, "http://x.com/")
+        assert [r.selector for r in triggered] == ["#fine"]
+
+
+class TestEmptyWorlds:
+    def test_crawler_on_empty_archive(self):
+        crawler = WaybackCrawler(WaybackArchive())
+        result = crawler.crawl(["ghost.com"], date(2015, 1, 1), date(2015, 3, 1))
+        assert len(result.records) == 3
+        assert all(not r.usable for r in result.records)
+
+    def test_coverage_on_empty_crawl(self):
+        history = FilterListHistory("L")
+        history.add_revision(date(2014, 1, 1), "||x.com^\n")
+        coverage = CoverageAnalyzer({"L": history}).analyze(CrawlResult())
+        assert coverage.http_series["L"] == {}
+
+    def test_coverage_with_empty_history(self):
+        empty = FilterListHistory("empty")
+        coverage = CoverageAnalyzer({"empty": empty}).analyze(CrawlResult())
+        assert coverage.first_detected["empty"] == {}
+
+    def test_browser_on_empty_snapshot(self):
+        visit = Browser().visit(PageSnapshot(url="http://bare.com/"))
+        assert visit.request_urls == ["http://bare.com/"]
+        assert visit.document.root is not None
+
+
+class TestAdversarialUnpacking:
+    def test_nesting_bounded(self):
+        source = "var x = 1;"
+        for _ in range(MAX_UNPACK_ROUNDS + 3):
+            escaped = source.replace("\\", "\\\\").replace("'", "\\'")
+            source = f"eval('{escaped}');"
+        result = unpack_source(source)
+        assert result.rounds <= MAX_UNPACK_ROUNDS
+
+    def test_self_referential_eval_untouched(self):
+        result = unpack_source("eval(arguments.callee.toString());")
+        assert not result.was_packed
+
+    def test_eval_of_number_is_ignored(self):
+        result = unpack_source("eval(42);")
+        # A numeric payload folds to '42', which parses as a statement —
+        # harmless either way; the program must survive.
+        assert result.program is not None
+
+
+class TestDegenerateMl:
+    def test_vectorizer_all_empty_feature_sets(self):
+        vectorizer = Vectorizer(top_k=10)
+        X = vectorizer.fit_transform([set(), set(), set()], [1, 0, 0])
+        assert X.shape == (3, 0)
+
+    def test_detector_with_unparseable_scripts(self):
+        detector = AntiAdblockDetector(DetectorConfig(feature_set="keyword", top_k=50))
+        sources = ["var a = 1;", "}{ broken", "var b = 2;", "also } broken {"]
+        labels = [1, 1, 0, 0]
+        detector.fit(sources, labels)
+        predictions = detector.predict(["}{ still broken"])
+        assert predictions.shape == (1,)
+
+    def test_single_class_corpus(self):
+        detector = AntiAdblockDetector(DetectorConfig(feature_set="keyword", top_k=50))
+        sources = ["var a = 1;", "var b = 2;", "var c = 3;"]
+        detector.fit(sources, [0, 0, 0])
+        assert set(np.unique(detector.predict(sources))) <= {0, 1}
+
+
+class TestHarRobustness:
+    def test_from_dict_missing_fields(self):
+        har = HarFile.from_dict({"log": {"entries": [{"request": {}, "response": {}}]}})
+        assert har.page_url == ""
+        assert len(har.entries) == 1
+
+    def test_from_dict_empty(self):
+        har = HarFile.from_dict({})
+        assert har.entries == []

@@ -1,0 +1,93 @@
+"""Small public-API behaviours not covered elsewhere."""
+
+from datetime import date
+
+from repro.analysis.report import render_series
+from repro.core.corpus import LabeledScript
+from repro.filterlist.matcher import MatchResult, NetworkMatcher
+from repro.filterlist.rules import DomainOption, NetworkRule
+from repro.wayback.archive import Capture, WaybackArchive
+from repro.web.adblocker import Adblocker, AdblockLog, LogEntry
+from repro.web.page import PageSnapshot
+
+
+class TestMatchResultTruthiness:
+    def test_bool_follows_blocked(self):
+        assert bool(MatchResult(blocked=True))
+        assert not bool(MatchResult(blocked=False))
+
+    def test_matcher_usable_in_conditionals(self):
+        matcher = NetworkMatcher([NetworkRule.parse("||x.com^")])
+        assert matcher.match("http://x.com/a")
+        assert not matcher.match("http://y.com/a")
+
+
+class TestDomainOptionEmpty:
+    def test_is_empty(self):
+        assert DomainOption().is_empty
+        assert not DomainOption.parse("a.com").is_empty
+        assert not DomainOption.parse("~a.com").is_empty
+
+
+class TestCaptureArchiveUrl:
+    def test_embeds_timestamp_and_original(self):
+        capture = Capture(
+            captured_on=date(2015, 4, 2),
+            snapshot=PageSnapshot(url="http://a.com/"),
+        )
+        assert capture.archive_url == (
+            "http://web.archive.org/web/20150402000000/http://a.com/"
+        )
+
+
+class TestAdblockLog:
+    def test_clear_and_partitions(self):
+        log = AdblockLog()
+        network_rule = NetworkRule.parse("||x.com^")
+        log.add(LogEntry("request-blocked", network_rule, "http://x.com/"))
+        log.add(LogEntry("request-allowed", network_rule, "http://x.com/"))
+        assert len(log.triggered_network_rules()) == 2
+        assert log.triggered_element_rules() == []
+        log.clear()
+        assert log.entries == []
+
+    def test_adblocker_rule_count(self):
+        from repro.filterlist.parser import parse_filter_list
+
+        adblocker = Adblocker([parse_filter_list("||a.com^\nb.com###x\n")])
+        assert adblocker.rule_count == 2
+
+    def test_subscribe_rebuilds_matcher(self):
+        from repro.filterlist.parser import parse_filter_list
+
+        adblocker = Adblocker([parse_filter_list("||a.com^\n")])
+        assert adblocker.should_block("http://a.com/x")
+        assert not adblocker.should_block("http://b.com/x")
+        adblocker.subscribe(parse_filter_list("||b.com^\n"))
+        assert adblocker.should_block("http://b.com/x")
+
+
+class TestLabeledScriptDigest:
+    def test_digest_depends_on_source_only(self):
+        a = LabeledScript(source="var x;", label=1, url="http://a.com/1.js")
+        b = LabeledScript(source="var x;", label=0, url="http://b.com/2.js")
+        c = LabeledScript(source="var y;", label=1)
+        assert a.digest == b.digest
+        assert a.digest != c.digest
+
+
+class TestRenderSeries:
+    def test_samples_and_includes_last(self):
+        series = {date(2014, m, 1): m for m in range(1, 13)}
+        text = render_series(series, title="T", every=5)
+        assert text.splitlines()[0] == "T"
+        assert "2014-12" in text  # last month always present
+        assert "2014-01" in text
+
+
+class TestWaybackArchiveDomains:
+    def test_domains_sorted(self):
+        archive = WaybackArchive()
+        archive.store("b.com", date(2015, 1, 1), PageSnapshot(url="http://b.com/"))
+        archive.store("a.com", date(2015, 1, 1), PageSnapshot(url="http://a.com/"))
+        assert archive.domains() == ["a.com", "b.com"]

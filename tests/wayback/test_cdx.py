@@ -1,0 +1,92 @@
+"""Tests for the CDX server simulator."""
+
+from datetime import date
+
+from repro.wayback.archive import ExclusionReason, WaybackArchive
+from repro.wayback.cdx import CdxServer, _url_key
+from repro.web.page import PageSnapshot
+
+
+def build_archive():
+    archive = WaybackArchive()
+    for month in (1, 3, 5, 7):
+        archive.store(
+            "news.example.com" if False else "news.com",
+            date(2015, month, 1),
+            PageSnapshot(url="http://news.com/", html="<body>x</body>"),
+        )
+    archive.exclude("hidden.com", ExclusionReason.ROBOTS_TXT)
+    return archive
+
+
+class TestCdxQuery:
+    def test_all_captures_oldest_first(self):
+        server = CdxServer(build_archive())
+        rows = server.query("http://news.com/")
+        assert [row.capture_date.month for row in rows] == [1, 3, 5, 7]
+
+    def test_reverse(self):
+        server = CdxServer(build_archive())
+        rows = server.query("http://news.com/", reverse=True)
+        assert rows[0].capture_date.month == 7
+
+    def test_date_window(self):
+        server = CdxServer(build_archive())
+        rows = server.query(
+            "http://news.com/", from_date=date(2015, 2, 1), to_date=date(2015, 6, 1)
+        )
+        assert [row.capture_date.month for row in rows] == [3, 5]
+
+    def test_limit(self):
+        server = CdxServer(build_archive())
+        assert len(server.query("http://news.com/", limit=2)) == 2
+
+    def test_excluded_domain_empty(self):
+        server = CdxServer(build_archive())
+        assert server.query("http://hidden.com/") == []
+
+    def test_unknown_domain_empty(self):
+        server = CdxServer(build_archive())
+        assert server.query("http://nobody.net/") == []
+
+    def test_capture_count(self):
+        server = CdxServer(build_archive())
+        assert server.capture_count("http://news.com/") == 4
+
+    def test_row_fields(self):
+        server = CdxServer(build_archive())
+        row = server.query("http://news.com/")[0]
+        assert row.urlkey == "com,news)/"
+        assert row.original == "http://news.com/"
+        assert row.timestamp.startswith("20150101")
+        assert "web.archive.org" in row.archive_url
+        assert row.statuscode == 200
+        assert row.length > 0
+
+    def test_text_format(self):
+        server = CdxServer(build_archive())
+        text = server.text("http://news.com/", limit=1)
+        parts = text.split()
+        assert len(parts) == 6
+        assert parts[0] == "com,news)/"
+
+    def test_url_key_subdomain_collapses(self):
+        assert _url_key("http://cdn.news.com/x") == "com,news)/"
+
+
+class TestCdxAgainstWorld:
+    def test_consistent_with_availability(self):
+        from repro.synthesis.world import SyntheticWorld, WorldConfig
+        from repro.wayback.availability import AvailabilityAPI
+
+        world = SyntheticWorld(WorldConfig(n_sites=60, live_top=120))
+        archive = world.build_archive()
+        server = CdxServer(archive)
+        api = AvailabilityAPI(archive)
+        domain = archive.domains()[0]
+        rows = server.query(f"http://{domain}/")
+        assert rows, "an archived domain must have CDX rows"
+        closest = api.lookup(f"http://{domain}/", rows[0].capture_date)
+        non_redirect = [r for r in rows if r.statuscode < 300]
+        if non_redirect:
+            assert closest.available

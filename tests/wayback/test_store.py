@@ -1,0 +1,91 @@
+"""Tests for the on-disk crawl data repository."""
+
+from datetime import date
+
+import pytest
+
+from repro.wayback.crawler import CrawlRecord, CrawlResult, CrawlStatus
+from repro.wayback.store import DataRepository
+from repro.web.har import HarFile
+from repro.web.http import Exchange, Request, Response
+
+
+def make_result():
+    har = HarFile(page_url="http://a.com/")
+    har.add(Exchange(request=Request(url="http://a.com/x.js"), response=Response(body="xx")))
+    return CrawlResult(
+        records=[
+            CrawlRecord(
+                domain="a.com",
+                month=date(2015, 3, 1),
+                status=CrawlStatus.OK,
+                har=har,
+                html="<body><div id='m'>hi</div></body>",
+                capture_date=date(2015, 3, 4),
+            ),
+            CrawlRecord(
+                domain="a.com", month=date(2015, 4, 1), status=CrawlStatus.OUTDATED
+            ),
+            CrawlRecord(
+                domain="b.com", month=date(2015, 3, 1), status=CrawlStatus.NOT_ARCHIVED
+            ),
+        ]
+    )
+
+
+class TestDataRepository:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        repo = DataRepository(tmp_path / "crawl")
+        written = repo.save(make_result())
+        assert written == 1
+        loaded = repo.load()
+        assert len(loaded.records) == 3
+        ok = [r for r in loaded.records if r.status is CrawlStatus.OK]
+        assert len(ok) == 1
+        assert ok[0].har.request_urls() == ["http://a.com/x.js"]
+        assert "id='m'" in ok[0].html
+        assert ok[0].capture_date == date(2015, 3, 4)
+
+    def test_statuses_preserved(self, tmp_path):
+        repo = DataRepository(tmp_path)
+        repo.save(make_result())
+        loaded = repo.load()
+        statuses = sorted(r.status.value for r in loaded.records)
+        assert statuses == ["not archived", "ok", "outdated"]
+
+    def test_file_layout(self, tmp_path):
+        repo = DataRepository(tmp_path)
+        repo.save(make_result())
+        assert (tmp_path / "a.com" / "2015-03.har").exists()
+        assert (tmp_path / "a.com" / "2015-03.html").exists()
+        assert not (tmp_path / "a.com" / "2015-04.har").exists()
+
+    def test_iter_hars(self, tmp_path):
+        repo = DataRepository(tmp_path)
+        repo.save(make_result())
+        hars = list(repo.iter_hars())
+        assert len(hars) == 1
+        assert hars[0].page_url == "http://a.com/"
+
+    def test_stats(self, tmp_path):
+        repo = DataRepository(tmp_path)
+        repo.save(make_result())
+        stats = repo.stats()
+        assert stats == {"domains": 1, "har_files": 1, "html_files": 1}
+
+    def test_load_missing_index_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            DataRepository(tmp_path / "empty").load()
+
+    def test_analysis_over_loaded_crawl(self, tmp_path):
+        """A saved crawl must feed the coverage analyzer unchanged."""
+        from repro.analysis.coverage import CoverageAnalyzer
+        from repro.filterlist.history import FilterListHistory
+
+        repo = DataRepository(tmp_path)
+        repo.save(make_result())
+        loaded = repo.load()
+        history = FilterListHistory("L")
+        history.add_revision(date(2014, 1, 1), "||a.com/x.js\n")
+        coverage = CoverageAnalyzer({"L": history}).analyze(loaded)
+        assert coverage.http_series["L"][date(2015, 3, 1)] == 1

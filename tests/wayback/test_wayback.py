@@ -1,0 +1,210 @@
+"""Tests for the Wayback Machine simulator."""
+
+from datetime import date
+
+from repro.wayback.archive import ExclusionReason, WaybackArchive
+from repro.wayback.availability import AvailabilityAPI
+from repro.wayback.crawler import CrawlStatus, WaybackCrawler, month_range
+from repro.wayback.rewrite import (
+    format_timestamp,
+    is_wayback_url,
+    parse_timestamp,
+    truncate_wayback,
+    wayback_timestamp_of,
+    wayback_url,
+)
+from repro.web.page import PageSnapshot, Subresource
+
+
+def snapshot_for(domain, n_resources=3, status=200, size=2048):
+    return PageSnapshot(
+        url=f"http://{domain}/",
+        html=f"<body><div id='main'>{domain}</div></body>",
+        status=status,
+        subresources=[
+            Subresource(url=f"http://{domain}/asset{i}.js", size=size)
+            for i in range(n_resources)
+        ],
+    )
+
+
+class TestRewrite:
+    def test_wayback_url_shape(self):
+        url = wayback_url("http://example.com/", date(2016, 7, 1))
+        assert url == "http://web.archive.org/web/20160701000000/http://example.com/"
+
+    def test_truncate_roundtrip(self):
+        original = "http://example.com/ads.js?v=1"
+        assert truncate_wayback(wayback_url(original, date(2015, 3, 2))) == original
+
+    def test_truncate_nested(self):
+        inner = wayback_url("http://example.com/x", date(2014, 1, 1))
+        outer = wayback_url(inner, date(2015, 1, 1))
+        assert truncate_wayback(outer) == "http://example.com/x"
+
+    def test_truncate_leaves_escape_urls(self):
+        escape = "http://example.com/live-request.js"
+        assert truncate_wayback(escape) == escape
+
+    def test_truncate_handles_modifier_suffix(self):
+        url = "http://web.archive.org/web/20160701000000js_/http://example.com/a.js"
+        assert truncate_wayback(url) == "http://example.com/a.js"
+
+    def test_is_wayback_url(self):
+        assert is_wayback_url(wayback_url("http://a.com/", date(2016, 1, 1)))
+        assert not is_wayback_url("http://a.com/")
+
+    def test_timestamp_roundtrip(self):
+        when = date(2013, 11, 5)
+        assert parse_timestamp(format_timestamp(when)) == when
+
+    def test_short_timestamp(self):
+        assert parse_timestamp("2016") == date(2016, 1, 1)
+
+    def test_wayback_timestamp_of(self):
+        url = wayback_url("http://a.com/", date(2012, 8, 1))
+        assert wayback_timestamp_of(url) == date(2012, 8, 1)
+        assert wayback_timestamp_of("http://a.com/") is None
+
+
+class TestArchive:
+    def test_store_and_closest(self):
+        archive = WaybackArchive()
+        archive.store("example.com", date(2015, 6, 1), snapshot_for("example.com"))
+        archive.store("example.com", date(2015, 8, 1), snapshot_for("example.com"))
+        capture = archive.closest("example.com", date(2015, 6, 20))
+        assert capture.captured_on == date(2015, 6, 1)
+
+    def test_closest_prefers_nearest(self):
+        archive = WaybackArchive()
+        archive.store("a.com", date(2015, 1, 1), snapshot_for("a.com"))
+        archive.store("a.com", date(2015, 12, 1), snapshot_for("a.com"))
+        assert archive.closest("a.com", date(2015, 11, 1)).captured_on == date(2015, 12, 1)
+
+    def test_unknown_domain(self):
+        assert WaybackArchive().closest("nope.com", date(2015, 1, 1)) is None
+
+    def test_excluded_domain_never_served(self):
+        archive = WaybackArchive()
+        archive.store("x.com", date(2015, 1, 1), snapshot_for("x.com"))
+        archive.exclude("x.com", ExclusionReason.ROBOTS_TXT)
+        assert archive.closest("x.com", date(2015, 1, 1)) is None
+        assert archive.is_excluded("x.com") is ExclusionReason.ROBOTS_TXT
+
+    def test_redirect_capture_not_served(self):
+        archive = WaybackArchive()
+        archive.store("r.com", date(2015, 1, 1), snapshot_for("r.com", status=301))
+        assert archive.closest("r.com", date(2015, 1, 1)) is None
+
+    def test_total_captures(self):
+        archive = WaybackArchive()
+        archive.store("a.com", date(2015, 1, 1), snapshot_for("a.com"))
+        archive.store("b.com", date(2015, 1, 1), snapshot_for("b.com"))
+        assert archive.total_captures() == 2
+
+
+class TestAvailabilityAPI:
+    def test_found_shape(self):
+        archive = WaybackArchive()
+        archive.store("example.com", date(2016, 7, 1), snapshot_for("example.com"))
+        api = AvailabilityAPI(archive)
+        response = api.lookup_json("http://example.com/", "20160715000000")
+        closest = response["archived_snapshots"]["closest"]
+        assert closest["available"] is True
+        assert closest["timestamp"] == "20160701000000"
+        assert "web.archive.org" in closest["url"]
+
+    def test_empty_shape(self):
+        api = AvailabilityAPI(WaybackArchive())
+        response = api.lookup_json("http://gone.com/", "20160715000000")
+        assert response["archived_snapshots"] == {}
+
+    def test_typed_lookup(self):
+        archive = WaybackArchive()
+        archive.store("example.com", date(2016, 7, 1), snapshot_for("example.com"))
+        result = AvailabilityAPI(archive).lookup("http://example.com/", date(2016, 7, 2))
+        assert result.available
+        assert result.capture_date == date(2016, 7, 1)
+
+
+class TestMonthRange:
+    def test_within_year(self):
+        months = month_range(date(2016, 1, 15), date(2016, 4, 1))
+        assert months == [date(2016, m, 1) for m in (1, 2, 3, 4)]
+
+    def test_across_years(self):
+        months = month_range(date(2015, 11, 1), date(2016, 2, 1))
+        assert len(months) == 4
+        assert months[0] == date(2015, 11, 1)
+        assert months[-1] == date(2016, 2, 1)
+
+    def test_single_month(self):
+        assert month_range(date(2016, 5, 1), date(2016, 5, 20)) == [date(2016, 5, 1)]
+
+
+class TestCrawler:
+    def build_archive(self):
+        archive = WaybackArchive()
+        for month in (1, 2, 3):
+            archive.store("good.com", date(2016, month, 1), snapshot_for("good.com"))
+        # sparse.com archived only in January: Feb/Mar within 6 months, fine;
+        # gap domain archived only once a year earlier.
+        archive.store("sparse.com", date(2015, 1, 1), snapshot_for("sparse.com"))
+        archive.exclude("blocked.com", ExclusionReason.ADMIN_REQUEST)
+        # partial.com: one normal capture, one tiny anti-bot capture.
+        archive.store("partial.com", date(2016, 1, 1), snapshot_for("partial.com", n_resources=5))
+        archive.store(
+            "partial.com",
+            date(2016, 2, 1),
+            snapshot_for("partial.com", n_resources=1, size=10),
+        )
+        archive.store("partial.com", date(2016, 3, 1), snapshot_for("partial.com", n_resources=5))
+        return archive
+
+    def test_ok_crawl(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(["good.com"], date(2016, 1, 1), date(2016, 3, 1))
+        assert [r.status for r in result.records] == [CrawlStatus.OK] * 3
+        har_urls = result.records[0].har.request_urls()
+        assert any("web.archive.org" in url for url in har_urls)
+
+    def test_excluded_domain(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(["blocked.com"], date(2016, 1, 1), date(2016, 2, 1))
+        assert all(r.status is CrawlStatus.EXCLUDED for r in result.records)
+
+    def test_outdated_snapshot(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(["sparse.com"], date(2016, 1, 1), date(2016, 1, 1))
+        assert result.records[0].status is CrawlStatus.OUTDATED
+
+    def test_not_archived(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(["never.com"], date(2016, 1, 1), date(2016, 1, 1))
+        assert result.records[0].status is CrawlStatus.NOT_ARCHIVED
+
+    def test_partial_flagged(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(["partial.com"], date(2016, 1, 1), date(2016, 3, 1))
+        statuses = [r.status for r in result.records]
+        assert statuses == [CrawlStatus.OK, CrawlStatus.PARTIAL, CrawlStatus.OK]
+
+    def test_missing_counts_by_month(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(
+            ["good.com", "blocked.com", "never.com", "partial.com"],
+            date(2016, 1, 1),
+            date(2016, 2, 1),
+        )
+        counts = result.missing_counts_by_month()
+        feb = counts[date(2016, 2, 1)]
+        assert feb["partial"] == 1
+        assert feb["not_archived"] == 1
+        assert feb["excluded"] == 1
+
+    def test_usable_records(self):
+        crawler = WaybackCrawler(self.build_archive())
+        result = crawler.crawl(
+            ["good.com", "never.com"], date(2016, 1, 1), date(2016, 1, 1)
+        )
+        assert len(result.usable()) == 1

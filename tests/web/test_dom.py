@@ -1,0 +1,104 @@
+"""Unit tests for the DOM and HTML parser."""
+
+from repro.web.dom import Document, Element, parse_html
+
+SAMPLE_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head><title>News Site</title>
+<script src="http://cdn.site.com/app.js"></script>
+</head>
+<body>
+<div id="header" class="top nav">Header</div>
+<div id="content">
+  <p class="article">Hello <b>world</b></p>
+  <img src="/logo.png">
+  <div id="adblock-notice" class="overlay modal">Please disable your adblocker</div>
+</div>
+</body>
+</html>"""
+
+
+class TestParseHtml:
+    def test_head_and_body(self):
+        document = parse_html(SAMPLE_HTML)
+        assert document.head is not None
+        assert document.body is not None
+
+    def test_html_attrs_merged_to_root(self):
+        document = parse_html(SAMPLE_HTML)
+        assert document.root.attrs["lang"] == "en"
+
+    def test_get_element_by_id(self):
+        document = parse_html(SAMPLE_HTML)
+        notice = document.get_element_by_id("adblock-notice")
+        assert notice is not None
+        assert notice.classes == ["overlay", "modal"]
+
+    def test_nesting(self):
+        document = parse_html(SAMPLE_HTML)
+        notice = document.get_element_by_id("adblock-notice")
+        assert notice.parent.attrs["id"] == "content"
+
+    def test_void_elements_do_not_nest(self):
+        document = parse_html(SAMPLE_HTML)
+        img = document.root.get_elements_by_tag("img")[0]
+        assert img.children == []
+        assert img.parent.attrs["id"] == "content"
+
+    def test_text_captured(self):
+        document = parse_html(SAMPLE_HTML)
+        notice = document.get_element_by_id("adblock-notice")
+        assert "disable your adblocker" in notice.text
+
+    def test_unclosed_tags_tolerated(self):
+        document = parse_html("<body><div id=a><p>one<p>two</body>")
+        assert document.get_element_by_id("a") is not None
+
+    def test_stray_close_ignored(self):
+        document = parse_html("<body></span><div id=x></div></body>")
+        assert document.get_element_by_id("x") is not None
+
+
+class TestElementQueries:
+    def test_get_by_class(self):
+        document = parse_html(SAMPLE_HTML)
+        found = document.root.get_elements_by_class("overlay")
+        assert len(found) == 1
+
+    def test_iter_preorder(self):
+        root = Element("html")
+        body = root.make_child("body")
+        first = body.make_child("div", {"id": "1"})
+        first.make_child("span", {"id": "2"})
+        body.make_child("div", {"id": "3"})
+        ids = [e.attrs.get("id") for e in root.iter() if e.attrs.get("id")]
+        assert ids == ["1", "2", "3"]
+
+
+class TestVisibility:
+    def test_hidden_element_excluded(self):
+        document = parse_html(SAMPLE_HTML)
+        notice = document.get_element_by_id("adblock-notice")
+        notice.hidden = True
+        visible_ids = {e.attrs.get("id") for e in document.visible_elements()}
+        assert "adblock-notice" not in visible_ids
+        assert "content" in visible_ids
+
+    def test_hiding_inherited_by_children(self):
+        document = parse_html(SAMPLE_HTML)
+        document.get_element_by_id("content").hidden = True
+        visible = document.visible_elements()
+        assert all(e.attrs.get("id") != "adblock-notice" for e in visible)
+
+
+class TestSerialization:
+    def test_roundtrip_ids(self):
+        document = parse_html(SAMPLE_HTML)
+        html = document.to_html()
+        reparsed = parse_html(html)
+        assert reparsed.get_element_by_id("adblock-notice") is not None
+
+    def test_new_page_scaffold(self):
+        document = Document.new_page(title="T")
+        assert document.head.children[0].tag == "title"
+        assert document.body is not None

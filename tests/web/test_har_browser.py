@@ -1,0 +1,178 @@
+"""Tests for HAR files, the adblocker, and the simulated browser."""
+
+from repro.filterlist.parser import parse_filter_list
+from repro.web.adblocker import Adblocker
+from repro.web.browser import Browser
+from repro.web.dom import parse_html
+from repro.web.har import HarFile, is_partial, merge_hars
+from repro.web.http import Exchange, Request, Response
+from repro.web.page import PageSnapshot, Script, Subresource
+
+ANTI_ADBLOCK_LIST = """[Adblock Plus 2.0]
+||pagefair.com^$third-party
+||blockadblock.com^
+@@||news-site.com/ads.js
+news-site.com###adblock-notice
+##.adblock-overlay
+other.com#@#.adblock-overlay
+"""
+
+
+def make_har(urls, sizes=None):
+    har = HarFile(page_url="http://site.com/")
+    sizes = sizes or [100] * len(urls)
+    for url, size in zip(urls, sizes):
+        har.add(
+            Exchange(
+                request=Request(url=url),
+                response=Response(body="x" * size),
+            )
+        )
+    return har
+
+
+class TestHar:
+    def test_request_urls_dedup(self):
+        har = make_har(["http://a.com/1", "http://a.com/1", "http://a.com/2"])
+        assert har.request_urls() == ["http://a.com/1", "http://a.com/2"]
+
+    def test_total_size(self):
+        har = make_har(["u1", "u2"], sizes=[100, 50])
+        assert har.total_size == 150
+
+    def test_merge_union(self):
+        har1 = make_har(["http://a.com/1", "http://a.com/2"])
+        har2 = make_har(["http://a.com/2", "http://a.com/3"])
+        merged = har1.merge(har2)
+        assert merged.request_urls() == [
+            "http://a.com/1",
+            "http://a.com/2",
+            "http://a.com/3",
+        ]
+
+    def test_merge_hars_many(self):
+        merged = merge_hars([make_har(["u1"]), make_har(["u2"]), make_har(["u3"])])
+        assert len(merged.request_urls()) == 3
+
+    def test_merge_hars_empty(self):
+        assert merge_hars([]) is None
+
+    def test_json_roundtrip(self):
+        har = make_har(["http://a.com/x.js"])
+        restored = HarFile.from_json(har.to_json())
+        assert restored.page_url == har.page_url
+        assert restored.request_urls() == har.request_urls()
+        assert restored.entries[0].response.body == har.entries[0].response.body
+
+    def test_partial_detection(self):
+        small = make_har(["u"], sizes=[5])
+        assert is_partial(small, yearly_average_size=1000)
+        assert not is_partial(small, yearly_average_size=40)
+
+    def test_partial_with_zero_average(self):
+        assert not is_partial(make_har(["u"]), yearly_average_size=0)
+
+
+class TestAdblocker:
+    def make(self):
+        return Adblocker([parse_filter_list(ANTI_ADBLOCK_LIST)])
+
+    def test_blocks_third_party_vendor(self):
+        adblocker = self.make()
+        assert adblocker.should_block(
+            "http://pagefair.com/measure.js", page_url="http://news-site.com/"
+        )
+
+    def test_vendor_not_blocked_first_party(self):
+        adblocker = self.make()
+        assert not adblocker.should_block(
+            "http://pagefair.com/about.html", page_url="http://pagefair.com/"
+        )
+
+    def test_exception_rule_allows_and_logs(self):
+        adblocker = Adblocker(
+            [parse_filter_list("/ads.js\n@@||news-site.com/ads.js\n")]
+        )
+        blocked = adblocker.should_block(
+            "http://news-site.com/ads.js", page_url="http://news-site.com/"
+        )
+        assert not blocked
+        assert any(e.kind == "request-allowed" for e in adblocker.log.entries)
+
+    def test_element_hiding_domain_rule(self):
+        adblocker = self.make()
+        document = parse_html(
+            "<body><div id='adblock-notice'>disable</div></body>"
+        )
+        triggered = adblocker.hide_elements(document, "http://news-site.com/")
+        assert [r.selector for r in triggered] == ["#adblock-notice"]
+        assert document.get_element_by_id("adblock-notice").hidden
+
+    def test_element_hiding_respects_domain(self):
+        adblocker = self.make()
+        document = parse_html("<body><div id='adblock-notice'></div></body>")
+        triggered = adblocker.hide_elements(document, "http://unrelated.com/")
+        assert triggered == []
+
+    def test_generic_element_rule(self):
+        adblocker = self.make()
+        document = parse_html("<body><div class='adblock-overlay'></div></body>")
+        triggered = adblocker.hide_elements(document, "http://anywhere.net/")
+        assert len(triggered) == 1
+
+    def test_element_exception_disables_generic(self):
+        adblocker = self.make()
+        document = parse_html("<body><div class='adblock-overlay'></div></body>")
+        triggered = adblocker.hide_elements(document, "http://other.com/")
+        assert triggered == []
+
+    def test_log_collects_element_rules(self):
+        adblocker = self.make()
+        document = parse_html("<body><div class='adblock-overlay'></div></body>")
+        adblocker.hide_elements(document, "http://x.com/")
+        assert len(adblocker.log.triggered_element_rules()) == 1
+
+
+class TestBrowser:
+    def snapshot(self):
+        return PageSnapshot(
+            url="http://news-site.com/",
+            html="<body><div id='adblock-notice'>x</div></body>",
+            subresources=[
+                Subresource(url="http://cdn.news-site.com/app.js", resource_type="script"),
+                Subresource(url="http://pagefair.com/measure.js", resource_type="script"),
+            ],
+            scripts=[Script(source="var x = 1;", url="http://cdn.news-site.com/app.js")],
+        )
+
+    def test_visit_records_har(self):
+        result = Browser().visit(self.snapshot())
+        urls = result.request_urls
+        assert "http://news-site.com/" in urls
+        assert "http://pagefair.com/measure.js" in urls
+        assert len(result.har.entries) == 3
+
+    def test_visit_with_adblocker_blocks(self):
+        adblocker = Adblocker([parse_filter_list(ANTI_ADBLOCK_LIST)])
+        result = Browser(adblocker=adblocker).visit(self.snapshot())
+        assert result.blocked_urls == ["http://pagefair.com/measure.js"]
+        assert "http://pagefair.com/measure.js" not in result.request_urls
+
+    def test_visit_with_adblocker_hides_elements(self):
+        adblocker = Adblocker([parse_filter_list(ANTI_ADBLOCK_LIST)])
+        result = Browser(adblocker=adblocker).visit(self.snapshot())
+        assert [rule.selector for rule in result.hidden_rules] == ["#adblock-notice"]
+
+    def test_url_rewriter_applied(self):
+        prefix = "http://web.archive.org/web/2016/"
+        result = Browser(url_rewriter=lambda u: prefix + u).visit(self.snapshot())
+        assert all(u.startswith(prefix) for u in result.request_urls)
+
+    def test_rules_match_original_urls_under_rewriting(self):
+        """Blocking decisions must see the un-rewritten URL (paper §4.2)."""
+        adblocker = Adblocker([parse_filter_list(ANTI_ADBLOCK_LIST)])
+        prefix = "http://web.archive.org/web/2016/"
+        result = Browser(
+            adblocker=adblocker, url_rewriter=lambda u: prefix + u
+        ).visit(self.snapshot())
+        assert result.blocked_urls == [prefix + "http://pagefair.com/measure.js"]

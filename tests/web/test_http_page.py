@@ -1,0 +1,75 @@
+"""Tests for the HTTP models and page snapshots."""
+
+from repro.web.http import Exchange, Request, Response
+from repro.web.page import PageSnapshot, Script, Subresource
+
+
+class TestRequest:
+    def test_resource_type_inferred(self):
+        assert Request(url="http://a.com/x.js").resource_type == "script"
+        assert Request(url="http://a.com/x.png").resource_type == "image"
+        assert Request(url="http://a.com/api").resource_type == "other"
+
+    def test_explicit_type_kept(self):
+        request = Request(url="http://a.com/x.js", resource_type="xmlhttprequest")
+        assert request.resource_type == "xmlhttprequest"
+
+    def test_host_and_domain(self):
+        request = Request(url="http://cdn.a.com/x.js")
+        assert request.host == "cdn.a.com"
+        assert request.domain == "a.com"
+
+    def test_third_party_for(self):
+        request = Request(url="http://tracker.net/p.gif")
+        assert request.third_party_for("a.com")
+        assert not request.third_party_for("tracker.net")
+
+
+class TestResponse:
+    def test_body_size_utf8(self):
+        assert Response(body="abc").body_size == 3
+        assert Response(body="é").body_size == 2
+
+    def test_redirect_detection(self):
+        response = Response(status=302, headers={"Location": "https://b.com/"})
+        assert response.is_redirect
+        assert response.redirect_location == "https://b.com/"
+
+    def test_non_redirect_has_no_location(self):
+        assert Response(status=200, headers={"Location": "x"}).redirect_location is None
+
+    def test_exchange_url(self):
+        exchange = Exchange(request=Request(url="http://a.com/"), response=Response())
+        assert exchange.url == "http://a.com/"
+
+
+class TestPageSnapshot:
+    def make(self):
+        return PageSnapshot(
+            url="http://www.news.com/",
+            html="<body></body>",
+            subresources=[Subresource(url="http://cdn.news.com/a.js")],
+            scripts=[
+                Script(source="var a;", url="http://cdn.news.com/a.js"),
+                Script(source="var inline;"),
+                Script(source="detect();", url="http://v.com/d.js", is_anti_adblock=True, vendor="V"),
+            ],
+        )
+
+    def test_domain_is_registered(self):
+        assert self.make().domain == "news.com"
+
+    def test_script_partitions(self):
+        snapshot = self.make()
+        assert len(snapshot.external_scripts()) == 2
+        assert len(snapshot.inline_scripts()) == 1
+        assert len(snapshot.anti_adblock_scripts()) == 1
+        assert snapshot.uses_anti_adblock
+
+    def test_request_urls(self):
+        assert self.make().request_urls() == ["http://cdn.news.com/a.js"]
+
+    def test_clean_page(self):
+        snapshot = PageSnapshot(url="http://a.com/")
+        assert not snapshot.uses_anti_adblock
+        assert snapshot.anti_adblock_scripts() == []

@@ -1,0 +1,93 @@
+"""Unit tests for URL utilities."""
+
+from repro.web.url import (
+    hostname,
+    is_third_party,
+    normalize_url,
+    registered_domain,
+    resource_type_from_url,
+    split_url,
+)
+
+
+class TestSplitUrl:
+    def test_full_url(self):
+        parts = split_url("https://www.example.com:8443/a/b?x=1#frag")
+        assert parts.scheme == "https"
+        assert parts.host == "www.example.com"
+        assert parts.port == 8443
+        assert parts.path == "/a/b"
+        assert parts.query == "x=1"
+        assert parts.fragment == "frag"
+
+    def test_geturl_roundtrip(self):
+        url = "https://example.com/a?b=1#c"
+        assert split_url(url).geturl() == url
+
+    def test_no_path(self):
+        parts = split_url("http://example.com")
+        assert parts.path == "/"
+
+    def test_scheme_relative(self):
+        parts = split_url("//cdn.example.com/x.js")
+        assert parts.host == "cdn.example.com"
+        assert parts.scheme == "http"
+
+    def test_host_lowercased(self):
+        assert split_url("http://EXAMPLE.com/X").host == "example.com"
+        assert split_url("http://EXAMPLE.com/X").path == "/X"
+
+
+class TestRegisteredDomain:
+    def test_simple(self):
+        assert registered_domain("www.example.com") == "example.com"
+
+    def test_deep_subdomain(self):
+        assert registered_domain("a.b.c.example.com") == "example.com"
+
+    def test_multi_label_suffix(self):
+        assert registered_domain("news.bbc.co.uk") == "bbc.co.uk"
+
+    def test_bare_domain_unchanged(self):
+        assert registered_domain("example.com") == "example.com"
+
+    def test_accepts_full_url(self):
+        assert registered_domain("https://cdn.example.com/x.js") == "example.com"
+
+    def test_ip_unchanged(self):
+        assert registered_domain("192.168.1.1") == "192.168.1.1"
+
+
+class TestThirdParty:
+    def test_same_registered_domain_is_first_party(self):
+        assert not is_third_party("http://cdn.example.com/x.js", "example.com")
+
+    def test_cross_domain_is_third_party(self):
+        assert is_third_party("http://pagefair.com/x.js", "example.com")
+
+    def test_www_still_first_party(self):
+        assert not is_third_party("http://www.example.com/x", "example.com")
+
+
+class TestResourceType:
+    def test_script(self):
+        assert resource_type_from_url("http://x.com/a.js") == "script"
+
+    def test_image(self):
+        assert resource_type_from_url("http://x.com/a.png") == "image"
+
+    def test_stylesheet(self):
+        assert resource_type_from_url("http://x.com/style.css?v=1") == "stylesheet"
+
+    def test_unknown_is_default(self):
+        assert resource_type_from_url("http://x.com/api/data") == "other"
+
+
+class TestNormalize:
+    def test_scheme_relative_gets_scheme(self):
+        assert normalize_url("//www.npttech.com/advertising.js") == (
+            "http://www.npttech.com/advertising.js"
+        )
+
+    def test_absolute_untouched(self):
+        assert normalize_url("https://a.com/x") == "https://a.com/x"
