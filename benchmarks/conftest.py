@@ -26,7 +26,11 @@ def crawl(ctx):
 
 @pytest.fixture(scope="session")
 def coverage(ctx):
-    return ctx.coverage
+    result = ctx.coverage
+    # Surface the replay engine's counters in the bench log so BENCH_*
+    # trajectories can attribute wins (visible with ``pytest -s``).
+    print(f"\n[coverage perf] {ctx.perf.render()}")
+    return result
 
 
 def run_once(benchmark, fn):

@@ -109,6 +109,86 @@ def test_micro_codegen(benchmark, sample_script):
     assert source.strip()
 
 
+def _revision_pair():
+    """Two consecutive synthetic revisions: 2000 rules, a 40-rule delta."""
+    base = [NetworkRule.parse(f"||site{i}.example^$script") for i in range(2000)]
+    removed = base[::100]
+    removed_ids = {id(rule) for rule in removed}
+    added = [NetworkRule.parse(f"||fresh{i}.example^$third-party") for i in range(20)]
+    following = [rule for rule in base if id(rule) not in removed_ids] + added
+    return base, following, added, removed
+
+
+def test_micro_matcher_full_rebuild(benchmark):
+    """Seed behavior: re-scan the full rule set for every revision."""
+    _, following, _, _ = _revision_pair()
+    matcher = benchmark(NetworkMatcher, following)
+    assert len(matcher) == len(following)
+
+
+def test_micro_matcher_incremental_delta(benchmark):
+    """Replay behavior: derive the next revision's matcher from the delta."""
+    base, following, added, removed = _revision_pair()
+    base_matcher = NetworkMatcher(base)
+
+    derived = benchmark(base_matcher.apply_delta, added, removed)
+    assert len(derived) == len(following)
+
+
+def _profile_workload():
+    from repro.filterlist.matcher import url_tokens
+    from repro.analysis.profile import UrlProfile
+    from repro.web.url import is_third_party, resource_type_from_url
+
+    rules = [NetworkRule.parse(f"||site{i}.example^$script") for i in range(500)]
+    rules.append(NetworkRule.parse("||pagefair.com^$third-party"))
+    matcher = NetworkMatcher(rules)
+    urls = [f"http://host{i}.example/path/app{i}.js" for i in range(200)] + [
+        "http://pagefair.com/static/measure.js"
+    ]
+    profiles = [
+        UrlProfile(
+            url=url,
+            tokens=url_tokens(url),
+            resource_type=resource_type_from_url(url, default="script"),
+            third_party=is_third_party(url, "news.com"),
+        )
+        for url in urls
+    ]
+    return matcher, urls, profiles
+
+
+def test_micro_match_raw_urls(benchmark):
+    """Per-call tokenization path (caches cleared to model the seed)."""
+    from repro.filterlist.matcher import url_tokens
+
+    matcher, urls, _ = _profile_workload()
+
+    def match_raw():
+        url_tokens.cache_clear()
+        return sum(
+            1
+            for url in urls
+            if matcher.first_match(url, "news.com", "script", True) is not None
+        )
+
+    assert benchmark(match_raw) == 1
+
+
+def test_micro_match_via_profiles(benchmark):
+    """Precomputed-profile fast path used by the replay engine."""
+    matcher, _, profiles = _profile_workload()
+
+    def match_profiles():
+        return sum(
+            1
+            for profile in profiles
+            if matcher.first_match_profile(profile, "news.com") is not None
+        )
+
+    assert benchmark(match_profiles) == 1
+
+
 def test_micro_lint(benchmark):
     from repro.filterlist.lint import lint_rules
 

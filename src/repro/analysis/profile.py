@@ -1,0 +1,118 @@
+"""Request-profile precomputation for the §4 replay engine.
+
+``CoverageAnalyzer`` evaluates every request URL of every crawl record
+against *many* matchers: two list histories × ~60 contemporaneous
+revisions × block/allow passes, plus the final-version scans feeding
+Figure 7. The per-URL derivations those matchers need — Wayback prefix
+truncation, lowercase index tokens, resource type, third-party flag — do
+not depend on the list or revision, only on (URL, page domain). A
+:class:`RequestProfile` computes each of them exactly once per record and
+is memoized on the record object itself, so the block pass, the allow
+pass, every list, and every revision all reuse the same arrays.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import List, Optional, Tuple
+
+from ..filterlist.matcher import url_tokens
+from ..wayback.crawler import CrawlRecord
+from ..web.url import is_third_party, resource_type_from_url
+
+#: Resource type assumed when a URL's extension is uninformative; §4 treats
+#: unknown requests as scripts (the adversarial-for-coverage default).
+DEFAULT_RESOURCE_TYPE = "script"
+
+#: Attribute under which a record's profile is memoized.
+_PROFILE_ATTR = "_request_profile"
+
+
+class UrlProfile:
+    """One request URL with every matcher-input derivation precomputed."""
+
+    __slots__ = ("url", "tokens", "resource_type", "third_party")
+
+    def __init__(
+        self,
+        url: str,
+        tokens: Tuple[str, ...],
+        resource_type: str,
+        third_party: bool,
+    ) -> None:
+        self.url = url
+        self.tokens = tokens
+        self.resource_type = resource_type
+        self.third_party = third_party
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UrlProfile(url={self.url!r}, resource_type={self.resource_type!r}, "
+            f"third_party={self.third_party!r})"
+        )
+
+    # Profiles travel to worker processes attached to their records.
+    def __getstate__(self):
+        return (self.url, self.tokens, self.resource_type, self.third_party)
+
+    def __setstate__(self, state):
+        self.url, self.tokens, self.resource_type, self.third_party = state
+
+
+class RequestProfile:
+    """Per-record precomputation shared across lists, revisions, passes."""
+
+    __slots__ = ("domain", "month", "urls")
+
+    def __init__(self, domain: str, month: date, urls: List[UrlProfile]) -> None:
+        self.domain = domain
+        self.month = month
+        self.urls = urls
+
+    def __len__(self) -> int:
+        return len(self.urls)
+
+    def raw_urls(self) -> List[str]:
+        """The truncated URL strings, in request order."""
+        return [profile.url for profile in self.urls]
+
+    def __getstate__(self):
+        return (self.domain, self.month, self.urls)
+
+    def __setstate__(self, state):
+        self.domain, self.month, self.urls = state
+
+
+def build_profile(record: CrawlRecord) -> RequestProfile:
+    """Compute a record's profile (no memoization; see ``profile_record``)."""
+    urls: List[UrlProfile] = []
+    for url in record.truncated_urls():
+        urls.append(
+            UrlProfile(
+                url=url,
+                tokens=url_tokens(url),
+                resource_type=resource_type_from_url(
+                    url, default=DEFAULT_RESOURCE_TYPE
+                ),
+                third_party=is_third_party(url, record.domain),
+            )
+        )
+    return RequestProfile(domain=record.domain, month=record.month, urls=urls)
+
+
+def profile_record(record: CrawlRecord, stats=None) -> RequestProfile:
+    """The record's profile, computed once and memoized on the record.
+
+    ``stats`` (optional, duck-typed ``profile_builds``/``profile_hits``)
+    lets the analyzer's perf counters report reuse rates.
+    """
+    cached: Optional[RequestProfile] = getattr(record, _PROFILE_ATTR, None)
+    if cached is not None:
+        if stats is not None:
+            stats.profile_hits += 1
+        return cached
+    profile = build_profile(record)
+    setattr(record, _PROFILE_ATTR, profile)
+    if stats is not None:
+        stats.profile_builds += 1
+    return profile

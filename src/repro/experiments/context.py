@@ -15,6 +15,7 @@ from typing import Dict, Optional
 
 from ..analysis.coverage import CoverageAnalyzer, CoverageResult
 from ..analysis.livecrawl import LiveCrawler, LiveCrawlResult
+from ..analysis.perf import PerfCounters, repro_workers
 from ..core.corpus import Corpus, build_corpus
 from ..filterlist.history import FilterListHistory
 from ..filterlist.matcher import NetworkMatcher
@@ -32,6 +33,11 @@ CE = "Combined EasyList"
 def default_scale() -> float:
     """Experiment scale from ``REPRO_SCALE`` (default 0.08)."""
     return float(os.environ.get("REPRO_SCALE", "0.08"))
+
+
+def default_workers() -> int:
+    """§4 replay worker count from ``REPRO_WORKERS`` (default 1 = serial)."""
+    return repro_workers()
 
 
 @dataclass
@@ -112,10 +118,19 @@ class ExperimentContext:
 
     @property
     def coverage(self) -> CoverageResult:
-        """The §4.2 coverage result (computed on first access)."""
+        """The §4.2 coverage result (computed on first access).
+
+        Honours ``REPRO_WORKERS``: >1 shards the replay across a process
+        pool; the merged result is identical to the serial one.
+        """
         if self._coverage is None:
             self._coverage = self.analyzer.analyze(self.crawl)
         return self._coverage
+
+    @property
+    def perf(self) -> PerfCounters:
+        """Replay perf counters (records/s, probe counts, cache hits)."""
+        return self.analyzer.perf
 
     @property
     def live(self) -> LiveCrawlResult:

@@ -106,6 +106,21 @@ class FilterListHistory:
         """The newest revision, if any."""
         return self._revisions[-1] if self._revisions else None
 
+    def index_of_date(self, when: date) -> Optional[int]:
+        """Index of the (first) revision dated exactly ``when``, if any."""
+        dates = [revision.date for revision in self._revisions]
+        index = bisect.bisect_left(dates, when)
+        if index < len(dates) and dates[index] == when:
+            return index
+        return None
+
+    def predecessor(self, revision: Revision) -> Optional[Revision]:
+        """The revision immediately before ``revision`` in this history."""
+        index = self.index_of_date(revision.date)
+        if index is None or index == 0:
+            return None
+        return self._revisions[index - 1]
+
     def delta(self, index: int) -> RevisionDelta:
         """Difference between revision ``index`` and its predecessor."""
         current = set(self._revisions[index].rule_lines())
@@ -113,6 +128,31 @@ class FilterListHistory:
         return RevisionDelta(
             added=sorted(current - previous), removed=sorted(previous - current)
         )
+
+    def network_rule_delta(self, index: int) -> Tuple[list, list]:
+        """``(added, removed)`` *network* rule objects for revision ``index``.
+
+        Resolves :meth:`delta`'s raw lines back to the parsed
+        :class:`~repro.filterlist.rules.NetworkRule` objects of the two
+        revisions, so the §4 replay can derive revision ``index``'s matcher
+        from revision ``index - 1``'s by editing only the delta instead of
+        re-scanning the full rule set. Element-rule lines are skipped.
+        """
+        delta = self.delta(index)
+        current = {
+            rule.raw: rule for rule in self._revisions[index].filter_list.network_rules
+        }
+        previous = (
+            {
+                rule.raw: rule
+                for rule in self._revisions[index - 1].filter_list.network_rules
+            }
+            if index > 0
+            else {}
+        )
+        added = [current[line] for line in delta.added if line in current]
+        removed = [previous[line] for line in delta.removed if line in previous]
+        return added, removed
 
     def average_churn_per_revision(self) -> float:
         """Mean rules added/modified per revision (§3.2's headline rates)."""

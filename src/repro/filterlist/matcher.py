@@ -4,14 +4,28 @@ Mirrors how real adblockers evaluate requests: exception (``@@``) rules
 dominate blocking rules, and rules are indexed by a literal token so a
 request only probes a small candidate subset rather than every rule (the
 classic keyword-index trick from Adblock Plus).
+
+Two properties matter for the §4 replay engine:
+
+- **Incremental construction.** Consecutive filter-list revisions share
+  almost all rules, so :meth:`NetworkMatcher.apply_delta` derives revision
+  N+1's matcher from revision N's by editing the token index in place of a
+  shallow copy, instead of re-tokenizing the full rule set. The index
+  token of a rule is a pure function of the rule (its longest literal
+  token), so an incrementally-derived matcher indexes every rule exactly
+  where a from-scratch build would.
+- **Profile fast path.** ``match_profile``/``first_match_profile`` accept
+  a precomputed :class:`~repro.analysis.profile.UrlProfile` (duck-typed:
+  ``url``/``tokens``/``resource_type``/``third_party``) so URL
+  tokenization and third-party/resource-type derivation happen once per
+  crawl record rather than once per (list × revision × pass).
 """
 
 from __future__ import annotations
 
 import re
-from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from functools import lru_cache
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .rules import NetworkRule
 
@@ -23,26 +37,75 @@ _STOP_TOKENS = frozenset(
 )
 
 
-def _pattern_tokens(rule: NetworkRule) -> List[str]:
+@lru_cache(maxsize=65536)
+def _tokens_of_pattern(pattern: str) -> Tuple[str, ...]:
+    """Literal tokens of an ABP pattern (cached — patterns repeat across
+    revisions, so a full history tokenizes each distinct pattern once)."""
+    tokens: List[str] = []
+    for chunk in re.split(r"[*^|]", pattern.lower()):
+        tokens.extend(_TOKEN_RE.findall(chunk))
+    return tuple(t for t in tokens if t not in _STOP_TOKENS)
+
+
+def _pattern_tokens(rule: NetworkRule) -> Tuple[str, ...]:
     """Candidate index tokens: literal runs of the pattern, no wildcards."""
     if rule.is_regex:
-        return []
-    tokens = []
-    for chunk in re.split(r"[*^|]", rule.pattern.lower()):
-        tokens.extend(_TOKEN_RE.findall(chunk))
-    return [t for t in tokens if t not in _STOP_TOKENS]
+        return ()
+    return _tokens_of_pattern(rule.pattern)
 
 
-@dataclass
+def index_token(rule: NetworkRule) -> Optional[str]:
+    """The token a rule is indexed under, or ``None`` for the rest bucket.
+
+    Chosen as the *longest* literal token (first wins on ties): a pure
+    per-rule function, so incremental and from-scratch builds agree, and
+    long tokens (host names, script paths) keep buckets small without a
+    corpus-wide frequency pass.
+    """
+    tokens = _pattern_tokens(rule)
+    if not tokens:
+        return None
+    return max(tokens, key=len)
+
+
+@lru_cache(maxsize=65536)
+def url_tokens(url: str) -> Tuple[str, ...]:
+    """Index tokens of a request URL (cached; also used by profiles)."""
+    return tuple(_TOKEN_RE.findall(url.lower()))
+
+
 class MatchResult:
     """Outcome of matching one URL against the engine."""
 
-    blocked: bool
-    rule: Optional[NetworkRule] = None
-    exception: Optional[NetworkRule] = None
+    __slots__ = ("blocked", "rule", "exception")
+
+    def __init__(
+        self,
+        blocked: bool,
+        rule: Optional[NetworkRule] = None,
+        exception: Optional[NetworkRule] = None,
+    ) -> None:
+        self.blocked = blocked
+        self.rule = rule
+        self.exception = exception
 
     def __bool__(self) -> bool:
         return self.blocked
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchResult(blocked={self.blocked!r}, rule={self.rule!r}, "
+            f"exception={self.exception!r})"
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, MatchResult):
+            return NotImplemented
+        return (
+            self.blocked == other.blocked
+            and self.rule == other.rule
+            and self.exception == other.exception
+        )
 
 
 class NetworkMatcher:
@@ -51,61 +114,142 @@ class NetworkMatcher:
     ``match`` answers the adblocker question — is this request blocked? —
     while ``first_match`` answers the measurement question used throughout
     §4 — does *any* rule (blocking or exception) trigger on this URL?
+
+    ``stats`` is an optional counters object (duck-typed with
+    ``match_calls`` and ``candidates_probed`` attributes, e.g.
+    :class:`repro.analysis.perf.PerfCounters`); when set, every call
+    reports how many candidate rules it probed.
     """
 
-    def __init__(self, rules: Iterable[NetworkRule]) -> None:
-        self._block_index: Dict[str, List[NetworkRule]] = defaultdict(list)
-        self._allow_index: Dict[str, List[NetworkRule]] = defaultdict(list)
+    def __init__(self, rules: Iterable[NetworkRule] = (), stats=None) -> None:
+        self._block_index: Dict[str, List[NetworkRule]] = {}
+        self._allow_index: Dict[str, List[NetworkRule]] = {}
         self._block_rest: List[NetworkRule] = []
         self._allow_rest: List[NetworkRule] = []
         self._count = 0
-        token_frequency: Dict[str, int] = defaultdict(int)
-        rules = list(rules)
+        self.stats = stats
         for rule in rules:
-            for token in _pattern_tokens(rule):
-                token_frequency[token] += 1
-        for rule in rules:
-            self._count += 1
-            tokens = _pattern_tokens(rule)
-            index = self._allow_index if rule.is_exception else self._block_index
-            rest = self._allow_rest if rule.is_exception else self._block_rest
-            if tokens:
-                # Index under the rarest token for the smallest buckets.
-                best = min(tokens, key=lambda t: token_frequency[t])
-                index[best].append(rule)
-            else:
-                rest.append(rule)
+            self.add_rule(rule)
 
     def __len__(self) -> int:
         return self._count
 
+    # -- incremental construction -------------------------------------------
+
+    def add_rule(self, rule: NetworkRule) -> None:
+        """Insert one rule into the token index."""
+        self._count += 1
+        token = index_token(rule)
+        if rule.is_exception:
+            index, rest = self._allow_index, self._allow_rest
+        else:
+            index, rest = self._block_index, self._block_rest
+        if token is not None:
+            index.setdefault(token, []).append(rule)
+        else:
+            rest.append(rule)
+
+    def remove_rule(self, rule: NetworkRule) -> bool:
+        """Remove one rule (by equality); returns whether it was present."""
+        token = index_token(rule)
+        if rule.is_exception:
+            index, rest = self._allow_index, self._allow_rest
+        else:
+            index, rest = self._block_index, self._block_rest
+        bucket = index.get(token) if token is not None else rest
+        if not bucket:
+            return False
+        try:
+            bucket.remove(rule)
+        except ValueError:
+            return False
+        if token is not None and not bucket:
+            del index[token]
+        self._count -= 1
+        return True
+
+    def copy(self) -> "NetworkMatcher":
+        """A structural copy sharing rule objects but not index buckets."""
+        clone = NetworkMatcher(stats=self.stats)
+        clone._block_index = {t: list(rs) for t, rs in self._block_index.items()}
+        clone._allow_index = {t: list(rs) for t, rs in self._allow_index.items()}
+        clone._block_rest = list(self._block_rest)
+        clone._allow_rest = list(self._allow_rest)
+        clone._count = self._count
+        return clone
+
+    def apply_delta(
+        self,
+        added: Iterable[NetworkRule],
+        removed: Iterable[NetworkRule],
+    ) -> "NetworkMatcher":
+        """A new matcher with ``removed`` rules dropped and ``added`` rules
+        appended — O(delta) instead of O(rules) tokenization work.
+
+        The receiver is left untouched (revision matchers are cached and
+        must stay valid), but rule objects are shared between the two.
+        """
+        derived = self.copy()
+        for rule in removed:
+            derived.remove_rule(rule)
+        for rule in added:
+            derived.add_rule(rule)
+        return derived
+
+    def rules(self) -> List[NetworkRule]:
+        """Every indexed rule (bucket order; for tests and introspection)."""
+        collected: List[NetworkRule] = []
+        for index in (self._block_index, self._allow_index):
+            for bucket in index.values():
+                collected.extend(bucket)
+        collected.extend(self._block_rest)
+        collected.extend(self._allow_rest)
+        return collected
+
+    # -- candidate generation -----------------------------------------------
+
     @staticmethod
-    def _url_tokens(url: str) -> List[str]:
-        return _TOKEN_RE.findall(url.lower())
+    def _url_tokens(url: str) -> Tuple[str, ...]:
+        return url_tokens(url)
 
     def _candidates(
-        self, url: str, index: Dict[str, List[NetworkRule]], rest: List[NetworkRule]
-    ) -> Iterable[NetworkRule]:
+        self,
+        tokens: Tuple[str, ...],
+        index: Dict[str, List[NetworkRule]],
+        rest: List[NetworkRule],
+    ) -> Iterator[NetworkRule]:
         seen_buckets = set()
-        for token in self._url_tokens(url):
-            if token in index and token not in seen_buckets:
+        for token in tokens:
+            bucket = index.get(token)
+            if bucket is not None and token not in seen_buckets:
                 seen_buckets.add(token)
-                yield from index[token]
+                yield from bucket
         yield from rest
 
     def _first(
         self,
         url: str,
+        tokens: Tuple[str, ...],
         index: Dict[str, List[NetworkRule]],
         rest: List[NetworkRule],
         page_domain: str,
         resource_type: str,
         third_party: Optional[bool],
     ) -> Optional[NetworkRule]:
-        for rule in self._candidates(url, index, rest):
+        probed = 0
+        hit: Optional[NetworkRule] = None
+        for rule in self._candidates(tokens, index, rest):
+            probed += 1
             if rule.matches(url, page_domain, resource_type, third_party):
-                return rule
-        return None
+                hit = rule
+                break
+        stats = self.stats
+        if stats is not None:
+            stats.match_calls += 1
+            stats.candidates_probed += probed
+        return hit
+
+    # -- raw-URL API ---------------------------------------------------------
 
     def match(
         self,
@@ -115,17 +259,9 @@ class NetworkMatcher:
         third_party: Optional[bool] = None,
     ) -> MatchResult:
         """Adblocker semantics: blocked unless an exception rule applies."""
-        blocking = self._first(
-            url, self._block_index, self._block_rest, page_domain, resource_type, third_party
+        return self._match_tokens(
+            url, url_tokens(url), page_domain, resource_type, third_party
         )
-        if blocking is None:
-            return MatchResult(blocked=False)
-        allowing = self._first(
-            url, self._allow_index, self._allow_rest, page_domain, resource_type, third_party
-        )
-        if allowing is not None:
-            return MatchResult(blocked=False, rule=blocking, exception=allowing)
-        return MatchResult(blocked=True, rule=blocking)
 
     def first_match(
         self,
@@ -142,11 +278,73 @@ class NetworkMatcher:
         exception rule firing means the list had to special-case that
         site's anti-adblock bait).
         """
+        return self._first_match_tokens(
+            url, url_tokens(url), page_domain, resource_type, third_party
+        )
+
+    # -- profile fast path ----------------------------------------------------
+
+    def match_profile(self, profile, page_domain: str = "") -> MatchResult:
+        """``match`` over a precomputed URL profile (no re-tokenization)."""
+        return self._match_tokens(
+            profile.url,
+            profile.tokens,
+            page_domain,
+            profile.resource_type,
+            profile.third_party,
+        )
+
+    def first_match_profile(
+        self, profile, page_domain: str = ""
+    ) -> Optional[NetworkRule]:
+        """``first_match`` over a precomputed URL profile."""
+        return self._first_match_tokens(
+            profile.url,
+            profile.tokens,
+            page_domain,
+            profile.resource_type,
+            profile.third_party,
+        )
+
+    # -- shared internals ------------------------------------------------------
+
+    def _match_tokens(
+        self,
+        url: str,
+        tokens: Tuple[str, ...],
+        page_domain: str,
+        resource_type: str,
+        third_party: Optional[bool],
+    ) -> MatchResult:
         blocking = self._first(
-            url, self._block_index, self._block_rest, page_domain, resource_type, third_party
+            url, tokens, self._block_index, self._block_rest,
+            page_domain, resource_type, third_party,
+        )
+        if blocking is None:
+            return MatchResult(blocked=False)
+        allowing = self._first(
+            url, tokens, self._allow_index, self._allow_rest,
+            page_domain, resource_type, third_party,
+        )
+        if allowing is not None:
+            return MatchResult(blocked=False, rule=blocking, exception=allowing)
+        return MatchResult(blocked=True, rule=blocking)
+
+    def _first_match_tokens(
+        self,
+        url: str,
+        tokens: Tuple[str, ...],
+        page_domain: str,
+        resource_type: str,
+        third_party: Optional[bool],
+    ) -> Optional[NetworkRule]:
+        blocking = self._first(
+            url, tokens, self._block_index, self._block_rest,
+            page_domain, resource_type, third_party,
         )
         if blocking is not None:
             return blocking
         return self._first(
-            url, self._allow_index, self._allow_rest, page_domain, resource_type, third_party
+            url, tokens, self._allow_index, self._allow_rest,
+            page_domain, resource_type, third_party,
         )

@@ -19,7 +19,7 @@ from ..web.browser import Browser, VisitResult
 from ..web.har import HarFile
 from .archive import WaybackArchive
 from .availability import AvailabilityAPI
-from .rewrite import wayback_url
+from .rewrite import truncate_wayback, wayback_url
 
 #: The paper discards availability hits more than six months away.
 OUTDATED_THRESHOLD_DAYS = 183
@@ -54,6 +54,21 @@ class CrawlRecord:
         """Whether this slot produced analysable data (status OK)."""
         return self.status is CrawlStatus.OK
 
+    def truncated_urls(self) -> List[str]:
+        """Original request URLs (archive prefix stripped), memoized.
+
+        The §4 replay reads these once per (list, revision, pass); caching
+        on the record keeps truncation a per-record cost.
+        """
+        cached = getattr(self, "_truncated_urls", None)
+        if cached is None:
+            if self.har is None:
+                cached = []
+            else:
+                cached = [truncate_wayback(url) for url in self.har.request_urls()]
+            self._truncated_urls = cached
+        return cached
+
 
 def month_range(start: date, end: date) -> List[date]:
     """First-of-month dates from ``start`` to ``end`` inclusive."""
@@ -77,6 +92,19 @@ class CrawlResult:
     def usable(self) -> List[CrawlRecord]:
         """Whether this slot produced analysable data (status OK)."""
         return [record for record in self.records if record.usable]
+
+    def domain_groups(self) -> List[List[CrawlRecord]]:
+        """Records grouped by domain, groups in first-appearance order.
+
+        The §4 replay shards work across processes along domain
+        boundaries: every per-domain accumulator (first detection, first
+        anti-adblock sighting) then lives entirely inside one shard, so a
+        sharded run merges back to exactly the serial result.
+        """
+        grouped: Dict[str, List[CrawlRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.domain, []).append(record)
+        return list(grouped.values())
 
     def by_month(self) -> Dict[date, List[CrawlRecord]]:
         """Records grouped by requested month."""

@@ -83,6 +83,7 @@ def hostname(url: str) -> str:
     return split_url(url).host
 
 
+@lru_cache(maxsize=65536)
 def registered_domain(host_or_url: str) -> str:
     """Collapse a host to its registrable domain (eTLD+1).
 
@@ -103,6 +104,7 @@ def registered_domain(host_or_url: str) -> str:
     return last_two
 
 
+@lru_cache(maxsize=65536)
 def is_third_party(request_url: str, page_domain: str) -> bool:
     """Whether a request crosses registrable-domain boundaries.
 
@@ -140,12 +142,13 @@ _EXTENSION_TYPES = {
 }
 
 
+@lru_cache(maxsize=65536)
 def resource_type_from_url(url: str, default: str = "other") -> str:
     """Guess the filter-rule resource type from the URL's extension."""
     path = split_url(url).path.lower()
-    for extension, resource_type in _EXTENSION_TYPES.items():
-        if path.endswith(extension):
-            return resource_type
+    dot = path.rfind(".")
+    if dot >= 0 and "/" not in path[dot:]:
+        return _EXTENSION_TYPES.get(path[dot:], default)
     return default
 
 

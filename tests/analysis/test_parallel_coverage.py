@@ -1,0 +1,95 @@
+"""Sharded (``REPRO_WORKERS > 1``) replay must reproduce the serial output.
+
+The acceptance bar for the parallel §4 engine is not "approximately the
+same figures" but *byte-identical* results: the shard merge preserves
+dict insertion order, per-domain accumulators, and even object identity
+of shared month dates, so a pickle of the parallel result equals the
+serial one bit for bit.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.coverage import CoverageAnalyzer
+from repro.analysis.profile import profile_record
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.create(scale=0.01)
+
+
+@pytest.fixture(scope="module")
+def serial(ctx):
+    analyzer = CoverageAnalyzer(ctx.histories)
+    coverage = analyzer.analyze(ctx.crawl, workers=1)
+    delays = analyzer.detection_delays(ctx.crawl, coverage=coverage, workers=1)
+    return coverage, delays
+
+
+class TestParallelEqualsSerial:
+    def test_analyze_is_byte_identical(self, ctx, serial):
+        coverage, _ = serial
+        parallel = CoverageAnalyzer(ctx.histories).analyze(ctx.crawl, workers=3)
+        assert parallel.http_series == coverage.http_series
+        assert parallel.html_series == coverage.html_series
+        assert parallel.first_detected == coverage.first_detected
+        assert parallel.site_first_seen == coverage.site_first_seen
+        assert parallel.third_party_detection == coverage.third_party_detection
+        assert pickle.dumps(parallel) == pickle.dumps(coverage)
+
+    def test_detection_delays_are_byte_identical(self, ctx, serial):
+        coverage, delays = serial
+        analyzer = CoverageAnalyzer(ctx.histories)
+        parallel = analyzer.detection_delays(ctx.crawl, coverage=coverage, workers=3)
+        assert parallel == delays
+        assert pickle.dumps(parallel) == pickle.dumps(delays)
+
+    def test_worker_count_larger_than_domains_is_safe(self, ctx, serial):
+        coverage, _ = serial
+        oversubscribed = CoverageAnalyzer(ctx.histories).analyze(
+            ctx.crawl, workers=64
+        )
+        assert pickle.dumps(oversubscribed) == pickle.dumps(coverage)
+
+    def test_parallel_merges_perf_counters(self, ctx):
+        analyzer = CoverageAnalyzer(ctx.histories)
+        analyzer.analyze(ctx.crawl, workers=2)
+        assert analyzer.perf.records > 0
+        assert analyzer.perf.match_calls > 0
+        assert analyzer.perf.elapsed > 0
+
+
+class TestProfileFastPath:
+    def test_profiles_are_memoized_per_record(self, ctx):
+        record = next(r for r in ctx.crawl.records if r.usable)
+        first = profile_record(record)
+        second = profile_record(record)
+        assert first is second
+        assert first.domain == record.domain
+        assert len(first.urls) == len(record.truncated_urls())
+
+    def test_profile_match_agrees_with_raw_match(self, ctx):
+        analyzer = CoverageAnalyzer(ctx.histories)
+        matchers = analyzer._final_matchers()
+        checked = 0
+        for record in ctx.crawl.records:
+            if not record.usable:
+                continue
+            profile = profile_record(record)
+            for url_profile, url in zip(profile.urls, record.truncated_urls()):
+                for matcher in matchers.values():
+                    raw = matcher.first_match(
+                        url,
+                        record.domain,
+                        url_profile.resource_type,
+                        url_profile.third_party,
+                    )
+                    fast = matcher.first_match_profile(url_profile, record.domain)
+                    assert raw == fast
+                    checked += 1
+            if checked > 500:
+                break
+        assert checked > 0

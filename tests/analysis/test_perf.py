@@ -1,0 +1,123 @@
+"""Unit tests for the replay engine's perf counters and bounded caches."""
+
+import pytest
+
+from repro.analysis.perf import (
+    LRUCache,
+    PerfCounters,
+    matcher_cache_size,
+    repro_workers,
+)
+
+
+class TestKnobs:
+    def test_workers_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert repro_workers() == 1
+
+    def test_workers_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert repro_workers() == 4
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        assert repro_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        assert repro_workers() == 1
+
+    def test_matcher_cache_env_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MATCHER_CACHE", raising=False)
+        assert matcher_cache_size() == 512
+        monkeypatch.setenv("REPRO_MATCHER_CACHE", "8")
+        assert matcher_cache_size() == 8
+        monkeypatch.setenv("REPRO_MATCHER_CACHE", "1")
+        assert matcher_cache_size() == 2
+
+
+class TestPerfCounters:
+    def test_rates(self):
+        perf = PerfCounters(records=100, match_calls=4, candidates_probed=10)
+        perf.elapsed = 2.0
+        assert perf.records_per_second() == 50.0
+        assert perf.probes_per_call() == 2.5
+
+    def test_rates_guard_division_by_zero(self):
+        perf = PerfCounters()
+        assert perf.records_per_second() == 0.0
+        assert perf.probes_per_call() == 0.0
+        assert perf.matcher_hit_rate() == 0.0
+
+    def test_snapshot_and_since_report_deltas(self):
+        perf = PerfCounters(match_calls=10, candidates_probed=40)
+        snap = perf.snapshot()
+        perf.match_calls += 5
+        perf.candidates_probed += 7
+        delta = perf.since(snap)
+        assert delta.match_calls == 5
+        assert delta.candidates_probed == 7
+        assert delta.records == 0
+
+    def test_merge_sums_counts_and_maxes_elapsed(self):
+        a = PerfCounters(records=3, matcher_full_builds=1)
+        a.elapsed = 2.0
+        b = PerfCounters(records=4, matcher_incremental_builds=6)
+        b.elapsed = 5.0
+        a.merge(b)
+        assert a.records == 7
+        assert a.matcher_full_builds == 1
+        assert a.matcher_incremental_builds == 6
+        assert a.elapsed == 5.0
+
+    def test_hit_rate_and_render(self):
+        perf = PerfCounters(
+            records=10,
+            matcher_cache_hits=9,
+            matcher_full_builds=1,
+            profile_builds=2,
+            profile_hits=8,
+        )
+        perf.elapsed = 1.0
+        assert perf.matcher_hit_rate() == pytest.approx(0.9)
+        text = perf.render()
+        assert "10 records" in text
+        assert "90.0% cache hits" in text
+
+    def test_as_dict_includes_derived_rates(self):
+        data = PerfCounters(records=1).as_dict()
+        assert data["records"] == 1
+        for key in ("records_per_second", "probes_per_call", "matcher_hit_rate"):
+            assert key in data
+
+
+class TestLRUCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing", "fallback") == "fallback"
+        assert "a" in cache and len(cache) == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" so "b" is coldest
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh + overwrite
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_validation_and_clear(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0

@@ -2,8 +2,12 @@
 
 import subprocess
 import sys
+from pathlib import Path
 
 from repro.__main__ import EXPERIMENTS, main
+
+#: The repo's ``src/`` directory; the CLI subprocess needs it importable.
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
 
 
 class TestMain:
@@ -26,7 +30,11 @@ class TestMain:
             [sys.executable, "-m", "repro", "table2"],
             capture_output=True,
             text=True,
-            env={"REPRO_SCALE": "0.01", "PATH": "/usr/bin:/bin"},
+            env={
+                "REPRO_SCALE": "0.01",
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": str(SRC_DIR),
+            },
         )
         assert completed.returncode == 0
         assert "Table 2" in completed.stdout
