@@ -7,6 +7,12 @@ paper's qualitative shape before printing the artifact.
 
 Scale is controlled by ``REPRO_SCALE`` (default 0.08 → 400 crawled sites,
 8K live sites). Paper scale is ``REPRO_SCALE=1.0``.
+
+Observability: the shared context records a per-stage timing breakdown
+(``stage_timings``); :func:`run_once` copies it — together with the
+replay engine's perf counters — into ``benchmark.extra_info``, so the
+``--benchmark-json`` artifact CI uploads carries stage-level attribution
+alongside the raw numbers.
 """
 
 import pytest
@@ -33,6 +39,19 @@ def coverage(ctx):
     return result
 
 
-def run_once(benchmark, fn):
-    """Run a macro-benchmark exactly once (pipelines, not microseconds)."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+def attach_stage_info(benchmark, ctx) -> None:
+    """Write the context's stage breakdown into the bench JSON artifact."""
+    benchmark.extra_info["stages"] = ctx.stage_report()
+    benchmark.extra_info["replay_perf"] = ctx.analyzer.perf.as_dict()
+
+
+def run_once(benchmark, fn, ctx=None):
+    """Run a macro-benchmark exactly once (pipelines, not microseconds).
+
+    Pass the shared ``ctx`` to also record its stage-level timing
+    breakdown in ``benchmark.extra_info`` (surfaced in the JSON report).
+    """
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    if ctx is not None:
+        attach_stage_info(benchmark, ctx)
+    return result

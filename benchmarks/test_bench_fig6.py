@@ -14,7 +14,7 @@ from repro.experiments.context import AAK, CE
 def test_fig6_coverage_replay(benchmark, ctx, crawl):
     # Time the full replay with a fresh analyzer (no caches).
     coverage = run_once(
-        benchmark, lambda: CoverageAnalyzer(ctx.histories).analyze(crawl)
+        benchmark, lambda: CoverageAnalyzer(ctx.histories).analyze(crawl), ctx=ctx
     )
     result = fig6.Fig6Result(
         http_series=coverage.http_series,

@@ -8,7 +8,9 @@ from repro.experiments.context import AAK, CE
 
 
 def test_sec43_live_crawl(benchmark, ctx):
-    live = run_once(benchmark, lambda: LiveCrawler(ctx.world, ctx.histories).crawl())
+    live = run_once(
+        benchmark, lambda: LiveCrawler(ctx.world, ctx.histories).crawl(), ctx=ctx
+    )
     result = sec43.Sec43Result(live=live)
     print()
     print(sec43.render(result))

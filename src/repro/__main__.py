@@ -1,13 +1,23 @@
-"""Command-line entry point: ``python -m repro [experiment ...]``.
+"""Command-line entry point: ``python -m repro [options] [experiment ...]``.
 
 Runs experiment drivers by name and prints their artifacts; with no
 arguments, lists what is available. Scale comes from ``REPRO_SCALE``.
+
+Options:
+  --trace              record a hierarchical span tree of the run and
+                       print it to stderr at the end
+  --metrics-out=PATH   write a machine-readable run manifest to PATH
+                       (``run.json``) plus a JSONL event log next to it
+  -v / -vv             diagnostic logging at INFO / DEBUG (stderr)
+  -q, --quiet          errors only
 """
 
 from __future__ import annotations
 
 import importlib
+import logging
 import sys
+import time
 
 EXPERIMENTS = (
     "fig1",
@@ -25,11 +35,57 @@ EXPERIMENTS = (
     "stability",
 )
 
+logger = logging.getLogger("repro.cli")
+
+
+class _CliError(Exception):
+    """A bad command line (message printed to stderr, exit status 2)."""
+
+
+def _parse_args(argv: list) -> dict:
+    """Hand-rolled flag parsing (keeps the CLI dependency-free)."""
+    opts = {
+        "names": [],
+        "trace": False,
+        "metrics_out": None,
+        "verbosity": 0,
+        "help": False,
+    }
+    args = list(argv)
+    while args:
+        arg = args.pop(0)
+        if not arg.startswith("-"):
+            opts["names"].append(arg)
+        elif arg == "--help":
+            opts["help"] = True
+        elif arg == "--trace":
+            opts["trace"] = True
+        elif arg == "--metrics-out":
+            if not args:
+                raise _CliError("--metrics-out requires a path")
+            opts["metrics_out"] = args.pop(0)
+        elif arg.startswith("--metrics-out="):
+            opts["metrics_out"] = arg.split("=", 1)[1]
+        elif arg in ("-v", "--verbose"):
+            opts["verbosity"] = max(opts["verbosity"], 1)
+        elif arg == "-vv":
+            opts["verbosity"] = 2
+        elif arg in ("-q", "--quiet"):
+            opts["verbosity"] = -1
+        else:
+            raise _CliError(f"unknown option: {arg}")
+    return opts
+
 
 def main(argv: list) -> int:
     """Dispatch experiment names from the command line."""
-    names = [name for name in argv if not name.startswith("-")]
-    if not names or "--help" in argv:
+    try:
+        opts = _parse_args(argv)
+    except _CliError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    names = opts["names"]
+    if not names or opts["help"]:
         print(__doc__)
         print("available experiments:")
         for name in EXPERIMENTS:
@@ -40,13 +96,55 @@ def main(argv: list) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+
+    from repro.obs import (
+        RunManifest,
+        config_snapshot,
+        configure_logging,
+        enable_tracing,
+        get_metrics,
+        get_tracer,
+        reset_metrics,
+        span,
+    )
     from repro.experiments.context import shared_context
+
+    configure_logging(opts["verbosity"])
+    config = config_snapshot()
+    manifest = RunManifest(opts["metrics_out"]) if opts["metrics_out"] else None
+    metrics = reset_metrics()
+    if opts["trace"]:
+        enable_tracing(sink=manifest.sink if manifest else None)
 
     ctx = shared_context()
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
+        logger.info("experiment %s: starting", name)
+        started = time.perf_counter()
+        with span(f"experiment:{name}"):
+            rendered = module.render(module.run(ctx))
+        wall = time.perf_counter() - started
         print("=" * 72)
-        print(module.render(module.run(ctx)))
+        print(rendered)
+        logger.info("experiment %s: finished in %.2fs", name, wall)
+        if manifest is not None:
+            manifest.record_artifact(name, rendered, wall_s=wall)
+
+    if manifest is not None:
+        for stage in ctx.stage_report():
+            manifest.record_stage(**stage)
+        manifest.finalize(
+            seed=ctx.world.seed,
+            config=config.as_dict(),
+            metrics=metrics.as_dict(),
+            spans=get_tracer().as_dicts(),
+            experiments=list(names),
+        )
+        logger.info("run manifest written to %s", manifest.path)
+    if opts["trace"]:
+        tree = get_tracer().render()
+        if tree:
+            print("\n[trace]\n" + tree, file=sys.stderr)
     return 0
 
 

@@ -34,6 +34,7 @@ from html import unescape
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..filterlist.history import FilterListHistory, Revision
+from ..obs.trace import span as trace_span
 from ..filterlist.matcher import NetworkMatcher
 from ..filterlist.parser import FilterList
 from ..filterlist.rules import ElementRule
@@ -104,10 +105,30 @@ def _init_fork_worker() -> None:
     _WORKER_ANALYZER = CoverageAnalyzer(_FORK_HISTORIES)
 
 
-def _analyze_shard(records: List[CrawlRecord], html_rules: bool):
+def _shard_telemetry(fn):
+    """Run a shard body, returning (result, perf delta, span payload).
+
+    The payload is a flat dict the parent grafts onto its span tree as a
+    pre-closed child (worker processes cannot share the parent's tracer),
+    so sharded runs keep per-worker wall/CPU attribution.
+    """
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     before = _WORKER_ANALYZER.perf.snapshot()
-    partial = _WORKER_ANALYZER._analyze_records(records, html_rules)
-    return partial, _WORKER_ANALYZER.perf.since(before)
+    partial = fn()
+    delta = _WORKER_ANALYZER.perf.since(before)
+    payload = {
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+        "records": delta.records,
+        "match_calls": delta.match_calls,
+    }
+    return partial, delta, payload
+
+
+def _analyze_shard(records: List[CrawlRecord], html_rules: bool):
+    return _shard_telemetry(
+        lambda: _WORKER_ANALYZER._analyze_records(records, html_rules)
+    )
 
 
 def _analyze_shard_index(index: int, html_rules: bool):
@@ -115,9 +136,7 @@ def _analyze_shard_index(index: int, html_rules: bool):
 
 
 def _delays_shard(items):
-    before = _WORKER_ANALYZER.perf.snapshot()
-    partial = _WORKER_ANALYZER._delays_for_items(items)
-    return partial, _WORKER_ANALYZER.perf.since(before)
+    return _shard_telemetry(lambda: _WORKER_ANALYZER._delays_for_items(items))
 
 
 def _delays_shard_index(index: int):
@@ -349,18 +368,28 @@ class CoverageAnalyzer:
         ``workers`` (default: the ``REPRO_WORKERS`` env var, itself
         defaulting to 1) shards the record loop across processes; any
         sharded run merges to exactly the serial result.
+
+        Each call is an independent run: the analyzer's perf counters
+        reset on entry, so back-to-back ``analyze()`` calls never
+        accumulate stale counts (matcher/adblocker caches persist —
+        only the *accounting* restarts).
         """
         workers = repro_workers() if workers is None else max(int(workers), 1)
-        if workers > 1 and len(crawl.records) > 1:
-            result = self._analyze_parallel(crawl, html_rules, workers)
-        else:
-            result = self._analyze_records(crawl.records, html_rules)
-        # Months with zero matches still need series entries.
-        months = sorted({record.month for record in crawl.records})
-        for name in self.histories:
-            for month in months:
-                result.http_series[name].setdefault(month, 0)
-                result.html_series[name].setdefault(month, 0)
+        self.perf.reset()
+        with trace_span(
+            "replay:analyze", workers=workers, records=len(crawl.records)
+        ) as span:
+            if workers > 1 and len(crawl.records) > 1:
+                result = self._analyze_parallel(crawl, html_rules, workers, span)
+            else:
+                result = self._analyze_records(crawl.records, html_rules)
+            # Months with zero matches still need series entries.
+            months = sorted({record.month for record in crawl.records})
+            for name in self.histories:
+                for month in months:
+                    result.http_series[name].setdefault(month, 0)
+                    result.html_series[name].setdefault(month, 0)
+            span.set(usable_records=self.perf.records, elapsed_s=self.perf.elapsed)
         return result
 
     def _empty_result(self) -> CoverageResult:
@@ -411,6 +440,8 @@ class CoverageAnalyzer:
                 and self._element_screen.may_trigger(record.html)
             )
             document = parse_html(record.html) if may_html else None
+            if may_html:
+                self.perf.html_parses += 1
             for name in self.histories:
                 matched = self.http_match(name, record, profile)
                 html_hit = may_html and self.html_match(name, record, document)
@@ -487,7 +518,7 @@ class CoverageAnalyzer:
             return list(pool.map(pickle_fn, shards, *repeated))
 
     def _analyze_parallel(
-        self, crawl: CrawlResult, html_rules: bool, workers: int
+        self, crawl: CrawlResult, html_rules: bool, workers: int, span=None
     ) -> CoverageResult:
         """Shard the record loop by domain across a process pool."""
         started = time.perf_counter()
@@ -502,6 +533,8 @@ class CoverageAnalyzer:
             shards = _split_shards(self._slim_records(groups, html_rules), workers)
         if len(shards) <= 1:
             return self._analyze_records(crawl.records, html_rules)
+        if span is not None:
+            span.set(shards=len(shards))
         partials = self._map_shards(
             shards, _analyze_shard_index, _analyze_shard, extra=(html_rules,)
         )
@@ -513,7 +546,9 @@ class CoverageAnalyzer:
             canon.setdefault(record.month, record.month)
         intern = lambda d: canon.setdefault(d, d)  # noqa: E731
         merged = self._empty_result()
-        for partial, shard_perf in partials:
+        for index, (partial, shard_perf, payload) in enumerate(partials):
+            if span is not None:
+                span.add_child_payload(f"shard:{index}", **payload)
             for name in self.histories:
                 series = merged.http_series[name]
                 for month, count in partial.http_series[name].items():
@@ -574,29 +609,32 @@ class CoverageAnalyzer:
         workers = repro_workers() if workers is None else max(int(workers), 1)
         if coverage is None:
             coverage = self.analyze(crawl, html_rules=False, workers=workers)
-        # The final request set per domain (union over usable months).
-        profiles_by_domain: Dict[str, Dict[str, UrlProfile]] = {}
-        for record in crawl.records:
-            if record.usable:
-                profile = profile_record(record, self.perf)
-                bucket = profiles_by_domain.setdefault(record.domain, {})
-                for url_profile in profile.urls:
-                    bucket.setdefault(url_profile.url, url_profile)
-        items = [
-            (domain, first_seen, list(profiles_by_domain.get(domain, {}).values()))
-            for domain, first_seen in coverage.site_first_seen.items()
-        ]
-        if workers > 1 and len(items) > 1:
-            shards = _split_shards([[item] for item in items], workers)
-            partials = self._map_shards(shards, _delays_shard_index, _delays_shard)
-            delays: Dict[str, List[int]] = {name: [] for name in self.histories}
-            for partial, shard_perf in partials:
-                for name, values in partial.items():
-                    delays[name].extend(values)
-                shard_perf.elapsed = 0.0
-                self.perf.merge(shard_perf)
-            return delays
-        return self._delays_for_items(items)
+        with trace_span("replay:delays", workers=workers) as span:
+            # The final request set per domain (union over usable months).
+            profiles_by_domain: Dict[str, Dict[str, UrlProfile]] = {}
+            for record in crawl.records:
+                if record.usable:
+                    profile = profile_record(record, self.perf)
+                    bucket = profiles_by_domain.setdefault(record.domain, {})
+                    for url_profile in profile.urls:
+                        bucket.setdefault(url_profile.url, url_profile)
+            items = [
+                (domain, first_seen, list(profiles_by_domain.get(domain, {}).values()))
+                for domain, first_seen in coverage.site_first_seen.items()
+            ]
+            span.set(sites=len(items))
+            if workers > 1 and len(items) > 1:
+                shards = _split_shards([[item] for item in items], workers)
+                partials = self._map_shards(shards, _delays_shard_index, _delays_shard)
+                delays: Dict[str, List[int]] = {name: [] for name in self.histories}
+                for index, (partial, shard_perf, payload) in enumerate(partials):
+                    span.add_child_payload(f"shard:{index}", **payload)
+                    for name, values in partial.items():
+                        delays[name].extend(values)
+                    shard_perf.elapsed = 0.0
+                    self.perf.merge(shard_perf)
+                return delays
+            return self._delays_for_items(items)
 
     def _delays_for_items(
         self, items: Sequence[Tuple[str, date, List[UrlProfile]]]

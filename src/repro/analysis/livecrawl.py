@@ -9,10 +9,13 @@ anti-adblock scripts for the §5 live classification test.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..filterlist.history import FilterListHistory
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as trace_span
 from ..filterlist.matcher import NetworkMatcher
 from ..filterlist.parser import FilterList
 from ..filterlist.rules import ElementRule
@@ -21,6 +24,8 @@ from ..web.adblocker import Adblocker
 from ..web.dom import parse_html
 from ..web.page import PageSnapshot
 from ..web.url import is_third_party, resource_type_from_url
+
+logger = logging.getLogger("repro.analysis.livecrawl")
 
 
 @dataclass
@@ -107,8 +112,22 @@ class LiveCrawler:
 
     # -- crawl ----------------------------------------------------------------------
 
+    #: Emit an INFO heartbeat every this many sites.
+    PROGRESS_EVERY = 2000
+
     def crawl(self, check_html: bool = True) -> LiveCrawlResult:
         """Visit every live domain and match against the latest list versions."""
+        with trace_span("live_crawl", lists=len(self.histories)) as span:
+            result = self._crawl(check_html, span)
+        metrics = get_metrics()
+        metrics.count("live.crawled", result.crawled)
+        metrics.count("live.reachable", result.reachable)
+        metrics.count("live.matched_scripts", len(result.matched_scripts))
+        for name, count in result.http_matches.items():
+            metrics.count(f"live.http_matches.{name}", count)
+        return result
+
+    def _crawl(self, check_html: bool, span) -> LiveCrawlResult:
         result = LiveCrawlResult()
         for name in self.histories:
             result.http_matches[name] = 0
@@ -118,6 +137,12 @@ class LiveCrawler:
         seen_scripts = set()
         for ranked in self.world.live_domains():
             result.crawled += 1
+            if result.crawled % self.PROGRESS_EVERY == 0:
+                logger.info(
+                    "live crawl progress: %d sites, %d reachable",
+                    result.crawled,
+                    result.reachable,
+                )
             snapshot = self.world.live_snapshot(ranked.rank)
             if snapshot is None:
                 continue
@@ -143,4 +168,5 @@ class LiveCrawler:
                     if script.source and script.source not in seen_scripts:
                         seen_scripts.add(script.source)
                         result.matched_scripts.append(script.source)
+        span.set(crawled=result.crawled, reachable=result.reachable)
         return result

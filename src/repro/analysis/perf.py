@@ -18,26 +18,22 @@ and observable:
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
+# Knob parsing lives in obs.config (one validation point, warn-once on
+# invalid values); these aliases keep the established import sites.
+from ..obs.config import matcher_cache_size, repro_workers
 
-def repro_workers() -> int:
-    """Worker-process count from ``REPRO_WORKERS`` (default 1 = serial)."""
-    try:
-        return max(int(os.environ.get("REPRO_WORKERS", "1")), 1)
-    except ValueError:
-        return 1
-
-
-def matcher_cache_size() -> int:
-    """Matcher/adblocker LRU capacity from ``REPRO_MATCHER_CACHE``."""
-    try:
-        return max(int(os.environ.get("REPRO_MATCHER_CACHE", "512")), 2)
-    except ValueError:
-        return 512
+__all__ = [
+    "PerfCounters",
+    "LRUCache",
+    "repro_workers",
+    "matcher_cache_size",
+    "GLOBAL_COUNTERS",
+    "get_counters",
+]
 
 
 @dataclass
@@ -62,6 +58,8 @@ class PerfCounters:
     #: request profiles computed / reused
     profile_builds: int = 0
     profile_hits: int = 0
+    #: archived pages parsed into a DOM (records passing the element screen)
+    html_parses: int = 0
     #: wall-clock seconds of the replay loop (set by the analyzer)
     elapsed: float = 0.0
 
@@ -87,6 +85,11 @@ class PerfCounters:
         return self.matcher_cache_hits / total if total else 0.0
 
     # -- aggregation ---------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every counter (each ``analyze()`` run starts fresh)."""
+        for f in fields(self):
+            setattr(self, f.name, 0.0 if f.name == "elapsed" else 0)
 
     def snapshot(self) -> tuple:
         """A point-in-time copy of every counter (for :meth:`since`)."""
@@ -118,6 +121,24 @@ class PerfCounters:
         data["probes_per_call"] = self.probes_per_call()
         data["matcher_hit_rate"] = self.matcher_hit_rate()
         return data
+
+    #: Counters whose totals do not depend on how the record loop was
+    #: sharded: each is accumulated per record (or per domain group), and
+    #: shards partition records along domain boundaries. Cache-locality
+    #: counters (matcher/adblocker/profile builds and hits) are excluded —
+    #: every worker warms its own caches and records keep their memoized
+    #: profiles across runs, so those totals legitimately vary with the
+    #: worker count and run order.
+    WORK_COUNTERS = ("records", "match_calls", "candidates_probed", "html_parses")
+
+    def work_metrics(self) -> Dict[str, int]:
+        """The sharding-invariant counters, key-sorted.
+
+        A parallel run's merged ``work_metrics()`` must equal the serial
+        run's exactly — this is the metric-level analogue of the
+        byte-identical ``CoverageResult`` guarantee.
+        """
+        return {name: int(getattr(self, name)) for name in sorted(self.WORK_COUNTERS)}
 
     def render(self) -> str:
         """One-line human-readable summary for the bench harness."""

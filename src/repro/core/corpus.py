@@ -15,6 +15,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..filterlist.matcher import NetworkMatcher
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as trace_span
 from ..web.page import PageSnapshot, Script
 from ..web.url import registered_domain
 
@@ -87,35 +89,50 @@ def build_corpus(
     excluded = {registered_domain(d) for d in (exclude_domains or [])}
     positives: Dict[str, LabeledScript] = {}
     negatives: Dict[str, LabeledScript] = {}
-    for page in pages:
-        page_domain = page.domain
-        if page_domain in excluded:
-            continue
-        for script in page.scripts:
-            entry = LabeledScript(
-                source=script.source,
-                label=0,
-                url=script.url,
-                site_domain=page_domain,
-                vendor=script.vendor,
-            )
-            if _script_matches(script, page_domain, matcher):
-                entry.label = 1
-                positives.setdefault(entry.digest, entry)
-            else:
-                negatives.setdefault(entry.digest, entry)
-    # A script seen as positive anywhere is positive everywhere.
-    for digest in list(negatives):
-        if digest in positives:
-            del negatives[digest]
+    labeled = 0
+    with trace_span("corpus:build") as span:
+        for page in pages:
+            page_domain = page.domain
+            if page_domain in excluded:
+                continue
+            span.count("pages")
+            for script in page.scripts:
+                labeled += 1
+                entry = LabeledScript(
+                    source=script.source,
+                    label=0,
+                    url=script.url,
+                    site_domain=page_domain,
+                    vendor=script.vendor,
+                )
+                if _script_matches(script, page_domain, matcher):
+                    entry.label = 1
+                    positives.setdefault(entry.digest, entry)
+                else:
+                    negatives.setdefault(entry.digest, entry)
+        # A script seen as positive anywhere is positive everywhere.
+        for digest in list(negatives):
+            if digest in positives:
+                del negatives[digest]
 
-    negative_list = list(negatives.values())
-    positive_list = list(positives.values())
-    target_negatives = int(round(imbalance * len(positive_list)))
-    if positive_list and len(negative_list) > target_negatives:
-        rng = np.random.default_rng(seed)
-        indices = rng.choice(len(negative_list), size=target_negatives, replace=False)
-        negative_list = [negative_list[int(i)] for i in sorted(indices)]
+        negative_list = list(negatives.values())
+        positive_list = list(positives.values())
+        target_negatives = int(round(imbalance * len(positive_list)))
+        if positive_list and len(negative_list) > target_negatives:
+            rng = np.random.default_rng(seed)
+            indices = rng.choice(
+                len(negative_list), size=target_negatives, replace=False
+            )
+            negative_list = [negative_list[int(i)] for i in sorted(indices)]
+        span.set(
+            scripts_labeled=labeled,
+            positives=len(positive_list),
+            negatives=len(negative_list),
+        )
+    metrics = get_metrics()
+    metrics.count("corpus.scripts_labeled", labeled)
+    metrics.count("corpus.positives", len(positive_list))
+    metrics.count("corpus.negatives", len(negative_list))
     return Corpus(scripts=positive_list + negative_list)
 
 

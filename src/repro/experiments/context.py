@@ -9,9 +9,11 @@ Set the ``REPRO_SCALE`` environment variable to override globally.
 
 from __future__ import annotations
 
-import os
+import logging
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..analysis.coverage import CoverageAnalyzer, CoverageResult
 from ..analysis.livecrawl import LiveCrawler, LiveCrawlResult
@@ -19,6 +21,9 @@ from ..analysis.perf import PerfCounters, repro_workers
 from ..core.corpus import Corpus, build_corpus
 from ..filterlist.history import FilterListHistory
 from ..filterlist.matcher import NetworkMatcher
+from ..obs.config import repro_scale
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as trace_span
 from ..synthesis.listgen import FilterListGenerator, generate_all_lists
 from ..synthesis.seeds import DEFAULT_SEED
 from ..synthesis.world import SyntheticWorld, WorldConfig
@@ -29,10 +34,24 @@ from ..wayback.crawler import CrawlResult, WaybackCrawler
 AAK = "Anti-Adblock Killer"
 CE = "Combined EasyList"
 
+logger = logging.getLogger("repro.experiments")
+
 
 def default_scale() -> float:
     """Experiment scale from ``REPRO_SCALE`` (default 0.08)."""
-    return float(os.environ.get("REPRO_SCALE", "0.08"))
+    return repro_scale()
+
+
+@dataclass
+class StageTiming:
+    """One completed pipeline stage of a context's lazy build chain."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
 
 
 def default_workers() -> int:
@@ -52,6 +71,29 @@ class ExperimentContext:
     _analyzer: Optional[CoverageAnalyzer] = field(default=None, repr=False)
     _live: Optional[LiveCrawlResult] = field(default=None, repr=False)
     _corpus: Optional[Corpus] = field(default=None, repr=False)
+    #: Completed lazy-build stages (lists, archive, crawl, coverage, …),
+    #: in execution order; the run manifest and bench harness read these.
+    stage_timings: List[StageTiming] = field(default_factory=list, repr=False)
+
+    # -- observability ------------------------------------------------------------
+
+    @contextmanager
+    def _stage(self, name: str, **attributes):
+        """Time one lazy build as a named stage (span + metrics + log)."""
+        logger.info("stage %s: starting", name)
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        with trace_span(f"stage:{name}", **attributes):
+            yield
+        wall, cpu = time.perf_counter() - wall0, time.process_time() - cpu0
+        self.stage_timings.append(StageTiming(name, wall, cpu))
+        metrics = get_metrics()
+        metrics.gauge(f"stage.{name}.wall_s", wall)
+        metrics.gauge(f"stage.{name}.cpu_s", cpu)
+        logger.info("stage %s: finished in %.2fs", name, wall)
+
+    def stage_report(self) -> List[Dict[str, object]]:
+        """Stage timings as JSON-ready dicts (manifest ``stages`` block)."""
+        return [stage.as_dict() for stage in self.stage_timings]
 
     # -- construction ------------------------------------------------------------
 
@@ -77,7 +119,8 @@ class ExperimentContext:
     def lists(self) -> Dict[str, FilterListHistory]:
         """Histories keyed 'aak', 'easylist', 'awrl', 'combined_easylist'."""
         if self._lists is None:
-            self._lists = generate_all_lists(self.world)
+            with self._stage("lists"):
+                self._lists = generate_all_lists(self.world)
         return self._lists
 
     @property
@@ -94,19 +137,22 @@ class ExperimentContext:
     def archive(self) -> WaybackArchive:
         """The populated Wayback archive (built on first access)."""
         if self._archive is None:
-            self._archive = self.world.build_archive()
+            with self._stage("archive", sites=len(self.world.sites)):
+                self._archive = self.world.build_archive()
         return self._archive
 
     @property
     def crawl(self) -> CrawlResult:
         """The 60-month top-segment crawl (built on first access)."""
         if self._crawl is None:
-            crawler = WaybackCrawler(self.archive)
-            self._crawl = crawler.crawl(
-                [site.domain for site in self.world.sites],
-                self.world.config.start,
-                self.world.config.end,
-            )
+            archive = self.archive  # build outside so the stages stay distinct
+            with self._stage("crawl", sites=len(self.world.sites)):
+                crawler = WaybackCrawler(archive)
+                self._crawl = crawler.crawl(
+                    [site.domain for site in self.world.sites],
+                    self.world.config.start,
+                    self.world.config.end,
+                )
         return self._crawl
 
     @property
@@ -124,7 +170,14 @@ class ExperimentContext:
         pool; the merged result is identical to the serial one.
         """
         if self._coverage is None:
-            self._coverage = self.analyzer.analyze(self.crawl)
+            # Materialise upstream artifacts first so each stage's span
+            # and timing cover only its own work.
+            crawl, analyzer = self.crawl, self.analyzer
+            with self._stage("coverage", workers=repro_workers()):
+                self._coverage = analyzer.analyze(crawl)
+            # The replay engine's counters feed the unified registry as
+            # one source among many.
+            get_metrics().absorb("replay", self.analyzer.perf)
         return self._coverage
 
     @property
@@ -136,24 +189,28 @@ class ExperimentContext:
     def live(self) -> LiveCrawlResult:
         """The §4.3 live-crawl result (computed on first access)."""
         if self._live is None:
-            self._live = LiveCrawler(self.world, self.histories).crawl()
+            histories = self.histories
+            with self._stage("live", top=self.world.config.live_top):
+                self._live = LiveCrawler(self.world, histories).crawl()
         return self._live
 
     @property
     def corpus(self) -> Corpus:
         """The §5 training corpus: top-segment scripts labeled by the lists."""
         if self._corpus is None:
-            rules = []
-            for key in ("aak", "combined_easylist"):
-                latest = self.lists[key].latest()
-                if latest is not None:
-                    rules.extend(latest.filter_list.network_rules)
-            matcher = NetworkMatcher(rules)
-            pages = [
-                self.world.snapshot(site, self.world.config.end)
-                for site in self.world.sites
-            ]
-            self._corpus = build_corpus(pages, matcher, seed=self.world.seed)
+            lists = self.lists
+            with self._stage("corpus"):
+                rules = []
+                for key in ("aak", "combined_easylist"):
+                    latest = lists[key].latest()
+                    if latest is not None:
+                        rules.extend(latest.filter_list.network_rules)
+                matcher = NetworkMatcher(rules)
+                pages = [
+                    self.world.snapshot(site, self.world.config.end)
+                    for site in self.world.sites
+                ]
+                self._corpus = build_corpus(pages, matcher, seed=self.world.seed)
         return self._corpus
 
 

@@ -1,0 +1,57 @@
+"""Pipeline-wide observability: spans, metrics, config, run manifests.
+
+The paper's measurement campaign is a chain of expensive stages (world
+synthesis, list generation, the Wayback crawl, the §4 replay, the live
+crawl, the §5 corpus build). This package is the zero-dependency
+telemetry layer that makes every stage attributable:
+
+- :mod:`~repro.obs.trace` — a hierarchical span tree (wall/CPU time,
+  counters, attributes) that is a no-op unless explicitly enabled;
+- :mod:`~repro.obs.metrics` — a unified counter/gauge registry that
+  absorbs the replay engine's :class:`~repro.analysis.perf.PerfCounters`
+  as one source among many;
+- :mod:`~repro.obs.config` — the single validation point for the
+  ``REPRO_*`` environment knobs (warn once, never silently mis-parse);
+- :mod:`~repro.obs.manifest` — a JSONL event log plus a final
+  ``run.json`` capturing seed, resolved config, git SHA, per-stage
+  durations, and per-experiment artifact digests;
+- :mod:`~repro.obs.logconf` — ``logging`` setup for the ``-v``/``--quiet``
+  CLI flags.
+
+Nothing in here imports the rest of ``repro``; every other layer may
+import ``repro.obs`` freely.
+"""
+
+from .config import ConfigSnapshot, config_snapshot
+from .logconf import configure_logging
+from .manifest import RunManifest, validate_manifest
+from .metrics import MetricsRegistry, get_metrics, reset_metrics
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "ConfigSnapshot",
+    "config_snapshot",
+    "configure_logging",
+    "RunManifest",
+    "validate_manifest",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "tracing_enabled",
+]

@@ -1,0 +1,36 @@
+"""Manifest tooling CLI: ``python -m repro.obs validate run.json``.
+
+Exit status 0 when every named manifest validates against the
+``repro.run-manifest/1`` schema, 1 otherwise (errors on stderr). CI uses
+this to gate the traced-run artifact it uploads.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .manifest import load_and_validate
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in ("-h", "--help") or argv[0] != "validate":
+        print(__doc__)
+        return 0 if (argv and argv[0] in ("-h", "--help")) else 2
+    paths = argv[1:]
+    if not paths:
+        print("validate: no manifest paths given", file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        errors = load_and_validate(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,128 @@
+"""One validation point for the ``REPRO_*`` environment knobs.
+
+Before this module, ``REPRO_SCALE`` was parsed in ``experiments.context``
+and ``REPRO_WORKERS``/``REPRO_MATCHER_CACHE`` in ``analysis.perf``, each
+silently falling back to its default on garbage input — a typo like
+``REPRO_WORKERS=fuor`` quietly ran serial. All three knobs now resolve
+here: invalid or out-of-range values still fall back to the documented
+defaults (so behaviour is unchanged), but a warning is logged **once per
+(variable, raw value)** so the operator learns about the typo, and the
+resolved values are recorded in the run manifest via
+:func:`config_snapshot`.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+logger = logging.getLogger("repro.obs.config")
+
+#: Documented defaults (kept in sync with README "Performance").
+DEFAULT_SCALE = 0.08
+DEFAULT_WORKERS = 1
+DEFAULT_MATCHER_CACHE = 512
+
+#: The knobs this module owns, in manifest order.
+KNOBS = ("REPRO_SCALE", "REPRO_WORKERS", "REPRO_MATCHER_CACHE")
+
+#: (variable, raw value) pairs already warned about in this process.
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def _warn_once(var: str, raw: str, fallback) -> None:
+    key = (var, raw)
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    logger.warning("invalid %s=%r; using %r", var, raw, fallback)
+
+
+def _resolve_float(var: str, raw: Optional[str], default: float, minimum: float) -> float:
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        _warn_once(var, raw, default)
+        return default
+    if value < minimum or value != value:  # NaN guard
+        _warn_once(var, raw, default)
+        return default
+    return value
+
+
+def _resolve_int(var: str, raw: Optional[str], default: int, minimum: int, clamp: bool = False) -> int:
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _warn_once(var, raw, default)
+        return default
+    if value < minimum:
+        fallback = minimum if clamp else default
+        _warn_once(var, raw, fallback)
+        return fallback
+    return value
+
+
+def repro_scale(environ: Optional[Mapping[str, str]] = None) -> float:
+    """Experiment scale from ``REPRO_SCALE`` (default 0.08, must be > 0)."""
+    environ = os.environ if environ is None else environ
+    return _resolve_float(
+        "REPRO_SCALE", environ.get("REPRO_SCALE"), DEFAULT_SCALE, minimum=1e-9
+    )
+
+
+def repro_workers(environ: Optional[Mapping[str, str]] = None) -> int:
+    """§4 replay worker count from ``REPRO_WORKERS`` (default 1 = serial)."""
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_WORKERS", environ.get("REPRO_WORKERS"), DEFAULT_WORKERS, minimum=1
+    )
+
+
+def matcher_cache_size(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Matcher/adblocker LRU capacity from ``REPRO_MATCHER_CACHE`` (≥ 2)."""
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_MATCHER_CACHE",
+        environ.get("REPRO_MATCHER_CACHE"),
+        DEFAULT_MATCHER_CACHE,
+        minimum=2,
+        clamp=True,
+    )
+
+
+@dataclass(frozen=True)
+class ConfigSnapshot:
+    """The resolved run configuration, as recorded in the manifest."""
+
+    scale: float
+    workers: int
+    matcher_cache: int
+    #: Raw environment strings actually present (pre-validation), so a
+    #: manifest shows both what the operator set and what the run used.
+    raw_env: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scale": self.scale,
+            "workers": self.workers,
+            "matcher_cache": self.matcher_cache,
+            "raw_env": dict(self.raw_env),
+        }
+
+
+def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapshot:
+    """Resolve every knob (warning once on invalid values) in one shot."""
+    environ = os.environ if environ is None else environ
+    return ConfigSnapshot(
+        scale=repro_scale(environ),
+        workers=repro_workers(environ),
+        matcher_cache=matcher_cache_size(environ),
+        raw_env={var: environ[var] for var in KNOBS if var in environ},
+    )

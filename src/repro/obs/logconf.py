@@ -1,0 +1,43 @@
+"""``logging`` configuration for the CLI's ``-v``/``--quiet`` flags.
+
+The experiment artifacts themselves are *program output* and stay on
+stdout via ``print``; everything diagnostic (stage progress, knob
+warnings, crawl heartbeats) goes through the ``repro`` logger hierarchy
+to **stderr**, so piping artifacts to a file never mixes in telemetry.
+
+Verbosity ladder (default output unchanged from the pre-logging CLI):
+
+====== ========= =======================================
+flag   verbosity level
+====== ========= =======================================
+-q     -1        ERROR (suppress knob warnings too)
+(none) 0         WARNING (only misconfiguration warnings)
+-v     1         INFO (stage starts/finishes, progress)
+-vv    2         DEBUG (per-site / per-revision detail)
+====== ========= =======================================
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: The root of every logger in this package.
+ROOT_LOGGER = "repro"
+
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger (idempotent)."""
+    level = _LEVELS.get(max(min(verbosity, 2), -1), logging.WARNING)
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    target = stream if stream is not None else sys.stderr
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(target)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,232 @@
+"""Machine-readable run manifests: a JSONL event log plus ``run.json``.
+
+A manifest makes a measurement run auditable after the fact: which code
+(git SHA), which configuration (seed, resolved ``REPRO_*`` knobs), which
+stages ran for how long, what every experiment produced (SHA-256 of the
+rendered artifact), and what the unified metrics registry accumulated.
+Two outputs:
+
+- **events** (``<out>.jsonl``) — an append-only JSONL log written while
+  the run progresses: one object per stage/span/artifact event, each
+  stamped with a monotonic sequence number and wall-clock time. Useful
+  for tailing long campaigns and for post-hoc timeline reconstruction.
+- **``run.json``** — the final manifest, written once at the end.
+
+The schema is versioned (``repro.run-manifest/1``) and checked by
+:func:`validate_manifest` — a hand-rolled structural validator so CI can
+gate on manifest integrity without a jsonschema dependency. Validate
+from the command line with ``python -m repro.obs validate run.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import subprocess
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "repro.run-manifest/1"
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit SHA, or ``None`` outside a checkout."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = completed.stdout.strip()
+    return sha if completed.returncode == 0 and sha else None
+
+
+def artifact_digest(text: str) -> str:
+    """SHA-256 hex digest of a rendered experiment artifact."""
+    return hashlib.sha256(text.encode("utf-8", "replace")).hexdigest()
+
+
+class RunManifest:
+    """Accumulates one run's provenance and writes it to disk."""
+
+    def __init__(self, path, events_path=None) -> None:
+        self.path = Path(path)
+        self.events_path = (
+            Path(events_path)
+            if events_path is not None
+            else self.path.with_suffix(".jsonl")
+        )
+        self.created = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        self.stages: List[Dict[str, Any]] = []
+        self.artifacts: Dict[str, Dict[str, Any]] = {}
+        self._seq = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # Truncate any stale event log from a previous run at this path.
+        self.events_path.write_text("")
+        self.event("run_start", manifest=str(self.path))
+
+    # -- the JSONL event log ------------------------------------------------
+
+    def event(self, kind: str, **payload: Any) -> None:
+        """Append one event line (monotonic ``seq``, wall-clock ``ts``)."""
+        record = {"seq": self._seq, "ts": time.time(), "event": kind}
+        record.update(payload)
+        self._seq += 1
+        with self.events_path.open("a") as handle:
+            handle.write(json.dumps(record, default=str) + "\n")
+
+    def sink(self, payload: Dict[str, Any]) -> None:
+        """Tracer-sink adapter: log a span payload carrying its own kind.
+
+        :class:`repro.obs.trace.Tracer` emits single-dict events whose
+        ``event`` key names the kind; unpack it into :meth:`event`.
+        """
+        payload = dict(payload)
+        kind = payload.pop("event", "span")
+        self.event(kind, **payload)
+
+    # -- accumulating -------------------------------------------------------
+
+    def record_stage(
+        self, name: str, wall_s: float, cpu_s: Optional[float] = None, **attrs: Any
+    ) -> None:
+        """Record one named pipeline stage's duration (and log the event)."""
+        entry: Dict[str, Any] = {"name": name, "wall_s": wall_s}
+        if cpu_s is not None:
+            entry["cpu_s"] = cpu_s
+        if attrs:
+            entry["attributes"] = attrs
+        self.stages.append(entry)
+        self.event("stage", **entry)
+
+    def record_artifact(
+        self, experiment: str, rendered: str, wall_s: Optional[float] = None
+    ) -> None:
+        """Record one experiment's rendered-artifact digest."""
+        entry: Dict[str, Any] = {
+            "sha256": artifact_digest(rendered),
+            "bytes": len(rendered.encode("utf-8", "replace")),
+        }
+        if wall_s is not None:
+            entry["wall_s"] = wall_s
+        self.artifacts[experiment] = entry
+        self.event("artifact", experiment=experiment, **entry)
+
+    # -- finalizing ---------------------------------------------------------
+
+    def finalize(
+        self,
+        *,
+        seed: Optional[int] = None,
+        config: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
+        experiments: Optional[List[str]] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Write ``run.json`` and return the manifest dict."""
+        manifest: Dict[str, Any] = {
+            "schema": SCHEMA,
+            "created": self.created,
+            "finished": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "git_sha": git_sha(),
+            "seed": seed,
+            "config": config or {},
+            "experiments": experiments or [],
+            "stages": self.stages,
+            "artifacts": self.artifacts,
+            "metrics": metrics or {"counters": {}, "gauges": {}},
+            "spans": spans or [],
+            "events_path": self.events_path.name,
+        }
+        if extra:
+            manifest.update(extra)
+        self.event("run_end", stages=len(self.stages), artifacts=len(self.artifacts))
+        self.path.write_text(json.dumps(manifest, indent=2, default=str) + "\n")
+        return manifest
+
+
+# -- schema validation ----------------------------------------------------------
+
+#: top-level key -> required python type(s)
+_TOP_LEVEL = {
+    "schema": str,
+    "created": str,
+    "finished": str,
+    "config": dict,
+    "experiments": list,
+    "stages": list,
+    "artifacts": dict,
+    "metrics": dict,
+    "spans": list,
+}
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
+    """Structural check of a ``run.json`` dict; returns error strings."""
+    errors: List[str] = []
+    if not isinstance(manifest, dict):
+        return ["manifest is not a JSON object"]
+    for key, expected in _TOP_LEVEL.items():
+        if key not in manifest:
+            errors.append(f"missing key: {key}")
+        elif not isinstance(manifest[key], expected):
+            errors.append(f"{key}: expected {expected.__name__}")
+    if errors:
+        return errors
+    if manifest["schema"] != SCHEMA:
+        errors.append(f"schema: expected {SCHEMA!r}, got {manifest['schema']!r}")
+    for index, stage in enumerate(manifest["stages"]):
+        if not isinstance(stage, dict) or "name" not in stage:
+            errors.append(f"stages[{index}]: missing name")
+            continue
+        if not isinstance(stage.get("wall_s"), (int, float)):
+            errors.append(f"stages[{index}] ({stage['name']}): missing wall_s")
+    for name, artifact in manifest["artifacts"].items():
+        if not isinstance(artifact, dict):
+            errors.append(f"artifacts[{name}]: not an object")
+            continue
+        sha = artifact.get("sha256")
+        if not (isinstance(sha, str) and len(sha) == 64):
+            errors.append(f"artifacts[{name}]: bad sha256")
+        if not isinstance(artifact.get("bytes"), int):
+            errors.append(f"artifacts[{name}]: bad bytes")
+    metrics = manifest["metrics"]
+    for bucket in ("counters", "gauges"):
+        if not isinstance(metrics.get(bucket), dict):
+            errors.append(f"metrics.{bucket}: expected dict")
+    config = manifest["config"]
+    for knob, kind in (("scale", (int, float)), ("workers", int), ("matcher_cache", int)):
+        if knob in config and not isinstance(config[knob], kind):
+            errors.append(f"config.{knob}: wrong type")
+    for index, span in enumerate(manifest["spans"]):
+        errors.extend(_validate_span(span, f"spans[{index}]"))
+    return errors
+
+
+def _validate_span(span: Any, where: str) -> List[str]:
+    errors: List[str] = []
+    if not isinstance(span, dict):
+        return [f"{where}: not an object"]
+    if not isinstance(span.get("name"), str):
+        errors.append(f"{where}: missing name")
+    if span.get("status") not in ("ok", "error", "open"):
+        errors.append(f"{where}: bad status")
+    for child_index, child in enumerate(span.get("children", ())):
+        errors.extend(_validate_span(child, f"{where}.children[{child_index}]"))
+    return errors
+
+
+def load_and_validate(path) -> List[str]:
+    """Read a manifest file and validate it; returns error strings."""
+    try:
+        manifest = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable manifest: {exc}"]
+    return validate_manifest(manifest)

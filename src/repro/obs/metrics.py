@@ -1,0 +1,115 @@
+"""A unified metrics registry: namespaced counters and gauges.
+
+Every pipeline stage reports into one flat registry under a dotted
+namespace (``crawl.slots``, ``replay.records``, ``corpus.positives``),
+so one ``run.json`` can answer "what did this run do" across layers. Two
+kinds of metric, with merge semantics chosen so that sharded runs
+aggregate deterministically:
+
+- **counters** — monotonically accumulated integers; merging *sums*.
+- **gauges** — point-in-time floats (rates, durations); merging takes
+  the *max*, matching how :class:`~repro.analysis.perf.PerfCounters`
+  folds shard ``elapsed`` times.
+
+Serialization (:meth:`MetricsRegistry.as_dict`) is key-sorted, so two
+registries holding the same values serialize byte-identically regardless
+of insertion order — the property the parallel-vs-serial regression
+tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Namespaced counter/gauge store with deterministic serialization."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Add ``delta`` to the counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + int(delta)
+
+    def gauge(self, name: str, value: Number) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins locally)."""
+        self._gauges[name] = float(value)
+
+    def absorb(self, namespace: str, source: Any) -> None:
+        """Fold an external source's numbers in under ``namespace.``.
+
+        ``source`` may be a mapping or any object with ``as_dict()``
+        (e.g. :class:`~repro.analysis.perf.PerfCounters` — the replay
+        engine's counters become one source among many). ``int`` values
+        become counters; ``float`` values (rates, durations) become
+        gauges; anything non-numeric is skipped.
+        """
+        if not isinstance(source, Mapping):
+            source = source.as_dict()
+        for key in sorted(source):
+            value = source[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            full = f"{namespace}.{key}"
+            if isinstance(value, int):
+                self.count(full, value)
+            else:
+                self.gauge(full, value)
+
+    # -- reading / merging --------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters sum, gauges take the max."""
+        for name in sorted(other._counters):
+            self.count(name, other._counters[name])
+        for name in sorted(other._gauges):
+            current = self._gauges.get(name)
+            value = other._gauges[name]
+            self._gauges[name] = value if current is None else max(current, value)
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges)
+
+    def as_dict(self) -> Dict[str, Dict[str, Number]]:
+        """Key-sorted ``{"counters": ..., "gauges": ...}`` (JSON-ready)."""
+        return {
+            "counters": {key: self._counters[key] for key in sorted(self._counters)},
+            "gauges": {key: self._gauges[key] for key in sorted(self._gauges)},
+        }
+
+    def render(self) -> str:
+        """One ``name=value`` per line, counters first, key-sorted."""
+        lines = [f"{key}={self._counters[key]}" for key in sorted(self._counters)]
+        lines += [f"{key}={self._gauges[key]:.6g}" for key in sorted(self._gauges)]
+        return "\n".join(lines)
+
+
+#: Process-global registry: the default sink for stage instrumentation.
+#: The CLI resets it at the start of a run; tests reset it per-case.
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _METRICS
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Clear the global registry (start-of-run hygiene) and return it."""
+    _METRICS.reset()
+    return _METRICS

@@ -1,0 +1,278 @@
+"""Hierarchical tracing: a span tree with wall/CPU time and counters.
+
+A :class:`Span` is a context manager recording one named unit of work —
+a pipeline stage, one crawled site, one experiment — with wall-clock and
+CPU durations, free-form attributes, and integer counters. Spans nest:
+entering a span while another is open attaches it as a child, so a run
+produces a tree like::
+
+    run
+    └── stage:crawl            wall=2.41s cpu=2.39s  slots=24000
+        ├── site:news0.example
+        └── site:shop1.example
+
+Tracing is **off by default** and engineered to stay off the hot path:
+:func:`span` returns the shared :data:`NULL_SPAN` singleton when the
+global tracer is disabled, so an instrumented call site costs one
+attribute check and no allocation. Exceptions are never swallowed — a
+span that exits through an exception records ``status="error"`` plus the
+exception repr and re-raises.
+
+Worker processes cannot share the parent's tree; they report flat
+payload dicts (see :meth:`Span.add_child_payload`) that the parent grafts
+on as pre-closed children, keeping shard attribution in the tree without
+cross-process plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+
+class Span:
+    """One timed, attributed node of the span tree (context manager)."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "counters",
+        "children",
+        "wall_s",
+        "cpu_s",
+        "status",
+        "error",
+        "_tracer",
+        "_wall0",
+        "_cpu0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.counters: Dict[str, int] = {}
+        self.children: List["Span"] = []
+        self.wall_s: Optional[float] = None
+        self.cpu_s: Optional[float] = None
+        self.status = "open"
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach/overwrite attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment a per-span counter."""
+        self.counters[name] = self.counters.get(name, 0) + delta
+
+    def add_child_payload(self, name: str, **payload: Any) -> "Span":
+        """Graft a pre-closed child (e.g. a worker shard's report).
+
+        ``wall_s``/``cpu_s`` keys become the child's durations; every
+        other key becomes an attribute.
+        """
+        child = Span(name)
+        child.wall_s = float(payload.pop("wall_s", 0.0))
+        child.cpu_s = float(payload.pop("cpu_s", 0.0))
+        child.attributes = dict(payload)
+        child.status = "ok"
+        self.children.append(child)
+        return child
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._wall0
+        self.cpu_s = time.process_time() - self._cpu0
+        if exc_type is None:
+            self.status = "ok"
+        else:
+            self.status = "error"
+            self.error = repr(exc)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False  # never suppress
+
+    # -- export -------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Recursive plain-dict form (JSON-ready)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.error is not None:
+            data["error"] = self.error
+        if self.children:
+            data["children"] = [child.as_dict() for child in self.children]
+        return data
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable one-line-per-span tree."""
+        wall = f"{self.wall_s:.3f}s" if self.wall_s is not None else "-"
+        cpu = f"{self.cpu_s:.3f}s" if self.cpu_s is not None else "-"
+        extras = ""
+        if self.counters:
+            extras += " " + " ".join(
+                f"{key}={value}" for key, value in sorted(self.counters.items())
+            )
+        if self.status == "error":
+            extras += f" ERROR {self.error}"
+        lines = [f"{'  ' * indent}{self.name}  wall={wall} cpu={cpu}{extras}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+    def count(self, name: str, delta: int = 1) -> None:
+        pass
+
+    def add_child_payload(self, name: str, **payload: Any) -> "_NullSpan":
+        return self
+
+
+#: The singleton every disabled-tracer call site receives.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owns the span stack and the finished root spans of one run."""
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        #: Completed top-level spans, in completion order.
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        #: Optional callable receiving a dict per span start/end (the
+        #: manifest's JSONL event log plugs in here).
+        self.sink = sink
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span (or return :data:`NULL_SPAN` when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attributes, tracer=self)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (the stack must be empty)."""
+        self.roots = []
+        self._stack = []
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """Every finished root span, JSON-ready."""
+        return [root.as_dict() for root in self.roots]
+
+    def render(self) -> str:
+        """The whole forest, human-readable."""
+        return "\n".join(root.render() for root in self.roots)
+
+    # -- span plumbing ------------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        if self.sink is not None:
+            self.sink(
+                {"event": "span_start", "name": span.name, "depth": len(self._stack)}
+            )
+
+    def _pop(self, span: Span) -> None:
+        # Tolerate out-of-order exits (exception unwinding through
+        # several spans closes them innermost-first, which is in-order;
+        # anything else is a bug we refuse to crash telemetry over).
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(span)
+        if not self._stack and span not in self.roots and span._tracer is self:
+            if not any(span in root.children for root in self.roots):
+                self.roots.append(span)
+        if self.sink is not None:
+            self.sink(
+                {
+                    "event": "span_end",
+                    "name": span.name,
+                    "status": span.status,
+                    "wall_s": span.wall_s,
+                    "cpu_s": span.cpu_s,
+                    "counters": dict(span.counters),
+                }
+            )
+
+
+#: Process-global tracer; disabled until :func:`enable_tracing`.
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _TRACER
+
+
+def tracing_enabled() -> bool:
+    """Whether :func:`span` currently records anything."""
+    return _TRACER.enabled
+
+
+def enable_tracing(sink: Optional[Callable[[Dict[str, Any]], None]] = None) -> Tracer:
+    """Turn the global tracer on (fresh tree) and return it."""
+    _TRACER.enabled = True
+    _TRACER.sink = sink
+    _TRACER.reset()
+    return _TRACER
+
+
+def disable_tracing() -> None:
+    """Turn the global tracer off (recorded spans are kept)."""
+    _TRACER.enabled = False
+    _TRACER.sink = None
+
+
+def span(name: str, **attributes: Any):
+    """Open a span on the global tracer (no-op singleton when disabled)."""
+    if not _TRACER.enabled:
+        return NULL_SPAN
+    return Span(name, attributes, tracer=_TRACER)

@@ -663,12 +663,24 @@ def extract_sections(
 
 def generate_all_lists(world: SyntheticWorld) -> Dict[str, FilterListHistory]:
     """AAK, EasyList anti-adblock, AWRL, and the Combined EasyList."""
+    from ..obs.metrics import get_metrics
+    from ..obs.trace import span as trace_span
+
     generator = FilterListGenerator(world)
-    easylist = generator.generate_easylist_antiadblock()
-    awrl = generator.generate_awrl()
-    return {
-        "aak": generator.generate_aak(),
-        "easylist": easylist,
-        "awrl": awrl,
-        "combined_easylist": combine_histories("Combined EasyList", easylist, awrl),
-    }
+    histories: Dict[str, FilterListHistory] = {}
+    with trace_span("listgen"):
+        with trace_span("list:easylist"):
+            easylist = generator.generate_easylist_antiadblock()
+        with trace_span("list:awrl"):
+            awrl = generator.generate_awrl()
+        with trace_span("list:aak"):
+            histories["aak"] = generator.generate_aak()
+        histories["easylist"] = easylist
+        histories["awrl"] = awrl
+        histories["combined_easylist"] = combine_histories(
+            "Combined EasyList", easylist, awrl
+        )
+    metrics = get_metrics()
+    for key, history in histories.items():
+        metrics.count(f"listgen.revisions.{key}", len(history.revisions))
+    return histories

@@ -519,34 +519,45 @@ class SyntheticWorld:
 
     def build_archive(self) -> WaybackArchive:
         """Populate a Wayback archive with monthly captures of every site."""
+        from ..obs.metrics import get_metrics
+        from ..obs.trace import span as trace_span
+
         archive = WaybackArchive()
         months = self.config.months()
-        for profile in self.sites:
-            if profile.excluded is not None:
-                archive.exclude(profile.domain, profile.excluded)
-                continue
-            if profile.archive_start is None:
-                continue
-            capture_rng = rng_for(self.seed, "capture", profile.domain)
-            for month in months:
-                if month < profile.archive_start:
+        stored = excluded = 0
+        with trace_span("archive:build", sites=len(self.sites)) as span:
+            for profile in self.sites:
+                if profile.excluded is not None:
+                    archive.exclude(profile.domain, profile.excluded)
+                    excluded += 1
                     continue
-                if profile.archive_end is not None and month > profile.archive_end:
+                if profile.archive_start is None:
                     continue
-                if capture_rng.random() > self.config.capture_hit_rate:
-                    continue
-                capture_day = month + timedelta(days=int(capture_rng.integers(0, 25)))
-                partial = (
-                    profile.anti_bot_from is not None
-                    and capture_day >= profile.anti_bot_from
-                    and capture_rng.random() < 0.75
-                )
-                snapshot = (
-                    self._anti_bot_snapshot(profile)
-                    if partial
-                    else self.snapshot(profile, capture_day)
-                )
-                archive.store(profile.domain, capture_day, snapshot, partial=partial)
+                capture_rng = rng_for(self.seed, "capture", profile.domain)
+                for month in months:
+                    if month < profile.archive_start:
+                        continue
+                    if profile.archive_end is not None and month > profile.archive_end:
+                        continue
+                    if capture_rng.random() > self.config.capture_hit_rate:
+                        continue
+                    capture_day = month + timedelta(days=int(capture_rng.integers(0, 25)))
+                    partial = (
+                        profile.anti_bot_from is not None
+                        and capture_day >= profile.anti_bot_from
+                        and capture_rng.random() < 0.75
+                    )
+                    snapshot = (
+                        self._anti_bot_snapshot(profile)
+                        if partial
+                        else self.snapshot(profile, capture_day)
+                    )
+                    archive.store(profile.domain, capture_day, snapshot, partial=partial)
+                    stored += 1
+            span.set(snapshots=stored, excluded_sites=excluded)
+        metrics = get_metrics()
+        metrics.count("archive.snapshots", stored)
+        metrics.count("archive.excluded_sites", excluded)
         return archive
 
     # -- the live web (§4.3) -----------------------------------------------------

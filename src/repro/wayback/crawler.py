@@ -10,16 +10,21 @@ below 10% of that domain-year's average.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from datetime import date
 from enum import Enum
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as trace_span
 from ..web.browser import Browser, VisitResult
 from ..web.har import HarFile
 from .archive import WaybackArchive
 from .availability import AvailabilityAPI
 from .rewrite import truncate_wayback, wayback_url
+
+logger = logging.getLogger("repro.wayback.crawler")
 
 #: The paper discards availability hits more than six months away.
 OUTDATED_THRESHOLD_DAYS = 183
@@ -145,14 +150,38 @@ class WaybackCrawler:
         self.api = AvailabilityAPI(archive)
         self.browser = browser or Browser()
 
+    #: Emit an INFO heartbeat every this many domains.
+    PROGRESS_EVERY = 100
+
     def crawl(
         self, domains: Iterable[str], start: date, end: date
     ) -> CrawlResult:
         """Crawl every domain for every month in ``[start, end]``."""
         result = CrawlResult()
         months = month_range(start, end)
-        for domain in domains:
-            result.records.extend(self._crawl_domain(domain, months))
+        domains = list(domains)
+        metrics = get_metrics()
+        with trace_span(
+            "crawl", domains=len(domains), months=len(months)
+        ) as crawl_span:
+            for index, domain in enumerate(domains):
+                with trace_span(f"site:{domain}"):
+                    records = self._crawl_domain(domain, months)
+                result.records.extend(records)
+                usable = sum(1 for record in records if record.usable)
+                metrics.count("crawl.domains")
+                metrics.count("crawl.slots", len(records))
+                metrics.count("crawl.records_fetched", usable)
+                crawl_span.count("records_fetched", usable)
+                if (index + 1) % self.PROGRESS_EVERY == 0:
+                    logger.info(
+                        "crawl progress: %d/%d domains, %d usable records",
+                        index + 1,
+                        len(domains),
+                        metrics.counter("crawl.records_fetched"),
+                    )
+            for record in result.records:
+                metrics.count(f"crawl.status.{record.status.name.lower()}")
         return result
 
     def _crawl_domain(self, domain: str, months: List[date]) -> List[CrawlRecord]:

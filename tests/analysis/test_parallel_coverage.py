@@ -7,6 +7,7 @@ of shared month dates, so a pickle of the parallel result equals the
 serial one bit for bit.
 """
 
+import json
 import pickle
 
 import pytest
@@ -14,6 +15,8 @@ import pytest
 from repro.analysis.coverage import CoverageAnalyzer
 from repro.analysis.profile import profile_record
 from repro.experiments.context import ExperimentContext
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import disable_tracing, enable_tracing, get_tracer
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +63,67 @@ class TestParallelEqualsSerial:
         assert analyzer.perf.records > 0
         assert analyzer.perf.match_calls > 0
         assert analyzer.perf.elapsed > 0
+
+    def test_work_metrics_merge_is_byte_identical(self, ctx):
+        """The sharding-invariant counters merge to exactly the serial
+        totals — and absorbing them into the unified metrics registry
+        serializes byte-identically regardless of run mode."""
+        serial_analyzer = CoverageAnalyzer(ctx.histories)
+        serial_analyzer.analyze(ctx.crawl, workers=1)
+        parallel_analyzer = CoverageAnalyzer(ctx.histories)
+        parallel_analyzer.analyze(ctx.crawl, workers=3)
+        serial_work = serial_analyzer.perf.work_metrics()
+        parallel_work = parallel_analyzer.perf.work_metrics()
+        assert serial_work["records"] > 0
+        assert json.dumps(serial_work) == json.dumps(parallel_work)
+
+        serial_registry = MetricsRegistry()
+        serial_registry.absorb("replay", serial_work)
+        parallel_registry = MetricsRegistry()
+        parallel_registry.absorb("replay", parallel_work)
+        assert json.dumps(serial_registry.as_dict()) == json.dumps(
+            parallel_registry.as_dict()
+        )
+
+
+class TestPerfReset:
+    def test_repeated_analyze_does_not_accumulate(self, ctx):
+        """Back-to-back analyze() calls each start from zero counters."""
+        analyzer = CoverageAnalyzer(ctx.histories)
+        analyzer.analyze(ctx.crawl, workers=1)
+        first = analyzer.perf.work_metrics()
+        assert first["records"] > 0
+        analyzer.analyze(ctx.crawl, workers=1)
+        assert analyzer.perf.work_metrics() == first
+
+    def test_reset_applies_to_parallel_runs_too(self, ctx):
+        analyzer = CoverageAnalyzer(ctx.histories)
+        analyzer.analyze(ctx.crawl, workers=2)
+        first = analyzer.perf.work_metrics()
+        analyzer.analyze(ctx.crawl, workers=2)
+        assert analyzer.perf.work_metrics() == first
+
+
+class TestParallelSpans:
+    def test_sharded_run_reports_per_worker_payloads(self, ctx):
+        enable_tracing()
+        try:
+            CoverageAnalyzer(ctx.histories).analyze(ctx.crawl, workers=3)
+            roots = get_tracer().roots
+        finally:
+            disable_tracing()
+            get_tracer().reset()
+        analyze_spans = [root for root in roots if root.name == "replay:analyze"]
+        assert len(analyze_spans) == 1
+        shards = [
+            child
+            for child in analyze_spans[0].children
+            if child.name.startswith("shard:")
+        ]
+        assert len(shards) == analyze_spans[0].attributes["shards"]
+        assert len(shards) > 1
+        assert sum(child.attributes["records"] for child in shards) > 0
+        assert all(child.wall_s >= 0.0 for child in shards)
 
 
 class TestProfileFastPath:

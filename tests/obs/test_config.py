@@ -1,0 +1,117 @@
+"""Env-knob validation: one place, warn once, never silently mis-parse."""
+
+import logging
+
+import pytest
+
+from repro.obs import config as obs_config
+from repro.obs.config import (
+    ConfigSnapshot,
+    config_snapshot,
+    matcher_cache_size,
+    repro_scale,
+    repro_workers,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warnings(monkeypatch):
+    """Each test sees a clean warn-once ledger and no REPRO_* knobs."""
+    monkeypatch.setattr(obs_config, "_WARNED", set())
+    for var in obs_config.KNOBS:
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestScale:
+    def test_default(self):
+        assert repro_scale() == obs_config.DEFAULT_SCALE
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert repro_scale() == 0.5
+
+    def test_garbage_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert repro_scale() == obs_config.DEFAULT_SCALE
+        assert "REPRO_SCALE" in caplog.text
+
+    def test_nonpositive_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert repro_scale() == obs_config.DEFAULT_SCALE
+        assert "REPRO_SCALE" in caplog.text
+
+
+class TestWorkers:
+    def test_default_serial(self):
+        assert repro_workers() == 1
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert repro_workers() == 4
+
+    def test_zero_and_garbage_default_to_serial(self, monkeypatch, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            monkeypatch.setenv("REPRO_WORKERS", "0")
+            assert repro_workers() == 1
+            monkeypatch.setenv("REPRO_WORKERS", "fuor")
+            assert repro_workers() == 1
+        assert caplog.text.count("REPRO_WORKERS") == 2
+
+
+class TestMatcherCache:
+    def test_default(self):
+        assert matcher_cache_size() == obs_config.DEFAULT_MATCHER_CACHE
+
+    def test_clamps_to_minimum_with_warning(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_MATCHER_CACHE", "1")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert matcher_cache_size() == 2
+        assert "REPRO_MATCHER_CACHE" in caplog.text
+
+
+class TestWarnOnce:
+    def test_same_bad_value_warns_exactly_once(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            for _ in range(5):
+                assert repro_workers() == 1
+        assert caplog.text.count("REPRO_WORKERS") == 1
+
+    def test_distinct_bad_values_each_warn(self, monkeypatch, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            monkeypatch.setenv("REPRO_WORKERS", "bad1")
+            repro_workers()
+            monkeypatch.setenv("REPRO_WORKERS", "bad2")
+            repro_workers()
+        assert caplog.text.count("REPRO_WORKERS") == 2
+
+
+class TestSnapshot:
+    def test_resolves_all_knobs_and_keeps_raw(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.2")
+        monkeypatch.setenv("REPRO_WORKERS", "broken")
+        snapshot = config_snapshot()
+        assert isinstance(snapshot, ConfigSnapshot)
+        assert snapshot.scale == 0.2
+        assert snapshot.workers == 1  # fell back, but the typo is recorded
+        assert snapshot.matcher_cache == obs_config.DEFAULT_MATCHER_CACHE
+        assert snapshot.raw_env == {"REPRO_SCALE": "0.2", "REPRO_WORKERS": "broken"}
+
+    def test_explicit_environ_mapping(self):
+        snapshot = config_snapshot({"REPRO_SCALE": "1.0"})
+        assert snapshot.scale == 1.0
+        assert snapshot.raw_env == {"REPRO_SCALE": "1.0"}
+
+    def test_as_dict_is_json_ready(self):
+        data = config_snapshot({}).as_dict()
+        assert set(data) == {"scale", "workers", "matcher_cache", "raw_env"}
+
+
+class TestPerfAliases:
+    def test_perf_module_reexports_the_validated_knobs(self):
+        from repro.analysis import perf
+
+        assert perf.repro_workers is repro_workers
+        assert perf.matcher_cache_size is matcher_cache_size

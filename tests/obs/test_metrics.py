@@ -1,0 +1,112 @@
+"""Metrics-registry tests: counters, gauges, absorb, deterministic merge."""
+
+import json
+
+from repro.analysis.perf import PerfCounters
+from repro.obs.metrics import MetricsRegistry, get_metrics, reset_metrics
+
+
+class TestCountersAndGauges:
+    def test_count_accumulates(self):
+        registry = MetricsRegistry()
+        registry.count("crawl.slots")
+        registry.count("crawl.slots", 4)
+        assert registry.counter("crawl.slots") == 5
+        assert registry.counter("never.touched") == 0
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("stage.crawl.wall_s", 1.0)
+        registry.gauge("stage.crawl.wall_s", 2.5)
+        assert registry.as_dict()["gauges"]["stage.crawl.wall_s"] == 2.5
+
+    def test_len_and_reset(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.gauge("b", 1.0)
+        assert len(registry) == 2
+        registry.reset()
+        assert len(registry) == 0
+
+
+class TestAbsorb:
+    def test_absorbs_perf_counters_ints_as_counters(self):
+        perf = PerfCounters(records=10, match_calls=3)
+        perf.elapsed = 1.5
+        registry = MetricsRegistry()
+        registry.absorb("replay", perf)
+        data = registry.as_dict()
+        assert data["counters"]["replay.records"] == 10
+        assert data["counters"]["replay.match_calls"] == 3
+        # Floats (elapsed, derived rates) land as gauges.
+        assert data["gauges"]["replay.elapsed"] == 1.5
+        assert "replay.records_per_second" in data["gauges"]
+
+    def test_absorbs_plain_mapping_and_skips_non_numbers(self):
+        registry = MetricsRegistry()
+        registry.absorb("x", {"count": 2, "rate": 0.5, "name": "skip", "flag": True})
+        data = registry.as_dict()
+        assert data["counters"] == {"x.count": 2}
+        assert data["gauges"] == {"x.rate": 0.5}
+
+
+class TestDeterministicMerge:
+    def test_serialization_is_insertion_order_independent(self):
+        forward = MetricsRegistry()
+        forward.count("a", 1)
+        forward.count("b", 2)
+        forward.gauge("t", 0.5)
+        backward = MetricsRegistry()
+        backward.gauge("t", 0.5)
+        backward.count("b", 2)
+        backward.count("a", 1)
+        assert json.dumps(forward.as_dict()) == json.dumps(backward.as_dict())
+
+    def test_merge_sums_counters_maxes_gauges(self):
+        left = MetricsRegistry()
+        left.count("records", 10)
+        left.gauge("elapsed", 2.0)
+        right = MetricsRegistry()
+        right.count("records", 5)
+        right.count("only_right", 1)
+        right.gauge("elapsed", 3.0)
+        left.merge(right)
+        data = left.as_dict()
+        assert data["counters"]["records"] == 15
+        assert data["counters"]["only_right"] == 1
+        assert data["gauges"]["elapsed"] == 3.0
+
+    def test_sharded_merge_equals_single_registry(self):
+        """Merging N shard registries (any order) matches one big one."""
+        whole = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for index, shard in enumerate(shards):
+            for key in ("replay.records", "crawl.slots"):
+                shard.count(key, index + 1)
+                whole.count(key, index + 1)
+        merged_forward = MetricsRegistry()
+        for shard in shards:
+            merged_forward.merge(shard)
+        merged_reverse = MetricsRegistry()
+        for shard in reversed(shards):
+            merged_reverse.merge(shard)
+        assert (
+            json.dumps(merged_forward.as_dict())
+            == json.dumps(merged_reverse.as_dict())
+            == json.dumps(whole.as_dict())
+        )
+
+    def test_render_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.count("z.last", 1)
+        registry.count("a.first", 2)
+        lines = registry.render().splitlines()
+        assert lines == ["a.first=2", "z.last=1"]
+
+
+class TestGlobalRegistry:
+    def test_reset_clears_the_shared_instance(self):
+        registry = get_metrics()
+        registry.count("scratch", 1)
+        assert reset_metrics() is registry
+        assert registry.counter("scratch") == 0

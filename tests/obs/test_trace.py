@@ -1,0 +1,177 @@
+"""Span-tree tests: nesting, exception safety, disabled-mode overhead."""
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _global_tracer_off():
+    """Every test leaves the process-global tracer disabled and empty."""
+    yield
+    disable_tracing()
+    get_tracer().reset()
+
+
+class TestNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [child.name for child in outer.children] == ["middle", "sibling"]
+        assert outer.children[0].children[0].name == "inner"
+
+    def test_sequential_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [root.name for root in tracer.roots] == ["first", "second"]
+
+    def test_durations_and_status(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work") as recorded:
+            pass
+        assert recorded.status == "ok"
+        assert recorded.wall_s >= 0.0
+        assert recorded.cpu_s >= 0.0
+
+    def test_attributes_and_counters(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("stage", sites=4) as recorded:
+            recorded.set(phase="merge")
+            recorded.count("records", 3)
+            recorded.count("records")
+        assert recorded.attributes == {"sites": 4, "phase": "merge"}
+        assert recorded.counters == {"records": 4}
+
+    def test_child_payload_grafting(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parallel") as parent:
+            parent.add_child_payload("shard:0", wall_s=1.5, cpu_s=1.25, records=7)
+        child = parent.children[0]
+        assert child.name == "shard:0"
+        assert child.wall_s == 1.5
+        assert child.attributes == {"records": 7}
+        assert child.status == "ok"
+
+
+class TestExceptionSafety:
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed") as recorded:
+                raise ValueError("boom")
+        assert recorded.status == "error"
+        assert "boom" in recorded.error
+        assert recorded.wall_s is not None
+        # The stack unwound completely; the next span is a fresh root.
+        with tracer.span("after"):
+            pass
+        assert [root.name for root in tracer.roots] == ["doomed", "after"]
+
+    def test_exception_unwinds_nested_spans(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    raise RuntimeError("deep")
+        assert inner.status == "error"
+        assert outer.status == "error"
+        assert tracer._stack == []
+
+
+class TestDisabledMode:
+    def test_disabled_returns_shared_null_span(self):
+        assert not tracing_enabled()
+        first = span("anything", key="value")
+        second = span("other")
+        assert first is NULL_SPAN
+        assert second is NULL_SPAN
+
+    def test_null_span_api_is_inert(self):
+        with span("nothing") as recorded:
+            recorded.set(a=1)
+            recorded.count("x")
+            recorded.add_child_payload("shard:0", wall_s=1.0)
+        assert recorded is NULL_SPAN
+        assert get_tracer().roots == []
+
+    def test_null_span_never_swallows_exceptions(self):
+        with pytest.raises(KeyError):
+            with span("nothing"):
+                raise KeyError("still raised")
+
+    def test_disabled_overhead_is_one_branch(self):
+        """The disabled path allocates nothing: same singleton each call."""
+        spans = {id(span(f"s{i}")) for i in range(1000)}
+        assert spans == {id(NULL_SPAN)}
+
+
+class TestGlobalTracer:
+    def test_enable_records_and_disable_stops(self):
+        tracer = enable_tracing()
+        with span("visible"):
+            pass
+        disable_tracing()
+        with span("invisible"):
+            pass
+        assert [root.name for root in tracer.roots] == ["visible"]
+
+    def test_sink_receives_start_and_end_events(self):
+        events = []
+        enable_tracing(sink=events.append)
+        with span("emitting"):
+            pass
+        kinds = [event["event"] for event in events]
+        assert kinds == ["span_start", "span_end"]
+        assert events[1]["status"] == "ok"
+        assert events[1]["wall_s"] >= 0.0
+
+
+class TestExport:
+    def test_as_dict_roundtrip_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", scale=0.1) as root:
+            root.count("items", 2)
+            with tracer.span("leaf"):
+                pass
+        data = tracer.as_dicts()
+        assert len(data) == 1
+        assert data[0]["name"] == "root"
+        assert data[0]["attributes"] == {"scale": 0.1}
+        assert data[0]["counters"] == {"items": 2}
+        assert data[0]["children"][0]["name"] == "leaf"
+
+    def test_render_is_indented_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root"):
+            with tracer.span("leaf"):
+                pass
+        text = tracer.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+
+
+class TestSpanStandalone:
+    def test_span_without_tracer_still_times(self):
+        with Span("loose") as recorded:
+            pass
+        assert recorded.status == "ok"
+        assert recorded.wall_s is not None

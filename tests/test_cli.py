@@ -1,10 +1,12 @@
 """Tests for the ``python -m repro`` entry point."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import EXPERIMENTS, _parse_args, main
+from repro.obs.manifest import validate_manifest
 
 #: The repo's ``src/`` directory; the CLI subprocess needs it importable.
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"
@@ -38,3 +40,79 @@ class TestMain:
         )
         assert completed.returncode == 0
         assert "Table 2" in completed.stdout
+
+
+class TestFlagParsing:
+    def test_defaults(self):
+        opts = _parse_args(["fig6", "sec43"])
+        assert opts["names"] == ["fig6", "sec43"]
+        assert not opts["trace"]
+        assert opts["metrics_out"] is None
+        assert opts["verbosity"] == 0
+
+    def test_observability_flags(self):
+        opts = _parse_args(["--trace", "--metrics-out=run.json", "-v", "fig6"])
+        assert opts["trace"]
+        assert opts["metrics_out"] == "run.json"
+        assert opts["verbosity"] == 1
+        assert opts["names"] == ["fig6"]
+
+    def test_metrics_out_with_separate_path(self):
+        assert _parse_args(["--metrics-out", "x.json"])["metrics_out"] == "x.json"
+
+    def test_quiet_and_double_verbose(self):
+        assert _parse_args(["-q"])["verbosity"] == -1
+        assert _parse_args(["-vv"])["verbosity"] == 2
+
+    def test_unknown_option_rejected(self, capsys):
+        assert main(["--frobnicate", "table2"]) == 2
+        assert "unknown option" in capsys.readouterr().err
+
+    def test_metrics_out_requires_path(self, capsys):
+        assert main(["table2", "--metrics-out"]) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+
+class TestManifestRun:
+    def test_traced_run_writes_valid_manifest(self, tmp_path):
+        """The acceptance-path CLI: traced run + manifest + artifacts."""
+        out = tmp_path / "run.json"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "--trace",
+                f"--metrics-out={out}",
+                "table2",
+            ],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_SCALE": "0.01",
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": str(SRC_DIR),
+            },
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Table 2" in completed.stdout  # artifact output unchanged
+        assert "[trace]" in completed.stderr  # span tree on stderr
+
+        manifest = json.loads(out.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["experiments"] == ["table2"]
+        assert "table2" in manifest["artifacts"]
+        assert manifest["config"]["scale"] == 0.01
+        assert any(
+            span["name"] == "experiment:table2" for span in manifest["spans"]
+        )
+
+        events = [
+            json.loads(line)
+            for line in (tmp_path / "run.jsonl").read_text().splitlines()
+        ]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert "artifact" in kinds
+        assert "span_start" in kinds and "span_end" in kinds
