@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import re
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from datetime import date
 from html import unescape
@@ -43,6 +42,7 @@ from ..wayback.crawler import CrawlRecord, CrawlResult
 from ..web.adblocker import Adblocker
 from ..web.dom import parse_html
 from .perf import LRUCache, PerfCounters, matcher_cache_size, repro_workers
+from .pool import fork_context, map_shards, split_shards
 from .profile import RequestProfile, UrlProfile, profile_record
 
 
@@ -71,41 +71,17 @@ class CoverageResult:
 
 # -- worker-process plumbing ---------------------------------------------------
 #
-# On platforms with ``fork`` (Linux, the paper-scale target) the histories
-# and shards are published as module globals *before* the pool is created:
-# forked workers inherit them for free and tasks carry only a shard index,
-# so nothing of the crawl is pickled. Elsewhere the executor initializer
-# seeds each worker with the histories once and tasks carry slimmed
-# records, keeping per-task pickling proportional to the shard.
-
-_WORKER_ANALYZER: Optional["CoverageAnalyzer"] = None
-
-#: Fork-inherited state: (histories, shards) published by the parent.
-_FORK_HISTORIES: Optional[Dict[str, FilterListHistory]] = None
-_FORK_SHARDS: Optional[List[list]] = None
+# The fork-first pool, contiguous sharding, and worker-state seeding live
+# in ``analysis.pool`` (shared with the §5 feature-extraction engine).
+# Each worker builds one CoverageAnalyzer over the histories, then runs
+# shard tasks against it.
 
 
-def _fork_context():
-    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
-    import multiprocessing
-
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        return None
+def _make_worker_analyzer(histories: Dict[str, FilterListHistory]) -> "CoverageAnalyzer":
+    return CoverageAnalyzer(histories)
 
 
-def _init_coverage_worker(histories: Dict[str, FilterListHistory]) -> None:
-    global _WORKER_ANALYZER
-    _WORKER_ANALYZER = CoverageAnalyzer(histories)
-
-
-def _init_fork_worker() -> None:
-    global _WORKER_ANALYZER
-    _WORKER_ANALYZER = CoverageAnalyzer(_FORK_HISTORIES)
-
-
-def _shard_telemetry(fn):
+def _shard_telemetry(analyzer: "CoverageAnalyzer", fn):
     """Run a shard body, returning (result, perf delta, span payload).
 
     The payload is a flat dict the parent grafts onto its span tree as a
@@ -113,9 +89,9 @@ def _shard_telemetry(fn):
     so sharded runs keep per-worker wall/CPU attribution.
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
-    before = _WORKER_ANALYZER.perf.snapshot()
+    before = analyzer.perf.snapshot()
     partial = fn()
-    delta = _WORKER_ANALYZER.perf.since(before)
+    delta = analyzer.perf.since(before)
     payload = {
         "wall_s": time.perf_counter() - wall0,
         "cpu_s": time.process_time() - cpu0,
@@ -125,42 +101,14 @@ def _shard_telemetry(fn):
     return partial, delta, payload
 
 
-def _analyze_shard(records: List[CrawlRecord], html_rules: bool):
+def _analyze_shard(analyzer, records: List[CrawlRecord], html_rules: bool):
     return _shard_telemetry(
-        lambda: _WORKER_ANALYZER._analyze_records(records, html_rules)
+        analyzer, lambda: analyzer._analyze_records(records, html_rules)
     )
 
 
-def _analyze_shard_index(index: int, html_rules: bool):
-    return _analyze_shard(_FORK_SHARDS[index], html_rules)
-
-
-def _delays_shard(items):
-    return _shard_telemetry(lambda: _WORKER_ANALYZER._delays_for_items(items))
-
-
-def _delays_shard_index(index: int):
-    return _delays_shard(_FORK_SHARDS[index])
-
-
-def _split_shards(groups: Sequence[list], shard_count: int) -> List[list]:
-    """Split ordered groups into ≤ ``shard_count`` contiguous, size-balanced
-    shards (flattened). Contiguity keeps the merged insertion order equal
-    to the serial iteration order."""
-    total = sum(len(group) for group in groups)
-    if total == 0 or shard_count <= 1:
-        return [[item for group in groups for item in group]] if total else []
-    target = total / shard_count
-    shards: List[list] = []
-    current: list = []
-    for group in groups:
-        current.extend(group)
-        if len(current) >= target and len(shards) < shard_count - 1:
-            shards.append(current)
-            current = []
-    if current:
-        shards.append(current)
-    return shards
+def _delays_shard(analyzer, items):
+    return _shard_telemetry(analyzer, lambda: analyzer._delays_for_items(items))
 
 
 class _ElementRuleScreen:
@@ -493,29 +441,15 @@ class CoverageAnalyzer:
             slimmed.append(slim_group)
         return slimmed
 
-    def _map_shards(self, shards: List[list], fork_fn, pickle_fn, extra=()):
-        """Run one worker task per shard, preferring fork inheritance."""
-        global _FORK_HISTORIES, _FORK_SHARDS
-        count = len(shards)
-        context = _fork_context()
-        repeated = [[value] * count for value in extra]
-        if context is not None:
-            _FORK_HISTORIES, _FORK_SHARDS = self.histories, shards
-            try:
-                with ProcessPoolExecutor(
-                    max_workers=count,
-                    mp_context=context,
-                    initializer=_init_fork_worker,
-                ) as pool:
-                    return list(pool.map(fork_fn, range(count), *repeated))
-            finally:
-                _FORK_HISTORIES = _FORK_SHARDS = None
-        with ProcessPoolExecutor(
-            max_workers=count,
-            initializer=_init_coverage_worker,
-            initargs=(self.histories,),
-        ) as pool:
-            return list(pool.map(pickle_fn, shards, *repeated))
+    def _map_shards(self, shards: List[list], task, extra=()):
+        """Run one worker task per shard via the shared fork-first pool."""
+        return map_shards(
+            shards,
+            task,
+            state=self.histories,
+            make_worker_state=_make_worker_analyzer,
+            extra=extra,
+        )
 
     def _analyze_parallel(
         self, crawl: CrawlResult, html_rules: bool, workers: int, span=None
@@ -523,21 +457,19 @@ class CoverageAnalyzer:
         """Shard the record loop by domain across a process pool."""
         started = time.perf_counter()
         groups = crawl.domain_groups()
-        if _fork_context() is not None:
+        if fork_context() is not None:
             # Forked workers inherit the records; they screen and profile
             # their own shards in parallel.
-            shards = _split_shards(groups, workers)
+            shards = split_shards(groups, workers)
         else:  # pragma: no cover - non-fork platforms
             if html_rules and self._element_screen is None:
                 self._element_screen = _ElementRuleScreen(self.histories)
-            shards = _split_shards(self._slim_records(groups, html_rules), workers)
+            shards = split_shards(self._slim_records(groups, html_rules), workers)
         if len(shards) <= 1:
             return self._analyze_records(crawl.records, html_rules)
         if span is not None:
             span.set(shards=len(shards))
-        partials = self._map_shards(
-            shards, _analyze_shard_index, _analyze_shard, extra=(html_rules,)
-        )
+        partials = self._map_shards(shards, _analyze_shard, extra=(html_rules,))
         # Intern month objects so the merged result's object graph (and
         # therefore its pickled bytes) matches the serial run, where equal
         # dates are one shared object from the crawl's month range.
@@ -624,8 +556,8 @@ class CoverageAnalyzer:
             ]
             span.set(sites=len(items))
             if workers > 1 and len(items) > 1:
-                shards = _split_shards([[item] for item in items], workers)
-                partials = self._map_shards(shards, _delays_shard_index, _delays_shard)
+                shards = split_shards([[item] for item in items], workers)
+                partials = self._map_shards(shards, _delays_shard)
                 delays: Dict[str, List[int]] = {name: [] for name in self.histories}
                 for index, (partial, shard_perf, payload) in enumerate(partials):
                     span.add_child_payload(f"shard:{index}", **payload)

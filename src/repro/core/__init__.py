@@ -7,7 +7,7 @@ evaluation, and the end-to-end detector pipeline of Figure 8.
 """
 
 from .adaboost import AdaBoostClassifier, DecisionStump
-from .chi2 import chi_square_scores, top_k_features
+from .chi2 import chi_square_from_counts, chi_square_scores, top_k_features
 from .corpus import Corpus, LabeledScript, build_corpus, ground_truth_corpus
 from .crossval import (
     Metrics,
@@ -20,14 +20,26 @@ from .features import (
     FEATURE_SETS,
     WEB_API_KEYWORDS,
     FeatureExtractionError,
+    TokenEvent,
     extract_features,
     features_for_corpus,
+    features_from_events,
     features_from_source,
+    token_events,
+)
+from .featstore import (
+    EXTRACTOR_VERSION,
+    FeatureStore,
+    ScriptEvents,
+    extract_events,
+    get_feature_store,
+    set_feature_store,
 )
 from .online import OnlineAdblocker, OnlineVisitResult
 from .pipeline import (
     AntiAdblockDetector,
     DetectorConfig,
+    EvaluationCache,
     evaluate_detector,
     make_classifier,
 )
@@ -39,6 +51,7 @@ from .vectorize import FeatureSpace, Vectorizer, VectorizerReport
 __all__ = [
     "AdaBoostClassifier",
     "DecisionStump",
+    "chi_square_from_counts",
     "chi_square_scores",
     "top_k_features",
     "Corpus",
@@ -53,9 +66,18 @@ __all__ = [
     "FEATURE_SETS",
     "WEB_API_KEYWORDS",
     "FeatureExtractionError",
+    "TokenEvent",
     "extract_features",
     "features_for_corpus",
+    "features_from_events",
     "features_from_source",
+    "token_events",
+    "EXTRACTOR_VERSION",
+    "FeatureStore",
+    "ScriptEvents",
+    "extract_events",
+    "get_feature_store",
+    "set_feature_store",
     "OnlineAdblocker",
     "OnlineVisitResult",
     "DetectedScript",
@@ -64,6 +86,7 @@ __all__ = [
     "detect_and_generate",
     "AntiAdblockDetector",
     "DetectorConfig",
+    "EvaluationCache",
     "evaluate_detector",
     "make_classifier",
     "DEFAULT_SIGNATURES",

@@ -13,6 +13,32 @@ from __future__ import annotations
 import numpy as np
 
 
+def chi_square_from_counts(
+    a: np.ndarray,
+    b: np.ndarray,
+    positives: float,
+    negatives: float,
+    n_samples: int,
+) -> np.ndarray:
+    """χ² from per-feature contingency counts (the paper's A and B).
+
+    ``a``/``b`` count positive/negative samples containing each feature;
+    C and D follow from the class totals. This is the common core of the
+    dense :func:`chi_square_scores` path and the bit-packed vectorizer
+    (:mod:`~repro.core.vectorize`), which pops counts out of column
+    bitmasks instead of materialising a matrix — both produce identical
+    float64 scores because the arithmetic is identical.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    c = positives - a  # positive samples lacking the feature
+    d = negatives - b  # negative samples lacking the feature
+    numerator = n_samples * (a * d - c * b) ** 2
+    denominator = (a + c) * (b + d) * (a + b) * (c + d)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(denominator > 0, numerator / denominator, 0.0)
+
+
 def chi_square_scores(matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
     """χ² score for every column of a binary sample×feature matrix.
 
@@ -33,14 +59,7 @@ def chi_square_scores(matrix: np.ndarray, labels: np.ndarray) -> np.ndarray:
 
     a = labels @ matrix  # positive samples containing the feature
     b = matrix.sum(axis=0) - a  # negative samples containing the feature
-    c = positives - a  # positive samples lacking the feature
-    d = negatives - b  # negative samples lacking the feature
-
-    numerator = n_samples * (a * d - c * b) ** 2
-    denominator = (a + c) * (b + d) * (a + b) * (c + d)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        scores = np.where(denominator > 0, numerator / denominator, 0.0)
-    return scores
+    return chi_square_from_counts(a, b, positives, negatives, n_samples)
 
 
 def top_k_features(matrix: np.ndarray, labels: np.ndarray, k: int) -> np.ndarray:

@@ -125,25 +125,50 @@ _KIND_FILTER = {
     "keyword": ("keyword",),
 }
 
+#: One text-bearing token occurrence: ``(kind, text, contexts)``. ``kind``
+#: is ``keyword``/``identifier``/``literal``, ``text`` is truncated to 64
+#: characters, and ``contexts`` are the node/parent/structure contexts the
+#: token appears in. The event stream is feature-set-agnostic: every
+#: feature set is a cheap kind-filter over it, so a script is parsed,
+#: unpacked, and walked exactly once no matter how many sets are derived
+#: (the contract the :mod:`~repro.core.featstore` engine caches on).
+TokenEvent = Tuple[str, str, Tuple[str, ...]]
 
-def extract_features(program: N.Program, feature_set: str = "all") -> Set[str]:
-    """The binary feature set of a parsed script.
+
+def token_events(program: N.Program) -> List[TokenEvent]:
+    """One AST walk emitting every feature set's raw material.
 
     Truncates each text token to 64 characters so pathological literals
     (inline data blobs) do not mint unbounded vocabulary.
     """
+    events: List[TokenEvent] = []
+    for node, ancestors in walk_with_ancestors(program):
+        kind, text = _text_kind(node)
+        if not kind:
+            continue
+        events.append((kind, text[:64], tuple(_contexts(node, ancestors))))
+    return events
+
+
+def features_from_events(
+    events: Iterable[TokenEvent], feature_set: str = "all"
+) -> Set[str]:
+    """Derive one feature set from a token event stream by kind-filtering."""
     if feature_set not in _KIND_FILTER:
         raise ValueError(f"unknown feature set {feature_set!r}; choose from {FEATURE_SETS}")
     allowed = _KIND_FILTER[feature_set]
     features: Set[str] = set()
-    for node, ancestors in walk_with_ancestors(program):
-        kind, text = _text_kind(node)
-        if not kind or kind not in allowed:
+    for kind, text, contexts in events:
+        if kind not in allowed:
             continue
-        text = text[:64]
-        for context in _contexts(node, ancestors):
+        for context in contexts:
             features.add(f"{context}:{text}")
     return features
+
+
+def extract_features(program: N.Program, feature_set: str = "all") -> Set[str]:
+    """The binary feature set of a parsed script."""
+    return features_from_events(token_events(program), feature_set)
 
 
 class FeatureExtractionError(ValueError):
@@ -170,11 +195,17 @@ def features_from_source(
 def features_for_corpus(
     sources: Iterable[str], feature_set: str = "all", unpack: bool = True
 ) -> List[Set[str]]:
-    """Feature sets for many scripts; unparseable scripts yield empty sets."""
-    out: List[Set[str]] = []
-    for source in sources:
-        try:
-            out.append(features_from_source(source, feature_set, unpack))
-        except FeatureExtractionError:
-            out.append(set())
-    return out
+    """Feature sets for many scripts; unparseable scripts yield empty sets.
+
+    Delegates to the shared content-addressed feature store
+    (:mod:`~repro.core.featstore`): each distinct script is parsed and
+    unpacked at most once per ``unpack`` flag, extraction shards across
+    ``REPRO_WORKERS`` processes, and per-script parse errors / unpack
+    bailouts surface as ``features.*`` obs counters instead of silently
+    becoming empty sets.
+    """
+    from .featstore import get_feature_store
+
+    return get_feature_store().features_for_corpus(
+        sources, feature_set=feature_set, unpack=unpack
+    )

@@ -9,16 +9,18 @@ online in-adblocker scenarios).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
 from .adaboost import AdaBoostClassifier
 from .crossval import Metrics, compute_metrics
 from .features import features_for_corpus
 from .svm import SVC
-from .vectorize import Vectorizer, VectorizerReport
+from .vectorize import FeatureSpace, Vectorizer, VectorizerReport
 
 
 def make_classifier(kind: str = "adaboost_svm", seed: int = 0) -> object:
@@ -67,11 +69,22 @@ class AntiAdblockDetector:
 
     # -- training ----------------------------------------------------------------
 
-    def fit(self, sources: Sequence[str], labels: Sequence[int]) -> "AntiAdblockDetector":
-        """Extract features, fit the vectorizer, train the classifier."""
-        features = features_for_corpus(
-            sources, feature_set=self.config.feature_set, unpack=self.config.unpack
-        )
+    def fit(
+        self,
+        sources: Sequence[str],
+        labels: Sequence[int],
+        features: Optional[Sequence[Set[str]]] = None,
+    ) -> "AntiAdblockDetector":
+        """Extract features, fit the vectorizer, train the classifier.
+
+        Pass precomputed ``features`` (one set per source, matching the
+        detector's feature set and unpack flag) to skip extraction —
+        experiments that already hold shared corpus features use this.
+        """
+        if features is None:
+            features = features_for_corpus(
+                sources, feature_set=self.config.feature_set, unpack=self.config.unpack
+            )
         X = self.vectorizer.fit_transform(features, labels)
         self.model = make_classifier(self.config.classifier, seed=self.config.seed)
         self.model.fit(X, np.asarray(labels, dtype=np.int8))
@@ -79,21 +92,35 @@ class AntiAdblockDetector:
 
     # -- inference ---------------------------------------------------------------
 
-    def _vectorize(self, sources: Sequence[str]) -> np.ndarray:
-        features = features_for_corpus(
-            sources, feature_set=self.config.feature_set, unpack=self.config.unpack
-        )
+    def _vectorize(
+        self,
+        sources: Sequence[str],
+        features: Optional[Sequence[Set[str]]] = None,
+    ) -> np.ndarray:
+        if features is None:
+            features = features_for_corpus(
+                sources, feature_set=self.config.feature_set, unpack=self.config.unpack
+            )
         return self.vectorizer.transform(features)
 
-    def predict(self, sources: Sequence[str]) -> np.ndarray:
+    def predict(
+        self,
+        sources: Sequence[str],
+        features: Optional[Sequence[Set[str]]] = None,
+    ) -> np.ndarray:
         """1 for anti-adblock, 0 for benign, per script."""
         if self.model is None:
             raise RuntimeError("AntiAdblockDetector.fit must run first")
-        return np.asarray(self.model.predict(self._vectorize(sources))).ravel()
+        return np.asarray(self.model.predict(self._vectorize(sources, features))).ravel()
 
-    def score(self, sources: Sequence[str], labels: Sequence[int]) -> Metrics:
+    def score(
+        self,
+        sources: Sequence[str],
+        labels: Sequence[int],
+        features: Optional[Sequence[Set[str]]] = None,
+    ) -> Metrics:
         """TP/FP rates on a held-out labeled set."""
-        return compute_metrics(np.asarray(labels), self.predict(sources))
+        return compute_metrics(np.asarray(labels), self.predict(sources, features))
 
     @property
     def report(self) -> VectorizerReport:
@@ -101,35 +128,154 @@ class AntiAdblockDetector:
         return self.vectorizer.report
 
 
+#: A fitted fold: the selected space plus the filter-stage counts.
+_FoldSpace = Tuple[FeatureSpace, VectorizerReport]
+
+
+class EvaluationCache:
+    """Fold-level memoization shared across detector configurations.
+
+    Table 3 evaluates 18 configurations over one corpus, and whole fold
+    computations repeat between them. Two observations make that cheap:
+
+    - A fold's fitted feature space depends only on (features, labels,
+      fold split, top_k) — and when the post-duplicate vocabulary is
+      already ≤ top_k, the cap never fires, so *every* such top_k yields
+      the same space (at default scale, top 10 000 and top 1 000 both
+      select the identical uncapped vocabulary).
+    - Classifier training is deterministic given (classifier kind, seed,
+      training matrix), so two configurations that arrive at the same
+      fold space produce bit-equal predictions — train once, replay.
+
+    Keys are content tokens (hashes of the feature sets, label bytes and
+    selected vocabularies), never object identities, so hits are exact.
+    """
+
+    def __init__(self) -> None:
+        self._spaces: Dict[tuple, _FoldSpace] = {}
+        #: fold key → fitted space whose selection was not truncated by
+        #: top_k (reusable for any cap ≥ its post-duplicate count).
+        self._uncapped: Dict[tuple, _FoldSpace] = {}
+        self._predictions: Dict[tuple, np.ndarray] = {}
+        self.space_hits = 0
+        self.space_misses = 0
+        self.prediction_hits = 0
+        self.prediction_misses = 0
+
+    def _count(self, name: str) -> None:
+        setattr(self, name, getattr(self, name) + 1)
+        get_metrics().count(f"pipeline.{name}")
+
+    @staticmethod
+    def features_token(features: Sequence[Set[str]]) -> str:
+        """Content token for a per-script feature-set list."""
+        digest = hashlib.sha256()
+        for feature_set in features:
+            for feature in sorted(feature_set):
+                digest.update(feature.encode("utf-8"))
+                digest.update(b"\x1f")
+            digest.update(b"\x1e")
+        return digest.hexdigest()
+
+    def space_for_fold(
+        self,
+        fold_key: tuple,
+        top_k: Optional[int],
+        fit: Callable[[], "Vectorizer"],
+    ) -> _FoldSpace:
+        """The fitted space for one fold, computing via ``fit`` on miss."""
+        exact = fold_key + (top_k,)
+        entry = self._spaces.get(exact)
+        if entry is None and top_k is not None:
+            uncapped = self._uncapped.get(fold_key)
+            if uncapped is not None and uncapped[1].after_duplicates <= top_k:
+                entry = uncapped
+                self._spaces[exact] = entry
+        if entry is not None:
+            self._count("space_hits")
+            return entry
+        self._count("space_misses")
+        vectorizer = fit()
+        entry = (vectorizer.space, vectorizer.report)
+        self._spaces[exact] = entry
+        if top_k is None or vectorizer.report.after_duplicates <= top_k:
+            self._uncapped.setdefault(fold_key, entry)
+        return entry
+
+    def predictions_for_fold(
+        self,
+        fold_key: tuple,
+        classifier: str,
+        names_token: tuple,
+        compute: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """One fold's test predictions, training via ``compute`` on miss."""
+        key = fold_key + (classifier, names_token)
+        cached = self._predictions.get(key)
+        if cached is not None:
+            self._count("prediction_hits")
+            return cached
+        self._count("prediction_misses")
+        predictions = compute()
+        self._predictions[key] = predictions
+        return predictions
+
+
 def evaluate_detector(
     sources: Sequence[str],
     labels: Sequence[int],
     config: Optional[DetectorConfig] = None,
     n_folds: int = 10,
+    features: Optional[Sequence[Set[str]]] = None,
+    cache: Optional[EvaluationCache] = None,
     **kwargs,
 ) -> Metrics:
     """10-fold cross-validated TP/FP rates for one Table 3 configuration.
 
-    Feature extraction runs once; the vectorizer and classifier are
-    re-fitted inside every fold (only on that fold's training scripts), so
-    feature selection never sees test labels.
+    Feature extraction happens at most once per (corpus, unpack) pair —
+    either passed in as precomputed ``features`` or resolved through the
+    shared content-addressed feature store — and the vectorizer and
+    classifier are re-fitted inside every fold (only on that fold's
+    training scripts), so feature selection never sees test labels.
+
+    A shared ``cache`` (:class:`EvaluationCache`) additionally reuses
+    fitted fold spaces and fold predictions across configurations that
+    provably coincide; results are bit-identical with or without it.
     """
     if config is None:
         config = DetectorConfig(**kwargs)
-    features = features_for_corpus(
-        sources, feature_set=config.feature_set, unpack=config.unpack
-    )
+    if features is None:
+        features = features_for_corpus(
+            sources, feature_set=config.feature_set, unpack=config.unpack
+        )
+    if cache is None:
+        cache = EvaluationCache()
     labels_array = np.asarray(labels, dtype=np.int8)
 
     from .crossval import stratified_folds
 
+    corpus_key = (cache.features_token(features), labels_array.tobytes())
     predictions = np.zeros_like(labels_array)
-    for train, test in stratified_folds(labels_array, n_folds=n_folds, seed=config.seed):
-        vectorizer = Vectorizer(top_k=config.top_k)
+    folds = stratified_folds(labels_array, n_folds=n_folds, seed=config.seed)
+    for fold_index, (train, test) in enumerate(folds):
+        fold_key = corpus_key + (n_folds, config.seed, fold_index)
         train_features = [features[i] for i in train]
-        X_train = vectorizer.fit_transform(train_features, labels_array[train])
-        model = make_classifier(config.classifier, seed=config.seed)
-        model.fit(X_train, labels_array[train])
-        X_test = vectorizer.transform([features[i] for i in test])
-        predictions[test] = np.asarray(model.predict(X_test)).ravel()
+
+        def fit_vectorizer() -> Vectorizer:
+            vectorizer = Vectorizer(top_k=config.top_k)
+            vectorizer.fit(train_features, labels_array[train])
+            return vectorizer
+
+        space, _report = cache.space_for_fold(fold_key, config.top_k, fit_vectorizer)
+
+        def train_and_predict() -> np.ndarray:
+            X_train = space.transform(train_features)
+            model = make_classifier(config.classifier, seed=config.seed)
+            model.fit(X_train, labels_array[train])
+            X_test = space.transform([features[i] for i in test])
+            return np.asarray(model.predict(X_test)).ravel()
+
+        predictions[test] = cache.predictions_for_fold(
+            fold_key, config.classifier, tuple(space.feature_names), train_and_predict
+        )
     return compute_metrics(labels_array, predictions)

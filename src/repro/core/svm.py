@@ -123,12 +123,21 @@ class SVC:
             box = box * (weights * n / total)
 
         K = self._kernel(X, X)
-        alpha = np.zeros(n)
         b = 0.0
         # Error cache: errors[i] = f(x_i) - y_i, updated incrementally
         # after every alpha step (the standard SMO optimisation).
         errors = -y.astype(np.float64).copy()
         rng = np.random.default_rng(config.seed)
+        # The per-violator work is scalar: Python floats (the same IEEE
+        # doubles numpy holds) via plain lists sidestep per-element numpy
+        # indexing, which dominated this loop's runtime. Partner indices
+        # are drawn in one batch per pass — same generator stream, one
+        # call instead of thousands.
+        tol = config.tol
+        y_list = y.tolist()
+        box_list = box.tolist()
+        diag = K.diagonal().tolist()
+        alpha = [0.0] * n
         passes = 0
         iterations = 0
         while passes < config.max_passes and iterations < config.max_iter:
@@ -137,59 +146,71 @@ class SVC:
             # Vectorised KKT screen: only samples violating the conditions
             # at the start of the pass are visited (each is re-checked
             # against the live error cache before optimisation).
+            alpha_arr = np.asarray(alpha)
             margins = y * errors
             violators = np.flatnonzero(
-                ((margins < -config.tol) & (alpha < box))
-                | ((margins > config.tol) & (alpha > 0))
+                ((margins < -tol) & (alpha_arr < box))
+                | ((margins > tol) & (alpha_arr > 0))
             )
-            for i in violators:
-                i = int(i)
-                error_i = errors[i]
+            if violators.size == 0:
+                passes += 1
+                continue
+            partners = rng.integers(0, n - 1, size=violators.size)
+            for i, j in zip(violators.tolist(), partners.tolist()):
+                error_i = float(errors[i])
+                y_i = y_list[i]
+                alpha_i_old = alpha[i]
+                box_i = box_list[i]
                 if not (
-                    (y[i] * error_i < -config.tol and alpha[i] < box[i])
-                    or (y[i] * error_i > config.tol and alpha[i] > 0)
+                    (y_i * error_i < -tol and alpha_i_old < box_i)
+                    or (y_i * error_i > tol and alpha_i_old > 0)
                 ):
                     continue
-                j = int(rng.integers(0, n - 1))
                 if j >= i:
                     j += 1
-                error_j = errors[j]
-                alpha_i_old, alpha_j_old = alpha[i], alpha[j]
-                if y[i] != y[j]:
-                    low = max(0.0, alpha[j] - alpha[i])
-                    high = min(box[j], box[i] + alpha[j] - alpha[i])
+                error_j = float(errors[j])
+                y_j = y_list[j]
+                alpha_j_old = alpha[j]
+                box_j = box_list[j]
+                if y_i != y_j:
+                    low = max(0.0, alpha_j_old - alpha_i_old)
+                    high = min(box_j, box_i + alpha_j_old - alpha_i_old)
                 else:
-                    low = max(0.0, alpha[i] + alpha[j] - box[i])
-                    high = min(box[j], alpha[i] + alpha[j])
+                    low = max(0.0, alpha_i_old + alpha_j_old - box_i)
+                    high = min(box_j, alpha_i_old + alpha_j_old)
                 if low >= high:
                     continue
-                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                k_ij = float(K[i, j])
+                eta = 2.0 * k_ij - diag[i] - diag[j]
                 if eta >= 0:
                     continue
-                alpha[j] = alpha_j_old - y[j] * (error_i - error_j) / eta
-                alpha[j] = min(max(alpha[j], low), high)
-                if abs(alpha[j] - alpha_j_old) < 1e-7:
+                alpha_j = alpha_j_old - y_j * (error_i - error_j) / eta
+                alpha_j = min(max(alpha_j, low), high)
+                alpha[j] = alpha_j
+                if abs(alpha_j - alpha_j_old) < 1e-7:
                     continue
-                alpha[i] = alpha_i_old + y[i] * y[j] * (alpha_j_old - alpha[j])
-                delta_i = alpha[i] - alpha_i_old
-                delta_j = alpha[j] - alpha_j_old
-                b1 = b - error_i - y[i] * delta_i * K[i, i] - y[j] * delta_j * K[i, j]
-                b2 = b - error_j - y[i] * delta_i * K[i, j] - y[j] * delta_j * K[j, j]
-                if 0 < alpha[i] < box[i]:
+                alpha_i = alpha_i_old + y_i * y_j * (alpha_j_old - alpha_j)
+                alpha[i] = alpha_i
+                delta_i = alpha_i - alpha_i_old
+                delta_j = alpha_j - alpha_j_old
+                b1 = b - error_i - y_i * delta_i * diag[i] - y_j * delta_j * k_ij
+                b2 = b - error_j - y_i * delta_i * k_ij - y_j * delta_j * diag[j]
+                if 0 < alpha_i < box_i:
                     new_b = b1
-                elif 0 < alpha[j] < box[j]:
+                elif 0 < alpha_j < box_j:
                     new_b = b2
                 else:
                     new_b = (b1 + b2) / 2.0
                 errors += (
-                    y[i] * delta_i * K[i, :]
-                    + y[j] * delta_j * K[j, :]
+                    y_i * delta_i * K[i, :]
+                    + y_j * delta_j * K[j, :]
                     + (new_b - b)
                 )
                 b = new_b
                 changed += 1
             passes = passes + 1 if changed == 0 else 0
 
+        alpha = np.asarray(alpha)
         support = alpha > 1e-8
         self._X = X[support]
         self._y = y[support]

@@ -4,6 +4,19 @@ Implements the paper's mapping function φ (scripts → binary vectors over
 the feature vocabulary) and its three-stage feature filter: drop features
 with variance below 0.01, drop duplicate features (identical columns),
 then rank the remainder by chi-square and keep the top K.
+
+The pre-filter stages never materialise the full samples×vocabulary
+matrix. A raw *all*-features vocabulary runs to tens of thousands of
+columns, almost all of which the variance filter discards — a dense
+uint8 matrix there is O(samples × vocabulary) memory for one mean per
+column. Instead each candidate feature is a **bit-packed column**: one
+arbitrary-precision int whose bit *i* is sample *i*'s presence. Presence
+counts are ``int.bit_count()``, the variance filter is ``p(1-p)`` on
+``count/n``, duplicate columns collapse by mask equality, and the χ²
+contingency counts come from popcounts against the positive-class mask —
+all identical float64 arithmetic to the dense formulation (same sums,
+same divisions), so the selected vocabulary is exactly the same. Only
+the post-filter space (≤ top-K columns) is ever dense.
 """
 
 from __future__ import annotations
@@ -13,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
-from .chi2 import chi_square_scores
+from .chi2 import chi_square_from_counts
 
 
 @dataclass
@@ -79,41 +92,67 @@ class Vectorizer:
     ) -> FeatureSpace:
         """Fit the vocabulary on a labeled corpus and return the space."""
         labels = np.asarray(labels, dtype=np.int8)
-        vocabulary: Dict[str, int] = {}
-        for features in feature_sets:
-            for feature in features:
-                if feature not in vocabulary:
-                    vocabulary[feature] = len(vocabulary)
-        self.report.extracted = len(vocabulary)
+        n_samples = len(feature_sets)
 
-        full_space = FeatureSpace(vocabulary=vocabulary)
-        matrix = full_space.transform(feature_sets)
-        names = np.array(full_space.feature_names, dtype=object)
+        # Bit-packed columns: masks[feature] has bit i set iff sample i
+        # contains the feature. No dense pre-filter matrix is ever built.
+        masks: Dict[str, int] = {}
+        for row, features in enumerate(feature_sets):
+            bit = 1 << row
+            for feature in features:
+                masks[feature] = masks.get(feature, 0) | bit
+        self.report.extracted = len(masks)
+
+        # Column order is sorted-by-name, not set-iteration order: hash
+        # randomisation must not leak into tie-breaks (duplicate groups,
+        # equal χ² scores), or repeated runs select different spaces.
+        names = sorted(masks)
 
         # 1. Variance filter: binary column variance is p(1-p).
-        presence = matrix.mean(axis=0)
-        variance = presence * (1.0 - presence)
-        keep = variance >= self.variance_threshold
-        matrix = matrix[:, keep]
-        names = names[keep]
-        self.report.after_variance = matrix.shape[1]
+        kept: List[str] = []
+        for name in names:
+            p = masks[name].bit_count() / n_samples
+            if p * (1.0 - p) >= self.variance_threshold:
+                kept.append(name)
+        self.report.after_variance = len(kept)
 
         # 2. Duplicate columns: identical presence patterns carry the same
         #    information; keep the first of each group.
-        matrix, names = _drop_duplicate_columns(matrix, names)
-        self.report.after_duplicates = matrix.shape[1]
+        seen_masks: Set[int] = set()
+        unique: List[str] = []
+        for name in kept:
+            mask = masks[name]
+            if mask not in seen_masks:
+                seen_masks.add(mask)
+                unique.append(name)
+        self.report.after_duplicates = len(unique)
 
-        # 3. Chi-square ranking, keep the top K.
-        if self.top_k is not None and matrix.shape[1] > self.top_k:
-            scores = chi_square_scores(matrix, labels)
+        # 3. Chi-square ranking, keep the top K. Contingency counts are
+        #    popcounts against the positive-class mask — float64-identical
+        #    to the dense labels@matrix formulation.
+        selected = unique
+        if self.top_k is not None and len(unique) > self.top_k:
+            positive_mask = 0
+            for row, label in enumerate(labels):
+                if label:
+                    positive_mask |= 1 << row
+            positives = float(positive_mask.bit_count())
+            negatives = n_samples - positives
+            a = np.array(
+                [(masks[name] & positive_mask).bit_count() for name in unique],
+                dtype=np.float64,
+            )
+            totals = np.array(
+                [masks[name].bit_count() for name in unique], dtype=np.float64
+            )
+            scores = chi_square_from_counts(a, totals - a, positives, negatives, n_samples)
             order = np.argsort(scores)[::-1][: self.top_k]
             order = np.sort(order)
-            matrix = matrix[:, order]
-            names = names[order]
-        self.report.selected = matrix.shape[1]
+            selected = [unique[index] for index in order]
+        self.report.selected = len(selected)
 
         self.space = FeatureSpace(
-            vocabulary={name: index for index, name in enumerate(names)}
+            vocabulary={name: index for index, name in enumerate(selected)}
         )
         return self.space
 
@@ -129,18 +168,3 @@ class Vectorizer:
         if self.space is None:
             raise RuntimeError("Vectorizer.fit must run before transform")
         return self.space.transform(feature_sets)
-
-
-def _drop_duplicate_columns(matrix: np.ndarray, names: np.ndarray):
-    """Remove columns with identical 0/1 patterns (keep first occurrence)."""
-    if matrix.shape[1] == 0:
-        return matrix, names
-    seen: Dict[bytes, int] = {}
-    keep_indices: List[int] = []
-    for column in range(matrix.shape[1]):
-        key = matrix[:, column].tobytes()
-        if key not in seen:
-            seen[key] = column
-            keep_indices.append(column)
-    keep = np.array(keep_indices, dtype=int)
-    return matrix[:, keep], names[keep]

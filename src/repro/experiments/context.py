@@ -13,7 +13,7 @@ import logging
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..analysis.coverage import CoverageAnalyzer, CoverageResult
 from ..analysis.livecrawl import LiveCrawler, LiveCrawlResult
@@ -71,6 +71,12 @@ class ExperimentContext:
     _analyzer: Optional[CoverageAnalyzer] = field(default=None, repr=False)
     _live: Optional[LiveCrawlResult] = field(default=None, repr=False)
     _corpus: Optional[Corpus] = field(default=None, repr=False)
+    #: (feature_set, unpack) → per-script §5 features, shared by every
+    #: driver so no experiment extracts the same pair twice.
+    _corpus_features: Dict[Tuple[str, bool], List[Set[str]]] = field(
+        default_factory=dict, repr=False
+    )
+    _features_staged: bool = field(default=False, repr=False)
     #: Completed lazy-build stages (lists, archive, crawl, coverage, …),
     #: in execution order; the run manifest and bench harness read these.
     stage_timings: List[StageTiming] = field(default_factory=list, repr=False)
@@ -212,6 +218,39 @@ class ExperimentContext:
                 ]
                 self._corpus = build_corpus(pages, matcher, seed=self.world.seed)
         return self._corpus
+
+    def corpus_features(
+        self, feature_set: str = "all", unpack: bool = True
+    ) -> List[Set[str]]:
+        """Per-script §5 features of the corpus (extracted at most once).
+
+        Backed by the shared content-addressed feature store: the first
+        call parses/unpacks every corpus script into token events (timed
+        as the ``features`` stage); every further feature set or repeat
+        call is a cheap filter over the cached events.
+        """
+        key = (feature_set, unpack)
+        cached = self._corpus_features.get(key)
+        if cached is None:
+            from ..core.featstore import get_feature_store
+
+            corpus = self.corpus  # build outside so the stages stay distinct
+            store = get_feature_store()
+            if not self._features_staged:
+                self._features_staged = True
+                sources = corpus.sources()
+                with self._stage(
+                    "features", scripts=len(sources), workers=repro_workers()
+                ):
+                    cached = store.features_for_corpus(
+                        sources, feature_set=feature_set, unpack=unpack
+                    )
+            else:
+                cached = store.features_for_corpus(
+                    corpus.sources(), feature_set=feature_set, unpack=unpack
+                )
+            self._corpus_features[key] = cached
+        return cached
 
 
 _SHARED: Dict[float, ExperimentContext] = {}

@@ -36,7 +36,13 @@ def run(ctx: ExperimentContext) -> Sec5LiveResult:
     detector = AntiAdblockDetector(
         DetectorConfig(feature_set="keyword", top_k=1000, seed=ctx.world.seed)
     )
-    detector.fit(corpus.sources(), corpus.labels())
+    # Shared corpus features: free when table3 already extracted them in
+    # this process (same event cache), one parallel pass otherwise.
+    detector.fit(
+        corpus.sources(),
+        corpus.labels(),
+        features=ctx.corpus_features("keyword"),
+    )
 
     # Live scripts from detected sites, excluding the training segment.
     training_domains = {

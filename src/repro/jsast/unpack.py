@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from . import nodes as N
 from .parser import ParseError, parse
@@ -33,11 +33,20 @@ class UnpackResult:
     program: N.Program
     rounds: int = 0
     unpacked_sources: List[str] = field(default_factory=list)
+    #: dynamic payloads that folded to a constant string but did not parse
+    #: as JavaScript (each distinct payload counted once) — the unpacker
+    #: left them in place rather than splicing their statements in.
+    failed_payloads: int = 0
 
     @property
     def was_packed(self) -> bool:
         """Whether any dynamic code was unpacked."""
         return self.rounds > 0
+
+    @property
+    def bailed_out(self) -> bool:
+        """Whether unpacking gave up on any payload or hit the round cap."""
+        return self.failed_payloads > 0 or self.rounds >= MAX_UNPACK_ROUNDS
 
 
 def fold_constant_string(node: N.Node) -> Optional[str]:
@@ -304,15 +313,21 @@ def unpack_program(program: N.Program) -> UnpackResult:
     """
     rounds = 0
     sources: List[str] = []
+    failed: Set[str] = set()
     while rounds < MAX_UNPACK_ROUNDS:
-        changed = _unpack_one_round(program, sources)
+        changed = _unpack_one_round(program, sources, failed)
         if not changed:
             break
         rounds += 1
-    return UnpackResult(program=program, rounds=rounds, unpacked_sources=sources)
+    return UnpackResult(
+        program=program,
+        rounds=rounds,
+        unpacked_sources=sources,
+        failed_payloads=len(failed),
+    )
 
 
-def _unpack_one_round(program: N.Program, sources: List[str]) -> bool:
+def _unpack_one_round(program: N.Program, sources: List[str], failed: Set[str]) -> bool:
     packed = _unpack_packed_packer(program)
     if packed is not None:
         parsed = _try_parse(packed)
@@ -321,6 +336,7 @@ def _unpack_one_round(program: N.Program, sources: List[str]) -> bool:
             _remove_packer_statements(program)
             program.body.extend(parsed.body)
             return True
+        failed.add(packed)
     for node, ancestors in walk_with_ancestors(program):
         if not isinstance(node, N.CallExpression):
             continue
@@ -331,6 +347,7 @@ def _unpack_one_round(program: N.Program, sources: List[str]) -> bool:
         for payload in payloads:
             parsed = _try_parse(payload)
             if parsed is None:
+                failed.add(payload)
                 parsed_bodies = []
                 break
             sources.append(payload)

@@ -26,7 +26,7 @@ DEFAULT_WORKERS = 1
 DEFAULT_MATCHER_CACHE = 512
 
 #: The knobs this module owns, in manifest order.
-KNOBS = ("REPRO_SCALE", "REPRO_WORKERS", "REPRO_MATCHER_CACHE")
+KNOBS = ("REPRO_SCALE", "REPRO_WORKERS", "REPRO_MATCHER_CACHE", "REPRO_FEATURE_CACHE")
 
 #: (variable, raw value) pairs already warned about in this process.
 _WARNED: Set[Tuple[str, str]] = set()
@@ -97,6 +97,23 @@ def matcher_cache_size(environ: Optional[Mapping[str, str]] = None) -> int:
     )
 
 
+def feature_cache_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """§5 feature-cache directory from ``REPRO_FEATURE_CACHE``.
+
+    Unset or empty disables the on-disk cache (``None``). The directory
+    need not exist (the store creates it), but a path that exists and is
+    *not* a directory is rejected with a one-time warning.
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_FEATURE_CACHE")
+    if not raw:
+        return None
+    if os.path.exists(raw) and not os.path.isdir(raw):
+        _warn_once("REPRO_FEATURE_CACHE", raw, None)
+        return None
+    return raw
+
+
 @dataclass(frozen=True)
 class ConfigSnapshot:
     """The resolved run configuration, as recorded in the manifest."""
@@ -104,6 +121,7 @@ class ConfigSnapshot:
     scale: float
     workers: int
     matcher_cache: int
+    feature_cache: Optional[str] = None
     #: Raw environment strings actually present (pre-validation), so a
     #: manifest shows both what the operator set and what the run used.
     raw_env: Dict[str, str] = field(default_factory=dict)
@@ -113,6 +131,7 @@ class ConfigSnapshot:
             "scale": self.scale,
             "workers": self.workers,
             "matcher_cache": self.matcher_cache,
+            "feature_cache": self.feature_cache,
             "raw_env": dict(self.raw_env),
         }
 
@@ -124,5 +143,6 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         scale=repro_scale(environ),
         workers=repro_workers(environ),
         matcher_cache=matcher_cache_size(environ),
+        feature_cache=feature_cache_dir(environ),
         raw_env={var: environ[var] for var in KNOBS if var in environ},
     )

@@ -202,7 +202,12 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         if not isinstance(metrics.get(bucket), dict):
             errors.append(f"metrics.{bucket}: expected dict")
     config = manifest["config"]
-    for knob, kind in (("scale", (int, float)), ("workers", int), ("matcher_cache", int)):
+    for knob, kind in (
+        ("scale", (int, float)),
+        ("workers", int),
+        ("matcher_cache", int),
+        ("feature_cache", (str, type(None))),
+    ):
         if knob in config and not isinstance(config[knob], kind):
             errors.append(f"config.{knob}: wrong type")
     for index, span in enumerate(manifest["spans"]):

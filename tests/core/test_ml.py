@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.adaboost import AdaBoostClassifier
-from repro.core.chi2 import chi_square_scores, top_k_features
+from repro.core.chi2 import chi_square_from_counts, chi_square_scores, top_k_features
 from repro.core.crossval import compute_metrics, cross_validate, stratified_folds
+from repro.core.pipeline import DetectorConfig, EvaluationCache, evaluate_detector
 from repro.core.svm import SVC, linear_kernel, rbf_kernel
 from repro.core.vectorize import FeatureSpace, Vectorizer
 
@@ -105,6 +106,156 @@ class TestVectorizer:
     def test_transform_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             Vectorizer().transform([{"a"}])
+
+
+def _dense_reference_fit(feature_sets, labels, variance_threshold=0.01, top_k=None):
+    """The pre-bit-packing dense algorithm, pinned to sorted column order.
+
+    Materialises the full samples×vocabulary uint8 matrix and applies the
+    same three filters with numpy column arithmetic — the ground truth the
+    packed :class:`Vectorizer` must reproduce exactly.
+    """
+    labels = np.asarray(labels, dtype=np.int8)
+    vocabulary = {name: i for i, name in enumerate(sorted(set().union(*feature_sets)))}
+    matrix = FeatureSpace(vocabulary=vocabulary).transform(feature_sets)
+    names = np.array(sorted(vocabulary), dtype=object)
+
+    presence = matrix.mean(axis=0)
+    variance = presence * (1.0 - presence)
+    keep = variance >= variance_threshold
+    matrix, names = matrix[:, keep], names[keep]
+
+    seen, keep_indices = set(), []
+    for column in range(matrix.shape[1]):
+        key = matrix[:, column].tobytes()
+        if key not in seen:
+            seen.add(key)
+            keep_indices.append(column)
+    matrix, names = matrix[:, keep_indices], names[keep_indices]
+
+    if top_k is not None and matrix.shape[1] > top_k:
+        scores = chi_square_scores(matrix, labels)
+        order = np.sort(np.argsort(scores)[::-1][:top_k])
+        names = names[order]
+    return list(names)
+
+
+class TestPackedVectorizerMatchesDense:
+    def wide_corpus(self, n_samples=80, n_features=300, seed=3):
+        rng = np.random.default_rng(seed)
+        feature_sets = []
+        for row in range(n_samples):
+            drawn = rng.integers(0, n_features, size=rng.integers(5, 40))
+            features = {f"f{int(index):03d}" for index in drawn}
+            if row % 3 == 0:
+                features |= {"marker", "marker-twin"}  # duplicate column pair
+            feature_sets.append(features)
+        labels = [int(row % 3 == 0) for row in range(n_samples)]
+        return feature_sets, labels
+
+    @pytest.mark.parametrize("top_k", [None, 10, 50, 10_000])
+    def test_selected_vocabulary_identical(self, top_k):
+        feature_sets, labels = self.wide_corpus()
+        space = Vectorizer(top_k=top_k).fit(feature_sets, labels)
+        assert space.feature_names == _dense_reference_fit(
+            feature_sets, labels, top_k=top_k
+        )
+
+    def test_report_counts_identical_to_dense(self):
+        feature_sets, labels = self.wide_corpus()
+        vectorizer = Vectorizer(top_k=25)
+        vectorizer.fit(feature_sets, labels)
+        uncapped = _dense_reference_fit(feature_sets, labels, top_k=None)
+        assert vectorizer.report.after_duplicates == len(uncapped)
+        assert vectorizer.report.selected == 25
+
+    def test_chi_square_from_counts_matches_matrix_path(self):
+        feature_sets, labels = self.wide_corpus(n_samples=40, n_features=30)
+        vocabulary = {
+            name: i for i, name in enumerate(sorted(set().union(*feature_sets)))
+        }
+        matrix = FeatureSpace(vocabulary=vocabulary).transform(feature_sets)
+        labels_arr = np.asarray(labels, dtype=np.float64)
+        a = labels_arr @ matrix
+        b = matrix.sum(axis=0) - a
+        from_counts = chi_square_from_counts(
+            a, b, labels_arr.sum(), len(labels) - labels_arr.sum(), len(labels)
+        )
+        assert np.array_equal(from_counts, chi_square_scores(matrix, labels_arr))
+
+
+class TestEvaluationCache:
+    def corpus(self, n=60, seed=11):
+        rng = np.random.default_rng(seed)
+        feature_sets, labels = [], []
+        for row in range(n):
+            label = int(row % 4 == 0)
+            base = {"hot", "anti"} if label else {"cold"}
+            drawn = rng.integers(0, 40, size=rng.integers(3, 12))
+            feature_sets.append(base | {f"f{int(i)}" for i in drawn})
+            labels.append(label)
+        sources = [f"script {row}" for row in range(n)]
+        return sources, labels, feature_sets
+
+    def test_cached_metrics_equal_uncached(self):
+        sources, labels, features = self.corpus()
+        config = DetectorConfig(feature_set="all", top_k=20, classifier="svm")
+        plain = evaluate_detector(
+            sources, labels, config=config, n_folds=5, features=features
+        )
+        cached = evaluate_detector(
+            sources,
+            labels,
+            config=config,
+            n_folds=5,
+            features=features,
+            cache=EvaluationCache(),
+        )
+        assert plain == cached
+
+    def test_uncapped_top_ks_collapse_to_one_training(self):
+        sources, labels, features = self.corpus()
+        cache = EvaluationCache()
+        results = {}
+        # Both caps exceed the post-duplicate vocabulary, so the fitted
+        # spaces coincide and the second configuration replays the first.
+        for top_k in (10_000, 1_000):
+            config = DetectorConfig(feature_set="all", top_k=top_k, classifier="svm")
+            results[top_k] = evaluate_detector(
+                sources, labels, config=config, n_folds=5, features=features, cache=cache
+            )
+        assert cache.space_hits > 0
+        assert cache.prediction_hits > 0
+        assert results[10_000] == results[1_000]
+
+    def test_distinct_spaces_are_not_conflated(self):
+        sources, labels, features = self.corpus()
+        cache = EvaluationCache()
+        small = evaluate_detector(
+            sources,
+            labels,
+            config=DetectorConfig(feature_set="all", top_k=3, classifier="svm"),
+            n_folds=5,
+            features=features,
+            cache=cache,
+        )
+        assert cache.prediction_hits == 0
+        uncapped = evaluate_detector(
+            sources,
+            labels,
+            config=DetectorConfig(feature_set="all", top_k=None, classifier="svm"),
+            n_folds=5,
+            features=features,
+            cache=cache,
+        )
+        assert small == evaluate_detector(
+            sources,
+            labels,
+            config=DetectorConfig(feature_set="all", top_k=3, classifier="svm"),
+            n_folds=5,
+            features=features,
+        )
+        assert isinstance(uncapped, type(small))
 
 
 class TestKernels:

@@ -106,7 +106,13 @@ class TestSnapshot:
 
     def test_as_dict_is_json_ready(self):
         data = config_snapshot({}).as_dict()
-        assert set(data) == {"scale", "workers", "matcher_cache", "raw_env"}
+        assert set(data) == {
+            "scale",
+            "workers",
+            "matcher_cache",
+            "feature_cache",
+            "raw_env",
+        }
 
 
 class TestPerfAliases:
