@@ -188,6 +188,10 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._data)
 
+    def values(self) -> list:
+        """Snapshot of cached values, coldest to warmest (recency unchanged)."""
+        return list(self._data.values())
+
     def clear(self) -> None:
         """Drop every cached entry."""
         self._data.clear()

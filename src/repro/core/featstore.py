@@ -134,6 +134,7 @@ class FeatureStore:
         self,
         cache_dir: Optional[str] = None,
         memo_capacity: int = 16384,
+        intern_limit: int = 1 << 20,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else None
         self._memo = LRUCache(memo_capacity)
@@ -142,6 +143,10 @@ class FeatureStore:
         # a worker, or loaded from disk) is canonicalised through these, so
         # equal strings/context tuples are one shared object per store and
         # serial / parallel / warm-cache assemblies pickle byte-identically.
+        # Bounded: past ``intern_limit`` distinct strings the tables are
+        # rebuilt from the live memo entries, so evicted entries' strings
+        # do not accumulate for the store's (process-long) lifetime.
+        self._intern_limit = max(int(intern_limit), 1)
         self._strings: Dict[str, str] = {}
         self._context_tuples: Dict[Tuple[str, ...], Tuple[str, ...]] = {}
 
@@ -296,6 +301,29 @@ class FeatureStore:
 
     def _admit(self, digest: str, unpack: bool, entry: ScriptEvents) -> None:
         self._memo.put((digest, unpack), self._canonical(entry))
+        if len(self._strings) > self._intern_limit:
+            self._rebuild_intern_tables()
+
+    def _rebuild_intern_tables(self) -> None:
+        """Re-intern only what live memo entries still reference.
+
+        Live entries are already canonical, so ``setdefault`` re-inserts
+        their existing objects — sharing (and pickle byte-identity) is
+        preserved — while strings that only evicted entries referenced
+        become collectable. Rebuild points depend solely on the admission
+        sequence, which is identical across serial, parallel, and
+        warm-cache assemblies.
+        """
+        self._strings = {}
+        self._context_tuples = {}
+        for entry in self._memo.values():
+            for kind, text, contexts in entry.events:
+                self._strings.setdefault(kind, kind)
+                self._strings.setdefault(text, text)
+                if contexts not in self._context_tuples:
+                    self._context_tuples[contexts] = contexts
+                    for context in contexts:
+                        self._strings.setdefault(context, context)
 
     def _extract_parallel(
         self, todo: List[Tuple[str, str]], unpack: bool, workers: int, span

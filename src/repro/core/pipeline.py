@@ -168,13 +168,20 @@ class EvaluationCache:
 
     @staticmethod
     def features_token(features: Sequence[Set[str]]) -> str:
-        """Content token for a per-script feature-set list."""
+        """Content token for a per-script feature-set list.
+
+        Length-prefixed: feature text derives from arbitrary (truncated)
+        script tokens, so no separator byte is safe — prefixing each
+        set's cardinality and each feature's byte length makes the
+        encoding injective.
+        """
         digest = hashlib.sha256()
         for feature_set in features:
+            digest.update(len(feature_set).to_bytes(8, "big"))
             for feature in sorted(feature_set):
-                digest.update(feature.encode("utf-8"))
-                digest.update(b"\x1f")
-            digest.update(b"\x1e")
+                encoded = feature.encode("utf-8")
+                digest.update(len(encoded).to_bytes(8, "big"))
+                digest.update(encoded)
         return digest.hexdigest()
 
     def space_for_fold(

@@ -131,8 +131,14 @@ class SVC:
         # The per-violator work is scalar: Python floats (the same IEEE
         # doubles numpy holds) via plain lists sidestep per-element numpy
         # indexing, which dominated this loop's runtime. Partner indices
-        # are drawn in one batch per pass — same generator stream, one
-        # call instead of thousands.
+        # come from a prefetched batch of draws consumed one at a time,
+        # and only *after* a violator passes the live KKT re-check, so
+        # the draw order matches picking a partner on demand per
+        # optimised violator. numpy's batched integers() emits the same
+        # stream as repeated scalar calls with the same bounds, so the
+        # fitted alphas are bit-identical to the scalar-draw loop.
+        partner_queue: list = []
+        partner_next = 0
         tol = config.tol
         y_list = y.tolist()
         box_list = box.tolist()
@@ -155,8 +161,7 @@ class SVC:
             if violators.size == 0:
                 passes += 1
                 continue
-            partners = rng.integers(0, n - 1, size=violators.size)
-            for i, j in zip(violators.tolist(), partners.tolist()):
+            for i in violators.tolist():
                 error_i = float(errors[i])
                 y_i = y_list[i]
                 alpha_i_old = alpha[i]
@@ -166,6 +171,13 @@ class SVC:
                     or (y_i * error_i > tol and alpha_i_old > 0)
                 ):
                     continue
+                if partner_next >= len(partner_queue):
+                    partner_queue = rng.integers(
+                        0, n - 1, size=max(violators.size, 1)
+                    ).tolist()
+                    partner_next = 0
+                j = partner_queue[partner_next]
+                partner_next += 1
                 if j >= i:
                     j += 1
                 error_j = float(errors[j])

@@ -237,7 +237,6 @@ class ExperimentContext:
             corpus = self.corpus  # build outside so the stages stay distinct
             store = get_feature_store()
             if not self._features_staged:
-                self._features_staged = True
                 sources = corpus.sources()
                 with self._stage(
                     "features", scripts=len(sources), workers=repro_workers()
@@ -245,6 +244,9 @@ class ExperimentContext:
                     cached = store.features_for_corpus(
                         sources, feature_set=feature_set, unpack=unpack
                     )
+                # Only after success: a raised extraction must leave the
+                # stage un-staged so a retry still times/records it.
+                self._features_staged = True
             else:
                 cached = store.features_for_corpus(
                     corpus.sources(), feature_set=feature_set, unpack=unpack

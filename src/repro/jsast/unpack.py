@@ -13,6 +13,7 @@ sees the real anti-adblocking logic, not the packer shell.
 
 from __future__ import annotations
 
+import copy
 import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
@@ -37,6 +38,9 @@ class UnpackResult:
     #: as JavaScript (each distinct payload counted once) — the unpacker
     #: left them in place rather than splicing their statements in.
     failed_payloads: int = 0
+    #: the round cap cut unpacking off while rounds were still changing
+    #: the program (reaching a fixed point in exactly the cap is clean)
+    hit_round_cap: bool = False
 
     @property
     def was_packed(self) -> bool:
@@ -45,8 +49,8 @@ class UnpackResult:
 
     @property
     def bailed_out(self) -> bool:
-        """Whether unpacking gave up on any payload or hit the round cap."""
-        return self.failed_payloads > 0 or self.rounds >= MAX_UNPACK_ROUNDS
+        """Whether unpacking gave up on any payload or was cut off by the cap."""
+        return self.failed_payloads > 0 or self.hit_round_cap
 
 
 def fold_constant_string(node: N.Node) -> Optional[str]:
@@ -319,11 +323,19 @@ def unpack_program(program: N.Program) -> UnpackResult:
         if not changed:
             break
         rounds += 1
+    hit_cap = False
+    if rounds >= MAX_UNPACK_ROUNDS:
+        # Hitting the cap is only a bailout when another round would
+        # still change something; a program whose fixed point lands in
+        # exactly MAX_UNPACK_ROUNDS rounds unpacked cleanly. Probe on a
+        # throwaway copy so the returned program stays capped.
+        hit_cap = _unpack_one_round(copy.deepcopy(program), [], set())
     return UnpackResult(
         program=program,
         rounds=rounds,
         unpacked_sources=sources,
         failed_payloads=len(failed),
+        hit_round_cap=hit_cap,
     )
 
 

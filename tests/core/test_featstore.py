@@ -106,6 +106,31 @@ class TestStoreAccounting:
         reset_metrics()
 
 
+class TestInternTableBounds:
+    def test_intern_tables_are_rebuilt_after_memo_eviction(self):
+        """The tables must not grow unboundedly as the LRU memo churns."""
+        store = FeatureStore(memo_capacity=2, intern_limit=8)
+        for index in range(40):
+            store.features_for_corpus([f"var unique_name_{index} = {index};"])
+        # A leak would retain strings from all 40 scripts; the rebuilt
+        # tables hold only what the 2 live memo entries reference.
+        live_strings = {
+            part
+            for entry in store._memo.values()
+            for kind, text, contexts in entry.events
+            for part in (kind, text, *contexts)
+        }
+        assert set(store._strings) <= live_strings
+
+    def test_rebuild_preserves_sharing_and_results(self):
+        bounded = FeatureStore(memo_capacity=2, intern_limit=1)
+        unbounded = FeatureStore()
+        sources = [f"var v{index} = {index};" for index in range(10)] + [WELL_FORMED]
+        assert pickle.dumps(
+            bounded.features_for_corpus(sources)
+        ) == pickle.dumps(unbounded.features_for_corpus(sources))
+
+
 class TestSerialParallelIdentity:
     def test_events_are_byte_identical(self, corpus_sources):
         serial = FeatureStore().events_for_corpus(corpus_sources, workers=1)

@@ -197,6 +197,19 @@ class TestEvaluationCache:
         sources = [f"script {row}" for row in range(n)]
         return sources, labels, feature_sets
 
+    def test_features_token_is_injective(self):
+        """Feature text can contain any byte, including old separator bytes."""
+        collide_a = [{"a\x1fb"}]
+        collide_b = [{"a", "b"}]
+        assert EvaluationCache.features_token(collide_a) != EvaluationCache.features_token(
+            collide_b
+        )
+        shift_a = [{"x"}, set()]
+        shift_b = [set(), {"x"}]
+        assert EvaluationCache.features_token(shift_a) != EvaluationCache.features_token(
+            shift_b
+        )
+
     def test_cached_metrics_equal_uncached(self):
         sources, labels, features = self.corpus()
         config = DetectorConfig(feature_set="all", top_k=20, classifier="svm")
@@ -306,6 +319,28 @@ class TestSVC:
     def test_predict_before_fit_raises(self):
         with pytest.raises(RuntimeError):
             SVC().predict(np.zeros((2, 2)))
+
+    def test_partner_draw_order_matches_reference(self):
+        """The fit must reproduce the reference scalar-draw SMO bit-exactly.
+
+        Partner indices are prefetched in batches but must be consumed
+        one per violator that passes the live KKT re-check (skipped
+        violators consume none), exactly as if drawn on demand. The
+        digest below was produced by the original per-violator-draw
+        implementation on this dataset; any change to the draw
+        alignment silently changes fitted alphas and Table 3 metrics.
+        """
+        import hashlib
+
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(60, 4))
+        y = (X[:, 0] + 0.5 * rng.normal(size=60) > 0).astype(int)
+        model = SVC(kernel="rbf", C=2.0, max_iter=200, max_passes=5, seed=3).fit(X, y)
+        digest = hashlib.sha256(model.decision_function(X).tobytes()).hexdigest()
+        assert (
+            digest
+            == "292d4a7eccfdd013bd283fcf99fbe3385821727d0035b8455cd0b0a12ee652d1"
+        )
 
     def test_sample_weight_shifts_boundary(self):
         """Up-weighting one class must not hurt its recall."""

@@ -69,3 +69,26 @@ class TestExperimentContext:
     def test_corpus_labels_align(self, ctx):
         corpus = ctx.corpus
         assert len(corpus.sources()) == len(corpus.labels())
+
+    def test_failed_feature_extraction_still_stages_on_retry(self, monkeypatch):
+        """A raised first extraction must not swallow the 'features' stage."""
+        from repro.core import featstore
+
+        ctx = ExperimentContext(
+            world=SyntheticWorld(WorldConfig(n_sites=60, live_top=200))
+        )
+        original = featstore.FeatureStore.features_for_corpus
+        calls = {"n": 0}
+
+        def fail_once(self, *args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("injected extraction failure")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(featstore.FeatureStore, "features_for_corpus", fail_once)
+        with pytest.raises(RuntimeError):
+            ctx.corpus_features("all")
+        features = ctx.corpus_features("all")
+        assert len(features) == len(ctx.corpus.sources())
+        assert "features" in [stage.name for stage in ctx.stage_timings]

@@ -2,7 +2,7 @@
 
 from repro.jsast import nodes as N
 from repro.jsast.parser import parse
-from repro.jsast.unpack import fold_constant_string, unpack_source
+from repro.jsast.unpack import MAX_UNPACK_ROUNDS, fold_constant_string, unpack_source
 from repro.jsast.walker import find_all, find_first
 
 
@@ -177,3 +177,27 @@ class TestUnpackedTreeIsAnalysable:
             and n.property.name == "offsetHeight",
         )
         assert members
+
+
+class TestRoundCapBailout:
+    @staticmethod
+    def nested_eval(depth):
+        source = "var x = 1;"
+        for _ in range(depth):
+            escaped = source.replace("\\", "\\\\").replace("'", "\\'")
+            source = f"eval('{escaped}');"
+        return source
+
+    def test_fixpoint_in_exactly_cap_rounds_is_clean(self):
+        """Converging in exactly MAX_UNPACK_ROUNDS is not a bailout."""
+        result = unpack_source(self.nested_eval(MAX_UNPACK_ROUNDS))
+        assert result.rounds == MAX_UNPACK_ROUNDS
+        assert not result.hit_round_cap
+        assert not result.bailed_out
+
+    def test_deeper_nesting_is_a_cap_bailout(self):
+        result = unpack_source(self.nested_eval(MAX_UNPACK_ROUNDS + 1))
+        assert result.rounds == MAX_UNPACK_ROUNDS
+        assert result.hit_round_cap
+        assert result.bailed_out
+        assert result.failed_payloads == 0
