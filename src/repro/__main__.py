@@ -8,6 +8,16 @@ Options:
                        print it to stderr at the end
   --metrics-out=PATH   write a machine-readable run manifest to PATH
                        (``run.json``) plus a JSONL event log next to it
+  --journal=DIR        checkpoint crawl/ingest slots to DIR (same as
+                       ``REPRO_CRAWL_JOURNAL``); an interrupted run
+                       re-invoked with the same DIR resumes and produces
+                       the identical result
+  --inject-faults[=SEED]
+                       dev mode: run the crawl against a deterministic
+                       fault schedule (transient errors, timeouts,
+                       truncations, a few permanently-broken domains)
+                       derived from SEED (default 0); same as
+                       ``REPRO_FAULT_SEED``
   -v / -vv             diagnostic logging at INFO / DEBUG (stderr)
   -q, --quiet          errors only
 """
@@ -48,6 +58,8 @@ def _parse_args(argv: list) -> dict:
         "names": [],
         "trace": False,
         "metrics_out": None,
+        "journal": None,
+        "inject_faults": None,
         "verbosity": 0,
         "help": False,
     }
@@ -66,6 +78,19 @@ def _parse_args(argv: list) -> dict:
             opts["metrics_out"] = args.pop(0)
         elif arg.startswith("--metrics-out="):
             opts["metrics_out"] = arg.split("=", 1)[1]
+        elif arg == "--journal":
+            if not args:
+                raise _CliError("--journal requires a directory")
+            opts["journal"] = args.pop(0)
+        elif arg.startswith("--journal="):
+            opts["journal"] = arg.split("=", 1)[1]
+        elif arg == "--inject-faults":
+            opts["inject_faults"] = "0"
+        elif arg.startswith("--inject-faults="):
+            seed = arg.split("=", 1)[1]
+            if not seed.lstrip("-").isdigit():
+                raise _CliError("--inject-faults takes an integer seed")
+            opts["inject_faults"] = seed
         elif arg in ("-v", "--verbose"):
             opts["verbosity"] = max(opts["verbosity"], 1)
         elif arg == "-vv":
@@ -96,6 +121,15 @@ def main(argv: list) -> int:
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
+
+    # Export the resilience flags before config_snapshot() so the one
+    # validated knob path (and the run manifest) sees them.
+    import os
+
+    if opts["journal"] is not None:
+        os.environ["REPRO_CRAWL_JOURNAL"] = opts["journal"]
+    if opts["inject_faults"] is not None:
+        os.environ["REPRO_FAULT_SEED"] = opts["inject_faults"]
 
     from repro.obs import (
         RunManifest,

@@ -15,7 +15,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..filterlist.history import FilterListHistory
 from ..obs.metrics import get_metrics
+from ..obs.trace import emit_event
 from ..obs.trace import span as trace_span
+from ..resilience import ResiliencePolicy, default_resilience
+from ..resilience.canonical import Interner
 from ..filterlist.matcher import NetworkMatcher
 from ..filterlist.parser import FilterList
 from ..filterlist.rules import ElementRule
@@ -115,10 +118,26 @@ class LiveCrawler:
     #: Emit an INFO heartbeat every this many sites.
     PROGRESS_EVERY = 2000
 
-    def crawl(self, check_html: bool = True) -> LiveCrawlResult:
-        """Visit every live domain and match against the latest list versions."""
+    def crawl(
+        self,
+        check_html: bool = True,
+        resilience: Optional[ResiliencePolicy] = None,
+    ) -> LiveCrawlResult:
+        """Visit every live domain and match against the latest list versions.
+
+        With ``REPRO_CRAWL_JOURNAL`` set, each visited rank's match
+        summary checkpoints to the ``live`` journal and an interrupted
+        crawl resumes from it, reproducing the uninterrupted result.
+        """
+        resilience = resilience or default_resilience()
+        journal = resilience.journal("live", self._fingerprint(check_html))
+        state = journal.load() if journal is not None else None
         with trace_span("live_crawl", lists=len(self.histories)) as span:
-            result = self._crawl(check_html, span)
+            result = self._crawl(check_html, span, state=state, journal=journal)
+        if journal is not None:
+            journal.mark_complete()
+            journal.close()
+            emit_event("journal_complete", scope="live", path=str(journal.path))
         metrics = get_metrics()
         metrics.count("live.crawled", result.crawled)
         metrics.count("live.reachable", result.reachable)
@@ -127,7 +146,16 @@ class LiveCrawler:
             metrics.count(f"live.http_matches.{name}", count)
         return result
 
-    def _crawl(self, check_html: bool, span) -> LiveCrawlResult:
+    def _fingerprint(self, check_html: bool) -> Dict[str, object]:
+        return {
+            "lists": sorted(self.histories),
+            "check_html": check_html,
+            "live_top": self.world.config.live_top,
+        }
+
+    def _crawl(
+        self, check_html: bool, span, state=None, journal=None
+    ) -> LiveCrawlResult:
         result = LiveCrawlResult()
         for name in self.histories:
             result.http_matches[name] = 0
@@ -135,6 +163,7 @@ class LiveCrawler:
             result.third_party_matches[name] = 0
             result.detected_domains[name] = []
         seen_scripts = set()
+        resumed = 0
         for ranked in self.world.live_domains():
             result.crawled += 1
             if result.crawled % self.PROGRESS_EVERY == 0:
@@ -143,30 +172,76 @@ class LiveCrawler:
                     result.crawled,
                     result.reachable,
                 )
-            snapshot = self.world.live_snapshot(ranked.rank)
-            if snapshot is None:
-                continue
-            result.reachable += 1
-            site_detected = False
-            document = (
-                parse_html(snapshot.html) if check_html and snapshot.html else None
-            )
-            for name in self.histories:
-                if name not in self._matchers:
-                    continue  # history has no revisions yet
-                matched = self._http_match(name, snapshot)
-                if matched is not None:
-                    result.http_matches[name] += 1
-                    result.detected_domains[name].append(snapshot.domain)
-                    if matched[1]:
-                        result.third_party_matches[name] += 1
-                    site_detected = True
-                if check_html and self._html_match(name, snapshot, document):
-                    result.html_matches[name] += 1
-            if site_detected:
-                for script in snapshot.anti_adblock_scripts():
-                    if script.source and script.source not in seen_scripts:
-                        seen_scripts.add(script.source)
-                        result.matched_scripts.append(script.source)
+            key = (str(ranked.rank),)
+            if state is not None and key in state:
+                payload = state.take(key)
+                resumed += 1
+            else:
+                payload = self._visit_site(ranked, check_html)
+                if journal is not None:
+                    journal.append(key, payload)
+            self._accumulate(result, payload, seen_scripts)
+        if resumed:
+            get_metrics().count("crawl.resumed_slots", resumed)
+            emit_event("crawl_resume", scope="live", slots=resumed)
+            logger.info("resumed live crawl: %d journaled ranks", resumed)
+        # Intern the accumulated strings so a journal-resumed result
+        # pickles byte-identically to an uninterrupted one.
+        interner = Interner()
+        for name, domains in result.detected_domains.items():
+            result.detected_domains[name] = [interner.string(d) for d in domains]
+        result.matched_scripts = [
+            interner.string(s) for s in result.matched_scripts
+        ]
         span.set(crawled=result.crawled, reachable=result.reachable)
         return result
+
+    def _visit_site(self, ranked, check_html: bool) -> Optional[Dict]:
+        """One rank's full match summary (the journal's unit of work)."""
+        snapshot = self.world.live_snapshot(ranked.rank)
+        if snapshot is None:
+            return None
+        payload: Dict = {"domain": snapshot.domain, "lists": {}, "scripts": []}
+        site_detected = False
+        document = (
+            parse_html(snapshot.html) if check_html and snapshot.html else None
+        )
+        for name in self.histories:
+            if name not in self._matchers:
+                continue  # history has no revisions yet
+            entry: Dict = {}
+            matched = self._http_match(name, snapshot)
+            if matched is not None:
+                entry["http"] = True
+                entry["third"] = matched[1]
+                site_detected = True
+            if check_html and self._html_match(name, snapshot, document):
+                entry["html"] = True
+            if entry:
+                payload["lists"][name] = entry
+        if site_detected:
+            payload["scripts"] = [
+                script.source
+                for script in snapshot.anti_adblock_scripts()
+                if script.source
+            ]
+        return payload
+
+    @staticmethod
+    def _accumulate(result: LiveCrawlResult, payload: Optional[Dict], seen_scripts) -> None:
+        if payload is None:
+            return
+        result.reachable += 1
+        domain = payload["domain"]
+        for name, entry in payload["lists"].items():
+            if entry.get("http"):
+                result.http_matches[name] += 1
+                result.detected_domains[name].append(domain)
+                if entry.get("third"):
+                    result.third_party_matches[name] += 1
+            if entry.get("html"):
+                result.html_matches[name] += 1
+        for source in payload["scripts"]:
+            if source not in seen_scripts:
+                seen_scripts.add(source)
+                result.matched_scripts.append(source)

@@ -16,7 +16,10 @@ import numpy as np
 
 from ..filterlist.matcher import NetworkMatcher
 from ..obs.metrics import get_metrics
+from ..obs.trace import emit_event
 from ..obs.trace import span as trace_span
+from ..resilience import ResiliencePolicy, default_resilience
+from ..resilience.canonical import Interner
 from ..web.page import PageSnapshot, Script
 from ..web.url import registered_domain
 
@@ -77,6 +80,7 @@ def build_corpus(
     imbalance: float = 10.0,
     seed: int = 0,
     exclude_domains: Optional[Sequence[str]] = None,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> Corpus:
     """Label every unique script on ``pages`` against the filter lists.
 
@@ -85,28 +89,45 @@ def build_corpus(
     are the remaining unique scripts, down-sampled to ``imbalance`` : 1.
     ``exclude_domains`` drops whole sites (the paper excludes the top-5K
     training sites when testing on the live crawl).
+
+    With ``REPRO_CRAWL_JOURNAL`` set, each page's labeled entries
+    checkpoint to the ``corpus`` journal; an interrupted build resumed
+    over the same page stream reproduces the uninterrupted corpus.
     """
+    resilience = resilience or default_resilience()
     excluded = {registered_domain(d) for d in (exclude_domains or [])}
+    journal = resilience.journal(
+        "corpus",
+        {
+            "imbalance": imbalance,
+            "seed": seed,
+            "excluded_sha": hashlib.sha256(
+                "\n".join(sorted(excluded)).encode("utf-8")
+            ).hexdigest()[:16],
+        },
+    )
+    state = journal.load() if journal is not None else None
     positives: Dict[str, LabeledScript] = {}
     negatives: Dict[str, LabeledScript] = {}
     labeled = 0
+    resumed = 0
     with trace_span("corpus:build") as span:
-        for page in pages:
+        for index, page in enumerate(pages):
             page_domain = page.domain
             if page_domain in excluded:
                 continue
             span.count("pages")
-            for script in page.scripts:
+            key = (str(index), page_domain)
+            if state is not None and key in state:
+                entries = state.take(key)
+                resumed += 1
+            else:
+                entries = _label_page(page, page_domain, matcher)
+                if journal is not None:
+                    journal.append(key, entries)
+            for entry in entries:
                 labeled += 1
-                entry = LabeledScript(
-                    source=script.source,
-                    label=0,
-                    url=script.url,
-                    site_domain=page_domain,
-                    vendor=script.vendor,
-                )
-                if _script_matches(script, page_domain, matcher):
-                    entry.label = 1
+                if entry.label == 1:
                     positives.setdefault(entry.digest, entry)
                 else:
                     negatives.setdefault(entry.digest, entry)
@@ -129,11 +150,45 @@ def build_corpus(
             positives=len(positive_list),
             negatives=len(negative_list),
         )
+    if resumed:
+        get_metrics().count("crawl.resumed_slots", resumed)
+        emit_event("crawl_resume", scope="corpus", slots=resumed)
+    if journal is not None:
+        journal.mark_complete()
+        journal.close()
+        emit_event("journal_complete", scope="corpus", path=str(journal.path))
+    # Intern entry strings so a journal-resumed corpus pickles
+    # byte-identically to an uninterrupted build.
+    interner = Interner()
+    for entry in positive_list + negative_list:
+        entry.source = interner.string(entry.source)
+        entry.url = interner.string(entry.url)
+        entry.site_domain = interner.string(entry.site_domain)
+        entry.vendor = interner.string(entry.vendor)
     metrics = get_metrics()
     metrics.count("corpus.scripts_labeled", labeled)
     metrics.count("corpus.positives", len(positive_list))
     metrics.count("corpus.negatives", len(negative_list))
     return Corpus(scripts=positive_list + negative_list)
+
+
+def _label_page(
+    page: PageSnapshot, page_domain: str, matcher: NetworkMatcher
+) -> List[LabeledScript]:
+    """One page's labeled scripts (the corpus journal's unit of work)."""
+    entries: List[LabeledScript] = []
+    for script in page.scripts:
+        entry = LabeledScript(
+            source=script.source,
+            label=0,
+            url=script.url,
+            site_domain=page_domain,
+            vendor=script.vendor,
+        )
+        if _script_matches(script, page_domain, matcher):
+            entry.label = 1
+        entries.append(entry)
+    return entries
 
 
 def _script_matches(script: Script, page_domain: str, matcher: NetworkMatcher) -> bool:

@@ -24,6 +24,7 @@ from ..filterlist.matcher import NetworkMatcher
 from ..obs.config import repro_scale
 from ..obs.metrics import get_metrics
 from ..obs.trace import span as trace_span
+from ..resilience import ResiliencePolicy, default_resilience
 from ..synthesis.listgen import FilterListGenerator, generate_all_lists
 from ..synthesis.seeds import DEFAULT_SEED
 from ..synthesis.world import SyntheticWorld, WorldConfig
@@ -80,6 +81,10 @@ class ExperimentContext:
     #: Completed lazy-build stages (lists, archive, crawl, coverage, …),
     #: in execution order; the run manifest and bench harness read these.
     stage_timings: List[StageTiming] = field(default_factory=list, repr=False)
+    #: One resilience policy (retry/journal/fault settings) shared by the
+    #: crawl, live and corpus stages; resolved from the ``REPRO_*`` knobs
+    #: on first use unless injected explicitly.
+    _resilience: Optional[ResiliencePolicy] = field(default=None, repr=False)
 
     # -- observability ------------------------------------------------------------
 
@@ -122,6 +127,13 @@ class ExperimentContext:
     # -- lazily built artifacts ----------------------------------------------------
 
     @property
+    def resilience(self) -> ResiliencePolicy:
+        """The campaign's resilience policy (env-resolved on first use)."""
+        if self._resilience is None:
+            self._resilience = default_resilience()
+        return self._resilience
+
+    @property
     def lists(self) -> Dict[str, FilterListHistory]:
         """Histories keyed 'aak', 'easylist', 'awrl', 'combined_easylist'."""
         if self._lists is None:
@@ -153,7 +165,7 @@ class ExperimentContext:
         if self._crawl is None:
             archive = self.archive  # build outside so the stages stay distinct
             with self._stage("crawl", sites=len(self.world.sites)):
-                crawler = WaybackCrawler(archive)
+                crawler = WaybackCrawler(archive, resilience=self.resilience)
                 self._crawl = crawler.crawl(
                     [site.domain for site in self.world.sites],
                     self.world.config.start,
@@ -197,7 +209,9 @@ class ExperimentContext:
         if self._live is None:
             histories = self.histories
             with self._stage("live", top=self.world.config.live_top):
-                self._live = LiveCrawler(self.world, histories).crawl()
+                self._live = LiveCrawler(self.world, histories).crawl(
+                    resilience=self.resilience
+                )
         return self._live
 
     @property
@@ -216,7 +230,9 @@ class ExperimentContext:
                     self.world.snapshot(site, self.world.config.end)
                     for site in self.world.sites
                 ]
-                self._corpus = build_corpus(pages, matcher, seed=self.world.seed)
+                self._corpus = build_corpus(
+                    pages, matcher, seed=self.world.seed, resilience=self.resilience
+                )
         return self._corpus
 
     def corpus_features(

@@ -24,13 +24,14 @@ import ``repro.obs`` freely.
 
 from .config import ConfigSnapshot, config_snapshot
 from .logconf import configure_logging
-from .manifest import RunManifest, validate_manifest
+from .manifest import RunManifest, validate_events, validate_manifest
 from .metrics import MetricsRegistry, get_metrics, reset_metrics
 from .trace import (
     NULL_SPAN,
     Span,
     Tracer,
     disable_tracing,
+    emit_event,
     enable_tracing,
     get_tracer,
     span,
@@ -42,6 +43,7 @@ __all__ = [
     "config_snapshot",
     "configure_logging",
     "RunManifest",
+    "validate_events",
     "validate_manifest",
     "MetricsRegistry",
     "get_metrics",
@@ -50,6 +52,7 @@ __all__ = [
     "Span",
     "Tracer",
     "disable_tracing",
+    "emit_event",
     "enable_tracing",
     "get_tracer",
     "span",

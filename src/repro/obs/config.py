@@ -3,8 +3,10 @@
 Before this module, ``REPRO_SCALE`` was parsed in ``experiments.context``
 and ``REPRO_WORKERS``/``REPRO_MATCHER_CACHE`` in ``analysis.perf``, each
 silently falling back to its default on garbage input — a typo like
-``REPRO_WORKERS=fuor`` quietly ran serial. All three knobs now resolve
-here: invalid or out-of-range values still fall back to the documented
+``REPRO_WORKERS=fuor`` quietly ran serial. Every knob — scale, workers,
+the matcher/feature caches, and the resilience layer's retry/journal/
+fault-injection settings — now resolves here: invalid or out-of-range
+values still fall back to the documented
 defaults (so behaviour is unchanged), but a warning is logged **once per
 (variable, raw value)** so the operator learns about the typo, and the
 resolved values are recorded in the run manifest via
@@ -20,13 +22,24 @@ from typing import Dict, Mapping, Optional, Set, Tuple
 
 logger = logging.getLogger("repro.obs.config")
 
-#: Documented defaults (kept in sync with README "Performance").
+#: Documented defaults (kept in sync with docs/ARCHITECTURE.md's knob table).
 DEFAULT_SCALE = 0.08
 DEFAULT_WORKERS = 1
 DEFAULT_MATCHER_CACHE = 512
+DEFAULT_MAX_RETRIES = 3
+DEFAULT_RETRY_BASE_MS = 50.0
 
 #: The knobs this module owns, in manifest order.
-KNOBS = ("REPRO_SCALE", "REPRO_WORKERS", "REPRO_MATCHER_CACHE", "REPRO_FEATURE_CACHE")
+KNOBS = (
+    "REPRO_SCALE",
+    "REPRO_WORKERS",
+    "REPRO_MATCHER_CACHE",
+    "REPRO_FEATURE_CACHE",
+    "REPRO_MAX_RETRIES",
+    "REPRO_RETRY_BASE_MS",
+    "REPRO_CRAWL_JOURNAL",
+    "REPRO_FAULT_SEED",
+)
 
 #: (variable, raw value) pairs already warned about in this process.
 _WARNED: Set[Tuple[str, str]] = set()
@@ -105,13 +118,73 @@ def feature_cache_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[s
     *not* a directory is rejected with a one-time warning.
     """
     environ = os.environ if environ is None else environ
-    raw = environ.get("REPRO_FEATURE_CACHE")
+    return _resolve_dir("REPRO_FEATURE_CACHE", environ.get("REPRO_FEATURE_CACHE"))
+
+
+def _resolve_dir(var: str, raw: Optional[str]) -> Optional[str]:
     if not raw:
         return None
     if os.path.exists(raw) and not os.path.isdir(raw):
-        _warn_once("REPRO_FEATURE_CACHE", raw, None)
+        _warn_once(var, raw, None)
         return None
     return raw
+
+
+def max_retries(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Crawl retry allowance from ``REPRO_MAX_RETRIES`` (default 3, ≥ 0).
+
+    0 disables retrying entirely: any transient fault degrades its slot
+    on first occurrence (the circuit breaker still applies).
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_MAX_RETRIES",
+        environ.get("REPRO_MAX_RETRIES"),
+        DEFAULT_MAX_RETRIES,
+        minimum=0,
+    )
+
+
+def retry_base_ms(environ: Optional[Mapping[str, str]] = None) -> float:
+    """First-retry backoff delay from ``REPRO_RETRY_BASE_MS`` (default 50, ≥ 0)."""
+    environ = os.environ if environ is None else environ
+    return _resolve_float(
+        "REPRO_RETRY_BASE_MS",
+        environ.get("REPRO_RETRY_BASE_MS"),
+        DEFAULT_RETRY_BASE_MS,
+        minimum=0.0,
+    )
+
+
+def crawl_journal_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """Checkpoint-journal directory from ``REPRO_CRAWL_JOURNAL``.
+
+    Unset or empty disables journaling (``None``). The directory holds
+    one append-only JSONL journal per ingest scope (``wayback.jsonl``,
+    ``live.jsonl``, ``corpus.jsonl``); it need not exist, but a path
+    that exists and is *not* a directory is rejected with a one-time
+    warning.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_dir("REPRO_CRAWL_JOURNAL", environ.get("REPRO_CRAWL_JOURNAL"))
+
+
+def fault_seed(environ: Optional[Mapping[str, str]] = None) -> Optional[int]:
+    """Fault-injection seed from ``REPRO_FAULT_SEED`` (unset = disabled).
+
+    Any integer enables the deterministic fault-injection dev mode with
+    that schedule seed; an invalid value warns once and leaves injection
+    disabled (never silently faulting a real run).
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_FAULT_SEED")
+    if raw is None or raw == "":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        _warn_once("REPRO_FAULT_SEED", raw, None)
+        return None
 
 
 @dataclass(frozen=True)
@@ -122,6 +195,13 @@ class ConfigSnapshot:
     workers: int
     matcher_cache: int
     feature_cache: Optional[str] = None
+    max_retries: int = DEFAULT_MAX_RETRIES
+    retry_base_ms: float = DEFAULT_RETRY_BASE_MS
+    #: Checkpoint-journal directory (holds wayback/live/corpus journals),
+    #: so two runs are comparable from ``run.json`` alone.
+    crawl_journal: Optional[str] = None
+    #: Fault-injection schedule seed (``None`` = injection disabled).
+    fault_seed: Optional[int] = None
     #: Raw environment strings actually present (pre-validation), so a
     #: manifest shows both what the operator set and what the run used.
     raw_env: Dict[str, str] = field(default_factory=dict)
@@ -132,6 +212,10 @@ class ConfigSnapshot:
             "workers": self.workers,
             "matcher_cache": self.matcher_cache,
             "feature_cache": self.feature_cache,
+            "max_retries": self.max_retries,
+            "retry_base_ms": self.retry_base_ms,
+            "crawl_journal": self.crawl_journal,
+            "fault_seed": self.fault_seed,
             "raw_env": dict(self.raw_env),
         }
 
@@ -144,5 +228,9 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         workers=repro_workers(environ),
         matcher_cache=matcher_cache_size(environ),
         feature_cache=feature_cache_dir(environ),
+        max_retries=max_retries(environ),
+        retry_base_ms=retry_base_ms(environ),
+        crawl_journal=crawl_journal_dir(environ),
+        fault_seed=fault_seed(environ),
         raw_env={var: environ[var] for var in KNOBS if var in environ},
     )

@@ -73,7 +73,7 @@ class RunManifest:
 
     # -- the JSONL event log ------------------------------------------------
 
-    def event(self, kind: str, **payload: Any) -> None:
+    def event(self, kind: str, /, **payload: Any) -> None:
         """Append one event line (monotonic ``seq``, wall-clock ``ts``)."""
         record = {"seq": self._seq, "ts": time.time(), "event": kind}
         record.update(payload)
@@ -207,6 +207,10 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("workers", int),
         ("matcher_cache", int),
         ("feature_cache", (str, type(None))),
+        ("max_retries", int),
+        ("retry_base_ms", (int, float)),
+        ("crawl_journal", (str, type(None))),
+        ("fault_seed", (int, type(None))),
     ):
         if knob in config and not isinstance(config[knob], kind):
             errors.append(f"config.{knob}: wrong type")
@@ -228,10 +232,78 @@ def _validate_span(span: Any, where: str) -> List[str]:
     return errors
 
 
+#: Every event kind a ``<run>.jsonl`` log may legally contain: the
+#: manifest's own lifecycle events, the tracer-sink span events, and the
+#: resilience layer's crawl events (retries, circuit openings, journal
+#: resume/completion, injected faults).
+KNOWN_EVENT_KINDS = frozenset(
+    {
+        "run_start",
+        "run_end",
+        "stage",
+        "artifact",
+        "span",
+        "span_start",
+        "span_end",
+        "crawl_retry",
+        "crawl_gave_up",
+        "crawl_circuit_open",
+        "crawl_resume",
+        "crawl_fault",
+        "journal_complete",
+    }
+)
+
+
+def validate_events(lines: List[str]) -> List[str]:
+    """Structural check of a JSONL event log; returns error strings.
+
+    Every line must be a JSON object carrying a monotonically increasing
+    integer ``seq``, a numeric ``ts``, and an ``event`` kind from
+    :data:`KNOWN_EVENT_KINDS` — so downstream tooling can rely on the
+    event vocabulary the way it relies on the ``run.json`` schema.
+    """
+    errors: List[str] = []
+    last_seq = -1
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {line_no}: not JSON ({exc})")
+            continue
+        if not isinstance(record, dict):
+            errors.append(f"line {line_no}: not an object")
+            continue
+        seq = record.get("seq")
+        if not isinstance(seq, int):
+            errors.append(f"line {line_no}: missing integer seq")
+        elif seq <= last_seq:
+            errors.append(f"line {line_no}: seq {seq} not increasing")
+        else:
+            last_seq = seq
+        if not isinstance(record.get("ts"), (int, float)):
+            errors.append(f"line {line_no}: missing numeric ts")
+        kind = record.get("event")
+        if not isinstance(kind, str):
+            errors.append(f"line {line_no}: missing event kind")
+        elif kind not in KNOWN_EVENT_KINDS:
+            errors.append(f"line {line_no}: unknown event kind {kind!r}")
+    return errors
+
+
 def load_and_validate(path) -> List[str]:
-    """Read a manifest file and validate it; returns error strings."""
+    """Validate a manifest (``run.json``) or event log (``*.jsonl``) file."""
+    path = Path(path)
     try:
-        manifest = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        text = path.read_text()
+    except OSError as exc:
+        return [f"unreadable manifest: {exc}"]
+    if path.suffix == ".jsonl":
+        return validate_events(text.splitlines())
+    try:
+        manifest = json.loads(text)
+    except json.JSONDecodeError as exc:
         return [f"unreadable manifest: {exc}"]
     return validate_manifest(manifest)

@@ -276,3 +276,15 @@ def span(name: str, **attributes: Any):
     if not _TRACER.enabled:
         return NULL_SPAN
     return Span(name, attributes, tracer=_TRACER)
+
+
+def emit_event(kind: str, /, **payload: Any) -> None:
+    """Forward a custom event to the active tracer sink (no-op otherwise).
+
+    Lets instrumented layers stream structured one-off events — a crawl
+    retry, a circuit opening, a journal resume — into the run manifest's
+    JSONL log next to the span events, without holding a manifest
+    handle. Costs one branch when tracing is off or no sink is attached.
+    """
+    if _TRACER.enabled and _TRACER.sink is not None:
+        _TRACER.sink({"event": kind, **payload})

@@ -1,0 +1,74 @@
+"""Fault tolerance for the ingest layer: retries, journals, fault injection.
+
+The §4 pipeline hinges on a five-year, ~300K-URL archive crawl — the
+most failure-prone stage of the whole reproduction. This package is the
+resilience layer that lets that stage (and the live crawl and corpus
+build) survive the failures a production ingest system sees daily:
+
+- :mod:`~repro.resilience.errors` — the fault taxonomy (transient /
+  timeout / truncated / permanent) the retry machinery classifies on;
+- :mod:`~repro.resilience.retry` — exponential backoff with *seeded*
+  jitter and per-slot time budgets, deterministic end to end;
+- :mod:`~repro.resilience.circuit` — per-domain circuit breakers that
+  degrade a persistently failing domain to *missing* instead of
+  aborting the run;
+- :mod:`~repro.resilience.journal` — crash-safe JSONL checkpoint
+  journals, so an interrupted crawl resumes from its last completed
+  slot and reproduces the uninterrupted result byte for byte;
+- :mod:`~repro.resilience.canonical` — the value-interning pass that
+  makes resumed results pickle-identical to fresh ones;
+- :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness over the synthetic archive/browser, for tests and the
+  ``--inject-faults`` dev mode;
+- :mod:`~repro.resilience.policy` — the environment-resolved bundle
+  (``REPRO_MAX_RETRIES``, ``REPRO_RETRY_BASE_MS``,
+  ``REPRO_CRAWL_JOURNAL``, ``REPRO_FAULT_SEED``) every ingest loop
+  shares.
+
+The package imports only :mod:`repro.obs` (and the standard library), so
+any ingest layer may depend on it without cycles.
+"""
+
+from .canonical import Interner, canonicalize_records
+from .circuit import CircuitBreaker
+from .errors import (
+    CrawlFault,
+    JournalMismatch,
+    PermanentFault,
+    RetryExhausted,
+    TimeoutFault,
+    TransientFault,
+    TruncatedResponse,
+)
+from .faults import FaultInjector, FaultKind, FaultPlan, FaultSchedule, FaultyArchive, slot_key
+from .journal import CrawlJournal, JournalState
+from .policy import ResiliencePolicy, default_resilience
+from .retry import RetryPolicy, VirtualClock, real_sleeper, retry_call, seeded_unit
+
+__all__ = [
+    "Interner",
+    "canonicalize_records",
+    "CircuitBreaker",
+    "CrawlFault",
+    "JournalMismatch",
+    "PermanentFault",
+    "RetryExhausted",
+    "TimeoutFault",
+    "TransientFault",
+    "TruncatedResponse",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSchedule",
+    "FaultyArchive",
+    "slot_key",
+    "CrawlJournal",
+    "JournalState",
+    "ResiliencePolicy",
+    "default_resilience",
+    "RetryPolicy",
+    "VirtualClock",
+    "real_sleeper",
+    "retry_call",
+    "seeded_unit",
+]

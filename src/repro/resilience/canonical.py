@@ -1,0 +1,89 @@
+"""Interning canonicalization: make resumed results pickle-byte-identical.
+
+``pickle`` memoizes by object *identity*: two equal strings that are the
+same object serialize as one definition plus a back-reference, while two
+equal-but-distinct objects serialize twice. A fresh crawl naturally
+shares objects (every record of a month holds the *same* ``date``; a
+record's ``html`` is the same string as its HAR's ``page_html``), but
+records reloaded from a journal are unpickled one slot at a time, so all
+cross-record sharing is lost — equal values, different bytes.
+
+The fix is the same one the feature store uses (DESIGN.md §3.3): run
+**every** construction path — fresh, resumed, fault-retried — through
+one value-interning pass before the result is returned. After
+canonicalization, object sharing is a pure function of the values, so
+two runs that produce equal records produce identical pickles, which is
+what the resume-determinism tests pin.
+
+Only ``str`` and ``datetime.date`` are interned: those are the shared
+leaf types of crawl records, and ``pickle`` does not memoize numbers at
+all (so they never need help).
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, Iterable, Optional
+
+
+class Interner:
+    """Value-keyed canonical object tables for strings and dates."""
+
+    def __init__(self) -> None:
+        self._strings: Dict[str, str] = {}
+        self._dates: Dict[date, date] = {}
+
+    def string(self, value: Optional[str]) -> Optional[str]:
+        if value is None:
+            return None
+        canonical = self._strings.get(value)
+        if canonical is None:
+            canonical = self._strings.setdefault(value, value)
+        return canonical
+
+    def date(self, value: Optional[date]) -> Optional[date]:
+        if value is None:
+            return None
+        canonical = self._dates.get(value)
+        if canonical is None:
+            canonical = self._dates.setdefault(value, value)
+        return canonical
+
+    def string_dict(self, mapping: Dict[str, str]) -> Dict[str, str]:
+        """Rebuild a str→str dict with both sides interned."""
+        return {self.string(key): self.string(value) for key, value in mapping.items()}
+
+
+def canonicalize_har(har, interner: Interner) -> None:
+    """Intern every string inside a :class:`~repro.web.har.HarFile`."""
+    har.page_url = interner.string(har.page_url)
+    har.started = interner.string(har.started)
+    har.page_html = interner.string(har.page_html)
+    for entry in har.entries:
+        request, response = entry.request, entry.response
+        request.url = interner.string(request.url)
+        request.method = interner.string(request.method)
+        request.resource_type = interner.string(request.resource_type)
+        request.page_url = interner.string(request.page_url)
+        request.headers = interner.string_dict(request.headers)
+        response.status_text = interner.string(response.status_text)
+        response.mime_type = interner.string(response.mime_type)
+        response.body = interner.string(response.body)
+        response.headers = interner.string_dict(response.headers)
+
+
+def canonicalize_records(records: Iterable) -> None:
+    """Intern shared values across a crawl's records, in place.
+
+    Iteration order defines which object becomes canonical for each
+    value; callers must iterate in the result's record order so two
+    equal-valued results canonicalize to identical object graphs.
+    """
+    interner = Interner()
+    for record in records:
+        record.domain = interner.string(record.domain)
+        record.html = interner.string(record.html)
+        record.month = interner.date(record.month)
+        record.capture_date = interner.date(record.capture_date)
+        if record.har is not None:
+            canonicalize_har(record.har, interner)

@@ -1,0 +1,53 @@
+"""Per-domain circuit breakers: degrade, don't abort.
+
+A domain that fails persistently — every month's capture times out, the
+archive keeps refusing it — should cost a bounded number of attempts and
+then be recorded as *missing*, exactly like the paper records excluded
+and never-archived domains, instead of burning the retry budget on all
+sixty of its monthly slots (or worse, aborting a multi-day run).
+
+The breaker counts *consecutive* slot failures per key. Reaching the
+threshold opens the circuit: subsequent slots for that key are degraded
+without any attempt. A success closes the circuit and resets the count.
+The state transition is reported to the caller (``record_failure``
+returns ``True`` exactly once per opening) so metrics count each opened
+domain once, whether the failures came from live attempts or from a
+journal being replayed on resume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over string keys (domains)."""
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("circuit threshold must be >= 1")
+        self.threshold = threshold
+        self._failures: Dict[str, int] = {}
+        self._open: Dict[str, bool] = {}
+
+    def is_open(self, key: str) -> bool:
+        """Whether slots for ``key`` should be degraded without attempts."""
+        return self._open.get(key, False)
+
+    def record_failure(self, key: str) -> bool:
+        """Note one slot failure; returns ``True`` iff this opened the circuit."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold and not self._open.get(key, False):
+            self._open[key] = True
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        """Note one slot success: closes the circuit and resets the count."""
+        self._failures[key] = 0
+        self._open[key] = False
+
+    def open_keys(self) -> List[str]:
+        """Every key whose circuit is currently open, sorted."""
+        return sorted(key for key, is_open in self._open.items() if is_open)

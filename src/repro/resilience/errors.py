@@ -1,0 +1,86 @@
+"""Fault taxonomy for the ingest layer.
+
+A five-year archive crawl fails *partially and constantly* (cf. Hashmi
+et al.'s longitudinal blacklist study and the paper's own §4.1 exclusion
+accounting), so the resilience layer classifies failures rather than
+treating every exception the same way:
+
+- **transient** faults (connection resets, rate limiting, timeouts,
+  truncated responses) are worth retrying with backoff;
+- **permanent** faults (the archive refuses the URL, a hard protocol
+  error) are not — the slot degrades to *missing* immediately.
+
+Anything that is *not* a :class:`CrawlFault` — a ``KeyboardInterrupt``,
+a programming bug — propagates untouched: the retry machinery must never
+mask a real defect as flaky infrastructure.
+"""
+
+from __future__ import annotations
+
+
+class CrawlFault(Exception):
+    """Base class for classified ingest failures."""
+
+    #: Stable machine-readable fault kind (metrics / event payloads).
+    kind = "fault"
+    #: Whether retrying the operation can plausibly succeed.
+    transient = True
+
+
+class TransientFault(CrawlFault):
+    """A retryable failure: connection reset, HTTP 5xx, rate limiting."""
+
+    kind = "transient"
+
+
+class TimeoutFault(CrawlFault):
+    """The operation exceeded its time allowance.
+
+    Retryable, but each occurrence also charges the per-slot timeout
+    budget (:attr:`~repro.resilience.retry.RetryPolicy.timeout_charge_ms`)
+    — a slot that keeps timing out runs out of budget before it runs out
+    of retries.
+    """
+
+    kind = "timeout"
+
+
+class TruncatedResponse(CrawlFault):
+    """The response arrived incomplete (content-length mismatch).
+
+    Modelled as detectable — like a browser noticing a short read — so
+    the slot is retried instead of silently storing corrupt data.
+    """
+
+    kind = "truncated"
+
+
+class PermanentFault(CrawlFault):
+    """A failure retrying cannot fix; the slot degrades immediately."""
+
+    kind = "permanent"
+    transient = False
+
+
+class RetryExhausted(Exception):
+    """A slot gave up: retries or time budget exhausted, or a permanent fault.
+
+    Carries the final underlying :class:`CrawlFault` and how many retries
+    were spent, so the caller can degrade the slot and account for it.
+    """
+
+    def __init__(self, key: str, retries: int, fault: CrawlFault) -> None:
+        super().__init__(f"{key}: gave up after {retries} retries ({fault.kind})")
+        self.key = key
+        self.retries = retries
+        self.fault = fault
+
+
+class JournalMismatch(Exception):
+    """A journal's header does not match the crawl trying to resume from it.
+
+    Resuming from a journal written by a different campaign (different
+    domains, months, seed, or schema) would silently mix two runs'
+    records; the journal refuses instead. Delete or move the stale
+    journal file to start fresh.
+    """

@@ -1,0 +1,190 @@
+"""Deterministic fault injection for the synthetic ingest stack.
+
+Real archive crawls fail partially and constantly; the synthetic
+:class:`~repro.wayback.archive.WaybackArchive` never does. This module
+closes that gap *deterministically*: a :class:`FaultSchedule` derives
+each slot's fate — nothing, a burst of transient errors, timeouts, a
+truncated response, or a permanent failure — purely from
+``(seed, slot key)`` via SHA-256, so the same seed always injects the
+same faults at the same slots, a property the resume-determinism and
+retry-accounting tests rely on.
+
+:class:`FaultInjector` turns a schedule into raises: it counts how many
+faults it has already delivered per slot and stops after the planned
+burst, so a retried slot eventually succeeds (transient kinds) or never
+does (permanent). :class:`FaultyArchive` mounts an injector in front of
+a real archive at the ``closest()`` boundary — the single chokepoint
+both the availability lookup and the capture fetch go through — and the
+same injector can be mounted as a :class:`~repro.web.browser.Browser`
+interceptor for page-load-level faults.
+
+Enable end to end with ``REPRO_FAULT_SEED=<int>`` (or the CLI's
+``--inject-faults``); see :mod:`repro.resilience.policy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Optional
+
+from ..obs.trace import emit_event
+from .errors import (
+    CrawlFault,
+    PermanentFault,
+    TimeoutFault,
+    TransientFault,
+    TruncatedResponse,
+)
+from .retry import seeded_unit
+
+
+class FaultKind(str, Enum):
+    """What a scheduled fault does to the slot."""
+
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    TRUNCATED = "truncated"
+    PERMANENT = "permanent"
+
+
+_EXCEPTION_FOR = {
+    FaultKind.TRANSIENT: TransientFault,
+    FaultKind.TIMEOUT: TimeoutFault,
+    FaultKind.TRUNCATED: TruncatedResponse,
+    FaultKind.PERMANENT: PermanentFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One slot's fate: the fault kind and how many raises to deliver."""
+
+    kind: FaultKind
+    #: Faults delivered before the slot starts succeeding (ignored for
+    #: permanent faults, which never stop failing).
+    failures: int = 1
+
+    def exception(self, key: str) -> CrawlFault:
+        """Instantiate the fault exception for a slot."""
+        return _EXCEPTION_FOR[self.kind](f"injected {self.kind.value} fault: {key}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Seeded per-slot fault assignment (rates sum to the failure rate)."""
+
+    seed: int
+    transient_rate: float = 0.10
+    timeout_rate: float = 0.02
+    truncated_rate: float = 0.02
+    permanent_rate: float = 0.005
+    #: Transient-ish bursts deliver 1..max_failures raises.
+    max_failures: int = 2
+
+    def plan(self, key: str) -> Optional[FaultPlan]:
+        """The slot's fault plan, or ``None`` for a healthy slot."""
+        u = seeded_unit(self.seed, "fault-kind", key)
+        edges = (
+            (self.transient_rate, FaultKind.TRANSIENT),
+            (self.timeout_rate, FaultKind.TIMEOUT),
+            (self.truncated_rate, FaultKind.TRUNCATED),
+            (self.permanent_rate, FaultKind.PERMANENT),
+        )
+        cumulative = 0.0
+        for rate, kind in edges:
+            cumulative += rate
+            if u < cumulative:
+                if kind is FaultKind.PERMANENT:
+                    return FaultPlan(kind=kind)
+                burst = seeded_unit(self.seed, "fault-burst", key)
+                failures = 1 + int(burst * self.max_failures)
+                return FaultPlan(kind=kind, failures=failures)
+        return None
+
+    def planned_slots(self, keys: Iterable[str]) -> Dict[str, FaultPlan]:
+        """The non-``None`` plans for a key set (test/report helper)."""
+        plans = {}
+        for key in keys:
+            plan = self.plan(key)
+            if plan is not None:
+                plans[key] = plan
+        return plans
+
+
+class FaultInjector:
+    """Delivers a schedule's faults, counting per-slot deliveries.
+
+    ``check(key)`` raises the slot's planned fault until the burst is
+    spent, then returns normally — so the caller's retry loop sees the
+    exact failure sequence the schedule prescribes, independent of
+    process restarts (resumed runs never re-check journaled slots, and
+    un-journaled slots restart their burst from zero in both the
+    interrupted and the uninterrupted run).
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self._delivered: Dict[str, int] = {}
+        self.injected = 0
+
+    def check(self, key: str) -> None:
+        """Raise the slot's next scheduled fault, if any remain."""
+        plan = self.schedule.plan(key)
+        if plan is None:
+            return
+        if plan.kind is FaultKind.PERMANENT:
+            self.injected += 1
+            emit_event("crawl_fault", slot=key, kind=plan.kind.value)
+            raise plan.exception(key)
+        delivered = self._delivered.get(key, 0)
+        if delivered < plan.failures:
+            self._delivered[key] = delivered + 1
+            self.injected += 1
+            emit_event("crawl_fault", slot=key, kind=plan.kind.value)
+            raise plan.exception(key)
+
+    # -- browser mounting ----------------------------------------------------
+
+    def browser_interceptor(self, key: str):
+        """An interceptor for :class:`repro.web.browser.Browser`.
+
+        Returns a callable suitable for the browser's ``interceptor``
+        hook, bound to one slot key. It checks the *same* key as the
+        archive boundary, sharing the slot's burst accounting — so the
+        total transient failures a slot can see stays bounded by the
+        schedule's ``max_failures`` no matter how many fault boundaries
+        the slot crosses (a transient-only schedule with
+        ``max_failures <= max_retries`` always eventually succeeds).
+        """
+
+        def intercept(snapshot):
+            self.check(key)
+            return snapshot
+
+        return intercept
+
+
+def slot_key(domain: str, month) -> str:
+    """Canonical injector/retry key for a (domain, month) crawl slot."""
+    return f"{domain}|{month.isoformat()}"
+
+
+class FaultyArchive:
+    """A :class:`WaybackArchive` proxy that injects scheduled faults.
+
+    Faults fire at ``closest()`` — the chokepoint every availability
+    lookup and capture fetch goes through — keyed by (domain, requested
+    month). Every other attribute delegates to the wrapped archive.
+    """
+
+    def __init__(self, archive, injector: FaultInjector) -> None:
+        self._archive = archive
+        self.injector = injector
+
+    def closest(self, domain: str, requested):
+        self.injector.check(slot_key(domain, requested))
+        return self._archive.closest(domain, requested)
+
+    def __getattr__(self, name: str):
+        return getattr(self._archive, name)

@@ -1,0 +1,196 @@
+"""Crash-safe crawl journals: an append-only JSONL log of completed slots.
+
+A five-year crawl that dies at slot 180 000 must not discard slots
+1–179 999. Every ingest loop (the Wayback crawl, the live crawl, the
+corpus build) appends one line per completed work unit — the slot key
+plus the pickled result payload — and flushes immediately, so the
+journal survives a ``kill -9`` at any byte offset:
+
+- the **header** line pins the journal schema, the scope (which loop
+  wrote it), and a caller-supplied *fingerprint* of the campaign
+  (domains digest, date window, seed …). Resuming against a journal
+  whose fingerprint differs raises :class:`JournalMismatch` rather than
+  silently mixing two runs' records.
+- **slot** lines carry a JSON key (list of strings) and a
+  base64(pickle) payload with a SHA-256 integrity digest. A corrupt or
+  torn line — the classic crash artifact — is skipped with a warning;
+  the slot is simply re-crawled, which is always safe because slot
+  production is deterministic.
+- a **complete** line marks the crawl finished, letting a re-run serve
+  the whole result from the journal without touching the source.
+
+Payloads round-trip through :mod:`pickle`; combined with the interning
+pass in :mod:`repro.resilience.canonical`, a result assembled from
+journaled + freshly-crawled slots is pickle-byte-identical to an
+uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import logging
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .errors import JournalMismatch
+
+logger = logging.getLogger("repro.resilience.journal")
+
+SCHEMA = "repro.crawl-journal/1"
+
+#: Journal slot keys: a tuple of strings (domain, ISO month, rank …).
+SlotKey = Tuple[str, ...]
+
+
+def _payload_encode(payload: Any) -> Tuple[str, str]:
+    raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        base64.b64encode(raw).decode("ascii"),
+        hashlib.sha256(raw).hexdigest()[:16],
+    )
+
+
+class CrawlJournal:
+    """One scope's append-only slot journal (``<dir>/<scope>.jsonl``)."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        scope: str,
+        fingerprint: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.scope = scope
+        self.fingerprint: Dict[str, Any] = dict(fingerprint or {})
+        self.path = self.directory / f"{scope}.jsonl"
+        self._handle = None
+        # An empty file (crash before the header flushed) gets a fresh header.
+        self._header_written = self.path.exists() and self.path.stat().st_size > 0
+
+    # -- writing -------------------------------------------------------------
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        if not self._header_written:
+            header = {
+                "kind": "header",
+                "schema": SCHEMA,
+                "scope": self.scope,
+                "fingerprint": self.fingerprint,
+            }
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+            self._header_written = True
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush per line: the journal must survive a crash at any point.
+        self._handle.flush()
+
+    def append(self, key: SlotKey, payload: Any) -> None:
+        """Record one completed slot (pickled payload, integrity digest)."""
+        data, digest = _payload_encode(payload)
+        self._write_line(
+            {"kind": "slot", "key": list(key), "data": data, "sha": digest}
+        )
+
+    def mark_complete(self) -> None:
+        """Record that the crawl covered every slot (enables cold re-serve)."""
+        self._write_line({"kind": "complete"})
+
+    def close(self) -> None:
+        """Close the underlying file handle (appends reopen it)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> "JournalState":
+        """Parse the journal from disk into resumable state.
+
+        Missing file → empty state. A header whose schema/scope/
+        fingerprint differ from this journal's raises
+        :class:`JournalMismatch`. Corrupt slot lines (torn writes, bad
+        digests) are skipped with a warning — those slots re-crawl.
+        """
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        seen_header = False
+        for line_no, line in enumerate(
+            self.path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                logger.warning(
+                    "journal %s line %d: unparseable (torn write?); skipped",
+                    self.path,
+                    line_no,
+                )
+                continue
+            kind = record.get("kind")
+            if kind == "header":
+                self._check_header(record)
+                seen_header = True
+            elif kind == "slot":
+                self._load_slot(record, line_no, state)
+            elif kind == "complete":
+                state.complete = True
+        if state.slots and not seen_header:
+            raise JournalMismatch(f"{self.path}: journal has slots but no header")
+        return state
+
+    def _check_header(self, record: Dict[str, Any]) -> None:
+        if record.get("schema") != SCHEMA:
+            raise JournalMismatch(
+                f"{self.path}: schema {record.get('schema')!r} != {SCHEMA!r}"
+            )
+        if record.get("scope") != self.scope:
+            raise JournalMismatch(
+                f"{self.path}: scope {record.get('scope')!r} != {self.scope!r}"
+            )
+        if self.fingerprint and record.get("fingerprint") != self.fingerprint:
+            raise JournalMismatch(
+                f"{self.path}: fingerprint {record.get('fingerprint')!r} does not "
+                f"match this campaign ({self.fingerprint!r}); delete the stale "
+                "journal to start fresh"
+            )
+
+    def _load_slot(
+        self, record: Dict[str, Any], line_no: int, state: "JournalState"
+    ) -> None:
+        try:
+            raw = base64.b64decode(record["data"], validate=True)
+            if hashlib.sha256(raw).hexdigest()[:16] != record["sha"]:
+                raise ValueError("integrity digest mismatch")
+            payload = pickle.loads(raw)
+        except Exception as exc:  # corrupt entry: re-crawl that slot
+            logger.warning(
+                "journal %s line %d: corrupt slot (%s); skipped", self.path, line_no, exc
+            )
+            return
+        state.slots[tuple(record["key"])] = payload
+
+
+class JournalState:
+    """What a loaded journal knows: completed slots + completion flag."""
+
+    def __init__(self) -> None:
+        self.slots: Dict[SlotKey, Any] = {}
+        self.complete = False
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def take(self, key: SlotKey) -> Any:
+        """Pop one journaled payload (``KeyError`` if absent)."""
+        return self.slots.pop(key)
+
+    def __contains__(self, key: SlotKey) -> bool:
+        return key in self.slots

@@ -1,0 +1,78 @@
+"""One resolved resilience configuration shared by every ingest loop.
+
+:class:`ResiliencePolicy` bundles the retry policy, circuit-breaker
+threshold, journal directory, and (optional) fault schedule. The default
+instance resolves from the validated ``REPRO_*`` knobs
+(:mod:`repro.obs.config`), so ``WaybackCrawler``, ``LiveCrawler`` and
+``build_corpus`` pick up journaling and fault injection from the
+environment without any caller plumbing — the same pattern the feature
+store uses for ``REPRO_FEATURE_CACHE``.
+
+Sleeping is policy too: with fault injection active the policy hands out
+a :class:`~repro.resilience.retry.VirtualClock` (the synthetic archive's
+faults should cost metrics, not wall-clock), while a plain run gets
+:func:`~repro.resilience.retry.real_sleeper` for crawls against real
+infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..obs.config import crawl_journal_dir, fault_seed, max_retries, retry_base_ms
+from .circuit import CircuitBreaker
+from .faults import FaultInjector, FaultSchedule
+from .journal import CrawlJournal
+from .retry import RetryPolicy, Sleeper, VirtualClock, real_sleeper
+
+
+@dataclass
+class ResiliencePolicy:
+    """Retry + breaker + journal + fault settings for one campaign."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_threshold: int = 3
+    journal_dir: Optional[str] = None
+    fault_schedule: Optional[FaultSchedule] = None
+
+    @classmethod
+    def from_env(cls) -> "ResiliencePolicy":
+        """Resolve from the validated ``REPRO_*`` knobs."""
+        seed = fault_seed()
+        return cls(
+            retry=RetryPolicy(max_retries=max_retries(), base_ms=retry_base_ms()),
+            journal_dir=crawl_journal_dir(),
+            fault_schedule=FaultSchedule(seed=seed) if seed is not None else None,
+        )
+
+    # -- per-crawl components ------------------------------------------------
+
+    def journal(
+        self, scope: str, fingerprint: Optional[Dict[str, Any]] = None
+    ) -> Optional[CrawlJournal]:
+        """This scope's journal, or ``None`` when journaling is disabled."""
+        if self.journal_dir is None:
+            return None
+        return CrawlJournal(self.journal_dir, scope, fingerprint)
+
+    def breaker(self) -> CircuitBreaker:
+        """A fresh circuit breaker (state is per-crawl, never shared)."""
+        return CircuitBreaker(threshold=self.breaker_threshold)
+
+    def injector(self) -> Optional[FaultInjector]:
+        """A fresh fault injector, or ``None`` when injection is disabled."""
+        if self.fault_schedule is None:
+            return None
+        return FaultInjector(self.fault_schedule)
+
+    def sleeper(self) -> Sleeper:
+        """Backoff sleeper: virtual under fault injection, real otherwise."""
+        if self.fault_schedule is not None:
+            return VirtualClock()
+        return real_sleeper
+
+
+def default_resilience() -> ResiliencePolicy:
+    """A fresh environment-resolved policy (no caching: knobs may change)."""
+    return ResiliencePolicy.from_env()

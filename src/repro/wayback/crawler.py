@@ -6,10 +6,21 @@ months from the requested date (*outdated*), loads the remaining archive
 URLs in the simulated browser (storing requests/responses HAR-style plus
 the page HTML), and finally discards *partial* captures whose HAR size is
 below 10% of that domain-year's average.
+
+The crawl is the most failure-prone stage of the pipeline, so it runs
+under the resilience layer (:mod:`repro.resilience`): classified faults
+are retried with deterministic backoff, a domain that keeps failing
+trips a circuit breaker and degrades to *missing*
+(:attr:`CrawlStatus.FAILED`), completed slots checkpoint to a crash-safe
+journal (``REPRO_CRAWL_JOURNAL``), and an interrupted crawl resumed from
+that journal produces a :class:`CrawlResult` pickle-identical to an
+uninterrupted run — every record is canonicalized through one interning
+pass regardless of how it was produced.
 """
 
 from __future__ import annotations
 
+import hashlib
 import logging
 from dataclasses import dataclass, field
 from datetime import date
@@ -17,7 +28,18 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional
 
 from ..obs.metrics import get_metrics
+from ..obs.trace import emit_event
 from ..obs.trace import span as trace_span
+from ..resilience import (
+    CrawlJournal,
+    FaultyArchive,
+    ResiliencePolicy,
+    RetryExhausted,
+    canonicalize_records,
+    default_resilience,
+    retry_call,
+    slot_key,
+)
 from ..web.browser import Browser, VisitResult
 from ..web.har import HarFile
 from .archive import WaybackArchive
@@ -41,6 +63,10 @@ class CrawlStatus(str, Enum):
     NOT_ARCHIVED = "not archived"
     OUTDATED = "outdated"
     PARTIAL = "partial"
+    #: The slot's domain failed persistently (retries exhausted or the
+    #: per-domain circuit breaker opened) and was degraded to missing
+    #: instead of aborting the crawl.
+    FAILED = "failed"
 
 
 @dataclass
@@ -124,7 +150,13 @@ class CrawlResult:
         for record in self.records:
             bucket = counts.setdefault(
                 record.month,
-                {"partial": 0, "not_archived": 0, "outdated": 0, "excluded": 0},
+                {
+                    "partial": 0,
+                    "not_archived": 0,
+                    "outdated": 0,
+                    "excluded": 0,
+                    "failed": 0,
+                },
             )
             if record.status is CrawlStatus.PARTIAL:
                 bucket["partial"] += 1
@@ -134,6 +166,8 @@ class CrawlResult:
                 bucket["outdated"] += 1
             elif record.status is CrawlStatus.EXCLUDED:
                 bucket["excluded"] += 1
+            elif record.status is CrawlStatus.FAILED:
+                bucket["failed"] += 1
         return counts
 
 
@@ -145,10 +179,20 @@ class WaybackCrawler:
     sequentially and deterministically.
     """
 
-    def __init__(self, archive: WaybackArchive, browser: Optional[Browser] = None) -> None:
+    def __init__(
+        self,
+        archive: WaybackArchive,
+        browser: Optional[Browser] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+    ) -> None:
+        self.resilience = resilience or default_resilience()
+        self.injector = self.resilience.injector()
+        if self.injector is not None:
+            archive = FaultyArchive(archive, self.injector)
         self.archive = archive
         self.api = AvailabilityAPI(archive)
         self.browser = browser or Browser()
+        self._sleeper = self.resilience.sleeper()
 
     #: Emit an INFO heartbeat every this many domains.
     PROGRESS_EVERY = 100
@@ -156,17 +200,34 @@ class WaybackCrawler:
     def crawl(
         self, domains: Iterable[str], start: date, end: date
     ) -> CrawlResult:
-        """Crawl every domain for every month in ``[start, end]``."""
+        """Crawl every domain for every month in ``[start, end]``.
+
+        With a journal directory configured (``REPRO_CRAWL_JOURNAL``),
+        completed slots checkpoint as they finish and a re-run resumes
+        from them; the resumed result is pickle-identical to an
+        uninterrupted run's.
+        """
         result = CrawlResult()
         months = month_range(start, end)
         domains = list(domains)
         metrics = get_metrics()
+        journal = self.resilience.journal(
+            "wayback", self._fingerprint(domains, start, end)
+        )
+        state = journal.load() if journal is not None else None
+        if state is not None and state.slots:
+            metrics.count("crawl.resumed_slots", len(state.slots))
+            emit_event("crawl_resume", scope="wayback", slots=len(state.slots))
+            logger.info("resuming wayback crawl: %d journaled slots", len(state.slots))
+        breaker = self.resilience.breaker()
         with trace_span(
             "crawl", domains=len(domains), months=len(months)
         ) as crawl_span:
             for index, domain in enumerate(domains):
                 with trace_span(f"site:{domain}"):
-                    records = self._crawl_domain(domain, months)
+                    records = self._crawl_domain(
+                        domain, months, state=state, journal=journal, breaker=breaker
+                    )
                 result.records.extend(records)
                 usable = sum(1 for record in records if record.usable)
                 metrics.count("crawl.domains")
@@ -182,20 +243,144 @@ class WaybackCrawler:
                     )
             for record in result.records:
                 metrics.count(f"crawl.status.{record.status.name.lower()}")
+        if self.injector is not None:
+            metrics.gauge("crawl.faults_injected", self.injector.injected)
+        if journal is not None:
+            journal.mark_complete()
+            journal.close()
+            emit_event("journal_complete", scope="wayback", path=str(journal.path))
+        # Every construction path — fresh, journal-resumed, fault-retried —
+        # converges through one interning pass, making equal results
+        # pickle-byte-identical (see repro.resilience.canonical).
+        canonicalize_records(result.records)
         return result
 
-    def _crawl_domain(self, domain: str, months: List[date]) -> List[CrawlRecord]:
+    @staticmethod
+    def _fingerprint(domains: List[str], start: date, end: date) -> Dict[str, object]:
+        """Campaign identity pinned in the journal header."""
+        digest = hashlib.sha256("\n".join(domains).encode("utf-8")).hexdigest()[:16]
+        return {
+            "domains_sha": digest,
+            "n_domains": len(domains),
+            "start": start.isoformat(),
+            "end": end.isoformat(),
+        }
+
+    def _crawl_domain(
+        self,
+        domain: str,
+        months: List[date],
+        state=None,
+        journal: Optional[CrawlJournal] = None,
+        breaker=None,
+    ) -> List[CrawlRecord]:
         exclusion = self.archive.is_excluded(domain)
         if exclusion is not None:
             return [
                 CrawlRecord(domain=domain, month=month, status=CrawlStatus.EXCLUDED)
                 for month in months
             ]
+        metrics = get_metrics()
         records: List[CrawlRecord] = []
         for month in months:
-            records.append(self._crawl_slot(domain, month))
+            key = (domain, month.isoformat())
+            if state is not None and key in state:
+                record = state.take(key)
+                metrics.count("crawl.slots_from_journal")
+                if breaker is not None:
+                    self._replay_breaker(breaker, domain, record)
+                records.append(record)
+                continue
+            if breaker is not None and breaker.is_open(domain):
+                # Degrade without an attempt: the domain already proved
+                # persistently broken this run (or in the journaled prefix).
+                record = CrawlRecord(
+                    domain=domain, month=month, status=CrawlStatus.FAILED
+                )
+                metrics.count("crawl.slots_degraded")
+            else:
+                record = self._resilient_slot(domain, month, breaker)
+            if journal is not None:
+                # Journal pre-partial-flagging: _flag_partials is
+                # deterministic, so resume re-applies it over the
+                # combined journaled + fresh records.
+                journal.append(key, record)
+            records.append(record)
         self._flag_partials(records)
         return records
+
+    @staticmethod
+    def _replay_breaker(breaker, domain: str, record: CrawlRecord) -> None:
+        """Re-derive breaker state from a journaled slot's outcome.
+
+        Replaying FAILED/success transitions makes the slots *after* the
+        resume point degrade exactly as they would have in the
+        uninterrupted run; ``record_failure`` reports an opening once,
+        so ``crawl.circuit_open`` counts each domain once either way.
+        """
+        if record.status is CrawlStatus.FAILED:
+            if breaker.record_failure(domain):
+                get_metrics().count("crawl.circuit_open")
+                emit_event("crawl_circuit_open", domain=domain, source="journal")
+        else:
+            breaker.record_success(domain)
+
+    def _resilient_slot(
+        self, domain: str, month: date, breaker=None
+    ) -> CrawlRecord:
+        """One slot under the retry policy; gives up into a FAILED record."""
+        key = slot_key(domain, month)
+        metrics = get_metrics()
+        attempts = {"n": 0}
+
+        def attempt() -> CrawlRecord:
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                return self._crawl_slot(domain, month)
+            with trace_span(f"retry:{key}", attempt=attempts["n"]):
+                return self._crawl_slot(domain, month)
+
+        def on_retry(fault, attempt_no: int, delay_ms: float) -> None:
+            metrics.count("crawl.retries")
+            metrics.count("crawl.backoff_ms", int(round(delay_ms)))
+            emit_event(
+                "crawl_retry",
+                slot=key,
+                kind=fault.kind,
+                attempt=attempt_no,
+                backoff_ms=round(delay_ms, 3),
+            )
+
+        try:
+            record = retry_call(
+                attempt,
+                key=key,
+                policy=self.resilience.retry,
+                sleeper=self._sleeper,
+                on_retry=on_retry,
+            )
+        except RetryExhausted as exc:
+            metrics.count("crawl.gave_up")
+            emit_event(
+                "crawl_gave_up", slot=key, kind=exc.fault.kind, retries=exc.retries
+            )
+            logger.warning(
+                "slot %s degraded to failed after %d retries (%s)",
+                key,
+                exc.retries,
+                exc.fault.kind,
+            )
+            if breaker is not None and breaker.record_failure(domain):
+                metrics.count("crawl.circuit_open")
+                emit_event("crawl_circuit_open", domain=domain, source="live")
+                logger.warning(
+                    "circuit open: %s degrades to missing for remaining months",
+                    domain,
+                )
+            return CrawlRecord(domain=domain, month=month, status=CrawlStatus.FAILED)
+        if breaker is not None:
+            breaker.record_success(domain)
+        return record
 
     def _crawl_slot(self, domain: str, month: date) -> CrawlRecord:
         availability = self.api.lookup(f"http://{domain}/", month)
@@ -205,7 +390,7 @@ class WaybackCrawler:
         if drift > OUTDATED_THRESHOLD_DAYS:
             return CrawlRecord(domain=domain, month=month, status=CrawlStatus.OUTDATED)
         capture = self.archive.closest(domain, month)
-        visit = self._visit_capture(capture)
+        visit = self._visit_capture(capture, slot_key(domain, month))
         return CrawlRecord(
             domain=domain,
             month=month,
@@ -215,13 +400,17 @@ class WaybackCrawler:
             capture_date=capture.captured_on,
         )
 
-    def _visit_capture(self, capture) -> VisitResult:
+    def _visit_capture(self, capture, key: Optional[str] = None) -> VisitResult:
+        interceptor = None
+        if self.injector is not None and key is not None:
+            interceptor = self.injector.browser_interceptor(key)
         browser = Browser(
             adblocker=self.browser.adblocker,
             url_rewriter=lambda url: wayback_url(url, capture.captured_on),
             # The crawl stores raw HTML; the DOM is parsed lazily by the
             # element-rule analysis, so skip it here.
             parse_dom=self.browser.parse_dom if self.browser.adblocker else False,
+            interceptor=interceptor,
         )
         return browser.visit(capture.snapshot)
 

@@ -42,6 +42,11 @@ class Browser:
     ``url_rewriter`` lets the Wayback simulator wrap every subresource URL
     with the archive prefix, exactly like the real Wayback Machine rewrites
     archived pages.
+
+    ``interceptor`` runs on the snapshot before the page load and may
+    raise (or substitute the snapshot) — the resilience layer's fault
+    injector mounts here to simulate page loads failing the way a real
+    browser does against a flaky archive.
     """
 
     def __init__(
@@ -49,12 +54,14 @@ class Browser:
         adblocker: Optional[Adblocker] = None,
         url_rewriter: Optional[Callable[[str], str]] = None,
         parse_dom: bool = True,
+        interceptor: Optional[Callable[[PageSnapshot], PageSnapshot]] = None,
     ) -> None:
         self.adblocker = adblocker
         self.url_rewriter = url_rewriter
         #: Skip DOM construction when the caller only needs the HAR (the
         #: Wayback crawler stores raw HTML and parses lazily downstream).
         self.parse_dom = parse_dom
+        self.interceptor = interceptor
 
     def _rewrite(self, url: str) -> str:
         url = normalize_url(url)
@@ -64,6 +71,8 @@ class Browser:
 
     def visit(self, snapshot: PageSnapshot) -> VisitResult:
         """Load a page snapshot; returns the HAR, DOM and adblock effects."""
+        if self.interceptor is not None:
+            snapshot = self.interceptor(snapshot)
         page_url = self._rewrite(snapshot.url)
         har = HarFile(page_url=page_url, page_html=snapshot.html)
         blocked: List[str] = []

@@ -111,6 +111,10 @@ class TestSnapshot:
             "workers",
             "matcher_cache",
             "feature_cache",
+            "max_retries",
+            "retry_base_ms",
+            "crawl_journal",
+            "fault_seed",
             "raw_env",
         }
 

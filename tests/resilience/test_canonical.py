@@ -1,0 +1,63 @@
+"""Unit tests for the pickle-identity interning pass."""
+
+import pickle
+from datetime import date
+
+from repro.resilience.canonical import Interner, canonicalize_records
+from repro.wayback.crawler import CrawlRecord, CrawlStatus
+from repro.web.har import HarFile
+from repro.web.http import Exchange, Request, Response
+
+
+class TestInterner:
+    def test_first_object_becomes_canonical(self):
+        interner = Interner()
+        a, b = "x" * 10, "".join(["x"] * 10)
+        assert a is not b
+        assert interner.string(a) is a
+        assert interner.string(b) is a
+
+    def test_none_passthrough(self):
+        interner = Interner()
+        assert interner.string(None) is None
+        assert interner.date(None) is None
+
+    def test_dates(self):
+        interner = Interner()
+        a, b = date(2013, 1, 1), date(2013, 1, 1)
+        assert interner.date(a) is interner.date(b)
+
+
+def _record(month, html):
+    har = HarFile(page_url=f"http://a.com/", page_html=html)
+    har.add(
+        Exchange(
+            request=Request(url="http://a.com/x.js", resource_type="script",
+                            page_url="http://a.com/"),
+            response=Response(status=200, mime_type="application/javascript",
+                              body="code();"),
+        )
+    )
+    return CrawlRecord(
+        domain="a.com", month=month, status=CrawlStatus.OK, har=har,
+        html=html, capture_date=month,
+    )
+
+
+def test_canonicalize_makes_equal_results_pickle_identical():
+    # Build the "same" result twice with deliberately distinct-but-equal
+    # leaf objects (the shape a journal reload produces).
+    def build():
+        month = date(2013, 1, 1)
+        return [_record(date(2013, 1, 1), "<html>" + "x" * 50 + "</html>"),
+                _record(month, "<html>" + "x" * 50 + "</html>")]
+
+    one, two = build(), build()
+    assert pickle.dumps(one) == pickle.dumps(two)  # same construction path
+    # Break sharing in one copy, the way unpickling slot-by-slot does.
+    two = [pickle.loads(pickle.dumps(r)) for r in two]
+    assert pickle.dumps(one) != pickle.dumps(two)
+
+    canonicalize_records(one)
+    canonicalize_records(two)
+    assert pickle.dumps(one) == pickle.dumps(two)

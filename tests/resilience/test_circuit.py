@@ -1,0 +1,38 @@
+"""Unit tests for the per-domain circuit breaker."""
+
+import pytest
+
+from repro.resilience import CircuitBreaker
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.record_failure("d") is False
+        assert breaker.record_failure("d") is False
+        assert breaker.record_failure("d") is True  # the opening transition
+        assert breaker.is_open("d")
+
+    def test_opening_reported_exactly_once(self):
+        breaker = CircuitBreaker(threshold=1)
+        assert breaker.record_failure("d") is True
+        assert breaker.record_failure("d") is False  # already open
+        assert breaker.is_open("d")
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("d")
+        breaker.record_success("d")
+        assert breaker.record_failure("d") is False  # count restarted
+        assert not breaker.is_open("d")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_open("a")
+        assert not breaker.is_open("b")
+        assert breaker.open_keys() == ["a"]
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)

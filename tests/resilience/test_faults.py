@@ -1,0 +1,118 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from datetime import date
+
+import pytest
+
+from repro.resilience import (
+    CrawlFault,
+    FaultInjector,
+    FaultSchedule,
+    FaultyArchive,
+    PermanentFault,
+    slot_key,
+)
+from repro.resilience.faults import FaultKind
+from repro.wayback.archive import WaybackArchive
+
+
+def keys(n=1000):
+    return [f"domain{i}.com|2013-01-01" for i in range(n)]
+
+
+class TestFaultSchedule:
+    def test_deterministic(self):
+        schedule = FaultSchedule(seed=3)
+        assert schedule.planned_slots(keys()) == FaultSchedule(seed=3).planned_slots(
+            keys()
+        )
+
+    def test_seed_changes_the_plan(self):
+        assert FaultSchedule(seed=3).planned_slots(keys()) != FaultSchedule(
+            seed=4
+        ).planned_slots(keys())
+
+    def test_rates_are_approximately_honoured(self):
+        schedule = FaultSchedule(
+            seed=0, transient_rate=0.10, timeout_rate=0.02,
+            truncated_rate=0.02, permanent_rate=0.005,
+        )
+        plans = schedule.planned_slots(keys(5000))
+        rate = len(plans) / 5000
+        assert 0.10 < rate < 0.19  # ~14.5% scheduled overall
+
+    def test_zero_rates_schedule_nothing(self):
+        schedule = FaultSchedule(
+            seed=0, transient_rate=0.0, timeout_rate=0.0,
+            truncated_rate=0.0, permanent_rate=0.0,
+        )
+        assert schedule.planned_slots(keys()) == {}
+
+    def test_burst_bounded_by_max_failures(self):
+        schedule = FaultSchedule(seed=1, max_failures=2)
+        for plan in schedule.planned_slots(keys(2000)).values():
+            if plan.kind is not FaultKind.PERMANENT:
+                assert 1 <= plan.failures <= 2
+
+
+class TestFaultInjector:
+    def _schedule_with(self, kind, n=2000):
+        """Find a key the schedule assigns the wanted fault kind."""
+        schedule = FaultSchedule(seed=5, permanent_rate=0.05)
+        for key, plan in schedule.planned_slots(keys(n)).items():
+            if plan.kind is kind:
+                return schedule, key, plan
+        raise AssertionError(f"no {kind} slot in the first {n} keys")
+
+    def test_transient_burst_then_success(self):
+        schedule, key, plan = self._schedule_with(FaultKind.TRANSIENT)
+        injector = FaultInjector(schedule)
+        for _ in range(plan.failures):
+            with pytest.raises(CrawlFault):
+                injector.check(key)
+        injector.check(key)  # burst spent: now healthy
+        assert injector.injected == plan.failures
+
+    def test_permanent_never_stops_failing(self):
+        schedule, key, _ = self._schedule_with(FaultKind.PERMANENT)
+        injector = FaultInjector(schedule)
+        for _ in range(5):
+            with pytest.raises(PermanentFault):
+                injector.check(key)
+
+    def test_healthy_slots_pass(self):
+        schedule = FaultSchedule(seed=5)
+        injector = FaultInjector(schedule)
+        healthy = [k for k in keys() if schedule.plan(k) is None][0]
+        injector.check(healthy)
+        assert injector.injected == 0
+
+    def test_browser_interceptor_shares_the_slot_burst(self):
+        # The archive boundary and the page-load boundary must draw from
+        # one burst so total transient failures stay <= max_failures.
+        schedule, key, plan = self._schedule_with(FaultKind.TRANSIENT)
+        injector = FaultInjector(schedule)
+        intercept = injector.browser_interceptor(key)
+        for _ in range(plan.failures):
+            with pytest.raises(CrawlFault):
+                injector.check(key)
+        assert intercept("snapshot") == "snapshot"  # burst already spent
+
+
+class TestFaultyArchive:
+    def test_delegates_and_injects(self):
+        archive = WaybackArchive()
+        schedule = FaultSchedule(
+            seed=0, transient_rate=1.0, timeout_rate=0.0,
+            truncated_rate=0.0, permanent_rate=0.0, max_failures=1,
+        )
+        faulty = FaultyArchive(archive, FaultInjector(schedule))
+        month = date(2013, 1, 1)
+        with pytest.raises(CrawlFault):
+            faulty.closest("a.com", month)
+        assert faulty.closest("a.com", month) is None  # burst spent, delegates
+        assert faulty.is_excluded("a.com") is None  # attribute delegation
+
+
+def test_slot_key_format():
+    assert slot_key("a.com", date(2013, 1, 1)) == "a.com|2013-01-01"

@@ -1,0 +1,101 @@
+"""Unit tests for the crash-safe crawl journal."""
+
+import json
+
+import pytest
+
+from repro.resilience import CrawlJournal, JournalMismatch
+
+
+def test_roundtrip(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback", {"n": 3})
+    journal.append(("a.com", "2013-01-01"), {"status": "ok"})
+    journal.append(("a.com", "2013-02-01"), [1, 2, 3])
+    journal.close()
+
+    state = CrawlJournal(tmp_path, "wayback", {"n": 3}).load()
+    assert len(state) == 2
+    assert ("a.com", "2013-01-01") in state
+    assert state.take(("a.com", "2013-02-01")) == [1, 2, 3]
+    assert not state.complete
+
+
+def test_missing_file_is_empty_state(tmp_path):
+    state = CrawlJournal(tmp_path, "wayback").load()
+    assert len(state) == 0 and not state.complete
+
+
+def test_complete_marker(tmp_path):
+    journal = CrawlJournal(tmp_path, "live")
+    journal.append(("1",), "payload")
+    journal.mark_complete()
+    journal.close()
+    assert CrawlJournal(tmp_path, "live").load().complete
+
+
+def test_fingerprint_mismatch_refuses_to_resume(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback", {"domains_sha": "aaa"})
+    journal.append(("a.com", "2013-01-01"), None)
+    journal.close()
+    with pytest.raises(JournalMismatch):
+        CrawlJournal(tmp_path, "wayback", {"domains_sha": "bbb"}).load()
+
+
+def test_scope_mismatch_refuses_to_resume(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("a.com",), None)
+    journal.close()
+    other = CrawlJournal(tmp_path, "live")
+    other.path = journal.path  # force a cross-scope read
+    with pytest.raises(JournalMismatch):
+        other.load()
+
+
+def test_torn_tail_line_is_skipped(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("a.com", "2013-01-01"), "kept")
+    journal.append(("a.com", "2013-02-01"), "will be torn")
+    journal.close()
+    # Simulate a crash mid-write: truncate the last line.
+    text = journal.path.read_text()
+    journal.path.write_text(text[: len(text) - 25])
+
+    state = CrawlJournal(tmp_path, "wayback").load()
+    assert len(state) == 1
+    assert state.take(("a.com", "2013-01-01")) == "kept"
+
+
+def test_corrupt_digest_is_skipped(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("a.com", "2013-01-01"), "payload")
+    journal.close()
+    lines = journal.path.read_text().splitlines()
+    slot = json.loads(lines[1])
+    slot["sha"] = "0" * 16
+    journal.path.write_text(lines[0] + "\n" + json.dumps(slot) + "\n")
+    assert len(CrawlJournal(tmp_path, "wayback").load()) == 0
+
+
+def test_empty_file_gets_a_fresh_header(tmp_path):
+    # A crash before the header flushed leaves a zero-byte file; the
+    # next run must still write a header before any slots.
+    path = tmp_path / "wayback.jsonl"
+    path.write_text("")
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("a.com",), 1)
+    journal.close()
+    first = json.loads(path.read_text().splitlines()[0])
+    assert first["kind"] == "header"
+
+
+def test_appends_resume_without_duplicate_header(tmp_path):
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("a",), 1)
+    journal.close()
+    journal = CrawlJournal(tmp_path, "wayback")
+    journal.append(("b",), 2)
+    journal.close()
+    kinds = [
+        json.loads(line)["kind"] for line in journal.path.read_text().splitlines()
+    ]
+    assert kinds == ["header", "slot", "slot"]

@@ -1,0 +1,148 @@
+"""Unit tests for the deterministic retry machinery."""
+
+import pytest
+
+from repro.resilience import (
+    PermanentFault,
+    RetryExhausted,
+    RetryPolicy,
+    TimeoutFault,
+    TransientFault,
+    VirtualClock,
+    retry_call,
+    seeded_unit,
+)
+
+
+class TestSeededUnit:
+    def test_range_and_determinism(self):
+        values = [seeded_unit(0, "key", i) for i in range(100)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert values == [seeded_unit(0, "key", i) for i in range(100)]
+
+    def test_distinct_keys_give_distinct_draws(self):
+        assert seeded_unit(0, "a") != seeded_unit(0, "b")
+        assert seeded_unit(0, "a") != seeded_unit(1, "a")
+
+
+class TestBackoff:
+    def test_exponential_shape_with_bounded_jitter(self):
+        policy = RetryPolicy(base_ms=100.0, multiplier=2.0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            raw = 100.0 * 2.0 ** (attempt - 1)
+            delay = policy.backoff_ms("slot", attempt)
+            assert raw <= delay < raw * 1.5
+
+    def test_backoff_is_a_pure_function(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.backoff_ms("k", 2) == RetryPolicy(seed=7).backoff_ms("k", 2)
+        assert policy.backoff_ms("k", 2) != RetryPolicy(seed=8).backoff_ms("k", 2)
+
+    def test_cap(self):
+        policy = RetryPolicy(base_ms=100.0, max_backoff_ms=150.0)
+        assert policy.backoff_ms("k", 10) == 150.0
+
+
+class TestRetryCall:
+    def test_transient_fault_retried_to_success(self):
+        clock = VirtualClock()
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise TransientFault("boom")
+            return "ok"
+
+        result = retry_call(
+            flaky, key="k", policy=RetryPolicy(max_retries=3), sleeper=clock
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert clock.slept_ms > 0
+
+    def test_retries_exhausted(self):
+        def always():
+            raise TransientFault("boom")
+
+        with pytest.raises(RetryExhausted) as info:
+            retry_call(
+                always,
+                key="k",
+                policy=RetryPolicy(max_retries=2),
+                sleeper=VirtualClock(),
+            )
+        assert info.value.retries == 2
+        assert info.value.fault.kind == "transient"
+
+    def test_permanent_fault_gives_up_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise PermanentFault("gone")
+
+        with pytest.raises(RetryExhausted) as info:
+            retry_call(
+                broken,
+                key="k",
+                policy=RetryPolicy(max_retries=5),
+                sleeper=VirtualClock(),
+            )
+        assert calls["n"] == 1
+        assert info.value.retries == 0
+
+    def test_timeouts_charge_the_slot_budget(self):
+        # Budget admits one timeout charge, not two: the slot gives up
+        # on the second timeout even though retries remain.
+        policy = RetryPolicy(
+            max_retries=10,
+            base_ms=1.0,
+            slot_budget_ms=15_000.0,
+            timeout_charge_ms=10_000.0,
+        )
+        calls = {"n": 0}
+
+        def slow():
+            calls["n"] += 1
+            raise TimeoutFault("slow")
+
+        with pytest.raises(RetryExhausted):
+            retry_call(slow, key="k", policy=policy, sleeper=VirtualClock())
+        assert calls["n"] == 2
+
+    def test_non_crawl_faults_propagate_untouched(self):
+        def bug():
+            raise ValueError("a real defect")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                bug, key="k", policy=RetryPolicy(), sleeper=VirtualClock()
+            )
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise TransientFault("boom")
+            return 1
+
+        retry_call(
+            flaky,
+            key="k",
+            policy=RetryPolicy(max_retries=3, seed=4),
+            sleeper=VirtualClock(),
+            on_retry=lambda fault, attempt, delay: seen.append(
+                (fault.kind, attempt, delay)
+            ),
+        )
+        assert [(kind, attempt) for kind, attempt, _ in seen] == [
+            ("transient", 1),
+            ("transient", 2),
+        ]
+        policy = RetryPolicy(max_retries=3, seed=4)
+        assert [delay for _, _, delay in seen] == [
+            policy.backoff_ms("k", 1),
+            policy.backoff_ms("k", 2),
+        ]

@@ -1,0 +1,139 @@
+"""Doc lint: the documentation must stay executable and in sync.
+
+Three contracts, enforced so the docs cannot silently rot:
+
+- every fenced ``python`` snippet in the user-facing docs runs as-is
+  (snippets within a file are cumulative, as the docs state), and every
+  fenced ``bash`` snippet at least parses;
+- the ``REPRO_*`` knob surface documented in the docs and the one
+  validated in ``repro.obs.config`` are the same set, in both
+  directions;
+- every internal markdown link (and its ``#anchor``, when present)
+  resolves to a real file/heading.
+"""
+
+import re
+import shutil
+import subprocess
+
+import pytest
+
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: The linted documentation set. CHANGES.md (a log) is deliberately out.
+DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
+    "docs/TUTORIAL.md",
+]
+
+#: Docs whose python snippets are executed end to end. The others have
+#: no python fences (asserted below, so a new snippet can't dodge lint).
+EXECUTABLE_DOCS = ["README.md", "docs/TUTORIAL.md"]
+
+_FENCE = re.compile(r"```(\w*)[ \t]*\n(.*?)\n```", re.S)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_KNOB = re.compile(r"REPRO_[A-Z_]+")
+
+
+def _fences(doc: str):
+    return _FENCE.findall((ROOT / doc).read_text(encoding="utf-8"))
+
+
+def _snippets(doc: str, lang: str):
+    return [body for fence_lang, body in _fences(doc) if fence_lang == lang]
+
+
+def _prose(doc: str) -> str:
+    """Document text with fenced code blocks removed."""
+    return _FENCE.sub("", (ROOT / doc).read_text(encoding="utf-8"))
+
+
+class TestSnippetsExecute:
+    @pytest.mark.parametrize("doc", EXECUTABLE_DOCS)
+    def test_python_snippets_run_cumulatively(self, doc):
+        snippets = _snippets(doc, "python")
+        assert snippets, f"{doc} lost its python snippets"
+        code = "\n".join(snippets)
+        namespace = {"__name__": f"docs_{Path(doc).stem.lower()}"}
+        exec(compile(code, str(ROOT / doc), "exec"), namespace)
+
+    def test_only_the_executable_docs_have_python_fences(self):
+        for doc in DOCS:
+            if doc not in EXECUTABLE_DOCS:
+                assert not _snippets(doc, "python"), (
+                    f"{doc} grew a python fence: add it to EXECUTABLE_DOCS "
+                    "(and make it runnable) or mark it as text"
+                )
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_bash_snippets_parse(self, doc):
+        bash = shutil.which("bash")
+        if bash is None:  # pragma: no cover
+            pytest.skip("no bash on PATH")
+        for snippet in _snippets(doc, "bash"):
+            proc = subprocess.run(
+                [bash, "-n"], input=snippet, capture_output=True, text=True
+            )
+            assert proc.returncode == 0, (
+                f"bash snippet in {doc} does not parse:\n"
+                f"{snippet}\n{proc.stderr}"
+            )
+
+
+class TestKnobSync:
+    def _config_knobs(self):
+        source = (ROOT / "src/repro/obs/config.py").read_text(encoding="utf-8")
+        return set(_KNOB.findall(source))
+
+    def _doc_knobs(self, doc: str):
+        return set(_KNOB.findall((ROOT / doc).read_text(encoding="utf-8")))
+
+    def test_docs_and_config_agree_on_the_knob_surface(self):
+        config = self._config_knobs()
+        documented = set()
+        for doc in DOCS:
+            unknown = self._doc_knobs(doc) - config
+            assert not unknown, f"{doc} documents unknown knobs: {unknown}"
+            documented |= self._doc_knobs(doc)
+        assert documented == config, (
+            f"knobs in config but documented nowhere: {config - documented}"
+        )
+
+    def test_architecture_table_lists_every_knob(self):
+        # The consolidated table is the canonical reference; it must be
+        # complete, not just the union of all docs.
+        assert self._doc_knobs("docs/ARCHITECTURE.md") == self._config_knobs()
+
+
+class TestLinks:
+    @staticmethod
+    def _heading_slugs(path: Path):
+        slugs = set()
+        for line in _FENCE.sub("", path.read_text(encoding="utf-8")).splitlines():
+            match = re.match(r"#+\s+(.*)", line)
+            if match:
+                heading = re.sub(r"[^\w\s-]", "", match.group(1).strip().lower())
+                slugs.add(re.sub(r"\s+", "-", heading))
+        return slugs
+
+    @pytest.mark.parametrize("doc", DOCS)
+    def test_internal_links_resolve(self, doc):
+        base = (ROOT / doc).parent
+        for target in _LINK.findall(_prose(doc)):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            resolved = (base / path_part).resolve() if path_part else ROOT / doc
+            assert resolved.exists(), f"{doc} links to missing {target}"
+            if anchor:
+                assert resolved.suffix == ".md", f"{doc}: anchor on non-md {target}"
+                assert anchor in self._heading_slugs(resolved), (
+                    f"{doc} links to missing anchor {target}"
+                )

@@ -1,0 +1,287 @@
+"""Integration tests: resumable, fault-tolerant Wayback/live/corpus ingest.
+
+The resilience contract under test (DESIGN/ISSUE): an interrupted crawl
+resumed from its journal is **pickle-byte-identical** to an uninterrupted
+run; transient faults retry to success; a persistently-failing domain
+opens its circuit breaker and degrades to ``failed`` instead of aborting;
+and all of it is metered.
+"""
+
+import pickle
+from datetime import date
+
+import pytest
+
+from repro.analysis.coverage import CoverageAnalyzer
+from repro.analysis.livecrawl import LiveCrawler
+from repro.core.corpus import build_corpus
+from repro.filterlist.matcher import NetworkMatcher
+from repro.obs.metrics import get_metrics, reset_metrics
+from repro.resilience import (
+    FaultSchedule,
+    JournalMismatch,
+    ResiliencePolicy,
+    RetryPolicy,
+    slot_key,
+)
+from repro.synthesis.listgen import generate_all_lists
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+from repro.wayback.crawler import CrawlStatus, WaybackCrawler
+
+START, END = date(2013, 1, 1), date(2013, 12, 1)
+
+
+@pytest.fixture(scope="module")
+def world():
+    config = WorldConfig(n_sites=15, live_top=60, start=START, end=END)
+    return SyntheticWorld(config, seed=11)
+
+
+@pytest.fixture(scope="module")
+def archive(world):
+    return world.build_archive()
+
+
+@pytest.fixture(scope="module")
+def domains(world):
+    return [site.domain for site in world.sites]
+
+
+def crawl(archive, domains, resilience=None):
+    crawler = WaybackCrawler(archive, resilience=resilience)
+    return crawler.crawl(domains, START, END)
+
+
+class _Interrupted(Exception):
+    """Simulates a crash: deliberately NOT a CrawlFault, so it must
+    propagate straight through the retry machinery."""
+
+
+class _InterruptingArchive:
+    """Raises after ``after`` capture fetches, like a killed process."""
+
+    def __init__(self, archive, after):
+        self._archive = archive
+        self._calls = 0
+        self._after = after
+
+    def closest(self, domain, requested):
+        self._calls += 1
+        if self._calls > self._after:
+            raise _Interrupted()
+        return self._archive.closest(domain, requested)
+
+    def __getattr__(self, name):
+        return getattr(self._archive, name)
+
+
+class TestResumeDeterminism:
+    def test_plain_crawl_is_pickle_deterministic(self, archive, domains):
+        assert pickle.dumps(crawl(archive, domains)) == pickle.dumps(
+            crawl(archive, domains)
+        )
+
+    def test_interrupted_then_resumed_is_pickle_identical(
+        self, archive, domains, tmp_path
+    ):
+        baseline = crawl(archive, domains)
+        with pytest.raises(_Interrupted):
+            crawl(
+                _InterruptingArchive(archive, after=60),
+                domains,
+                ResiliencePolicy(journal_dir=tmp_path),
+            )
+        reset_metrics()
+        resumed = crawl(archive, domains, ResiliencePolicy(journal_dir=tmp_path))
+        assert pickle.dumps(resumed) == pickle.dumps(baseline)
+        assert get_metrics().counter("crawl.resumed_slots") > 0
+
+    def test_downstream_coverage_unchanged_by_resume(
+        self, world, archive, domains, tmp_path
+    ):
+        baseline = crawl(archive, domains)
+        with pytest.raises(_Interrupted):
+            crawl(
+                _InterruptingArchive(archive, after=40),
+                domains,
+                ResiliencePolicy(journal_dir=tmp_path),
+            )
+        resumed = crawl(archive, domains, ResiliencePolicy(journal_dir=tmp_path))
+
+        lists = generate_all_lists(world)
+        histories = {"aak": lists["aak"], "ce": lists["combined_easylist"]}
+        assert CoverageAnalyzer(histories).analyze(resumed) == CoverageAnalyzer(
+            histories
+        ).analyze(baseline)
+
+    def test_completed_journal_reserves_the_whole_crawl(
+        self, archive, domains, tmp_path
+    ):
+        baseline = crawl(archive, domains, ResiliencePolicy(journal_dir=tmp_path))
+
+        class Untouchable:
+            def is_excluded(self, domain):
+                return archive.is_excluded(domain)
+
+            def closest(self, domain, requested):  # pragma: no cover
+                raise AssertionError("resume must not touch the archive")
+
+        served = crawl(Untouchable(), domains, ResiliencePolicy(journal_dir=tmp_path))
+        assert pickle.dumps(served) == pickle.dumps(baseline)
+
+    def test_changed_campaign_refuses_stale_journal(
+        self, archive, domains, tmp_path
+    ):
+        crawl(archive, domains, ResiliencePolicy(journal_dir=tmp_path))
+        with pytest.raises(JournalMismatch):
+            crawl(archive, domains[:-1], ResiliencePolicy(journal_dir=tmp_path))
+
+
+class TestFaultInjection:
+    def test_transient_faults_retry_to_the_clean_result(self, archive, domains):
+        baseline = crawl(archive, domains)
+        schedule = FaultSchedule(
+            seed=3,
+            transient_rate=0.10,
+            timeout_rate=0.02,
+            truncated_rate=0.02,
+            permanent_rate=0.0,
+        )
+        reset_metrics()
+        faulted = crawl(
+            archive, domains, ResiliencePolicy(fault_schedule=schedule)
+        )
+        assert pickle.dumps(faulted) == pickle.dumps(baseline)
+        assert get_metrics().counter("crawl.retries") > 0
+        assert get_metrics().counter("crawl.backoff_ms") > 0
+
+    def test_retry_count_is_deterministic(self, archive, domains):
+        schedule = FaultSchedule(seed=9, permanent_rate=0.0)
+
+        def retries():
+            reset_metrics()
+            crawl(archive, domains, ResiliencePolicy(fault_schedule=schedule))
+            return get_metrics().counter("crawl.retries")
+
+        assert retries() == retries() > 0
+
+    def test_permanent_domain_opens_circuit_and_degrades(self, archive, domains):
+        victim = domains[0]
+
+        class OneDomainBroken(FaultSchedule):
+            def plan(self, key):
+                if key.startswith(victim + "|") or key == victim:
+                    from repro.resilience.faults import FaultKind, FaultPlan
+
+                    return FaultPlan(kind=FaultKind.PERMANENT)
+                return None
+
+        schedule = OneDomainBroken(seed=0)
+        reset_metrics()
+        result = crawl(
+            archive,
+            domains,
+            ResiliencePolicy(
+                retry=RetryPolicy(max_retries=1), fault_schedule=schedule
+            ),
+        )
+        victim_records = [r for r in result.records if r.domain == victim]
+        assert victim_records
+        assert all(r.status is CrawlStatus.FAILED for r in victim_records)
+        # Every other domain is untouched.
+        other = [r for r in result.records if r.domain != victim]
+        assert not any(r.status is CrawlStatus.FAILED for r in other)
+
+        metrics = get_metrics()
+        assert metrics.counter("crawl.circuit_open") == 1
+        assert metrics.counter("crawl.gave_up") >= 3  # breaker threshold
+
+        months = result.missing_counts_by_month()
+        assert sum(bucket["failed"] for bucket in months.values()) == len(
+            victim_records
+        )
+
+    def test_ten_percent_schedule_completes_without_raising(
+        self, archive, domains
+    ):
+        schedule = FaultSchedule(seed=42)  # defaults: ~14.5% of slots faulted
+        result = crawl(archive, domains, ResiliencePolicy(fault_schedule=schedule))
+        assert len(result.records) == len(domains) * 12
+
+    def test_faulted_interrupt_and_resume_is_pickle_identical(
+        self, archive, domains, tmp_path
+    ):
+        schedule = FaultSchedule(seed=7)
+        clean = crawl(archive, domains, ResiliencePolicy(fault_schedule=schedule))
+        with pytest.raises(_Interrupted):
+            crawl(
+                _InterruptingArchive(archive, after=70),
+                domains,
+                ResiliencePolicy(journal_dir=tmp_path, fault_schedule=schedule),
+            )
+        resumed = crawl(
+            archive,
+            domains,
+            ResiliencePolicy(journal_dir=tmp_path, fault_schedule=schedule),
+        )
+        assert pickle.dumps(resumed) == pickle.dumps(clean)
+
+
+class TestLiveAndCorpusResume:
+    def test_live_crawl_resumes_identically(self, world, tmp_path):
+        lists = generate_all_lists(world)
+        histories = {"aak": lists["aak"], "ce": lists["combined_easylist"]}
+        baseline = LiveCrawler(world, histories).crawl()
+
+        # Interrupt partway: journal half the ranks, then crash.
+        crasher = LiveCrawler(world, histories)
+        visited = {"n": 0}
+        original = crasher._visit_site
+
+        def bomb(ranked, check_html):
+            visited["n"] += 1
+            if visited["n"] > 20:
+                raise _Interrupted()
+            return original(ranked, check_html)
+
+        crasher._visit_site = bomb
+        with pytest.raises(_Interrupted):
+            crasher.crawl(resilience=ResiliencePolicy(journal_dir=tmp_path))
+
+        resumed = LiveCrawler(world, histories).crawl(
+            resilience=ResiliencePolicy(journal_dir=tmp_path)
+        )
+        assert pickle.dumps(resumed) == pickle.dumps(baseline)
+
+    def test_corpus_resumes_identically(self, world, tmp_path):
+        lists = generate_all_lists(world)
+        rules = lists["aak"].latest().filter_list.network_rules
+        matcher = NetworkMatcher(rules)
+        pages = [world.snapshot(site, END) for site in world.sites]
+
+        baseline = build_corpus(pages, matcher, seed=world.seed)
+
+        # First pass journals only a prefix of the pages ("crash" after).
+        build_corpus(
+            pages[:7],
+            matcher,
+            seed=world.seed,
+            resilience=ResiliencePolicy(journal_dir=tmp_path),
+        )
+        # Drop the premature complete marker: only the slots matter.
+        journal = tmp_path / "corpus.jsonl"
+        journal.write_text(
+            "\n".join(
+                line
+                for line in journal.read_text().splitlines()
+                if '"complete"' not in line
+            )
+            + "\n"
+        )
+        resumed = build_corpus(
+            pages,
+            matcher,
+            seed=world.seed,
+            resilience=ResiliencePolicy(journal_dir=tmp_path),
+        )
+        assert pickle.dumps(resumed) == pickle.dumps(baseline)
