@@ -1,0 +1,146 @@
+"""Benchmarks for the incremental §3 history engine.
+
+Quantifies the tentpole win of delta-parsed revisions plus the shared
+parsed-rule cache:
+
+- **full reparse** (the pre-engine behavior): every revision's complete
+  text parsed from scratch (``parse_filter_list(cache=False)``), every
+  §3 series derived by full per-revision scans;
+- **incremental**: one parsed base revision, ``RevisionDelta`` chains
+  for the rest, every distinct rule line parsed/classified once through
+  the process-global cache, and the §3 series computed as streaming
+  folds in O(churn) per revision.
+
+Both paths must produce identical series — the equality is asserted
+here (and property-tested in ``tests/``), so the speedup never comes at
+the cost of drift. Results land in the ``--benchmark-json`` artifact CI
+uploads, with the ``history.*`` counters in ``extra_info``.
+"""
+
+import time
+from datetime import date, timedelta
+
+import pytest
+
+from repro.filterlist.history import FilterListHistory, RevisionDelta
+from repro.filterlist.parser import (
+    ParsedRuleCache,
+    get_history_counters,
+    parse_filter_list,
+    set_rule_cache,
+)
+
+#: History shape: a real-ish list (hundreds of rules) updated often with
+#: tiny churn, the regime the paper reports (~4 rules/day for AAK).
+BASE_RULES = 600
+REVISIONS = 100
+ADDED_PER_REVISION = 6
+REMOVED_PER_REVISION = 2
+START = date(2014, 1, 1)
+
+
+def _rule_line(index: int) -> str:
+    """A deterministic rule line of rotating Figure 1 type."""
+    kind = index % 5
+    if kind == 0:
+        return f"||site{index}.example.com^"
+    if kind == 1:
+        return f"@@||allow{index}.example.net^$script"
+    if kind == 2:
+        return f"site{index}.example.org###ad-{index}"
+    if kind == 3:
+        return f"/banner{index}/*$domain=site{index}.example.com"
+    return f"##.generic-{index}"
+
+
+def _build_spec():
+    """The synthetic history as both full texts and a base + delta chain."""
+    current = [_rule_line(index) for index in range(BASE_RULES)]
+    next_index = BASE_RULES
+    texts = [(START, "\n".join(current) + "\n")]
+    deltas = []
+    for revision in range(1, REVISIONS):
+        when = START + timedelta(days=3 * revision)
+        added = [_rule_line(next_index + offset) for offset in range(ADDED_PER_REVISION)]
+        next_index += ADDED_PER_REVISION
+        removed = current[:REMOVED_PER_REVISION]
+        current = current[REMOVED_PER_REVISION:] + added
+        texts.append((when, "\n".join(current) + "\n"))
+        deltas.append((when, RevisionDelta(added=added, removed=removed)))
+    return texts, deltas
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return _build_spec()
+
+
+def _series_full_reparse(texts):
+    """Pre-engine §3 pipeline: parse every revision's text, scan per revision."""
+    history = FilterListHistory("bench")
+    for when, text in texts:
+        history.add_revision(when, parse_filter_list(text, name="bench", cache=False))
+    return (
+        history.rule_type_series_full_scan(),
+        history.total_rules_series_full_scan(),
+        history.domain_first_appearance_full_scan(),
+    )
+
+
+def _series_incremental(texts, deltas):
+    """Engine §3 pipeline: base + delta chain, streaming folds, fresh cache."""
+    previous = set_rule_cache(ParsedRuleCache())
+    try:
+        history = FilterListHistory("bench")
+        history.add_revision(texts[0][0], texts[0][1])
+        for when, delta in deltas:
+            history.add_revision(when, delta)
+        return (
+            history.rule_type_series(),
+            history.total_rules_series(),
+            history.domain_first_appearance(),
+        )
+    finally:
+        set_rule_cache(previous)
+
+
+def test_incremental_matches_full_reparse(spec):
+    """The two pipelines are pinned equal before being compared for speed."""
+    texts, deltas = spec
+    assert _series_incremental(texts, deltas) == _series_full_reparse(texts)
+
+
+def test_bench_full_reparse(benchmark, spec):
+    """Baseline: full per-revision reparse + full-scan series."""
+    texts, _ = spec
+    result = benchmark(_series_full_reparse, texts)
+    assert result[1][-1][1] > BASE_RULES  # the list grew
+
+
+def test_bench_incremental(benchmark, spec):
+    """Engine: delta-backed build + streaming folds over a fresh cache."""
+    texts, deltas = spec
+    before = get_history_counters().snapshot()
+    result = benchmark(_series_incremental, texts, deltas)
+    assert result[1][-1][1] > BASE_RULES
+    benchmark.extra_info["history_counters"] = (
+        get_history_counters().since(before).as_dict()
+    )
+
+
+def test_incremental_speedup_at_least_3x(spec):
+    """The acceptance bar: ≥ 3× on build + evolution-series fold."""
+    texts, deltas = spec
+
+    def best_of(fn, *args, repeats=3):
+        return min(
+            (lambda t0: (fn(*args), time.perf_counter() - t0))(time.perf_counter())[1]
+            for _ in range(repeats)
+        )
+
+    baseline = best_of(_series_full_reparse, texts)
+    incremental = best_of(_series_incremental, texts, deltas)
+    speedup = baseline / incremental
+    print(f"\nhistory build+fold speedup: {speedup:.1f}x "
+          f"(full reparse {baseline:.3f}s vs incremental {incremental:.3f}s)")
+    assert speedup >= 3.0, f"expected >=3x, got {speedup:.1f}x"

@@ -16,8 +16,10 @@ from .evolution import (
     EvolutionSeries,
     composition_stats,
     evolution_series,
+    mean_update_cadence,
     update_cadence,
 )
+from .histfold import run_folds
 from .livecrawl import LiveCrawler, LiveCrawlResult
 from .robustness import Interval, bootstrap_mean, bootstrap_proportion, bootstrap_statistic, seed_sensitivity
 from .charts import cdf_chart, line_chart
@@ -39,7 +41,9 @@ __all__ = [
     "EvolutionSeries",
     "composition_stats",
     "evolution_series",
+    "mean_update_cadence",
     "update_cadence",
+    "run_folds",
     "LiveCrawler",
     "LiveCrawlResult",
     "Interval",

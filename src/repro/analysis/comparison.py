@@ -119,6 +119,10 @@ def overlap_analysis(
 
     The paper's instance: A = Combined EasyList, B = Anti-Adblock Killer;
     ``first_in_a`` then counts domains the Combined EasyList added first.
+
+    Both first-appearance maps come from the histories' memoized
+    streaming folds, so calling this from several experiments (fig3,
+    sec33) re-reads cached state instead of re-scanning every revision.
     """
     first_a = history_a.domain_first_appearance()
     first_b = history_b.domain_first_appearance()

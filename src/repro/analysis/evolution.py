@@ -41,7 +41,13 @@ class EvolutionSeries:
 def evolution_series(
     history: FilterListHistory, until: Optional[date] = None
 ) -> EvolutionSeries:
-    """Rule-type counts per revision (optionally truncated at ``until``)."""
+    """Rule-type counts per revision (optionally truncated at ``until``).
+
+    Consumes the history's streaming :meth:`rule_type_series` fold, so a
+    delta-backed history is reduced in O(total churn), not O(revisions ×
+    rules) — and the fold is memoized, so repeated windows over the same
+    history cost one pass.
+    """
     result = EvolutionSeries(name=history.name)
     result.series = {rule_type: [] for rule_type in RULE_TYPE_ORDER}
     for revision_date, counts in history.rule_type_series():
@@ -95,8 +101,27 @@ def composition_stats(
 
 
 def update_cadence(history: FilterListHistory) -> List[Tuple[date, int]]:
-    """Days between consecutive revisions (detects AAK's monthly shift)."""
+    """Days between consecutive revisions (detects AAK's monthly shift).
+
+    Edge cases are well-defined rather than surprising: an empty or
+    single-revision history has no gaps (empty list), and same-day
+    revisions contribute explicit 0-day gaps.
+    """
     dates = [revision.date for revision in history]
     return [
         (dates[i], (dates[i] - dates[i - 1]).days) for i in range(1, len(dates))
     ]
+
+
+def mean_update_cadence(history: FilterListHistory) -> float:
+    """Mean days between consecutive revisions, safe on degenerate input.
+
+    Returns 0.0 for histories with fewer than two revisions instead of
+    dividing by an empty gap list, and treats an all-same-day history as
+    cadence 0.0 (revisions arrived faster than the date resolution) — the
+    two edge cases the streaming churn fold also has to survive.
+    """
+    gaps = update_cadence(history)
+    if not gaps:
+        return 0.0
+    return sum(days for _, days in gaps) / len(gaps)

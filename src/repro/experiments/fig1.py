@@ -13,6 +13,7 @@ from datetime import date
 from typing import Dict, List
 
 from ..analysis.evolution import CompositionStats, EvolutionSeries, composition_stats, evolution_series
+from ..analysis.histfold import run_folds
 from ..analysis.report import render_table
 from ..filterlist.classify import RULE_TYPE_ORDER
 from .context import ExperimentContext
@@ -34,14 +35,28 @@ class Fig1Result:
     stats: Dict[str, CompositionStats]
 
 
+def _panel_fold(history) -> tuple:
+    """One panel's evolution series + composition stats (one history fold)."""
+    return (
+        evolution_series(history, until=FIG1_END),
+        composition_stats(history, until=FIG1_END),
+    )
+
+
 def run(ctx: ExperimentContext) -> Fig1Result:
-    """Compute this experiment's artifact from the shared context."""
+    """Compute this experiment's artifact from the shared context.
+
+    The three panels are independent per-list folds, so they shard
+    across the fork pool under ``REPRO_WORKERS``; results return in
+    panel order, keeping the rendered artifact byte-identical to a
+    serial run.
+    """
+    jobs = [(f"fig1:{key}", _panel_fold, ctx.lists[key]) for _, key, _ in PANELS]
     series = {}
     stats = {}
-    for _, key, _ in PANELS:
-        history = ctx.lists[key]
-        series[key] = evolution_series(history, until=FIG1_END)
-        stats[key] = composition_stats(history, until=FIG1_END)
+    for (_, key, _), (evo, comp) in zip(PANELS, run_folds(jobs)):
+        series[key] = evo
+        stats[key] = comp
     return Fig1Result(series=series, stats=stats)
 
 

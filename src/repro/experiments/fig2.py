@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..analysis.comparison import category_distribution
+from ..analysis.histfold import run_folds
 from ..analysis.report import render_table
 from ..synthesis.categories import CATEGORIES
 from .context import AAK, CE, ExperimentContext
@@ -25,15 +26,25 @@ class Fig2Result:
         return {category: 100.0 * count / total for category, count in counts.items()}
 
 
+def _category_fold(args) -> Dict[str, int]:
+    """One list's category distribution (an independent history fold)."""
+    history, service = args
+    return category_distribution(history, service)
+
+
 def run(ctx: ExperimentContext) -> Fig2Result:
-    """Compute this experiment's artifact from the shared context."""
+    """Compute this experiment's artifact from the shared context.
+
+    One independent fold per list, sharded under ``REPRO_WORKERS``.
+    """
     service = ctx.world.categories
-    return Fig2Result(
-        distributions={
-            AAK: category_distribution(ctx.lists["aak"], service),
-            CE: category_distribution(ctx.lists["combined_easylist"], service),
-        }
+    aak_dist, ce_dist = run_folds(
+        [
+            (f"fig2:{AAK}", _category_fold, (ctx.lists["aak"], service)),
+            (f"fig2:{CE}", _category_fold, (ctx.lists["combined_easylist"], service)),
+        ]
     )
+    return Fig2Result(distributions={AAK: aak_dist, CE: ce_dist})
 
 
 def render(result: Fig2Result) -> str:

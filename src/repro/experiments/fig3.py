@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..analysis.comparison import cdf, overlap_analysis
+from ..analysis.histfold import run_folds
 from ..analysis.report import render_cdf
 from .context import ExperimentContext
 
@@ -23,9 +24,28 @@ class Fig3Result:
     cdf_points: List[Tuple[int, float]]
 
 
+def _overlap_fold(histories):
+    """The two lists' first-appearance comparison (one traced fold)."""
+    combined, aak = histories
+    return overlap_analysis(combined, aak)
+
+
 def run(ctx: ExperimentContext) -> Fig3Result:
-    """Compute this experiment's artifact from the shared context."""
-    overlap = overlap_analysis(ctx.lists["combined_easylist"], ctx.lists["aak"])
+    """Compute this experiment's artifact from the shared context.
+
+    One fold over both histories' memoized first-appearance maps, run
+    through the history-fold harness for its span + ``history.*``
+    counter telemetry.
+    """
+    (overlap,) = run_folds(
+        [
+            (
+                "fig3:overlap",
+                _overlap_fold,
+                (ctx.lists["combined_easylist"], ctx.lists["aak"]),
+            )
+        ]
+    )
     return Fig3Result(
         differences_days=overlap.differences_days,
         cdf_points=cdf(overlap.differences_days),

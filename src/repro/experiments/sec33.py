@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..analysis.comparison import ExceptionStats, OverlapAnalysis, exception_stats, overlap_analysis
+from ..analysis.histfold import run_folds
 from ..analysis.report import render_table
 from .context import AAK, CE, ExperimentContext
 
@@ -24,21 +25,44 @@ class Sec33Result:
     domain_counts: Dict[str, int]
 
 
+def _overlap_fold(histories) -> OverlapAnalysis:
+    """First-appearance comparison (A = Combined EasyList, B = AAK)."""
+    combined, aak = histories
+    return overlap_analysis(combined, aak)
+
+
+def _exception_fold(history) -> ExceptionStats:
+    """One list's exception/non-exception domain split."""
+    return exception_stats(history)
+
+
+def _domain_count_fold(history) -> int:
+    """Number of domains the list's latest revision targets."""
+    return len(history.targeted_domains_latest())
+
+
 def run(ctx: ExperimentContext) -> Sec33Result:
-    """Compute this experiment's artifact from the shared context."""
+    """Compute this experiment's artifact from the shared context.
+
+    Five independent history folds (overlap, two exception splits, two
+    domain counts) sharded under ``REPRO_WORKERS``; job order fixes the
+    merge, so the rendered section is byte-identical serial or parallel.
+    """
     aak = ctx.lists["aak"]
     combined = ctx.lists["combined_easylist"]
-    overlap = overlap_analysis(combined, aak)  # A = Combined EasyList
+    overlap, exc_aak, exc_ce, count_aak, count_ce = run_folds(
+        [
+            ("sec33:overlap", _overlap_fold, (combined, aak)),
+            (f"sec33:exceptions:{AAK}", _exception_fold, aak),
+            (f"sec33:exceptions:{CE}", _exception_fold, combined),
+            (f"sec33:domains:{AAK}", _domain_count_fold, aak),
+            (f"sec33:domains:{CE}", _domain_count_fold, combined),
+        ]
+    )
     return Sec33Result(
         overlap=overlap,
-        exceptions={
-            AAK: exception_stats(aak),
-            CE: exception_stats(combined),
-        },
-        domain_counts={
-            AAK: len(aak.targeted_domains_latest()),
-            CE: len(combined.targeted_domains_latest()),
-        },
+        exceptions={AAK: exc_aak, CE: exc_ce},
+        domain_counts={AAK: count_aak, CE: count_ce},
     )
 
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict
 
 from ..analysis.comparison import RankDistribution, rank_distribution
+from ..analysis.histfold import run_folds
 from ..analysis.report import render_table
 from ..synthesis.alexa import RANK_BUCKETS
 from .context import AAK, CE, ExperimentContext
@@ -24,15 +25,27 @@ class Table1Result:
         }
 
 
+def _rank_fold(args) -> RankDistribution:
+    """One list's rank-bucket distribution (an independent history fold)."""
+    history, population = args
+    return rank_distribution(history, population)
+
+
 def run(ctx: ExperimentContext) -> Table1Result:
-    """Compute this experiment's artifact from the shared context."""
+    """Compute this experiment's artifact from the shared context.
+
+    The two lists' distributions are independent folds sharded under
+    ``REPRO_WORKERS``; job order fixes the merge order, so the rendered
+    table is byte-identical serial or parallel.
+    """
     population = ctx.world.population
-    return Table1Result(
-        distributions={
-            AAK: rank_distribution(ctx.lists["aak"], population),
-            CE: rank_distribution(ctx.lists["combined_easylist"], population),
-        }
+    aak_dist, ce_dist = run_folds(
+        [
+            (f"table1:{AAK}", _rank_fold, (ctx.lists["aak"], population)),
+            (f"table1:{CE}", _rank_fold, (ctx.lists["combined_easylist"], population)),
+        ]
     )
+    return Table1Result(distributions={AAK: aak_dist, CE: ce_dist})
 
 
 def render(result: Table1Result) -> str:

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..analysis.report import render_table
 from ..core.features import features_from_source
+from ..obs.trace import span as trace_span
 from ..synthesis.scripts import html_bait_script
 from .context import ExperimentContext
 
@@ -54,9 +55,12 @@ def run(ctx: ExperimentContext) -> Table2Result:
     rng = np.random.default_rng(ctx.world.seed)
     script = html_bait_script(rng, constructor="BlockAdBlock")
     memberships: Dict[str, Set[str]] = {}
-    for feature_set in ("all", "literal", "keyword"):
-        for feature in features_from_source(script, feature_set=feature_set):
-            memberships.setdefault(feature, set()).add(feature_set)
+    with trace_span("table2:features", script_bytes=len(script)) as extract_span:
+        for feature_set in ("all", "literal", "keyword"):
+            features = features_from_source(script, feature_set=feature_set)
+            extract_span.count("feature_sets")
+            for feature in features:
+                memberships.setdefault(feature, set()).add(feature_set)
     return Table2Result(script=script, memberships=memberships)
 
 

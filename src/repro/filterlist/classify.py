@@ -69,6 +69,18 @@ def count_rule_types(rules: Iterable[Rule]) -> Dict[RuleType, int]:
     return {rule_type: counts.get(rule_type, 0) for rule_type in RULE_TYPE_ORDER}
 
 
+def snapshot_type_counts(running: Counter) -> Dict[RuleType, int]:
+    """Freeze a streaming fold's running category counter into Figure 1 form.
+
+    The incremental §3 history engine keeps one ``Counter[RuleType]``
+    alive across revisions and snapshots it after each one; this produces
+    exactly :func:`count_rule_types`'s shape — every category present, in
+    ``RULE_TYPE_ORDER``, zeros included — so streaming and full-scan
+    series compare ``==`` element-wise.
+    """
+    return {rule_type: running.get(rule_type, 0) for rule_type in RULE_TYPE_ORDER}
+
+
 def rule_type_percentages(rules: Iterable[Rule]) -> Dict[RuleType, float]:
     """Percentages per category (the §3.2 composition numbers)."""
     counts = count_rule_types(list(rules))

@@ -4,39 +4,50 @@
 per revision, rule-type mix over time, and when each targeted domain first
 appears. §4 needs ``version_at`` to replay the *contemporaneous* list
 against each archived snapshot.
+
+Real revision churn is tiny compared to list size (the paper: ~4 rules/day
+for AAK against thousands of rules), so this module is built around
+incremental state rather than per-revision re-parsing:
+
+- revisions can be **delta-backed** — :meth:`FilterListHistory.add_revision`
+  accepts a :class:`RevisionDelta` and only materializes the full parsed
+  document lazily, by applying the delta chain to the nearest concrete base;
+- the §3 series (:meth:`rule_type_series`, :meth:`total_rules_series`,
+  :meth:`domain_first_appearance`) are **streaming folds** over per-revision
+  line changes — a running ``Counter[RuleType]`` and first-seen-domain map
+  updated in O(churn) per delta-backed revision — memoized per history and
+  pinned equal to the retained ``*_full_scan`` reference implementations;
+- every rule line goes through the process-global
+  :class:`~repro.filterlist.parser.ParsedRuleCache`, so each distinct line
+  in the whole history is parsed and classified exactly once.
 """
 
 from __future__ import annotations
 
 import bisect
+from collections import Counter
 from dataclasses import dataclass, field
 from datetime import date
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .classify import RuleType, count_rule_types
-from .parser import FilterList, parse_filter_list
-
-
-@dataclass
-class Revision:
-    """One dated version of a filter list."""
-
-    date: date
-    filter_list: FilterList
-
-    @property
-    def rules(self):
-        """The revision's rule objects."""
-        return [parsed.rule for parsed in self.filter_list.rules]
-
-    def rule_lines(self) -> List[str]:
-        """The revision's raw rule lines."""
-        return self.filter_list.rule_lines()
+from .classify import RuleType, count_rule_types, snapshot_type_counts
+from .parser import (
+    FilterList,
+    ParsedRule,
+    count_history,
+    get_rule_cache,
+    parse_filter_list,
+)
 
 
 @dataclass
 class RevisionDelta:
-    """Line-level difference between two consecutive revisions."""
+    """Line-level difference between two consecutive revisions.
+
+    Applying a delta removes **all** occurrences of each ``removed`` line,
+    then appends the ``added`` lines in order (unparseable added lines are
+    recorded as errors and skipped, as in full-text parsing).
+    """
 
     added: List[str] = field(default_factory=list)
     removed: List[str] = field(default_factory=list)
@@ -51,12 +62,96 @@ class RevisionDelta:
         return len(self.added)
 
 
+class Revision:
+    """One dated version of a filter list.
+
+    Either **concrete** (constructed with a parsed ``filter_list``) or
+    **delta-backed** (constructed with a ``delta`` against a ``previous``
+    revision); a delta-backed revision materializes its full document on
+    first access to :attr:`filter_list` and caches the result.
+    """
+
+    __slots__ = ("date", "_filter_list", "_delta", "_previous")
+
+    def __init__(
+        self,
+        date: "date",
+        filter_list: Optional[FilterList] = None,
+        *,
+        delta: Optional[RevisionDelta] = None,
+        previous: Optional["Revision"] = None,
+    ) -> None:
+        if (filter_list is None) == (delta is None):
+            raise ValueError("a revision needs exactly one of filter_list or delta")
+        if delta is not None and previous is None:
+            raise ValueError("a delta-backed revision needs a previous revision")
+        self.date = date
+        self._filter_list = filter_list
+        self._delta = delta
+        self._previous = previous
+
+    @property
+    def filter_list(self) -> FilterList:
+        """The revision's parsed document (materialized on first access)."""
+        if self._filter_list is None:
+            self._materialize()
+        return self._filter_list
+
+    def _materialize(self) -> None:
+        # Walk back (iteratively — chains can be long) to the nearest
+        # concrete revision, then apply the deltas forward, caching the
+        # expanded document on every revision along the way.
+        chain: List[Revision] = []
+        node: Revision = self
+        while node._filter_list is None:
+            chain.append(node)
+            node = node._previous
+        base = node._filter_list
+        cache = get_rule_cache()
+        hits_before, misses_before = cache.hits, cache.misses
+        for revision in reversed(chain):
+            delta = revision._delta
+            removed = set(delta.removed)
+            rules = [pr for pr in base.rules if pr.rule.raw not in removed]
+            errors = list(base.errors)
+            next_line = (rules[-1].line_number + 1) if rules else 1
+            for line in delta.added:
+                entry = cache.lookup(line)
+                if entry.rule is None:
+                    errors.append(f"line {next_line}: {entry.error}")
+                else:
+                    rules.append(
+                        ParsedRule(rule=entry.rule, line_number=next_line, section="")
+                    )
+                next_line += 1
+            base = FilterList(
+                name=base.name,
+                rules=rules,
+                metadata=dict(base.metadata),
+                errors=errors,
+            )
+            revision._filter_list = base
+        cache.flush_counts(hits_before, misses_before)
+        count_history("revisions_materialized", len(chain))
+
+    @property
+    def rules(self):
+        """The revision's rule objects."""
+        return [parsed.rule for parsed in self.filter_list.rules]
+
+    def rule_lines(self) -> List[str]:
+        """The revision's raw rule lines."""
+        return self.filter_list.rule_lines()
+
+
 class FilterListHistory:
     """An ordered sequence of :class:`Revision` objects for one list."""
 
     def __init__(self, name: str, revisions: Optional[List[Revision]] = None) -> None:
         self.name = name
         self._revisions: List[Revision] = sorted(revisions or [], key=lambda r: r.date)
+        #: memoized streaming-fold results, cleared by :meth:`add_revision`
+        self._memo: Dict[str, object] = {}
 
     # -- container protocol --------------------------------------------------
 
@@ -75,13 +170,33 @@ class FilterListHistory:
         return list(self._revisions)
 
     def add_revision(self, revision_date: date, text_or_list) -> Revision:
-        """Append a revision (text is parsed; revisions stay date-ordered)."""
+        """Append a revision (text is parsed; revisions stay date-ordered).
+
+        Accepts full list text, a pre-parsed :class:`FilterList`, or a
+        :class:`RevisionDelta` against the current latest revision. A delta
+        revision must not predate the latest one (there is nothing earlier
+        to apply it to) and stays delta-backed until someone asks for its
+        full document.
+        """
+        if isinstance(text_or_list, RevisionDelta):
+            latest = self.latest()
+            if latest is None:
+                raise ValueError("cannot add a delta revision to an empty history")
+            if revision_date < latest.date:
+                raise ValueError(
+                    f"delta revision {revision_date} predates latest {latest.date}"
+                )
+            revision = Revision(revision_date, delta=text_or_list, previous=latest)
+            self._revisions.append(revision)
+            self._memo.clear()
+            return revision
         if isinstance(text_or_list, FilterList):
             filter_list = text_or_list
         else:
             filter_list = parse_filter_list(text_or_list, name=self.name)
-        revision = Revision(date=revision_date, filter_list=filter_list)
+        revision = Revision(revision_date, filter_list)
         bisect.insort(self._revisions, revision, key=lambda r: r.date)
+        self._memo.clear()
         return revision
 
     # -- queries ---------------------------------------------------------------
@@ -122,7 +237,13 @@ class FilterListHistory:
         return self._revisions[index - 1]
 
     def delta(self, index: int) -> RevisionDelta:
-        """Difference between revision ``index`` and its predecessor."""
+        """Difference between revision ``index`` and its predecessor.
+
+        This is the *set-based* view (distinct parseable lines that became
+        present/absent), which is what the §3.2 churn rates are defined
+        over; it is not necessarily the stored :class:`RevisionDelta` a
+        delta-backed revision was built from.
+        """
         current = set(self._revisions[index].rule_lines())
         previous = set(self._revisions[index - 1].rule_lines()) if index > 0 else set()
         return RevisionDelta(
@@ -154,40 +275,151 @@ class FilterListHistory:
         removed = [previous[line] for line in delta.removed if line in previous]
         return added, removed
 
+    # -- the streaming fold ---------------------------------------------------
+
+    def _fold(self) -> Dict[str, object]:
+        """One pass over the history computing every §3 series incrementally.
+
+        Maintains a running multiset of present rule lines, a running
+        ``Counter[RuleType]``, and a first-seen-domain map. A delta-backed
+        revision whose stored predecessor is also its sorted-order
+        predecessor is folded straight from its :class:`RevisionDelta` in
+        O(churn); any other revision (full-text, out-of-order insertions)
+        falls back to a multiset diff of its parsed lines. Results are
+        memoized until the next :meth:`add_revision`.
+        """
+        if "fold" in self._memo:
+            return self._memo["fold"]
+        cache = get_rule_cache()
+        hits_before, misses_before = cache.hits, cache.misses
+        state: Counter = Counter()  # parseable rule line -> multiplicity
+        type_counts: Counter = Counter()  # RuleType -> running count
+        total = 0
+        first_seen: Dict[str, date] = {}
+        type_series: List[Tuple[date, Dict[RuleType, int]]] = []
+        total_series: List[Tuple[date, int]] = []
+        churn_series: List[int] = []  # newly-present distinct lines, rev 1..n-1
+        delta_folds = 0
+        previous_revision: Optional[Revision] = None
+        for revision in self._revisions:
+            changes: List[Tuple[str, int]] = []  # (line, multiplicity delta)
+            newly_present = 0
+            if (
+                revision._delta is not None
+                and revision._previous is previous_revision
+                and previous_revision is not None
+            ):
+                delta_folds += 1
+                stored = revision._delta
+                for line in set(stored.removed):
+                    count = state.get(line, 0)
+                    if count:
+                        changes.append((line, -count))
+                counted: set = set()
+                for line in stored.added:
+                    if cache.lookup(line).rule is None:
+                        continue
+                    changes.append((line, 1))
+                    if line not in state and line not in counted:
+                        newly_present += 1
+                        counted.add(line)
+            else:
+                current = Counter(revision.rule_lines())
+                for line, count in current.items():
+                    diff = count - state.get(line, 0)
+                    if diff:
+                        changes.append((line, diff))
+                    if line not in state:
+                        newly_present += 1
+                for line, count in state.items():
+                    if line not in current:
+                        changes.append((line, -count))
+            for line, diff in changes:
+                entry = cache.lookup(line)
+                type_counts[entry.rule_type] += diff
+                total += diff
+                state[line] += diff
+                if state[line] <= 0:
+                    del state[line]
+                if diff > 0:
+                    for domain in entry.targeted_domains():
+                        first_seen.setdefault(domain, revision.date)
+            type_series.append((revision.date, snapshot_type_counts(type_counts)))
+            total_series.append((revision.date, total))
+            if previous_revision is not None:
+                churn_series.append(newly_present)
+            previous_revision = revision
+        cache.flush_counts(hits_before, misses_before)
+        count_history("revisions_folded", len(self._revisions))
+        count_history("delta_folds", delta_folds)
+        fold = {
+            "rule_type_series": type_series,
+            "total_rules_series": total_series,
+            "domain_first_appearance": first_seen,
+            "churn_series": churn_series,
+        }
+        self._memo["fold"] = fold
+        return fold
+
+    # -- churn ----------------------------------------------------------------
+
     def average_churn_per_revision(self) -> float:
         """Mean rules added/modified per revision (§3.2's headline rates)."""
         if len(self._revisions) < 2:
             return 0.0
-        total = sum(self.delta(i).churn for i in range(1, len(self._revisions)))
-        return total / (len(self._revisions) - 1)
+        churn = self._fold()["churn_series"]
+        return sum(churn) / (len(self._revisions) - 1)
 
     def average_churn_per_day(self) -> float:
-        """Mean rules added/modified per calendar day over the history."""
+        """Mean rules added/modified per calendar day over the history.
+
+        A history whose revisions all fall on one calendar day spans zero
+        days; its churn is attributed to that single day (``max(days, 1)``)
+        instead of silently reporting 0.
+        """
         if len(self._revisions) < 2:
             return 0.0
-        days = (self.last_date - self.first_date).days
-        if days <= 0:
-            return 0.0
-        total = sum(self.delta(i).churn for i in range(1, len(self._revisions)))
-        return total / days
+        days = max((self.last_date - self.first_date).days, 1)
+        return sum(self._fold()["churn_series"]) / days
+
+    # -- the §3 series ---------------------------------------------------------
 
     def rule_type_series(self) -> List[Tuple[date, Dict[RuleType, int]]]:
-        """Per-revision Figure 1 rule-type counts."""
-        return [
-            (revision.date, count_rule_types(revision.rules))
-            for revision in self._revisions
-        ]
+        """Per-revision Figure 1 rule-type counts (streaming fold)."""
+        return [(when, dict(counts)) for when, counts in self._fold()["rule_type_series"]]
 
     def total_rules_series(self) -> List[Tuple[date, int]]:
-        """(date, rule count) per revision."""
-        return [(revision.date, len(revision.rules)) for revision in self._revisions]
+        """(date, rule count) per revision (streaming fold)."""
+        return list(self._fold()["total_rules_series"])
 
     def domain_first_appearance(self) -> Dict[str, date]:
         """First revision date at which each targeted domain appears.
 
         This drives §3.3's promptness comparison (Figure 3) and §4's
-        rule-addition-delay CDF (Figure 7).
+        rule-addition-delay CDF (Figure 7). Computed by the streaming fold
+        in chronological order, which matches the full scan exactly:
+        re-added lines keep their earliest date via ``setdefault``.
         """
+        return dict(self._fold()["domain_first_appearance"])
+
+    # -- full-scan reference implementations ----------------------------------
+    #
+    # The original O(revisions × rules) paths, kept as the oracle the
+    # streaming fold is pinned equal to in tests.
+
+    def rule_type_series_full_scan(self) -> List[Tuple[date, Dict[RuleType, int]]]:
+        """Reference implementation of :meth:`rule_type_series`."""
+        return [
+            (revision.date, count_rule_types(revision.rules))
+            for revision in self._revisions
+        ]
+
+    def total_rules_series_full_scan(self) -> List[Tuple[date, int]]:
+        """Reference implementation of :meth:`total_rules_series`."""
+        return [(revision.date, len(revision.rules)) for revision in self._revisions]
+
+    def domain_first_appearance_full_scan(self) -> Dict[str, date]:
+        """Reference implementation of :meth:`domain_first_appearance`."""
         first_seen: Dict[str, date] = {}
         for revision in self._revisions:
             for rule in revision.rules:

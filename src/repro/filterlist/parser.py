@@ -6,20 +6,205 @@ organises its rules into sections delimited by
 ``!---------- section name ----------!`` comments; the paper analyses only
 the anti-adblock sections of EasyList, so the parser keeps track of which
 section every rule came from.
+
+The §3 history engine parses *every revision* of every list, and real
+churn is a handful of lines per revision (the paper: ~4 rules/day for
+AAK) — so almost every line of almost every revision has been seen
+before. :class:`ParsedRuleCache` is the process-global content-addressed
+cache that exploits this: each distinct rule line is parsed, classified
+(Figure 1 type), and domain-extracted exactly once, no matter how many
+revisions or lists it appears in. The cache is bounded like the §5
+feature store's memo (``REPRO_HISTORY_CACHE``, LRU), and its hit/parse
+counters feed the ``history.*`` namespace of the metrics registry via
+:class:`HistoryCounters`.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from ..obs.config import history_cache_size
+from ..obs.metrics import get_metrics
+from .classify import RuleType, classify_rule
 from .rules import ElementRule, NetworkRule, RuleParseError, parse_rule
 
 Rule = Union[NetworkRule, ElementRule]
 
 _SECTION_RE = re.compile(r"^!\s*-{2,}\s*(?P<name>.*?)\s*-{2,}\s*!?\s*$")
 _METADATA_RE = re.compile(r"^!\s*(?P<key>[A-Za-z][\w ]*?)\s*:\s*(?P<value>.+)$")
+
+
+# -- the §3 history counters -------------------------------------------------------
+
+
+@dataclass
+class HistoryCounters:
+    """Counters for the incremental §3 history engine (``history.*``).
+
+    Mirrors :class:`~repro.analysis.perf.PerfCounters`' shape so sharded
+    history folds can report deltas that merge deterministically, and the
+    registry absorption (`history.cache_hits` etc.) works the same way as
+    the replay engine's.
+    """
+
+    #: rule-line lookups answered by the parsed-rule cache
+    cache_hits: int = 0
+    #: rule lines actually parsed + classified (cache misses)
+    lines_parsed: int = 0
+    #: revisions consumed by a streaming delta fold
+    revisions_folded: int = 0
+    #: fold steps served straight from a stored :class:`RevisionDelta`
+    #: (O(churn)) rather than a full line scan
+    delta_folds: int = 0
+    #: delta-backed revisions expanded into full parsed documents
+    revisions_materialized: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def snapshot(self) -> tuple:
+        """A point-in-time copy of every counter (for :meth:`since`)."""
+        return tuple(getattr(self, f.name) for f in fields(self))
+
+    def since(self, snap: tuple) -> "HistoryCounters":
+        """Counters accumulated after ``snap`` was taken (shard deltas)."""
+        delta = HistoryCounters()
+        for f, before in zip(fields(self), snap):
+            setattr(delta, f.name, getattr(self, f.name) - before)
+        return delta
+
+    def merge(self, other: "HistoryCounters") -> None:
+        """Fold another shard's counters into this one (plain sums)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+#: Process-global history counters; sharded folds merge worker deltas in.
+HISTORY_COUNTERS = HistoryCounters()
+
+
+def get_history_counters() -> HistoryCounters:
+    """The process-global §3 history counters."""
+    return HISTORY_COUNTERS
+
+
+def count_history(name: str, delta: int = 1) -> None:
+    """Bump one history counter and its ``history.*`` registry mirror."""
+    if delta:
+        setattr(HISTORY_COUNTERS, name, getattr(HISTORY_COUNTERS, name) + delta)
+        get_metrics().count(f"history.{name}", delta)
+
+
+# -- the parsed-rule cache ---------------------------------------------------------
+
+
+class ParsedLine:
+    """Everything the history engine ever derives from one rule line.
+
+    ``rule`` is ``None`` for lines that fail to parse (``error`` holds the
+    parse error's text, position-free so it is shareable across
+    documents). ``rule_type`` is the line's Figure 1 category; targeted
+    domains are extracted lazily and cached, so the §3.3 first-appearance
+    fold runs the anchor-host regex once per distinct line.
+    """
+
+    __slots__ = ("rule", "error", "rule_type", "_domains")
+
+    def __init__(
+        self,
+        rule: Optional[Rule],
+        error: Optional[str] = None,
+        rule_type: Optional[RuleType] = None,
+    ) -> None:
+        self.rule = rule
+        self.error = error
+        self.rule_type = rule_type
+        self._domains: Optional[Tuple[str, ...]] = None
+
+    def targeted_domains(self) -> Tuple[str, ...]:
+        """The line's targeted domains (computed once, then cached)."""
+        if self._domains is None:
+            self._domains = (
+                tuple(self.rule.targeted_domains()) if self.rule is not None else ()
+            )
+        return self._domains
+
+
+class ParsedRuleCache:
+    """Bounded content-addressed cache: rule line → :class:`ParsedLine`.
+
+    LRU-bounded like the feature store's memo so a paper-scale run holds
+    a fixed number of parsed rules no matter how many revisions stream
+    through. Not thread-safe (the fork pool gives each worker its own
+    copy-on-write view; workers only read entries the parent already
+    interned or add their own).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        capacity = history_cache_size() if capacity is None else int(capacity)
+        if capacity < 1:
+            raise ValueError("parsed-rule cache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[str, ParsedLine]" = OrderedDict()
+        #: lifetime tallies (flushed into :data:`HISTORY_COUNTERS` in
+        #: batches by the call sites, so the hot loop stays dict-only)
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def lookup(self, line: str) -> ParsedLine:
+        """The cached parse of ``line`` (parsing and classifying on miss)."""
+        entry = self._data.get(line)
+        if entry is not None:
+            self.hits += 1
+            self._data.move_to_end(line)
+            return entry
+        self.misses += 1
+        try:
+            rule = parse_rule(line)
+        except RuleParseError as exc:
+            entry = ParsedLine(None, error=str(exc))
+        else:
+            entry = ParsedLine(rule, rule_type=classify_rule(rule))
+        self._data[line] = entry
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+        return entry
+
+    def flush_counts(self, since_hits: int, since_misses: int) -> None:
+        """Report tallies accumulated past the given baselines."""
+        count_history("cache_hits", self.hits - since_hits)
+        count_history("lines_parsed", self.misses - since_misses)
+
+
+#: The process-wide cache (created on first use from ``REPRO_HISTORY_CACHE``).
+_RULE_CACHE: Optional[ParsedRuleCache] = None
+
+
+def get_rule_cache() -> ParsedRuleCache:
+    """The shared parsed-rule cache.
+
+    Process-wide by design: every list history — AAK, EasyList, AWRL,
+    the Combined EasyList built from the latter two — shares one cache,
+    so a rule line appearing in any number of revisions of any number of
+    lists is parsed and classified exactly once per process.
+    """
+    global _RULE_CACHE
+    if _RULE_CACHE is None:
+        _RULE_CACHE = ParsedRuleCache()
+    return _RULE_CACHE
+
+
+def set_rule_cache(cache: Optional[ParsedRuleCache]) -> Optional[ParsedRuleCache]:
+    """Swap the shared cache (tests/benchmarks); returns the previous one."""
+    global _RULE_CACHE
+    previous, _RULE_CACHE = _RULE_CACHE, cache
+    return previous
 
 
 @dataclass
@@ -84,14 +269,25 @@ class FilterList:
         return [parsed.rule.raw for parsed in self.rules]
 
 
-def parse_filter_list(text: str, name: str = "", strict: bool = False) -> FilterList:
+def parse_filter_list(
+    text: str, name: str = "", strict: bool = False, cache: bool = True
+) -> FilterList:
     """Parse a filter-list document into a :class:`FilterList`.
 
     Malformed lines are recorded in ``errors`` and skipped unless
     ``strict`` is true, matching how real adblockers tolerate bad rules.
+
+    Rule lines go through the process-global :class:`ParsedRuleCache`, so
+    a line shared between revisions (the overwhelmingly common case in a
+    §3 history) is parsed once per process. ``cache=False`` parses every
+    line from scratch — the reference path, kept for the history
+    benchmark's full-reparse baseline.
     """
     result = FilterList(name=name)
     section = ""
+    rule_cache = get_rule_cache() if cache else None
+    if rule_cache is not None:
+        hits_before, misses_before = rule_cache.hits, rule_cache.misses
     for line_number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line:
@@ -109,6 +305,18 @@ def parse_filter_list(text: str, name: str = "", strict: bool = False) -> Filter
                 key = metadata_match.group("key").strip().lower()
                 result.metadata[key] = metadata_match.group("value").strip()
             continue
+        if rule_cache is not None:
+            entry = rule_cache.lookup(line)
+            if entry.rule is None:
+                if strict:
+                    rule_cache.flush_counts(hits_before, misses_before)
+                    raise RuleParseError(entry.error)
+                result.errors.append(f"line {line_number}: {entry.error}")
+                continue
+            result.rules.append(
+                ParsedRule(rule=entry.rule, line_number=line_number, section=section)
+            )
+            continue
         try:
             rule = parse_rule(line)
         except RuleParseError as exc:
@@ -117,6 +325,8 @@ def parse_filter_list(text: str, name: str = "", strict: bool = False) -> Filter
             result.errors.append(f"line {line_number}: {exc}")
             continue
         result.rules.append(ParsedRule(rule=rule, line_number=line_number, section=section))
+    if rule_cache is not None:
+        rule_cache.flush_counts(hits_before, misses_before)
     return result
 
 

@@ -4,8 +4,8 @@ Before this module, ``REPRO_SCALE`` was parsed in ``experiments.context``
 and ``REPRO_WORKERS``/``REPRO_MATCHER_CACHE`` in ``analysis.perf``, each
 silently falling back to its default on garbage input — a typo like
 ``REPRO_WORKERS=fuor`` quietly ran serial. Every knob — scale, workers,
-the matcher/feature caches, and the resilience layer's retry/journal/
-fault-injection settings — now resolves here: invalid or out-of-range
+the matcher/history/feature caches, and the resilience layer's retry/
+journal/fault-injection settings — now resolves here: invalid or out-of-range
 values still fall back to the documented
 defaults (so behaviour is unchanged), but a warning is logged **once per
 (variable, raw value)** so the operator learns about the typo, and the
@@ -26,6 +26,7 @@ logger = logging.getLogger("repro.obs.config")
 DEFAULT_SCALE = 0.08
 DEFAULT_WORKERS = 1
 DEFAULT_MATCHER_CACHE = 512
+DEFAULT_HISTORY_CACHE = 65536
 DEFAULT_MAX_RETRIES = 3
 DEFAULT_RETRY_BASE_MS = 50.0
 
@@ -34,6 +35,7 @@ KNOBS = (
     "REPRO_SCALE",
     "REPRO_WORKERS",
     "REPRO_MATCHER_CACHE",
+    "REPRO_HISTORY_CACHE",
     "REPRO_FEATURE_CACHE",
     "REPRO_MAX_RETRIES",
     "REPRO_RETRY_BASE_MS",
@@ -105,6 +107,24 @@ def matcher_cache_size(environ: Optional[Mapping[str, str]] = None) -> int:
         "REPRO_MATCHER_CACHE",
         environ.get("REPRO_MATCHER_CACHE"),
         DEFAULT_MATCHER_CACHE,
+        minimum=2,
+        clamp=True,
+    )
+
+
+def history_cache_size(environ: Optional[Mapping[str, str]] = None) -> int:
+    """§3 parsed-rule cache capacity from ``REPRO_HISTORY_CACHE`` (≥ 2).
+
+    Bounds the process-global content-addressed cache mapping each
+    distinct rule line to its parsed rule, Figure 1 type, and targeted
+    domains (``repro.filterlist.parser``). Values below the minimum are
+    clamped rather than rejected, matching ``REPRO_MATCHER_CACHE``.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_HISTORY_CACHE",
+        environ.get("REPRO_HISTORY_CACHE"),
+        DEFAULT_HISTORY_CACHE,
         minimum=2,
         clamp=True,
     )
@@ -194,6 +214,8 @@ class ConfigSnapshot:
     scale: float
     workers: int
     matcher_cache: int
+    #: §3 parsed-rule cache capacity (``REPRO_HISTORY_CACHE``).
+    history_cache: int = DEFAULT_HISTORY_CACHE
     feature_cache: Optional[str] = None
     max_retries: int = DEFAULT_MAX_RETRIES
     retry_base_ms: float = DEFAULT_RETRY_BASE_MS
@@ -211,6 +233,7 @@ class ConfigSnapshot:
             "scale": self.scale,
             "workers": self.workers,
             "matcher_cache": self.matcher_cache,
+            "history_cache": self.history_cache,
             "feature_cache": self.feature_cache,
             "max_retries": self.max_retries,
             "retry_base_ms": self.retry_base_ms,
@@ -227,6 +250,7 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         scale=repro_scale(environ),
         workers=repro_workers(environ),
         matcher_cache=matcher_cache_size(environ),
+        history_cache=history_cache_size(environ),
         feature_cache=feature_cache_dir(environ),
         max_retries=max_retries(environ),
         retry_base_ms=retry_base_ms(environ),

@@ -206,6 +206,7 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("scale", (int, float)),
         ("workers", int),
         ("matcher_cache", int),
+        ("history_cache", int),
         ("feature_cache", (str, type(None))),
         ("max_retries", int),
         ("retry_base_ms", (int, float)),

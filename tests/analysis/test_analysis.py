@@ -11,7 +11,12 @@ from repro.analysis.comparison import (
     rank_distribution,
 )
 from repro.analysis.coverage import CoverageAnalyzer
-from repro.analysis.evolution import composition_stats, evolution_series, update_cadence
+from repro.analysis.evolution import (
+    composition_stats,
+    evolution_series,
+    mean_update_cadence,
+    update_cadence,
+)
 from repro.analysis.report import percent, render_cdf, render_multi_series, render_table
 from repro.filterlist.classify import RuleType
 from repro.filterlist.history import FilterListHistory
@@ -69,6 +74,22 @@ class TestEvolution:
         )
         cadence = update_cadence(history)
         assert [days for _, days in cadence] == [7, 31]
+        assert mean_update_cadence(history) == pytest.approx(19.0)
+
+    def test_update_cadence_single_revision_has_no_gaps(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        assert update_cadence(history) == []
+        assert mean_update_cadence(history) == 0.0
+
+    def test_update_cadence_same_day_revisions_zero_gap(self):
+        history = history_from(
+            [
+                (date(2014, 1, 1), "||a.com^\n"),
+                (date(2014, 1, 1), "||a.com^\n||b.com^\n"),
+            ]
+        )
+        assert update_cadence(history) == [(date(2014, 1, 1), 0)]
+        assert mean_update_cadence(history) == 0.0
 
 
 class TestComparison:

@@ -1,0 +1,277 @@
+"""Tests for the incremental §3 history engine.
+
+Covers the parsed-rule cache (interning, bounding, counters), lazy
+delta-backed revisions, the streaming fold vs the full-scan reference,
+memo invalidation, and the churn edge-case fixes.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.filterlist.history import FilterListHistory, Revision, RevisionDelta
+from repro.filterlist.parser import (
+    ParsedRuleCache,
+    get_history_counters,
+    get_rule_cache,
+    parse_filter_list,
+    set_rule_cache,
+)
+from repro.filterlist.rules import RuleParseError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test sees its own unbounded-enough parsed-rule cache."""
+    previous = set_rule_cache(ParsedRuleCache(capacity=4096))
+    yield get_rule_cache()
+    set_rule_cache(previous)
+
+
+def history_from(revisions):
+    history = FilterListHistory("test")
+    for when, payload in revisions:
+        history.add_revision(when, payload)
+    return history
+
+
+class TestParsedRuleCache:
+    def test_each_distinct_line_parsed_once(self, fresh_cache):
+        parse_filter_list("||a.com^\n##.x\n")
+        parse_filter_list("||a.com^\n##.x\n||b.com^\n")
+        assert fresh_cache.misses == 3
+        assert fresh_cache.hits == 2
+
+    def test_identical_lines_share_one_rule_object(self, fresh_cache):
+        first = parse_filter_list("||a.com^\n")
+        second = parse_filter_list("||a.com^\n")
+        assert first.rules[0].rule is second.rules[0].rule
+
+    def test_capacity_bounds_the_cache(self):
+        cache = ParsedRuleCache(capacity=2)
+        for index in range(5):
+            cache.lookup(f"||site{index}.com^")
+        assert len(cache) == 2
+
+    def test_lru_eviction_keeps_recently_used(self):
+        cache = ParsedRuleCache(capacity=2)
+        cache.lookup("||a.com^")
+        cache.lookup("||b.com^")
+        cache.lookup("||a.com^")  # refresh a
+        cache.lookup("||c.com^")  # evicts b
+        misses = cache.misses
+        cache.lookup("||a.com^")
+        assert cache.misses == misses  # still cached
+        cache.lookup("||b.com^")
+        assert cache.misses == misses + 1  # was evicted
+
+    def test_unparseable_lines_cached_as_errors(self, fresh_cache):
+        first = parse_filter_list("||a.com^\n##\n")
+        second = parse_filter_list("##\n")
+        assert fresh_cache.misses == 2  # the bad line parsed once
+        assert len(first.errors) == 1 and len(second.errors) == 1
+        assert first.errors[0].startswith("line 2:")
+        assert second.errors[0].startswith("line 1:")
+
+    def test_strict_mode_still_raises_on_cached_error(self):
+        parse_filter_list("##\n")  # caches the parse error
+        with pytest.raises(RuleParseError):
+            parse_filter_list("##\n", strict=True)
+
+    def test_uncached_path_bypasses_the_cache(self, fresh_cache):
+        parse_filter_list("||a.com^\n", cache=False)
+        assert fresh_cache.hits == 0 and fresh_cache.misses == 0
+
+    def test_counters_flow_into_history_counters(self):
+        before = get_history_counters().snapshot()
+        parse_filter_list("||a.com^\n||a.com^\n")
+        delta = get_history_counters().since(before)
+        assert delta.lines_parsed == 1
+        assert delta.cache_hits == 1
+
+
+class TestDeltaRevisions:
+    def test_delta_revision_materializes_lazily(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n##.x\n")])
+        revision = history.add_revision(
+            date(2014, 2, 1), RevisionDelta(added=["||b.com^"], removed=["##.x"])
+        )
+        assert revision._filter_list is None  # still a delta
+        assert revision.rule_lines() == ["||a.com^", "||b.com^"]
+        assert revision._filter_list is not None  # now cached
+
+    def test_delta_chain_materializes_through_intermediates(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        history.add_revision(date(2014, 2, 1), RevisionDelta(added=["||b.com^"]))
+        history.add_revision(date(2014, 3, 1), RevisionDelta(added=["||c.com^"]))
+        last = history.add_revision(
+            date(2014, 4, 1), RevisionDelta(removed=["||a.com^"])
+        )
+        assert last.rule_lines() == ["||b.com^", "||c.com^"]
+        # the walk cached every intermediate revision too
+        assert history[1]._filter_list is not None
+        assert history[2].rule_lines() == ["||a.com^", "||b.com^", "||c.com^"]
+
+    def test_removed_drops_all_occurrences(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n||b.com^\n||a.com^\n")])
+        revision = history.add_revision(
+            date(2014, 2, 1), RevisionDelta(removed=["||a.com^"])
+        )
+        assert revision.rule_lines() == ["||b.com^"]
+
+    def test_unparseable_added_lines_become_errors(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        revision = history.add_revision(
+            date(2014, 2, 1), RevisionDelta(added=["##", "||b.com^"])
+        )
+        assert revision.rule_lines() == ["||a.com^", "||b.com^"]
+        assert len(revision.filter_list.errors) == 1
+
+    def test_delta_into_empty_history_rejected(self):
+        history = FilterListHistory("empty")
+        with pytest.raises(ValueError):
+            history.add_revision(date(2014, 1, 1), RevisionDelta(added=["||a.com^"]))
+
+    def test_delta_predating_latest_rejected(self):
+        history = history_from([(date(2014, 5, 1), "||a.com^\n")])
+        with pytest.raises(ValueError):
+            history.add_revision(date(2014, 1, 1), RevisionDelta(added=["||b.com^"]))
+
+    def test_revision_constructor_needs_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            Revision(date(2014, 1, 1))
+        with pytest.raises(ValueError):
+            Revision(date(2014, 1, 1), delta=RevisionDelta())
+
+    def test_materialization_counted(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        history.add_revision(date(2014, 2, 1), RevisionDelta(added=["||b.com^"]))
+        before = get_history_counters().snapshot()
+        history[1].rule_lines()
+        assert get_history_counters().since(before).revisions_materialized == 1
+
+
+class TestStreamingFold:
+    def _mixed_history(self):
+        history = history_from(
+            [(date(2014, 1, 1), "||a.com^\n##.x\nb.com###y\n")]
+        )
+        history.add_revision(
+            date(2014, 2, 1),
+            RevisionDelta(added=["@@||c.com^$script"], removed=["##.x"]),
+        )
+        history.add_revision(
+            date(2014, 3, 1),
+            RevisionDelta(added=["/ads$domain=d.com", "##.x"], removed=[]),
+        )
+        return history
+
+    def test_series_match_full_scan(self):
+        history = self._mixed_history()
+        assert history.rule_type_series() == history.rule_type_series_full_scan()
+        assert history.total_rules_series() == history.total_rules_series_full_scan()
+        assert (
+            history.domain_first_appearance()
+            == history.domain_first_appearance_full_scan()
+        )
+
+    def test_readded_line_keeps_earliest_first_appearance(self):
+        history = self._mixed_history()
+        # ##.x was removed in Feb and re-added in Mar; b.com###y stays put
+        first = history.domain_first_appearance()
+        assert first["b.com"] == date(2014, 1, 1)
+
+    def test_fold_uses_stored_deltas(self):
+        history = self._mixed_history()
+        before = get_history_counters().snapshot()
+        history.rule_type_series()
+        delta = get_history_counters().since(before)
+        assert delta.revisions_folded == 3
+        assert delta.delta_folds == 2  # both delta-backed revisions
+
+    def test_fold_memoized_until_next_revision(self):
+        history = self._mixed_history()
+        history.rule_type_series()
+        before = get_history_counters().snapshot()
+        history.rule_type_series()
+        history.domain_first_appearance()
+        assert get_history_counters().since(before).revisions_folded == 0
+        history.add_revision(date(2014, 4, 1), RevisionDelta(added=["||e.com^"]))
+        assert history.total_rules_series()[-1][1] == 6
+        assert history.total_rules_series() == history.total_rules_series_full_scan()
+
+    def test_series_return_fresh_copies(self):
+        history = self._mixed_history()
+        history.rule_type_series()[0][1].clear()
+        assert history.rule_type_series() == history.rule_type_series_full_scan()
+        history.domain_first_appearance().clear()
+        assert history.domain_first_appearance() != {}
+
+    def test_out_of_order_text_insert_falls_back_to_scan(self):
+        history = self._mixed_history()
+        # Bisect a full-text revision between the delta revisions: the last
+        # delta's stored predecessor is no longer its sorted predecessor.
+        history.add_revision(date(2014, 2, 15), "||z.com^\n")
+        assert history.rule_type_series() == history.rule_type_series_full_scan()
+        assert history.total_rules_series() == history.total_rules_series_full_scan()
+        assert (
+            history.domain_first_appearance()
+            == history.domain_first_appearance_full_scan()
+        )
+
+    def test_fold_correct_under_tiny_cache(self):
+        previous = set_rule_cache(ParsedRuleCache(capacity=2))
+        try:
+            history = self._mixed_history()
+            assert history.rule_type_series() == history.rule_type_series_full_scan()
+            assert (
+                history.domain_first_appearance()
+                == history.domain_first_appearance_full_scan()
+            )
+        finally:
+            set_rule_cache(previous)
+
+    def test_set_based_delta_still_matches(self):
+        history = self._mixed_history()
+        for index in range(1, len(history)):
+            delta = history.delta(index)
+            previous = set(history[index - 1].rule_lines())
+            current = set(history[index].rule_lines())
+            assert set(delta.added) == current - previous
+            assert set(delta.removed) == previous - current
+
+
+class TestChurnEdgeCases:
+    def test_single_revision_churn_is_zero(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        assert history.average_churn_per_revision() == 0.0
+        assert history.average_churn_per_day() == 0.0
+
+    def test_same_day_revisions_attribute_churn_to_one_day(self):
+        history = history_from(
+            [
+                (date(2014, 1, 1), "||a.com^\n"),
+                (date(2014, 1, 1), "||a.com^\n||b.com^\n||c.com^\n"),
+            ]
+        )
+        # zero-day span counts as one day instead of silently reporting 0
+        assert history.average_churn_per_day() == 2.0
+        assert history.average_churn_per_revision() == 2.0
+
+    def test_multi_day_churn_unchanged(self):
+        history = history_from(
+            [
+                (date(2014, 1, 1), "||a.com^\n"),
+                (date(2014, 1, 11), "||a.com^\n||b.com^\n"),
+            ]
+        )
+        assert history.average_churn_per_day() == pytest.approx(0.1)
+
+    def test_churn_with_delta_revisions_matches_set_semantics(self):
+        history = history_from([(date(2014, 1, 1), "||a.com^\n")])
+        # duplicate add of an existing line is not "newly present"
+        history.add_revision(
+            date(2014, 1, 31), RevisionDelta(added=["||a.com^", "||b.com^"])
+        )
+        assert history.average_churn_per_revision() == 1.0
+        assert history.average_churn_per_day() == pytest.approx(1 / 30)

@@ -1,0 +1,80 @@
+"""Digest pins for the §3 (and table2) rendered artifacts.
+
+The incremental history engine promises *byte-identical* outputs: these
+SHA-256 pins were captured from the pre-engine full-reparse pipeline at
+the standard integration scale, so any drift in parsing, folding, or
+sharding shows up as a digest mismatch here. A second pass re-runs the
+history-fold experiments under ``REPRO_WORKERS=2`` and asserts the
+rendered text (not just the digest) matches the serial run, and that
+the parallel run actually exercised the parsed-rule cache.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig3, sec33, table1, table2
+from repro.experiments.context import ExperimentContext
+from repro.filterlist.parser import get_history_counters
+from repro.synthesis.world import SyntheticWorld, WorldConfig
+
+#: sha256 of each experiment's rendered text at WorldConfig(n_sites=120,
+#: live_top=400), captured before the incremental §3 engine landed.
+PINNED = {
+    "fig1": "a14aff248e9e834bc081515b93cff85e704d914eabe6626ef622bdaab07b7dc0",
+    "fig2": "1d57862cc42bf2bbb5c17f6c6f4f7ae2993698590af5ac4927aa7e4d11ed0d2a",
+    "fig3": "fd2d44d817137f22ee782441fc612f64262771fa2d633eec1da291eeac5ec7c5",
+    "table1": "1578792c9f63771c153ff839c2f49e664776d2e88843923e2682e8f311d793ee",
+    "table2": "95ab8e2f66e52b2cb2d0184b99ed56697d85e1e81eb1f2cf3fee35a45fec2628",
+    "sec33": "9f9f69c55d71ee808aabff5fc41787bc35d37abbfe1cfb4be3abf197c012dc99",
+}
+
+MODULES = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "table1": table1,
+    "table2": table2,
+    "sec33": sec33,
+}
+
+
+def digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        world=SyntheticWorld(WorldConfig(n_sites=120, live_top=400))
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_rendered_artifact_matches_pre_engine_digest(ctx, name, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    module = MODULES[name]
+    assert digest(module.render(module.run(ctx))) == PINNED[name], (
+        f"{name} rendered output drifted from the pre-engine pipeline"
+    )
+
+
+def test_parallel_folds_render_identical_and_hit_the_cache(ctx, monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    serial = {
+        name: MODULES[name].render(MODULES[name].run(ctx))
+        for name in ("fig1", "table1", "sec33")
+    }
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    # Drop the memoized folds so the sharded workers actually refold the
+    # histories (and hit the warm parsed-rule cache they inherit on fork).
+    for history in ctx.lists.values():
+        history._memo.clear()
+    before = get_history_counters().snapshot()
+    for name, expected in serial.items():
+        module = MODULES[name]
+        assert module.render(module.run(ctx)) == expected, (
+            f"{name} rendered differently under REPRO_WORKERS=2"
+        )
+    delta = get_history_counters().since(before)
+    assert delta.cache_hits > 0, "parallel folds never hit the parsed-rule cache"

@@ -8,6 +8,7 @@ from repro.obs import config as obs_config
 from repro.obs.config import (
     ConfigSnapshot,
     config_snapshot,
+    history_cache_size,
     matcher_cache_size,
     repro_scale,
     repro_workers,
@@ -71,6 +72,33 @@ class TestMatcherCache:
         assert "REPRO_MATCHER_CACHE" in caplog.text
 
 
+class TestHistoryCache:
+    def test_default(self):
+        assert history_cache_size() == obs_config.DEFAULT_HISTORY_CACHE
+
+    def test_valid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HISTORY_CACHE", "1024")
+        assert history_cache_size() == 1024
+
+    def test_clamps_to_minimum_with_warning(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_HISTORY_CACHE", "0")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert history_cache_size() == 2
+        assert "REPRO_HISTORY_CACHE" in caplog.text
+
+    def test_garbage_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_HISTORY_CACHE", "huge")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert history_cache_size() == obs_config.DEFAULT_HISTORY_CACHE
+        assert "REPRO_HISTORY_CACHE" in caplog.text
+
+    def test_recorded_in_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HISTORY_CACHE", "4096")
+        snapshot = config_snapshot()
+        assert snapshot.history_cache == 4096
+        assert snapshot.raw_env == {"REPRO_HISTORY_CACHE": "4096"}
+
+
 class TestWarnOnce:
     def test_same_bad_value_warns_exactly_once(self, monkeypatch, caplog):
         monkeypatch.setenv("REPRO_WORKERS", "nope")
@@ -110,6 +138,7 @@ class TestSnapshot:
             "scale",
             "workers",
             "matcher_cache",
+            "history_cache",
             "feature_cache",
             "max_retries",
             "retry_base_ms",

@@ -263,3 +263,107 @@ class TestLintProperties:
         kept, _ = deduplicate_against(candidates, existing)
         kept_again, dropped_again = deduplicate_against(kept, existing)
         assert [r.raw for r in kept_again] == [r.raw for r in kept]
+
+
+# -- incremental history engine --------------------------------------------------
+
+
+#: Parseable rule lines of rotating Figure 1 type built from random domains.
+rule_line = st.builds(
+    lambda d, kind: [
+        f"||{d}^",
+        f"@@||{d}^$script",
+        f"{d}###x",
+        f"/ads-{d.split('.')[0]}$domain={d}",
+        f"##.c-{d.split('.')[0]}",
+    ][kind],
+    domain,
+    st.integers(0, 4),
+)
+
+
+class TestHistoryProperties:
+    @given(
+        pool=st.lists(rule_line, min_size=4, max_size=20, unique=True),
+        ops=st.lists(
+            st.tuples(
+                st.lists(st.integers(0, 100), max_size=5),  # add (pool indices)
+                st.lists(st.integers(0, 100), max_size=3),  # remove (pool indices)
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delta_roundtrip_and_streaming_series(self, pool, ops):
+        from datetime import date, timedelta
+
+        from repro.filterlist.history import FilterListHistory, RevisionDelta
+        from repro.filterlist.parser import ParsedRuleCache, set_rule_cache
+
+        previous_cache = set_rule_cache(ParsedRuleCache(capacity=4096))
+        try:
+            start = date(2014, 1, 1)
+            base = pool[: max(1, len(pool) // 2)]
+            history = FilterListHistory("prop")
+            history.add_revision(start, "\n".join(base) + "\n")
+            current = list(base)
+            expected = [list(current)]
+            for step, (add_idx, rem_idx) in enumerate(ops, start=1):
+                added = [pool[j % len(pool)] for j in add_idx]
+                removed = sorted({pool[j % len(pool)] for j in rem_idx})
+                history.add_revision(
+                    start + timedelta(days=step),
+                    RevisionDelta(added=added, removed=removed),
+                )
+                gone = set(removed)
+                current = [line for line in current if line not in gone] + added
+                expected.append(list(current))
+
+            # Applying the delta chain reconstructs every revision exactly
+            # (order and multiplicity, not just set membership).
+            for index, lines in enumerate(expected):
+                assert history[index].rule_lines() == lines
+
+            # delta(i) applied to revision i-1 reproduces revision i's set.
+            for index in range(1, len(history)):
+                delta = history.delta(index)
+                previous = set(history[index - 1].rule_lines())
+                reconstructed = (previous - set(delta.removed)) | set(delta.added)
+                assert reconstructed == set(history[index].rule_lines())
+
+            # Streaming folds are pinned equal to the full-scan reference.
+            assert history.rule_type_series() == history.rule_type_series_full_scan()
+            assert (
+                history.total_rules_series() == history.total_rules_series_full_scan()
+            )
+            assert (
+                history.domain_first_appearance()
+                == history.domain_first_appearance_full_scan()
+            )
+        finally:
+            set_rule_cache(previous_cache)
+
+    @given(
+        texts=st.lists(
+            st.lists(rule_line, min_size=0, max_size=8),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_full_text_histories_fold_equal_to_reference(self, texts):
+        from datetime import date, timedelta
+
+        from repro.filterlist.history import FilterListHistory
+
+        start = date(2015, 1, 1)
+        history = FilterListHistory("prop")
+        for step, lines in enumerate(texts):
+            history.add_revision(start + timedelta(days=step), "\n".join(lines) + "\n")
+        assert history.rule_type_series() == history.rule_type_series_full_scan()
+        assert history.total_rules_series() == history.total_rules_series_full_scan()
+        assert (
+            history.domain_first_appearance()
+            == history.domain_first_appearance_full_scan()
+        )
