@@ -14,11 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..filterlist.history import FilterListHistory
+from ..obs.config import repro_workers
 from ..obs.metrics import get_metrics
 from ..obs.trace import emit_event
 from ..obs.trace import span as trace_span
 from ..resilience import ResiliencePolicy, default_resilience
 from ..resilience.canonical import Interner
+from .pool import get_persistent_pool, map_shards, split_shards
 from ..filterlist.matcher import NetworkMatcher
 from ..filterlist.parser import FilterList
 from ..filterlist.rules import ElementRule
@@ -53,6 +55,27 @@ class LiveCrawlResult:
         return self.third_party_matches.get(list_name, 0) / matches
 
 
+# -- worker-pool plumbing (module level for pickling) ----------------------------
+
+
+def _make_wave_crawler(state) -> "LiveCrawler":
+    """Fork-per-run worker state: one crawler per worker per wave."""
+    world, histories = state
+    return LiveCrawler(world, histories)
+
+
+def _make_persistent_crawler(published) -> "LiveCrawler":
+    """Persistent-pool worker state: one crawler per worker, ever."""
+    return LiveCrawler(published["world"], published["histories"])
+
+
+def _live_range_task(crawler: "LiveCrawler", bounds, check_html: bool):
+    """Visit one contiguous range of live ranks; payloads in rank order."""
+    lo, hi = bounds
+    ranked = crawler._ranked()
+    return [crawler._visit_site(ranked[i], check_html) for i in range(lo, hi)]
+
+
 class LiveCrawler:
     """Runs the live-web measurement over a synthetic world."""
 
@@ -61,6 +84,7 @@ class LiveCrawler:
     ) -> None:
         self.world = world
         self.histories = histories
+        self._ranked_cache: Optional[List] = None
         self._matchers = {
             name: NetworkMatcher(history.latest().filter_list.network_rules)
             for name, history in histories.items()
@@ -113,27 +137,51 @@ class LiveCrawler:
         triggered = self._adblockers[name].hide_elements(document, snapshot.url)
         return bool(triggered)
 
+    def _ranked(self) -> List:
+        """The live rank list, computed once per crawler."""
+        if self._ranked_cache is None:
+            self._ranked_cache = list(self.world.live_domains())
+        return self._ranked_cache
+
     # -- crawl ----------------------------------------------------------------------
 
     #: Emit an INFO heartbeat every this many sites.
     PROGRESS_EVERY = 2000
 
+    #: Ranks visited per parallel wave (bounds in-flight payload memory
+    #: and sets the progress/fan-out granularity).
+    WAVE_SIZE = 512
+
     def crawl(
         self,
         check_html: bool = True,
         resilience: Optional[ResiliencePolicy] = None,
+        workers: Optional[int] = None,
+        wave_size: Optional[int] = None,
     ) -> LiveCrawlResult:
         """Visit every live domain and match against the latest list versions.
 
         With ``REPRO_CRAWL_JOURNAL`` set, each visited rank's match
         summary checkpoints to the ``live`` journal and an interrupted
         crawl resumes from it, reproducing the uninterrupted result.
+
+        ``workers`` (default: ``REPRO_WORKERS``) > 1 visits ranks in
+        parallel waves — through the process-wide persistent pool when
+        one is live with this crawl's world published, else one fork
+        pool per wave. Parallel accumulation replays payloads in rank
+        order, so the result is byte-identical to the serial crawl's.
+        Journaled crawls stay serial (the journal is an ordered
+        per-rank checkpoint stream).
         """
         resilience = resilience or default_resilience()
         journal = resilience.journal("live", self._fingerprint(check_html))
         state = journal.load() if journal is not None else None
+        workers = repro_workers() if workers is None else max(int(workers), 1)
         with trace_span("live_crawl", lists=len(self.histories)) as span:
-            result = self._crawl(check_html, span, state=state, journal=journal)
+            if workers > 1 and journal is None:
+                result = self._crawl_parallel(check_html, span, workers, wave_size)
+            else:
+                result = self._crawl(check_html, span, state=state, journal=journal)
         if journal is not None:
             journal.mark_complete()
             journal.close()
@@ -153,15 +201,33 @@ class LiveCrawler:
             "live_top": self.world.config.live_top,
         }
 
-    def _crawl(
-        self, check_html: bool, span, state=None, journal=None
-    ) -> LiveCrawlResult:
+    def _empty_result(self) -> LiveCrawlResult:
         result = LiveCrawlResult()
         for name in self.histories:
             result.http_matches[name] = 0
             result.html_matches[name] = 0
             result.third_party_matches[name] = 0
             result.detected_domains[name] = []
+        return result
+
+    @staticmethod
+    def _finalize(result: LiveCrawlResult, span) -> LiveCrawlResult:
+        # Intern the accumulated strings so every construction path
+        # (serial, journal-resumed, parallel waves) pickles
+        # byte-identically.
+        interner = Interner()
+        for name, domains in result.detected_domains.items():
+            result.detected_domains[name] = [interner.string(d) for d in domains]
+        result.matched_scripts = [
+            interner.string(s) for s in result.matched_scripts
+        ]
+        span.set(crawled=result.crawled, reachable=result.reachable)
+        return result
+
+    def _crawl(
+        self, check_html: bool, span, state=None, journal=None
+    ) -> LiveCrawlResult:
+        result = self._empty_result()
         seen_scripts = set()
         resumed = 0
         for ranked in self.world.live_domains():
@@ -185,16 +251,67 @@ class LiveCrawler:
             get_metrics().count("crawl.resumed_slots", resumed)
             emit_event("crawl_resume", scope="live", slots=resumed)
             logger.info("resumed live crawl: %d journaled ranks", resumed)
-        # Intern the accumulated strings so a journal-resumed result
-        # pickles byte-identically to an uninterrupted one.
-        interner = Interner()
-        for name, domains in result.detected_domains.items():
-            result.detected_domains[name] = [interner.string(d) for d in domains]
-        result.matched_scripts = [
-            interner.string(s) for s in result.matched_scripts
-        ]
-        span.set(crawled=result.crawled, reachable=result.reachable)
-        return result
+        return self._finalize(result, span)
+
+    def _crawl_parallel(
+        self, check_html: bool, span, workers: int, wave_size: Optional[int]
+    ) -> LiveCrawlResult:
+        """Visit ranks in parallel waves, accumulating in rank order.
+
+        Each wave fans one contiguous rank range out across ``workers``.
+        With a live persistent pool whose published world/histories are
+        this crawler's (identity), waves reuse its warm workers — the
+        per-worker :class:`LiveCrawler` (matchers, adblockers) is built
+        once, ever. Otherwise every wave pays for a fresh fork pool and
+        fresh worker crawlers — the ``REPRO_POOL_PERSIST=0`` baseline.
+        """
+        ranked = self._ranked()
+        total = len(ranked)
+        wave = max(int(wave_size) if wave_size else self.WAVE_SIZE, 1)
+        result = self._empty_result()
+        seen_scripts = set()
+        pool = get_persistent_pool()
+        use_pool = (
+            pool is not None
+            and pool.matches("world", self.world)
+            and pool.matches("histories", self.histories)
+        )
+        span.set(workers=workers, waves=-(-total // wave) if total else 0)
+        for lo in range(0, total, wave):
+            hi = min(lo + wave, total)
+            shards = split_shards([[i] for i in range(lo, hi)], workers)
+            bounds = []
+            at = lo
+            for shard in shards:
+                bounds.append((at, at + len(shard)))
+                at += len(shard)
+            outputs = None
+            if use_pool:
+                outputs = pool.run(
+                    _live_range_task,
+                    bounds,
+                    make=_make_persistent_crawler,
+                    extra=(check_html,),
+                )
+            if outputs is None:
+                outputs = map_shards(
+                    bounds,
+                    _live_range_task,
+                    state=(self.world, self.histories),
+                    make_worker_state=_make_wave_crawler,
+                    extra=(check_html,),
+                )
+            for payloads in outputs:
+                for payload in payloads:
+                    result.crawled += 1
+                    self._accumulate(result, payload, seen_scripts)
+            if hi % self.PROGRESS_EVERY < wave and hi >= self.PROGRESS_EVERY:
+                logger.info(
+                    "live crawl progress: %d sites, %d reachable",
+                    result.crawled,
+                    result.reachable,
+                )
+        return self._finalize(result, span)
 
     def _visit_site(self, ranked, check_html: bool) -> Optional[Dict]:
         """One rank's full match summary (the journal's unit of work)."""

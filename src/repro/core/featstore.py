@@ -19,10 +19,14 @@ by kind-filtering. Three layers keep extraction off the hot path:
    :mod:`repro.analysis.pool`), with a contiguous-shard merge that makes
    the parallel result byte-identical to the serial one.
 3. **On-disk cache** — with ``REPRO_FEATURE_CACHE=<dir>`` set, events
-   persist as JSON keyed by ``(sha256(source), EXTRACTOR_VERSION,
-   unpack)``, so repeated CLI runs, benchmarks, and CI jobs hit warm
-   entries instead of re-parsing. Bump :data:`EXTRACTOR_VERSION` whenever
-   extraction semantics change — stale entries are invalidated by key.
+   persist keyed by ``(sha256(source), EXTRACTOR_VERSION, unpack)``, so
+   repeated CLI runs, benchmarks, and CI jobs hit warm entries instead
+   of re-parsing. The format is one JSON file per script by default, or
+   packed mmap-able event segments (:mod:`repro.dataplane.events`) under
+   ``REPRO_DATA_PLANE=1`` — same keys, same canonicalised entries, so
+   the two formats produce pickle-identical results. Bump
+   :data:`EXTRACTOR_VERSION` whenever extraction semantics change —
+   stale entries are invalidated by key.
 
 Per-script failures are not silent: parse errors and unpack bailouts
 surface as ``features.parse_errors`` / ``features.unpack_bailouts``
@@ -40,11 +44,13 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..analysis.perf import LRUCache
-from ..analysis.pool import map_shards, split_shards
+from ..analysis.pool import get_persistent_pool, map_shards, split_shards
+from ..dataplane.events import PackedEventCache
+from ..dataplane.sources import SourceTable, write_source_table
 from ..jsast.parser import ParseError, parse
 from ..jsast.tokenizer import TokenizeError
 from ..jsast.unpack import unpack_program
-from ..obs.config import feature_cache_dir, repro_workers
+from ..obs.config import data_plane_enabled, feature_cache_dir, repro_workers
 from ..obs.metrics import get_metrics
 from ..obs.trace import span as trace_span
 from .features import FEATURE_SETS, TokenEvent, features_from_events, token_events
@@ -127,6 +133,25 @@ def _extract_shard(_state, shard: List[str], unpack: bool):
     return entries, payload
 
 
+def _extract_range_task(_state, bounds: Tuple[str, int, int], unpack: bool):
+    """Persistent-pool task: extract one index range of a source table.
+
+    The payload is ``(table path, lo, hi)`` — the worker maps the table
+    and decodes only its own slice, so no script source crosses the
+    process boundary as a pickle.
+    """
+    path, lo, hi = bounds
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    with SourceTable(path) as table:
+        entries = [extract_events(table.get(i), unpack) for i in range(lo, hi)]
+    payload = {
+        "wall_s": time.perf_counter() - wall0,
+        "cpu_s": time.process_time() - cpu0,
+        "scripts": len(entries),
+    }
+    return entries, payload
+
+
 class FeatureStore:
     """Content-addressed, parallel, disk-backed token-event store."""
 
@@ -135,8 +160,15 @@ class FeatureStore:
         cache_dir: Optional[str] = None,
         memo_capacity: int = 16384,
         intern_limit: int = 1 << 20,
+        packed: Optional[bool] = None,
     ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        # Disk-cache format: packed mmap-able event segments
+        # (repro.dataplane) when ``packed`` — defaulting to the
+        # REPRO_DATA_PLANE knob — else one JSON file per script. Entries
+        # loaded through either format canonicalise identically.
+        self.packed = data_plane_enabled() if packed is None else bool(packed)
+        self._packed_cache: Optional[PackedEventCache] = None
         self._memo = LRUCache(memo_capacity)
         self.stats = StoreStats()
         # Interning tables: every entry (freshly extracted, unpickled from
@@ -197,7 +229,44 @@ class FeatureStore:
             / f"{digest}.{suffix}.json"
         )
 
+    def _packed_store(self) -> PackedEventCache:
+        if self._packed_cache is None:
+            # The store's interning tables plug in at the segment-decode
+            # boundary, so packed-loaded entries are *born* canonical —
+            # admitted without the per-event re-intern walk the JSON
+            # plane needs.
+            self._packed_cache = PackedEventCache(
+                self.cache_dir,
+                EXTRACTOR_VERSION,
+                string_intern=self._intern,
+                tuple_intern=self._canonical_contexts,
+            )
+        return self._packed_cache
+
+    def _packed_load(self, digest: str, unpack: bool) -> Optional[ScriptEvents]:
+        entry = self._packed_store().lookup(digest, unpack)
+        if entry is None:
+            return None
+        _digest, _unpack, events, parse_error, unpack_bailout = entry
+        return ScriptEvents(
+            events=tuple(events),
+            parse_error=parse_error,
+            unpack_bailout=unpack_bailout,
+        )
+
+    def _packed_flush(self, batch: List[Tuple[str, bool, ScriptEvents]]) -> None:
+        """Persist one extraction batch as a packed event segment."""
+        written = self._packed_store().store(
+            [
+                (digest, unpack, entry.events, entry.parse_error, entry.unpack_bailout)
+                for digest, unpack, entry in batch
+            ]
+        )
+        self._count("disk_writes", written)
+
     def _disk_load(self, digest: str, unpack: bool) -> Optional[ScriptEvents]:
+        if self.packed:
+            return self._packed_load(digest, unpack)
         path = self._entry_path(digest, unpack)
         try:
             payload = json.loads(path.read_text())
@@ -278,7 +347,7 @@ class FeatureStore:
                     remaining.append((digest, source))
                     continue
                 self._count("disk_hits")
-                self._admit(digest, unpack, entry)
+                self._admit(digest, unpack, entry, canonical=self.packed)
                 resolved[digest] = self._memo.get((digest, unpack))
             todo = remaining
         if todo:
@@ -289,6 +358,7 @@ class FeatureStore:
                     entries = self._extract_parallel(todo, unpack, workers, span)
                 else:
                     entries = [extract_events(source, unpack) for _, source in todo]
+                packed_batch: List[Tuple[str, bool, ScriptEvents]] = []
                 for (digest, _source), entry in zip(todo, entries):
                     self._count("extracted")
                     self._count("parse_errors", int(entry.parse_error))
@@ -296,11 +366,27 @@ class FeatureStore:
                     self._admit(digest, unpack, entry)
                     resolved[digest] = self._memo.get((digest, unpack))
                     if self.cache_dir is not None:
-                        self._disk_store(digest, unpack, resolved[digest])
+                        if self.packed:
+                            packed_batch.append((digest, unpack, resolved[digest]))
+                        else:
+                            self._disk_store(digest, unpack, resolved[digest])
+                if packed_batch:
+                    self._packed_flush(packed_batch)
         return [resolved[digest] for digest in digests]
 
-    def _admit(self, digest: str, unpack: bool, entry: ScriptEvents) -> None:
-        self._memo.put((digest, unpack), self._canonical(entry))
+    def _admit(
+        self, digest: str, unpack: bool, entry: ScriptEvents, canonical: bool = False
+    ) -> None:
+        """Memoise an entry; ``canonical=True`` skips the re-intern walk.
+
+        Only packed-plane disk loads may claim ``canonical`` — their
+        strings and context tuples were interned through this store's
+        tables at segment-decode time, so re-walking them would rebuild
+        identical objects.
+        """
+        self._memo.put(
+            (digest, unpack), entry if canonical else self._canonical(entry)
+        )
         if len(self._strings) > self._intern_limit:
             self._rebuild_intern_tables()
 
@@ -333,12 +419,42 @@ class FeatureStore:
         if len(shards) <= 1:
             return [extract_events(source, unpack) for _, source in todo]
         span.set(shards=len(shards))
-        results = map_shards(shards, _extract_shard, extra=(unpack,))
+        results = self._extract_persistent(shards, unpack)
+        if results is None:
+            results = map_shards(shards, _extract_shard, extra=(unpack,))
         entries: List[ScriptEvents] = []
         for index, (shard_entries, payload) in enumerate(results):
             span.add_child_payload(f"shard:{index}", **payload)
             entries.extend(shard_entries)
         return entries
+
+    def _extract_persistent(self, shards: List[List[str]], unpack: bool):
+        """Fan extraction out over the persistent pool, if one is live.
+
+        The miss list is written once as a packed source table; payloads
+        are ``(path, lo, hi)`` index ranges into it, so the fan-out ships
+        no sources and the per-run pool setup cost disappears. Returns
+        ``None`` (caller falls back to :func:`map_shards`) when no
+        persistent pool exists.
+        """
+        pool = get_persistent_pool()
+        if pool is None:
+            return None
+        import shutil
+        import tempfile
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-sources-")
+        try:
+            path = os.path.join(tmpdir, "sources.rdps")
+            write_source_table(path, [source for shard in shards for source in shard])
+            bounds = []
+            lo = 0
+            for shard in shards:
+                bounds.append((path, lo, lo + len(shard)))
+                lo += len(shard)
+            return pool.run(_extract_range_task, bounds, extra=(unpack,))
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
 
     # -- feature-set derivation ---------------------------------------------
 

@@ -1,0 +1,47 @@
+"""The packed binary data plane (mmap-able artifacts, zero third-party deps).
+
+Three formats share one verified container (:mod:`.format`):
+
+- :mod:`.events` — token-event segments backing the §5 feature cache
+- :mod:`.requests` — columnar HAR request tables for §4 replay
+- :mod:`.sources` — script source tables for zero-copy pool shards
+
+``python -m repro.dataplane inspect <file>`` prints any artifact's header
+and a kind-specific summary.
+"""
+
+from .format import (
+    FORMAT_VERSION,
+    KIND_EVENTS,
+    KIND_NAMES,
+    KIND_REQUESTS,
+    KIND_SOURCES,
+    MAGIC,
+    DataPlaneError,
+    MappedArtifact,
+    inspect_header,
+    write_artifact,
+)
+from .events import EventSegmentReader, PackedEventCache, write_event_segment
+from .requests import RequestTable, write_request_table
+from .sources import SourceTable, write_source_table
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "KIND_EVENTS",
+    "KIND_REQUESTS",
+    "KIND_SOURCES",
+    "KIND_NAMES",
+    "DataPlaneError",
+    "MappedArtifact",
+    "inspect_header",
+    "write_artifact",
+    "EventSegmentReader",
+    "PackedEventCache",
+    "write_event_segment",
+    "RequestTable",
+    "write_request_table",
+    "SourceTable",
+    "write_source_table",
+]

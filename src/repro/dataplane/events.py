@@ -1,0 +1,299 @@
+"""Packed token-event segments — the §5 feature cache's binary store.
+
+One segment holds the event streams of many scripts behind the same keys
+the JSON cache uses: ``(sha256(source), EXTRACTOR_VERSION, unpack)``.
+Payload sections, in order::
+
+    u32  extractor_version
+    string table                       (kinds, texts, context strings)
+    context-tuple table:
+        u32 ntuples; u32 offsets[ntuples+1]; u32 nids; u32 ids[nids]
+    event array:
+        u32 nevents; nevents × (u32 kind_id, u32 text_id, u32 ctx_id)
+    script directory:
+        u32 nscripts; nscripts × (32s digest, u8 flags,
+                                  u32 event_offset, u32 event_count)
+
+Only the directory is decoded at open (one fixed-width scan); strings,
+context tuples, and event records decode lazily per script, so a warm
+feature-store lookup maps the whole segment but touches only the scripts
+it is asked for. Flag bits: 1 = parse_error, 2 = unpack_bailout,
+4 = extracted with ``unpack=True`` (part of the key).
+
+:class:`PackedEventCache` is the directory-level store the feature store
+mounts: it opens every segment under ``<root>/segments``, merges their
+directories (later segments win on duplicate keys — duplicates carry
+identical content by construction), and appends each extraction batch as
+one new segment. Corrupt or truncated segments are skipped at mount with
+a ``dataplane.integrity_errors`` count — the cache degrades to a miss,
+never to wrong data.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from itertools import count as _counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .format import (
+    KIND_EVENTS,
+    DataPlaneError,
+    MappedArtifact,
+    StringTable,
+    count,
+    pack_string_table,
+    pack_u32s,
+    write_artifact,
+)
+
+_U32 = struct.Struct("<I")
+_EVENT = struct.Struct("<III")
+_SCRIPT = struct.Struct("<32sBII")
+
+_FLAG_PARSE_ERROR = 1
+_FLAG_UNPACK_BAILOUT = 2
+_FLAG_UNPACK = 4
+
+SEGMENT_SUFFIX = ".rdpe"
+
+#: One cache entry: (digest hex, unpack flag, events-tuple, parse_error,
+#: unpack_bailout) — mirrors ``featstore.ScriptEvents`` without importing
+#: it (the dataplane stays a leaf below core).
+EventEntry = Tuple[str, bool, Sequence[tuple], bool, bool]
+
+
+def write_event_segment(
+    path, entries: Sequence[EventEntry], extractor_version: int
+) -> int:
+    """Pack one batch of script event streams into a segment file."""
+    strings: Dict[str, int] = {}
+    tuples: Dict[Tuple[str, ...], int] = {}
+    tuple_ids: List[int] = []
+    tuple_offsets: List[int] = [0]
+
+    def string_id(text: str) -> int:
+        found = strings.get(text)
+        if found is None:
+            found = len(strings)
+            strings[text] = found
+        return found
+
+    def tuple_id(contexts: Tuple[str, ...]) -> int:
+        found = tuples.get(contexts)
+        if found is None:
+            found = len(tuples)
+            tuples[contexts] = found
+            tuple_ids.extend(string_id(context) for context in contexts)
+            tuple_offsets.append(len(tuple_ids))
+        return found
+
+    event_records = bytearray()
+    directory = bytearray()
+    event_offset = 0
+    for digest, unpack, events, parse_error, unpack_bailout in entries:
+        for kind, text, contexts in events:
+            event_records += _EVENT.pack(
+                string_id(kind), string_id(text), tuple_id(tuple(contexts))
+            )
+        flags = (
+            (_FLAG_PARSE_ERROR if parse_error else 0)
+            | (_FLAG_UNPACK_BAILOUT if unpack_bailout else 0)
+            | (_FLAG_UNPACK if unpack else 0)
+        )
+        directory += _SCRIPT.pack(
+            bytes.fromhex(digest), flags, event_offset, len(events)
+        )
+        event_offset += len(events)
+
+    payload = b"".join(
+        (
+            _U32.pack(extractor_version),
+            pack_string_table(list(strings)),
+            _U32.pack(len(tuples)),
+            pack_u32s(tuple_offsets),
+            _U32.pack(len(tuple_ids)),
+            pack_u32s(tuple_ids),
+            _U32.pack(event_offset),
+            bytes(event_records),
+            _U32.pack(len(entries)),
+            bytes(directory),
+        )
+    )
+    return write_artifact(path, KIND_EVENTS, payload)
+
+
+class EventSegmentReader:
+    """Lazy mmap-backed reader over one packed event segment.
+
+    ``string_intern`` / ``tuple_intern`` are optional canonicalisers
+    applied at the decode boundary (once per distinct string / context
+    tuple): with the feature store's interning tables plugged in here,
+    every decoded entry is born canonical and the store can admit it
+    without re-walking its events.
+    """
+
+    def __init__(self, path, string_intern=None, tuple_intern=None) -> None:
+        self._artifact = MappedArtifact(path, expect_kind=KIND_EVENTS)
+        buffer = self._artifact.payload
+        self.path = Path(path)
+        self._tuple_intern = tuple_intern
+        try:
+            (self.extractor_version,) = _U32.unpack_from(buffer, 0)
+            self._strings = StringTable(buffer, 4, intern=string_intern)
+            at = self._strings.end
+            (ntuples,) = _U32.unpack_from(buffer, at)
+            self._tuple_offsets_at = at + 4
+            at = self._tuple_offsets_at + 4 * (ntuples + 1)
+            (nids,) = _U32.unpack_from(buffer, at)
+            self._tuple_ids_at = at + 4
+            at = self._tuple_ids_at + 4 * nids
+            (self.event_count,) = _U32.unpack_from(buffer, at)
+            self._events_at = at + 4
+            at = self._events_at + _EVENT.size * self.event_count
+            (self.script_count,) = _U32.unpack_from(buffer, at)
+            directory_at = at + 4
+            if directory_at + _SCRIPT.size * self.script_count > len(buffer):
+                raise DataPlaneError(f"{self.path}: directory overruns payload")
+            self._directory: Dict[Tuple[str, bool], Tuple[int, int, int]] = {}
+            for index in range(self.script_count):
+                digest, flags, offset, length = _SCRIPT.unpack_from(
+                    buffer, directory_at + _SCRIPT.size * index
+                )
+                key = (digest.hex(), bool(flags & _FLAG_UNPACK))
+                self._directory[key] = (flags, offset, length)
+        except (struct.error, DataPlaneError) as exc:
+            self._artifact.close()
+            if isinstance(exc, DataPlaneError):
+                raise
+            raise DataPlaneError(f"{self.path}: malformed sections: {exc}") from exc
+        self._buffer = buffer
+        self._tuple_cache: Dict[int, Tuple[str, ...]] = {}
+
+    def __contains__(self, key: Tuple[str, bool]) -> bool:
+        return key in self._directory
+
+    def keys(self):
+        """Every ``(digest, unpack)`` key the segment holds."""
+        return self._directory.keys()
+
+    def _context_tuple(self, tuple_index: int) -> Tuple[str, ...]:
+        cached = self._tuple_cache.get(tuple_index)
+        if cached is None:
+            low, high = struct.unpack_from(
+                "<II", self._buffer, self._tuple_offsets_at + 4 * tuple_index
+            )
+            ids = struct.unpack_from(
+                f"<{high - low}I", self._buffer, self._tuple_ids_at + 4 * low
+            )
+            cached = tuple(self._strings.get(i) for i in ids)
+            if self._tuple_intern is not None:
+                cached = self._tuple_intern(cached)
+            self._tuple_cache[tuple_index] = cached
+        return cached
+
+    def get(self, digest: str, unpack: bool) -> Optional[EventEntry]:
+        """Decode one script's entry, or ``None`` if the key is absent."""
+        found = self._directory.get((digest, unpack))
+        if found is None:
+            return None
+        flags, offset, length = found
+        # One bulk unpack for the whole range beats a per-event
+        # ``Struct.unpack_from`` loop by a wide margin.
+        ids = struct.unpack_from(
+            f"<{3 * length}I", self._buffer, self._events_at + _EVENT.size * offset
+        )
+        sget = self._strings.get
+        tget = self._context_tuple
+        events = [
+            (sget(ids[at]), sget(ids[at + 1]), tget(ids[at + 2]))
+            for at in range(0, 3 * length, 3)
+        ]
+        count("rows_read", length)
+        return (
+            digest,
+            unpack,
+            events,
+            bool(flags & _FLAG_PARSE_ERROR),
+            bool(flags & _FLAG_UNPACK_BAILOUT),
+        )
+
+    @property
+    def mapped_bytes(self) -> int:
+        return self._artifact.size
+
+    def close(self) -> None:
+        self._artifact.close()
+
+
+class PackedEventCache:
+    """A directory of event segments with one merged key index."""
+
+    def __init__(
+        self, root, extractor_version: int, string_intern=None, tuple_intern=None
+    ) -> None:
+        self.root = Path(root) / f"v{extractor_version}" / "segments"
+        self.extractor_version = extractor_version
+        self._string_intern = string_intern
+        self._tuple_intern = tuple_intern
+        self._readers: List[EventSegmentReader] = []
+        self._index: Dict[Tuple[str, bool], EventSegmentReader] = {}
+        self._sequence = _counter()
+        if self.root.is_dir():
+            for path in sorted(self.root.glob(f"*{SEGMENT_SUFFIX}")):
+                self._mount(path)
+
+    def _mount(self, path: Path) -> Optional[EventSegmentReader]:
+        try:
+            reader = EventSegmentReader(
+                path,
+                string_intern=self._string_intern,
+                tuple_intern=self._tuple_intern,
+            )
+        except DataPlaneError:
+            return None  # skipped segments degrade to cache misses
+        if reader.extractor_version != self.extractor_version:
+            reader.close()
+            return None
+        self._readers.append(reader)
+        for key in reader.keys():
+            self._index[key] = reader
+        return reader
+
+    def lookup(self, digest: str, unpack: bool) -> Optional[EventEntry]:
+        """One script's cached entry, decoded lazily from its segment."""
+        reader = self._index.get((digest, unpack))
+        if reader is None:
+            return None
+        return reader.get(digest, unpack)
+
+    def store(self, entries: Sequence[EventEntry]) -> int:
+        """Append one extraction batch as a new segment; returns entries written.
+
+        The fresh segment is immediately re-mounted through the verifying
+        mmap reader, so subsequent lookups in this process serve from the
+        packed file and any write corruption surfaces here, not in a
+        later run.
+        """
+        if not entries:
+            return 0
+        name = f"seg-{os.getpid()}-{next(self._sequence):06d}{SEGMENT_SUFFIX}"
+        path = self.root / name
+        try:
+            write_event_segment(path, entries, self.extractor_version)
+        except OSError:
+            return 0
+        if self._mount(path) is None:  # pragma: no cover - verify-on-write guard
+            return 0
+        return len(entries)
+
+    @property
+    def segments(self) -> int:
+        return len(self._readers)
+
+    def close(self) -> None:
+        for reader in self._readers:
+            reader.close()
+        self._readers = []
+        self._index = {}

@@ -1,0 +1,193 @@
+"""Columnar HAR request tables — §4 replay without JSON parsing.
+
+One table holds every HTTP request of one crawl, slotted by
+``(domain, month)`` exactly like the HAR files on disk. Payload
+sections, in order::
+
+    string table                  (URLs, methods, MIME types — shared)
+    slot index:
+        u32 nslots; nslots × (u32 domain_id, u16 year, u8 month, pad,
+                              u32 row_offset, u32 row_count)
+    row array:
+        u32 nrows; nrows × (u32 url_id, u32 method_id, u16 status, pad2,
+                            u32 mime_id, i64 size)
+
+Rows keep the HAR's entry order (and duplicates), so
+:meth:`RequestTable.request_urls` reproduces ``HarFile.request_urls``
+byte for byte; the replay path then applies the same Wayback truncation
+it applies to HAR-loaded records, which is what keeps coverage results
+digest-identical across the two planes.
+"""
+
+from __future__ import annotations
+
+import struct
+from datetime import date
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
+
+from .format import (
+    KIND_REQUESTS,
+    DataPlaneError,
+    MappedArtifact,
+    StringTable,
+    count,
+    pack_string_table,
+    write_artifact,
+)
+
+_U32 = struct.Struct("<I")
+_SLOT = struct.Struct("<IHBxII")
+_ROW = struct.Struct("<IIHxxIq")
+
+TABLE_NAME = "requests.rdpr"
+
+#: One decoded request row: (url, method, status, mime_type, size).
+RequestRow = Tuple[str, str, int, str, int]
+
+
+def write_request_table(path: Union[str, Path], result) -> int:
+    """Pack every usable record's HAR entries; returns slots written.
+
+    ``result`` is a :class:`~repro.wayback.crawler.CrawlResult`; records
+    without a HAR (any non-OK status) are skipped — the JSON index stays
+    the source of truth for slot statuses.
+    """
+    strings: Dict[str, int] = {}
+
+    def string_id(text: str) -> int:
+        found = strings.get(text)
+        if found is None:
+            found = len(strings)
+            strings[text] = found
+        return found
+
+    slot_records = bytearray()
+    row_records = bytearray()
+    slots = 0
+    rows = 0
+    for record in result.records:
+        if not record.usable or record.har is None:
+            continue
+        offset = rows
+        for entry in record.har.entries:
+            row_records += _ROW.pack(
+                string_id(entry.request.url),
+                string_id(entry.request.method),
+                entry.response.status,
+                string_id(entry.response.mime_type),
+                entry.response.body_size,
+            )
+            rows += 1
+        slot_records += _SLOT.pack(
+            string_id(record.domain),
+            record.month.year,
+            record.month.month,
+            offset,
+            rows - offset,
+        )
+        slots += 1
+
+    payload = b"".join(
+        (
+            pack_string_table(list(strings)),
+            _U32.pack(slots),
+            bytes(slot_records),
+            _U32.pack(rows),
+            bytes(row_records),
+        )
+    )
+    write_artifact(path, KIND_REQUESTS, payload)
+    return slots
+
+
+class RequestTable:
+    """Read-only mmap view over one crawl's packed request table."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._artifact = MappedArtifact(path, expect_kind=KIND_REQUESTS)
+        buffer = self._artifact.payload
+        self.path = Path(path)
+        try:
+            self._strings = StringTable(buffer, 0)
+            (self.slot_count,) = _U32.unpack_from(buffer, self._strings.end)
+            self._slots_at = self._strings.end + 4
+            at = self._slots_at + _SLOT.size * self.slot_count
+            (self.row_count,) = _U32.unpack_from(buffer, at)
+            self._rows_at = at + 4
+            if self._rows_at + _ROW.size * self.row_count > len(buffer):
+                raise DataPlaneError(f"{self.path}: row array overruns payload")
+        except (struct.error, DataPlaneError) as exc:
+            self._artifact.close()
+            if isinstance(exc, DataPlaneError):
+                raise
+            raise DataPlaneError(f"{self.path}: malformed sections: {exc}") from exc
+        self._buffer = buffer
+        self._index: Dict[Tuple[str, date], Tuple[int, int]] = {}
+        for index in range(self.slot_count):
+            domain_id, year, month, offset, length = _SLOT.unpack_from(
+                buffer, self._slots_at + _SLOT.size * index
+            )
+            key = (self._strings.get(domain_id), date(year, month, 1))
+            self._index[key] = (offset, length)
+
+    # -- queries ---------------------------------------------------------------
+
+    def slots(self) -> List[Tuple[str, date]]:
+        """Every ``(domain, month)`` slot the table holds, in file order."""
+        return list(self._index)
+
+    def __contains__(self, key: Tuple[str, date]) -> bool:
+        return key in self._index
+
+    def urls(self, domain: str, month: date) -> List[str]:
+        """One slot's request URLs in HAR entry order (duplicates kept)."""
+        offset, length = self._index[(domain, month)]
+        at = self._rows_at + _ROW.size * offset
+        urls = []
+        for _ in range(length):
+            (url_id,) = _U32.unpack_from(self._buffer, at)
+            urls.append(self._strings.get(url_id))
+            at += _ROW.size
+        count("rows_read", length)
+        return urls
+
+    def request_urls(self, domain: str, month: date) -> List[str]:
+        """One slot's URLs, duplicates removed — ``HarFile.request_urls``."""
+        seen = set()
+        deduped = []
+        for url in self.urls(domain, month):
+            if url not in seen:
+                seen.add(url)
+                deduped.append(url)
+        return deduped
+
+    def scan(self) -> Iterator[RequestRow]:
+        """Decode every row — the full-crawl request scan §4 statistics run."""
+        at = self._rows_at
+        for _ in range(self.row_count):
+            url_id, method_id, status, mime_id, size = _ROW.unpack_from(
+                self._buffer, at
+            )
+            yield (
+                self._strings.get(url_id),
+                self._strings.get(method_id),
+                status,
+                self._strings.get(mime_id),
+                size,
+            )
+            at += _ROW.size
+        count("rows_read", self.row_count)
+
+    @property
+    def mapped_bytes(self) -> int:
+        return self._artifact.size
+
+    def close(self) -> None:
+        self._artifact.close()
+
+    def __enter__(self) -> "RequestTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

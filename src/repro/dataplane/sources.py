@@ -1,0 +1,53 @@
+"""Packed script-source tables — zero-copy shard hand-off for worker pools.
+
+A source table is the simplest data-plane artifact: one string table of
+script sources. The feature store writes the extraction batch to a table
+once, then fans out ``(path, lo, hi, unpack)`` index ranges; each worker
+maps the table read-only and decodes only its own slice, so no script
+source is ever pickled across the process boundary.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+from .format import (
+    KIND_SOURCES,
+    MappedArtifact,
+    StringTable,
+    count,
+    pack_string_table,
+    write_artifact,
+)
+
+
+def write_source_table(path: Union[str, Path], sources: Sequence[str]) -> int:
+    """Pack script sources into one table artifact; returns bytes written."""
+    return write_artifact(path, KIND_SOURCES, pack_string_table(sources))
+
+
+class SourceTable:
+    """Read-only mmap view over a packed source table."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._artifact = MappedArtifact(path, expect_kind=KIND_SOURCES)
+        self.path = Path(path)
+        self._strings = StringTable(self._artifact.payload, 0)
+
+    def get(self, index: int) -> str:
+        """The source with id ``index``, decoded on first access."""
+        count("rows_read")
+        return self._strings.get(index)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def close(self) -> None:
+        self._artifact.close()
+
+    def __enter__(self) -> "SourceTable":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

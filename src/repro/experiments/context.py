@@ -21,7 +21,8 @@ from ..analysis.perf import PerfCounters, repro_workers
 from ..core.corpus import Corpus, build_corpus
 from ..filterlist.history import FilterListHistory
 from ..filterlist.matcher import NetworkMatcher
-from ..obs.config import repro_scale
+from ..analysis.pool import ensure_persistent_pool
+from ..obs.config import pool_persist, repro_scale
 from ..obs.metrics import get_metrics
 from ..obs.trace import span as trace_span
 from ..resilience import ResiliencePolicy, default_resilience
@@ -66,6 +67,7 @@ class ExperimentContext:
 
     world: SyntheticWorld
     _lists: Optional[Dict[str, FilterListHistory]] = field(default=None, repr=False)
+    _histories: Optional[Dict[str, FilterListHistory]] = field(default=None, repr=False)
     _archive: Optional[WaybackArchive] = field(default=None, repr=False)
     _crawl: Optional[CrawlResult] = field(default=None, repr=False)
     _coverage: Optional[CoverageResult] = field(default=None, repr=False)
@@ -143,8 +145,35 @@ class ExperimentContext:
 
     @property
     def histories(self) -> Dict[str, FilterListHistory]:
-        """The two lists §4 replays, under their display names."""
-        return {AAK: self.lists["aak"], CE: self.lists["combined_easylist"]}
+        """The two lists §4 replays, under their display names.
+
+        Cached, so every consumer (and the persistent pool's published
+        state) shares one dict object — the identity the pool's
+        ``matches`` guard checks.
+        """
+        if self._histories is None:
+            self._histories = {AAK: self.lists["aak"], CE: self.lists["combined_easylist"]}
+        return self._histories
+
+    def _ensure_pool(self) -> None:
+        """Stand the process-wide persistent pool up for this campaign.
+
+        Gated on ``REPRO_POOL_PERSIST`` and ``REPRO_WORKERS`` > 1.
+        Called at the top of every fan-out stage: while the pool is
+        cold each call publishes whatever campaign state exists so far
+        (world, lists, histories, the crawl once built); the first
+        fan-out then forks exactly once with everything published.
+        State materialised only after the fork simply is not published —
+        engines detect that via ``matches`` and fall back per fan-out.
+        """
+        if not pool_persist() or repro_workers() <= 1:
+            return
+        pool = ensure_persistent_pool(repro_workers())
+        pool.publish("world", self.world)
+        pool.publish("lists", self.lists)
+        pool.publish("histories", self.histories)
+        if self._crawl is not None:
+            pool.publish("crawl", self._crawl)
 
     @property
     def generator(self) -> FilterListGenerator:
@@ -191,6 +220,7 @@ class ExperimentContext:
             # Materialise upstream artifacts first so each stage's span
             # and timing cover only its own work.
             crawl, analyzer = self.crawl, self.analyzer
+            self._ensure_pool()
             with self._stage("coverage", workers=repro_workers()):
                 self._coverage = analyzer.analyze(crawl)
             # The replay engine's counters feed the unified registry as
@@ -208,6 +238,7 @@ class ExperimentContext:
         """The §4.3 live-crawl result (computed on first access)."""
         if self._live is None:
             histories = self.histories
+            self._ensure_pool()
             with self._stage("live", top=self.world.config.live_top):
                 self._live = LiveCrawler(self.world, histories).crawl(
                     resilience=self.resilience
@@ -251,6 +282,7 @@ class ExperimentContext:
             from ..core.featstore import get_feature_store
 
             corpus = self.corpus  # build outside so the stages stay distinct
+            self._ensure_pool()
             store = get_feature_store()
             if not self._features_staged:
                 sources = corpus.sources()

@@ -13,7 +13,7 @@ from typing import Dict, List, Set, Tuple
 import numpy as np
 
 from ..analysis.report import render_table
-from ..core.features import features_from_source
+from ..core.featstore import get_feature_store
 from ..obs.trace import span as trace_span
 from ..synthesis.scripts import html_bait_script
 from .context import ExperimentContext
@@ -56,8 +56,14 @@ def run(ctx: ExperimentContext) -> Table2Result:
     script = html_bait_script(rng, constructor="BlockAdBlock")
     memberships: Dict[str, Set[str]] = {}
     with trace_span("table2:features", script_bytes=len(script)) as extract_span:
-        for feature_set in ("all", "literal", "keyword"):
-            features = features_from_source(script, feature_set=feature_set)
+        # One extraction pass through the shared store: the script is
+        # parsed once, each feature set is a filter over cached events
+        # (and, with REPRO_DATA_PLANE=1, the events round-trip the
+        # packed on-disk cache).
+        by_set = get_feature_store().features_by_set(
+            [script], feature_sets=("all", "literal", "keyword")
+        )
+        for feature_set, (features,) in by_set.items():
             extract_span.count("feature_sets")
             for feature in features:
                 memberships.setdefault(feature, set()).add(feature_set)

@@ -29,6 +29,8 @@ DEFAULT_MATCHER_CACHE = 512
 DEFAULT_HISTORY_CACHE = 65536
 DEFAULT_MAX_RETRIES = 3
 DEFAULT_RETRY_BASE_MS = 50.0
+DEFAULT_DATA_PLANE = False
+DEFAULT_POOL_PERSIST = False
 
 #: The knobs this module owns, in manifest order.
 KNOBS = (
@@ -37,11 +39,17 @@ KNOBS = (
     "REPRO_MATCHER_CACHE",
     "REPRO_HISTORY_CACHE",
     "REPRO_FEATURE_CACHE",
+    "REPRO_DATA_PLANE",
+    "REPRO_POOL_PERSIST",
     "REPRO_MAX_RETRIES",
     "REPRO_RETRY_BASE_MS",
     "REPRO_CRAWL_JOURNAL",
     "REPRO_FAULT_SEED",
 )
+
+#: Raw strings accepted as boolean knob values.
+_TRUE_WORDS = ("1", "true", "yes", "on")
+_FALSE_WORDS = ("0", "false", "no", "off")
 
 #: (variable, raw value) pairs already warned about in this process.
 _WARNED: Set[Tuple[str, str]] = set()
@@ -150,6 +158,48 @@ def _resolve_dir(var: str, raw: Optional[str]) -> Optional[str]:
     return raw
 
 
+def _resolve_bool(var: str, raw: Optional[str], default: bool) -> bool:
+    if raw is None or raw == "":
+        return default
+    word = raw.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    _warn_once(var, raw, default)
+    return default
+
+
+def data_plane_enabled(environ: Optional[Mapping[str, str]] = None) -> bool:
+    """Binary data-plane toggle from ``REPRO_DATA_PLANE`` (default off).
+
+    When on, the hot stores persist packed mmap-able artifacts
+    (:mod:`repro.dataplane`) instead of JSON: the §5 feature cache writes
+    packed token-event segments and :class:`~repro.wayback.store.DataRepository`
+    writes the columnar request table alongside the HAR files. Artifacts
+    produced through either path are digest-identical; the knob only
+    changes the interchange format.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_bool(
+        "REPRO_DATA_PLANE", environ.get("REPRO_DATA_PLANE"), DEFAULT_DATA_PLANE
+    )
+
+
+def pool_persist(environ: Optional[Mapping[str, str]] = None) -> bool:
+    """Persistent worker-pool toggle from ``REPRO_POOL_PERSIST`` (default off).
+
+    When on (and ``REPRO_WORKERS`` > 1), parallel fan-outs share one
+    long-lived fork pool per process instead of creating and tearing one
+    down per run; workers keep their built state (matchers, mmap
+    attachments) warm across fan-outs. Results are identical either way.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_bool(
+        "REPRO_POOL_PERSIST", environ.get("REPRO_POOL_PERSIST"), DEFAULT_POOL_PERSIST
+    )
+
+
 def max_retries(environ: Optional[Mapping[str, str]] = None) -> int:
     """Crawl retry allowance from ``REPRO_MAX_RETRIES`` (default 3, ≥ 0).
 
@@ -217,6 +267,10 @@ class ConfigSnapshot:
     #: §3 parsed-rule cache capacity (``REPRO_HISTORY_CACHE``).
     history_cache: int = DEFAULT_HISTORY_CACHE
     feature_cache: Optional[str] = None
+    #: Packed binary interchange for the hot stores (``REPRO_DATA_PLANE``).
+    data_plane: bool = DEFAULT_DATA_PLANE
+    #: One long-lived worker pool per process (``REPRO_POOL_PERSIST``).
+    pool_persist: bool = DEFAULT_POOL_PERSIST
     max_retries: int = DEFAULT_MAX_RETRIES
     retry_base_ms: float = DEFAULT_RETRY_BASE_MS
     #: Checkpoint-journal directory (holds wayback/live/corpus journals),
@@ -235,6 +289,8 @@ class ConfigSnapshot:
             "matcher_cache": self.matcher_cache,
             "history_cache": self.history_cache,
             "feature_cache": self.feature_cache,
+            "data_plane": self.data_plane,
+            "pool_persist": self.pool_persist,
             "max_retries": self.max_retries,
             "retry_base_ms": self.retry_base_ms,
             "crawl_journal": self.crawl_journal,
@@ -252,6 +308,8 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         matcher_cache=matcher_cache_size(environ),
         history_cache=history_cache_size(environ),
         feature_cache=feature_cache_dir(environ),
+        data_plane=data_plane_enabled(environ),
+        pool_persist=pool_persist(environ),
         max_retries=max_retries(environ),
         retry_base_ms=retry_base_ms(environ),
         crawl_journal=crawl_journal_dir(environ),

@@ -6,17 +6,31 @@ the page content in an HTML file". This module persists a
 ``<root>/<domain>/<YYYY-MM>.har`` + ``.html`` plus an index of slot
 statuses — and loads it back, so expensive crawls can be archived,
 shipped, and re-analysed without re-crawling.
+
+Two readback paths exist. :meth:`DataRepository.load` rebuilds full
+records (HAR objects included) by parsing the HAR JSON. With the data
+plane on (``REPRO_DATA_PLANE=1``), :meth:`DataRepository.save` also
+packs every request into one columnar mmap-able table
+(:mod:`repro.dataplane.requests`), and :meth:`DataRepository.load_replay`
+rebuilds *replay-ready* records from it — truncated request URLs
+precomputed, no HAR JSON parsed — which is all the §4 coverage replay
+reads. Both paths feed :class:`~repro.analysis.coverage.CoverageAnalyzer`
+to digest-identical results.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from datetime import date
 from pathlib import Path
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, Optional, Union
 
+from ..dataplane.requests import TABLE_NAME, RequestTable, write_request_table
+from ..obs.config import data_plane_enabled
 from ..web.har import HarFile
 from .crawler import CrawlRecord, CrawlResult, CrawlStatus
+from .rewrite import truncate_wayback
 
 INDEX_NAME = "crawl-index.json"
 
@@ -45,10 +59,22 @@ class DataRepository:
         """Path of the crawl index JSON."""
         return self.root / INDEX_NAME
 
+    @property
+    def table_path(self) -> Path:
+        """Path of the packed columnar request table (data-plane mode)."""
+        return self.root / TABLE_NAME
+
     # -- saving ---------------------------------------------------------------
 
-    def save(self, result: CrawlResult) -> int:
-        """Persist a crawl; returns the number of usable slots written."""
+    def save(self, result: CrawlResult, request_table: Optional[bool] = None) -> int:
+        """Persist a crawl; returns the number of usable slots written.
+
+        ``request_table`` (default: the ``REPRO_DATA_PLANE`` knob) also
+        packs every request into the columnar table
+        :meth:`load_replay` reads. The index is published atomically
+        (tmp file + rename), so a crash mid-save can orphan slot files
+        but never corrupt an existing index.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         index = []
         written = 0
@@ -74,41 +100,89 @@ class DataRepository:
                     record.html, encoding="utf-8"
                 )
             written += 1
-        self.index_path.write_text(
+        if data_plane_enabled() if request_table is None else request_table:
+            write_request_table(self.table_path, result)
+        tmp = self.index_path.with_name(f"{INDEX_NAME}.tmp{os.getpid()}")
+        tmp.write_text(
             json.dumps({"records": index}, indent=1), encoding="utf-8"
         )
+        os.replace(tmp, self.index_path)  # atomic publish
         return written
 
     # -- loading ---------------------------------------------------------------
 
-    def load(self) -> CrawlResult:
-        """Rebuild the :class:`CrawlResult` from disk."""
+    def _read_index(self) -> list:
         if not self.index_path.exists():
             raise FileNotFoundError(f"no crawl index at {self.index_path}")
-        raw = json.loads(self.index_path.read_text(encoding="utf-8"))
-        result = CrawlResult()
-        for entry in raw["records"]:
-            domain = entry["domain"]
-            month = date.fromisoformat(entry["month"])
-            status = CrawlStatus(entry["status"])
-            record = CrawlRecord(
-                domain=domain,
-                month=month,
-                status=status,
-                capture_date=(
-                    date.fromisoformat(entry["capture_date"])
-                    if entry.get("capture_date")
-                    else None
-                ),
+        try:
+            raw = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(
+                f"corrupt crawl index at {self.index_path}: {exc}"
+            ) from exc
+        if not isinstance(raw, dict) or not isinstance(raw.get("records"), list):
+            raise ValueError(
+                f"corrupt crawl index at {self.index_path}: no 'records' list"
             )
-            if status is CrawlStatus.OK:
-                har_file = self.har_path(domain, month)
+        return raw["records"]
+
+    @staticmethod
+    def _index_record(entry: Dict) -> CrawlRecord:
+        return CrawlRecord(
+            domain=entry["domain"],
+            month=date.fromisoformat(entry["month"]),
+            status=CrawlStatus(entry["status"]),
+            capture_date=(
+                date.fromisoformat(entry["capture_date"])
+                if entry.get("capture_date")
+                else None
+            ),
+        )
+
+    def load(self) -> CrawlResult:
+        """Rebuild the :class:`CrawlResult` from disk (HAR JSON parsed)."""
+        result = CrawlResult()
+        for entry in self._read_index():
+            record = self._index_record(entry)
+            if record.status is CrawlStatus.OK:
+                har_file = self.har_path(record.domain, record.month)
                 if har_file.exists():
                     record.har = HarFile.from_json(har_file.read_text(encoding="utf-8"))
-                html_file = self.html_path(domain, month)
+                html_file = self.html_path(record.domain, record.month)
                 if html_file.exists():
                     record.html = html_file.read_text(encoding="utf-8")
             result.records.append(record)
+        return result
+
+    def load_replay(self) -> CrawlResult:
+        """Rebuild replay-ready records from the packed request table.
+
+        Records carry no HAR objects; their truncated request URLs come
+        straight from the columnar table (the only thing the §4 replay
+        reads from a HAR), so no HAR JSON is parsed. Requires a
+        repository saved with the request table; falls back to
+        :meth:`load` when the table is absent.
+        """
+        if not self.table_path.exists():
+            return self.load()
+        result = CrawlResult()
+        with RequestTable(self.table_path) as table:
+            for entry in self._read_index():
+                record = self._index_record(entry)
+                if record.status is CrawlStatus.OK:
+                    key = (record.domain, record.month)
+                    record._truncated_urls = (
+                        [
+                            truncate_wayback(url)
+                            for url in table.request_urls(*key)
+                        ]
+                        if key in table
+                        else []
+                    )
+                    html_file = self.html_path(record.domain, record.month)
+                    if html_file.exists():
+                        record.html = html_file.read_text(encoding="utf-8")
+                result.records.append(record)
         return result
 
     def iter_hars(self) -> Iterator[HarFile]:

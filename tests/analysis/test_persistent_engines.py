@@ -1,0 +1,147 @@
+"""The persistent pool must change wall-clock, never bytes.
+
+Every engine that can route a fan-out through the process-wide
+:class:`~repro.analysis.pool.PersistentPool` — the §4 replay, the §3
+history folds, the §4.3 live crawl, §5 feature extraction — must produce
+pickle-byte-identical results with and without it. These tests stand a
+real forked pool up with published context state, run each engine both
+ways, and compare bytes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.analysis.coverage import CoverageAnalyzer
+from repro.analysis.histfold import run_folds
+from repro.analysis.livecrawl import LiveCrawler
+from repro.analysis.pool import (
+    PersistentPool,
+    get_persistent_pool,
+    set_persistent_pool,
+)
+from repro.experiments.context import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext.create(scale=0.01)
+
+
+@pytest.fixture()
+def pool(ctx):
+    """A persistent pool with the context's state published, torn down after."""
+    pool = PersistentPool(2)
+    pool.publish("world", ctx.world)
+    pool.publish("lists", ctx.lists)
+    pool.publish("histories", ctx.histories)
+    pool.publish("crawl", ctx.crawl)
+    previous = set_persistent_pool(pool)
+    try:
+        yield pool
+    finally:
+        set_persistent_pool(previous)
+
+
+@pytest.fixture()
+def no_pool():
+    previous = set_persistent_pool(None)
+    try:
+        yield
+    finally:
+        set_persistent_pool(previous)
+
+
+class TestCoverageViaPersistentPool:
+    def test_byte_identical_and_pool_used(self, ctx, pool):
+        serial = CoverageAnalyzer(ctx.histories).analyze(ctx.crawl, workers=1)
+        runs_before = pool.runs
+        persistent = CoverageAnalyzer(ctx.histories).analyze(ctx.crawl, workers=2)
+        assert pool.runs > runs_before  # the persistent route was taken
+        assert pickle.dumps(persistent) == pickle.dumps(serial)
+
+    def test_foreign_crawl_falls_back(self, ctx, pool):
+        """A crawl that is not the published one must not use the pool."""
+        from repro.wayback.crawler import CrawlResult
+
+        other = CrawlResult(records=list(ctx.crawl.records))
+        runs_before = pool.runs
+        result = CoverageAnalyzer(ctx.histories).analyze(other, workers=2)
+        assert pool.runs == runs_before  # identity guard rejected it
+        assert pickle.dumps(result) == pickle.dumps(
+            CoverageAnalyzer(ctx.histories).analyze(ctx.crawl, workers=1)
+        )
+
+
+class TestHistfoldViaPersistentPool:
+    @staticmethod
+    def jobs(ctx):
+        from repro.analysis.evolution import composition_stats, evolution_series
+
+        return [
+            ("evo-aak", evolution_series, ctx.lists["aak"]),
+            ("evo-ce", evolution_series, ctx.lists["combined_easylist"]),
+            ("comp-aak", composition_stats, ctx.lists["aak"]),
+            ("comp-el", composition_stats, ctx.lists["easylist"]),
+        ]
+
+    def test_results_equal_and_pool_used(self, ctx, pool):
+        """Fold results are value-equal (the folds' documented contract:
+        rendered artifacts are byte-identical; the in-memory results
+        cross a process boundary, so pickle *bytes* can differ through
+        lost object sharing — exactly as with fork-per-run pools)."""
+        serial = run_folds(self.jobs(ctx), workers=1)
+        runs_before = pool.runs
+        persistent = run_folds(self.jobs(ctx), workers=2)
+        assert pool.runs > runs_before
+        assert persistent == serial
+
+    def test_persistent_equals_fork_per_run(self, ctx, pool):
+        persistent = run_folds(self.jobs(ctx), workers=2)
+        set_persistent_pool(None)
+        fork_per_run = run_folds(self.jobs(ctx), workers=2)
+        assert persistent == fork_per_run
+
+    def test_unpublished_arg_falls_back(self, ctx, pool):
+        from repro.analysis.evolution import evolution_series
+        from repro.filterlist.history import FilterListHistory
+
+        foreign = FilterListHistory("foreign")
+        jobs = [("foreign", evolution_series, foreign)]
+        runs_before = pool.runs
+        result = run_folds(jobs, workers=2)
+        assert pool.runs == runs_before  # not reachable from published state
+        assert result == run_folds(jobs, workers=1)
+
+
+class TestLiveCrawlViaPersistentPool:
+    def test_byte_identical_across_all_modes(self, ctx, pool):
+        serial = LiveCrawler(ctx.world, ctx.histories).crawl(workers=1)
+        runs_before = pool.runs
+        persistent = LiveCrawler(ctx.world, ctx.histories).crawl(
+            workers=2, wave_size=37
+        )
+        assert pool.runs > runs_before
+        assert pickle.dumps(persistent) == pickle.dumps(serial)
+
+    def test_fork_per_wave_matches_serial(self, ctx, no_pool):
+        serial = LiveCrawler(ctx.world, ctx.histories).crawl(workers=1)
+        parallel = LiveCrawler(ctx.world, ctx.histories).crawl(
+            workers=2, wave_size=37
+        )
+        assert get_persistent_pool() is None
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+
+class TestFeatstoreViaPersistentPool:
+    def test_byte_identical_and_pool_used(self, ctx, pool, tmp_path):
+        from repro.core.featstore import FeatureStore
+
+        sources = ctx.corpus.sources()
+        serial = FeatureStore(cache_dir=str(tmp_path / "a"), packed=True)
+        baseline = serial.events_for_corpus(sources, workers=1)
+        runs_before = pool.runs
+        persistent = FeatureStore(cache_dir=str(tmp_path / "b"), packed=True)
+        via_pool = persistent.events_for_corpus(sources, workers=2)
+        assert pool.runs > runs_before
+        assert pickle.dumps(via_pool) == pickle.dumps(baseline)

@@ -1,0 +1,117 @@
+"""The packed (``REPRO_DATA_PLANE``) feature cache: identical, just faster.
+
+The JSON-per-script disk cache remains the baseline; the packed event
+segments must serve *pickle-byte-identical* entries through the same
+``(sha256(source), EXTRACTOR_VERSION, unpack)`` keys — cold, warm,
+serial, and sharded.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.featstore import EXTRACTOR_VERSION, FeatureStore
+from repro.dataplane.events import SEGMENT_SUFFIX
+from repro.obs.metrics import reset_metrics
+
+SOURCES = [
+    "if (window.adblock) { document.getElementById('ad').style.display = 'none'; }",
+    "var bait = document.createElement('div'); bait.className = 'ad-banner';",
+    "}{ not javascript at all ][",  # parse error entry
+    "var p = eval('}{' + '');",  # unpack bailout entry
+    "function f() { return 42; }",
+    "if (window.adblock) { document.getElementById('ad').style.display = 'none'; }",
+]
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+class TestPackedCacheIdentity:
+    def test_packed_events_equal_json_events(self, tmp_path):
+        json_store = FeatureStore(cache_dir=str(tmp_path / "json"), packed=False)
+        packed_store = FeatureStore(cache_dir=str(tmp_path / "packed"), packed=True)
+        baseline = json_store.events_for_corpus(SOURCES, workers=1)
+        via_packed = packed_store.events_for_corpus(SOURCES, workers=1)
+        assert pickle.dumps(via_packed) == pickle.dumps(baseline)
+
+    def test_warm_packed_load_is_byte_identical(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        writer = FeatureStore(cache_dir=cache, packed=True)
+        baseline = writer.events_for_corpus(SOURCES, workers=1)
+        assert writer.stats.disk_writes > 0
+
+        warm = FeatureStore(cache_dir=cache, packed=True)
+        reloaded = warm.events_for_corpus(SOURCES, workers=1)
+        assert warm.stats.extracted == 0  # everything came from the segments
+        assert warm.stats.disk_hits > 0
+        assert pickle.dumps(reloaded) == pickle.dumps(baseline)
+
+    def test_warm_load_interns_within_store(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        FeatureStore(cache_dir=cache, packed=True).events_for_corpus(
+            SOURCES, workers=1
+        )
+        warm = FeatureStore(cache_dir=cache, packed=True)
+        entries = warm.events_for_corpus(SOURCES, workers=1)
+        texts = {}
+        for entry in entries:
+            for kind, text, contexts in entry.events:
+                assert texts.setdefault(text, text) is text
+
+    def test_parallel_extraction_matches_serial(self, tmp_path):
+        serial = FeatureStore(cache_dir=str(tmp_path / "a"), packed=True)
+        sharded = FeatureStore(cache_dir=str(tmp_path / "b"), packed=True)
+        baseline = serial.events_for_corpus(SOURCES, workers=1)
+        parallel = sharded.events_for_corpus(SOURCES, workers=3)
+        assert pickle.dumps(parallel) == pickle.dumps(baseline)
+
+    def test_segments_on_disk(self, tmp_path):
+        cache = tmp_path / "cache"
+        store = FeatureStore(cache_dir=str(cache), packed=True)
+        store.events_for_corpus(SOURCES, workers=1)
+        segments = list(
+            (cache / f"v{EXTRACTOR_VERSION}" / "segments").glob(f"*{SEGMENT_SUFFIX}")
+        )
+        assert len(segments) == 1  # one batch, one segment
+        assert not list(cache.rglob("*.json"))  # no JSON files on this plane
+
+    def test_unpack_flag_separates_entries(self, tmp_path):
+        store = FeatureStore(cache_dir=str(tmp_path), packed=True)
+        packed_true = store.events_for_corpus(SOURCES, unpack=True, workers=1)
+        packed_false = store.events_for_corpus(SOURCES, unpack=False, workers=1)
+        warm = FeatureStore(cache_dir=str(tmp_path), packed=True)
+        assert pickle.dumps(
+            warm.events_for_corpus(SOURCES, unpack=True, workers=1)
+        ) == pickle.dumps(packed_true)
+        assert pickle.dumps(
+            warm.events_for_corpus(SOURCES, unpack=False, workers=1)
+        ) == pickle.dumps(packed_false)
+        assert warm.stats.extracted == 0
+
+    def test_features_identical_across_planes(self, tmp_path):
+        json_store = FeatureStore(cache_dir=str(tmp_path / "json"), packed=False)
+        packed_store = FeatureStore(cache_dir=str(tmp_path / "packed"), packed=True)
+        for feature_set in ("all", "literal", "keyword"):
+            assert packed_store.features_for_corpus(
+                SOURCES, feature_set=feature_set
+            ) == json_store.features_for_corpus(SOURCES, feature_set=feature_set)
+
+    def test_corrupt_segment_triggers_reextraction(self, tmp_path):
+        cache = tmp_path / "cache"
+        writer = FeatureStore(cache_dir=str(cache), packed=True)
+        baseline = writer.events_for_corpus(SOURCES, workers=1)
+        (segment,) = (cache / f"v{EXTRACTOR_VERSION}" / "segments").glob(
+            f"*{SEGMENT_SUFFIX}"
+        )
+        raw = bytearray(segment.read_bytes())
+        raw[-1] ^= 0xFF
+        segment.write_bytes(bytes(raw))
+        warm = FeatureStore(cache_dir=str(cache), packed=True)
+        recovered = warm.events_for_corpus(SOURCES, workers=1)
+        assert warm.stats.extracted > 0  # cache degraded to a miss
+        assert pickle.dumps(recovered) == pickle.dumps(baseline)

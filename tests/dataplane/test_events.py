@@ -1,0 +1,160 @@
+"""Packed token-event segments and the directory-level cache."""
+
+import hashlib
+
+import pytest
+
+from repro.dataplane.events import (
+    SEGMENT_SUFFIX,
+    EventSegmentReader,
+    PackedEventCache,
+    write_event_segment,
+)
+from repro.dataplane.format import DataPlaneError
+from repro.obs.metrics import get_metrics, reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def digest_of(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+EVENTS_A = (
+    ("keyword", "if", ()),
+    ("literal", "adblock", ("fn:check", "if")),
+    ("literal", "adblock", ("fn:check", "if")),
+)
+EVENTS_B = (("keyword", "var", ("top",)),)
+
+ENTRIES = [
+    (digest_of("a"), True, EVENTS_A, False, False),
+    (digest_of("b"), True, EVENTS_B, True, False),
+    (digest_of("b"), False, (), False, True),
+    (digest_of("c"), True, (), False, False),
+]
+
+
+class TestEventSegment:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=7)
+        reader = EventSegmentReader(path)
+        assert reader.extractor_version == 7
+        assert reader.script_count == len(ENTRIES)
+        for digest, unpack, events, parse_error, bailout in ENTRIES:
+            got = reader.get(digest, unpack)
+            assert got is not None
+            g_digest, g_unpack, g_events, g_parse_error, g_bailout = got
+            assert (g_digest, g_unpack) == (digest, unpack)
+            assert [tuple(e) for e in g_events] == [tuple(e) for e in events]
+            assert (g_parse_error, g_bailout) == (parse_error, bailout)
+        reader.close()
+
+    def test_unpack_flag_is_part_of_the_key(self, tmp_path):
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=1)
+        reader = EventSegmentReader(path)
+        assert reader.get(digest_of("a"), False) is None
+        assert reader.get(digest_of("b"), False) is not None
+        reader.close()
+
+    def test_missing_digest_is_none(self, tmp_path):
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=1)
+        reader = EventSegmentReader(path)
+        assert reader.get(digest_of("zzz"), True) is None
+        reader.close()
+
+    def test_shared_strings_decode_to_shared_objects(self, tmp_path):
+        """Equal strings across events come back as one str object."""
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=1)
+        reader = EventSegmentReader(path)
+        _, _, events, _, _ = reader.get(digest_of("a"), True)
+        assert events[1][1] is events[2][1]  # "adblock" decoded once
+        assert events[1][2] is events[2][2]  # context tuple cached
+        reader.close()
+
+    def test_rows_read_counted(self, tmp_path):
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=1)
+        reader = EventSegmentReader(path)
+        reader.get(digest_of("a"), True)
+        counters = get_metrics().as_dict()["counters"]
+        assert counters.get("dataplane.rows_read") == len(EVENTS_A)
+        reader.close()
+
+    def test_corrupt_segment_raises(self, tmp_path):
+        path = tmp_path / f"one{SEGMENT_SUFFIX}"
+        write_event_segment(path, ENTRIES, extractor_version=1)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataPlaneError):
+            EventSegmentReader(path)
+
+
+class TestPackedEventCache:
+    def test_store_then_lookup(self, tmp_path):
+        cache = PackedEventCache(tmp_path, extractor_version=3)
+        assert cache.store(ENTRIES) == len(ENTRIES)
+        assert cache.segments == 1
+        got = cache.lookup(digest_of("a"), True)
+        assert got is not None
+        assert [tuple(e) for e in got[2]] == [tuple(e) for e in EVENTS_A]
+        cache.close()
+
+    def test_fresh_mount_sees_previous_store(self, tmp_path):
+        writer = PackedEventCache(tmp_path, extractor_version=3)
+        writer.store(ENTRIES)
+        writer.close()
+        cache = PackedEventCache(tmp_path, extractor_version=3)
+        assert cache.segments == 1
+        assert cache.lookup(digest_of("b"), True) is not None
+        cache.close()
+
+    def test_extractor_version_isolates(self, tmp_path):
+        writer = PackedEventCache(tmp_path, extractor_version=3)
+        writer.store(ENTRIES)
+        writer.close()
+        cache = PackedEventCache(tmp_path, extractor_version=4)
+        assert cache.segments == 0
+        assert cache.lookup(digest_of("a"), True) is None
+        cache.close()
+
+    def test_corrupt_segment_degrades_to_miss(self, tmp_path):
+        writer = PackedEventCache(tmp_path, extractor_version=3)
+        writer.store(ENTRIES[:2])
+        writer.store(ENTRIES[2:])
+        writer.close()
+        segments = sorted(writer.root.glob(f"*{SEGMENT_SUFFIX}"))
+        assert len(segments) == 2
+        raw = bytearray(segments[0].read_bytes())
+        raw[-1] ^= 0xFF
+        segments[0].write_bytes(bytes(raw))
+        cache = PackedEventCache(tmp_path, extractor_version=3)
+        assert cache.segments == 1  # the corrupt one was skipped, not fatal
+        assert cache.lookup(*ENTRIES[2][:2]) is not None
+        cache.close()
+        counters = get_metrics().as_dict()["counters"]
+        assert counters.get("dataplane.integrity_errors", 0) >= 1
+
+    def test_empty_store_is_noop(self, tmp_path):
+        cache = PackedEventCache(tmp_path, extractor_version=3)
+        assert cache.store([]) == 0
+        assert cache.segments == 0
+        cache.close()
+
+    def test_later_segment_wins_duplicate_keys(self, tmp_path):
+        cache = PackedEventCache(tmp_path, extractor_version=3)
+        cache.store([(digest_of("a"), True, EVENTS_B, False, False)])
+        cache.store([(digest_of("a"), True, EVENTS_A, False, False)])
+        got = cache.lookup(digest_of("a"), True)
+        assert [tuple(e) for e in got[2]] == [tuple(e) for e in EVENTS_A]
+        cache.close()

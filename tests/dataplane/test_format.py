@@ -1,0 +1,192 @@
+"""The packed-artifact container: header, integrity, atomicity, laziness."""
+
+import hashlib
+import struct
+
+import pytest
+
+from repro.dataplane.format import (
+    FORMAT_VERSION,
+    HEADER,
+    KIND_EVENTS,
+    KIND_REQUESTS,
+    MAGIC,
+    DataPlaneError,
+    MappedArtifact,
+    StringTable,
+    inspect_header,
+    pack_string_table,
+    pack_u32s,
+    read_u32s,
+    write_artifact,
+)
+from repro.obs.metrics import get_metrics, reset_metrics
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+def counter(name):
+    return get_metrics().as_dict()["counters"].get(f"dataplane.{name}", 0)
+
+
+class TestWriteArtifact:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "x.bin"
+        written = write_artifact(path, KIND_EVENTS, b"payload")
+        assert written == HEADER.size + len(b"payload")
+        with MappedArtifact(path) as artifact:
+            assert bytes(artifact.payload) == b"payload"
+            assert artifact.kind == KIND_EVENTS
+            assert artifact.version == FORMAT_VERSION
+
+    def test_header_fields(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_REQUESTS, b"abc")
+        raw = path.read_bytes()
+        magic, kind, version, length, digest = HEADER.unpack(raw[: HEADER.size])
+        assert magic == MAGIC
+        assert kind == KIND_REQUESTS
+        assert version == FORMAT_VERSION
+        assert length == 3
+        assert digest == hashlib.sha256(b"abc").digest()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        write_artifact(tmp_path / "x.bin", KIND_EVENTS, b"p")
+        assert [p.name for p in tmp_path.iterdir()] == ["x.bin"]
+
+    def test_write_counters(self, tmp_path):
+        write_artifact(tmp_path / "x.bin", KIND_EVENTS, b"payload")
+        assert counter("files_written") == 1
+        assert counter("bytes_written") == HEADER.size + 7
+
+
+class TestMappedArtifact:
+    def test_corrupt_payload_detected(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"payload-bytes")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataPlaneError, match="sha256 mismatch"):
+            MappedArtifact(path)
+        assert counter("integrity_errors") == 1
+
+    def test_corruption_skippable_without_verify(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"payload-bytes")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with MappedArtifact(path, verify=False) as artifact:
+            assert len(artifact.payload) == len(b"payload-bytes")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"NOPE" + b"\0" * 60)
+        with pytest.raises(DataPlaneError, match="bad magic"):
+            MappedArtifact(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "x.bin"
+        payload = b"p"
+        header = HEADER.pack(
+            MAGIC, KIND_EVENTS, FORMAT_VERSION + 1, 1, hashlib.sha256(payload).digest()
+        )
+        path.write_bytes(header + payload)
+        with pytest.raises(DataPlaneError, match="unsupported version"):
+            MappedArtifact(path)
+
+    def test_kind_mismatch(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"p")
+        with pytest.raises(DataPlaneError, match="kind"):
+            MappedArtifact(path, expect_kind=KIND_REQUESTS)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(MAGIC)
+        with pytest.raises(DataPlaneError):
+            MappedArtifact(path)
+
+    def test_truncated_payload(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"payload-bytes")
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])
+        with pytest.raises(DataPlaneError, match="truncated payload"):
+            MappedArtifact(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataPlaneError, match="cannot open"):
+            MappedArtifact(tmp_path / "absent.bin")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"")
+        with pytest.raises(DataPlaneError):
+            MappedArtifact(path)
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"p")
+        artifact = MappedArtifact(path)
+        artifact.close()
+        artifact.close()
+
+    def test_map_counters(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"payload")
+        with MappedArtifact(path):
+            pass
+        assert counter("files_mapped") == 1
+        assert counter("bytes_mapped") == HEADER.size + 7
+
+
+class TestStringTable:
+    def test_roundtrip(self):
+        strings = ["", "hello", "héllo ünïcode", "x" * 1000]
+        packed = pack_string_table(strings)
+        table = StringTable(memoryview(packed), 0)
+        assert len(table) == len(strings)
+        assert [table.get(i) for i in range(len(strings))] == strings
+        assert table.end == len(packed)
+
+    def test_repeated_get_returns_same_object(self):
+        table = StringTable(memoryview(pack_string_table(["shared"])), 0)
+        assert table.get(0) is table.get(0)
+
+    def test_offset_embedding(self):
+        prefix = b"\xde\xad\xbe\xef"
+        packed = prefix + pack_string_table(["a", "bc"])
+        table = StringTable(memoryview(packed), len(prefix))
+        assert table.get(1) == "bc"
+
+
+class TestU32Helpers:
+    def test_roundtrip(self):
+        values = (0, 1, 2**32 - 1, 42)
+        packed = b"pad" + pack_u32s(values)
+        assert read_u32s(memoryview(packed), 3, 4) == values
+
+
+class TestInspectHeader:
+    def test_fields(self, tmp_path):
+        path = tmp_path / "x.bin"
+        write_artifact(path, KIND_EVENTS, b"abc")
+        info = inspect_header(path)
+        assert info["kind"] == "events"
+        assert info["version"] == FORMAT_VERSION
+        assert info["payload_bytes"] == 3
+        assert info["sha256"] == hashlib.sha256(b"abc").hexdigest()
+        assert info["file_bytes"] == HEADER.size + 3
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"JUNKJUNK" + b"\0" * 48)
+        with pytest.raises(DataPlaneError, match="bad magic"):
+            inspect_header(path)

@@ -1,0 +1,122 @@
+"""Columnar request tables must mirror the HAR files bit for bit."""
+
+from datetime import date
+
+import pytest
+
+from repro.dataplane.format import DataPlaneError
+from repro.dataplane.requests import RequestTable, write_request_table
+from repro.wayback.crawler import CrawlRecord, CrawlResult, CrawlStatus
+from repro.web.har import HarFile
+from repro.web.http import Exchange, Request, Response
+
+
+def har_with(urls, page="http://site.test/"):
+    har = HarFile(page_url=page)
+    for url in urls:
+        har.add(Exchange(request=Request(url=url), response=Response(body="x" * 10)))
+    return har
+
+
+@pytest.fixture()
+def crawl():
+    return CrawlResult(
+        records=[
+            CrawlRecord(
+                domain="a.com",
+                month=date(2015, 3, 1),
+                status=CrawlStatus.OK,
+                har=har_with(
+                    [
+                        "http://a.com/",
+                        "http://cdn.a.com/ads.js",
+                        "http://a.com/",  # duplicate, must survive in urls()
+                    ]
+                ),
+            ),
+            CrawlRecord(
+                domain="a.com", month=date(2015, 4, 1), status=CrawlStatus.OUTDATED
+            ),
+            CrawlRecord(
+                domain="b.com",
+                month=date(2015, 3, 1),
+                status=CrawlStatus.OK,
+                har=har_with(["http://b.com/", "http://tracker.test/pixel.gif"]),
+            ),
+        ]
+    )
+
+
+class TestRequestTable:
+    def test_slots_cover_usable_records_only(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        assert write_request_table(path, crawl) == 2
+        with RequestTable(path) as table:
+            assert table.slots() == [
+                ("a.com", date(2015, 3, 1)),
+                ("b.com", date(2015, 3, 1)),
+            ]
+            assert ("a.com", date(2015, 4, 1)) not in table
+            assert ("a.com", date(2015, 3, 1)) in table
+
+    def test_urls_keep_order_and_duplicates(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        write_request_table(path, crawl)
+        with RequestTable(path) as table:
+            assert table.urls("a.com", date(2015, 3, 1)) == [
+                "http://a.com/",
+                "http://cdn.a.com/ads.js",
+                "http://a.com/",
+            ]
+
+    def test_request_urls_equal_harfile(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        write_request_table(path, crawl)
+        with RequestTable(path) as table:
+            for record in crawl.records:
+                if record.har is None:
+                    continue
+                assert (
+                    table.request_urls(record.domain, record.month)
+                    == record.har.request_urls()
+                )
+
+    def test_scan_yields_every_row(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        write_request_table(path, crawl)
+        with RequestTable(path) as table:
+            rows = list(table.scan())
+        assert len(rows) == 5
+        urls = [row[0] for row in rows]
+        assert urls[:3] == [
+            "http://a.com/",
+            "http://cdn.a.com/ads.js",
+            "http://a.com/",
+        ]
+        for url, method, status, mime, size in rows:
+            assert method == "GET"
+            assert status == 200
+            assert isinstance(mime, str)
+            assert size == 10
+
+    def test_empty_crawl(self, tmp_path):
+        path = tmp_path / "requests.rdpr"
+        assert write_request_table(path, CrawlResult()) == 0
+        with RequestTable(path) as table:
+            assert table.slots() == []
+            assert list(table.scan()) == []
+
+    def test_corrupt_table_raises(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        write_request_table(path, crawl)
+        raw = bytearray(path.read_bytes())
+        raw[60] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(DataPlaneError):
+            RequestTable(path)
+
+    def test_mapped_bytes_exposed(self, tmp_path, crawl):
+        path = tmp_path / "requests.rdpr"
+        write_request_table(path, crawl)
+        with RequestTable(path) as table:
+            assert table.mapped_bytes == path.stat().st_size

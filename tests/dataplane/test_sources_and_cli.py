@@ -1,0 +1,86 @@
+"""Source tables and the ``python -m repro.dataplane`` inspect CLI."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.dataplane.sources import SourceTable, write_source_table
+
+SRC_ROOT = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestSourceTable:
+    def test_roundtrip(self, tmp_path):
+        sources = ["var a = 1;", "", "function noop() {}"]
+        path = tmp_path / "sources.rdps"
+        write_source_table(path, sources)
+        with SourceTable(path) as table:
+            assert len(table) == 3
+            assert [table.get(i) for i in range(3)] == sources
+
+    def test_repeated_get_shares_object(self, tmp_path):
+        path = tmp_path / "sources.rdps"
+        write_source_table(path, ["shared source"])
+        with SourceTable(path) as table:
+            assert table.get(0) is table.get(0)
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.dataplane", *args],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC_ROOT, "PATH": "/usr/bin:/bin"},
+    )
+
+
+class TestInspectCli:
+    @pytest.fixture()
+    def artifact(self, tmp_path):
+        path = tmp_path / "sources.rdps"
+        write_source_table(path, ["var a = 1;", "var b = 2;"])
+        return path
+
+    def test_inspect_text(self, artifact):
+        proc = run_cli("inspect", str(artifact))
+        assert proc.returncode == 0
+        assert "sources" in proc.stdout
+        assert str(artifact) in proc.stdout
+
+    def test_inspect_json(self, artifact):
+        proc = run_cli("inspect", "--json", str(artifact))
+        assert proc.returncode == 0
+        (info,) = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert info["kind"] == "sources"
+        assert info["sources"] == 2
+
+    def test_inspect_events_segment(self, tmp_path):
+        from repro.dataplane.events import write_event_segment
+
+        path = tmp_path / "seg.rdpe"
+        write_event_segment(
+            path,
+            [("ab" * 32, True, (("keyword", "if", ()),), False, False)],
+            extractor_version=9,
+        )
+        proc = run_cli("inspect", "--json", str(path))
+        assert proc.returncode == 0
+        (info,) = [json.loads(line) for line in proc.stdout.splitlines()]
+        assert info["kind"] == "events"
+        assert info["extractor_version"] == 9
+        assert info["scripts"] == 1
+        assert info["events"] == 1
+
+    def test_inspect_corrupt_file_fails(self, tmp_path):
+        bad = tmp_path / "bad.bin"
+        bad.write_bytes(b"JUNK" + b"\0" * 60)
+        proc = run_cli("inspect", str(bad))
+        assert proc.returncode == 1
+        assert "bad magic" in proc.stderr
+
+    def test_inspect_missing_file_fails(self, tmp_path):
+        proc = run_cli("inspect", str(tmp_path / "absent.bin"))
+        assert proc.returncode == 1

@@ -144,6 +144,8 @@ class TestSnapshot:
             "retry_base_ms",
             "crawl_journal",
             "fault_seed",
+            "data_plane",
+            "pool_persist",
             "raw_env",
         }
 
