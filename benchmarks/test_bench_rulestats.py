@@ -1,0 +1,140 @@
+"""Benchmarks for the rule-stats plane: accounting overhead + pruning win.
+
+Two questions a list maintainer would ask of the "filter the filters"
+report before acting on it:
+
+- what does *collecting* the per-rule stats cost (stats-on vs stats-off
+  on the same replay loop), and
+- what does *acting* on them buy — replaying the same traffic against
+  the dead-rule-pruned list must produce identical decisions while
+  probing measurably fewer candidates.
+
+The speedup assertions are made on deterministic probe counts, not
+wall-clock, so the bench cannot flake on a noisy runner; the wall-clock
+ratios are recorded in ``extra_info`` for the BENCH_* trajectories.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.analysis.perf import PerfCounters
+from repro.analysis.rulestats import ScopedRuleStats
+from repro.core.rulegen import prune_dead_rules
+from repro.filterlist.matcher import NetworkMatcher
+from repro.web.url import is_third_party, resource_type_from_url
+
+
+def _requests(world):
+    """The observed traffic: every subresource of the final crawl month."""
+    requests = []
+    for site in world.sites:
+        page = world.snapshot(site, world.config.end)
+        for resource in page.subresources:
+            requests.append(
+                (
+                    resource.url,
+                    page.domain,
+                    resource.resource_type
+                    or resource_type_from_url(resource.url, default="script"),
+                    is_third_party(resource.url, page.domain),
+                )
+            )
+    return requests
+
+
+def _replay(matcher, requests):
+    return [
+        matcher.first_match(url, page_domain, resource_type, third_party)
+        for url, page_domain, resource_type, third_party in requests
+    ]
+
+
+def test_pruned_list_matcher_speedup(benchmark, ctx):
+    """Prune dead rules from observed hits; same decisions, fewer probes."""
+    filter_list = ctx.lists["aak"].latest().filter_list
+    requests = _requests(ctx.world)
+
+    # Pass 1: account every rule while replaying the traffic once.
+    accounting = NetworkMatcher(filter_list.network_rules)
+    scope = accounting.rule_stats = ScopedRuleStats()
+    baseline = _replay(accounting, requests)
+    pruning = prune_dead_rules(filter_list, scope.hits)
+    assert pruning.dropped > 0  # synthetic AAK always carries dead weight
+
+    full = NetworkMatcher(filter_list.network_rules, stats=PerfCounters())
+    pruned = NetworkMatcher(
+        pruning.pruned.network_rules, stats=PerfCounters()
+    )
+
+    started = time.perf_counter()
+    full_outcomes = _replay(full, requests)
+    full_wall = time.perf_counter() - started
+
+    pruned_outcomes = run_once(benchmark, lambda: _replay(pruned, requests))
+    started = time.perf_counter()
+    _replay(NetworkMatcher(pruning.pruned.network_rules), requests)
+    pruned_wall = time.perf_counter() - started
+
+    # Identical decisions on the observed traffic (rules that ever won a
+    # match are all kept, and candidate order is preserved).
+    assert pruned_outcomes == full_outcomes == baseline
+
+    # The deterministic speedup claim: the pruned index probes no more
+    # candidates than the full one, and strictly fewer when dead rules
+    # were ever probed.
+    assert pruned.stats.candidates_probed <= full.stats.candidates_probed
+    dead_raws = set(pruning.dropped_rules)
+    dead_probes = sum(
+        count for raw, count in scope.checks.items() if raw in dead_raws
+    )
+    if dead_probes:
+        assert pruned.stats.candidates_probed < full.stats.candidates_probed
+
+    benchmark.extra_info["rules_kept"] = pruning.kept
+    benchmark.extra_info["rules_dropped"] = pruning.dropped
+    benchmark.extra_info["dropped_fraction"] = round(pruning.dropped_fraction, 4)
+    benchmark.extra_info["probes_full"] = full.stats.candidates_probed
+    benchmark.extra_info["probes_pruned"] = pruned.stats.candidates_probed
+    benchmark.extra_info["probe_reduction"] = round(
+        1 - pruned.stats.candidates_probed / max(full.stats.candidates_probed, 1), 4
+    )
+    benchmark.extra_info["wall_speedup"] = round(
+        full_wall / max(pruned_wall, 1e-9), 3
+    )
+    print(
+        f"\n[prune] dropped {pruning.dropped}/{pruning.kept + pruning.dropped} "
+        f"rules ({100 * pruning.dropped_fraction:.1f}%), probes "
+        f"{full.stats.candidates_probed} -> {pruned.stats.candidates_probed}, "
+        f"wall speedup {full_wall / max(pruned_wall, 1e-9):.2f}x"
+    )
+
+
+def test_rule_stats_accounting_overhead(benchmark, ctx):
+    """Stats-on replay: identical outcomes; overhead ratio in extra_info."""
+    filter_list = ctx.lists["aak"].latest().filter_list
+    requests = _requests(ctx.world)
+
+    plain = NetworkMatcher(filter_list.network_rules)
+    started = time.perf_counter()
+    baseline = _replay(plain, requests)
+    off_wall = time.perf_counter() - started
+
+    recorded = NetworkMatcher(filter_list.network_rules)
+    recorded.rule_stats = ScopedRuleStats()
+    outcomes = run_once(benchmark, lambda: _replay(recorded, requests))
+    started = time.perf_counter()
+    _replay(recorded, requests)
+    on_wall = time.perf_counter() - started
+
+    assert outcomes == baseline  # accounting never changes a decision
+    assert recorded.rule_stats.calls > 0
+    assert recorded.rule_stats.cost.sum == sum(recorded.rule_stats.checks.values())
+
+    benchmark.extra_info["stats_off_wall_s"] = round(off_wall, 4)
+    benchmark.extra_info["stats_on_wall_s"] = round(on_wall, 4)
+    benchmark.extra_info["overhead_ratio"] = round(on_wall / max(off_wall, 1e-9), 3)
+    print(
+        f"\n[rule-stats] off={off_wall:.3f}s on={on_wall:.3f}s "
+        f"(x{on_wall / max(off_wall, 1e-9):.2f})"
+    )

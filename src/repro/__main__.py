@@ -43,6 +43,7 @@ EXPERIMENTS = (
     "table3",
     "sec5live",
     "stability",
+    "rulereport",
 )
 
 logger = logging.getLogger("repro.cli")
@@ -164,6 +165,23 @@ def main(argv: list) -> int:
         if manifest is not None:
             manifest.record_artifact(name, rendered, wall_s=wall)
 
+    # Flush the rule-stats plane (if it collected anything): publish
+    # totals + histograms into the metrics registry, fold the payload
+    # into the cross-run accumulator when one is configured, and carry
+    # the summary as the manifest's ``rules`` section.
+    from repro.analysis.rulestats import RuleStatsStore, get_rule_stats
+
+    extra = {}
+    collector = get_rule_stats()
+    if collector is not None and collector.has_data():
+        collector.absorb_into(metrics)
+        extra["rules"] = collector.manifest_summary()
+        if config.rule_stats_dir:
+            store = RuleStatsStore(config.rule_stats_dir)
+            key = {"schema": 1, "seed": ctx.world.seed, "scale": config.scale}
+            path = store.merge_into(key, collector.as_payload())
+            logger.info("rule stats folded into %s", path)
+
     if manifest is not None:
         for stage in ctx.stage_report():
             manifest.record_stage(**stage)
@@ -173,6 +191,7 @@ def main(argv: list) -> int:
             metrics=metrics.as_dict(),
             spans=get_tracer().as_dicts(),
             experiments=list(names),
+            extra=extra,
         )
         logger.info("run manifest written to %s", manifest.path)
     if opts["trace"]:

@@ -44,6 +44,7 @@ from ..web.dom import parse_html
 from .perf import LRUCache, PerfCounters, matcher_cache_size, repro_workers
 from .pool import fork_context, get_persistent_pool, map_shards, split_shards
 from .profile import RequestProfile, UrlProfile, profile_record
+from .rulestats import get_rule_stats
 
 
 @dataclass
@@ -90,6 +91,8 @@ def _shard_telemetry(analyzer: "CoverageAnalyzer", fn):
     """
     wall0, cpu0 = time.perf_counter(), time.process_time()
     before = analyzer.perf.snapshot()
+    collector = get_rule_stats()
+    rule_snapshot = collector.snapshot() if collector is not None else None
     partial = fn()
     delta = analyzer.perf.since(before)
     payload = {
@@ -98,7 +101,26 @@ def _shard_telemetry(analyzer: "CoverageAnalyzer", fn):
         "records": delta.records,
         "match_calls": delta.match_calls,
     }
+    if collector is not None:
+        rule_delta = collector.delta_since(rule_snapshot)
+        if rule_delta["lists"]:
+            payload["rule_stats"] = rule_delta
     return partial, delta, payload
+
+
+def _absorb_shard_rule_stats(payload: dict) -> None:
+    """Merge a shard payload's rule-stats delta into the parent collector.
+
+    Workers accumulate into their own process-global collector and ship
+    the delta inside the telemetry payload; popping it here keeps the
+    span tree free of bulk data while the parent's collector converges
+    to exactly the serial run's state (sums commute).
+    """
+    rule_delta = payload.pop("rule_stats", None)
+    if rule_delta:
+        collector = get_rule_stats()
+        if collector is not None:
+            collector.merge_payload(rule_delta)
 
 
 def _analyze_shard(analyzer, records: List[CrawlRecord], html_rules: bool):
@@ -225,6 +247,7 @@ class CoverageAnalyzer:
         cached = self._matcher_cache.get(key)
         if cached is not None:
             self.perf.matcher_cache_hits += 1
+            self._scope_rule_stats(cached, list_name)
             return cached
         history = self.histories[list_name]
         network_rules = revision.filter_list.network_rules
@@ -243,14 +266,29 @@ class CoverageAnalyzer:
         if matcher is None:
             matcher = NetworkMatcher(network_rules, stats=self.perf)
             self.perf.matcher_full_builds += 1
+        self._scope_rule_stats(matcher, list_name)
         self._matcher_cache.put(key, matcher)
         return matcher
+
+    @staticmethod
+    def _scope_rule_stats(sink, list_name: str) -> None:
+        """Point a matcher/adblocker at the list's rule-stats scope.
+
+        Re-asserted on every cache retrieval (one global read + attribute
+        store) so engines stay correct even if the collector is installed
+        after the caches warmed; a ``None`` collector keeps the sink's
+        disabled fast path."""
+        collector = get_rule_stats()
+        sink.rule_stats = (
+            collector.scope(list_name) if collector is not None else None
+        )
 
     def _adblocker(self, list_name: str, revision: Revision) -> Adblocker:
         key = (list_name, revision.date)
         cached = self._adblocker_cache.get(key)
         if cached is not None:
             self.perf.adblocker_cache_hits += 1
+            self._scope_rule_stats(cached, list_name)
             return cached
         element_only = FilterList(name=list_name)
         element_only.rules = [
@@ -259,6 +297,7 @@ class CoverageAnalyzer:
             if isinstance(parsed.rule, ElementRule)
         ]
         adblocker = Adblocker([element_only])
+        self._scope_rule_stats(adblocker, list_name)
         self.perf.adblocker_builds += 1
         self._adblocker_cache.put(key, adblocker)
         return adblocker
@@ -551,6 +590,7 @@ class CoverageAnalyzer:
         intern = lambda d: canon.setdefault(d, d)  # noqa: E731
         merged = self._empty_result()
         for index, (partial, shard_perf, payload) in enumerate(partials):
+            _absorb_shard_rule_stats(payload)
             if span is not None:
                 span.add_child_payload(f"shard:{index}", **payload)
             for name in self.histories:
@@ -632,6 +672,7 @@ class CoverageAnalyzer:
                 partials = self._map_shards(shards, _delays_shard)
                 delays: Dict[str, List[int]] = {name: [] for name in self.histories}
                 for index, (partial, shard_perf, payload) in enumerate(partials):
+                    _absorb_shard_rule_stats(payload)
                     span.add_child_payload(f"shard:{index}", **payload)
                     for name, values in partial.items():
                         delays[name].extend(values)

@@ -21,6 +21,7 @@ from ..obs.trace import span as trace_span
 from ..resilience import ResiliencePolicy, default_resilience
 from ..resilience.canonical import Interner
 from .pool import get_persistent_pool, map_shards, split_shards
+from .rulestats import get_rule_stats
 from ..filterlist.matcher import NetworkMatcher
 from ..filterlist.parser import FilterList
 from ..filterlist.rules import ElementRule
@@ -70,10 +71,22 @@ def _make_persistent_crawler(published) -> "LiveCrawler":
 
 
 def _live_range_task(crawler: "LiveCrawler", bounds, check_html: bool):
-    """Visit one contiguous range of live ranks; payloads in rank order."""
+    """Visit one contiguous range of live ranks.
+
+    Returns ``(payloads, rule_stats_delta)``: per-rank match payloads in
+    rank order, plus this range's rule-stats delta (``None`` while the
+    plane is off) for the parent to merge — workers record into their
+    own process-global collector, which dies with them.
+    """
+    collector = get_rule_stats()
+    rule_snapshot = collector.snapshot() if collector is not None else None
     lo, hi = bounds
     ranked = crawler._ranked()
-    return [crawler._visit_site(ranked[i], check_html) for i in range(lo, hi)]
+    payloads = [crawler._visit_site(ranked[i], check_html) for i in range(lo, hi)]
+    rule_delta = (
+        collector.delta_since(rule_snapshot) if collector is not None else None
+    )
+    return payloads, rule_delta
 
 
 class LiveCrawler:
@@ -95,6 +108,12 @@ class LiveCrawler:
             for name, history in histories.items()
             if history.latest() is not None
         }
+        collector = get_rule_stats()
+        if collector is not None:
+            for name, matcher in self._matchers.items():
+                matcher.rule_stats = collector.scope(name)
+            for name, adblocker in self._adblockers.items():
+                adblocker.rule_stats = collector.scope(name)
 
     @staticmethod
     def _element_adblocker(history: FilterListHistory) -> Adblocker:
@@ -270,6 +289,7 @@ class LiveCrawler:
         wave = max(int(wave_size) if wave_size else self.WAVE_SIZE, 1)
         result = self._empty_result()
         seen_scripts = set()
+        collector = get_rule_stats()
         pool = get_persistent_pool()
         use_pool = (
             pool is not None
@@ -301,7 +321,9 @@ class LiveCrawler:
                     make_worker_state=_make_wave_crawler,
                     extra=(check_html,),
                 )
-            for payloads in outputs:
+            for payloads, rule_delta in outputs:
+                if rule_delta and collector is not None:
+                    collector.merge_payload(rule_delta)
                 for payload in payloads:
                     result.crawled += 1
                     self._accumulate(result, payload, seen_scripts)

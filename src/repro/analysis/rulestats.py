@@ -1,0 +1,557 @@
+"""Rule-level hit/cost accounting: the "filter the filters" plane.
+
+The paper measures how anti-adblock lists *evolve*; this module measures
+which rules actually *fire* and what the stale ones cost. Every matcher
+call reports, per list:
+
+- **hits** — per-rule trigger counts (network rules via
+  :class:`~repro.filterlist.matcher.NetworkMatcher`, element rules via
+  :class:`~repro.web.adblocker.Adblocker`), keyed by the rule's raw line;
+- **checks** — per-rule candidate probes from the token index (the cost
+  a rule imposes on the matcher whether or not it ever matches);
+- **cost** — a histogram of candidates probed per call (deterministic:
+  sharding-invariant, so it merges byte-identically across workers);
+- **latency_ns** — a histogram of per-call wall latency (advisory:
+  timing is machine- and schedule-dependent, so it is excluded from
+  canonical payloads and reports).
+
+The plane follows the ``NULL_SPAN`` discipline: collection is off unless
+``REPRO_RULE_STATS=1`` (or a collector is installed programmatically),
+and a disabled call site costs one attribute check. Worker processes
+accumulate into their own process-global collector and ship plain-dict
+*payload deltas* back through the existing shard-telemetry path; the
+parent merges them with key-sorted sums, so serial and parallel runs
+produce identical canonical payloads. :class:`RuleStatsStore` adds a
+content-addressed on-disk accumulator so stats aggregate across
+invocations of the full §4 replay at scale.
+
+:func:`build_rule_report` turns an accumulated payload plus the list
+histories into the "filter the filters" report: dead-rule fraction over
+revisions, top-N hot rules, the cost of never-firing rules, and
+cross-list overlap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from itertools import combinations
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..obs.config import rule_stats_enabled
+from ..obs.hist import Histogram, count_buckets, ns_buckets
+
+#: Version tag embedded in every serialized payload.
+PAYLOAD_SCHEMA = "repro.rulestats/1"
+
+#: Version tag embedded in every rendered report.
+REPORT_SCHEMA = "repro.rulereport/1"
+
+#: Payload sections that depend on wall-clock timing, excluded from
+#: canonical (byte-compared) serializations.
+TIMING_KEYS = ("latency_ns",)
+
+
+class ScopedRuleStats:
+    """One list's accounting sink (what a matcher/adblocker writes into)."""
+
+    __slots__ = ("hits", "checks", "calls", "cost", "latency_ns")
+
+    def __init__(self) -> None:
+        #: rule raw line -> times it fired (network or element).
+        self.hits: Dict[str, int] = {}
+        #: rule raw line -> times the token index probed it.
+        self.checks: Dict[str, int] = {}
+        #: matcher ``_first`` passes recorded.
+        self.calls = 0
+        self.cost = Histogram(count_buckets())
+        self.latency_ns = Histogram(ns_buckets())
+
+    def record_call(self, probed: int, elapsed_ns: int, hit) -> None:
+        """One matcher pass: ``probed`` candidates, optional winning rule."""
+        self.calls += 1
+        self.cost.observe(probed)
+        self.latency_ns.observe(elapsed_ns)
+        if hit is not None:
+            raw = hit.raw
+            self.hits[raw] = self.hits.get(raw, 0) + 1
+
+    def record_element_hit(self, raw: str) -> None:
+        """One element-hiding rule that fired on a page."""
+        self.hits[raw] = self.hits.get(raw, 0) + 1
+
+    # -- serialization ------------------------------------------------------
+
+    def as_payload(self) -> Dict[str, Any]:
+        """Plain-dict form (key-sorted rule maps, serialized histograms)."""
+        return {
+            "calls": self.calls,
+            "hits": {raw: self.hits[raw] for raw in sorted(self.hits)},
+            "checks": {raw: self.checks[raw] for raw in sorted(self.checks)},
+            "cost": self.cost.as_dict(),
+            "latency_ns": self.latency_ns.as_dict(),
+        }
+
+    def merge_payload(self, payload: Mapping[str, Any]) -> None:
+        """Fold a serialized scope (or scope delta) in."""
+        self.calls += int(payload.get("calls", 0))
+        for raw in sorted(payload.get("hits", ())):
+            self.hits[raw] = self.hits.get(raw, 0) + payload["hits"][raw]
+        for raw in sorted(payload.get("checks", ())):
+            self.checks[raw] = self.checks.get(raw, 0) + payload["checks"][raw]
+        if "cost" in payload:
+            self.cost.merge(Histogram.from_dict(payload["cost"]))
+        if "latency_ns" in payload:
+            self.latency_ns.merge(Histogram.from_dict(payload["latency_ns"]))
+
+    def has_data(self) -> bool:
+        return bool(self.calls or self.hits or self.checks)
+
+
+def _scope_delta(
+    after: Mapping[str, Any], before: Optional[Mapping[str, Any]]
+) -> Optional[Dict[str, Any]]:
+    """The serialized difference of two scope payloads (None if empty)."""
+    if before is None:
+        calls = after["calls"]
+        hits = dict(after["hits"])
+        checks = dict(after["checks"])
+        cost = dict(after["cost"])
+        latency = dict(after["latency_ns"])
+    else:
+        calls = after["calls"] - before["calls"]
+        hits = {
+            raw: count - before["hits"].get(raw, 0)
+            for raw, count in after["hits"].items()
+            if count != before["hits"].get(raw, 0)
+        }
+        checks = {
+            raw: count - before["checks"].get(raw, 0)
+            for raw, count in after["checks"].items()
+            if count != before["checks"].get(raw, 0)
+        }
+        cost = (
+            Histogram.from_dict(after["cost"])
+            .subtract(Histogram.from_dict(before["cost"]))
+            .as_dict()
+        )
+        latency = (
+            Histogram.from_dict(after["latency_ns"])
+            .subtract(Histogram.from_dict(before["latency_ns"]))
+            .as_dict()
+        )
+    if not (calls or hits or checks):
+        return None
+    return {
+        "calls": calls,
+        "hits": hits,
+        "checks": checks,
+        "cost": cost,
+        "latency_ns": latency,
+    }
+
+
+class RuleStatsCollector:
+    """Process-global accumulator of per-list :class:`ScopedRuleStats`."""
+
+    def __init__(self) -> None:
+        self._scopes: Dict[str, ScopedRuleStats] = {}
+
+    def scope(self, list_name: str) -> ScopedRuleStats:
+        """The (single, shared) sink for one list's rules."""
+        scope = self._scopes.get(list_name)
+        if scope is None:
+            scope = self._scopes[list_name] = ScopedRuleStats()
+        return scope
+
+    def has_data(self) -> bool:
+        return any(scope.has_data() for scope in self._scopes.values())
+
+    def reset(self) -> None:
+        self._scopes.clear()
+
+    # -- payloads (the cross-process / on-disk interchange form) -----------
+
+    def as_payload(self) -> Dict[str, Any]:
+        """Serialized collector state: key-sorted, JSON-ready, mergeable."""
+        return {
+            "schema": PAYLOAD_SCHEMA,
+            "lists": {
+                name: self._scopes[name].as_payload()
+                for name in sorted(self._scopes)
+                if self._scopes[name].has_data()
+            },
+        }
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The payload minus timing sections — the byte-comparable form."""
+        return strip_timing(self.as_payload())
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A point-in-time payload for :meth:`delta_since`."""
+        return self.as_payload()
+
+    def delta_since(self, snapshot: Mapping[str, Any]) -> Dict[str, Any]:
+        """Work since ``snapshot``, as a payload (worker shard reports)."""
+        before_lists = snapshot.get("lists", {})
+        lists: Dict[str, Any] = {}
+        for name, scope in sorted(self._scopes.items()):
+            delta = _scope_delta(scope.as_payload(), before_lists.get(name))
+            if delta is not None:
+                lists[name] = delta
+        return {"schema": PAYLOAD_SCHEMA, "lists": lists}
+
+    def merge_payload(self, payload: Mapping[str, Any]) -> None:
+        """Fold a payload (a shard delta, a stored accumulator) in."""
+        for name in sorted(payload.get("lists", ())):
+            self.scope(name).merge_payload(payload["lists"][name])
+
+    # -- summaries ----------------------------------------------------------
+
+    def manifest_summary(self) -> Dict[str, Any]:
+        """The ``rules`` section of a v2 run manifest."""
+        totals = {"calls": 0, "hits": 0, "checks": 0, "rules_hit": 0}
+        lists: Dict[str, Any] = {}
+        for name in sorted(self._scopes):
+            scope = self._scopes[name]
+            if not scope.has_data():
+                continue
+            entry = {
+                "calls": scope.calls,
+                "hits": sum(scope.hits.values()),
+                "checks": sum(scope.checks.values()),
+                "rules_hit": len(scope.hits),
+                "rules_checked": len(scope.checks),
+            }
+            lists[name] = entry
+            totals["calls"] += entry["calls"]
+            totals["hits"] += entry["hits"]
+            totals["checks"] += entry["checks"]
+            totals["rules_hit"] += entry["rules_hit"]
+        return {"totals": totals, "lists": lists}
+
+    def absorb_into(self, metrics) -> None:
+        """Publish totals + histograms into a ``MetricsRegistry``.
+
+        Counters land under ``rules.*``; per-list cost and latency
+        histograms under ``rules.cost.<list>`` / ``rules.latency_ns.<list>``.
+        """
+        summary = self.manifest_summary()
+        metrics.absorb("rules", summary["totals"])
+        for name in sorted(self._scopes):
+            scope = self._scopes[name]
+            if not scope.has_data():
+                continue
+            metrics.absorb_histogram(f"rules.cost.{name}", scope.cost)
+            metrics.absorb_histogram(f"rules.latency_ns.{name}", scope.latency_ns)
+
+
+def strip_timing(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """A copy of a payload without its timing-dependent sections."""
+    lists = {}
+    for name, entry in payload.get("lists", {}).items():
+        lists[name] = {
+            key: value for key, value in entry.items() if key not in TIMING_KEYS
+        }
+    stripped = {key: value for key, value in payload.items() if key != "lists"}
+    stripped["lists"] = lists
+    return stripped
+
+
+# -- the process-global collector -------------------------------------------------
+
+_COLLECTOR: Optional[RuleStatsCollector] = None
+_RESOLVED = False
+
+
+def get_rule_stats() -> Optional[RuleStatsCollector]:
+    """The process-global collector, or ``None`` while the plane is off.
+
+    Resolved from ``REPRO_RULE_STATS`` on first call; forked workers
+    inherit the resolution (and the collector), so every process of a
+    sharded run agrees on whether stats are being taken.
+    """
+    global _COLLECTOR, _RESOLVED
+    if not _RESOLVED:
+        _RESOLVED = True
+        if rule_stats_enabled():
+            _COLLECTOR = RuleStatsCollector()
+    return _COLLECTOR
+
+
+def set_rule_stats(
+    collector: Optional[RuleStatsCollector],
+) -> Optional[RuleStatsCollector]:
+    """Install (or clear, with ``None``) the global collector; returns the
+    previous one. The programmatic enable path for tests and the
+    ``rulereport`` driver — overrides the environment resolution."""
+    global _COLLECTOR, _RESOLVED
+    previous = _COLLECTOR
+    _COLLECTOR = collector
+    _RESOLVED = True
+    return previous
+
+
+# -- on-disk accumulation ---------------------------------------------------------
+
+
+class RuleStatsStore:
+    """Content-addressed rule-stats accumulator (one JSON file per key).
+
+    The key — seed, scale, list names — is hashed into the filename, so
+    runs of the same campaign fold into one accumulator while different
+    campaigns never collide. Writes are read-merge-replace through a
+    temp file, so a crashed run leaves the previous accumulator intact.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    @staticmethod
+    def key_digest(key: Mapping[str, Any]) -> str:
+        canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def path_for(self, key: Mapping[str, Any]) -> Path:
+        return self.root / f"rulestats-{self.key_digest(key)}.json"
+
+    def load(self, key: Mapping[str, Any]) -> Optional[Dict[str, Any]]:
+        """The accumulated payload for one key, or ``None``."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())["payload"]
+
+    def merge_into(
+        self, key: Mapping[str, Any], payload: Mapping[str, Any]
+    ) -> Path:
+        """Fold a run's payload into the key's accumulator; returns its path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        merged = RuleStatsCollector()
+        existing = self.load(key)
+        if existing is not None:
+            merged.merge_payload(existing)
+        merged.merge_payload(payload)
+        document = {"key": dict(key), "payload": merged.as_payload()}
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(document, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def load_merged(self) -> Dict[str, Any]:
+        """Every stored accumulator merged into one payload (sorted order)."""
+        merged = RuleStatsCollector()
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("rulestats-*.json")):
+                merged.merge_payload(json.loads(path.read_text())["payload"])
+        return merged.as_payload()
+
+
+# -- the "filter the filters" report ----------------------------------------------
+
+
+def _rule_universe(history) -> List[Tuple[str, List[str]]]:
+    """Per-revision raw rule lines: [(iso date, [raw, ...]), ...]."""
+    series = []
+    for revision in history.revisions:
+        series.append((revision.date.isoformat(), list(revision.rule_lines())))
+    return series
+
+
+def _top(counts: Mapping[str, int], n: int, key_name: str) -> List[Dict[str, Any]]:
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:n]
+    return [{"rule": raw, key_name: count} for raw, count in ranked]
+
+
+def build_rule_report(
+    payload: Mapping[str, Any],
+    histories: Mapping[str, Any],
+    top_n: int = 10,
+) -> "RuleReport":
+    """Join accumulated stats with list histories into a report object.
+
+    ``histories`` maps list names (the payload's scope names) to
+    :class:`~repro.filterlist.history.FilterListHistory`-shaped objects;
+    lists without a matching history still report hit/cost totals, just
+    no revision series or overlap entries.
+    """
+    lists: Dict[str, Any] = {}
+    timing: Dict[str, Any] = {}
+    latest_raws: Dict[str, frozenset] = {}
+    hit_sets: Dict[str, frozenset] = {}
+    for name in sorted(payload.get("lists", ())):
+        entry = payload["lists"][name]
+        hits: Mapping[str, int] = entry.get("hits", {})
+        checks: Mapping[str, int] = entry.get("checks", {})
+        hit_set = frozenset(hits)
+        hit_sets[name] = hit_set
+        cost = Histogram.from_dict(entry["cost"]) if "cost" in entry else None
+        report_entry: Dict[str, Any] = {
+            "calls": entry.get("calls", 0),
+            "hits_total": sum(hits.values()),
+            "checks_total": sum(checks.values()),
+            "rules_hit": len(hit_set),
+            "top_hot": _top(hits, top_n, "hits"),
+            "top_cost": _top(checks, top_n, "checks"),
+        }
+        if cost is not None:
+            report_entry["cost_quantiles"] = cost.quantiles()
+            report_entry["cost"] = cost.as_dict()
+        history = histories.get(name)
+        if history is not None and history.revisions:
+            universe = _rule_universe(history)
+            series = []
+            for iso_date, raws in universe:
+                raw_set = set(raws)
+                dead = len(raw_set - hit_set)
+                series.append(
+                    {
+                        "date": iso_date,
+                        "rules": len(raw_set),
+                        "dead": dead,
+                        "fraction": round(dead / len(raw_set), 6) if raw_set else 0.0,
+                    }
+                )
+            latest_set = frozenset(universe[-1][1])
+            latest_raws[name] = latest_set
+            dead_rules = latest_set - hit_set
+            dead_checks = {
+                raw: checks[raw] for raw in dead_rules if checks.get(raw, 0)
+            }
+            dead_checks_total = sum(dead_checks.values())
+            checks_total = report_entry["checks_total"]
+            report_entry.update(
+                {
+                    "rules_total": len(latest_set),
+                    "dead_rules": len(dead_rules),
+                    "dead_fraction": (
+                        round(len(dead_rules) / len(latest_set), 6)
+                        if latest_set
+                        else 0.0
+                    ),
+                    "dead_rule_series": series,
+                    "top_dead_cost": _top(dead_checks, top_n, "checks"),
+                    "dead_checks_total": dead_checks_total,
+                    "dead_cost_share": (
+                        round(dead_checks_total / checks_total, 6)
+                        if checks_total
+                        else 0.0
+                    ),
+                }
+            )
+        lists[name] = report_entry
+        if "latency_ns" in entry:
+            latency = Histogram.from_dict(entry["latency_ns"])
+            timing[name] = {
+                "latency_quantiles_ns": latency.quantiles(),
+                "mean_ns": round(latency.mean() or 0.0, 1),
+                "latency_ns": latency.as_dict(),
+            }
+    overlap = []
+    for a, b in combinations(sorted(latest_raws), 2):
+        shared = latest_raws[a] & latest_raws[b]
+        union = latest_raws[a] | latest_raws[b]
+        overlap.append(
+            {
+                "lists": [a, b],
+                "rules_shared": len(shared),
+                "rules_jaccard": round(len(shared) / len(union), 6) if union else 0.0,
+                "hit_rules_shared": len(hit_sets[a] & hit_sets[b]),
+            }
+        )
+    return RuleReport({"schema": REPORT_SCHEMA, "lists": lists, "overlap": overlap}, timing)
+
+
+class RuleReport:
+    """The rendered forms of one "filter the filters" analysis."""
+
+    def __init__(self, data: Dict[str, Any], timing: Dict[str, Any]) -> None:
+        #: Deterministic sections only (sharding- and machine-invariant).
+        self.data = data
+        #: Wall-clock latency sections (advisory; never byte-compared).
+        self.timing = timing
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The byte-comparable report: deterministic sections only."""
+        return self.data
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Everything, timing included (for interactive inspection)."""
+        merged = dict(self.data)
+        if self.timing:
+            merged["timing"] = self.timing
+        return merged
+
+    def to_json(self, include_timing: bool = False) -> str:
+        """Key-sorted JSON; canonical (and byte-stable) without timing."""
+        data = self.as_dict() if include_timing else self.canonical_dict()
+        return json.dumps(data, sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """The human-readable report (deterministic text + canonical JSON)."""
+        lines = ['"Filter the filters": rule-level hit/cost report']
+        for name, entry in self.data["lists"].items():
+            lines.append("")
+            lines.append(f"== {name} ==")
+            lines.append(
+                f"  matcher calls: {entry['calls']}   rule hits: "
+                f"{entry['hits_total']}   candidate checks: {entry['checks_total']}"
+            )
+            if "rules_total" in entry:
+                lines.append(
+                    f"  latest revision: {entry['rules_total']} rules, "
+                    f"{entry['rules_hit']} ever hit, {entry['dead_rules']} dead "
+                    f"({100 * entry['dead_fraction']:.1f}%)"
+                )
+                lines.append(
+                    f"  checks spent on dead rules: {entry['dead_checks_total']} "
+                    f"({100 * entry['dead_cost_share']:.1f}% of all checks)"
+                )
+            if "cost_quantiles" in entry:
+                q = entry["cost_quantiles"]
+                lines.append(
+                    f"  candidates probed per call: p50<={q['p50']} "
+                    f"p90<={q['p90']} p99<={q['p99']}"
+                )
+            series = entry.get("dead_rule_series")
+            if series:
+                lines.append("  dead-rule fraction over revisions:")
+                shown = series if len(series) <= 12 else (
+                    series[:6] + [None] + series[-5:]
+                )
+                for point in shown:
+                    if point is None:
+                        lines.append("    ...")
+                        continue
+                    lines.append(
+                        f"    {point['date']}  rules={point['rules']:<6} "
+                        f"dead={point['dead']:<6} ({100 * point['fraction']:.1f}%)"
+                    )
+            if entry.get("top_hot"):
+                lines.append(f"  top {len(entry['top_hot'])} hot rules:")
+                for item in entry["top_hot"]:
+                    lines.append(f"    {item['hits']:>8}  {item['rule']}")
+            if entry.get("top_dead_cost"):
+                lines.append(
+                    f"  top {len(entry['top_dead_cost'])} costly dead rules "
+                    "(probed, never hit):"
+                )
+                for item in entry["top_dead_cost"]:
+                    lines.append(f"    {item['checks']:>8}  {item['rule']}")
+        if self.data["overlap"]:
+            lines.append("")
+            lines.append("== cross-list overlap ==")
+            for pair in self.data["overlap"]:
+                a, b = pair["lists"]
+                lines.append(
+                    f"  {a} ∩ {b}: {pair['rules_shared']} shared rules "
+                    f"(jaccard {pair['rules_jaccard']:.3f}), "
+                    f"{pair['hit_rules_shared']} shared hit rules"
+                )
+        lines.append("")
+        lines.append("== canonical JSON ==")
+        lines.append(self.to_json())
+        return "\n".join(lines)

@@ -102,6 +102,64 @@ class RuleGenerator:
         return f"||{parts.host}{path}"
 
 
+@dataclass
+class PruneResult:
+    """Outcome of a dead-rule prune over one filter list."""
+
+    #: The surviving rules as a new list (document order preserved).
+    pruned: FilterList
+    kept: int
+    dropped: int
+    #: Raw lines of the dropped rules, in document order (deduplicated).
+    dropped_rules: List[str] = field(default_factory=list)
+
+    @property
+    def dropped_fraction(self) -> float:
+        total = self.kept + self.dropped
+        return self.dropped / total if total else 0.0
+
+
+def prune_dead_rules(
+    filter_list: FilterList,
+    hits: Dict[str, int],
+    keep_exceptions: bool = False,
+) -> PruneResult:
+    """Drop rules that never fired, per the rule-stats hit accounting.
+
+    ``hits`` maps raw rule lines to trigger counts (the
+    :class:`~repro.analysis.rulestats.RuleStatsCollector` payload's
+    ``hits`` section). Surviving rules keep their document order, so on
+    the *observed* traffic the pruned list reproduces the full list's
+    decisions exactly: any rule that ever won a match is a hit, hence
+    kept, and candidate order within the token index is preserved.
+
+    On *unobserved* traffic a pruned exception rule could change a
+    decision; ``keep_exceptions=True`` keeps every ``@@``/``#@#`` rule
+    regardless of hits for that conservative deployment.
+    """
+    kept_rules = []
+    dropped_raws: List[str] = []
+    seen_dropped = set()
+    for parsed in filter_list.rules:
+        raw = parsed.rule.raw
+        if hits.get(raw, 0) > 0 or (keep_exceptions and parsed.rule.is_exception):
+            kept_rules.append(parsed)
+        elif raw not in seen_dropped:
+            seen_dropped.add(raw)
+            dropped_raws.append(raw)
+    pruned = FilterList(
+        name=f"{filter_list.name}-pruned" if filter_list.name else "pruned",
+        rules=kept_rules,
+        metadata=dict(filter_list.metadata),
+    )
+    return PruneResult(
+        pruned=pruned,
+        kept=len(kept_rules),
+        dropped=len(filter_list.rules) - len(kept_rules),
+        dropped_rules=dropped_raws,
+    )
+
+
 def detect_and_generate(
     detector: AntiAdblockDetector,
     pages: Sequence[PageSnapshot],

@@ -18,6 +18,7 @@ given by the ``REPRO_SCALE`` environment variable.
 | table2     | Table 2 (example BlockAdBlock features)                |
 | table3     | Table 3 (TP/FP across feature sets & classifiers)      |
 | sec5live   | §5 live test (TP on live-crawl scripts)                |
+| rulereport | "filter the filters": per-rule hit/cost accounting     |
 """
 
 from .context import AAK, CE, ExperimentContext, default_scale, shared_context

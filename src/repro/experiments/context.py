@@ -10,6 +10,7 @@ Set the ``REPRO_SCALE`` environment variable to override globally.
 from __future__ import annotations
 
 import logging
+import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -51,9 +52,38 @@ class StageTiming:
     name: str
     wall_s: float
     cpu_s: float
+    #: Process peak RSS in KiB when the stage finished (``getrusage``;
+    #: ``None`` where the ``resource`` module is unavailable). A high-water
+    #: mark, so it attributes the *first* stage that reached a plateau.
+    max_rss_kb: Optional[int] = None
+    #: cpu_s / wall_s — ~1.0 means a serial CPU-bound stage; > 1 only
+    #: happens via in-process threads, < 1 means waiting (or forked
+    #: children doing the work, whose CPU is not counted here).
+    cpu_util: Optional[float] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {"name": self.name, "wall_s": self.wall_s, "cpu_s": self.cpu_s}
+        data: Dict[str, object] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.max_rss_kb is not None:
+            data["max_rss_kb"] = self.max_rss_kb
+        if self.cpu_util is not None:
+            data["cpu_util"] = self.cpu_util
+        return data
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Current process peak RSS in KiB, or ``None`` off-POSIX."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes there
+        rss //= 1024
+    return int(rss)
 
 
 def default_workers() -> int:
@@ -92,16 +122,32 @@ class ExperimentContext:
 
     @contextmanager
     def _stage(self, name: str, **attributes):
-        """Time one lazy build as a named stage (span + metrics + log)."""
+        """Time one lazy build as a named stage (span + metrics + log).
+
+        Besides wall/CPU time, each stage records the process's peak RSS
+        and its CPU utilization (cpu_s / wall_s) — as span attributes
+        (so ``--trace`` shows them), as ``stage.*`` gauges, and on the
+        :class:`StageTiming` the run manifest serializes.
+        """
         logger.info("stage %s: starting", name)
         wall0, cpu0 = time.perf_counter(), time.process_time()
-        with trace_span(f"stage:{name}", **attributes):
+        with trace_span(f"stage:{name}", **attributes) as stage_span:
             yield
-        wall, cpu = time.perf_counter() - wall0, time.process_time() - cpu0
-        self.stage_timings.append(StageTiming(name, wall, cpu))
+            wall, cpu = time.perf_counter() - wall0, time.process_time() - cpu0
+            rss_kb = _peak_rss_kb()
+            cpu_util = round(cpu / wall, 4) if wall > 0 else 0.0
+            stage_span.set(cpu_util=cpu_util)
+            if rss_kb is not None:
+                stage_span.set(max_rss_kb=rss_kb)
+        self.stage_timings.append(
+            StageTiming(name, wall, cpu, max_rss_kb=rss_kb, cpu_util=cpu_util)
+        )
         metrics = get_metrics()
         metrics.gauge(f"stage.{name}.wall_s", wall)
         metrics.gauge(f"stage.{name}.cpu_s", cpu)
+        metrics.gauge(f"stage.{name}.cpu_util", cpu_util)
+        if rss_kb is not None:
+            metrics.gauge(f"stage.{name}.max_rss_kb", float(rss_kb))
         logger.info("stage %s: finished in %.2fs", name, wall)
 
     def stage_report(self) -> List[Dict[str, object]]:

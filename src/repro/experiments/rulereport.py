@@ -1,0 +1,59 @@
+""""Filter the filters" — rule-level hit/cost report over the §4 replay.
+
+The paper treats filter lists as the measurement instrument; this driver
+turns the instrument on itself. It enables the rule-stats plane
+(:mod:`repro.analysis.rulestats`), drives the §4.2 coverage replay and
+the §4.3 live crawl so every matcher call is accounted, then joins the
+accumulated per-rule hits/checks with the list histories into a report:
+dead-rule fraction over revisions, the top hot rules, the candidate-check
+cost of rules that never fire, and cross-list rule overlap.
+
+When ``REPRO_RULE_STATS_DIR`` points at an accumulator directory, stats
+stored there by previous runs are folded in, so the report can aggregate
+a multi-invocation campaign. The rendered artifact embeds the canonical
+(timing-free) JSON payload, which is byte-identical across serial and
+parallel runs.
+"""
+
+from __future__ import annotations
+
+from ..analysis.rulestats import (
+    RuleReport,
+    RuleStatsCollector,
+    RuleStatsStore,
+    build_rule_report,
+    get_rule_stats,
+    set_rule_stats,
+)
+from ..obs.config import rule_stats_dir
+from .context import ExperimentContext
+
+
+def run(ctx: ExperimentContext) -> RuleReport:
+    """Account every matcher call of the §4 replay, then build the report."""
+    collector = get_rule_stats()
+    if collector is None:
+        # The driver is the programmatic enable path: running `rulereport`
+        # turns the plane on even without REPRO_RULE_STATS=1.
+        collector = RuleStatsCollector()
+        set_rule_stats(collector)
+    # Drive the instrumented stages; both are cached on the context, so
+    # stages an earlier experiment already materialised (with their calls
+    # already accounted) are not recomputed.
+    ctx.coverage
+    ctx.live
+    payload = collector.as_payload()
+    store_dir = rule_stats_dir()
+    if store_dir is not None:
+        stored = RuleStatsStore(store_dir).load_merged()
+        if stored.get("lists"):
+            merged = RuleStatsCollector()
+            merged.merge_payload(stored)
+            merged.merge_payload(payload)
+            payload = merged.as_payload()
+    return build_rule_report(payload, ctx.histories)
+
+
+def render(result: RuleReport) -> str:
+    """Render the artifact (deterministic text + canonical JSON)."""
+    return result.render()

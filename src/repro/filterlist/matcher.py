@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
+from time import perf_counter_ns
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .rules import NetworkRule
@@ -119,6 +120,12 @@ class NetworkMatcher:
     ``match_calls`` and ``candidates_probed`` attributes, e.g.
     :class:`repro.analysis.perf.PerfCounters`); when set, every call
     reports how many candidate rules it probed.
+
+    ``rule_stats`` is an optional per-rule sink (duck-typed as
+    :class:`repro.analysis.rulestats.ScopedRuleStats`): when set, every
+    call additionally records which rules were probed, which rule hit,
+    and the call's latency. ``None`` (the default) costs exactly one
+    attribute check per call — the ``NULL_SPAN`` discipline.
     """
 
     def __init__(self, rules: Iterable[NetworkRule] = (), stats=None) -> None:
@@ -128,6 +135,7 @@ class NetworkMatcher:
         self._allow_rest: List[NetworkRule] = []
         self._count = 0
         self.stats = stats
+        self.rule_stats = None
         for rule in rules:
             self.add_rule(rule)
 
@@ -171,6 +179,7 @@ class NetworkMatcher:
     def copy(self) -> "NetworkMatcher":
         """A structural copy sharing rule objects but not index buckets."""
         clone = NetworkMatcher(stats=self.stats)
+        clone.rule_stats = self.rule_stats
         clone._block_index = {t: list(rs) for t, rs in self._block_index.items()}
         clone._allow_index = {t: list(rs) for t, rs in self._allow_index.items()}
         clone._block_rest = list(self._block_rest)
@@ -236,6 +245,12 @@ class NetworkMatcher:
         resource_type: str,
         third_party: Optional[bool],
     ) -> Optional[NetworkRule]:
+        rule_stats = self.rule_stats
+        if rule_stats is not None:
+            return self._first_recorded(
+                rule_stats, url, tokens, index, rest,
+                page_domain, resource_type, third_party,
+            )
         probed = 0
         hit: Optional[NetworkRule] = None
         for rule in self._candidates(tokens, index, rest):
@@ -247,6 +262,41 @@ class NetworkMatcher:
         if stats is not None:
             stats.match_calls += 1
             stats.candidates_probed += probed
+        return hit
+
+    def _first_recorded(
+        self,
+        rule_stats,
+        url: str,
+        tokens: Tuple[str, ...],
+        index: Dict[str, List[NetworkRule]],
+        rest: List[NetworkRule],
+        page_domain: str,
+        resource_type: str,
+        third_party: Optional[bool],
+    ) -> Optional[NetworkRule]:
+        """``_first`` with per-rule accounting (the stats-on slow path).
+
+        Candidate order is identical to ``_first``'s, so the winning
+        rule — and therefore every experiment artifact — is unchanged;
+        only the bookkeeping differs.
+        """
+        started = perf_counter_ns()
+        probed = 0
+        hit: Optional[NetworkRule] = None
+        checks = rule_stats.checks
+        for rule in self._candidates(tokens, index, rest):
+            probed += 1
+            raw = rule.raw
+            checks[raw] = checks.get(raw, 0) + 1
+            if rule.matches(url, page_domain, resource_type, third_party):
+                hit = rule
+                break
+        stats = self.stats
+        if stats is not None:
+            stats.match_calls += 1
+            stats.candidates_probed += probed
+        rule_stats.record_call(probed, perf_counter_ns() - started, hit)
         return hit
 
     # -- raw-URL API ---------------------------------------------------------

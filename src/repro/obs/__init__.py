@@ -23,6 +23,7 @@ import ``repro.obs`` freely.
 """
 
 from .config import ConfigSnapshot, config_snapshot
+from .hist import Histogram, count_buckets, ns_buckets
 from .logconf import configure_logging
 from .manifest import RunManifest, validate_events, validate_manifest
 from .metrics import MetricsRegistry, get_metrics, reset_metrics
@@ -42,6 +43,9 @@ __all__ = [
     "ConfigSnapshot",
     "config_snapshot",
     "configure_logging",
+    "Histogram",
+    "count_buckets",
+    "ns_buckets",
     "RunManifest",
     "validate_events",
     "validate_manifest",

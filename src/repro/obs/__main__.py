@@ -1,8 +1,10 @@
 """Manifest tooling CLI: ``python -m repro.obs validate run.json [run.jsonl]``.
 
 Exit status 0 when every named file validates, 1 otherwise (errors on
-stderr). ``*.json`` files are checked against the ``repro.run-manifest/1``
-schema; ``*.jsonl`` files are checked as event logs (monotonic ``seq``,
+stderr). ``*.json`` files are checked against the run-manifest schema —
+``repro.run-manifest/2`` (histogram metrics + optional ``rules``
+section) or the older ``repro.run-manifest/1``, selected by the file's
+own ``schema`` field; ``*.jsonl`` files are checked as event logs (monotonic ``seq``,
 numeric ``ts``, and only known event kinds — including the resilience
 layer's ``crawl_retry`` / ``crawl_circuit_open`` / ``crawl_resume``
 events). CI uses this to gate the traced-run artifacts it uploads.

@@ -31,6 +31,7 @@ DEFAULT_MAX_RETRIES = 3
 DEFAULT_RETRY_BASE_MS = 50.0
 DEFAULT_DATA_PLANE = False
 DEFAULT_POOL_PERSIST = False
+DEFAULT_RULE_STATS = False
 
 #: The knobs this module owns, in manifest order.
 KNOBS = (
@@ -41,6 +42,8 @@ KNOBS = (
     "REPRO_FEATURE_CACHE",
     "REPRO_DATA_PLANE",
     "REPRO_POOL_PERSIST",
+    "REPRO_RULE_STATS",
+    "REPRO_RULE_STATS_DIR",
     "REPRO_MAX_RETRIES",
     "REPRO_RETRY_BASE_MS",
     "REPRO_CRAWL_JOURNAL",
@@ -200,6 +203,35 @@ def pool_persist(environ: Optional[Mapping[str, str]] = None) -> bool:
     )
 
 
+def rule_stats_enabled(environ: Optional[Mapping[str, str]] = None) -> bool:
+    """Rule-level stats toggle from ``REPRO_RULE_STATS`` (default off).
+
+    When on, the matcher/adblocker layers report per-rule hit counts,
+    candidate-check counts, and match-latency histograms into the
+    process-global :class:`~repro.analysis.rulestats.RuleStatsCollector`
+    (the "filter the filters" plane). Experiment artifacts are
+    digest-identical either way; the knob only adds telemetry.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_bool(
+        "REPRO_RULE_STATS", environ.get("REPRO_RULE_STATS"), DEFAULT_RULE_STATS
+    )
+
+
+def rule_stats_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """Rule-stats accumulator directory from ``REPRO_RULE_STATS_DIR``.
+
+    Unset or empty keeps stats in-process only (``None``). When set (and
+    ``REPRO_RULE_STATS=1``), each run folds its collected payload into a
+    content-addressed JSON accumulator under this directory, so stats
+    aggregate across the full §4 replay at scale — multiple invocations,
+    one report. The directory need not exist, but a path that exists and
+    is *not* a directory is rejected with a one-time warning.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_dir("REPRO_RULE_STATS_DIR", environ.get("REPRO_RULE_STATS_DIR"))
+
+
 def max_retries(environ: Optional[Mapping[str, str]] = None) -> int:
     """Crawl retry allowance from ``REPRO_MAX_RETRIES`` (default 3, ≥ 0).
 
@@ -271,6 +303,10 @@ class ConfigSnapshot:
     data_plane: bool = DEFAULT_DATA_PLANE
     #: One long-lived worker pool per process (``REPRO_POOL_PERSIST``).
     pool_persist: bool = DEFAULT_POOL_PERSIST
+    #: Per-rule hit/cost accounting (``REPRO_RULE_STATS``).
+    rule_stats: bool = DEFAULT_RULE_STATS
+    #: Cross-run rule-stats accumulator directory (``REPRO_RULE_STATS_DIR``).
+    rule_stats_dir: Optional[str] = None
     max_retries: int = DEFAULT_MAX_RETRIES
     retry_base_ms: float = DEFAULT_RETRY_BASE_MS
     #: Checkpoint-journal directory (holds wayback/live/corpus journals),
@@ -291,6 +327,8 @@ class ConfigSnapshot:
             "feature_cache": self.feature_cache,
             "data_plane": self.data_plane,
             "pool_persist": self.pool_persist,
+            "rule_stats": self.rule_stats,
+            "rule_stats_dir": self.rule_stats_dir,
             "max_retries": self.max_retries,
             "retry_base_ms": self.retry_base_ms,
             "crawl_journal": self.crawl_journal,
@@ -310,6 +348,8 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         feature_cache=feature_cache_dir(environ),
         data_plane=data_plane_enabled(environ),
         pool_persist=pool_persist(environ),
+        rule_stats=rule_stats_enabled(environ),
+        rule_stats_dir=rule_stats_dir(environ),
         max_retries=max_retries(environ),
         retry_base_ms=retry_base_ms(environ),
         crawl_journal=crawl_journal_dir(environ),

@@ -1,0 +1,203 @@
+"""Fixed-bucket histograms with deterministic merge semantics.
+
+The rule-level observability plane needs distributions, not just sums:
+match latency per call, candidate checks per call, hits per rule. A
+:class:`Histogram` is the cheapest structure that answers percentile
+questions while staying *mergeable across worker processes*: a fixed,
+sorted tuple of bucket upper bounds plus one overflow bucket, so merging
+two histograms is element-wise addition of their count vectors and is
+associative and commutative — shard merge order can never change the
+result, the same discipline the counter plane pins.
+
+Two stock bucket families:
+
+- :func:`ns_buckets` — log-spaced wall-clock nanosecond bounds (256 ns to
+  ~8.6 s in powers of four) for match-latency observations;
+- :func:`count_buckets` — 0 plus powers of two up to 65536 for discrete
+  work counts (candidates probed per call, hits per rule).
+
+Serialization (:meth:`Histogram.as_dict`) is key-ordered and built from
+plain ints, so ``json.dumps(..., sort_keys=True)`` of two equal
+histograms is byte-identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def ns_buckets() -> Tuple[int, ...]:
+    """Log-spaced nanosecond bounds: 4**4 .. 4**16 (256 ns .. ~4.3 s)."""
+    return tuple(4**exp for exp in range(4, 17))
+
+
+def count_buckets() -> Tuple[int, ...]:
+    """Discrete-work bounds: 0 plus powers of two up to 65536."""
+    return (0,) + tuple(2**exp for exp in range(17))
+
+
+class Histogram:
+    """Counts of observations per fixed bucket, plus an overflow bucket.
+
+    ``bounds`` are inclusive upper bounds in strictly increasing order;
+    an observation lands in the first bucket whose bound is >= the value.
+    Values beyond the last bound land in the overflow bucket, so the
+    count vector has ``len(bounds) + 1`` entries and no observation is
+    ever dropped.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "total")
+
+    def __init__(self, bounds: Optional[Sequence[Number]] = None) -> None:
+        bounds = tuple(count_buckets() if bounds is None else bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds not strictly increasing: {bounds!r}")
+        self.bounds: Tuple[Number, ...] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: Number = 0
+        self.total: int = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def observe(self, value: Number, count: int = 1) -> None:
+        """Record ``count`` observations of ``value``."""
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.sum += value * count
+        self.total += count
+
+    # -- merging ------------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram in (bucket-wise sum); returns self.
+
+        Only histograms over identical bounds merge — anything else
+        would silently redistribute mass.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"bucket bounds differ: {self.bounds!r} != {other.bounds!r}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.total += other.total
+        return self
+
+    def subtract(self, earlier: "Histogram") -> "Histogram":
+        """A new histogram holding this minus an earlier snapshot."""
+        if earlier.bounds != self.bounds:
+            raise ValueError(
+                f"bucket bounds differ: {self.bounds!r} != {earlier.bounds!r}"
+            )
+        delta = Histogram(self.bounds)
+        delta.counts = [a - b for a, b in zip(self.counts, earlier.counts)]
+        delta.sum = self.sum - earlier.sum
+        delta.total = self.total - earlier.total
+        return delta
+
+    def copy(self) -> "Histogram":
+        clone = Histogram(self.bounds)
+        clone.counts = list(self.counts)
+        clone.sum = self.sum
+        clone.total = self.total
+        return clone
+
+    # -- reading ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.total
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.sum == other.sum
+            and self.total == other.total
+        )
+
+    def percentile(self, p: Number) -> Optional[Number]:
+        """The upper bound of the bucket holding the p-th percentile.
+
+        Returns ``None`` for an empty histogram. Overflow observations
+        report the last finite bound (a floor, clearly conservative).
+        """
+        if self.total == 0:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p!r}")
+        rank = max(1, -(-self.total * p // 100))  # ceil without floats
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self.bounds[min(index, len(self.bounds) - 1)]
+        return self.bounds[-1]  # pragma: no cover - rank <= total always lands
+
+    def quantiles(self) -> Dict[str, Optional[Number]]:
+        """The standard report triple: p50 / p90 / p99."""
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def mean(self) -> Optional[float]:
+        """Exact mean of the observed values (not bucket-quantized)."""
+        return self.sum / self.total if self.total else None
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict form; key-ordered, JSON-ready, round-trippable."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "total": self.total,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Histogram":
+        """Rebuild a histogram from :meth:`as_dict` output (validated)."""
+        bounds = data.get("bounds")
+        counts = data.get("counts")
+        if not isinstance(bounds, (list, tuple)) or not isinstance(
+            counts, (list, tuple)
+        ):
+            raise ValueError("histogram dict needs 'bounds' and 'counts' lists")
+        hist = cls(tuple(bounds))
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"count vector length {len(counts)} != {len(hist.counts)}"
+            )
+        hist.counts = [int(count) for count in counts]
+        hist.sum = data.get("sum", 0)
+        total = data.get("total")
+        hist.total = int(total) if total is not None else sum(hist.counts)
+        return hist
+
+
+def merge_histogram_dicts(
+    target: Dict[str, Dict[str, object]],
+    source: Mapping[str, Mapping[str, object]],
+) -> None:
+    """Merge serialized histograms into serialized histograms, in place.
+
+    The worker-payload path ships histograms as plain dicts; merging in
+    the serialized domain (sorted by name) keeps the parent free of
+    ordering sensitivity without materialising Histogram objects twice.
+    """
+    for name in sorted(source):
+        incoming = Histogram.from_dict(source[name])
+        existing = target.get(name)
+        if existing is None:
+            target[name] = incoming.as_dict()
+        else:
+            target[name] = Histogram.from_dict(existing).merge(incoming).as_dict()

@@ -12,10 +12,14 @@ Two outputs:
   for tailing long campaigns and for post-hoc timeline reconstruction.
 - **``run.json``** — the final manifest, written once at the end.
 
-The schema is versioned (``repro.run-manifest/1``) and checked by
-:func:`validate_manifest` — a hand-rolled structural validator so CI can
-gate on manifest integrity without a jsonschema dependency. Validate
-from the command line with ``python -m repro.obs validate run.json``.
+The schema is versioned and checked by :func:`validate_manifest` — a
+hand-rolled structural validator so CI can gate on manifest integrity
+without a jsonschema dependency. Current writes use
+``repro.run-manifest/2``, which adds a ``metrics.histograms`` section
+(serialized :class:`~repro.obs.hist.Histogram` objects) and an optional
+top-level ``rules`` section (the rule-stats summary); v1 manifests from
+older runs still validate under the v1 rules. Validate from the command
+line with ``python -m repro.obs validate run.json``.
 """
 
 from __future__ import annotations
@@ -28,7 +32,12 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-SCHEMA = "repro.run-manifest/1"
+SCHEMA_V1 = "repro.run-manifest/1"
+SCHEMA_V2 = "repro.run-manifest/2"
+#: The schema new manifests are written with.
+SCHEMA = SCHEMA_V2
+#: Every schema :func:`validate_manifest` accepts.
+KNOWN_SCHEMAS = frozenset({SCHEMA_V1, SCHEMA_V2})
 
 
 def git_sha(cwd: Optional[str] = None) -> Optional[str]:
@@ -131,6 +140,11 @@ class RunManifest:
         extra: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
         """Write ``run.json`` and return the manifest dict."""
+        # Normalize the metrics block to the v2 shape so callers built
+        # against v1 (no histograms section) still write valid manifests.
+        metrics = dict(metrics) if metrics else {}
+        for bucket in ("counters", "gauges", "histograms"):
+            metrics.setdefault(bucket, {})
         manifest: Dict[str, Any] = {
             "schema": SCHEMA,
             "created": self.created,
@@ -141,7 +155,7 @@ class RunManifest:
             "experiments": experiments or [],
             "stages": self.stages,
             "artifacts": self.artifacts,
-            "metrics": metrics or {"counters": {}, "gauges": {}},
+            "metrics": metrics,
             "spans": spans or [],
             "events_path": self.events_path.name,
         }
@@ -180,8 +194,12 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
             errors.append(f"{key}: expected {expected.__name__}")
     if errors:
         return errors
-    if manifest["schema"] != SCHEMA:
-        errors.append(f"schema: expected {SCHEMA!r}, got {manifest['schema']!r}")
+    schema = manifest["schema"]
+    if schema not in KNOWN_SCHEMAS:
+        errors.append(
+            f"schema: expected one of {sorted(KNOWN_SCHEMAS)}, got {schema!r}"
+        )
+        return errors
     for index, stage in enumerate(manifest["stages"]):
         if not isinstance(stage, dict) or "name" not in stage:
             errors.append(f"stages[{index}]: missing name")
@@ -201,6 +219,15 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
     for bucket in ("counters", "gauges"):
         if not isinstance(metrics.get(bucket), dict):
             errors.append(f"metrics.{bucket}: expected dict")
+    if schema == SCHEMA_V2:
+        histograms = metrics.get("histograms")
+        if not isinstance(histograms, dict):
+            errors.append("metrics.histograms: expected dict (v2)")
+        else:
+            for name, hist in histograms.items():
+                errors.extend(_validate_histogram(hist, f"metrics.histograms[{name}]"))
+        if "rules" in manifest:
+            errors.extend(_validate_rules_section(manifest["rules"]))
     config = manifest["config"]
     for knob, kind in (
         ("scale", (int, float)),
@@ -208,6 +235,8 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("matcher_cache", int),
         ("history_cache", int),
         ("feature_cache", (str, type(None))),
+        ("rule_stats", bool),
+        ("rule_stats_dir", (str, type(None))),
         ("max_retries", int),
         ("retry_base_ms", (int, float)),
         ("crawl_journal", (str, type(None))),
@@ -217,6 +246,50 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
             errors.append(f"config.{knob}: wrong type")
     for index, span in enumerate(manifest["spans"]):
         errors.extend(_validate_span(span, f"spans[{index}]"))
+    return errors
+
+
+def _validate_histogram(hist: Any, where: str) -> List[str]:
+    """Structural check of one serialized histogram (v2 metrics section)."""
+    if not isinstance(hist, dict):
+        return [f"{where}: not an object"]
+    errors: List[str] = []
+    bounds = hist.get("bounds")
+    counts = hist.get("counts")
+    if not (isinstance(bounds, list) and bounds):
+        errors.append(f"{where}: missing bounds")
+    if not isinstance(counts, list):
+        errors.append(f"{where}: missing counts")
+    elif isinstance(bounds, list) and len(counts) != len(bounds) + 1:
+        errors.append(f"{where}: counts length != bounds length + 1")
+    elif not all(isinstance(count, int) and count >= 0 for count in counts):
+        errors.append(f"{where}: non-integer bucket count")
+    if not isinstance(hist.get("total"), int):
+        errors.append(f"{where}: missing integer total")
+    if not isinstance(hist.get("sum"), (int, float)):
+        errors.append(f"{where}: missing numeric sum")
+    return errors
+
+
+def _validate_rules_section(rules: Any) -> List[str]:
+    """Structural check of the optional v2 ``rules`` summary section."""
+    if not isinstance(rules, dict):
+        return ["rules: not an object"]
+    errors: List[str] = []
+    totals = rules.get("totals")
+    if not isinstance(totals, dict):
+        errors.append("rules.totals: expected dict")
+    else:
+        for key, value in totals.items():
+            if not isinstance(value, int):
+                errors.append(f"rules.totals.{key}: expected int")
+    lists = rules.get("lists", {})
+    if not isinstance(lists, dict):
+        errors.append("rules.lists: expected dict")
+    else:
+        for name, entry in lists.items():
+            if not isinstance(entry, dict):
+                errors.append(f"rules.lists[{name}]: not an object")
     return errors
 
 

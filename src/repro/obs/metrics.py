@@ -2,14 +2,17 @@
 
 Every pipeline stage reports into one flat registry under a dotted
 namespace (``crawl.slots``, ``replay.records``, ``corpus.positives``),
-so one ``run.json`` can answer "what did this run do" across layers. Two
-kinds of metric, with merge semantics chosen so that sharded runs
+so one ``run.json`` can answer "what did this run do" across layers.
+Three kinds of metric, with merge semantics chosen so that sharded runs
 aggregate deterministically:
 
 - **counters** — monotonically accumulated integers; merging *sums*.
 - **gauges** — point-in-time floats (rates, durations); merging takes
   the *max*, matching how :class:`~repro.analysis.perf.PerfCounters`
   folds shard ``elapsed`` times.
+- **histograms** — fixed-bucket distributions
+  (:class:`~repro.obs.hist.Histogram`); merging sums bucket counts, so
+  shard merge order cannot change the result.
 
 Serialization (:meth:`MetricsRegistry.as_dict`) is key-sorted, so two
 registries holding the same values serialize byte-identically regardless
@@ -19,7 +22,9 @@ tests pin.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from .hist import Histogram
 
 Number = Union[int, float]
 
@@ -30,6 +35,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # -- recording ----------------------------------------------------------
 
@@ -41,6 +47,20 @@ class MetricsRegistry:
         """Set the gauge ``name`` to ``value`` (last write wins locally)."""
         self._gauges[name] = float(value)
 
+    def hist(
+        self, name: str, value: Number, bounds: Optional[Sequence[Number]] = None
+    ) -> None:
+        """Observe ``value`` in the histogram ``name``.
+
+        ``bounds`` picks the bucket family on first touch (default:
+        :func:`~repro.obs.hist.count_buckets`); later observations
+        ignore it — one histogram, one bucket layout.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
     def absorb(self, namespace: str, source: Any) -> None:
         """Fold an external source's numbers in under ``namespace.``.
 
@@ -48,19 +68,33 @@ class MetricsRegistry:
         (e.g. :class:`~repro.analysis.perf.PerfCounters` — the replay
         engine's counters become one source among many). ``int`` values
         become counters; ``float`` values (rates, durations) become
-        gauges; anything non-numeric is skipped.
+        gauges; nested mappings recurse with dotted keys (so worker
+        payload dicts like ``dataplane.*`` absorb without manual
+        flattening, in sorted-key order to keep merges deterministic);
+        anything else is skipped.
         """
         if not isinstance(source, Mapping):
             source = source.as_dict()
         for key in sorted(source):
             value = source[key]
+            full = f"{namespace}.{key}"
+            if isinstance(value, Mapping):
+                self.absorb(full, value)
+                continue
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
-            full = f"{namespace}.{key}"
             if isinstance(value, int):
                 self.count(full, value)
             else:
                 self.gauge(full, value)
+
+    def absorb_histogram(self, name: str, histogram: Histogram) -> None:
+        """Merge an externally-built histogram in under ``name``."""
+        existing = self._histograms.get(name)
+        if existing is None:
+            self._histograms[name] = histogram.copy()
+        else:
+            existing.merge(histogram)
 
     # -- reading / merging --------------------------------------------------
 
@@ -68,34 +102,54 @@ class MetricsRegistry:
         """Current value of a counter (0 if never touched)."""
         return self._counters.get(name, 0)
 
+    def histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or ``None`` if never observed."""
+        return self._histograms.get(name)
+
     def merge(self, other: "MetricsRegistry") -> None:
-        """Fold another registry in: counters sum, gauges take the max."""
+        """Fold another registry in: counters sum, gauges take the max,
+        histograms sum bucket counts."""
         for name in sorted(other._counters):
             self.count(name, other._counters[name])
         for name in sorted(other._gauges):
             current = self._gauges.get(name)
             value = other._gauges[name]
             self._gauges[name] = value if current is None else max(current, value)
+        for name in sorted(other._histograms):
+            self.absorb_histogram(name, other._histograms[name])
 
     def reset(self) -> None:
         """Drop every metric."""
         self._counters.clear()
         self._gauges.clear()
+        self._histograms.clear()
 
     def __len__(self) -> int:
-        return len(self._counters) + len(self._gauges)
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
 
-    def as_dict(self) -> Dict[str, Dict[str, Number]]:
-        """Key-sorted ``{"counters": ..., "gauges": ...}`` (JSON-ready)."""
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Key-sorted ``{"counters", "gauges", "histograms"}`` (JSON-ready)."""
         return {
             "counters": {key: self._counters[key] for key in sorted(self._counters)},
             "gauges": {key: self._gauges[key] for key in sorted(self._gauges)},
+            "histograms": {
+                key: self._histograms[key].as_dict()
+                for key in sorted(self._histograms)
+            },
         }
 
     def render(self) -> str:
-        """One ``name=value`` per line, counters first, key-sorted."""
+        """One ``name=value`` per line; counters, gauges, then histogram
+        quantile summaries, each key-sorted."""
         lines = [f"{key}={self._counters[key]}" for key in sorted(self._counters)]
         lines += [f"{key}={self._gauges[key]:.6g}" for key in sorted(self._gauges)]
+        for key in sorted(self._histograms):
+            histogram = self._histograms[key]
+            q = histogram.quantiles()
+            lines.append(
+                f"{key}=p50:{q['p50']} p90:{q['p90']} p99:{q['p99']}"
+                f" total:{histogram.total}"
+            )
         return "\n".join(lines)
 
 

@@ -132,10 +132,20 @@ class Span:
         return data
 
     def render(self, indent: int = 0) -> str:
-        """Human-readable one-line-per-span tree."""
+        """Human-readable one-line-per-span tree (scalar attributes shown)."""
         wall = f"{self.wall_s:.3f}s" if self.wall_s is not None else "-"
         cpu = f"{self.cpu_s:.3f}s" if self.cpu_s is not None else "-"
         extras = ""
+        scalars = {
+            key: value
+            for key, value in self.attributes.items()
+            if isinstance(value, (int, float, str, bool))
+        }
+        if scalars:
+            extras += " " + " ".join(
+                f"{key}={value:.4g}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in sorted(scalars.items())
+            )
         if self.counters:
             extras += " " + " ".join(
                 f"{key}={value}" for key, value in sorted(self.counters.items())

@@ -66,6 +66,10 @@ class Adblocker:
         #: Parsed selector cache: selectors are re-applied on every page
         #: load, so parse each rule's selector once.
         self._selector_cache: dict = {}
+        #: Optional per-rule sink (duck-typed as
+        #: :class:`repro.analysis.rulestats.ScopedRuleStats`); ``None``
+        #: costs one attribute check per page load.
+        self.rule_stats = None
         self.log = AdblockLog()
         for filter_list in filter_lists or []:
             self.subscribe(filter_list)
@@ -81,6 +85,7 @@ class Adblocker:
         """The token-indexed URL matcher (rebuilt after subscribe)."""
         if self._matcher is None:
             self._matcher = NetworkMatcher(self._network_rules)
+        self._matcher.rule_stats = self.rule_stats
         return self._matcher
 
     @property
@@ -150,4 +155,8 @@ class Adblocker:
                 self.log.add(
                     LogEntry("element-hidden", rule, rule.selector, page_domain)
                 )
+        rule_stats = self.rule_stats
+        if rule_stats is not None:
+            for rule in triggered:
+                rule_stats.record_element_hit(rule.raw)
         return triggered

@@ -146,8 +146,46 @@ class TestSnapshot:
             "fault_seed",
             "data_plane",
             "pool_persist",
+            "rule_stats",
+            "rule_stats_dir",
             "raw_env",
         }
+
+
+class TestRuleStatsKnobs:
+    def test_default_off(self):
+        assert obs_config.rule_stats_enabled() is False
+        assert obs_config.rule_stats_dir() is None
+
+    def test_enable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RULE_STATS", "1")
+        assert obs_config.rule_stats_enabled() is True
+
+    def test_garbage_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_RULE_STATS", "maybe")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.rule_stats_enabled() is False
+        assert "REPRO_RULE_STATS" in caplog.text
+
+    def test_dir_resolves(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RULE_STATS_DIR", str(tmp_path))
+        assert obs_config.rule_stats_dir() == str(tmp_path)
+
+    def test_dir_rejects_plain_file(self, monkeypatch, tmp_path, caplog):
+        target = tmp_path / "not-a-dir"
+        target.write_text("x")
+        monkeypatch.setenv("REPRO_RULE_STATS_DIR", str(target))
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.rule_stats_dir() is None
+        assert "REPRO_RULE_STATS_DIR" in caplog.text
+
+    def test_recorded_in_snapshot(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RULE_STATS", "1")
+        monkeypatch.setenv("REPRO_RULE_STATS_DIR", str(tmp_path))
+        snapshot = config_snapshot()
+        assert snapshot.rule_stats is True
+        assert snapshot.rule_stats_dir == str(tmp_path)
+        assert snapshot.as_dict()["rule_stats"] is True
 
 
 class TestPerfAliases:

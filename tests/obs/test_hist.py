@@ -1,0 +1,165 @@
+"""Fixed-bucket histograms: bucketing, merge algebra, serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.hist import Histogram, count_buckets, merge_histogram_dicts, ns_buckets
+
+
+class TestBucketFamilies:
+    def test_ns_buckets_are_log_spaced_and_increasing(self):
+        bounds = ns_buckets()
+        assert bounds[0] == 256
+        assert all(b == a * 4 for a, b in zip(bounds, bounds[1:]))
+        assert bounds[-1] >= 4_000_000_000  # covers multi-second calls
+
+    def test_count_buckets_start_at_zero(self):
+        bounds = count_buckets()
+        assert bounds[0] == 0
+        assert list(bounds) == sorted(set(bounds))
+
+
+class TestObserve:
+    def test_zero_lands_in_first_count_bucket(self):
+        hist = Histogram(count_buckets())
+        hist.observe(0)
+        assert hist.counts[0] == 1
+        assert hist.total == 1
+        assert hist.sum == 0
+
+    def test_bounds_are_inclusive_upper_edges(self):
+        hist = Histogram((10, 20))
+        hist.observe(10)  # == first bound -> first bucket
+        hist.observe(11)  # > first bound -> second bucket
+        assert hist.counts == [1, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram((10, 20))
+        hist.observe(21)
+        assert hist.counts == [0, 0, 1]
+
+    def test_weighted_observe(self):
+        hist = Histogram((10,))
+        hist.observe(5, count=3)
+        assert hist.total == 3
+        assert hist.sum == 15
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((5, 5))
+
+
+class TestPercentiles:
+    def test_empty_is_none(self):
+        assert Histogram((1, 2)).percentile(50) is None
+
+    def test_reports_bucket_upper_bound(self):
+        hist = Histogram((1, 2, 4, 8))
+        for value in (1, 1, 2, 8):
+            hist.observe(value)
+        assert hist.percentile(50) == 1
+        assert hist.percentile(99) == 8
+
+    def test_overflow_clamps_to_last_finite_bound(self):
+        hist = Histogram((1, 2))
+        hist.observe(100)
+        assert hist.percentile(99) == 2
+
+    def test_quantiles_keys(self):
+        hist = Histogram((1,))
+        hist.observe(1)
+        assert set(hist.quantiles()) == {"p50", "p90", "p99"}
+
+    def test_mean(self):
+        hist = Histogram((10,))
+        hist.observe(4)
+        hist.observe(6)
+        assert hist.mean() == 5.0
+        assert Histogram((10,)).mean() is None
+
+
+class TestMergeSubtract:
+    def test_merge_sums_counts(self):
+        a, b = Histogram((1, 2)), Histogram((1, 2))
+        a.observe(1)
+        b.observe(2)
+        b.observe(3)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.total == 3
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram((1,)).merge(Histogram((2,)))
+
+    def test_subtract_recovers_delta(self):
+        before = Histogram((1, 2))
+        before.observe(1)
+        after = before.copy()
+        after.observe(2)
+        delta = after.subtract(before)
+        assert delta.counts == [0, 1, 0]
+        assert delta.total == 1
+
+    def test_round_trip_dict(self):
+        hist = Histogram(count_buckets())
+        for v in (0, 3, 900):
+            hist.observe(v)
+        again = Histogram.from_dict(hist.as_dict())
+        assert again == hist
+
+    def test_from_dict_rejects_bad_count_vector(self):
+        data = Histogram((1, 2)).as_dict()
+        data["counts"] = [0]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(data)
+
+    def test_merge_histogram_dicts(self):
+        a = Histogram((1, 2))
+        a.observe(1)
+        b = Histogram((1, 2))
+        b.observe(2)
+        target = {"x": a.as_dict()}
+        merge_histogram_dicts(target, {"x": b.as_dict(), "y": b.as_dict()})
+        assert Histogram.from_dict(target["x"]).total == 2
+        assert Histogram.from_dict(target["y"]).total == 1
+
+
+values = st.lists(st.integers(min_value=0, max_value=10_000), max_size=60)
+
+
+class TestProperties:
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_serialization_round_trips(self, samples):
+        hist = Histogram(count_buckets())
+        for v in samples:
+            hist.observe(v)
+        assert Histogram.from_dict(hist.as_dict()) == hist
+
+    @given(values, values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative_and_commutative(self, xs, ys, zs):
+        def build(samples):
+            hist = Histogram(count_buckets())
+            for v in samples:
+                hist.observe(v)
+            return hist
+
+        left = build(xs).merge(build(ys)).merge(build(zs))
+        right = build(zs).merge(build(xs).copy().merge(build(ys)))
+        swapped = build(ys).merge(build(xs)).merge(build(zs))
+        assert left == right == swapped
+
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_are_monotone(self, samples):
+        hist = Histogram(count_buckets())
+        for v in samples:
+            hist.observe(v)
+        if hist.total == 0:
+            assert hist.percentile(50) is None
+            return
+        p50, p90, p99 = (hist.percentile(p) for p in (50, 90, 99))
+        assert p50 <= p90 <= p99

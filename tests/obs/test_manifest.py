@@ -4,8 +4,11 @@ import json
 
 import pytest
 
+from repro.obs.hist import Histogram
 from repro.obs.manifest import (
     SCHEMA,
+    SCHEMA_V1,
+    SCHEMA_V2,
     RunManifest,
     artifact_digest,
     git_sha,
@@ -127,6 +130,56 @@ class TestValidation:
 
     def test_not_an_object(self):
         assert validate_manifest([1, 2]) == ["manifest is not a JSON object"]
+
+
+class TestSchemaVersions:
+    def test_current_schema_is_v2(self):
+        assert SCHEMA == SCHEMA_V2 == "repro.run-manifest/2"
+
+    def test_v1_manifest_still_validates(self, manifest):
+        """Back-compat: an old run.json (no histograms section) is valid v1."""
+        data = _finalize(manifest)
+        data["schema"] = SCHEMA_V1
+        del data["metrics"]["histograms"]
+        data.pop("rules", None)
+        assert validate_manifest(data) == []
+
+    def test_v2_requires_histograms_section(self, manifest):
+        data = _finalize(manifest)
+        del data["metrics"]["histograms"]
+        assert any("histograms" in error for error in validate_manifest(data))
+
+    def test_v2_accepts_serialized_histograms(self, manifest):
+        hist = Histogram((1, 2, 4))
+        hist.observe(3)
+        data = _finalize(
+            manifest,
+            metrics={
+                "counters": {},
+                "gauges": {},
+                "histograms": {"rules.cost.AAK": hist.as_dict()},
+            },
+        )
+        assert validate_manifest(data) == []
+
+    def test_v2_rejects_malformed_histogram(self, manifest):
+        bad = {"bounds": [1, 2], "counts": [0, 0], "sum": 0, "total": 0}
+        data = _finalize(
+            manifest,
+            metrics={"counters": {}, "gauges": {}, "histograms": {"h": bad}},
+        )
+        errors = validate_manifest(data)
+        assert any("histograms[h]" in error for error in errors)
+
+    def test_v2_rules_section_validates(self, manifest):
+        data = _finalize(manifest)
+        data["rules"] = {
+            "totals": {"calls": 5, "hits": 2, "checks": 9, "rules_hit": 1},
+            "lists": {"AAK": {"calls": 5, "hits": 2}},
+        }
+        assert validate_manifest(data) == []
+        data["rules"] = {"totals": {"hits": "many"}, "lists": {}}
+        assert any("rules" in error for error in validate_manifest(data))
 
 
 class TestValidateCli:

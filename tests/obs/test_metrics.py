@@ -1,8 +1,9 @@
-"""Metrics-registry tests: counters, gauges, absorb, deterministic merge."""
+"""Metrics-registry tests: counters, gauges, histograms, absorb, merge."""
 
 import json
 
 from repro.analysis.perf import PerfCounters
+from repro.obs.hist import Histogram, ns_buckets
 from repro.obs.metrics import MetricsRegistry, get_metrics, reset_metrics
 
 
@@ -48,6 +49,68 @@ class TestAbsorb:
         data = registry.as_dict()
         assert data["counters"] == {"x.count": 2}
         assert data["gauges"] == {"x.rate": 0.5}
+
+
+class TestNestedAbsorb:
+    def test_nested_mappings_flatten_with_dotted_keys(self):
+        registry = MetricsRegistry()
+        registry.absorb(
+            "rules",
+            {"totals": {"hits": 3, "share": 0.5}, "calls": 7},
+        )
+        data = registry.as_dict()
+        assert data["counters"]["rules.totals.hits"] == 3
+        assert data["counters"]["rules.calls"] == 7
+        assert data["gauges"]["rules.totals.share"] == 0.5
+
+    def test_nested_absorb_stays_order_independent(self):
+        forward = MetricsRegistry()
+        forward.absorb("x", {"b": {"n": 1}, "a": 2})
+        backward = MetricsRegistry()
+        backward.absorb("x", {"a": 2, "b": {"n": 1}})
+        assert json.dumps(forward.as_dict()) == json.dumps(backward.as_dict())
+
+
+class TestHistograms:
+    def test_hist_records_and_serializes(self):
+        registry = MetricsRegistry()
+        registry.hist("match.cost", 3)
+        registry.hist("match.cost", 900)
+        data = registry.as_dict()
+        assert "match.cost" in data["histograms"]
+        assert data["histograms"]["match.cost"]["total"] == 2
+
+    def test_hist_with_explicit_bounds(self):
+        registry = MetricsRegistry()
+        registry.hist("lat", 300, bounds=ns_buckets())
+        assert registry.histogram("lat").bounds == ns_buckets()
+
+    def test_absorb_histogram_copies_then_merges(self):
+        source = Histogram((1, 2))
+        source.observe(1)
+        registry = MetricsRegistry()
+        registry.absorb_histogram("h", source)
+        source.observe(2)  # registry's copy must not see this
+        assert registry.histogram("h").total == 1
+        registry.absorb_histogram("h", source)
+        assert registry.histogram("h").total == 3
+
+    def test_merge_folds_histograms(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.hist("h", 1)
+        right.hist("h", 5)
+        right.hist("only_right", 2)
+        left.merge(right)
+        assert left.histogram("h").total == 2
+        assert left.histogram("only_right").total == 1
+
+    def test_len_reset_and_render_cover_histograms(self):
+        registry = MetricsRegistry()
+        registry.hist("h", 4)
+        assert len(registry) == 1
+        assert any(line.startswith("h=p50:") for line in registry.render().splitlines())
+        registry.reset()
+        assert len(registry) == 0
 
 
 class TestDeterministicMerge:

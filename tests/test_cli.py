@@ -116,3 +116,65 @@ class TestManifestRun:
         assert kinds[-1] == "run_end"
         assert "artifact" in kinds
         assert "span_start" in kinds and "span_end" in kinds
+
+    def test_stage_observability_in_manifest(self, tmp_path):
+        """Stages carry peak-RSS and CPU-utilization readings (satellite b)."""
+        out = tmp_path / "run.json"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", f"--metrics-out={out}", "fig1"],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_SCALE": "0.01",
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": str(SRC_DIR),
+            },
+        )
+        assert completed.returncode == 0, completed.stderr
+        manifest = json.loads(out.read_text())
+        assert validate_manifest(manifest) == []
+        stages = {stage["name"]: stage for stage in manifest["stages"]}
+        assert "lists" in stages
+        attrs = stages["lists"]["attributes"]
+        assert attrs["cpu_util"] >= 0.0
+        assert attrs["max_rss_kb"] > 0  # Linux/macOS both report getrusage
+        gauges = manifest["metrics"]["gauges"]
+        assert gauges["stage.lists.max_rss_kb"] > 0
+        assert "stage.lists.cpu_util" in gauges
+
+
+class TestRuleReportRun:
+    def test_rulereport_writes_rules_section_and_histograms(self, tmp_path):
+        """`rulereport` end to end: v2 manifest with rule stats (satellite f)."""
+        out = tmp_path / "run.json"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", f"--metrics-out={out}", "rulereport"],
+            capture_output=True,
+            text=True,
+            env={
+                "REPRO_SCALE": "0.01",
+                "REPRO_RULE_STATS": "1",
+                "REPRO_RULE_STATS_DIR": str(tmp_path / "stats"),
+                "PATH": "/usr/bin:/bin",
+                "PYTHONPATH": str(SRC_DIR),
+            },
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert '"Filter the filters"' in completed.stdout
+        assert "== canonical JSON ==" in completed.stdout
+
+        manifest = json.loads(out.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["schema"] == "repro.run-manifest/2"
+        assert manifest["config"]["rule_stats"] is True
+        assert manifest["rules"]["totals"]["hits"] > 0
+        assert manifest["rules"]["totals"]["calls"] > 0
+        assert any(
+            name.startswith("rules.cost.")
+            for name in manifest["metrics"]["histograms"]
+        )
+        # The cross-run accumulator got this run's payload.
+        stored = list((tmp_path / "stats").glob("rulestats-*.json"))
+        assert len(stored) == 1
+        payload = json.loads(stored[0].read_text())["payload"]
+        assert payload["lists"]
