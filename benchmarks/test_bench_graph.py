@@ -1,0 +1,124 @@
+"""Artifact-graph warm starts: cold vs. warm-restart vs. incremental.
+
+Each scenario is a real ``python -m repro -q all`` subprocess — the
+warm-start claim is about *process restarts*, so in-process reuse would
+measure the wrong thing. Three runs against one ``REPRO_RUN_CACHE``:
+
+- **cold** — empty cache: every stage and experiment computes and is
+  persisted;
+- **warm** — a fresh process, same cache: every experiment artifact is
+  served from disk (the acceptance target is ≥ 5× over cold);
+- **incremental** — a one-line ``REPRO_LIST_PATCH`` re-keys the list
+  node: everything list-derived recomputes, the archive crawl and the
+  crawl-only/world-only experiments stay warm.
+
+The scenario table is written to ``BENCH_graph.json`` at the repo root
+(CI uploads it; the committed copy tracks the trajectory).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+SCALE = "0.02"
+#: The acceptance floor: a warm restart of the full suite must be at
+#: least this much faster than the cold run.
+WARM_SPEEDUP_FLOOR = 5.0
+
+
+def run_all(cache_dir: Path, manifest: Path, **env_extra) -> float:
+    """One ``python -m repro -q all`` subprocess; returns wall seconds."""
+    env = dict(os.environ)
+    env.update(
+        PYTHONPATH=str(SRC),
+        REPRO_SCALE=SCALE,
+        REPRO_RUN_CACHE=str(cache_dir),
+        **{key: str(value) for key, value in env_extra.items()},
+    )
+    started = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "-q", f"--metrics-out={manifest}", "all"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+    )
+    wall = time.perf_counter() - started
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return wall
+
+
+def graph_counters(manifest: Path) -> dict:
+    data = json.loads(manifest.read_text())
+    counters = data["metrics"]["counters"]
+    return {
+        "hits": counters.get("graph.hits", 0),
+        "misses": counters.get("graph.misses", 0),
+        "stores": counters.get("graph.stores", 0),
+        "artifacts": {
+            name: entry["sha256"] for name, entry in data["artifacts"].items()
+        },
+        "stages": data["stages"],
+    }
+
+
+@pytest.mark.benchmark(group="graph")
+def test_warm_restart_speedup(tmp_path):
+    cache = tmp_path / "run-cache"
+
+    cold_s = run_all(cache, tmp_path / "cold.json")
+    cold = graph_counters(tmp_path / "cold.json")
+    assert cold["hits"] == 0 and cold["stores"] > 0
+
+    warm_s = run_all(cache, tmp_path / "warm.json")
+    warm = graph_counters(tmp_path / "warm.json")
+    assert warm["hits"] > 0
+    assert warm["artifacts"] == cold["artifacts"], "warm artifacts drifted"
+    # Zero recomputed stages: a warm restart materialises no stage at all
+    # (experiment nodes hit before any stage is needed).
+    recomputed = [
+        stage["name"]
+        for stage in warm["stages"]
+        if not stage.get("attributes", {}).get("cached")
+    ]
+    assert recomputed == [], f"warm restart recomputed stages: {recomputed}"
+
+    patch = tmp_path / "patch.txt"
+    patch.write_text("! bench: one-line list change\n||bench-tracker.example/ad.js\n")
+    inc_s = run_all(cache, tmp_path / "inc.json", REPRO_LIST_PATCH=str(patch))
+    inc = graph_counters(tmp_path / "inc.json")
+    # The crawl is served from cache; list-derived stages recompute.
+    inc_stage_names = {stage["name"] for stage in inc["stages"]}
+    assert "archive" not in inc_stage_names
+    assert inc["hits"] > 0
+    # Crawl-only / world-only experiments stay byte-identical...
+    for unchanged in ("fig5", "table2", "stability"):
+        assert inc["artifacts"][unchanged] == cold["artifacts"][unchanged]
+    # ...while list-derived artifacts reflect the patch.
+    assert inc["artifacts"]["fig1"] != cold["artifacts"]["fig1"]
+
+    warm_speedup = cold_s / warm_s
+    report = {
+        "scale": float(SCALE),
+        "experiments": "all",
+        "cold_s": round(cold_s, 3),
+        "warm_restart_s": round(warm_s, 3),
+        "incremental_s": round(inc_s, 3),
+        "warm_speedup": round(warm_speedup, 1),
+        "incremental_speedup": round(cold_s / inc_s, 1),
+        "warm_hits": warm["hits"],
+        "warm_recomputed_stages": len(recomputed),
+        "target_warm_speedup": WARM_SPEEDUP_FLOOR,
+    }
+    (ROOT / "BENCH_graph.json").write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[graph bench] {json.dumps(report)}")
+    assert warm_speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm restart only {warm_speedup:.1f}x faster (target ≥ {WARM_SPEEDUP_FLOOR}x)"
+    )

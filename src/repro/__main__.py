@@ -2,6 +2,9 @@
 
 Runs experiment drivers by name and prints their artifacts; with no
 arguments, lists what is available. Scale comes from ``REPRO_SCALE``.
+``all`` expands to every experiment. When ``REPRO_RUN_CACHE`` points at
+a directory, finished stages and experiment outputs persist there and
+warm-start later runs (``python -m repro graph`` inspects that cache).
 
 Options:
   --trace              record a hierarchical span tree of the run and
@@ -105,12 +108,21 @@ def _parse_args(argv: list) -> dict:
 
 def main(argv: list) -> int:
     """Dispatch experiment names from the command line."""
+    if argv and argv[0] == "graph":
+        # Run-cache inspection has its own small CLI (no experiment run).
+        from repro.graph.cli import main as graph_main
+
+        return graph_main(argv[1:])
     try:
         opts = _parse_args(argv)
     except _CliError as error:
         print(str(error), file=sys.stderr)
         return 2
     names = opts["names"]
+    if "all" in names:
+        names = [n for n in names if n != "all"] + [
+            n for n in EXPERIMENTS if n not in names
+        ]
     if not names or opts["help"]:
         print(__doc__)
         print("available experiments:")
@@ -152,12 +164,18 @@ def main(argv: list) -> int:
         enable_tracing(sink=manifest.sink if manifest else None)
 
     ctx = shared_context()
+    graph = ctx.graph
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
+        graph.register_experiment(name, module)
         logger.info("experiment %s: starting", name)
         started = time.perf_counter()
         with span(f"experiment:{name}"):
-            rendered = module.render(module.run(ctx))
+            # The rendered artifact is itself a graph node: a warm run
+            # cache serves it without touching any upstream stage.
+            rendered = graph.resolve(
+                f"exp:{name}", lambda: module.render(module.run(ctx))
+            )
         wall = time.perf_counter() - started
         print("=" * 72)
         print(rendered)
@@ -171,7 +189,7 @@ def main(argv: list) -> int:
     # the summary as the manifest's ``rules`` section.
     from repro.analysis.rulestats import RuleStatsStore, get_rule_stats
 
-    extra = {}
+    extra = {"graph": graph.manifest_section()}
     collector = get_rule_stats()
     if collector is not None and collector.has_data():
         collector.absorb_into(metrics)

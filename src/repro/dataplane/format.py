@@ -48,11 +48,13 @@ FORMAT_VERSION = 1
 KIND_EVENTS = 1  # packed token-event segment (§5 feature cache)
 KIND_REQUESTS = 2  # columnar HAR request table (§4 replay)
 KIND_SOURCES = 3  # script source table (worker-pool attachment)
+KIND_GRAPH = 4  # artifact-graph node value (run cache)
 
 KIND_NAMES = {
     KIND_EVENTS: "events",
     KIND_REQUESTS: "requests",
     KIND_SOURCES: "sources",
+    KIND_GRAPH: "graph",
 }
 
 HEADER = struct.Struct("<4sHHQ32s")

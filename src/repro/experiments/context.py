@@ -5,6 +5,15 @@ the drivers share a lazily-built :class:`ExperimentContext`. ``scale``
 controls fidelity: 1.0 is paper scale (top-5K crawled, top-100K live);
 the default 0.08 (400 sites / 8K live) reproduces every shape in seconds.
 Set the ``REPRO_SCALE`` environment variable to override globally.
+
+Every lazy stage resolves through the campaign's content-addressed
+artifact graph (:mod:`repro.graph`): in-process memory first, then —
+when ``REPRO_RUN_CACHE`` points at a run-cache directory — the persisted
+node keyed by ``(inputs-digest, code-version)``, and only then an actual
+compute. A stage served from the run cache is recorded with a
+``cached`` attribute in its :class:`StageTiming`; a stage whose build
+raises is recorded with an ``error`` attribute, so run manifests show
+where a run died.
 """
 
 from __future__ import annotations
@@ -14,7 +23,7 @@ import sys
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..analysis.coverage import CoverageAnalyzer, CoverageResult
 from ..analysis.livecrawl import LiveCrawler, LiveCrawlResult
@@ -23,11 +32,12 @@ from ..core.corpus import Corpus, build_corpus
 from ..filterlist.history import FilterListHistory
 from ..filterlist.matcher import NetworkMatcher
 from ..analysis.pool import ensure_persistent_pool
-from ..obs.config import pool_persist, repro_scale
+from ..graph import ArtifactGraph, feature_node_name
+from ..obs.config import list_patch_file, pool_persist, repro_scale
 from ..obs.metrics import get_metrics
 from ..obs.trace import span as trace_span
 from ..resilience import ResiliencePolicy, default_resilience
-from ..synthesis.listgen import FilterListGenerator, generate_all_lists
+from ..synthesis.listgen import FilterListGenerator, apply_list_patch, generate_all_lists
 from ..synthesis.seeds import DEFAULT_SEED
 from ..synthesis.world import SyntheticWorld, WorldConfig
 from ..wayback.archive import WaybackArchive
@@ -60,6 +70,12 @@ class StageTiming:
     #: happens via in-process threads, < 1 means waiting (or forked
     #: children doing the work, whose CPU is not counted here).
     cpu_util: Optional[float] = None
+    #: The stage was served from the artifact-graph run cache (the
+    #: timing covers loading the persisted node, not a recompute).
+    cached: bool = False
+    #: ``"ExcType: message"`` when the stage's build raised mid-way; the
+    #: timing covers the work done up to the failure.
+    error: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         data: Dict[str, object] = {
@@ -71,6 +87,10 @@ class StageTiming:
             data["max_rss_kb"] = self.max_rss_kb
         if self.cpu_util is not None:
             data["cpu_util"] = self.cpu_util
+        if self.cached:
+            data["cached"] = True
+        if self.error is not None:
+            data["error"] = self.error
         return data
 
 
@@ -109,7 +129,6 @@ class ExperimentContext:
     _corpus_features: Dict[Tuple[str, bool], List[Set[str]]] = field(
         default_factory=dict, repr=False
     )
-    _features_staged: bool = field(default=False, repr=False)
     #: Completed lazy-build stages (lists, archive, crawl, coverage, …),
     #: in execution order; the run manifest and bench harness read these.
     stage_timings: List[StageTiming] = field(default_factory=list, repr=False)
@@ -117,38 +136,68 @@ class ExperimentContext:
     #: crawl, live and corpus stages; resolved from the ``REPRO_*`` knobs
     #: on first use unless injected explicitly.
     _resilience: Optional[ResiliencePolicy] = field(default=None, repr=False)
+    #: The campaign's artifact graph (run-cache warm starts); built from
+    #: ``REPRO_RUN_CACHE`` on first use unless injected explicitly.
+    _graph: Optional[ArtifactGraph] = field(default=None, repr=False)
 
     # -- observability ------------------------------------------------------------
 
     @contextmanager
-    def _stage(self, name: str, **attributes):
+    def _stage(self, name: str, cached: bool = False, **attributes):
         """Time one lazy build as a named stage (span + metrics + log).
 
         Besides wall/CPU time, each stage records the process's peak RSS
         and its CPU utilization (cpu_s / wall_s) — as span attributes
         (so ``--trace`` shows them), as ``stage.*`` gauges, and on the
-        :class:`StageTiming` the run manifest serializes.
+        :class:`StageTiming` the run manifest serializes. A stage whose
+        body raises is still recorded, with the exception on its
+        ``error`` attribute; ``cached=True`` marks a run-cache load.
         """
-        logger.info("stage %s: starting", name)
+        logger.info("stage %s: starting%s", name, " (run-cache)" if cached else "")
         wall0, cpu0 = time.perf_counter(), time.process_time()
-        with trace_span(f"stage:{name}", **attributes) as stage_span:
-            yield
-            wall, cpu = time.perf_counter() - wall0, time.process_time() - cpu0
-            rss_kb = _peak_rss_kb()
-            cpu_util = round(cpu / wall, 4) if wall > 0 else 0.0
-            stage_span.set(cpu_util=cpu_util)
+        wall = cpu = 0.0
+        rss_kb: Optional[int] = None
+        cpu_util: Optional[float] = None
+        error: Optional[str] = None
+        try:
+            with trace_span(f"stage:{name}", cached=cached, **attributes) as stage_span:
+                try:
+                    yield
+                except BaseException as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    stage_span.set(error=error)
+                    raise
+                finally:
+                    wall = time.perf_counter() - wall0
+                    cpu = time.process_time() - cpu0
+                    rss_kb = _peak_rss_kb()
+                    cpu_util = round(cpu / wall, 4) if wall > 0 else 0.0
+                    stage_span.set(cpu_util=cpu_util)
+                    if rss_kb is not None:
+                        stage_span.set(max_rss_kb=rss_kb)
+        finally:
+            self.stage_timings.append(
+                StageTiming(
+                    name,
+                    wall,
+                    cpu,
+                    max_rss_kb=rss_kb,
+                    cpu_util=cpu_util,
+                    cached=cached,
+                    error=error,
+                )
+            )
+            metrics = get_metrics()
+            metrics.gauge(f"stage.{name}.wall_s", wall)
+            metrics.gauge(f"stage.{name}.cpu_s", cpu)
+            if cpu_util is not None:
+                metrics.gauge(f"stage.{name}.cpu_util", cpu_util)
             if rss_kb is not None:
-                stage_span.set(max_rss_kb=rss_kb)
-        self.stage_timings.append(
-            StageTiming(name, wall, cpu, max_rss_kb=rss_kb, cpu_util=cpu_util)
-        )
-        metrics = get_metrics()
-        metrics.gauge(f"stage.{name}.wall_s", wall)
-        metrics.gauge(f"stage.{name}.cpu_s", cpu)
-        metrics.gauge(f"stage.{name}.cpu_util", cpu_util)
-        if rss_kb is not None:
-            metrics.gauge(f"stage.{name}.max_rss_kb", float(rss_kb))
-        logger.info("stage %s: finished in %.2fs", name, wall)
+                metrics.gauge(f"stage.{name}.max_rss_kb", float(rss_kb))
+            if error is None:
+                logger.info("stage %s: finished in %.2fs", name, wall)
+            else:
+                logger.warning("stage %s: failed after %.2fs (%s)", name, wall, error)
 
     def stage_report(self) -> List[Dict[str, object]]:
         """Stage timings as JSON-ready dicts (manifest ``stages`` block)."""
@@ -172,6 +221,37 @@ class ExperimentContext:
             )
         return cls(world=SyntheticWorld(config, seed=seed))
 
+    # -- the artifact graph --------------------------------------------------------
+
+    @property
+    def graph(self) -> ArtifactGraph:
+        """The campaign's artifact graph (``REPRO_RUN_CACHE``-backed)."""
+        if self._graph is None:
+            self._graph = ArtifactGraph.for_world(self.world)
+        return self._graph
+
+    def _resolve_stage(
+        self, name: str, build: Callable[[], object], **attrs
+    ):
+        """Resolve one stage: graph memory → run cache → timed compute.
+
+        A run-cache hit is timed as a ``cached`` stage (the wall time is
+        the mmap + decode cost); a corrupt entry falls through to a
+        normal compute, which is then persisted back.
+        """
+        graph = self.graph
+        if graph.has(name):
+            value = None
+            hit = False
+            with self._stage(name, cached=True, **attrs):
+                hit, value = graph.fetch(name)
+            if hit:
+                return value
+        with self._stage(name, **attrs):
+            value = build()
+        graph.put(name, value)
+        return value
+
     # -- lazily built artifacts ----------------------------------------------------
 
     @property
@@ -181,12 +261,19 @@ class ExperimentContext:
             self._resilience = default_resilience()
         return self._resilience
 
+    def _build_lists(self) -> Dict[str, FilterListHistory]:
+        histories = generate_all_lists(self.world)
+        patch = list_patch_file()
+        if patch is not None:
+            applied = apply_list_patch(histories, patch)
+            logger.info("applied %d patch rules from %s", applied, patch)
+        return histories
+
     @property
     def lists(self) -> Dict[str, FilterListHistory]:
         """Histories keyed 'aak', 'easylist', 'awrl', 'combined_easylist'."""
         if self._lists is None:
-            with self._stage("lists"):
-                self._lists = generate_all_lists(self.world)
+            self._lists = self._resolve_stage("lists", self._build_lists)
         return self._lists
 
     @property
@@ -230,22 +317,35 @@ class ExperimentContext:
     def archive(self) -> WaybackArchive:
         """The populated Wayback archive (built on first access)."""
         if self._archive is None:
-            with self._stage("archive", sites=len(self.world.sites)):
-                self._archive = self.world.build_archive()
+            self._archive = self._resolve_stage(
+                "archive", self.world.build_archive, sites=len(self.world.sites)
+            )
         return self._archive
+
+    def _build_crawl(self) -> CrawlResult:
+        crawler = WaybackCrawler(self.archive, resilience=self.resilience)
+        return crawler.crawl(
+            [site.domain for site in self.world.sites],
+            self.world.config.start,
+            self.world.config.end,
+        )
 
     @property
     def crawl(self) -> CrawlResult:
-        """The 60-month top-segment crawl (built on first access)."""
+        """The 60-month top-segment crawl (built on first access).
+
+        On a run-cache hit the crawl loads without touching the archive
+        stage at all — the archive node stays on disk until some
+        consumer actually needs it.
+        """
         if self._crawl is None:
-            archive = self.archive  # build outside so the stages stay distinct
-            with self._stage("crawl", sites=len(self.world.sites)):
-                crawler = WaybackCrawler(archive, resilience=self.resilience)
-                self._crawl = crawler.crawl(
-                    [site.domain for site in self.world.sites],
-                    self.world.config.start,
-                    self.world.config.end,
-                )
+            graph = self.graph
+            if not graph.has("crawl"):
+                # Build upstream outside the stage so timings stay distinct.
+                self.archive
+            self._crawl = self._resolve_stage(
+                "crawl", self._build_crawl, sites=len(self.world.sites)
+            )
         return self._crawl
 
     @property
@@ -255,6 +355,13 @@ class ExperimentContext:
             self._analyzer = CoverageAnalyzer(self.histories)
         return self._analyzer
 
+    def _build_coverage(self) -> CoverageResult:
+        coverage = self.analyzer.analyze(self.crawl)
+        # The replay engine's counters feed the unified registry as one
+        # source among many (only when the replay actually ran).
+        get_metrics().absorb("replay", self.analyzer.perf)
+        return coverage
+
     @property
     def coverage(self) -> CoverageResult:
         """The §4.2 coverage result (computed on first access).
@@ -263,15 +370,16 @@ class ExperimentContext:
         pool; the merged result is identical to the serial one.
         """
         if self._coverage is None:
-            # Materialise upstream artifacts first so each stage's span
-            # and timing cover only its own work.
-            crawl, analyzer = self.crawl, self.analyzer
-            self._ensure_pool()
-            with self._stage("coverage", workers=repro_workers()):
-                self._coverage = analyzer.analyze(crawl)
-            # The replay engine's counters feed the unified registry as
-            # one source among many.
-            get_metrics().absorb("replay", self.analyzer.perf)
+            graph = self.graph
+            if not graph.has("coverage"):
+                # Materialise upstream artifacts first so each stage's
+                # span and timing cover only its own work.
+                self.crawl
+                self.analyzer
+                self._ensure_pool()
+            self._coverage = self._resolve_stage(
+                "coverage", self._build_coverage, workers=repro_workers()
+            )
         return self._coverage
 
     @property
@@ -279,37 +387,48 @@ class ExperimentContext:
         """Replay perf counters (records/s, probe counts, cache hits)."""
         return self.analyzer.perf
 
+    def _build_live(self) -> LiveCrawlResult:
+        return LiveCrawler(self.world, self.histories).crawl(
+            resilience=self.resilience
+        )
+
     @property
     def live(self) -> LiveCrawlResult:
         """The §4.3 live-crawl result (computed on first access)."""
         if self._live is None:
-            histories = self.histories
-            self._ensure_pool()
-            with self._stage("live", top=self.world.config.live_top):
-                self._live = LiveCrawler(self.world, histories).crawl(
-                    resilience=self.resilience
-                )
+            graph = self.graph
+            if not graph.has("live"):
+                self.histories
+                self._ensure_pool()
+            self._live = self._resolve_stage(
+                "live", self._build_live, top=self.world.config.live_top
+            )
         return self._live
+
+    def _build_corpus(self) -> Corpus:
+        lists = self.lists
+        rules = []
+        for key in ("aak", "combined_easylist"):
+            latest = lists[key].latest()
+            if latest is not None:
+                rules.extend(latest.filter_list.network_rules)
+        matcher = NetworkMatcher(rules)
+        pages = [
+            self.world.snapshot(site, self.world.config.end)
+            for site in self.world.sites
+        ]
+        return build_corpus(
+            pages, matcher, seed=self.world.seed, resilience=self.resilience
+        )
 
     @property
     def corpus(self) -> Corpus:
         """The §5 training corpus: top-segment scripts labeled by the lists."""
         if self._corpus is None:
-            lists = self.lists
-            with self._stage("corpus"):
-                rules = []
-                for key in ("aak", "combined_easylist"):
-                    latest = lists[key].latest()
-                    if latest is not None:
-                        rules.extend(latest.filter_list.network_rules)
-                matcher = NetworkMatcher(rules)
-                pages = [
-                    self.world.snapshot(site, self.world.config.end)
-                    for site in self.world.sites
-                ]
-                self._corpus = build_corpus(
-                    pages, matcher, seed=self.world.seed, resilience=self.resilience
-                )
+            graph = self.graph
+            if not graph.has("corpus"):
+                self.lists
+            self._corpus = self._resolve_stage("corpus", self._build_corpus)
         return self._corpus
 
     def corpus_features(
@@ -317,34 +436,37 @@ class ExperimentContext:
     ) -> List[Set[str]]:
         """Per-script §5 features of the corpus (extracted at most once).
 
-        Backed by the shared content-addressed feature store: the first
-        call parses/unpacks every corpus script into token events (timed
-        as the ``features`` stage); every further feature set or repeat
-        call is a cheap filter over the cached events.
+        Backed by the shared content-addressed feature store *and* the
+        artifact graph: each ``(feature_set, unpack)`` pair is its own
+        ``features:<set>:<u>`` node with its own stage timing, resolved
+        memory → run cache → extraction (the first extraction parses
+        every corpus script once; further sets are cheap filters over
+        the store's cached token events).
         """
         key = (feature_set, unpack)
         cached = self._corpus_features.get(key)
         if cached is None:
-            from ..core.featstore import get_feature_store
+            node = feature_node_name(feature_set, unpack)
 
-            corpus = self.corpus  # build outside so the stages stay distinct
-            self._ensure_pool()
-            store = get_feature_store()
-            if not self._features_staged:
-                sources = corpus.sources()
-                with self._stage(
-                    "features", scripts=len(sources), workers=repro_workers()
-                ):
-                    cached = store.features_for_corpus(
-                        sources, feature_set=feature_set, unpack=unpack
-                    )
-                # Only after success: a raised extraction must leave the
-                # stage un-staged so a retry still times/records it.
-                self._features_staged = True
-            else:
-                cached = store.features_for_corpus(
-                    corpus.sources(), feature_set=feature_set, unpack=unpack
+            def build() -> List[Set[str]]:
+                from ..core.featstore import get_feature_store
+
+                return get_feature_store().features_for_corpus(
+                    self.corpus.sources(), feature_set=feature_set, unpack=unpack
                 )
+
+            graph = self.graph
+            if not graph.has(node):
+                # Build upstream outside the stage so timings stay distinct.
+                self.corpus
+                self._ensure_pool()
+            cached = self._resolve_stage(
+                node,
+                build,
+                feature_set=feature_set,
+                unpack=unpack,
+                workers=repro_workers(),
+            )
             self._corpus_features[key] = cached
         return cached
 

@@ -18,6 +18,13 @@ from ..analysis.report import render_table
 from ..filterlist.classify import RULE_TYPE_ORDER
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("lists",)
+GRAPH_CODE = ("analysis", "filterlist")
+GRAPH_PARAM_GROUPS = ()
+
 #: The paper's Figure 1 window ends at July 2016.
 FIG1_END = date(2016, 7, 31)
 

@@ -11,6 +11,13 @@ from ..analysis.report import render_table
 from ..synthesis.categories import CATEGORIES
 from .context import AAK, CE, ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("lists",)
+GRAPH_CODE = ("analysis", "filterlist", "synthesis")
+GRAPH_PARAM_GROUPS = ("world",)
+
 
 @dataclass
 class Fig2Result:

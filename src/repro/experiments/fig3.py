@@ -16,6 +16,13 @@ from ..analysis.histfold import run_folds
 from ..analysis.report import render_cdf
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("lists",)
+GRAPH_CODE = ("analysis", "filterlist")
+GRAPH_PARAM_GROUPS = ()
+
 
 @dataclass
 class Fig3Result:

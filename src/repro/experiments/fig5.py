@@ -16,6 +16,13 @@ from ..analysis.coverage import missing_snapshot_series
 from ..analysis.report import render_table
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("crawl",)
+GRAPH_CODE = ("analysis", "wayback")
+GRAPH_PARAM_GROUPS = ()
+
 
 @dataclass
 class Fig5Result:

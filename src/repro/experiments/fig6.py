@@ -17,6 +17,13 @@ from typing import Dict
 from ..analysis.report import render_multi_series
 from .context import AAK, CE, ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("coverage",)
+GRAPH_CODE = ("analysis",)
+GRAPH_PARAM_GROUPS = ()
+
 
 @dataclass
 class Fig6Result:

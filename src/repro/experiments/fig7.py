@@ -18,6 +18,13 @@ from ..analysis.comparison import cdf
 from ..analysis.report import render_cdf
 from .context import AAK, CE, ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("crawl", "coverage", "lists")
+GRAPH_CODE = ("analysis", "filterlist")
+GRAPH_PARAM_GROUPS = ()
+
 
 @dataclass
 class Fig7Result:

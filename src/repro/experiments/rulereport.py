@@ -28,6 +28,17 @@ from ..analysis.rulestats import (
 from ..obs.config import rule_stats_dir
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: the report joins the replay's stats with
+#: the list histories. Volatile when a cross-run accumulator directory
+#: is configured — the output then depends on state outside the graph.
+GRAPH_DEPS = ("coverage", "live", "lists")
+GRAPH_CODE = ("analysis", "filterlist")
+GRAPH_PARAM_GROUPS = ()
+
+
+def GRAPH_VOLATILE() -> bool:
+    return rule_stats_dir() is not None
+
 
 def run(ctx: ExperimentContext) -> RuleReport:
     """Account every matcher call of the §4 replay, then build the report."""
@@ -42,6 +53,15 @@ def run(ctx: ExperimentContext) -> RuleReport:
     # already accounted) are not recomputed.
     ctx.coverage
     ctx.live
+    if not collector.has_data():
+        # Warm-started campaign: coverage/live loaded from the run cache,
+        # so no matcher call went through the collector. Re-drive the
+        # instrumented replay explicitly — the results are discarded, the
+        # accounting is the point. (The crawl itself still warm-starts.)
+        from ..analysis.livecrawl import LiveCrawler
+
+        ctx.analyzer.analyze(ctx.crawl)
+        LiveCrawler(ctx.world, ctx.histories).crawl(resilience=ctx.resilience)
     payload = collector.as_payload()
     store_dir = rule_stats_dir()
     if store_dir is not None:

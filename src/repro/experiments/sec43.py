@@ -13,6 +13,13 @@ from ..analysis.livecrawl import LiveCrawlResult
 from ..analysis.report import render_table
 from .context import AAK, CE, ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("live",)
+GRAPH_CODE = ("analysis",)
+GRAPH_PARAM_GROUPS = ()
+
 
 @dataclass
 class Sec43Result:

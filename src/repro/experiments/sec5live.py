@@ -17,6 +17,13 @@ from ..core.pipeline import AntiAdblockDetector, DetectorConfig
 from ..web.url import registered_domain
 from .context import AAK, ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("corpus", "live")
+GRAPH_CODE = ("core", "jsast", "synthesis", "web")
+GRAPH_PARAM_GROUPS = ("world",)
+
 
 @dataclass
 class Sec5LiveResult:

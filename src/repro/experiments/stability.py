@@ -32,6 +32,14 @@ from .context import AAK, CE, ExperimentContext
 
 DEFAULT_SEEDS = (1702, 7, 42)
 
+#: Artifact-graph declaration: this driver regenerates its own fixed
+#: worlds, so the campaign's parameters stay out of its key entirely —
+#: only the pinned seeds/site count and the code scopes matter.
+GRAPH_DEPS = ()
+GRAPH_CODE = ("analysis", "core", "filterlist", "synthesis", "wayback", "web", "resilience")
+GRAPH_PARAM_GROUPS = ()
+GRAPH_EXTRA = {"seeds": list(DEFAULT_SEEDS), "n_sites": 250}
+
 
 @dataclass
 class SeedOutcome:

@@ -18,6 +18,13 @@ from ..obs.trace import span as trace_span
 from ..synthesis.scripts import html_bait_script
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ()
+GRAPH_CODE = ("core", "jsast", "synthesis")
+GRAPH_PARAM_GROUPS = ("world",)
+
 #: Feature texts Table 2 highlights.
 HIGHLIGHTED_TEXTS = (
     "BlockAdBlock",

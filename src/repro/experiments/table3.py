@@ -17,6 +17,13 @@ from ..core.crossval import Metrics
 from ..core.pipeline import DetectorConfig, EvaluationCache, evaluate_detector
 from .context import ExperimentContext
 
+#: Artifact-graph declaration: upstream stage nodes, extra code
+#: scopes beyond this driver's own module file, and which campaign
+#: parameter groups enter the node key directly.
+GRAPH_DEPS = ("corpus",)
+GRAPH_CODE = ("core", "jsast")
+GRAPH_PARAM_GROUPS = ()
+
 #: (feature_set, top_k) rows per panel, following the paper's Table 3.
 TABLE3_CONFIGS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
     ("all", (10_000, 1_000, 100)),

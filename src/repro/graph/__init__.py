@@ -1,0 +1,53 @@
+"""Content-addressed incremental artifact graph (run-cache warm starts).
+
+Public surface:
+
+- :class:`~repro.graph.core.ArtifactGraph` — node keys, three-layer
+  resolution (memory -> ``REPRO_RUN_CACHE`` -> compute), invalidation;
+- :class:`~repro.graph.core.NodeSpec` and the stage specs;
+- :func:`~repro.graph.version.code_version` /
+  :func:`~repro.graph.version.scope_digest` — the code-version half of
+  every key;
+- the :mod:`~repro.graph.store` container helpers;
+- ``python -m repro graph`` (:mod:`~repro.graph.cli`) for inspection.
+"""
+
+from .core import (
+    GRAPH_SCHEMA,
+    ArtifactGraph,
+    NodeSpec,
+    STAGE_SPECS,
+    campaign_params,
+    canonical_json,
+    feature_node_name,
+    feature_node_spec,
+)
+from .store import (
+    GraphStoreError,
+    delete_entries,
+    entry_path,
+    load_entry,
+    scan_entries,
+    store_entry,
+)
+from .version import code_version, reset_scope_cache, scope_digest
+
+__all__ = [
+    "GRAPH_SCHEMA",
+    "ArtifactGraph",
+    "NodeSpec",
+    "STAGE_SPECS",
+    "campaign_params",
+    "canonical_json",
+    "feature_node_name",
+    "feature_node_spec",
+    "GraphStoreError",
+    "delete_entries",
+    "entry_path",
+    "load_entry",
+    "scan_entries",
+    "store_entry",
+    "code_version",
+    "reset_scope_cache",
+    "scope_digest",
+]

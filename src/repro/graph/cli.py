@@ -1,0 +1,118 @@
+"""``python -m repro graph`` — inspect and invalidate the run cache.
+
+Subcommands (all read ``REPRO_RUN_CACHE`` / ``REPRO_SCALE`` etc. from
+the environment, so the CLI sees exactly the keys a run would)::
+
+    python -m repro graph                  # summary: nodes, entries, bytes
+    python -m repro graph keys             # current key per node (+ cached?)
+    python -m repro graph ls               # every cache entry on disk
+    python -m repro graph invalidate NODE  # drop one node's entries
+    python -m repro graph invalidate --all # drop the whole cache
+
+``--json`` on any subcommand emits machine-readable output.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List, Optional
+
+from ..obs.config import run_cache_dir
+from .core import ArtifactGraph
+
+
+def _build_graph(cache_dir: Optional[str]) -> ArtifactGraph:
+    """The graph for the environment's campaign (world from REPRO_SCALE)."""
+    from ..experiments.context import ExperimentContext
+    from ..__main__ import EXPERIMENTS
+    import importlib
+
+    ctx = ExperimentContext.create()
+    graph = ArtifactGraph.for_world(ctx.world, cache_dir=cache_dir)
+    for name in EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        graph.register_experiment(name, module)
+    # Materialise the standard feature nodes so listings show them.
+    for feature_set in ("all", "literal", "keyword"):
+        graph.spec(f"features:{feature_set}:u1")
+    return graph
+
+
+def main(argv: List[str]) -> int:
+    """Entry point for the ``graph`` subcommand of ``python -m repro``."""
+    args = list(argv)
+    as_json = "--json" in args
+    if as_json:
+        args.remove("--json")
+    command = args.pop(0) if args else "summary"
+    cache_dir = run_cache_dir()
+
+    if command == "invalidate":
+        if not cache_dir:
+            print("REPRO_RUN_CACHE is not set; nothing to invalidate", file=sys.stderr)
+            return 2
+        graph = _build_graph(cache_dir)
+        if args == ["--all"]:
+            removed = graph.invalidate()
+        elif len(args) == 1 and not args[0].startswith("-"):
+            try:
+                graph.spec(args[0])
+            except KeyError:
+                print(f"unknown node: {args[0]}", file=sys.stderr)
+                return 2
+            removed = graph.invalidate(args[0])
+        else:
+            print("usage: python -m repro graph invalidate <node>|--all", file=sys.stderr)
+            return 2
+        print(json.dumps({"removed": removed}) if as_json else f"removed {removed} entries")
+        return 0
+
+    if command not in ("summary", "keys", "ls"):
+        print(f"unknown graph command: {command}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    graph = _build_graph(cache_dir)
+    if command == "keys":
+        rows = [
+            {"node": name, "key": key, "cached": graph.has(name)}
+            for name, key in graph.keys().items()
+        ]
+        if as_json:
+            print(json.dumps(rows, indent=2))
+        else:
+            for row in rows:
+                mark = "cached" if row["cached"] else "-"
+                print(f"{row['node']:<24} {row['key'][:16]}  {mark}")
+        return 0
+
+    entries = graph.entries()
+    if command == "ls":
+        if as_json:
+            print(json.dumps(entries, indent=2))
+        else:
+            if not entries:
+                print("run cache is empty" if cache_dir else "REPRO_RUN_CACHE is not set")
+            for entry in entries:
+                print(f"{entry['node_dir']:<24} {entry['key'][:16]}  {entry['bytes']:>10} B")
+        return 0
+
+    # summary
+    total = sum(entry["bytes"] for entry in entries)
+    keys = graph.keys()
+    warm = sum(1 for name in keys if graph.has(name))
+    summary = {
+        "cache_dir": cache_dir,
+        "entries": len(entries),
+        "bytes": total,
+        "nodes": len(keys),
+        "warm_nodes": warm,
+    }
+    if as_json:
+        print(json.dumps(summary, indent=2))
+    else:
+        print(f"run cache: {cache_dir or '(disabled: REPRO_RUN_CACHE unset)'}")
+        print(f"  entries: {summary['entries']} ({total} bytes)")
+        print(f"  nodes:   {summary['nodes']} registered, {warm} warm at current keys")
+    return 0

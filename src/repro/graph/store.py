@@ -1,0 +1,185 @@
+"""Run-cache persistence: one RDPK container per materialised node.
+
+Every cached node value is one atomic artifact under the run-cache
+directory::
+
+    <REPRO_RUN_CACHE>/<node-dir>/<node-key>.rdpg
+
+where ``node-dir`` is the node name with path-hostile characters mapped
+to ``_`` and ``node-key`` is the full ``(inputs-digest, code-version)``
+key. The container reuses the data plane's verified header
+(:mod:`repro.dataplane.format`, kind ``graph``): a little-endian
+u32-length-prefixed JSON meta block (node name, key, schema, value
+codec) followed by the value blob. Text values (rendered experiment
+artifacts) are stored as raw UTF-8; everything else is a pickle.
+
+Writers publish with the data plane's tmp + ``os.replace`` pattern, so
+concurrent campaigns sharing one run cache race benignly (last writer
+wins with an equivalent value — node keys pin the inputs). Readers mmap
+the container, verify the payload SHA-256 once at open, and decode the
+value lazily on hit.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import re
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..dataplane.format import (
+    KIND_GRAPH,
+    DataPlaneError,
+    MappedArtifact,
+    write_artifact,
+)
+
+#: Run-cache entry layout revision (part of every entry's meta block;
+#: readers reject other revisions as a miss, never as corruption).
+STORE_SCHEMA = 1
+
+#: File extension of run-cache entries.
+ENTRY_SUFFIX = ".rdpg"
+
+_U32 = struct.Struct("<I")
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+class GraphStoreError(DataPlaneError):
+    """A run-cache entry is missing, corrupt, or undecodable."""
+
+
+def node_dirname(name: str) -> str:
+    """Filesystem directory name for a node (``exp:fig1`` -> ``exp_fig1``)."""
+    return _UNSAFE.sub("_", name)
+
+
+def entry_path(cache_dir: Union[str, Path], name: str, key: str) -> Path:
+    """Where one ``(node, key)`` value lives under the run cache."""
+    return Path(cache_dir) / node_dirname(name) / f"{key}{ENTRY_SUFFIX}"
+
+
+def store_entry(path: Union[str, Path], meta: Dict[str, Any], value: Any) -> int:
+    """Atomically persist one node value; returns bytes written.
+
+    ``meta`` is extended with the value codec: ``str`` values are stored
+    as raw UTF-8 (rendered artifacts stay greppable on disk), everything
+    else as a protocol-4 pickle.
+    """
+    meta = dict(meta)
+    meta["schema"] = STORE_SCHEMA
+    if isinstance(value, str):
+        meta["codec"] = "text"
+        blob = value.encode("utf-8")
+    else:
+        meta["codec"] = "pickle"
+        blob = pickle.dumps(value, protocol=4)
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    payload = b"".join((_U32.pack(len(meta_blob)), meta_blob, blob))
+    return write_artifact(path, KIND_GRAPH, payload)
+
+
+def load_entry(path: Union[str, Path]) -> Tuple[Dict[str, Any], Any]:
+    """Load one node value; raises :class:`GraphStoreError` on any defect.
+
+    The container header (magic, kind, length, payload SHA-256) is
+    verified by the data plane at open; this adds the meta/codec layer.
+    """
+    try:
+        with MappedArtifact(path, expect_kind=KIND_GRAPH) as artifact:
+            payload = artifact.payload
+            if len(payload) < _U32.size:
+                raise GraphStoreError(f"{path}: truncated meta length")
+            (meta_length,) = _U32.unpack_from(payload, 0)
+            if _U32.size + meta_length > len(payload):
+                raise GraphStoreError(f"{path}: truncated meta block")
+            try:
+                meta = json.loads(bytes(payload[_U32.size : _U32.size + meta_length]))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise GraphStoreError(f"{path}: undecodable meta ({exc})") from exc
+            if not isinstance(meta, dict) or meta.get("schema") != STORE_SCHEMA:
+                raise GraphStoreError(f"{path}: unsupported entry schema")
+            # The blob slice exports the mmap's buffer: decode, then
+            # release it before MappedArtifact closes the mapping.
+            blob = payload[_U32.size + meta_length :]
+            try:
+                codec = meta.get("codec")
+                if codec == "text":
+                    value: Any = bytes(blob).decode("utf-8")
+                elif codec == "pickle":
+                    try:
+                        value = pickle.loads(blob)
+                    except Exception as exc:  # pickle raises arbitrarily on corruption
+                        raise GraphStoreError(
+                            f"{path}: undecodable value ({exc})"
+                        ) from exc
+                else:
+                    raise GraphStoreError(f"{path}: unknown codec {codec!r}")
+            finally:
+                blob.release()
+            return meta, value
+    except DataPlaneError as exc:
+        if isinstance(exc, GraphStoreError):
+            raise
+        raise GraphStoreError(str(exc)) from exc
+
+
+def read_meta(path: Union[str, Path]) -> Dict[str, Any]:
+    """Only the meta block of one entry (used by the inspect CLI)."""
+    meta, _value = load_entry(path)
+    return meta
+
+
+def scan_entries(cache_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every entry in a run cache as ``{node, key, bytes, path}`` rows.
+
+    Rows are sorted by (node directory, key) so listings are stable; the
+    node *name* is read from the meta block lazily by the CLI only when
+    asked, keeping the scan cheap for large caches.
+    """
+    root = Path(cache_dir)
+    rows: List[Dict[str, Any]] = []
+    if not root.is_dir():
+        return rows
+    for path in sorted(root.glob(f"*/*{ENTRY_SUFFIX}")):
+        rows.append(
+            {
+                "node_dir": path.parent.name,
+                "key": path.stem,
+                "bytes": path.stat().st_size,
+                "path": str(path),
+            }
+        )
+    return rows
+
+
+def delete_entries(
+    cache_dir: Union[str, Path], name: Optional[str] = None
+) -> int:
+    """Delete run-cache entries; returns how many files were removed.
+
+    ``name=None`` clears the whole cache; otherwise only the one node's
+    directory is cleared (every key — invalidation is by node, the keys
+    themselves already encode *why* an entry went stale).
+    """
+    root = Path(cache_dir)
+    if not root.is_dir():
+        return 0
+    targets = (
+        [root / node_dirname(name)] if name is not None else sorted(root.iterdir())
+    )
+    removed = 0
+    for directory in targets:
+        if not directory.is_dir():
+            continue
+        for path in sorted(directory.glob(f"*{ENTRY_SUFFIX}")):
+            path.unlink(missing_ok=True)
+            removed += 1
+        try:
+            directory.rmdir()
+        except OSError:
+            pass  # non-empty (foreign files) or concurrently repopulated
+    return removed

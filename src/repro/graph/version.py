@@ -1,0 +1,79 @@
+"""Code-version digests: which source changes invalidate which nodes.
+
+Every artifact-graph node is keyed by ``(inputs-digest, code-version)``.
+The code-version half comes from here: a node declares the *code scopes*
+its compute transitively depends on — either a package subtree under
+``src/repro`` (``"filterlist"``) or a single module file
+(``"experiments/fig1.py"``) — and the scope digest is the SHA-256 of the
+scope's source bytes. Editing ``experiments/fig1.py`` therefore
+invalidates only the ``exp:fig1`` node; editing ``jsast/`` invalidates
+the feature nodes and every experiment that declared the ``jsast``
+scope; editing orchestration-only layers (``obs``, ``graph`` itself,
+``experiments/context.py``) invalidates nothing, because no node
+declares them — the repo's standing invariant is that observability and
+caching layers never change artifact bytes.
+
+Digests are pure functions of the on-disk source tree, so they are
+identical across process restarts and worker counts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Dict, Iterable, Tuple
+
+#: Scope-name -> hex digest, memoized for the process lifetime (the
+#: source tree does not change under a running campaign).
+_SCOPE_DIGESTS: Dict[str, str] = {}
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (source checkout)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def scope_digest(scope: str) -> str:
+    """SHA-256 over one code scope's source bytes.
+
+    A scope ending in ``.py`` is a single module file; anything else is
+    a package subtree whose ``*.py`` files are hashed in sorted relative
+    order (path and content both enter the hash, so renames invalidate).
+    A missing scope hashes to a fixed marker instead of raising — the
+    node simply keys on "scope absent".
+    """
+    cached = _SCOPE_DIGESTS.get(scope)
+    if cached is not None:
+        return cached
+    root = package_root()
+    target = root / scope
+    digest = hashlib.sha256()
+    if scope.endswith(".py"):
+        files = [target] if target.is_file() else []
+    else:
+        files = sorted(target.rglob("*.py")) if target.is_dir() else []
+    if not files:
+        digest.update(b"missing-scope:" + scope.encode("utf-8"))
+    for path in files:
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    result = digest.hexdigest()
+    _SCOPE_DIGESTS[scope] = result
+    return result
+
+
+def code_version(scopes: Iterable[str]) -> str:
+    """One combined digest for a node's declared code scopes."""
+    parts = [f"{scope}={scope_digest(scope)}" for scope in sorted(set(scopes))]
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+
+def reset_scope_cache() -> Tuple[str, ...]:
+    """Drop memoized scope digests (tests that edit source trees)."""
+    stale = tuple(_SCOPE_DIGESTS)
+    _SCOPE_DIGESTS.clear()
+    return stale

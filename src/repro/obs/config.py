@@ -40,6 +40,8 @@ KNOBS = (
     "REPRO_MATCHER_CACHE",
     "REPRO_HISTORY_CACHE",
     "REPRO_FEATURE_CACHE",
+    "REPRO_RUN_CACHE",
+    "REPRO_LIST_PATCH",
     "REPRO_DATA_PLANE",
     "REPRO_POOL_PERSIST",
     "REPRO_RULE_STATS",
@@ -150,6 +152,43 @@ def feature_cache_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[s
     """
     environ = os.environ if environ is None else environ
     return _resolve_dir("REPRO_FEATURE_CACHE", environ.get("REPRO_FEATURE_CACHE"))
+
+
+def run_cache_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """Artifact-graph run-cache directory from ``REPRO_RUN_CACHE``.
+
+    Unset or empty disables run-cache persistence (``None``): the
+    artifact graph (:mod:`repro.graph`) still computes node keys but
+    every node is computed in-process. When set, every campaign stage
+    and experiment artifact persists under this directory keyed by
+    ``(inputs-digest, code-version)``, so a fresh process warm-starts
+    from whatever an earlier run already computed. The directory need
+    not exist (the graph creates it), but a path that exists and is
+    *not* a directory is rejected with a one-time warning.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_dir("REPRO_RUN_CACHE", environ.get("REPRO_RUN_CACHE"))
+
+
+def list_patch_file(environ: Optional[Mapping[str, str]] = None) -> Optional[str]:
+    """Filter-list patch file from ``REPRO_LIST_PATCH``.
+
+    Unset or empty means no patch (``None``). When set, the file's
+    non-comment lines are appended to the Anti-Adblock Killer history as
+    one extra delta revision after list generation — the "one-line list
+    change" workload: every downstream artifact (coverage, live, corpus,
+    tables) sees the edit, while the archive/crawl stages keep their
+    run-cache keys. A path that does not point at a readable file is
+    rejected with a one-time warning.
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_LIST_PATCH")
+    if not raw:
+        return None
+    if not os.path.isfile(raw):
+        _warn_once("REPRO_LIST_PATCH", raw, None)
+        return None
+    return raw
 
 
 def _resolve_dir(var: str, raw: Optional[str]) -> Optional[str]:
@@ -299,6 +338,10 @@ class ConfigSnapshot:
     #: §3 parsed-rule cache capacity (``REPRO_HISTORY_CACHE``).
     history_cache: int = DEFAULT_HISTORY_CACHE
     feature_cache: Optional[str] = None
+    #: Artifact-graph run-cache directory (``REPRO_RUN_CACHE``).
+    run_cache: Optional[str] = None
+    #: Filter-list patch file (``REPRO_LIST_PATCH``).
+    list_patch: Optional[str] = None
     #: Packed binary interchange for the hot stores (``REPRO_DATA_PLANE``).
     data_plane: bool = DEFAULT_DATA_PLANE
     #: One long-lived worker pool per process (``REPRO_POOL_PERSIST``).
@@ -325,6 +368,8 @@ class ConfigSnapshot:
             "matcher_cache": self.matcher_cache,
             "history_cache": self.history_cache,
             "feature_cache": self.feature_cache,
+            "run_cache": self.run_cache,
+            "list_patch": self.list_patch,
             "data_plane": self.data_plane,
             "pool_persist": self.pool_persist,
             "rule_stats": self.rule_stats,
@@ -346,6 +391,8 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         matcher_cache=matcher_cache_size(environ),
         history_cache=history_cache_size(environ),
         feature_cache=feature_cache_dir(environ),
+        run_cache=run_cache_dir(environ),
+        list_patch=list_patch_file(environ),
         data_plane=data_plane_enabled(environ),
         pool_persist=pool_persist(environ),
         rule_stats=rule_stats_enabled(environ),

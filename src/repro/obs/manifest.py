@@ -16,9 +16,10 @@ The schema is versioned and checked by :func:`validate_manifest` — a
 hand-rolled structural validator so CI can gate on manifest integrity
 without a jsonschema dependency. Current writes use
 ``repro.run-manifest/2``, which adds a ``metrics.histograms`` section
-(serialized :class:`~repro.obs.hist.Histogram` objects) and an optional
-top-level ``rules`` section (the rule-stats summary); v1 manifests from
-older runs still validate under the v1 rules. Validate from the command
+(serialized :class:`~repro.obs.hist.Histogram` objects) and optional
+top-level ``rules`` (rule-stats summary) and ``graph`` (artifact-graph
+per-node outcome) sections; v1 manifests from older runs still validate
+under the v1 rules. Validate from the command
 line with ``python -m repro.obs validate run.json``.
 """
 
@@ -228,6 +229,8 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
                 errors.extend(_validate_histogram(hist, f"metrics.histograms[{name}]"))
         if "rules" in manifest:
             errors.extend(_validate_rules_section(manifest["rules"]))
+        if "graph" in manifest:
+            errors.extend(_validate_graph_section(manifest["graph"]))
     config = manifest["config"]
     for knob, kind in (
         ("scale", (int, float)),
@@ -241,6 +244,8 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("retry_base_ms", (int, float)),
         ("crawl_journal", (str, type(None))),
         ("fault_seed", (int, type(None))),
+        ("run_cache", (str, type(None))),
+        ("list_patch", (str, type(None))),
     ):
         if knob in config and not isinstance(config[knob], kind):
             errors.append(f"config.{knob}: wrong type")
@@ -290,6 +295,35 @@ def _validate_rules_section(rules: Any) -> List[str]:
         for name, entry in lists.items():
             if not isinstance(entry, dict):
                 errors.append(f"rules.lists[{name}]: not an object")
+    return errors
+
+
+#: Per-node outcomes the manifest's ``graph`` section may report.
+_GRAPH_OUTCOMES = frozenset({"hit", "miss", "stored", "computed", "volatile", "error"})
+
+
+def _validate_graph_section(graph: Any) -> List[str]:
+    """Structural check of the optional v2 ``graph`` summary section."""
+    if not isinstance(graph, dict):
+        return ["graph: not an object"]
+    errors: List[str] = []
+    if not isinstance(graph.get("cache_dir"), (str, type(None))):
+        errors.append("graph.cache_dir: expected str or null")
+    nodes = graph.get("nodes")
+    if not isinstance(nodes, dict):
+        return errors + ["graph.nodes: expected dict"]
+    for name, row in nodes.items():
+        where = f"graph.nodes[{name}]"
+        if not isinstance(row, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        key = row.get("key")
+        if not (isinstance(key, str) and len(key) == 64):
+            errors.append(f"{where}: bad key")
+        if row.get("outcome") not in _GRAPH_OUTCOMES:
+            errors.append(f"{where}: bad outcome {row.get('outcome')!r}")
+        if not isinstance(row.get("bytes"), int):
+            errors.append(f"{where}: bad bytes")
     return errors
 
 

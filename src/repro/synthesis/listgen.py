@@ -684,3 +684,38 @@ def generate_all_lists(world: SyntheticWorld) -> Dict[str, FilterListHistory]:
     for key, history in histories.items():
         metrics.count(f"listgen.revisions.{key}", len(history.revisions))
     return histories
+
+
+def apply_list_patch(
+    histories: Dict[str, FilterListHistory],
+    patch_path,
+    list_key: str = "aak",
+) -> int:
+    """Append a patch file's rules to one history as a delta revision.
+
+    This is the "one-line list change" entry point for the artifact
+    graph: the patch file's non-empty, non-comment lines land as one
+    extra delta-backed revision on the Anti-Adblock Killer history,
+    dated with the latest revision, so the §4 replay's final months,
+    the live crawl, and the §5 corpus all see it. Returns the number of
+    rule lines applied; an empty or comment-only patch is a no-op.
+    """
+    from pathlib import Path
+
+    from ..filterlist.history import RevisionDelta
+    from ..obs.metrics import get_metrics
+
+    lines = [
+        line.strip()
+        for line in Path(patch_path).read_text(encoding="utf-8").splitlines()
+        if line.strip() and not line.strip().startswith("!")
+    ]
+    if not lines:
+        return 0
+    history = histories[list_key]
+    latest = history.latest()
+    if latest is None:
+        raise ValueError(f"cannot patch empty history {list_key!r}")
+    history.add_revision(latest.date, RevisionDelta(added=lines, removed=[]))
+    get_metrics().count("listgen.patch_lines", len(lines))
+    return len(lines)

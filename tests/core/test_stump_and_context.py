@@ -91,4 +91,12 @@ class TestExperimentContext:
             ctx.corpus_features("all")
         features = ctx.corpus_features("all")
         assert len(features) == len(ctx.corpus.sources())
-        assert "features" in [stage.name for stage in ctx.stage_timings]
+        names = [stage.name for stage in ctx.stage_timings]
+        # Each (feature_set, unpack) pair is its own stage; the failed
+        # first attempt is recorded too, with the exception attached.
+        assert names.count("features:all:u1") == 2
+        failed = next(s for s in ctx.stage_timings if s.name == "features:all:u1")
+        assert failed.error == "RuntimeError: injected extraction failure"
+        assert "error" in failed.as_dict()
+        succeeded = [s for s in ctx.stage_timings if s.name == "features:all:u1"][-1]
+        assert succeeded.error is None and "error" not in succeeded.as_dict()

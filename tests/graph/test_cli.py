@@ -1,0 +1,84 @@
+"""The ``python -m repro graph`` inspect/invalidate CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.context import ExperimentContext
+
+SCALE = "0.02"
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_CACHE", str(tmp_path))
+    monkeypatch.setenv("REPRO_SCALE", SCALE)
+    return tmp_path
+
+
+def warm_lists(cache):
+    ctx = ExperimentContext.create()
+    ctx.lists
+    return ctx
+
+
+class TestSummary:
+    def test_summary_without_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_CACHE", raising=False)
+        assert main(["graph"]) == 0
+        assert "REPRO_RUN_CACHE unset" in capsys.readouterr().out
+
+    def test_summary_counts_entries(self, capsys, cache):
+        warm_lists(cache)
+        assert main(["graph", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["cache_dir"] == str(cache)
+        assert summary["entries"] == 1
+        assert summary["warm_nodes"] == 1
+        # 6 stages + 3 standard feature nodes + 14 experiments.
+        assert summary["nodes"] == 23
+
+
+class TestKeysAndLs:
+    def test_keys_lists_every_node(self, capsys, cache):
+        warm_lists(cache)
+        assert main(["graph", "keys", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_node = {row["node"]: row for row in rows}
+        assert by_node["lists"]["cached"] is True
+        assert by_node["coverage"]["cached"] is False
+        assert len(by_node["lists"]["key"]) == 64
+        assert "exp:fig1" in by_node and "features:all:u1" in by_node
+
+    def test_ls_shows_disk_entries(self, capsys, cache):
+        warm_lists(cache)
+        assert main(["graph", "ls", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["node_dir"] == "lists"
+
+
+class TestInvalidate:
+    def test_invalidate_one_node(self, capsys, cache):
+        warm_lists(cache)
+        assert main(["graph", "invalidate", "lists", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"removed": 1}
+
+    def test_invalidate_all(self, capsys, cache):
+        warm_lists(cache)
+        assert main(["graph", "invalidate", "--all"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+    def test_invalidate_unknown_node(self, capsys, cache):
+        assert main(["graph", "invalidate", "bogus"]) == 2
+        assert "unknown node" in capsys.readouterr().err
+
+    def test_invalidate_needs_cache_dir(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_CACHE", raising=False)
+        assert main(["graph", "invalidate", "--all"]) == 2
+        assert "REPRO_RUN_CACHE" in capsys.readouterr().err
+
+    def test_unknown_subcommand(self, capsys):
+        assert main(["graph", "frobnicate"]) == 2
+        assert "unknown graph command" in capsys.readouterr().err

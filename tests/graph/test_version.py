@@ -1,0 +1,75 @@
+"""Code-version digests: scope hashing and its invalidation semantics."""
+
+import pytest
+
+from repro.graph import version
+
+
+@pytest.fixture()
+def fake_tree(tmp_path, monkeypatch):
+    """A throwaway package root the scope digests read from."""
+    (tmp_path / "filterlist").mkdir()
+    (tmp_path / "filterlist" / "rules.py").write_text("RULES = 1\n")
+    (tmp_path / "experiments").mkdir()
+    (tmp_path / "experiments" / "fig1.py").write_text("def run(): pass\n")
+    monkeypatch.setattr(version, "package_root", lambda: tmp_path)
+    version.reset_scope_cache()
+    yield tmp_path
+    version.reset_scope_cache()
+
+
+class TestScopeDigest:
+    def test_memoized_per_process(self, fake_tree):
+        first = version.scope_digest("filterlist")
+        # An edit without a cache reset is invisible (source trees do
+        # not change under a running campaign)...
+        (fake_tree / "filterlist" / "rules.py").write_text("RULES = 2\n")
+        assert version.scope_digest("filterlist") == first
+        # ...and visible after one.
+        version.reset_scope_cache()
+        assert version.scope_digest("filterlist") != first
+
+    def test_single_module_scope(self, fake_tree):
+        before = version.scope_digest("experiments/fig1.py")
+        (fake_tree / "experiments" / "fig1.py").write_text("def run(): return 1\n")
+        version.reset_scope_cache()
+        assert version.scope_digest("experiments/fig1.py") != before
+
+    def test_editing_one_scope_leaves_others_alone(self, fake_tree):
+        lists = version.scope_digest("filterlist")
+        fig1 = version.scope_digest("experiments/fig1.py")
+        (fake_tree / "experiments" / "fig1.py").write_text("# changed\n")
+        version.reset_scope_cache()
+        assert version.scope_digest("filterlist") == lists
+        assert version.scope_digest("experiments/fig1.py") != fig1
+
+    def test_rename_invalidates(self, fake_tree):
+        before = version.scope_digest("filterlist")
+        (fake_tree / "filterlist" / "rules.py").rename(
+            fake_tree / "filterlist" / "rules2.py"
+        )
+        version.reset_scope_cache()
+        assert version.scope_digest("filterlist") != before
+
+    def test_missing_scope_is_a_stable_marker(self, fake_tree):
+        gone = version.scope_digest("no_such_package")
+        version.reset_scope_cache()
+        assert version.scope_digest("no_such_package") == gone
+        assert gone != version.scope_digest("filterlist")
+
+
+class TestCodeVersion:
+    def test_order_and_duplicates_are_irrelevant(self, fake_tree):
+        a = version.code_version(["filterlist", "experiments/fig1.py"])
+        b = version.code_version(["experiments/fig1.py", "filterlist", "filterlist"])
+        assert a == b
+
+    def test_scope_sets_differ(self, fake_tree):
+        assert version.code_version(["filterlist"]) != version.code_version(
+            ["filterlist", "experiments/fig1.py"]
+        )
+
+    def test_real_tree_digests_are_hex(self):
+        digest = version.scope_digest("filterlist")
+        assert len(digest) == 64
+        int(digest, 16)

@@ -1,0 +1,177 @@
+"""End-to-end warm starts: the context resolves stages through the graph.
+
+These are the PR's acceptance tests: a second process pointed at the
+same ``REPRO_RUN_CACHE`` serves every stage and experiment from disk,
+with values (and rendered-artifact digests) identical to the cold run.
+"""
+
+import hashlib
+
+import pytest
+
+import repro.experiments.fig1 as fig1
+import repro.experiments.fig6 as fig6
+from repro.experiments.context import ExperimentContext
+from repro.graph.store import scan_entries
+from repro.obs.metrics import get_metrics, reset_metrics
+
+SCALE = 0.02
+
+
+@pytest.fixture()
+def cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUN_CACHE", str(tmp_path))
+    reset_metrics()
+    return tmp_path
+
+
+def fresh_ctx() -> ExperimentContext:
+    """A brand-new context: the in-memory layer starts empty, as after a
+    process restart (node keys never depend on process state)."""
+    return ExperimentContext.create(scale=SCALE)
+
+
+class TestStageWarmStart:
+    def test_cold_then_warm_coverage(self, cache):
+        cold = fresh_ctx()
+        cold_result = cold.coverage
+        assert [s.name for s in cold.stage_timings if s.cached] == []
+        assert scan_entries(cache)  # nodes persisted
+
+        warm = fresh_ctx()
+        warm_result = warm.coverage
+        cached = [s.name for s in warm.stage_timings if s.cached]
+        assert cached == ["coverage"]  # upstream stages never materialise
+        assert warm_result.http_series == cold_result.http_series
+        assert warm_result.html_series == cold_result.html_series
+        assert get_metrics().counter("graph.hits") >= 1
+
+    def test_warm_values_equal_cold_values(self, cache):
+        cold = fresh_ctx()
+        cold.lists
+        cold.corpus
+        cold_features = cold.corpus_features("all")
+
+        warm = fresh_ctx()
+        assert sorted(warm.lists) == sorted(cold.lists)
+        for key in cold.lists:
+            cold_latest = cold.lists[key].latest().filter_list
+            warm_latest = warm.lists[key].latest().filter_list
+            assert [r.raw for r in warm_latest.network_rules] == [
+                r.raw for r in cold_latest.network_rules
+            ]
+        assert warm.corpus_features("all") == cold_features
+
+    def test_rendered_artifacts_byte_identical(self, cache):
+        cold = fresh_ctx()
+        cold_rendered = fig6.render(fig6.run(cold))
+        warm = fresh_ctx()
+        warm_rendered = fig6.render(fig6.run(warm))
+        assert (
+            hashlib.sha256(warm_rendered.encode()).hexdigest()
+            == hashlib.sha256(cold_rendered.encode()).hexdigest()
+        )
+
+    def test_experiment_nodes_resolve_from_cache(self, cache):
+        cold = fresh_ctx()
+        graph = cold.graph
+        graph.register_experiment("fig1", fig1)
+        cold_rendered = graph.resolve("exp:fig1", lambda: fig1.render(fig1.run(cold)))
+
+        warm = fresh_ctx()
+        warm_graph = warm.graph
+        warm_graph.register_experiment("fig1", fig1)
+        ran = []
+        rendered = warm_graph.resolve(
+            "exp:fig1", lambda: ran.append(1) or fig1.render(fig1.run(warm))
+        )
+        assert ran == []  # the compute thunk never fired
+        assert rendered == cold_rendered
+        # The warm context materialised no stage at all.
+        assert warm.stage_timings == []
+
+    def test_disabled_graph_still_computes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RUN_CACHE", raising=False)
+        ctx = fresh_ctx()
+        assert not ctx.graph.enabled
+        assert ctx.lists is not None
+        assert [s.cached for s in ctx.stage_timings] == [False]
+
+
+class TestInvalidation:
+    def test_one_line_patch_recomputes_only_downstream(self, cache, tmp_path,
+                                                       monkeypatch):
+        cold = fresh_ctx()
+        cold.coverage  # populates archive, crawl, lists, coverage
+
+        patch = tmp_path / "patch.txt"
+        patch.write_text("! campaign hotfix\n||hotfix-tracker.example/ad.js\n")
+        monkeypatch.setenv("REPRO_LIST_PATCH", str(patch))
+
+        warm = fresh_ctx()
+        warm.coverage
+        by_name = {s.name: s for s in warm.stage_timings}
+        # The crawl half of the fork is served from cache; the list half
+        # (and everything downstream of it) recomputes.
+        assert by_name["crawl"].cached is True
+        assert "archive" not in by_name  # untouched on disk
+        assert by_name["lists"].cached is False
+        assert by_name["coverage"].cached is False
+        # The patched rule actually entered the lists.
+        latest = warm.lists["aak"].latest().filter_list
+        assert any("hotfix-tracker" in r.raw for r in latest.network_rules)
+
+    def test_corrupt_entry_falls_through_to_compute(self, cache):
+        cold = fresh_ctx()
+        cold.lists
+        (entry,) = scan_entries(cache)
+        raw = bytearray(open(entry["path"], "rb").read())
+        raw[-1] ^= 0xFF
+        open(entry["path"], "wb").write(bytes(raw))
+
+        reset_metrics()
+        warm = fresh_ctx()
+        assert warm.lists is not None
+        metrics = get_metrics()
+        assert metrics.counter("graph.errors") == 1
+        assert metrics.counter("graph.misses") == 1
+        # The recompute overwrote the bad entry; a third context hits.
+        reset_metrics()
+        third = fresh_ctx()
+        third.lists
+        assert get_metrics().counter("graph.hits") == 1
+
+    def test_invalidate_node_forces_recompute(self, cache):
+        cold = fresh_ctx()
+        cold.lists
+        removed = cold.graph.invalidate("lists")
+        assert removed == 1
+        warm = fresh_ctx()
+        warm.lists
+        assert [s.cached for s in warm.stage_timings] == [False]
+
+
+class TestManifestSection:
+    def test_outcomes_cover_hits_and_stores(self, cache):
+        cold = fresh_ctx()
+        cold.lists
+        section = cold.graph.manifest_section()
+        assert section["cache_dir"] == str(cache)
+        assert section["nodes"]["lists"]["outcome"] == "stored"
+
+        warm = fresh_ctx()
+        warm.lists
+        warm_section = warm.graph.manifest_section()
+        assert warm_section["nodes"]["lists"]["outcome"] == "hit"
+        assert warm_section["nodes"]["lists"]["key"] == section["nodes"]["lists"]["key"]
+
+    def test_section_validates_inside_a_manifest(self, cache, tmp_path):
+        from repro.obs.manifest import RunManifest, validate_manifest
+
+        ctx = fresh_ctx()
+        ctx.lists
+        manifest = RunManifest(tmp_path / "run.json")
+        result = manifest.finalize(
+            seed=ctx.world.seed, extra={"graph": ctx.graph.manifest_section()}
+        )
+        assert validate_manifest(result) == []

@@ -78,3 +78,28 @@ def test_parallel_folds_render_identical_and_hit_the_cache(ctx, monkeypatch):
         )
     delta = get_history_counters().since(before)
     assert delta.cache_hits > 0, "parallel folds never hit the parsed-rule cache"
+
+
+def test_cached_artifacts_match_pinned_digests(tmp_path, monkeypatch):
+    """The run-cache path is byte-transparent: a warm-started context's
+    rendered artifacts still match the pre-engine digest pins."""
+    monkeypatch.setenv("REPRO_RUN_CACHE", str(tmp_path))
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+    def fresh():
+        return ExperimentContext(
+            world=SyntheticWorld(WorldConfig(n_sites=120, live_top=400))
+        )
+
+    cold = fresh()
+    for name in ("fig1", "sec33"):
+        module = MODULES[name]
+        assert digest(module.render(module.run(cold))) == PINNED[name]
+    warm = fresh()
+    assert warm.graph.has("lists"), "cold run persisted nothing"
+    for name in ("fig1", "sec33"):
+        module = MODULES[name]
+        assert digest(module.render(module.run(warm))) == PINNED[name], (
+            f"{name} drifted when served through the run cache"
+        )
+    assert any(stage.cached for stage in warm.stage_timings)

@@ -140,6 +140,8 @@ class TestSnapshot:
             "matcher_cache",
             "history_cache",
             "feature_cache",
+            "run_cache",
+            "list_patch",
             "max_retries",
             "retry_base_ms",
             "crawl_journal",
