@@ -4,7 +4,9 @@ Runs experiment drivers by name and prints their artifacts; with no
 arguments, lists what is available. Scale comes from ``REPRO_SCALE``.
 ``all`` expands to every experiment. When ``REPRO_RUN_CACHE`` points at
 a directory, finished stages and experiment outputs persist there and
-warm-start later runs (``python -m repro graph`` inspects that cache).
+warm-start later runs (``python -m repro graph`` inspects that cache;
+``python -m repro serve`` boots the always-on matching/detection daemon
+from it — see docs/SERVING.md).
 
 Options:
   --trace              record a hierarchical span tree of the run and
@@ -113,6 +115,11 @@ def main(argv: list) -> int:
         from repro.graph.cli import main as graph_main
 
         return graph_main(argv[1:])
+    if argv and argv[0] == "serve":
+        # The always-on matching/detection daemon (and its loadgen).
+        from repro.serve.cli import main as serve_main
+
+        return serve_main(argv[1:])
     try:
         opts = _parse_args(argv)
     except _CliError as error:

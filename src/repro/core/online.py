@@ -7,6 +7,14 @@ remove anti-adblock scripts on the fly." This module implements that:
 every script a page serves is statically scanned, and flagged external
 scripts are blocked even when no filter rule knows them.
 
+This is *not* batch-only: the same class is the per-epoch engine inside
+the always-on ``repro serve`` daemon (:mod:`repro.serve`), its production
+driver. The daemon constructs one :class:`OnlineAdblocker` per list
+epoch (via the ``adblocker=`` / ``verdict_cache=`` hooks below, so the
+memoised verdicts survive hot reloads) and answers url/page/script
+queries byte-identically to calling :meth:`OnlineAdblocker.visit`
+directly.
+
 Scanning is cached by script digest, since in adblocker deployment the
 same vendor script is encountered on many pages.
 """
@@ -22,6 +30,15 @@ from ..web.adblocker import Adblocker
 from ..web.dom import Document, parse_html
 from ..web.page import PageSnapshot, Script
 from .pipeline import AntiAdblockDetector
+
+
+def source_digest(source: str) -> str:
+    """The verdict-cache key of a script source (SHA-256 of its bytes).
+
+    Shared with the serve daemon's batcher, whose prewarm pass fills the
+    same cache with one batched ``predict`` before ``visit`` consults it.
+    """
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
 
 
 @dataclass
@@ -57,15 +74,21 @@ class OnlineAdblocker:
         self,
         detector: AntiAdblockDetector,
         filter_lists: Optional[List[FilterList]] = None,
+        adblocker: Optional[Adblocker] = None,
+        verdict_cache: Optional[Dict[str, bool]] = None,
     ) -> None:
         self.detector = detector
-        self.adblocker = Adblocker(filter_lists or [])
-        self._verdict_cache: Dict[str, bool] = {}
+        self.adblocker = adblocker if adblocker is not None else Adblocker(filter_lists or [])
+        # The serve daemon passes a shared dict so memoised verdicts
+        # survive epoch swaps; standalone use gets a private one.
+        self._verdict_cache: Dict[str, bool] = (
+            verdict_cache if verdict_cache is not None else {}
+        )
 
     # -- script scanning -----------------------------------------------------
 
     def _verdict(self, source: str) -> bool:
-        digest = hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+        digest = source_digest(source)
         if digest not in self._verdict_cache:
             prediction = self.detector.predict([source])
             self._verdict_cache[digest] = bool(prediction[0])

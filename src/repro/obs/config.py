@@ -4,7 +4,8 @@ Before this module, ``REPRO_SCALE`` was parsed in ``experiments.context``
 and ``REPRO_WORKERS``/``REPRO_MATCHER_CACHE`` in ``analysis.perf``, each
 silently falling back to its default on garbage input — a typo like
 ``REPRO_WORKERS=fuor`` quietly ran serial. Every knob — scale, workers,
-the matcher/history/feature caches, and the resilience layer's retry/
+the matcher/history/feature caches, the serve daemon's
+port/batch/linger/workers surface, and the resilience layer's retry/
 journal/fault-injection settings — now resolves here: invalid or out-of-range
 values still fall back to the documented
 defaults (so behaviour is unchanged), but a warning is logged **once per
@@ -32,6 +33,10 @@ DEFAULT_RETRY_BASE_MS = 50.0
 DEFAULT_DATA_PLANE = False
 DEFAULT_POOL_PERSIST = False
 DEFAULT_RULE_STATS = False
+DEFAULT_SERVE_PORT = 7675
+DEFAULT_SERVE_BATCH = 64
+DEFAULT_SERVE_WAIT_MS = 2.0
+DEFAULT_SERVE_WORKERS = 0
 
 #: The knobs this module owns, in manifest order.
 KNOBS = (
@@ -46,6 +51,10 @@ KNOBS = (
     "REPRO_POOL_PERSIST",
     "REPRO_RULE_STATS",
     "REPRO_RULE_STATS_DIR",
+    "REPRO_SERVE_PORT",
+    "REPRO_SERVE_BATCH",
+    "REPRO_SERVE_WAIT_MS",
+    "REPRO_SERVE_WORKERS",
     "REPRO_MAX_RETRIES",
     "REPRO_RETRY_BASE_MS",
     "REPRO_CRAWL_JOURNAL",
@@ -271,6 +280,74 @@ def rule_stats_dir(environ: Optional[Mapping[str, str]] = None) -> Optional[str]
     return _resolve_dir("REPRO_RULE_STATS_DIR", environ.get("REPRO_RULE_STATS_DIR"))
 
 
+def serve_port(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Serve-daemon TCP port from ``REPRO_SERVE_PORT`` (default 7675).
+
+    0 is valid and means "an ephemeral port chosen by the OS" (the
+    daemon prints the bound port at startup) — useful for tests and for
+    running several daemons on one host. Values above 65535 warn once
+    and fall back to the default.
+    """
+    environ = os.environ if environ is None else environ
+    raw = environ.get("REPRO_SERVE_PORT")
+    value = _resolve_int("REPRO_SERVE_PORT", raw, DEFAULT_SERVE_PORT, minimum=0)
+    if value > 65535:
+        _warn_once("REPRO_SERVE_PORT", raw, DEFAULT_SERVE_PORT)
+        return DEFAULT_SERVE_PORT
+    return value
+
+
+def serve_batch_size(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Serve-daemon max batch size from ``REPRO_SERVE_BATCH`` (≥ 1).
+
+    The batcher dispatches a batch as soon as this many queries are
+    pending (or the linger window closes, whichever comes first). 1
+    degenerates to the naive one-query-per-call path.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_SERVE_BATCH",
+        environ.get("REPRO_SERVE_BATCH"),
+        DEFAULT_SERVE_BATCH,
+        minimum=1,
+        clamp=True,
+    )
+
+
+def serve_wait_ms(environ: Optional[Mapping[str, str]] = None) -> float:
+    """Serve-daemon batch linger from ``REPRO_SERVE_WAIT_MS`` (≥ 0).
+
+    How long the batcher waits for more queries before dispatching a
+    partial batch. 0 disables the linger entirely: every dispatch takes
+    whatever is queued at that instant.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_float(
+        "REPRO_SERVE_WAIT_MS",
+        environ.get("REPRO_SERVE_WAIT_MS"),
+        DEFAULT_SERVE_WAIT_MS,
+        minimum=0.0,
+    )
+
+
+def serve_workers(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Serve-daemon worker processes from ``REPRO_SERVE_WORKERS`` (≥ 0).
+
+    0 (the default) answers every batch inline in the daemon process;
+    ≥ 2 fans batches across a dedicated
+    :class:`~repro.analysis.pool.PersistentPool` of fork workers, each
+    holding its own warm matcher/detector state (1 behaves like 0 — one
+    worker buys nothing over inline).
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_SERVE_WORKERS",
+        environ.get("REPRO_SERVE_WORKERS"),
+        DEFAULT_SERVE_WORKERS,
+        minimum=0,
+    )
+
+
 def max_retries(environ: Optional[Mapping[str, str]] = None) -> int:
     """Crawl retry allowance from ``REPRO_MAX_RETRIES`` (default 3, ≥ 0).
 
@@ -350,6 +427,14 @@ class ConfigSnapshot:
     rule_stats: bool = DEFAULT_RULE_STATS
     #: Cross-run rule-stats accumulator directory (``REPRO_RULE_STATS_DIR``).
     rule_stats_dir: Optional[str] = None
+    #: Serve-daemon TCP port (``REPRO_SERVE_PORT``; 0 = ephemeral).
+    serve_port: int = DEFAULT_SERVE_PORT
+    #: Serve-daemon max batch size (``REPRO_SERVE_BATCH``).
+    serve_batch: int = DEFAULT_SERVE_BATCH
+    #: Serve-daemon batch linger in milliseconds (``REPRO_SERVE_WAIT_MS``).
+    serve_wait_ms: float = DEFAULT_SERVE_WAIT_MS
+    #: Serve-daemon worker processes (``REPRO_SERVE_WORKERS``; 0 = inline).
+    serve_workers: int = DEFAULT_SERVE_WORKERS
     max_retries: int = DEFAULT_MAX_RETRIES
     retry_base_ms: float = DEFAULT_RETRY_BASE_MS
     #: Checkpoint-journal directory (holds wayback/live/corpus journals),
@@ -374,6 +459,10 @@ class ConfigSnapshot:
             "pool_persist": self.pool_persist,
             "rule_stats": self.rule_stats,
             "rule_stats_dir": self.rule_stats_dir,
+            "serve_port": self.serve_port,
+            "serve_batch": self.serve_batch,
+            "serve_wait_ms": self.serve_wait_ms,
+            "serve_workers": self.serve_workers,
             "max_retries": self.max_retries,
             "retry_base_ms": self.retry_base_ms,
             "crawl_journal": self.crawl_journal,
@@ -397,6 +486,10 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         pool_persist=pool_persist(environ),
         rule_stats=rule_stats_enabled(environ),
         rule_stats_dir=rule_stats_dir(environ),
+        serve_port=serve_port(environ),
+        serve_batch=serve_batch_size(environ),
+        serve_wait_ms=serve_wait_ms(environ),
+        serve_workers=serve_workers(environ),
         max_retries=max_retries(environ),
         retry_base_ms=retry_base_ms(environ),
         crawl_journal=crawl_journal_dir(environ),

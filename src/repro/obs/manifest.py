@@ -231,6 +231,8 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
             errors.extend(_validate_rules_section(manifest["rules"]))
         if "graph" in manifest:
             errors.extend(_validate_graph_section(manifest["graph"]))
+        if "serve" in manifest:
+            errors.extend(_validate_serve_section(manifest["serve"]))
     config = manifest["config"]
     for knob, kind in (
         ("scale", (int, float)),
@@ -240,6 +242,10 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("feature_cache", (str, type(None))),
         ("rule_stats", bool),
         ("rule_stats_dir", (str, type(None))),
+        ("serve_port", int),
+        ("serve_batch", int),
+        ("serve_wait_ms", (int, float)),
+        ("serve_workers", int),
         ("max_retries", int),
         ("retry_base_ms", (int, float)),
         ("crawl_journal", (str, type(None))),
@@ -324,6 +330,33 @@ def _validate_graph_section(graph: Any) -> List[str]:
             errors.append(f"{where}: bad outcome {row.get('outcome')!r}")
         if not isinstance(row.get("bytes"), int):
             errors.append(f"{where}: bad bytes")
+    return errors
+
+
+#: Counter fields the v2 ``serve`` section must carry as non-negative ints.
+_SERVE_COUNTERS = ("queries", "batches", "reloads", "dropped")
+
+
+def _validate_serve_section(serve: Any) -> List[str]:
+    """Structural check of the optional v2 ``serve`` summary section.
+
+    Written by the serve daemon on shutdown (:mod:`repro.serve`): the
+    port it listened on, the epoch it finished at, and the query/batch/
+    reload/dropped counters a smoke test gates on.
+    """
+    if not isinstance(serve, dict):
+        return ["serve: not an object"]
+    errors: List[str] = []
+    if not isinstance(serve.get("port"), int):
+        errors.append("serve.port: expected int")
+    if not isinstance(serve.get("epoch"), int):
+        errors.append("serve.epoch: expected int")
+    if not isinstance(serve.get("workers"), int):
+        errors.append("serve.workers: expected int")
+    for field in _SERVE_COUNTERS:
+        value = serve.get(field)
+        if not (isinstance(value, int) and not isinstance(value, bool) and value >= 0):
+            errors.append(f"serve.{field}: expected non-negative int")
     return errors
 
 

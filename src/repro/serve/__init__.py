@@ -1,0 +1,52 @@
+"""The always-on matching/detection service (``python -m repro serve``).
+
+The paper's §5 online scenario ships the trained detector inside an
+adblocker answering per-request and per-script questions at browsing
+speed. This package is that deployment shape as a daemon:
+
+- :mod:`~repro.serve.daemon` — graph-backed boot (warm starts from
+  ``REPRO_RUN_CACHE`` recompute nothing) and the TCP control plane;
+- :mod:`~repro.serve.protocol` — newline-delimited JSON queries
+  (``url`` / ``script`` / ``page``) and control ops;
+- :mod:`~repro.serve.batcher` — request batching with a one-predict
+  prewarm pass, plus pipelined fan-out over persistent pool workers;
+- :mod:`~repro.serve.reload` — O(delta) epoch-swap hot reload that
+  never drops an in-flight query;
+- :mod:`~repro.serve.loadgen` — the deterministic load generator behind
+  ``BENCH_serve.json``.
+
+Runbook: docs/SERVING.md. Architecture: DESIGN.md §3.9.
+"""
+
+from .batcher import RequestBatcher, ServeEngine, answer_query, prewarm_verdicts
+from .daemon import (
+    ServeDaemon,
+    ServeState,
+    build_engine,
+    detector_spec,
+    resolve_serve_state,
+    snapshot_spec,
+)
+from .loadgen import generate_queries, run_inprocess, run_network
+from .protocol import ServeClient
+from .reload import EpochChain, ServeEpoch, partition_rule_lines
+
+__all__ = [
+    "EpochChain",
+    "RequestBatcher",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeEngine",
+    "ServeEpoch",
+    "ServeState",
+    "answer_query",
+    "build_engine",
+    "detector_spec",
+    "generate_queries",
+    "partition_rule_lines",
+    "prewarm_verdicts",
+    "resolve_serve_state",
+    "run_inprocess",
+    "run_network",
+    "snapshot_spec",
+]

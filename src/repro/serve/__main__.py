@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — same CLI as ``python -m repro serve``."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,357 @@
+"""The serve daemon: graph-backed state, a TCP front end, and health.
+
+Boot resolves two dedicated artifact-graph nodes through the standard
+memory → ``REPRO_RUN_CACHE`` → compute layers:
+
+- ``serve:snapshot`` — the compiled subscription (raw network/element
+  rule lines of the latest ``aak`` + ``combined_easylist`` revisions;
+  depends on the ``lists`` stage);
+- ``serve:detector`` — the fitted §5 detector, trained exactly as the
+  ``sec5live`` driver trains it (keyword features, top_k=1000, campaign
+  seed; depends on ``corpus`` and ``features:keyword:u1``).
+
+Against a warm run cache both nodes load from disk and **no context
+stage recomputes** — the daemon is answering queries in the time it
+takes to unpickle two artifacts. Cold, the nodes compute once and
+persist, warming every later boot.
+
+The front end is a threading TCP server speaking the line protocol of
+:mod:`repro.serve.protocol`: query ops flow through the
+:class:`~repro.serve.batcher.RequestBatcher`; ``health``/``metrics``
+read state directly; ``reload`` performs the epoch swap of
+:mod:`repro.serve.reload`; ``shutdown`` stops the daemon. On stop the
+daemon can write a run manifest whose ``serve`` section carries the
+port, final epoch, and query/batch/reload/dropped counters
+(``repro.obs.manifest`` validates it).
+"""
+
+from __future__ import annotations
+
+import logging
+import socketserver
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.pipeline import AntiAdblockDetector, DetectorConfig
+from ..graph.core import NodeSpec
+from ..obs.config import serve_batch_size, serve_wait_ms, serve_workers
+from ..obs.metrics import get_metrics
+from ..obs.trace import span as trace_span
+from .batcher import RequestBatcher, ServeEngine
+from . import protocol
+from .reload import EpochChain, partition_rule_lines
+
+logger = logging.getLogger("repro.serve")
+
+#: serve:snapshot payload revision (part of the node key via ``extra``).
+SNAPSHOT_SCHEMA = 1
+
+#: The subscription the daemon serves: the anti-adblock list plus the
+#: combined EasyList, i.e. the corpus-labeling pair from §5.
+SUBSCRIBED_LISTS = ("aak", "combined_easylist")
+
+#: The detector configuration, pinned to the ``sec5live`` training setup.
+DETECTOR_PARAMS = {"feature_set": "keyword", "top_k": 1000, "classifier": "adaboost_svm", "unpack": True}
+
+
+def snapshot_spec() -> NodeSpec:
+    """Graph spec of the compiled-subscription node."""
+    return NodeSpec(
+        "serve:snapshot",
+        deps=("lists",),
+        code=("filterlist",),
+        extra=NodeSpec.freeze_extra(
+            {"schema": SNAPSHOT_SCHEMA, "lists": list(SUBSCRIBED_LISTS)}
+        ),
+    )
+
+
+def detector_spec() -> NodeSpec:
+    """Graph spec of the trained-detector node."""
+    return NodeSpec(
+        "serve:detector",
+        deps=("corpus", "features:keyword:u1"),
+        code=("core", "jsast"),
+        extra=NodeSpec.freeze_extra(dict(DETECTOR_PARAMS, schema=SNAPSHOT_SCHEMA)),
+    )
+
+
+@dataclass
+class ServeState:
+    """Everything the daemon needs to answer queries."""
+
+    detector: AntiAdblockDetector
+    network_lines: List[str] = field(default_factory=list)
+    element_lines: List[str] = field(default_factory=list)
+    seed: int = 0
+
+    def build_chain(self) -> EpochChain:
+        """Parse the snapshot lines and assemble epoch 0."""
+        network, element, _ = partition_rule_lines(
+            self.network_lines + self.element_lines
+        )
+        return EpochChain(self.detector, network, element)
+
+
+def _compute_snapshot(ctx) -> Dict[str, Any]:
+    """Collect the latest raw rule lines of the subscribed lists."""
+    network: List[str] = []
+    element: List[str] = []
+    for name in SUBSCRIBED_LISTS:
+        revision = ctx.lists[name].latest()
+        if revision is None:
+            continue
+        document = revision.filter_list
+        network.extend(rule.raw for rule in document.network_rules)
+        element.extend(rule.raw for rule in document.element_rules)
+    return {"schema": SNAPSHOT_SCHEMA, "network": network, "element": element}
+
+
+def _compute_detector(ctx) -> AntiAdblockDetector:
+    """Train the §5 detector exactly as the ``sec5live`` driver does."""
+    corpus = ctx.corpus
+    detector = AntiAdblockDetector(
+        DetectorConfig(seed=ctx.world.seed, **DETECTOR_PARAMS)
+    )
+    detector.fit(
+        corpus.sources(),
+        corpus.labels(),
+        features=ctx.corpus_features("keyword"),
+    )
+    # The fitted ensemble still holds its base_factory closure, which is
+    # not picklable; inference never calls it, so drop it before the
+    # value reaches the run cache.
+    if hasattr(detector.model, "base_factory"):
+        detector.model.base_factory = None
+    return detector
+
+
+def resolve_serve_state(ctx=None) -> ServeState:
+    """Resolve the serving state through the artifact graph.
+
+    With a warm ``REPRO_RUN_CACHE`` both nodes come off disk and no
+    context stage runs; cold, the compute closures build them through
+    the normal stage machinery and persist them.
+    """
+    if ctx is None:
+        from ..experiments.context import shared_context
+
+        ctx = shared_context()
+    graph = ctx.graph
+    graph.register(snapshot_spec())
+    graph.register(detector_spec())
+    with trace_span("serve:resolve"):
+        snapshot = graph.resolve("serve:snapshot", lambda: _compute_snapshot(ctx))
+        detector = graph.resolve("serve:detector", lambda: _compute_detector(ctx))
+    return ServeState(
+        detector=detector,
+        network_lines=list(snapshot.get("network", [])),
+        element_lines=list(snapshot.get("element", [])),
+        seed=ctx.world.seed,
+    )
+
+
+def build_engine(
+    state: ServeState, workers: Optional[int] = None
+) -> ServeEngine:
+    """An engine over epoch 0, with a worker pool when ``workers >= 2``.
+
+    The pool is private to the daemon (never the process-wide one): the
+    serve state is published under ``"serve"`` before the single fork,
+    and batch payloads afterwards carry only queries and delta lines.
+    """
+    chain = state.build_chain()
+    if workers is None:
+        workers = serve_workers()
+    pool = None
+    if workers and workers >= 2:
+        from ..analysis.pool import PersistentPool
+
+        network, element, _ = partition_rule_lines(
+            state.network_lines + state.element_lines
+        )
+        pool = PersistentPool(workers)
+        pool.publish(
+            "serve",
+            {
+                "detector": state.detector,
+                "network_rules": network,
+                "element_rules": element,
+            },
+        )
+    return ServeEngine(chain, pool=pool)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: decode lines, route ops, write frames."""
+
+    def handle(self) -> None:
+        daemon: "ServeDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        for line in self.rfile:
+            try:
+                message = protocol.decode_line(line)
+            except protocol.ProtocolError as exc:
+                get_metrics().count("serve.errors")
+                self.wfile.write(protocol.encode(protocol.error_response(str(exc))))
+                continue
+            response = daemon.dispatch(message)
+            self.wfile.write(protocol.encode(response))
+            self.wfile.flush()
+            if message.get("op") == "shutdown":
+                return
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class ServeDaemon:
+    """The running service: server socket, batcher, and control plane."""
+
+    def __init__(
+        self,
+        engine: ServeEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        batch_size: Optional[int] = None,
+        wait_ms: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.batcher = RequestBatcher(
+            engine,
+            batch_size=batch_size if batch_size is not None else serve_batch_size(),
+            wait_ms=wait_ms if wait_ms is not None else serve_wait_ms(),
+        )
+        self.host = host
+        self.port = port
+        self._server: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self.ready = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self):
+        """Bind (port 0 picks an ephemeral port), start serving; returns
+        the bound ``(host, port)``."""
+        self.batcher.start()
+        self._server = _Server((self.host, self.port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="serve-daemon", daemon=True
+        )
+        self._thread.start()
+        self.ready.set()
+        logger.info("serve daemon listening on %s:%d", self.host, self.port)
+        return self.host, self.port
+
+    def stop(self) -> None:
+        """Shut down: stop admitting, flush the batcher, close the socket."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        self.batcher.close()
+        if self.engine.pool is not None:
+            self.engine.pool.close()
+        self._stopped.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the daemon is stopped (by ``shutdown`` or a signal)."""
+        return self._stopped.wait(timeout)
+
+    # -- ops -----------------------------------------------------------------
+
+    def dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one decoded request to the batcher or the control plane."""
+        op = message.get("op")
+        if op in protocol.QUERY_OPS:
+            return self.batcher.ask(message, timeout=60.0)
+        if op == protocol.BATCH_OP:
+            queries = message.get("queries", [])
+            for item in queries:
+                if not isinstance(item, dict) or item.get("op") not in protocol.QUERY_OPS:
+                    get_metrics().count("serve.errors")
+                    return protocol.error_response(
+                        "batch: every entry must be a url/script/page query", op
+                    )
+            answers = self.batcher.ask_many(queries, timeout=60.0)
+            return protocol.ok_response(op, answers=answers)
+        if op == "health":
+            return protocol.ok_response(op, **self.health())
+        if op == "metrics":
+            return protocol.ok_response(op, metrics=self.metrics_summary())
+        if op == "reload":
+            return self.reload(
+                message.get("added", []) or [], message.get("removed", []) or []
+            )
+        if op == "shutdown":
+            # Reply first (the handler writes the frame), then stop off
+            # the handler thread so the socket teardown does not race
+            # the in-flight response.
+            threading.Thread(target=self.stop, daemon=True).start()
+            return protocol.ok_response(op, stopping=True)
+        return protocol.error_response(f"unknown op: {op!r}", op)
+
+    def reload(self, added: List[str], removed: List[str]) -> Dict[str, Any]:
+        """Hot-swap a list delta; returns the epoch summary once drained."""
+        with trace_span("serve:reload"):
+            summary = self.engine.chain.reload(added, removed, wait=True, timeout=60.0)
+        metrics = get_metrics()
+        metrics.count("serve.reloads")
+        metrics.gauge("serve.epoch", summary["epoch"])
+        logger.info(
+            "reloaded to epoch %d (+%d/-%d rules, %d lines skipped)",
+            summary["epoch"], summary["added"], summary["removed"], summary["skipped"],
+        )
+        return protocol.ok_response("reload", **summary)
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness plus the counters a smoke test gates on."""
+        metrics = get_metrics()
+        return {
+            "status": "ok" if self.ready.is_set() and not self._stopped.is_set() else "starting",
+            "epoch": self.engine.chain.current.index,
+            "queries": metrics.counter("serve.queries"),
+            "batches": metrics.counter("serve.batches"),
+            "reloads": metrics.counter("serve.reloads"),
+            "dropped": metrics.counter("serve.dropped"),
+            "workers": self.engine.pool.workers if self.engine.pool else 0,
+            "rules": self.engine.chain.current.online.adblocker.rule_count,
+        }
+
+    def metrics_summary(self) -> Dict[str, Any]:
+        """The serve slice of the registry (counters + latency quantiles)."""
+        registry = get_metrics().as_dict()
+        summary: Dict[str, Any] = {
+            "counters": {
+                name: value
+                for name, value in registry["counters"].items()
+                if name.startswith("serve.")
+            },
+            "gauges": {
+                name: value
+                for name, value in registry["gauges"].items()
+                if name.startswith("serve.")
+            },
+        }
+        latency = get_metrics().histogram("serve.latency_ns")
+        if latency is not None:
+            summary["latency_ns"] = latency.quantiles()
+        return summary
+
+    def serve_section(self) -> Dict[str, Any]:
+        """The run manifest's ``serve`` section (validated by obs)."""
+        metrics = get_metrics()
+        return {
+            "port": self.port,
+            "epoch": self.engine.chain.current.index,
+            "workers": self.engine.pool.workers if self.engine.pool else 0,
+            "queries": metrics.counter("serve.queries"),
+            "batches": metrics.counter("serve.batches"),
+            "reloads": metrics.counter("serve.reloads"),
+            "dropped": metrics.counter("serve.dropped"),
+        }

@@ -1,0 +1,242 @@
+"""Deterministic load generator: turn "millions of users" into numbers.
+
+``generate_queries(seed, count)`` produces a reproducible query stream —
+same seed, same queries, byte for byte — mixing the three ops the way a
+browsing session does: mostly request-filtering checks, a steady trickle
+of never-seen-before scripts (each one a verdict-cache miss, so the
+batched prewarm path has real work), and occasional full page loads.
+
+Two harnesses consume the stream:
+
+- :func:`run_inprocess` drives a :class:`~repro.serve.batcher.ServeEngine`
+  directly — the benchmark path, comparing the naive one-query-per-call
+  baseline against the batched path;
+- :func:`run_network` drives a live daemon over TCP from concurrent
+  client connections — the CI smoke path.
+
+Both report queries/sec plus p50/p99 latency from a
+``ns_buckets`` histogram, the shape ``BENCH_serve.json`` records.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs.hist import Histogram, ns_buckets
+from . import protocol
+
+#: Query mix: weights for (url, script, page).
+DEFAULT_MIX = (0.7, 0.2, 0.1)
+
+#: URL path vocabularies: some token-rich enough to probe rule buckets.
+_URL_WORDS = (
+    "assets", "static", "bundle", "advert", "banner", "analytics",
+    "widget", "player", "track", "detect", "render", "vendor",
+)
+
+_HOSTS = (
+    "cdn.example-news.com", "static.bloghost.net", "media.streamsite.org",
+    "ads.trafficpartner.com", "scripts.pagetools.io",
+)
+
+#: Script templates; ``{n}`` keeps every generated source unique, so each
+#: one is a genuine verdict-cache miss for the detector.
+_SCRIPT_TEMPLATES = (
+    "var q{n} = document.getElementById('ad-slot-{n}');\n"
+    "if (!q{n} || q{n}.offsetHeight === 0) {{\n"
+    "  showAdblockWall('overlay-{n}');\n"
+    "  setTimeout(checkAgain, 1{n} % 977);\n"
+    "}}\n",
+    "function render{n}() {{\n"
+    "  var el = document.createElement('div');\n"
+    "  el.className = 'gallery-item-{n}';\n"
+    "  document.body.appendChild(el);\n"
+    "}}\nrender{n}();\n",
+    "(function() {{\n"
+    "  var bait = document.createElement('div');\n"
+    "  bait.className = 'adsbox banner_ad';\n"
+    "  document.body.appendChild(bait);\n"
+    "  if (bait.offsetParent === null) {{ window.__abd{n} = true; }}\n"
+    "}})();\n",
+    "var metrics{n} = {{ page: 'p{n}', clicks: 0 }};\n"
+    "window.addEventListener('scroll', function() {{ metrics{n}.clicks += 1; }});\n",
+)
+
+_PAGE_HTML = (
+    "<html><body>"
+    "<div class='content'>story {n}</div>"
+    "<div class='adsbox'>sponsor {n}</div>"
+    "</body></html>"
+)
+
+
+def _make_url(rng: random.Random, n: int) -> str:
+    host = rng.choice(_HOSTS)
+    words = [rng.choice(_URL_WORDS) for _ in range(rng.randint(1, 3))]
+    return f"https://{host}/{'/'.join(words)}/item{n}.js"
+
+
+def _make_script(rng: random.Random, n: int) -> str:
+    return rng.choice(_SCRIPT_TEMPLATES).format(n=n)
+
+
+def generate_queries(
+    seed: int, count: int, mix: Sequence[float] = DEFAULT_MIX
+) -> List[Dict[str, Any]]:
+    """A reproducible query stream of ``count`` wire-format queries."""
+    rng = random.Random(seed)
+    url_w, script_w, page_w = mix
+    queries: List[Dict[str, Any]] = []
+    for n in range(count):
+        roll = rng.random() * (url_w + script_w + page_w)
+        if roll < url_w:
+            queries.append(
+                protocol.url_query(
+                    _make_url(rng, n),
+                    page_url=f"https://{rng.choice(_HOSTS)}/",
+                    resource_type=rng.choice(("script", "image", "xmlhttprequest")),
+                )
+            )
+        elif roll < url_w + script_w:
+            queries.append(protocol.script_query(_make_script(rng, n)))
+        else:
+            queries.append(
+                {
+                    "op": "page",
+                    "page": {
+                        "url": f"https://{rng.choice(_HOSTS)}/article{n}",
+                        "html": _PAGE_HTML.format(n=n),
+                        "subresources": [
+                            {"url": _make_url(rng, n), "resource_type": "script"}
+                        ],
+                        "scripts": [
+                            {"source": _make_script(rng, n), "url": _make_url(rng, n)}
+                        ],
+                    },
+                }
+            )
+    return queries
+
+
+def _summarise(
+    count: int, errors: int, wall_s: float, latency: Histogram
+) -> Dict[str, Any]:
+    quantiles = latency.quantiles()
+    return {
+        "queries": count,
+        "errors": errors,
+        "wall_s": round(wall_s, 6),
+        "qps": round(count / wall_s, 2) if wall_s > 0 else 0.0,
+        "p50_ns": quantiles["p50"],
+        "p90_ns": quantiles["p90"],
+        "p99_ns": quantiles["p99"],
+    }
+
+
+def run_inprocess(
+    engine,
+    queries: Sequence[Dict[str, Any]],
+    batch_size: int = 64,
+    batched: bool = True,
+) -> Dict[str, Any]:
+    """Drive an engine directly; ``batched=False`` is the naive baseline.
+
+    Naive mode answers one query per engine call — the cost a blocker
+    pays without request batching. Batched mode answers in
+    ``batch_size`` slices through the prewarm path. Latency per query is
+    attributed as the elapsed time of its call divided evenly across the
+    call's queries, so both modes histogram the same quantity.
+    """
+    latency = Histogram(ns_buckets())
+    errors = 0
+    started = time.perf_counter()
+    if batched:
+        slices = [
+            list(queries[i : i + batch_size])
+            for i in range(0, len(queries), batch_size)
+        ]
+    else:
+        slices = [[query] for query in queries]
+    for chunk in slices:
+        t0 = time.perf_counter_ns()
+        answers = engine.answer_batch(chunk, batched=batched)
+        per_query = (time.perf_counter_ns() - t0) // max(len(chunk), 1)
+        for answer in answers:
+            latency.observe(per_query)
+            if not answer.get("ok"):
+                errors += 1
+    wall = time.perf_counter() - started
+    return _summarise(len(queries), errors, wall, latency)
+
+
+def run_network(
+    host: str,
+    port: int,
+    queries: Sequence[Dict[str, Any]],
+    concurrency: int = 8,
+    batch_size: int = 1,
+    timeout: float = 60.0,
+) -> Dict[str, Any]:
+    """Drive a live daemon from ``concurrency`` client connections.
+
+    Queries are dealt round-robin across workers; each worker owns one
+    connection. With ``batch_size=1`` (the naive baseline) every query
+    is its own round trip — the cost a client pays without request
+    batching. With ``batch_size>1`` each worker wraps its share into
+    ``batch`` frames, amortising a round trip (and the server's
+    prewarm pass) across the whole frame; per-query latency is the
+    frame's elapsed time divided evenly across its queries, so both
+    modes histogram the same quantity.
+    """
+    import threading
+
+    concurrency = max(1, min(concurrency, len(queries) or 1))
+    batch_size = max(1, batch_size)
+    shares: List[List[Dict[str, Any]]] = [[] for _ in range(concurrency)]
+    for index, query in enumerate(queries):
+        shares[index % concurrency].append(query)
+    histograms = [Histogram(ns_buckets()) for _ in range(concurrency)]
+    error_counts = [0] * concurrency
+
+    def worker(slot: int) -> None:
+        with protocol.ServeClient(host, port, timeout=timeout) as client:
+            share = shares[slot]
+            if batch_size == 1:
+                for query in share:
+                    t0 = time.perf_counter_ns()
+                    answer = client.ask(query)
+                    histograms[slot].observe(time.perf_counter_ns() - t0)
+                    if not answer.get("ok"):
+                        error_counts[slot] += 1
+                return
+            for start in range(0, len(share), batch_size):
+                frame = share[start : start + batch_size]
+                t0 = time.perf_counter_ns()
+                response = client.ask(protocol.batch_query(frame))
+                per_query = (time.perf_counter_ns() - t0) // len(frame)
+                answers = response.get("answers", []) if response.get("ok") else []
+                for index in range(len(frame)):
+                    histograms[slot].observe(per_query)
+                    answer = answers[index] if index < len(answers) else {}
+                    if not answer.get("ok"):
+                        error_counts[slot] += 1
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(concurrency)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    wall = time.perf_counter() - started
+    latency = Histogram(ns_buckets())
+    for histogram in histograms:
+        latency.merge(histogram)
+    summary = _summarise(len(queries), sum(error_counts), wall, latency)
+    summary["concurrency"] = concurrency
+    summary["batch_size"] = batch_size
+    return summary

@@ -80,6 +80,27 @@ class Adblocker:
         self._element_rules.extend(filter_list.element_rules)
         self._matcher = None
 
+    @classmethod
+    def from_parts(
+        cls,
+        network_rules: List[NetworkRule],
+        element_rules: List[ElementRule],
+        matcher: NetworkMatcher,
+    ) -> "Adblocker":
+        """Build an adblocker around an already-indexed matcher.
+
+        The serve daemon's epoch swap goes through here: a hot reload
+        derives the next matcher in O(delta) via
+        :meth:`NetworkMatcher.apply_delta` and wraps it without the
+        O(rules) re-index that ``subscribe`` + lazy rebuild would pay.
+        The rule lists are adopted as-is (not copied).
+        """
+        blocker = cls()
+        blocker._network_rules = list(network_rules)
+        blocker._element_rules = list(element_rules)
+        blocker._matcher = matcher
+        return blocker
+
     @property
     def matcher(self) -> NetworkMatcher:
         """The token-indexed URL matcher (rebuilt after subscribe)."""

@@ -150,6 +150,10 @@ class TestSnapshot:
             "pool_persist",
             "rule_stats",
             "rule_stats_dir",
+            "serve_port",
+            "serve_batch",
+            "serve_wait_ms",
+            "serve_workers",
             "raw_env",
         }
 
@@ -188,6 +192,73 @@ class TestRuleStatsKnobs:
         assert snapshot.rule_stats is True
         assert snapshot.rule_stats_dir == str(tmp_path)
         assert snapshot.as_dict()["rule_stats"] is True
+
+
+class TestServeKnobs:
+    def test_defaults(self):
+        assert obs_config.serve_port() == obs_config.DEFAULT_SERVE_PORT
+        assert obs_config.serve_batch_size() == obs_config.DEFAULT_SERVE_BATCH
+        assert obs_config.serve_wait_ms() == obs_config.DEFAULT_SERVE_WAIT_MS
+        assert obs_config.serve_workers() == obs_config.DEFAULT_SERVE_WORKERS
+
+    def test_valid_values(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "0")  # 0 = ephemeral
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "128")
+        monkeypatch.setenv("REPRO_SERVE_WAIT_MS", "5.5")
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "4")
+        assert obs_config.serve_port() == 0
+        assert obs_config.serve_batch_size() == 128
+        assert obs_config.serve_wait_ms() == 5.5
+        assert obs_config.serve_workers() == 4
+
+    def test_port_out_of_range_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "70000")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.serve_port() == obs_config.DEFAULT_SERVE_PORT
+        assert "REPRO_SERVE_PORT" in caplog.text
+
+    def test_port_bad_value_warns_once(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SERVE_PORT", "http")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            for _ in range(3):
+                assert obs_config.serve_port() == obs_config.DEFAULT_SERVE_PORT
+        assert caplog.text.count("REPRO_SERVE_PORT") == 1
+
+    def test_batch_clamps_to_one(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "0")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.serve_batch_size() == 1
+        assert "REPRO_SERVE_BATCH" in caplog.text
+
+    def test_negative_wait_warns_and_defaults(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SERVE_WAIT_MS", "-3")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.serve_wait_ms() == obs_config.DEFAULT_SERVE_WAIT_MS
+        assert "REPRO_SERVE_WAIT_MS" in caplog.text
+
+    def test_zero_wait_disables_linger(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WAIT_MS", "0")
+        assert obs_config.serve_wait_ms() == 0.0
+
+    def test_workers_clamps_to_zero(self, monkeypatch, caplog):
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "-2")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.config"):
+            assert obs_config.serve_workers() == 0
+        assert "REPRO_SERVE_WORKERS" in caplog.text
+
+    def test_recorded_in_snapshot(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_BATCH", "32")
+        monkeypatch.setenv("REPRO_SERVE_WORKERS", "2")
+        snapshot = config_snapshot()
+        assert snapshot.serve_batch == 32
+        assert snapshot.serve_workers == 2
+        data = snapshot.as_dict()
+        assert data["serve_batch"] == 32
+        assert data["serve_port"] == obs_config.DEFAULT_SERVE_PORT
+        assert snapshot.raw_env == {
+            "REPRO_SERVE_BATCH": "32",
+            "REPRO_SERVE_WORKERS": "2",
+        }
 
 
 class TestPerfAliases:

@@ -181,6 +181,46 @@ class TestSchemaVersions:
         data["rules"] = {"totals": {"hits": "many"}, "lists": {}}
         assert any("rules" in error for error in validate_manifest(data))
 
+    def test_serve_section_validates(self, manifest):
+        data = _finalize(manifest)
+        data["serve"] = {
+            "port": 7675,
+            "epoch": 2,
+            "workers": 0,
+            "queries": 640,
+            "batches": 11,
+            "reloads": 2,
+            "dropped": 0,
+        }
+        assert validate_manifest(data) == []
+
+    def test_serve_section_rejects_bad_entries(self, manifest):
+        data = _finalize(manifest)
+        data["serve"] = "up"
+        assert any("serve" in error for error in validate_manifest(data))
+        data["serve"] = {"port": "7675", "epoch": 0, "workers": 0}
+        assert any("port" in error for error in validate_manifest(data))
+        data["serve"] = {
+            "port": 7675,
+            "epoch": 0,
+            "workers": 0,
+            "queries": -1,
+        }
+        assert any("queries" in error for error in validate_manifest(data))
+        # Booleans are not counters, even though bool subclasses int.
+        data["serve"] = {
+            "port": 7675,
+            "epoch": 0,
+            "workers": 0,
+            "dropped": True,
+        }
+        assert any("dropped" in error for error in validate_manifest(data))
+
+    def test_manifest_without_serve_section_still_validates(self, manifest):
+        data = _finalize(manifest)
+        assert "serve" not in data
+        assert validate_manifest(data) == []
+
 
 class TestValidateCli:
     def test_cli_accepts_good_manifest(self, manifest, tmp_path, capsys):

@@ -1,0 +1,36 @@
+"""Shared serve fixtures: one small trained state for the whole session."""
+
+import pytest
+
+from repro.experiments.context import ExperimentContext
+from repro.obs.metrics import reset_metrics
+from repro.serve.daemon import resolve_serve_state
+
+SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    reset_metrics()
+    yield
+    reset_metrics()
+
+
+@pytest.fixture(scope="session")
+def serve_state():
+    """The resolved serving state at test scale (detector + rule lines)."""
+    ctx = ExperimentContext.create(scale=SCALE)
+    return resolve_serve_state(ctx)
+
+
+class StubDetector:
+    """A predict-only stand-in for reload/batcher tests that never need
+    the real model: flags any source containing ``BAIT``."""
+
+    def predict(self, sources):
+        return ["BAIT" in source for source in sources]
+
+
+@pytest.fixture
+def stub_detector():
+    return StubDetector()

@@ -1,0 +1,169 @@
+"""The TCP daemon end to end: ops, batch frames, hot reload under load."""
+
+import threading
+
+import pytest
+
+from repro.obs.manifest import validate_manifest
+from repro.obs.metrics import get_metrics
+from repro.serve import protocol
+from repro.serve.daemon import ServeDaemon, build_engine
+from repro.serve.loadgen import generate_queries
+
+
+@pytest.fixture
+def daemon(serve_state):
+    instance = ServeDaemon(build_engine(serve_state, workers=0), port=0)
+    host, port = instance.start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def client(daemon):
+    with protocol.ServeClient(daemon.host, daemon.port, timeout=30.0) as c:
+        yield c
+
+
+class TestQueryOps:
+    def test_url_query(self, client):
+        answer = client.ask(protocol.url_query("https://example.com/app.css"))
+        assert answer["ok"] is True
+        assert isinstance(answer["blocked"], bool)
+
+    def test_script_query(self, client):
+        answer = client.ask(protocol.script_query("var benign = 1;"))
+        assert answer["ok"] is True
+        assert isinstance(answer["flagged"], bool)
+
+    def test_page_query(self, client):
+        page = generate_queries(21, 60)
+        page = next(q for q in page if q["op"] == "page")
+        answer = client.ask(page)
+        assert answer["ok"] is True
+        assert set(answer["result"]) == {
+            "url",
+            "blocked_by_rules",
+            "blocked_by_model",
+            "flagged_inline",
+            "hidden_elements",
+        }
+
+    def test_pipelined_queries_answer_in_order(self, client):
+        queries = generate_queries(22, 20)
+        answers = client.ask_many(queries)
+        assert len(answers) == 20
+        assert all(a["ok"] for a in answers)
+        assert [a["op"] for a in answers] == [q["op"] for q in queries]
+
+    def test_batch_frame(self, client):
+        queries = generate_queries(23, 12)
+        response = client.ask(protocol.batch_query(queries))
+        assert response["ok"] is True
+        answers = response["answers"]
+        assert [a["op"] for a in answers] == [q["op"] for q in queries]
+        # One frame, twelve queries, all counted.
+        assert get_metrics().counter("serve.queries") == 12
+
+    def test_batch_frame_rejects_control_ops(self, client):
+        response = client.ask(protocol.batch_query([{"op": "shutdown"}]))
+        assert response["ok"] is False
+        assert "batch" in response["error"]
+
+    def test_bad_line_answers_error_and_keeps_connection(self, client):
+        client._file.write(b"this is not json\n")
+        client._file.flush()
+        error = client._file.readline()
+        assert b'"ok":false' in error.replace(b" ", b"")
+        answer = client.ask(protocol.url_query("https://example.com/x"))
+        assert answer["ok"] is True
+
+
+class TestControlOps:
+    def test_health(self, client):
+        answer = client.ask({"op": "health"})
+        assert answer["ok"] is True
+        assert answer["status"] == "ok"
+        assert answer["epoch"] == 0
+        assert answer["dropped"] == 0
+        assert answer["rules"] > 0
+
+    def test_metrics_after_queries(self, client):
+        client.ask(protocol.url_query("https://example.com/y.js"))
+        answer = client.ask({"op": "metrics"})
+        assert answer["ok"] is True
+        counters = answer["metrics"]["counters"]
+        assert counters["serve.queries"] >= 1
+        assert "latency_ns" in answer["metrics"]
+
+    def test_reload_over_tcp(self, client):
+        probe = protocol.url_query(
+            "https://flashnews-tracker.example/ad.js", resource_type="script"
+        )
+        assert client.ask(probe)["blocked"] is False
+        answer = client.ask(
+            protocol.reload_request(["||flashnews-tracker.example^"], [])
+        )
+        assert answer["ok"] is True
+        assert answer["epoch"] == 1
+        assert client.ask(probe)["blocked"] is True
+        assert client.ask({"op": "health"})["epoch"] == 1
+
+    def test_shutdown_stops_the_daemon(self, daemon):
+        with protocol.ServeClient(daemon.host, daemon.port) as c:
+            answer = c.ask({"op": "shutdown"})
+        assert answer["ok"] is True
+        assert daemon.wait(10.0)
+
+    def test_serve_section_validates_in_a_manifest(self, daemon, client, tmp_path):
+        from repro.obs.manifest import RunManifest
+
+        client.ask(protocol.url_query("https://example.com/z.js"))
+        manifest = RunManifest(tmp_path / "run.json")
+        data = manifest.finalize(
+            seed=0, extra={"serve": daemon.serve_section()}
+        )
+        assert validate_manifest(data) == []
+        assert data["serve"]["queries"] >= 1
+
+
+class TestReloadUnderLoad:
+    def test_no_query_dropped_across_swaps(self, daemon):
+        """Queries hammer the daemon while reloads swap epochs under them."""
+        errors = []
+        stop = threading.Event()
+
+        def querier(seed):
+            queries = generate_queries(seed, 40)
+            with protocol.ServeClient(daemon.host, daemon.port, timeout=30.0) as c:
+                index = 0
+                while not stop.is_set() or index < 40:
+                    if index >= 40:
+                        break
+                    answer = c.ask(queries[index])
+                    if not answer.get("ok"):
+                        errors.append(answer)
+                    index += 1
+
+        threads = [
+            threading.Thread(target=querier, args=(seed,), daemon=True)
+            for seed in (31, 32, 33)
+        ]
+        for thread in threads:
+            thread.start()
+        with protocol.ServeClient(daemon.host, daemon.port, timeout=30.0) as c:
+            for round_no in range(3):
+                answer = c.ask(
+                    protocol.reload_request([f"||wave{round_no}.example^"], [])
+                )
+                assert answer["ok"] is True
+        stop.set()
+        for thread in threads:
+            thread.join(30.0)
+
+        assert errors == []
+        metrics = get_metrics()
+        assert metrics.counter("serve.dropped") == 0
+        assert metrics.counter("serve.reloads") == 3
+        assert daemon.engine.chain.current.index == 3
+        assert daemon.engine.chain.retired == 3

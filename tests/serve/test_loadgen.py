@@ -1,0 +1,44 @@
+"""The load generator: deterministic streams and honest summaries."""
+
+from repro.serve.batcher import ServeEngine
+from repro.serve.loadgen import DEFAULT_MIX, generate_queries, run_inprocess
+
+
+class TestDeterminism:
+    def test_same_seed_same_queries(self):
+        assert generate_queries(5, 200) == generate_queries(5, 200)
+
+    def test_different_seeds_differ(self):
+        assert generate_queries(5, 200) != generate_queries(6, 200)
+
+    def test_scripts_are_unique_within_a_stream(self):
+        queries = generate_queries(7, 400)
+        sources = [q["source"] for q in queries if q["op"] == "script"]
+        assert len(sources) == len(set(sources))  # every one a cache miss
+
+    def test_mix_roughly_respected(self):
+        queries = generate_queries(8, 1000)
+        counts = {"url": 0, "script": 0, "page": 0}
+        for query in queries:
+            counts[query["op"]] += 1
+        for weight, op in zip(DEFAULT_MIX, ("url", "script", "page")):
+            assert abs(counts[op] / 1000 - weight) < 0.08
+
+
+class TestInprocessHarness:
+    def test_summary_shape_and_zero_errors(self, serve_state):
+        engine = ServeEngine(serve_state.build_chain())
+        summary = run_inprocess(engine, generate_queries(9, 40), batch_size=16)
+        assert summary["queries"] == 40
+        assert summary["errors"] == 0
+        assert summary["qps"] > 0
+        assert summary["p50_ns"] <= summary["p99_ns"]
+
+    def test_naive_mode_answers_identically(self, serve_state):
+        queries = generate_queries(10, 24)
+        batched_engine = ServeEngine(serve_state.build_chain())
+        naive_engine = ServeEngine(serve_state.build_chain())
+        batched = run_inprocess(batched_engine, queries, batched=True)
+        naive = run_inprocess(naive_engine, queries, batched=False)
+        assert batched["errors"] == naive["errors"] == 0
+        assert batched["queries"] == naive["queries"] == 24

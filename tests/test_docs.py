@@ -30,6 +30,7 @@ DOCS = [
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
     "docs/OPERATIONS.md",
+    "docs/SERVING.md",
     "docs/TUTORIAL.md",
 ]
 
