@@ -341,11 +341,23 @@ class RequestBatcher:
             self._thread.join(timeout)
             self._thread = None
 
-    def _collect(self) -> List[Tuple[Dict[str, Any], _Slot]]:
-        """Block for the first query, then linger to fill the batch."""
+    def _collect(
+        self, pending: Optional[_BatchFuture] = None
+    ) -> List[Tuple[Dict[str, Any], _Slot]]:
+        """Block for the first query, then linger to fill the batch.
+
+        While a pool batch is in flight (``pending``), the empty-queue
+        wait is bounded to short ticks and returns empty the moment the
+        future completes, so the loop can deliver those answers. Without
+        the bound, the final batch of a burst would wait here for the
+        *next* query — which never arrives, because every synchronous
+        client is blocked on exactly that batch's answers.
+        """
         with self._cv:
             while not self._queue and not self._closed:
-                self._cv.wait(0.1)
+                if pending is not None and pending.done():
+                    return []
+                self._cv.wait(0.002 if pending is not None else 0.1)
             if not self._queue:
                 return []
             deadline = time.monotonic() + self.wait_s
@@ -373,7 +385,7 @@ class RequestBatcher:
         #: One pool batch in flight while the next one fills (pipelining).
         pending: Optional[Tuple[List, Any]] = None
         while True:
-            batch = self._collect()
+            batch = self._collect(pending[1] if pending is not None else None)
             if not batch:
                 if pending is not None:
                     entries, future = pending

@@ -184,13 +184,14 @@ def loadgen_main(argv: List[str]) -> int:
     print(
         f"loadgen: {summary['queries']} queries in {summary['wall_s']:.3f}s "
         f"({summary['qps']:.0f} qps), p50 {summary['p50_ns']}ns "
-        f"p99 {summary['p99_ns']}ns, {summary['errors']} errors",
+        f"p99 {summary['p99_ns']}ns, {summary['errors']} errors"
+        + (" (workers timed out)" if summary.get("timed_out") else ""),
         flush=True,
     )
     if opts["shutdown"]:
         with protocol.ServeClient(opts["host"], port) as client:
             client.ask({"op": "shutdown"})
-    return 0 if summary["errors"] == 0 else 1
+    return 0 if summary["errors"] == 0 and not summary.get("timed_out") else 1
 
 
 def main(argv: Optional[List[str]] = None) -> int:

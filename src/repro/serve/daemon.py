@@ -303,10 +303,19 @@ class ServeDaemon:
         metrics = get_metrics()
         metrics.count("serve.reloads")
         metrics.gauge("serve.epoch", summary["epoch"])
-        logger.info(
-            "reloaded to epoch %d (+%d/-%d rules, %d lines skipped)",
-            summary["epoch"], summary["added"], summary["removed"], summary["skipped"],
-        )
+        if summary["drained"]:
+            logger.info(
+                "reloaded to epoch %d (+%d/-%d rules, %d lines skipped)",
+                summary["epoch"], summary["added"], summary["removed"], summary["skipped"],
+            )
+        else:
+            # The swap happened, but the old epoch is still held (e.g. an
+            # uncollected pool future) — visible to callers and CI gates.
+            metrics.count("serve.drain_timeouts")
+            logger.warning(
+                "reloaded to epoch %d but the old epoch did not drain in time",
+                summary["epoch"],
+            )
         return protocol.ok_response("reload", **summary)
 
     def health(self) -> Dict[str, Any]:

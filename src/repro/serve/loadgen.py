@@ -189,6 +189,11 @@ def run_network(
     prewarm pass) across the whole frame; per-query latency is the
     frame's elapsed time divided evenly across its queries, so both
     modes histogram the same quantity.
+
+    The summary is honest about incomplete runs: queries a worker never
+    answered (it hung past ``timeout``, or died on a connection error)
+    are counted as errors, and ``timed_out`` reports whether any worker
+    was still alive when the join deadline expired.
     """
     import threading
 
@@ -199,6 +204,7 @@ def run_network(
         shares[index % concurrency].append(query)
     histograms = [Histogram(ns_buckets()) for _ in range(concurrency)]
     error_counts = [0] * concurrency
+    answered_counts = [0] * concurrency
 
     def worker(slot: int) -> None:
         with protocol.ServeClient(host, port, timeout=timeout) as client:
@@ -208,6 +214,7 @@ def run_network(
                     t0 = time.perf_counter_ns()
                     answer = client.ask(query)
                     histograms[slot].observe(time.perf_counter_ns() - t0)
+                    answered_counts[slot] += 1
                     if not answer.get("ok"):
                         error_counts[slot] += 1
                 return
@@ -219,6 +226,7 @@ def run_network(
                 answers = response.get("answers", []) if response.get("ok") else []
                 for index in range(len(frame)):
                     histograms[slot].observe(per_query)
+                    answered_counts[slot] += 1
                     answer = answers[index] if index < len(answers) else {}
                     if not answer.get("ok"):
                         error_counts[slot] += 1
@@ -230,13 +238,19 @@ def run_network(
     started = time.perf_counter()
     for thread in threads:
         thread.start()
+    deadline = time.monotonic() + timeout
+    timed_out = False
     for thread in threads:
-        thread.join(timeout)
+        thread.join(max(0.0, deadline - time.monotonic()))
+        if thread.is_alive():
+            timed_out = True
     wall = time.perf_counter() - started
     latency = Histogram(ns_buckets())
     for histogram in histograms:
         latency.merge(histogram)
-    summary = _summarise(len(queries), sum(error_counts), wall, latency)
+    unanswered = max(0, len(queries) - sum(answered_counts))
+    summary = _summarise(len(queries), sum(error_counts) + unanswered, wall, latency)
     summary["concurrency"] = concurrency
     summary["batch_size"] = batch_size
+    summary["timed_out"] = timed_out
     return summary

@@ -26,7 +26,7 @@ swap are answered by whichever epoch they acquired.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.online import OnlineAdblocker
 from ..filterlist.matcher import NetworkMatcher
@@ -155,14 +155,18 @@ class EpochChain:
         removed_lines: Sequence[str],
         wait: bool = True,
         timeout: Optional[float] = None,
-    ) -> Dict[str, int]:
+    ) -> Dict[str, Any]:
         """Swap in a new epoch with ``added``/``removed`` raw rule lines.
 
         O(delta): the new matcher is derived with ``apply_delta`` and the
         element-rule list is edited by raw line, so reload cost scales
         with the revision diff, not the subscription size. With ``wait``
         the call returns only after the old epoch drained (the CI smoke
-        gate); the swap itself is immediate either way.
+        gate); the swap itself is immediate either way. The summary's
+        ``drained`` field reports whether the old epoch actually reached
+        in-flight zero — ``False`` on a drain timeout (e.g. an epoch
+        still held by an uncollected pool future), in which case it is
+        not counted as retired.
         """
         added_net, added_elem, skipped_a = partition_rule_lines(added_lines)
         removed_net, removed_elem, skipped_r = partition_rule_lines(removed_lines)
@@ -188,14 +192,15 @@ class EpochChain:
             self.deltas.append((tuple(added_lines), tuple(removed_lines)))
             self._current = new
             old.begin_drain()
-        if wait:
-            old.drained.wait(timeout)
+        drained = old.drained.wait(timeout) if wait else old.drained.is_set()
+        if drained:
             self.retired += 1
         return {
             "epoch": new.index,
             "added": len(added_net) + len(added_elem),
             "removed": len(removed_net) + len(removed_elem),
             "skipped": skipped_a + skipped_r,
+            "drained": drained,
         }
 
     def fold_to(self, deltas: Sequence[Tuple[Sequence[str], Sequence[str]]]) -> int:

@@ -38,7 +38,9 @@ class TestEpochSwap:
         assert not blocker.should_block("https://newads.example.net/unit.js")
 
         summary = chain.reload(["||newads.example.net^"], ["||ads.example.com^"])
-        assert summary == {"epoch": 1, "added": 1, "removed": 1, "skipped": 0}
+        assert summary == {
+            "epoch": 1, "added": 1, "removed": 1, "skipped": 0, "drained": True,
+        }
         blocker = chain.current.online.adblocker
         assert not blocker.should_block("https://ads.example.com/banner.js")
         assert blocker.should_block("https://newads.example.net/unit.js")
@@ -96,6 +98,17 @@ class TestDraining:
         assert done.wait(5.0)
         assert epoch.drained.is_set()
         assert chain.retired == 1
+
+    def test_drain_timeout_reports_undrained(self, stub_detector):
+        """A held epoch past the timeout: swap succeeds, drain honestly fails."""
+        chain = make_chain(stub_detector)
+        epoch = chain.acquire()  # held across the whole reload
+        summary = chain.reload(["||w.example^"], [], wait=True, timeout=0.05)
+        assert summary["drained"] is False
+        assert chain.retired == 0  # not counted as retired until it drains
+        assert chain.current.index == 1  # the swap itself still happened
+        epoch.release()
+        assert epoch.drained.wait(1.0)
 
     def test_draining_epoch_rejects_new_queries(self, stub_detector):
         chain = make_chain(stub_detector)
