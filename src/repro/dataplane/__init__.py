@@ -1,10 +1,13 @@
 """The packed binary data plane (mmap-able artifacts, zero third-party deps).
 
-Three formats share one verified container (:mod:`.format`):
+The packed formats share one verified container (:mod:`.format`):
 
 - :mod:`.events` — token-event segments backing the §5 feature cache
 - :mod:`.requests` — columnar HAR request tables for §4 replay
 - :mod:`.sources` — script source tables for zero-copy pool shards
+- ``kind=graph`` — artifact-graph run-cache entries (:mod:`repro.graph.store`)
+- ``kind=snapshot`` — the serving snapshot every shard of the sharded
+  daemon mmaps read-only (:mod:`repro.serve.snapshot`)
 
 ``python -m repro.dataplane inspect <file>`` prints any artifact's header
 and a kind-specific summary.
@@ -15,6 +18,7 @@ from .format import (
     KIND_EVENTS,
     KIND_NAMES,
     KIND_REQUESTS,
+    KIND_SNAPSHOT,
     KIND_SOURCES,
     MAGIC,
     DataPlaneError,
@@ -31,6 +35,7 @@ __all__ = [
     "FORMAT_VERSION",
     "KIND_EVENTS",
     "KIND_REQUESTS",
+    "KIND_SNAPSHOT",
     "KIND_SOURCES",
     "KIND_NAMES",
     "DataPlaneError",

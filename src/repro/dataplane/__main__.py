@@ -40,6 +40,16 @@ def _summarize(path: str) -> dict:
     elif kind == "sources":
         with SourceTable(path) as table:
             info.update(sources=len(table))
+    elif kind == "snapshot":
+        from ..serve.snapshot import SnapshotReader
+
+        with SnapshotReader(path) as reader:
+            info.update(
+                seed=reader.seed,
+                network_lines=len(reader.network_lines()),
+                element_lines=len(reader.element_lines()),
+                detector_bytes=int(reader.meta.get("detector_bytes", 0)),
+            )
     return info
 
 

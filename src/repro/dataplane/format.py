@@ -49,12 +49,14 @@ KIND_EVENTS = 1  # packed token-event segment (§5 feature cache)
 KIND_REQUESTS = 2  # columnar HAR request table (§4 replay)
 KIND_SOURCES = 3  # script source table (worker-pool attachment)
 KIND_GRAPH = 4  # artifact-graph node value (run cache)
+KIND_SNAPSHOT = 5  # packed serving snapshot (rule lines + detector)
 
 KIND_NAMES = {
     KIND_EVENTS: "events",
     KIND_REQUESTS: "requests",
     KIND_SOURCES: "sources",
     KIND_GRAPH: "graph",
+    KIND_SNAPSHOT: "snapshot",
 }
 
 HEADER = struct.Struct("<4sHHQ32s")

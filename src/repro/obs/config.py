@@ -37,6 +37,7 @@ DEFAULT_SERVE_PORT = 7675
 DEFAULT_SERVE_BATCH = 64
 DEFAULT_SERVE_WAIT_MS = 2.0
 DEFAULT_SERVE_WORKERS = 0
+DEFAULT_SERVE_SHARDS = 0
 
 #: The knobs this module owns, in manifest order.
 KNOBS = (
@@ -55,6 +56,7 @@ KNOBS = (
     "REPRO_SERVE_BATCH",
     "REPRO_SERVE_WAIT_MS",
     "REPRO_SERVE_WORKERS",
+    "REPRO_SERVE_SHARDS",
     "REPRO_MAX_RETRIES",
     "REPRO_RETRY_BASE_MS",
     "REPRO_CRAWL_JOURNAL",
@@ -348,6 +350,24 @@ def serve_workers(environ: Optional[Mapping[str, str]] = None) -> int:
     )
 
 
+def serve_shards(environ: Optional[Mapping[str, str]] = None) -> int:
+    """Serve-daemon shard count from ``REPRO_SERVE_SHARDS`` (≥ 0).
+
+    0 (the default) and 1 both serve from a single process; ≥ 2 boots a
+    :class:`~repro.serve.shard.ShardSupervisor` forking that many full
+    daemon processes, all accepting on one port (``SO_REUSEPORT`` where
+    available) from one mmap'd snapshot container. Each shard is
+    GIL-bound, so shards ≈ cores is the useful ceiling.
+    """
+    environ = os.environ if environ is None else environ
+    return _resolve_int(
+        "REPRO_SERVE_SHARDS",
+        environ.get("REPRO_SERVE_SHARDS"),
+        DEFAULT_SERVE_SHARDS,
+        minimum=0,
+    )
+
+
 def max_retries(environ: Optional[Mapping[str, str]] = None) -> int:
     """Crawl retry allowance from ``REPRO_MAX_RETRIES`` (default 3, ≥ 0).
 
@@ -435,6 +455,8 @@ class ConfigSnapshot:
     serve_wait_ms: float = DEFAULT_SERVE_WAIT_MS
     #: Serve-daemon worker processes (``REPRO_SERVE_WORKERS``; 0 = inline).
     serve_workers: int = DEFAULT_SERVE_WORKERS
+    #: Serve-daemon shard processes (``REPRO_SERVE_SHARDS``; 0/1 = single).
+    serve_shards: int = DEFAULT_SERVE_SHARDS
     max_retries: int = DEFAULT_MAX_RETRIES
     retry_base_ms: float = DEFAULT_RETRY_BASE_MS
     #: Checkpoint-journal directory (holds wayback/live/corpus journals),
@@ -463,6 +485,7 @@ class ConfigSnapshot:
             "serve_batch": self.serve_batch,
             "serve_wait_ms": self.serve_wait_ms,
             "serve_workers": self.serve_workers,
+            "serve_shards": self.serve_shards,
             "max_retries": self.max_retries,
             "retry_base_ms": self.retry_base_ms,
             "crawl_journal": self.crawl_journal,
@@ -490,6 +513,7 @@ def config_snapshot(environ: Optional[Mapping[str, str]] = None) -> ConfigSnapsh
         serve_batch=serve_batch_size(environ),
         serve_wait_ms=serve_wait_ms(environ),
         serve_workers=serve_workers(environ),
+        serve_shards=serve_shards(environ),
         max_retries=max_retries(environ),
         retry_base_ms=retry_base_ms(environ),
         crawl_journal=crawl_journal_dir(environ),

@@ -246,6 +246,7 @@ def validate_manifest(manifest: Dict[str, Any]) -> List[str]:
         ("serve_batch", int),
         ("serve_wait_ms", (int, float)),
         ("serve_workers", int),
+        ("serve_shards", int),
         ("max_retries", int),
         ("retry_base_ms", (int, float)),
         ("crawl_journal", (str, type(None))),
@@ -357,6 +358,16 @@ def _validate_serve_section(serve: Any) -> List[str]:
         value = serve.get(field)
         if not (isinstance(value, int) and not isinstance(value, bool) and value >= 0):
             errors.append(f"serve.{field}: expected non-negative int")
+    # A sharded deployment's section also carries the shard count and
+    # the supervisor's respawn counter; both optional (absent when the
+    # daemon ran single-process), both non-negative ints when present.
+    for field in ("shards", "shard_restarts"):
+        if field in serve:
+            value = serve.get(field)
+            if not (
+                isinstance(value, int) and not isinstance(value, bool) and value >= 0
+            ):
+                errors.append(f"serve.{field}: expected non-negative int")
     return errors
 
 

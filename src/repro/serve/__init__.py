@@ -12,10 +12,15 @@ speed. This package is that deployment shape as a daemon:
   prewarm pass, plus pipelined fan-out over persistent pool workers;
 - :mod:`~repro.serve.reload` — O(delta) epoch-swap hot reload that
   never drops an in-flight query;
+- :mod:`~repro.serve.snapshot` — the packed ``kind=snapshot`` RDPK
+  container a sharded deployment boots from (one publish, N mmaps);
+- :mod:`~repro.serve.shard` — the shard supervisor: N daemon processes
+  on one ``SO_REUSEPORT`` port, merged health/metrics/reload control
+  plane, dead-shard respawn from the snapshot;
 - :mod:`~repro.serve.loadgen` — the deterministic load generator behind
-  ``BENCH_serve.json``.
+  ``BENCH_serve.json`` and ``BENCH_shard.json``.
 
-Runbook: docs/SERVING.md. Architecture: DESIGN.md §3.9.
+Runbook: docs/SERVING.md. Architecture: DESIGN.md §3.9–3.10.
 """
 
 from .batcher import RequestBatcher, ServeEngine, answer_query, prewarm_verdicts
@@ -30,6 +35,8 @@ from .daemon import (
 from .loadgen import generate_queries, run_inprocess, run_network
 from .protocol import ServeClient
 from .reload import EpochChain, ServeEpoch, partition_rule_lines
+from .shard import ShardSupervisor
+from .snapshot import SnapshotReader, publish_snapshot, read_state, write_snapshot
 
 __all__ = [
     "EpochChain",
@@ -39,14 +46,19 @@ __all__ = [
     "ServeEngine",
     "ServeEpoch",
     "ServeState",
+    "ShardSupervisor",
+    "SnapshotReader",
     "answer_query",
     "build_engine",
     "detector_spec",
     "generate_queries",
     "partition_rule_lines",
     "prewarm_verdicts",
+    "publish_snapshot",
+    "read_state",
     "resolve_serve_state",
     "run_inprocess",
     "run_network",
     "snapshot_spec",
+    "write_snapshot",
 ]

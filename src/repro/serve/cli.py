@@ -4,10 +4,15 @@ Two subcommands:
 
 - (default) boot the daemon: resolve state through the artifact graph,
   bind, print ``serving on HOST:PORT`` (and optionally write a ready
-  file), then run until a ``shutdown`` request or SIGINT;
+  file), then run until a ``shutdown`` request or SIGINT. With
+  ``--shards N`` (or ``REPRO_SERVE_SHARDS``) >= 2 the boot goes through
+  the shard supervisor instead: the state is packed once into a
+  snapshot container (``--snapshot PATH``, or a temp file) and N full
+  daemon processes accept on one kernel-balanced port;
 - ``loadgen`` — drive a running daemon with the deterministic query
   stream of :mod:`repro.serve.loadgen` and report QPS + p50/p99,
   optionally writing the summary JSON (``BENCH_serve.json`` shape).
+  ``--shards N`` spreads connections so every shard sees traffic.
 
 See docs/SERVING.md for the full runbook.
 """
@@ -18,7 +23,13 @@ import json
 import sys
 from typing import List, Optional
 
-from ..obs.config import serve_batch_size, serve_port, serve_wait_ms, serve_workers
+from ..obs.config import (
+    serve_batch_size,
+    serve_port,
+    serve_shards,
+    serve_wait_ms,
+    serve_workers,
+)
 
 
 class _CliError(Exception):
@@ -42,6 +53,8 @@ def _serve_args(argv: List[str]) -> dict:
         "wait_ms": None,
         "ready_file": None,
         "metrics_out": None,
+        "shards": None,
+        "snapshot": None,
         "help": False,
     }
     args = list(argv)
@@ -59,6 +72,10 @@ def _serve_args(argv: List[str]) -> dict:
             opts["batch"] = int(_take_value(args, "--batch", arg))
         elif arg == "--wait-ms" or arg.startswith("--wait-ms="):
             opts["wait_ms"] = float(_take_value(args, "--wait-ms", arg))
+        elif arg == "--shards" or arg.startswith("--shards="):
+            opts["shards"] = int(_take_value(args, "--shards", arg))
+        elif arg == "--snapshot" or arg.startswith("--snapshot="):
+            opts["snapshot"] = _take_value(args, "--snapshot", arg)
         elif arg == "--ready-file" or arg.startswith("--ready-file="):
             opts["ready_file"] = _take_value(args, "--ready-file", arg)
         elif arg == "--metrics-out" or arg.startswith("--metrics-out="):
@@ -79,9 +96,16 @@ def serve_main(argv: List[str]) -> int:
         print(__doc__)
         return 0
 
+    shards = opts["shards"] if opts["shards"] is not None else serve_shards()
+    if shards >= 2:
+        return _serve_sharded(opts, shards)
+
     from .daemon import ServeDaemon, build_engine, resolve_serve_state
 
-    state = resolve_serve_state()
+    if opts["snapshot"]:
+        state = _snapshot_state(opts["snapshot"])
+    else:
+        state = resolve_serve_state()
     engine = build_engine(state, workers=opts["workers"])
     daemon = ServeDaemon(
         engine,
@@ -100,16 +124,73 @@ def serve_main(argv: List[str]) -> int:
     except KeyboardInterrupt:
         daemon.stop()
     if opts["metrics_out"]:
-        _write_manifest(opts["metrics_out"], daemon, state)
+        _write_manifest(opts["metrics_out"], daemon, state.seed)
     return 0
 
 
-def _write_manifest(path: str, daemon, state) -> None:
+def _snapshot_state(path: str):
+    """Boot state from a snapshot container, publishing it if missing."""
+    import os
+
+    from .snapshot import publish_snapshot, read_state
+
+    if not os.path.exists(path):
+        publish_snapshot(path)
+    return read_state(path)
+
+
+def _serve_sharded(opts: dict, shards: int) -> int:
+    """Boot the shard supervisor: one snapshot, N daemon processes."""
+    import os
+    import shutil
+    import tempfile
+
+    from .shard import ShardSupervisor
+    from .snapshot import SNAPSHOT_BASENAME, SnapshotReader, publish_snapshot
+
+    snapshot_path = opts["snapshot"]
+    temp_dir = None
+    if not snapshot_path:
+        temp_dir = tempfile.mkdtemp(prefix="repro-serve-")
+        snapshot_path = os.path.join(temp_dir, SNAPSHOT_BASENAME)
+    if not os.path.exists(snapshot_path):
+        publish_snapshot(snapshot_path)
+    with SnapshotReader(snapshot_path) as reader:
+        seed = reader.seed
+    supervisor = ShardSupervisor(
+        snapshot_path,
+        shards,
+        host=opts["host"],
+        port=opts["port"] if opts["port"] is not None else serve_port(),
+        batch_size=opts["batch"],
+        wait_ms=opts["wait_ms"],
+        workers=opts["workers"] if opts["workers"] is not None else serve_workers(),
+    )
+    try:
+        host, port = supervisor.start()
+        print(f"serving on {host}:{port} ({shards} shards)", flush=True)
+        if opts["ready_file"]:
+            with open(opts["ready_file"], "w", encoding="utf-8") as handle:
+                json.dump(supervisor.describe(), handle)
+        try:
+            supervisor.wait()
+        except KeyboardInterrupt:
+            supervisor.stop()
+        if opts["metrics_out"]:
+            _write_manifest(opts["metrics_out"], supervisor, seed)
+    finally:
+        supervisor.stop()
+        if temp_dir is not None:
+            shutil.rmtree(temp_dir, ignore_errors=True)
+    return 0
+
+
+def _write_manifest(path: str, daemon, seed: int) -> None:
     from ..obs import RunManifest, config_snapshot, get_metrics
 
     manifest = RunManifest(path)
     manifest.finalize(
-        seed=state.seed,
+        seed=seed,
         config=config_snapshot().as_dict(),
         metrics=get_metrics().as_dict(),
         extra={"serve": daemon.serve_section()},
@@ -124,6 +205,7 @@ def _loadgen_args(argv: List[str]) -> dict:
         "seed": 0,
         "concurrency": 8,
         "batch": 1,
+        "shards": None,
         "out": None,
         "shutdown": False,
         "help": False,
@@ -145,6 +227,8 @@ def _loadgen_args(argv: List[str]) -> dict:
             opts["concurrency"] = int(_take_value(args, "--concurrency", arg))
         elif arg == "--batch" or arg.startswith("--batch="):
             opts["batch"] = int(_take_value(args, "--batch", arg))
+        elif arg == "--shards" or arg.startswith("--shards="):
+            opts["shards"] = int(_take_value(args, "--shards", arg))
         elif arg == "--out" or arg.startswith("--out="):
             opts["out"] = _take_value(args, "--out", arg)
         elif arg == "--shutdown":
@@ -176,6 +260,7 @@ def loadgen_main(argv: List[str]) -> int:
         queries,
         concurrency=opts["concurrency"],
         batch_size=opts["batch"],
+        shards=opts["shards"],
     )
     if opts["out"]:
         with open(opts["out"], "w", encoding="utf-8") as handle:
@@ -184,7 +269,13 @@ def loadgen_main(argv: List[str]) -> int:
     print(
         f"loadgen: {summary['queries']} queries in {summary['wall_s']:.3f}s "
         f"({summary['qps']:.0f} qps), p50 {summary['p50_ns']}ns "
-        f"p99 {summary['p99_ns']}ns, {summary['errors']} errors"
+        f"p99 {summary['p99_ns']}ns, {summary['errors']} errors, "
+        f"{summary['reconnects']} reconnects"
+        + (
+            f", {summary['shards_hit']}/{opts['shards']} shards hit"
+            if "shards_hit" in summary
+            else ""
+        )
         + (" (workers timed out)" if summary.get("timed_out") else ""),
         flush=True,
     )

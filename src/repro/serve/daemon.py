@@ -28,6 +28,7 @@ port, final epoch, and query/batch/reload/dropped counters
 from __future__ import annotations
 
 import logging
+import socket
 import socketserver
 import threading
 from dataclasses import dataclass, field
@@ -183,6 +184,21 @@ def build_engine(
     return ServeEngine(chain, pool=pool)
 
 
+#: The counter quartet every health/manifest surface reports, in the
+#: order the manifest schema validates them.
+SERVE_COUNTERS = ("queries", "batches", "reloads", "dropped")
+
+
+def _counter_snapshot() -> Dict[str, int]:
+    """The ``serve.*`` counter quartet, read once from the registry.
+
+    One reader shared by ``health()``, ``serve_section()``, and the
+    shard supervisor's merged variants, so the surfaces cannot drift.
+    """
+    metrics = get_metrics()
+    return {name: metrics.counter(f"serve.{name}") for name in SERVE_COUNTERS}
+
+
 class _Handler(socketserver.StreamRequestHandler):
     """One client connection: decode lines, route ops, write frames."""
 
@@ -194,6 +210,10 @@ class _Handler(socketserver.StreamRequestHandler):
             except protocol.ProtocolError as exc:
                 get_metrics().count("serve.errors")
                 self.wfile.write(protocol.encode(protocol.error_response(str(exc))))
+                # Flush error frames like ok frames: a client that stops
+                # pipelining after a bad line must not wait on a buffered
+                # error that only the *next* response would push out.
+                self.wfile.flush()
                 continue
             response = daemon.dispatch(message)
             self.wfile.write(protocol.encode(response))
@@ -205,6 +225,26 @@ class _Handler(socketserver.StreamRequestHandler):
 class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
+    #: Set by the shard plane: bind with ``SO_REUSEPORT`` so N daemon
+    #: processes share one port and the kernel balances connections.
+    reuse_port = False
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
+
+
+def _adopt_socket(server: _Server, listen_socket: socket.socket) -> None:
+    """Serve on an already-listening socket (pre-fork FD inheritance).
+
+    The server is constructed with ``bind_and_activate=False``; its own
+    unbound socket is swapped for the inherited one, so every shard of a
+    non-``SO_REUSEPORT`` fallback accepts on the supervisor's listener.
+    """
+    server.socket.close()
+    server.socket = listen_socket
+    server.server_address = listen_socket.getsockname()
 
 
 class ServeDaemon:
@@ -217,6 +257,9 @@ class ServeDaemon:
         port: int = 0,
         batch_size: Optional[int] = None,
         wait_ms: Optional[float] = None,
+        reuse_port: bool = False,
+        listen_socket: Optional[socket.socket] = None,
+        shard_index: Optional[int] = None,
     ) -> None:
         self.engine = engine
         self.batcher = RequestBatcher(
@@ -226,34 +269,67 @@ class ServeDaemon:
         )
         self.host = host
         self.port = port
+        #: ``SO_REUSEPORT`` bind (shard plane: N processes, one port).
+        self.reuse_port = reuse_port
+        #: An already-listening socket to adopt instead of binding
+        #: (shard fallback: every forked shard accepts on one listener).
+        self._listen_socket = listen_socket
+        #: Which shard of a sharded deployment this daemon is (None =
+        #: unsharded); reported in ``health`` so clients and the loadgen
+        #: can see which shard their connection landed on.
+        self.shard_index = shard_index
         self._server: Optional[_Server] = None
-        self._thread: Optional[threading.Thread] = None
+        self._extra_servers: List[_Server] = []
+        self._threads: List[threading.Thread] = []
         self._stopped = threading.Event()
         self.ready = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
 
+    def _serve_on(self, server: _Server, name: str) -> None:
+        server.daemon = self  # type: ignore[attr-defined]
+        thread = threading.Thread(target=server.serve_forever, name=name, daemon=True)
+        thread.start()
+        self._threads.append(thread)
+
     def start(self):
         """Bind (port 0 picks an ephemeral port), start serving; returns
         the bound ``(host, port)``."""
         self.batcher.start()
-        self._server = _Server((self.host, self.port), _Handler)
-        self._server.daemon = self  # type: ignore[attr-defined]
+        if self._listen_socket is not None:
+            self._server = _Server((self.host, self.port), _Handler, bind_and_activate=False)
+            _adopt_socket(self._server, self._listen_socket)
+        elif self.reuse_port:
+            server_class = type("_ReusePortServer", (_Server,), {"reuse_port": True})
+            self._server = server_class((self.host, self.port), _Handler)
+        else:
+            self._server = _Server((self.host, self.port), _Handler)
         self.host, self.port = self._server.server_address[:2]
-        self._thread = threading.Thread(
-            target=self._server.serve_forever, name="serve-daemon", daemon=True
-        )
-        self._thread.start()
+        self._serve_on(self._server, "serve-daemon")
         self.ready.set()
         logger.info("serve daemon listening on %s:%d", self.host, self.port)
         return self.host, self.port
 
+    def add_listener(self, host: str = "127.0.0.1", port: int = 0):
+        """Open an extra listening address on the same dispatch plane.
+
+        A shard serves queries on the kernel-balanced shared port *and*
+        answers its supervisor on a private loopback control port — same
+        protocol, same batcher, two sockets. Returns ``(host, port)``.
+        """
+        server = _Server((host, port), _Handler)
+        self._extra_servers.append(server)
+        self._serve_on(server, f"serve-listener-{server.server_address[1]}")
+        return server.server_address[:2]
+
     def stop(self) -> None:
-        """Shut down: stop admitting, flush the batcher, close the socket."""
-        if self._server is not None:
-            self._server.shutdown()
-            self._server.server_close()
-            self._server = None
+        """Shut down: stop admitting, flush the batcher, close the sockets."""
+        for server in [self._server, *self._extra_servers]:
+            if server is not None:
+                server.shutdown()
+                server.server_close()
+        self._server = None
+        self._extra_servers = []
         self.batcher.close()
         if self.engine.pool is not None:
             self.engine.pool.close()
@@ -320,17 +396,24 @@ class ServeDaemon:
 
     def health(self) -> Dict[str, Any]:
         """Readiness plus the counters a smoke test gates on."""
-        metrics = get_metrics()
-        return {
-            "status": "ok" if self.ready.is_set() and not self._stopped.is_set() else "starting",
+        if self._stopped.is_set():
+            # Distinct from "starting": supervisors and smoke tests can
+            # tell a daemon that never came up from one tearing down.
+            status = "stopping"
+        elif self.ready.is_set():
+            status = "ok"
+        else:
+            status = "starting"
+        health = {
+            "status": status,
             "epoch": self.engine.chain.current.index,
-            "queries": metrics.counter("serve.queries"),
-            "batches": metrics.counter("serve.batches"),
-            "reloads": metrics.counter("serve.reloads"),
-            "dropped": metrics.counter("serve.dropped"),
             "workers": self.engine.pool.workers if self.engine.pool else 0,
             "rules": self.engine.chain.current.online.adblocker.rule_count,
+            **_counter_snapshot(),
         }
+        if self.shard_index is not None:
+            health["shard"] = self.shard_index
+        return health
 
     def metrics_summary(self) -> Dict[str, Any]:
         """The serve slice of the registry (counters + latency quantiles)."""
@@ -350,17 +433,23 @@ class ServeDaemon:
         latency = get_metrics().histogram("serve.latency_ns")
         if latency is not None:
             summary["latency_ns"] = latency.quantiles()
+        # Full serve histograms ride along (not just quantiles): quantile
+        # vectors cannot be merged, bucket counts can — the shard
+        # supervisor's merged metrics view depends on these.
+        histograms = {
+            name: value
+            for name, value in registry.get("histograms", {}).items()
+            if name.startswith("serve.")
+        }
+        if histograms:
+            summary["histograms"] = histograms
         return summary
 
     def serve_section(self) -> Dict[str, Any]:
         """The run manifest's ``serve`` section (validated by obs)."""
-        metrics = get_metrics()
         return {
             "port": self.port,
             "epoch": self.engine.chain.current.index,
             "workers": self.engine.pool.workers if self.engine.pool else 0,
-            "queries": metrics.counter("serve.queries"),
-            "batches": metrics.counter("serve.batches"),
-            "reloads": metrics.counter("serve.reloads"),
-            "dropped": metrics.counter("serve.dropped"),
+            **_counter_snapshot(),
         }

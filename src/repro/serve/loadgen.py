@@ -30,6 +30,9 @@ from . import protocol
 #: Query mix: weights for (url, script, page).
 DEFAULT_MIX = (0.7, 0.2, 0.1)
 
+#: Reconnect attempts per failed round trip before a worker gives up.
+RECONNECT_ATTEMPTS = 5
+
 #: URL path vocabularies: some token-rich enough to probe rule buckets.
 _URL_WORDS = (
     "assets", "static", "bundle", "advert", "banner", "analytics",
@@ -178,6 +181,8 @@ def run_network(
     concurrency: int = 8,
     batch_size: int = 1,
     timeout: float = 60.0,
+    shards: Optional[int] = None,
+    reconnect: bool = True,
 ) -> Dict[str, Any]:
     """Drive a live daemon from ``concurrency`` client connections.
 
@@ -190,14 +195,31 @@ def run_network(
     frame's elapsed time divided evenly across its queries, so both
     modes histogram the same quantity.
 
-    The summary is honest about incomplete runs: queries a worker never
-    answered (it hung past ``timeout``, or died on a connection error)
-    are counted as errors, and ``timed_out`` reports whether any worker
-    was still alive when the join deadline expired.
+    Against a sharded daemon, pass ``shards``: concurrency is rounded
+    up to a multiple of the shard count so the kernel's connection
+    balancing has enough connections to spread, and each worker samples
+    ``health`` at the end to report how many distinct shards the run
+    actually landed on (``shards_hit``).
+
+    A round trip that dies on a connection error (a shard was killed
+    mid-query) is retried on a fresh connection up to
+    :data:`RECONNECT_ATTEMPTS` times when ``reconnect`` is on — against
+    a supervisor port the kernel re-balances the new connection to a
+    live shard, so a shard death costs reconnects, not errors.
+
+    The summary is honest about incomplete runs: ``errors`` counts
+    protocol-level failures (``ok: false`` answers) plus queries no
+    worker ever answered (also reported separately as ``unanswered``),
+    ``reconnects`` counts re-dials, and ``timed_out`` reports whether
+    any worker was still alive when the join deadline expired.
     """
     import threading
 
     concurrency = max(1, min(concurrency, len(queries) or 1))
+    if shards and shards > 1:
+        # Connection spreading: at least one connection per shard, and a
+        # whole number of connections per shard so no shard idles.
+        concurrency = ((max(concurrency, shards) + shards - 1) // shards) * shards
     batch_size = max(1, batch_size)
     shares: List[List[Dict[str, Any]]] = [[] for _ in range(concurrency)]
     for index, query in enumerate(queries):
@@ -205,31 +227,73 @@ def run_network(
     histograms = [Histogram(ns_buckets()) for _ in range(concurrency)]
     error_counts = [0] * concurrency
     answered_counts = [0] * concurrency
+    reconnect_counts = [0] * concurrency
+    shards_seen: List[set] = [set() for _ in range(concurrency)]
 
     def worker(slot: int) -> None:
-        with protocol.ServeClient(host, port, timeout=timeout) as client:
+        client: Optional[protocol.ServeClient] = None
+
+        def drop_client() -> None:
+            nonlocal client
+            if client is not None:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                client = None
+
+        def ask(message: Dict[str, Any]) -> Dict[str, Any]:
+            # One logical round trip, retried across reconnects: a frame
+            # cut off by a dying shard is re-asked in full on a fresh
+            # connection (answers are only counted on success, so a
+            # retry never double-counts).
+            nonlocal client
+            attempts = 0
+            while True:
+                try:
+                    if client is None:
+                        client = protocol.ServeClient(host, port, timeout=timeout)
+                    return client.ask(message)
+                except (OSError, ValueError):
+                    drop_client()
+                    attempts += 1
+                    if not reconnect or attempts > RECONNECT_ATTEMPTS:
+                        raise
+                    reconnect_counts[slot] += 1
+                    time.sleep(0.05 * attempts)
+
+        try:
             share = shares[slot]
             if batch_size == 1:
                 for query in share:
                     t0 = time.perf_counter_ns()
-                    answer = client.ask(query)
+                    answer = ask(query)
                     histograms[slot].observe(time.perf_counter_ns() - t0)
                     answered_counts[slot] += 1
                     if not answer.get("ok"):
                         error_counts[slot] += 1
-                return
-            for start in range(0, len(share), batch_size):
-                frame = share[start : start + batch_size]
-                t0 = time.perf_counter_ns()
-                response = client.ask(protocol.batch_query(frame))
-                per_query = (time.perf_counter_ns() - t0) // len(frame)
-                answers = response.get("answers", []) if response.get("ok") else []
-                for index in range(len(frame)):
-                    histograms[slot].observe(per_query)
-                    answered_counts[slot] += 1
-                    answer = answers[index] if index < len(answers) else {}
-                    if not answer.get("ok"):
-                        error_counts[slot] += 1
+            else:
+                for start in range(0, len(share), batch_size):
+                    frame = share[start : start + batch_size]
+                    t0 = time.perf_counter_ns()
+                    response = ask(protocol.batch_query(frame))
+                    per_query = (time.perf_counter_ns() - t0) // len(frame)
+                    answers = response.get("answers", []) if response.get("ok") else []
+                    for index in range(len(frame)):
+                        histograms[slot].observe(per_query)
+                        answered_counts[slot] += 1
+                        answer = answers[index] if index < len(answers) else {}
+                        if not answer.get("ok"):
+                            error_counts[slot] += 1
+            if shards and shards > 1:
+                try:
+                    health = ask({"op": "health"})
+                except (OSError, ValueError):
+                    health = {}
+                if health.get("shard") is not None:
+                    shards_seen[slot].add(int(health["shard"]))
+        finally:
+            drop_client()
 
     threads = [
         threading.Thread(target=worker, args=(slot,), daemon=True)
@@ -250,7 +314,11 @@ def run_network(
         latency.merge(histogram)
     unanswered = max(0, len(queries) - sum(answered_counts))
     summary = _summarise(len(queries), sum(error_counts) + unanswered, wall, latency)
+    summary["unanswered"] = unanswered
+    summary["reconnects"] = sum(reconnect_counts)
     summary["concurrency"] = concurrency
     summary["batch_size"] = batch_size
     summary["timed_out"] = timed_out
+    if shards and shards > 1:
+        summary["shards_hit"] = len(set().union(*shards_seen))
     return summary

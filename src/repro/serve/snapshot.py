@@ -1,0 +1,179 @@
+"""The packed serving snapshot: one mmap-able container, N shard boots.
+
+The single-process daemon resolves its state through the artifact graph
+(two unpickles per boot). A shard supervisor boots *N* full daemon
+processes, and paying N graph resolutions — or shipping N pickled
+copies of the detector over pipes — would make shard count a boot-time
+multiplier. Instead the supervisor publishes the resolved state ONCE as
+a ``kind=snapshot`` RDPK container (:mod:`repro.dataplane.format`):
+
+::
+
+    u32 meta_length | meta JSON (schema, seed, counts, detector bytes)
+    string table    | raw network rule lines
+    string table    | raw element rule lines
+    blob            | protocol-4 pickle of the trained detector
+
+Every shard then mmaps the file read-only and decodes it lazily: the
+rule-line string tables slice straight out of the mapping and the
+detector unpickles from the mapped buffer, so after the first shard has
+faulted the pages in, the remaining boots (and every millisecond-class
+*respawn* after a shard death) are page-cache hits — no graph machinery,
+no context, no recompute. The container header's SHA-256 is verified at
+every open, so a torn or corrupt snapshot fails loudly instead of
+serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from pathlib import Path
+from typing import Union
+
+from ..dataplane.format import (
+    KIND_SNAPSHOT,
+    DataPlaneError,
+    MappedArtifact,
+    StringTable,
+    pack_string_table,
+    write_artifact,
+)
+from .daemon import ServeState
+
+#: Snapshot payload layout revision (readers reject other revisions).
+SNAPSHOT_FILE_SCHEMA = 1
+
+#: Default snapshot filename (under a run-cache or temp directory).
+SNAPSHOT_BASENAME = "serve-snapshot.rdpk"
+
+_U32 = struct.Struct("<I")
+
+
+def write_snapshot(path: Union[str, Path], state: ServeState) -> int:
+    """Pack a resolved :class:`ServeState` into one atomic container.
+
+    Returns bytes written. Publication uses the data plane's tmp +
+    ``os.replace`` pattern, so a shard never maps a half-written file.
+    """
+    detector_blob = pickle.dumps(state.detector, protocol=4)
+    meta = {
+        "schema": SNAPSHOT_FILE_SCHEMA,
+        "seed": state.seed,
+        "network_lines": len(state.network_lines),
+        "element_lines": len(state.element_lines),
+        "detector_bytes": len(detector_blob),
+    }
+    meta_blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+    payload = b"".join(
+        (
+            _U32.pack(len(meta_blob)),
+            meta_blob,
+            pack_string_table(state.network_lines),
+            pack_string_table(state.element_lines),
+            detector_blob,
+        )
+    )
+    return write_artifact(path, KIND_SNAPSHOT, payload)
+
+
+class SnapshotReader:
+    """A read-only mmap over one serving snapshot, decoded lazily.
+
+    Opening verifies the container header (magic, kind, payload SHA-256)
+    and parses only the meta block; rule lines decode on first access
+    through the shared :class:`~repro.dataplane.format.StringTable`
+    machinery and the detector unpickles straight from the mapped
+    buffer. ``close()`` releases the mapping (also via context manager).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._artifact = MappedArtifact(self.path, expect_kind=KIND_SNAPSHOT)
+        payload = self._artifact.payload
+        try:
+            if len(payload) < _U32.size:
+                raise DataPlaneError(f"{self.path}: truncated snapshot meta")
+            (meta_length,) = _U32.unpack_from(payload, 0)
+            if _U32.size + meta_length > len(payload):
+                raise DataPlaneError(f"{self.path}: truncated snapshot meta block")
+            try:
+                meta = json.loads(bytes(payload[_U32.size : _U32.size + meta_length]))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise DataPlaneError(
+                    f"{self.path}: undecodable snapshot meta ({exc})"
+                ) from exc
+            if not isinstance(meta, dict) or meta.get("schema") != SNAPSHOT_FILE_SCHEMA:
+                raise DataPlaneError(f"{self.path}: unsupported snapshot schema")
+            self.meta = meta
+            self._network = StringTable(payload, _U32.size + meta_length)
+            self._element = StringTable(payload, self._network.end)
+            self._detector_at = self._element.end
+            if self._detector_at + int(meta.get("detector_bytes", 0)) > len(payload):
+                raise DataPlaneError(f"{self.path}: truncated detector blob")
+        except DataPlaneError:
+            self._artifact.close()
+            raise
+
+    @property
+    def seed(self) -> int:
+        return int(self.meta.get("seed", 0))
+
+    def network_lines(self) -> list:
+        """The raw network rule lines (decoded from the mapping)."""
+        return [self._network.get(i) for i in range(len(self._network))]
+
+    def element_lines(self) -> list:
+        """The raw element rule lines (decoded from the mapping)."""
+        return [self._element.get(i) for i in range(len(self._element))]
+
+    def load_detector(self):
+        """Unpickle the trained detector from the mapped buffer."""
+        blob = self._artifact.payload[self._detector_at :]
+        try:
+            return pickle.loads(blob)
+        except Exception as exc:  # pickle raises arbitrarily on corruption
+            raise DataPlaneError(
+                f"{self.path}: undecodable detector ({exc})"
+            ) from exc
+        finally:
+            blob.release()
+
+    def to_state(self) -> ServeState:
+        """The full :class:`ServeState` this snapshot packs."""
+        return ServeState(
+            detector=self.load_detector(),
+            network_lines=self.network_lines(),
+            element_lines=self.element_lines(),
+            seed=self.seed,
+        )
+
+    def close(self) -> None:
+        self._artifact.close()
+
+    def __enter__(self) -> "SnapshotReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_state(path: Union[str, Path]) -> ServeState:
+    """One-shot load: open, decode everything, release the mapping."""
+    with SnapshotReader(path) as reader:
+        return reader.to_state()
+
+
+def publish_snapshot(path: Union[str, Path], ctx=None) -> Path:
+    """Resolve the serving state through the graph and pack it.
+
+    This is the supervisor's boot step: one graph resolution (warm run
+    caches recompute nothing), one atomic container, N mmap'd shard
+    boots. Returns the snapshot path.
+    """
+    from .daemon import resolve_serve_state
+
+    path = Path(path)
+    write_snapshot(path, resolve_serve_state(ctx))
+    return path

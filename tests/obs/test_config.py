@@ -154,6 +154,7 @@ class TestSnapshot:
             "serve_batch",
             "serve_wait_ms",
             "serve_workers",
+            "serve_shards",
             "raw_env",
         }
 

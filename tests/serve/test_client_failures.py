@@ -1,0 +1,121 @@
+"""ServeClient against dying endpoints: refused, killed mid-session, retried."""
+
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.loadgen import generate_queries, run_network
+from repro.serve.shard import ShardSupervisor
+from repro.serve.snapshot import write_snapshot
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(serve_state, tmp_path_factory):
+    path = tmp_path_factory.mktemp("failures") / "serve-snapshot.rdpk"
+    write_snapshot(path, serve_state)
+    return path
+
+
+def _free_port() -> int:
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+class TestConnectionRefused:
+    def test_connect_to_closed_port_raises(self):
+        with pytest.raises(OSError):
+            protocol.ServeClient("127.0.0.1", _free_port(), timeout=5.0)
+
+
+class TestPeerVanishes:
+    def test_mid_session_shard_kill_raises_connection_error(self, snapshot_path):
+        """A client whose shard is SIGKILLed gets a clean ConnectionError,
+        not a hang — the contract the loadgen's retry loop builds on."""
+        supervisor = ShardSupervisor(
+            snapshot_path, shards=1, port=0, restart=False
+        )
+        try:
+            host, port = supervisor.start()
+            client = protocol.ServeClient(host, port, timeout=10.0)
+            try:
+                assert client.ask(
+                    protocol.url_query("https://example.com/a.js")
+                )["ok"] is True
+                os.kill(supervisor.shard_pids()[0], signal.SIGKILL)
+                with pytest.raises((ConnectionError, OSError)):
+                    # The kernel may take a round trip to surface the
+                    # death; either the write or the read must raise.
+                    for _ in range(10):
+                        client.ask(protocol.url_query("https://example.com/b.js"))
+                        time.sleep(0.1)
+            finally:
+                client.close()
+        finally:
+            supervisor.stop()
+
+    def test_fresh_connection_reaches_respawned_shard(self, snapshot_path):
+        """Reconnect-and-retry against the supervisor port: after a kill,
+        a new connection lands on the respawned shard and succeeds."""
+        supervisor = ShardSupervisor(snapshot_path, shards=1, port=0)
+        try:
+            host, port = supervisor.start()
+            victim = supervisor.shard_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            query = protocol.url_query("https://example.com/c.js")
+            deadline = time.monotonic() + 60.0
+            answer = None
+            while time.monotonic() < deadline:
+                try:
+                    with protocol.ServeClient(host, port, timeout=10.0) as client:
+                        answer = client.ask(query)
+                    break
+                except OSError:
+                    time.sleep(0.2)
+            assert answer is not None and answer["ok"] is True
+            assert supervisor.shard_pids()[0] != victim
+        finally:
+            supervisor.stop()
+
+
+class TestLoadgenRetry:
+    def test_burst_with_mid_burst_kill_has_zero_protocol_errors(
+        self, snapshot_path
+    ):
+        """The CI smoke invariant: kill a shard under load and the loadgen
+        still answers every query (reconnects, never errors)."""
+        import threading
+
+        supervisor = ShardSupervisor(snapshot_path, shards=2, port=0)
+        try:
+            host, port = supervisor.start()
+            victim = supervisor.shard_pids()[0]
+
+            def killer():
+                time.sleep(0.3)
+                os.kill(victim, signal.SIGKILL)
+
+            thread = threading.Thread(target=killer, daemon=True)
+            thread.start()
+            summary = run_network(
+                host,
+                port,
+                generate_queries(29, 120),
+                concurrency=4,
+                batch_size=4,
+                timeout=120.0,
+                shards=2,
+            )
+            thread.join(10.0)
+            assert summary["errors"] == 0
+            assert summary["unanswered"] == 0
+            assert summary["timed_out"] is False
+        finally:
+            supervisor.stop()

@@ -200,3 +200,37 @@ class TestReloadUnderLoad:
         assert metrics.counter("serve.reloads") == 3
         assert daemon.engine.chain.current.index == 3
         assert daemon.engine.chain.retired == 3
+
+
+class TestSatelliteFixes:
+    def test_error_frame_arrives_without_a_follow_up(self, daemon):
+        """A bad line's error frame must be flushed immediately — a client
+        that stops pipelining after garbage cannot wait for the *next*
+        response to push the buffered error out."""
+        import socket as socket_module
+
+        sock = socket_module.create_connection(
+            (daemon.host, daemon.port), timeout=5.0
+        )
+        try:
+            sock.sendall(b"this is not json\n")
+            reader = sock.makefile("rb")
+            line = reader.readline()  # raises timeout if unflushed
+            assert b'"ok":false' in line.replace(b" ", b"")
+        finally:
+            sock.close()
+
+    def test_health_reports_stopping_after_stop(self, serve_state):
+        instance = ServeDaemon(build_engine(serve_state, workers=0), port=0)
+        instance.start()
+        assert instance.health()["status"] == "ok"
+        instance.stop()
+        assert instance.health()["status"] == "stopping"
+
+    def test_health_and_serve_section_share_the_counter_quartet(self, daemon):
+        from repro.serve.daemon import SERVE_COUNTERS
+
+        health = daemon.health()
+        section = daemon.serve_section()
+        for name in SERVE_COUNTERS:
+            assert health[name] == section[name]

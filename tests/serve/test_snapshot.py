@@ -1,0 +1,128 @@
+"""The packed serving snapshot: round trip, integrity, parity, inspection."""
+
+import json
+import struct
+
+import pytest
+
+from repro.dataplane.format import (
+    KIND_SNAPSHOT,
+    DataPlaneError,
+    inspect_header,
+    pack_string_table,
+    write_artifact,
+)
+from repro.serve import protocol
+from repro.serve.batcher import answer_query
+from repro.serve.daemon import ServeState
+from repro.serve.loadgen import generate_queries
+from repro.serve.snapshot import (
+    SNAPSHOT_FILE_SCHEMA,
+    SnapshotReader,
+    read_state,
+    write_snapshot,
+)
+
+from .conftest import StubDetector
+
+
+@pytest.fixture
+def stub_state():
+    return ServeState(
+        detector=StubDetector(),
+        network_lines=["||ads.example^", "/banner/*$script", "! comment"],
+        element_lines=["example.com##.adsbox", "##.sponsored-unicode-é"],
+        seed=7,
+    )
+
+
+class TestRoundTrip:
+    def test_lines_seed_and_detector_survive(self, stub_state, tmp_path):
+        path = tmp_path / "snap.rdpk"
+        written = write_snapshot(path, stub_state)
+        assert written == path.stat().st_size
+        state = read_state(path)
+        assert state.network_lines == stub_state.network_lines
+        assert state.element_lines == stub_state.element_lines
+        assert state.seed == 7
+        assert state.detector.predict(["BAIT here", "benign"]) == [True, False]
+
+    def test_header_kind_is_snapshot(self, stub_state, tmp_path):
+        path = tmp_path / "snap.rdpk"
+        write_snapshot(path, stub_state)
+        info = inspect_header(path)
+        assert info["kind"] == "snapshot"
+
+    def test_reader_is_lazy_and_closable(self, stub_state, tmp_path):
+        path = tmp_path / "snap.rdpk"
+        write_snapshot(path, stub_state)
+        with SnapshotReader(path) as reader:
+            assert reader.seed == 7
+            assert reader.meta["network_lines"] == 3
+            assert reader.network_lines()[0] == "||ads.example^"
+        # The mapping is released: a second close is a no-op, not a leak.
+        reader.close()
+
+    def test_dataplane_inspect_summarises(self, stub_state, tmp_path, capsys):
+        from repro.dataplane.__main__ import main
+
+        path = tmp_path / "snap.rdpk"
+        write_snapshot(path, stub_state)
+        assert main(["inspect", str(path), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["kind"] == "snapshot"
+        assert info["network_lines"] == 3
+        assert info["element_lines"] == 2
+        assert info["detector_bytes"] > 0
+
+
+class TestIntegrity:
+    def test_corrupt_payload_fails_at_open(self, stub_state, tmp_path):
+        path = tmp_path / "snap.rdpk"
+        write_snapshot(path, stub_state)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(DataPlaneError):
+            SnapshotReader(path)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "other.rdpk"
+        write_artifact(path, KIND_SNAPSHOT - 1, b"\x00\x00\x00\x00")
+        with pytest.raises(DataPlaneError):
+            SnapshotReader(path)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        meta = json.dumps({"schema": SNAPSHOT_FILE_SCHEMA + 1}).encode()
+        payload = b"".join(
+            (
+                struct.pack("<I", len(meta)),
+                meta,
+                pack_string_table([]),
+                pack_string_table([]),
+            )
+        )
+        path = tmp_path / "future.rdpk"
+        write_artifact(path, KIND_SNAPSHOT, payload)
+        with pytest.raises(DataPlaneError):
+            SnapshotReader(path)
+
+    def test_truncated_meta_rejected(self, tmp_path):
+        path = tmp_path / "short.rdpk"
+        write_artifact(path, KIND_SNAPSHOT, b"\x01")
+        with pytest.raises(DataPlaneError):
+            SnapshotReader(path)
+
+
+class TestOfflineParity:
+    def test_snapshot_answers_byte_identical(self, serve_state, tmp_path):
+        """A chain booted from the snapshot answers exactly like one booted
+        from the graph-resolved state — the shard-parity invariant."""
+        path = tmp_path / "snap.rdpk"
+        write_snapshot(path, serve_state)
+        original = serve_state.build_chain().current.online
+        restored = read_state(path).build_chain().current.online
+        for query in generate_queries(19, 40):
+            expected = protocol.encode(answer_query(original, query))
+            actual = protocol.encode(answer_query(restored, query))
+            assert actual == expected
